@@ -1,0 +1,246 @@
+(* Command-line front end: analyze a single net, screen inductance, emit a
+   characterized Liberty library, or run the Figure-7 style sweep. *)
+open Cmdliner
+open Rlc_ceff
+
+let ps = Rlc_num.Units.in_ps
+
+(* ------------------------------------------------------- shared args *)
+
+let length_arg =
+  Arg.(required & opt (some float) None & info [ "length" ] ~docv:"MM" ~doc:"Line length in mm.")
+
+let width_arg =
+  Arg.(required & opt (some float) None & info [ "width" ] ~docv:"UM" ~doc:"Line width in um.")
+
+let size_arg =
+  Arg.(
+    required
+    & opt (some float) None
+    & info [ "size" ] ~docv:"X" ~doc:"Driver size (X multiplier, e.g. 75).")
+
+let slew_arg =
+  Arg.(
+    value & opt float 100. & info [ "slew" ] ~docv:"PS" ~doc:"Input transition time in ps.")
+
+let cl_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "cl" ] ~docv:"FF" ~doc:"Far-end load in fF (default: a 10X receiver gate).")
+
+let dt_arg =
+  Arg.(value & opt float 0.5 & info [ "dt" ] ~docv:"PS" ~doc:"Simulation timestep in ps.")
+
+let make_case ~label length width size slew cl =
+  Evaluate.case ~label ~length_mm:length ~width_um:width ~size ~input_slew_ps:slew
+    ?cl:(Option.map Rlc_num.Units.ff cl) ()
+
+(* ------------------------------------------------------------ analyze *)
+
+let analyze_cmd =
+  let run length width size slew cl dt compare dump =
+    let case = make_case ~label:"cli" length width size slew cl in
+    let line = case.Evaluate.line in
+    Format.printf "net: %a@." Rlc_tline.Line.pp line;
+    if compare then begin
+      let cmp = Evaluate.run ~dt:(Rlc_num.Units.ps dt) case in
+      Format.printf "%a@." Driver_model.pp cmp.Evaluate.auto_model;
+      Format.printf "%a@." Screen.pp cmp.Evaluate.auto_model.Driver_model.screen;
+      Format.printf "%a@." Evaluate.pp_comparison cmp;
+      if dump then begin
+        Format.printf "@.# model output waveform (ps, V)@.";
+        Format.printf "%a@."
+          (Rlc_waveform.Waveform.pp_series ~max_rows:60 ~unit_time:1e-12 ~unit_v:1.)
+          (Driver_model.output_waveform cmp.Evaluate.auto_model)
+      end
+    end
+    else begin
+      let cell = Rlc_liberty.Characterize.cell case.Evaluate.tech ~size in
+      let m =
+        Driver_model.model ~cell ~edge:Rlc_waveform.Measure.Rising
+          ~input_slew:case.Evaluate.input_slew ~line ~cl:case.Evaluate.cl ()
+      in
+      Format.printf "%a@." Driver_model.pp m;
+      Format.printf "%a@." Screen.pp m.Driver_model.screen;
+      Format.printf "model delay %.2f ps, slew(10-90) %.2f ps@." (ps (Driver_model.model_delay m))
+        (ps (Driver_model.model_slew_10_90 m))
+    end;
+    0
+  in
+  let compare_arg =
+    Arg.(value & flag & info [ "compare" ] ~doc:"Also run the transistor-level reference.")
+  in
+  let dump_arg = Arg.(value & flag & info [ "dump-waveforms" ] ~doc:"Print waveform samples.") in
+  Cmd.v
+    (Cmd.info "analyze" ~doc:"Model one driver + RLC net (optionally vs reference simulation).")
+    Term.(
+      const run $ length_arg $ width_arg $ size_arg $ slew_arg $ cl_arg $ dt_arg $ compare_arg
+      $ dump_arg)
+
+(* ------------------------------------------------------------- screen *)
+
+let screen_cmd =
+  let run length width size slew cl =
+    let case = make_case ~label:"cli" length width size slew cl in
+    let cell = Rlc_liberty.Characterize.cell case.Evaluate.tech ~size in
+    let m =
+      Driver_model.model ~cell ~edge:Rlc_waveform.Measure.Rising
+        ~input_slew:case.Evaluate.input_slew ~line:case.Evaluate.line ~cl:case.Evaluate.cl ()
+    in
+    Format.printf "%a@." Screen.pp m.Driver_model.screen;
+    if m.Driver_model.screen.Screen.significant then 0 else 1
+  in
+  Cmd.v
+    (Cmd.info "screen"
+       ~doc:
+         "Evaluate the Eq. 9 inductance-significance criteria (exit 0 when inductance is \
+          significant).")
+    Term.(const run $ length_arg $ width_arg $ size_arg $ slew_arg $ cl_arg)
+
+(* ------------------------------------------------------- characterize *)
+
+let characterize_cmd =
+  let run sizes out =
+    let cells =
+      List.map (fun s -> Rlc_liberty.Characterize.cell Rlc_devices.Tech.c018 ~size:s) sizes
+    in
+    Rlc_liberty.Liberty_io.save ~path:out ~name:"rlc_timing_c018" cells;
+    Format.printf "wrote %d cells to %s@." (List.length cells) out;
+    0
+  in
+  let sizes_arg =
+    Arg.(
+      value
+      & opt (list float) [ 25.; 50.; 75.; 100.; 125. ]
+      & info [ "sizes" ] ~docv:"X,X,..." ~doc:"Driver sizes to characterize.")
+  in
+  let out_arg =
+    Arg.(value & opt string "rlc_timing.lib" & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Output path.")
+  in
+  Cmd.v
+    (Cmd.info "characterize" ~doc:"Characterize inverters and write a Liberty-subset library.")
+    Term.(const run $ sizes_arg $ out_arg)
+
+(* -------------------------------------------------------------- sweep *)
+
+let sweep_cmd =
+  let run dt limit =
+    let cases = Experiments.sweep_cases () in
+    let cases =
+      match limit with
+      | Some n -> List.filteri (fun i _ -> i < n) cases
+      | None -> cases
+    in
+    let stats =
+      Experiments.run_sweep ~dt:(Rlc_num.Units.ps dt)
+        ~progress:(fun k n -> if k mod 25 = 0 || k = n then Printf.eprintf "  %d/%d\n%!" k n)
+        cases
+    in
+    Format.printf "swept %d cases; %d inductive@." stats.Experiments.n_swept
+      stats.Experiments.n_inductive;
+    let show tag (e : Experiments.error_stats) =
+      Format.printf
+        "%s: avg |delay err| %.1f%%, avg |slew err| %.1f%%; delay <5%%: %.0f%% <10%%: %.0f%%; \
+         slew <5%%: %.0f%% <10%%: %.0f%%@."
+        tag e.Experiments.avg_abs_delay_err e.Experiments.avg_abs_slew_err
+        e.Experiments.delay_within_5 e.Experiments.delay_within_10 e.Experiments.slew_within_5
+        e.Experiments.slew_within_10
+    in
+    show "Eq.8 stretch" stats.Experiments.stretch;
+    show "flat step   " stats.Experiments.flat;
+    0
+  in
+  let limit_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "limit" ] ~docv:"N" ~doc:"Only examine the first N grid cases.")
+  in
+  Cmd.v
+    (Cmd.info "sweep" ~doc:"Run the Figure-7 style sweep and print error statistics.")
+    Term.(const run $ dt_arg $ limit_arg)
+
+(* --------------------------------------------------------------- spef *)
+
+let spef_cmd =
+  let run file net_name root size slew =
+    let ic = open_in_bin file in
+    let content =
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    match Rlc_spef.Spef.parse content with
+    | Error e ->
+        Format.eprintf "SPEF parse error: %s@." e;
+        1
+    | Ok spef -> (
+        match Rlc_spef.Spef.find_net spef net_name with
+        | None ->
+            Format.eprintf "net %s not found (nets: %s)@." net_name
+              (String.concat ", " (List.map (fun n -> n.Rlc_spef.Spef.net_name) spef.Rlc_spef.Spef.nets));
+            1
+        | Some net -> (
+            match Rlc_spef.Spef.to_tree net ~root with
+            | Error e ->
+                Format.eprintf "cannot build tree: %s@." e;
+                1
+            | Ok tree ->
+                Format.printf "net %s: %d nodes, total cap %.1f fF@." net_name
+                  (Rlc_moments.Tree.node_count tree)
+                  (Rlc_num.Units.in_ff (Rlc_moments.Tree.total_cap tree));
+                let m = Rlc_moments.Moments.driving_point ~order:5 tree in
+                Format.printf "moments: m1=%.4g m2=%.4g m3=%.4g m4=%.4g m5=%.4g@." m.(1) m.(2)
+                  m.(3) m.(4) m.(5);
+                let pade = Rlc_moments.Pade.fit m in
+                Format.printf "pade fit: %a (stable: %b)@." Rlc_moments.Pade.pp pade
+                  (Rlc_moments.Pade.is_stable pade);
+                (match size with
+                | None -> ()
+                | Some size ->
+                    let cell = Rlc_liberty.Characterize.cell Rlc_devices.Tech.c018 ~size in
+                    let slew_s = Rlc_num.Units.ps slew in
+                    let iterate f =
+                      let tr_of c =
+                        Rlc_liberty.Table.ramp_time cell ~edge:Rlc_waveform.Measure.Rising
+                          ~slew:slew_s ~cap:c
+                      in
+                      let ctot = Rlc_moments.Pade.total_cap pade in
+                      let r =
+                        Rlc_num.Rootfind.fixed_point_bracketed
+                          (fun c -> Ceff.first_ramp pade ~f ~tr:(tr_of c))
+                          ~lo:(1e-4 *. ctot) ~hi:ctot ~init:ctot
+                      in
+                      (r.Rlc_num.Rootfind.value, tr_of r.Rlc_num.Rootfind.value)
+                    in
+                    let c100, tr100 = iterate 1.0 in
+                    Format.printf
+                      "driver %gX @ %g ps input slew: Ceff(100%%) = %.1f fF -> Tr = %.1f ps@."
+                      size slew (Rlc_num.Units.in_ff c100) (ps tr100));
+                0))
+  in
+  let file_arg =
+    Arg.(required & opt (some file) None & info [ "file" ] ~docv:"SPEF" ~doc:"SPEF file.")
+  in
+  let net_arg =
+    Arg.(required & opt (some string) None & info [ "net" ] ~docv:"NAME" ~doc:"Net to analyze.")
+  in
+  let root_arg =
+    Arg.(
+      required & opt (some string) None & info [ "root" ] ~docv:"NODE" ~doc:"Driving-point node.")
+  in
+  let size_opt =
+    Arg.(
+      value & opt (some float) None & info [ "size" ] ~docv:"X" ~doc:"Optional driver size.")
+  in
+  Cmd.v
+    (Cmd.info "spef" ~doc:"Moments, Pade fit and Ceff for a net from a SPEF file.")
+    Term.(const run $ file_arg $ net_arg $ root_arg $ size_opt $ slew_arg)
+
+let () =
+  let info =
+    Cmd.info "rlc_timing" ~version:"1.0.0"
+      ~doc:"Effective-capacitance two-ramp driver model for on-chip RLC interconnect (DAC 2003)."
+  in
+  exit (Cmd.eval' (Cmd.group info [ analyze_cmd; screen_cmd; characterize_cmd; sweep_cmd; spef_cmd ]))

@@ -1,0 +1,1 @@
+examples/bus_timing.ml: Driver_model Format List Reference Rlc_ceff Rlc_devices Rlc_liberty Rlc_num Rlc_parasitics Rlc_waveform Screen

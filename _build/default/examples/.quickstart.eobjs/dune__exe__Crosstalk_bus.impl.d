@@ -1,0 +1,1 @@
+examples/crosstalk_bus.ml: Coupled_ladder Engine Format Inverter Line List Netlist Rlc_circuit Rlc_devices Rlc_tline Rlc_waveform Tech Testbench Waveform

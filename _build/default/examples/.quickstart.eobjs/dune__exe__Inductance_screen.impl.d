@@ -1,0 +1,1 @@
+examples/inductance_screen.ml: Array Driver_model Float Format List Rlc_ceff Rlc_devices Rlc_liberty Rlc_num Rlc_parasitics Rlc_waveform Screen

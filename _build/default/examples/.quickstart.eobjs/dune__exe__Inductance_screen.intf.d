@@ -1,0 +1,1 @@
+examples/inductance_screen.mli:

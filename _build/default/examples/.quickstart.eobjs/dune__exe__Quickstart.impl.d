@@ -1,0 +1,1 @@
+examples/quickstart.ml: Driver_model Evaluate Format Rlc_ceff Rlc_devices Rlc_liberty Rlc_num Rlc_parasitics Rlc_tline Rlc_waveform Screen

@@ -1,0 +1,1 @@
+examples/repeater_insertion.ml: Format List Printexc Rlc_ceff Rlc_num Rlc_parasitics Rlc_sta Sta

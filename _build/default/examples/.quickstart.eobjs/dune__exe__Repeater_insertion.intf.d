@@ -1,0 +1,1 @@
+examples/repeater_insertion.mli:

@@ -1,0 +1,1 @@
+examples/spef_net.ml: Format List Option Rlc_ceff Rlc_devices Rlc_liberty Rlc_moments Rlc_num Rlc_spef Rlc_waveform

@@ -1,0 +1,1 @@
+examples/spef_net.mli:

@@ -1,0 +1,1 @@
+examples/sta_path.ml: Format List Rlc_ceff Rlc_devices Rlc_num Rlc_parasitics Rlc_sta Sta

@@ -1,0 +1,59 @@
+(* Inductive vs capacitive crosstalk on a coupled global bus.
+
+   The paper's introduction motivates inductance as a signal-integrity
+   concern; this example quantifies it.  Two neighbouring 5 mm bus bits are
+   driven by real inverters: the aggressor switches, the victim's driver
+   holds it quiet.  We sweep the coupling mix and report the victim's far-end
+   noise — positive when the capacitive term (Cc/C) dominates and negative
+   (with the classic forward-crosstalk dip) when the mutual-inductance term
+   (M/L) does.
+
+   Run with:  dune exec examples/crosstalk_bus.exe *)
+open Rlc_circuit
+open Rlc_tline
+open Rlc_devices
+open Rlc_waveform
+
+let tech = Tech.c018
+let line = Line.of_totals ~r:72.44 ~l:5.14e-9 ~c:1.10e-12 ~length:5e-3
+
+let run ~k ~cc_total ~size =
+  let nl = Netlist.create () in
+  let vdd_node = Netlist.node nl "vdd" in
+  Netlist.force_voltage nl vdd_node (fun _ -> tech.Tech.vdd);
+  (* Aggressor input falls (output rises); victim input held at VDD so its
+     NMOS actively holds the victim line low. *)
+  let in_a = Netlist.node nl "in_a" and in_v = Netlist.node nl "in_v" in
+  Netlist.force_voltage nl in_a (Testbench.falling_input tech ~t0:20e-12 ~slew:100e-12);
+  Netlist.force_voltage nl in_v (fun _ -> tech.Tech.vdd);
+  let out_a = Netlist.node nl "out_a" and out_v = Netlist.node nl "out_v" in
+  let inv = Inverter.make tech ~size in
+  Inverter.add nl inv ~vdd_node ~input:in_a ~output:out_a;
+  Inverter.add nl inv ~vdd_node ~input:in_v ~output:out_v;
+  let built =
+    Coupled_ladder.build ~n_segments:100 nl line ~k ~cc_total ~near_a:out_a ~near_b:out_v
+  in
+  Netlist.capacitor nl built.Coupled_ladder.far_a Netlist.ground 20e-15;
+  Netlist.capacitor nl built.Coupled_ladder.far_b Netlist.ground 20e-15;
+  let r = Engine.transient ~dt:0.5e-12 ~t_stop:1.5e-9 nl in
+  let victim = Engine.voltage r built.Coupled_ladder.far_b in
+  (Waveform.v_max victim, Waveform.v_min victim)
+
+let () =
+  Format.printf "coupled 5 mm bus bits, 75X drivers, victim held low@.@.";
+  Format.printf "%28s %14s %14s@." "coupling mix" "peak (mV)" "dip (mV)";
+  List.iter
+    (fun (label, k, cc) ->
+      let peak, dip = run ~k ~cc_total:cc ~size:75. in
+      Format.printf "%28s %14.0f %14.0f@." label (peak /. 1e-3) (dip /. 1e-3))
+    [
+      ("capacitive only (Cc=300fF)", 0.0, 0.3e-12);
+      ("inductive only (k=0.5)", 0.5, 0.);
+      ("mixed (k=0.5, Cc=300fF)", 0.5, 0.3e-12);
+      ("light (k=0.2, Cc=100fF)", 0.2, 0.1e-12);
+    ];
+  Format.printf
+    "@.Inductive coupling flips the victim's far-end noise negative (forward@\n\
+     crosstalk ~ Cc/C - M/L); RC-only noise analysis would miss both the@\n\
+     polarity and part of the magnitude - the same physics that breaks@\n\
+     single-ramp driver models on these wires.@."

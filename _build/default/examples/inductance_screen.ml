@@ -1,0 +1,61 @@
+(* Screening a routed design's global nets.
+
+   A timing flow cannot afford the two-ramp machinery (or worse, SPICE) on
+   every net; the paper's Eq. 9 screen — with the refinement that the
+   *driver output* initial ramp is compared to the time of flight — decides
+   cheaply which nets need it.  This example screens a synthetic population
+   of global nets and reports how the inductive set concentrates in long,
+   wide, strongly driven wires (the paper's Section 6 observation).
+
+   Run with:  dune exec examples/inductance_screen.exe *)
+open Rlc_ceff
+
+let tech = Rlc_devices.Tech.c018
+
+(* A deterministic pseudo-random net population (no RNG dependence so the
+   example output is reproducible). *)
+let nets =
+  let golden = 0.618033988749895 in
+  List.init 120 (fun i ->
+      let u k = Float.rem ((float_of_int (i + 1) *. golden *. float_of_int k) +. 0.137) 1. in
+      let length_mm = 1. +. (6. *. u 1) in
+      let width_um = 0.8 +. (2.7 *. u 2) in
+      let size = [| 25.; 50.; 75.; 100.; 125. |].(i mod 5) in
+      let slew_ps = 50. +. (150. *. u 3) in
+      (length_mm, width_um, size, slew_ps))
+
+let () =
+  let screened =
+    List.map
+      (fun (length_mm, width_um, size, slew_ps) ->
+        let geom = Rlc_parasitics.Extract.geometry ~length_mm ~width_um in
+        let line = Rlc_parasitics.Extract.line_of geom in
+        let cell = Rlc_liberty.Characterize.cell tech ~size in
+        let m =
+          Driver_model.model ~cell ~edge:Rlc_waveform.Measure.Rising
+            ~input_slew:(Rlc_num.Units.ps slew_ps) ~line ~cl:20e-15 ()
+        in
+        ((length_mm, width_um, size, slew_ps), m.Driver_model.screen))
+      nets
+  in
+  let inductive = List.filter (fun (_, s) -> s.Screen.significant) screened in
+  Format.printf "screened %d global nets: %d inductive (%.0f%%)@.@." (List.length screened)
+    (List.length inductive)
+    (100. *. float_of_int (List.length inductive) /. float_of_int (List.length screened));
+  let avg sel l =
+    List.fold_left (fun acc (p, _) -> acc +. sel p) 0. l /. float_of_int (List.length l)
+  in
+  let sel_len (l, _, _, _) = l and sel_wid (_, w, _, _) = w and sel_size (_, _, s, _) = s in
+  let rc = List.filter (fun (_, s) -> not s.Screen.significant) screened in
+  Format.printf "%12s %12s %12s %12s@." "" "avg len(mm)" "avg wid(um)" "avg driver(X)";
+  Format.printf "%12s %12.2f %12.2f %12.0f@." "inductive" (avg sel_len inductive)
+    (avg sel_wid inductive) (avg sel_size inductive);
+  Format.printf "%12s %12.2f %12.2f %12.0f@." "RC-like" (avg sel_len rc) (avg sel_wid rc)
+    (avg sel_size rc);
+  (* Why each RC-like net was rejected. *)
+  let count f = List.length (List.filter (fun (_, s) -> f s) rc) in
+  Format.printf "@.rejection reasons (RC-like nets may fail several):@.";
+  Format.printf "  weak driver (Rs >= Z0)      : %d@." (count (fun s -> not s.Screen.rs_ok));
+  Format.printf "  slow output edge (Tr1>=2tf) : %d@." (count (fun s -> not s.Screen.tr_ok));
+  Format.printf "  lossy line (Rl > 2 Z0)      : %d@." (count (fun s -> not s.Screen.rl_ok));
+  Format.printf "  heavy far-end load          : %d@." (count (fun s -> not s.Screen.cl_ok))

@@ -1,0 +1,57 @@
+(* Repeater insertion on a 12 mm global route.
+
+   The classic use of a driver-output model inside an optimization loop:
+   evaluate candidate (repeater count, repeater size) configurations with
+   table-driven timing — no transistor simulation per candidate — and pick
+   the fastest.  Inductance makes this interesting: fewer, stronger
+   repeaters push each segment into the transmission-line regime where the
+   two-ramp model (not a single Ceff) is what keeps the timing honest.
+
+   Run with:  dune exec examples/repeater_insertion.exe *)
+open Rlc_sta
+
+let route_mm = 12.
+let width_um = 1.6
+let sink_cl = 25e-15
+let input_slew = Rlc_num.Units.ps 100.
+
+let segment n_stages =
+  Rlc_parasitics.Extract.line_of
+    (Rlc_parasitics.Extract.geometry ~length_mm:(route_mm /. float_of_int n_stages) ~width_um)
+
+let () =
+  Format.printf "route: %.0f mm x %.1f um, sink load %.0f fF@.@." route_mm width_um
+    (Rlc_num.Units.in_ff sink_cl);
+  Format.printf "%8s %8s %12s %14s %s@." "stages" "size" "delay (ps)" "slew out (ps)" "regime";
+  let best = ref None in
+  List.iter
+    (fun n_stages ->
+      List.iter
+        (fun size ->
+          let stages = List.init n_stages (fun _ -> { Sta.size; line = segment n_stages }) in
+          match Sta.analyze ~dt:1e-12 ~input_slew ~sink_cl stages with
+          | result ->
+              let last = List.nth result.Sta.stages (n_stages - 1) in
+              let inductive_stages =
+                List.length
+                  (List.filter
+                     (fun s ->
+                       s.Sta.model.Rlc_ceff.Driver_model.screen.Rlc_ceff.Screen.significant)
+                     result.Sta.stages)
+              in
+              Format.printf "%8d %7.0fX %12.1f %14.1f %d/%d inductive@." n_stages size
+                (Rlc_num.Units.in_ps result.Sta.total_delay)
+                (Rlc_num.Units.in_ps last.Sta.far_slew)
+                inductive_stages n_stages;
+              (match !best with
+              | Some (d, _, _) when d <= result.Sta.total_delay -> ()
+              | _ -> best := Some (result.Sta.total_delay, n_stages, size))
+          | exception e ->
+              Format.printf "%8d %7.0fX %12s (%s)@." n_stages size "-" (Printexc.to_string e))
+        [ 50.; 75.; 100.; 125. ])
+    [ 1; 2; 3; 4 ];
+  match !best with
+  | Some (delay, n, size) ->
+      Format.printf "@.best: %d x %.0fX repeaters -> %.1f ps end to end@." n size
+        (Rlc_num.Units.in_ps delay)
+  | None -> Format.printf "@.no feasible configuration found@."

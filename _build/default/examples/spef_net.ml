@@ -1,0 +1,89 @@
+(* Timing a net straight from extracted parasitics.
+
+   Production flows hand the timer a SPEF file, not wire geometry.  This
+   example parses an extracted RLC net (with a side branch to a second
+   receiver), builds its driving-point tree, fits the paper's rational
+   admittance (Eq. 3) from the tree moments, and runs the Ceff iteration
+   against a characterized driver — no geometry model involved.
+
+   Run with:  dune exec examples/spef_net.exe *)
+
+let spef_text =
+  {|*SPEF "IEEE 1481-1998"
+*DESIGN "spef_example"
+*T_UNIT 1 PS
+*C_UNIT 1 FF
+*R_UNIT 1 OHM
+*L_UNIT 1 PH
+
+// A 4 mm trunk (4 segments) with a 1 mm branch to a second receiver.
+*D_NET clk_spine 1105
+*CONN
+*P drv O
+*P rcv_a I
+*P rcv_b I
+*CAP
+1 t1 220
+2 t2 220
+3 t3 220
+4 rcv_a 240
+5 b1 205
+*RES
+1 drv t1 14.5
+2 t1 t2 14.5
+3 t2 t3 14.5
+4 t3 rcv_a 14.5
+5 t2 b1 22.0
+*INDUC
+1 drv t1 1030
+2 t1 t2 1030
+3 t2 t3 1030
+4 t3 rcv_a 1030
+5 t2 b1 1050
+*END
+|}
+
+let () =
+  let spef =
+    match Rlc_spef.Spef.parse spef_text with Ok t -> t | Error e -> failwith e
+  in
+  let net = Option.get (Rlc_spef.Spef.find_net spef "clk_spine") in
+  Format.printf "design %S, net %s: %d grounded caps, %d branches@." spef.Rlc_spef.Spef.design
+    net.Rlc_spef.Spef.net_name
+    (List.length net.Rlc_spef.Spef.caps)
+    (List.length net.Rlc_spef.Spef.branches);
+  let tree =
+    match Rlc_spef.Spef.to_tree net ~root:"drv" with Ok t -> t | Error e -> failwith e
+  in
+  Format.printf "tree: %d nodes, depth %d, total cap %.1f fF@."
+    (Rlc_moments.Tree.node_count tree) (Rlc_moments.Tree.depth tree)
+    (Rlc_num.Units.in_ff (Rlc_moments.Tree.total_cap tree));
+  let moments = Rlc_moments.Moments.driving_point ~order:5 tree in
+  let pade = Rlc_moments.Pade.fit moments in
+  Format.printf "admittance fit (Eq. 3): %a@." Rlc_moments.Pade.pp pade;
+
+  (* Ceff iteration against a characterized 75X driver, exactly as the flow
+     does for uniform lines. *)
+  let cell = Rlc_liberty.Characterize.cell Rlc_devices.Tech.c018 ~size:75. in
+  let input_slew = Rlc_num.Units.ps 100. in
+  let ctot = Rlc_moments.Pade.total_cap pade in
+  let iterate f =
+    let tr_of c =
+      Rlc_liberty.Table.ramp_time cell ~edge:Rlc_waveform.Measure.Rising ~slew:input_slew ~cap:c
+    in
+    let r =
+      Rlc_num.Rootfind.fixed_point_bracketed
+        (fun c -> Rlc_ceff.Ceff.first_ramp pade ~f ~tr:(tr_of c))
+        ~lo:(1e-4 *. ctot) ~hi:ctot ~init:ctot
+    in
+    (r.Rlc_num.Rootfind.value, tr_of r.Rlc_num.Rootfind.value)
+  in
+  List.iter
+    (fun f ->
+      let c, tr = iterate f in
+      Format.printf "  f = %.2f: Ceff = %.1f fF (%.0f%% of total) -> table ramp %.1f ps@." f
+        (Rlc_num.Units.in_ff c) (100. *. c /. ctot) (Rlc_num.Units.in_ps tr))
+    [ 0.5; 0.6; 1.0 ];
+  Format.printf
+    "@.Resistive/inductive shielding hides part of the branch-loaded tree from the@\n\
+     driver during the fast first ramp; the classic 100%%-charge Ceff sees most of it.@."

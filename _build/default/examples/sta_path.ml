@@ -1,0 +1,46 @@
+(* Static timing of a repeatered global route.
+
+   The "library compatible" payoff: a three-stage repeater chain across a
+   14 mm global route is timed entirely from NLDM tables + the one-/two-ramp
+   driver model + linear far-end replay — no transistor simulation in the
+   timing loop.  The result is then validated stage 0 against the
+   transistor-level reference.
+
+   Run with:  dune exec examples/sta_path.exe *)
+open Rlc_sta
+
+let line len_mm width_um =
+  Rlc_parasitics.Extract.line_of (Rlc_parasitics.Extract.geometry ~length_mm:len_mm ~width_um)
+
+let () =
+  let path =
+    [
+      { Sta.size = 75.; line = line 5. 1.6 };
+      { Sta.size = 100.; line = line 6. 2.0 };
+      { Sta.size = 75.; line = line 3. 1.2 };
+    ]
+  in
+  let result = Sta.analyze ~input_slew:(Rlc_num.Units.ps 80.) ~sink_cl:25e-15 path in
+  Format.printf "%a@." Sta.pp_path result;
+  (* Which stages needed the two-ramp treatment? *)
+  List.iteri
+    (fun i s ->
+      Format.printf "stage %d screen: %a@." i Rlc_ceff.Screen.pp
+        s.Sta.model.Rlc_ceff.Driver_model.screen)
+    result.Sta.stages;
+  (* Sanity: transistor-level reference for stage 0 (same load = stage 1's
+     input cap). *)
+  let cl1 =
+    Rlc_devices.Inverter.input_cap (Rlc_devices.Inverter.make Rlc_devices.Tech.c018 ~size:100.)
+  in
+  let ref_run =
+    Rlc_ceff.Reference.simulate ~dt:0.5e-12 ~tech:Rlc_devices.Tech.c018 ~size:75.
+      ~input_slew:(Rlc_num.Units.ps 80.) ~line:(line 5. 1.6) ~cl:cl1 ()
+  in
+  let s0 = List.hd result.Sta.stages in
+  Format.printf "@.stage 0 far-end check: STA %.1f ps vs transistor-level %.1f ps@."
+    (Rlc_num.Units.in_ps s0.Sta.stage_delay)
+    (Rlc_num.Units.in_ps (Rlc_ceff.Reference.far_delay ref_run));
+  Format.printf "quick estimate (no replay): %.1f ps@."
+    (Rlc_num.Units.in_ps
+       (Sta.estimate_far_delay s0.Sta.model ~line:(line 5. 1.6) ~cl:cl1))

@@ -1,0 +1,1 @@
+lib/circuit/engine.ml: Array Banded Float Int Linalg List Netlist Printf Rlc_num Rlc_waveform

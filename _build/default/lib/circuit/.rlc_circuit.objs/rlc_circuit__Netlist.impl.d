@@ -1,0 +1,1 @@
+lib/circuit/netlist.ml: Array Float Format List Option Printf

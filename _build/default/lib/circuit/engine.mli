@@ -1,0 +1,44 @@
+(** Transient and DC analysis.
+
+    Pure nodal formulation: reactive elements become conductance + history
+    current-source companion models (trapezoidal by default, backward Euler
+    available for damping comparisons), nonlinear devices are handled with
+    Newton iteration inside every timestep, and the linear solve uses a
+    banded factorization sized to the netlist's natural bandwidth (dense LU
+    fallback), so uniform-ladder transients cost O(nodes) per step. *)
+
+module Waveform = Rlc_waveform.Waveform
+
+type integration = Trapezoidal | Backward_euler
+
+type options = {
+  dt : float;  (** fixed timestep, seconds *)
+  t_stop : float;
+  integration : integration;
+  newton_tol : float;  (** max |dV| (volts) for Newton convergence *)
+  newton_max : int;
+  dv_limit : float;  (** per-iteration Newton voltage step clamp, volts *)
+}
+
+val default_options : dt:float -> t_stop:float -> options
+(** Trapezoidal, [newton_tol = 1e-9] V, [newton_max = 60],
+    [dv_limit = 0.5] V. *)
+
+type result
+
+val transient : ?options:options -> dt:float -> t_stop:float -> Netlist.t -> result
+(** Runs DC operating point at [t = 0] then steps to [t_stop].  Either pass
+    a full [options] record or just [dt]/[t_stop].  Raises [Failure] if
+    Newton fails to converge at any timestep. *)
+
+val times : result -> float array
+val voltage : result -> Netlist.node -> Waveform.t
+val voltage_at : result -> Netlist.node -> float -> float
+val newton_total : result -> int
+val newton_worst : result -> int
+val steps : result -> int
+
+val dc_operating_point : ?t:float -> Netlist.t -> float array
+(** Newton DC solution (capacitors open, inductors shorted through 1 mOhm)
+    with sources evaluated at time [t] (default 0).  Returns the voltage of
+    every node, indexed by node id. *)

@@ -1,0 +1,1 @@
+lib/core/ceff.ml: Cx Float List Poly Quadrature Rlc_moments Rlc_num

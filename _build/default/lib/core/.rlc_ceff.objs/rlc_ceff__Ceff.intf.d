@@ -1,0 +1,1 @@
+lib/core/ceff.mli: Rlc_moments Rlc_num

@@ -1,0 +1,1 @@
+lib/core/driver_model.ml: Ceff Float Format List Printf Rlc_liberty Rlc_moments Rlc_num Rlc_tline Rlc_waveform Screen

@@ -1,0 +1,1 @@
+lib/core/driver_model.mli: Format Rlc_liberty Rlc_moments Rlc_tline Rlc_waveform Screen

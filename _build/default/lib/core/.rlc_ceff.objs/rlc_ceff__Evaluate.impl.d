@@ -1,0 +1,1 @@
+lib/core/evaluate.ml: Driver_model Format Reference Rlc_devices Rlc_liberty Rlc_num Rlc_parasitics Rlc_tline Rlc_waveform Screen

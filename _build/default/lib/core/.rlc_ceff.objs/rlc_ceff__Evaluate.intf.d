@@ -1,0 +1,1 @@
+lib/core/evaluate.mli: Driver_model Format Reference Rlc_devices Rlc_tline

@@ -1,0 +1,1 @@
+lib/core/experiments.ml: Driver_model Evaluate Float List Printf Rlc_liberty Rlc_waveform Screen

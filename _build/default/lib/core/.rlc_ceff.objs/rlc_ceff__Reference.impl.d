@@ -1,0 +1,1 @@
+lib/core/reference.ml: Float List Rlc_circuit Rlc_devices Rlc_tline Rlc_waveform

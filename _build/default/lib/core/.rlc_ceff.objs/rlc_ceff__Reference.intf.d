@@ -1,0 +1,1 @@
+lib/core/reference.mli: Rlc_devices Rlc_tline Rlc_waveform

@@ -1,0 +1,1 @@
+lib/core/screen.ml: Format Rlc_tline

@@ -1,0 +1,1 @@
+lib/core/screen.mli: Format Rlc_tline

@@ -1,0 +1,176 @@
+open Rlc_num
+module Pade = Rlc_moments.Pade
+
+type poles =
+  | No_poles
+  | Single_pole of float
+  | Pole_pair of Cx.t * Cx.t
+
+exception Unstable_load of string
+
+let poles_of (p : Pade.t) =
+  if p.Pade.b2 = 0. then begin
+    if p.Pade.b1 = 0. then No_poles else Single_pole (-1. /. p.Pade.b1)
+  end
+  else begin
+    let s1, s2 = Poly.quadratic_roots ~a:p.Pade.b2 ~b:p.Pade.b1 ~c:1. in
+    let scale = Float.max (Cx.norm s1) (Cx.norm s2) in
+    if Cx.norm Cx.(s1 -: s2) < 1e-7 *. scale then
+      (* Nearly repeated pole: nudge apart so first-order residues apply. *)
+      Pole_pair (Cx.scale (1. +. 1e-7) s1, Cx.scale (1. -. 1e-7) s2)
+    else Pole_pair (s1, s2)
+  end
+
+let check_stable name poles =
+  let bad re = re > 0. in
+  match poles with
+  | No_poles -> ()
+  | Single_pole s -> if bad s then raise (Unstable_load name)
+  | Pole_pair (s1, s2) ->
+      if bad s1.Cx.re || bad s2.Cx.re then raise (Unstable_load name)
+
+let num_at (p : Pade.t) (s : Cx.t) =
+  let open Cx in
+  re p.Pade.a1 +: (re p.Pade.a2 *: s) +: (re p.Pade.a3 *: s *: s)
+
+let den'_at (p : Pade.t) (s : Cx.t) =
+  let open Cx in
+  re p.Pade.b1 +: (re (2. *. p.Pade.b2) *: s)
+
+let pole_list = function
+  | No_poles -> []
+  | Single_pole s -> [ Cx.re s ]
+  | Pole_pair (s1, s2) -> [ s1; s2 ]
+
+(* expm1 for complex arguments: e^z - 1, accurate for small |z|. *)
+let cexpm1 (z : Cx.t) =
+  if Cx.norm z < 1e-8 then Cx.(z +: scale 0.5 (z *: z)) else Cx.(exp z -: one)
+
+let validate_f_tr ~ctx ~f ~tr =
+  if not (f > 0. && f <= 1.) then invalid_arg (ctx ^ ": f must be in (0, 1]");
+  if tr <= 0. then invalid_arg (ctx ^ ": ramp time must be positive")
+
+(* Ceff over [0, f*tr] for the ramp V = vdd*t/tr:
+   Ceff = a1 + (1/(f*tr)) * sum_i num(s_i)/(s_i^2 den'(s_i)) (e^{s_i f tr} - 1). *)
+let first_ramp (p : Pade.t) ~f ~tr =
+  validate_f_tr ~ctx:"Ceff.first_ramp" ~f ~tr;
+  let poles = poles_of p in
+  check_stable "first_ramp" poles;
+  let acc =
+    List.fold_left
+      (fun acc s ->
+        let open Cx in
+        let term = num_at p s /: (s *: s *: den'_at p s) *: cexpm1 (scale (f *. tr) s) in
+        acc +: term)
+      Cx.zero (pole_list poles)
+  in
+  p.Pade.a1 +. (Cx.real_part_checked ~tol:1e-6 acc /. (f *. tr))
+
+(* Ceff over [f*tr1, f*tr1 + (1-f)*tr2] for the extended second ramp:
+   Ceff = a1 + (1/(1-f)) sum_i num(s_i) (1/(tr2 s_i) + k f) / (s_i den'(s_i))
+                         e^{s_i f tr1} (e^{s_i (1-f) tr2} - 1),  k = 1 - tr1/tr2. *)
+let second_ramp (p : Pade.t) ~f ~tr1 ~tr2 =
+  if not (f > 0. && f < 1.) then invalid_arg "Ceff.second_ramp: f must be in (0, 1)";
+  if tr1 <= 0. || tr2 <= 0. then invalid_arg "Ceff.second_ramp: ramp times must be positive";
+  let poles = poles_of p in
+  check_stable "second_ramp" poles;
+  let k = 1. -. (tr1 /. tr2) in
+  let acc =
+    List.fold_left
+      (fun acc s ->
+        let open Cx in
+        let weight = (inv (scale tr2 s) +: re (k *. f)) /: (s *: den'_at p s) in
+        let term =
+          num_at p s *: weight *: exp (scale (f *. tr1) s)
+          *: cexpm1 (scale ((1. -. f) *. tr2) s)
+        in
+        acc +: term)
+      Cx.zero (pole_list poles)
+  in
+  p.Pade.a1 +. (Cx.real_part_checked ~tol:1e-6 acc /. (1. -. f))
+
+(* Exact inverse-Laplace current drawn by the rational load from a ramp
+   source of slope vdd/tr (valid while the ramp is still rising). *)
+let ramp_current (p : Pade.t) ~vdd ~tr t =
+  let poles = poles_of p in
+  let transient =
+    List.fold_left
+      (fun acc s ->
+        let open Cx in
+        acc +: (num_at p s /: (s *: den'_at p s) *: exp (scale t s)))
+      Cx.zero (pole_list poles)
+  in
+  vdd /. tr *. (p.Pade.a1 +. Cx.real_part_checked ~tol:1e-5 transient)
+
+(* Current of the extended second-ramp waveform (slope vdd/tr2 plus the
+   breakpoint offset); same residue structure as [second_ramp]. *)
+let second_ramp_current (p : Pade.t) ~vdd ~f ~tr1 ~tr2 t =
+  let poles = poles_of p in
+  let k = 1. -. (tr1 /. tr2) in
+  let transient =
+    List.fold_left
+      (fun acc s ->
+        let open Cx in
+        acc +: (num_at p s *: (inv (scale tr2 s) +: re (k *. f)) /: den'_at p s *: exp (scale t s)))
+      Cx.zero (pole_list poles)
+  in
+  vdd *. ((p.Pade.a1 /. tr2) +. Cx.real_part_checked ~tol:1e-5 transient)
+
+let first_ramp_numeric (p : Pade.t) ~f ~tr =
+  validate_f_tr ~ctx:"Ceff.first_ramp_numeric" ~f ~tr;
+  check_stable "first_ramp_numeric" (poles_of p);
+  let q =
+    Quadrature.simpson_adaptive ~rel_tol:1e-12 (ramp_current p ~vdd:1. ~tr) ~a:0. ~b:(f *. tr)
+  in
+  q /. f
+
+let second_ramp_numeric (p : Pade.t) ~f ~tr1 ~tr2 =
+  if not (f > 0. && f < 1.) then invalid_arg "Ceff.second_ramp_numeric: f must be in (0, 1)";
+  if tr1 <= 0. || tr2 <= 0. then
+    invalid_arg "Ceff.second_ramp_numeric: ramp times must be positive";
+  check_stable "second_ramp_numeric" (poles_of p);
+  let t1 = f *. tr1 and t2 = (f *. tr1) +. ((1. -. f) *. tr2) in
+  let q =
+    Quadrature.simpson_adaptive ~rel_tol:1e-12
+      (second_ramp_current p ~vdd:1. ~f ~tr1 ~tr2)
+      ~a:t1 ~b:t2
+  in
+  q /. (1. -. f)
+
+(* --------------------------- paper's printed real-root forms ---------- *)
+
+let real_poles_exn ctx p =
+  match poles_of p with
+  | Pole_pair (s1, s2) when s1.Cx.im = 0. && s2.Cx.im = 0. -> (s1.Cx.re, s2.Cx.re)
+  | _ -> invalid_arg (ctx ^ ": the paper's Eq. 4/6 forms require two real poles")
+
+(* Eq. 4:
+   Ceff1 = a1 + (a1 + a2 s1 + a3 s1^2)/(Tr1 f b2 s1^2 (s1 - s2)) (e^{s1 f Tr1} - 1)
+             + (a1 + a2 s2 + a3 s2^2)/(Tr1 f b2 s2^2 (s2 - s1)) (e^{s2 f Tr1} - 1) *)
+let first_ramp_paper_real (p : Pade.t) ~f ~tr =
+  validate_f_tr ~ctx:"Ceff.first_ramp_paper_real" ~f ~tr;
+  let s1, s2 = real_poles_exn "first_ramp_paper_real" p in
+  let term s other =
+    (p.Pade.a1 +. (p.Pade.a2 *. s) +. (p.Pade.a3 *. s *. s))
+    /. (tr *. f *. p.Pade.b2 *. s *. s *. (s -. other))
+    *. (Float.exp (s *. f *. tr) -. 1.)
+  in
+  p.Pade.a1 +. term s1 s2 +. term s2 s1
+
+(* Eq. 6:
+   Ceff2 = a1 + A e^{s1 f Tr1} (e^{s1 (1-f) Tr2} - 1)
+              + B e^{s2 f Tr1} (e^{s2 (1-f) Tr2} - 1)
+   A = (a1 + a2 s1 + a3 s1^2)(1 + k f s1 Tr2) / ((1-f) b2 s1^2 (s1 - s2) Tr2) *)
+let second_ramp_paper_real (p : Pade.t) ~f ~tr1 ~tr2 =
+  if not (f > 0. && f < 1.) then invalid_arg "Ceff.second_ramp_paper_real: f in (0,1)";
+  let s1, s2 = real_poles_exn "second_ramp_paper_real" p in
+  let k = 1. -. (tr1 /. tr2) in
+  let coeff s other =
+    (p.Pade.a1 +. (p.Pade.a2 *. s) +. (p.Pade.a3 *. s *. s))
+    *. (1. +. (k *. f *. s *. tr2))
+    /. ((1. -. f) *. p.Pade.b2 *. s *. s *. (s -. other) *. tr2)
+  in
+  let term s other =
+    coeff s other *. Float.exp (s *. f *. tr1) *. (Float.exp (s *. (1. -. f) *. tr2) -. 1.)
+  in
+  p.Pade.a1 +. term s1 s2 +. term s2 s1

@@ -1,0 +1,61 @@
+(** Charge-based effective capacitances (paper Section 4, Eqs. 4–7).
+
+    Given the 3/2 Padé driving-point admittance
+    [Y(s) = (a1 s + a2 s² + a3 s³)/(1 + b1 s + b2 s²)], the effective
+    capacitance over a transition interval is defined by equating the charge
+    the rational load absorbs to the charge a single capacitor would absorb
+    over the same interval:
+
+    - {!first_ramp} integrates the current of the ramp [V = Vdd·t/tr] over
+      [\[0, f·tr\]] and divides by [f·Vdd].  With [f] = the Eq. 1 breakpoint
+      this is the paper's Ceff1; with [f = 1] it is the classic single-Ceff
+      (charge to 100 %); with [f = 0.5] the charge-to-50 % variant of
+      Figure 3.
+    - {!second_ramp} integrates the extended second-ramp waveform
+      [V = Vdd·t/tr2 + (1 - tr1/tr2)·f·Vdd] over
+      [\[f·tr1, f·tr1 + (1-f)·tr2\]] and divides by [(1-f)·Vdd] — the
+      paper's Ceff2.
+
+    Everything is evaluated in complex arithmetic over the poles of
+    [b2 s² + b1 s + 1], which covers the paper's separate real-root (Eqs. 4,
+    6) and imaginary-root (Eqs. 5, 7) cases in one code path; the printed
+    real-root forms are also implemented verbatim ({!first_ramp_paper_real},
+    {!second_ramp_paper_real}) and checked equal in the test suite.  [Vdd]
+    cancels throughout, so no supply argument appears. *)
+
+type poles =
+  | No_poles  (** pure capacitance: [b1 = b2 = 0] *)
+  | Single_pole of float  (** [b2 = 0], pole at [-1/b1] *)
+  | Pole_pair of Rlc_num.Cx.t * Rlc_num.Cx.t
+      (** roots of [b2 s² + b1 s + 1]; a nearly-repeated pair is split by a
+          relative [1e-7] nudge so the residue formulas stay finite *)
+
+val poles_of : Rlc_moments.Pade.t -> poles
+
+exception Unstable_load of string
+(** Raised when a fitted load has a right-half-plane pole: charge integrals
+    would diverge.  (Does not occur for physical RLC loads; guards against
+    corrupted moment input.) *)
+
+val first_ramp : Rlc_moments.Pade.t -> f:float -> tr:float -> float
+(** Requires [0 < f <= 1] and [tr > 0]. *)
+
+val second_ramp : Rlc_moments.Pade.t -> f:float -> tr1:float -> tr2:float -> float
+(** Requires [0 < f < 1], [tr1 > 0], [tr2 > 0]. *)
+
+val first_ramp_numeric : Rlc_moments.Pade.t -> f:float -> tr:float -> float
+(** Adaptive-quadrature evaluation of the same charge integral (oracle). *)
+
+val second_ramp_numeric : Rlc_moments.Pade.t -> f:float -> tr1:float -> tr2:float -> float
+
+val first_ramp_paper_real : Rlc_moments.Pade.t -> f:float -> tr:float -> float
+(** Eq. 4 exactly as printed; raises [Invalid_argument] unless both poles are
+    real. *)
+
+val second_ramp_paper_real : Rlc_moments.Pade.t -> f:float -> tr1:float -> tr2:float -> float
+(** Eq. 6 exactly as printed (real poles only). *)
+
+val ramp_current : Rlc_moments.Pade.t -> vdd:float -> tr:float -> float -> float
+(** [ramp_current pade ~vdd ~tr t]: the exact inverse-Laplace current drawn
+    from the ramp source by the rational load (used by oracles, figures and
+    tests). *)

@@ -1,0 +1,115 @@
+(** The paper's driver output model (Sections 3–5): the full modeling flow
+    from (cell table, line parasitics, load) to a one- or two-ramp output
+    waveform.
+
+    Flow (paper Section 5):
+    + fit the driving-point admittance moments (Eq. 3);
+    + fit the driver on-resistance from the characterized tables at total
+      capacitance and compute the breakpoint [f = Z0/(Z0 + Rs)] (Eq. 1);
+    + iterate Ceff1 against the cell table to convergence -> [Tr1]
+      (Eqs. 4/5);
+    + screen inductance significance (Eq. 9) using [Tr1];
+    + if significant: iterate Ceff2 -> [Tr2] (Eqs. 6/7), stretch it for the
+      plateau [Tr2' = Tr2 + (2 tf - Tr1)/(1 - f)] (Eq. 8), and emit the
+      two-ramp waveform; otherwise re-iterate a single Ceff with [f = 1] and
+      emit one ramp.
+
+    The model waveform lives on an absolute time axis whose origin is the
+    {e input} 50 % crossing; its 50 % crossing equals the table delay at the
+    governing effective capacitance, so delay and slew can be measured on it
+    exactly like on a simulated waveform. *)
+
+module Table = Rlc_liberty.Table
+module Line = Rlc_tline.Line
+module Pade = Rlc_moments.Pade
+module Pwl = Rlc_waveform.Pwl
+module Waveform = Rlc_waveform.Waveform
+
+type iteration = { value : float; ramp : float; iterations : int; converged : bool }
+(** One converged Ceff fixed point: the capacitance, its table ramp time,
+    and solver diagnostics. *)
+
+type plateau_mode =
+  | Stretch_tr2
+      (** Eq. 8: absorb the plateau by shifting where the second ramp
+          completes — the paper's recommended treatment ("works better when
+          the plateau smears out", the common case). *)
+  | Flat_step
+      (** the paper's alternative: insert an explicit flat step of duration
+          [2 tf - Tr1] between the two ramps (better when a clearly flat
+          plateau exists). *)
+
+type rc_tail = {
+  t_switch : float;  (** time (from ramp start) where the tail takes over *)
+  v_switch : float;  (** voltage at the tangency point *)
+  tau : float;  (** [Rs * Ctot] *)
+}
+(** The gate-resistor tail of Qian/Pullela/Pillage (the paper's reference
+    [11]), used when an RC-like load exhibits strong resistive shielding:
+    the one-ramp output follows the table ramp up to the tangency point and
+    then decays exponentially toward the supply with [tau = Rs Ctot]. *)
+
+type shape =
+  | One_ramp of { ceff : iteration; tail : rc_tail option }
+  | Two_ramp of {
+      ceff1 : iteration;
+      ceff2 : iteration;
+      tr2_new : float;  (** effective second ramp: Eq. 8 under
+          [Stretch_tr2], the raw converged [Tr2] under [Flat_step] *)
+      plateau : float;  (** [max 0 (2 tf - Tr1)] *)
+      plateau_mode : plateau_mode;
+    }
+
+type t = {
+  shape : shape;
+  f : float;  (** voltage breakpoint (Eq. 1); 1.0 for one-ramp outputs *)
+  rs : float;
+  z0 : float;
+  tf : float;
+  pade : Pade.t;
+  screen : Screen.verdict;
+  delay_50 : float;  (** input 50 % -> modeled output 50 % *)
+  vdd : float;
+  pwl : Pwl.t;  (** the output waveform; t = 0 is the input 50 % crossing *)
+}
+
+type mode =
+  | Auto  (** follow the Eq. 9 screen *)
+  | Force_two_ramp  (** used by benches to tabulate both models everywhere *)
+  | Force_one_ramp
+
+val model :
+  ?mode:mode ->
+  ?plateau:plateau_mode ->
+  ?rc_tail:bool ->
+  ?thresholds:Screen.thresholds ->
+  cell:Table.cell ->
+  edge:Rlc_waveform.Measure.edge ->
+  input_slew:float ->
+  line:Line.t ->
+  cl:float ->
+  unit ->
+  t
+(** [plateau] defaults to {!Stretch_tr2} (Eq. 8).  [rc_tail] (default
+    [false]) enables the gate-resistor exponential tail on one-ramp outputs
+    when the tangency point falls above 50 % of the swing. *)
+
+val single_ceff_variant : t -> cell:Table.cell -> edge:Rlc_waveform.Measure.edge ->
+  input_slew:float -> f:float -> iteration
+(** Re-run the single-Ceff iteration of an existing model at another charge
+    fraction ([f = 0.5] and [f = 1.0] reproduce the two curves of the
+    paper's Figure 3). *)
+
+val output_waveform : ?n:int -> ?t_end:float -> t -> Waveform.t
+(** Sample the model PWL (normalized rising 0 -> vdd). *)
+
+val model_delay : t -> float
+(** = [delay_50]. *)
+
+val model_slew_10_90 : t -> float
+(** Measured on the PWL geometry. *)
+
+val transition_end : t -> float
+(** Time (on the model axis) at which the waveform completes. *)
+
+val pp : Format.formatter -> t -> unit

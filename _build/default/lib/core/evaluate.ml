@@ -1,0 +1,123 @@
+module Line = Rlc_tline.Line
+module Measure = Rlc_waveform.Measure
+module Characterize = Rlc_liberty.Characterize
+module Inverter = Rlc_devices.Inverter
+
+type case = {
+  label : string;
+  tech : Rlc_devices.Tech.t;
+  size : float;
+  input_slew : float;
+  line : Line.t;
+  cl : float;
+}
+
+let case ?(tech = Rlc_devices.Tech.c018) ?cl ~label ~length_mm ~width_um ~size ~input_slew_ps
+    () =
+  let cl =
+    match cl with
+    | Some c -> c
+    | None -> Inverter.input_cap (Inverter.make tech ~size:10.)
+  in
+  let geom = Rlc_parasitics.Extract.geometry ~length_mm ~width_um in
+  {
+    label;
+    tech;
+    size;
+    input_slew = Rlc_num.Units.ps input_slew_ps;
+    line = Rlc_parasitics.Extract.line_of geom;
+    cl;
+  }
+
+type metrics = { delay : float; slew : float }
+
+type comparison = {
+  case_ : case;
+  reference : metrics;
+  auto_model : Driver_model.t;
+  auto : metrics;
+  two_ramp_model : Driver_model.t;
+  two_ramp : metrics;
+  two_ramp_flat_model : Driver_model.t;
+  two_ramp_flat : metrics;
+  one_ramp_model : Driver_model.t;
+  one_ramp : metrics;
+}
+
+let metrics_of_model m =
+  { delay = Driver_model.model_delay m; slew = Driver_model.model_slew_10_90 m }
+
+let run ?(dt = 0.5e-12) ?n_segments case =
+  let cell = Characterize.cell case.tech ~size:case.size in
+  let ref_run =
+    Reference.simulate ~dt ?n_segments ~tech:case.tech ~size:case.size
+      ~input_slew:case.input_slew ~line:case.line ~cl:case.cl ()
+  in
+  let reference = { delay = Reference.near_delay ref_run; slew = Reference.near_slew ref_run } in
+  let build ?plateau mode =
+    Driver_model.model ~mode ?plateau ~cell ~edge:Measure.Rising ~input_slew:case.input_slew
+      ~line:case.line ~cl:case.cl ()
+  in
+  let auto_model = build Driver_model.Auto in
+  let two_ramp_model = build Driver_model.Force_two_ramp in
+  let two_ramp_flat_model = build ~plateau:Driver_model.Flat_step Driver_model.Force_two_ramp in
+  let one_ramp_model = build Driver_model.Force_one_ramp in
+  {
+    case_ = case;
+    reference;
+    auto_model;
+    auto = metrics_of_model auto_model;
+    two_ramp_model;
+    two_ramp = metrics_of_model two_ramp_model;
+    two_ramp_flat_model;
+    two_ramp_flat = metrics_of_model two_ramp_flat_model;
+    one_ramp_model;
+    one_ramp = metrics_of_model one_ramp_model;
+  }
+
+let delay_err_pct c m = Measure.pct_error ~actual:c.reference.delay ~model:m.delay
+let slew_err_pct c m = Measure.pct_error ~actual:c.reference.slew ~model:m.slew
+
+type far_comparison = {
+  far_reference : metrics;
+  far_model : metrics;
+  near_model_wave : Reference.Waveform.t;
+  far_model_wave : Reference.Waveform.t;
+}
+
+let run_far ?(dt = 0.5e-12) ?n_segments case model =
+  let ref_run =
+    Reference.simulate ~dt ?n_segments ~tech:case.tech ~size:case.size
+      ~input_slew:case.input_slew ~line:case.line ~cl:case.cl ()
+  in
+  let far_reference = { delay = Reference.far_delay ref_run; slew = Reference.far_slew ref_run } in
+  let near_w, far_w =
+    Reference.replay_pwl ~dt ?n_segments ~pwl:model.Driver_model.pwl ~line:case.line ~cl:case.cl
+      ()
+  in
+  let vdd = case.tech.Rlc_devices.Tech.vdd in
+  (* Model axis: t = 0 is the input 50% crossing, so crossing times ARE
+     delays. *)
+  let far_delay = Measure.t_frac_exn far_w ~vdd ~edge:Measure.Rising ~frac:0.5 in
+  let far_slew =
+    match Measure.slew_10_90 far_w ~vdd ~edge:Measure.Rising with
+    | Some s -> s
+    | None -> invalid_arg "Evaluate.run_far: replayed far end incomplete"
+  in
+  {
+    far_reference;
+    far_model = { delay = far_delay; slew = far_slew };
+    near_model_wave = near_w;
+    far_model_wave = far_w;
+  }
+
+let pp_comparison fmt c =
+  let ps = Rlc_num.Units.in_ps in
+  Format.fprintf fmt
+    "%s: ref %.2f/%.1f ps; 2-ramp %.2f/%.1f ps (%+.1f%%/%+.1f%%); 1-ramp %.2f/%.1f ps \
+     (%+.1f%%/%+.1f%%)%s"
+    c.case_.label (ps c.reference.delay) (ps c.reference.slew) (ps c.two_ramp.delay)
+    (ps c.two_ramp.slew) (delay_err_pct c c.two_ramp) (slew_err_pct c c.two_ramp)
+    (ps c.one_ramp.delay) (ps c.one_ramp.slew) (delay_err_pct c c.one_ramp)
+    (slew_err_pct c c.one_ramp)
+    (if c.auto_model.Driver_model.screen.Screen.significant then " [inductive]" else " [RC]")

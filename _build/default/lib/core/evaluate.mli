@@ -1,0 +1,69 @@
+(** Model-vs-reference scoring for one experiment case.
+
+    Runs the transistor-level reference once, then the model in three modes —
+    Auto (screened), forced two-ramp, forced one-ramp — and reports delay and
+    10–90 slew for each, measured identically (DESIGN.md §4).  This is the
+    row generator behind Table 1 and Figure 7. *)
+
+module Line = Rlc_tline.Line
+
+type case = {
+  label : string;
+  tech : Rlc_devices.Tech.t;
+  size : float;  (** driver X multiplier *)
+  input_slew : float;  (** seconds *)
+  line : Line.t;
+  cl : float;  (** far-end load, farads *)
+}
+
+val case :
+  ?tech:Rlc_devices.Tech.t ->
+  ?cl:float ->
+  label:string ->
+  length_mm:float ->
+  width_um:float ->
+  size:float ->
+  input_slew_ps:float ->
+  unit ->
+  case
+(** Case from geometry via the parasitics substrate (paper-calibrated values
+    when the geometry is one the paper quotes).  Default [cl] is the input
+    capacitance of a 10X receiver; default technology {!Rlc_devices.Tech.c018}. *)
+
+type metrics = { delay : float; slew : float }
+
+type comparison = {
+  case_ : case;
+  reference : metrics;  (** transistor-level near-end measurement *)
+  auto_model : Driver_model.t;
+  auto : metrics;
+  two_ramp_model : Driver_model.t;
+  two_ramp : metrics;  (** Eq. 8 plateau stretch (the paper's default) *)
+  two_ramp_flat_model : Driver_model.t;
+  two_ramp_flat : metrics;
+      (** the paper's alternative plateau treatment: explicit flat step *)
+  one_ramp_model : Driver_model.t;
+  one_ramp : metrics;
+}
+
+val metrics_of_model : Driver_model.t -> metrics
+
+val run : ?dt:float -> ?n_segments:int -> case -> comparison
+(** [dt] defaults to 0.5 ps for sweep throughput (the paper-named figure
+    cases pass 0.25 ps explicitly). *)
+
+val delay_err_pct : comparison -> metrics -> float
+val slew_err_pct : comparison -> metrics -> float
+
+type far_comparison = {
+  far_reference : metrics;  (** far end of the transistor-level run *)
+  far_model : metrics;  (** far end of the model-PWL replay *)
+  near_model_wave : Reference.Waveform.t;
+  far_model_wave : Reference.Waveform.t;
+}
+
+val run_far : ?dt:float -> ?n_segments:int -> case -> Driver_model.t -> far_comparison
+(** Step 5 of the paper's flow: replace the driver by the modeled waveform
+    and compare far-end timing against the reference (Figure 6 right). *)
+
+val pp_comparison : Format.formatter -> comparison -> unit

@@ -1,0 +1,84 @@
+module Waveform = Rlc_waveform.Waveform
+module Measure = Rlc_waveform.Measure
+module Pwl = Rlc_waveform.Pwl
+module Line = Rlc_tline.Line
+module Ladder = Rlc_tline.Ladder
+module Netlist = Rlc_circuit.Netlist
+module Engine = Rlc_circuit.Engine
+module Testbench = Rlc_devices.Testbench
+
+type t = {
+  input : Waveform.t;
+  near : Waveform.t;
+  far : Waveform.t;
+  vdd : float;
+  t_in50 : float;
+}
+
+let default_t_stop ~t0 ~input_slew ~line =
+  t0 +. input_slew +. Float.max 2e-9 (20. *. Line.time_of_flight line)
+
+let simulate ?(dt = 0.25e-12) ?t_stop ?n_segments ~tech ~size ~input_slew ~line ~cl () =
+  let t0 = 30e-12 in
+  let t_stop =
+    match t_stop with Some t -> t | None -> default_t_stop ~t0 ~input_slew ~line
+  in
+  let far_ref = ref Netlist.ground in
+  let r =
+    Testbench.drive ~dt ~t_stop ~t0 ~edge:Testbench.Rise ~tech ~size ~input_slew
+      ~load:(fun nl node -> Ladder.attach_load ?n_segments line ~cl nl node far_ref)
+      ()
+  in
+  let far = Engine.voltage r.Testbench.engine !far_ref in
+  let vdd = tech.Rlc_devices.Tech.vdd in
+  let t_in50 =
+    Measure.t_frac_exn r.Testbench.input ~vdd ~edge:Measure.Falling ~frac:0.5
+  in
+  { input = r.Testbench.input; near = r.Testbench.output; far; vdd; t_in50 }
+
+let replay_pwl ?(dt = 0.25e-12) ?t_stop ?n_segments ~pwl ~line ~cl () =
+  (* Shift so the source starts after t = 0 (the engine's DC point must see
+     the quiescent low state). *)
+  let start = fst (List.hd (Pwl.points pwl)) in
+  let shift = 10e-12 -. start in
+  let pwl = Pwl.shift_time shift pwl in
+  let t_stop =
+    match t_stop with
+    | Some t -> t
+    | None -> Pwl.end_time pwl +. Float.max 1e-9 (10. *. Line.time_of_flight line)
+  in
+  let nl = Netlist.create () in
+  let near = Netlist.node nl "near" in
+  Netlist.force_voltage nl near (Pwl.eval pwl);
+  let far_ref = ref Netlist.ground in
+  Ladder.attach_load ?n_segments line ~cl nl near far_ref;
+  let r = Engine.transient ~dt ~t_stop nl in
+  (* Undo the shift: return waveforms on the caller's PWL time axis. *)
+  ( Waveform.shift_time (-.shift) (Engine.voltage r near),
+    Waveform.shift_time (-.shift) (Engine.voltage r !far_ref) )
+
+let near_delay t =
+  match
+    Measure.delay_50 ~input:t.input ~output:t.near ~vdd:t.vdd ~input_edge:Measure.Falling
+      ~output_edge:Measure.Rising
+  with
+  | Some d -> d
+  | None -> invalid_arg "Reference.near_delay: output never crossed 50%"
+
+let near_slew t =
+  match Measure.slew_10_90 t.near ~vdd:t.vdd ~edge:Measure.Rising with
+  | Some s -> s
+  | None -> invalid_arg "Reference.near_slew: output incomplete"
+
+let far_delay t =
+  match
+    Measure.delay_50 ~input:t.input ~output:t.far ~vdd:t.vdd ~input_edge:Measure.Falling
+      ~output_edge:Measure.Rising
+  with
+  | Some d -> d
+  | None -> invalid_arg "Reference.far_delay: far end never crossed 50%"
+
+let far_slew t =
+  match Measure.slew_10_90 t.far ~vdd:t.vdd ~edge:Measure.Rising with
+  | Some s -> s
+  | None -> invalid_arg "Reference.far_slew: far end incomplete"

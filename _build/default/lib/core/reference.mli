@@ -1,0 +1,59 @@
+(** Reference ("HSPICE substitute") simulations.
+
+    Two circuits back every experiment:
+    - {!simulate}: transistor-level inverter driving the discretized line —
+      the ground truth the model is scored against;
+    - {!replay_pwl}: the modeled one-/two-ramp waveform as an ideal source
+      driving the same line — step 5 of the paper's flow, used to validate
+      the far-end response of the model (Figure 6 right). *)
+
+module Waveform = Rlc_waveform.Waveform
+module Line = Rlc_tline.Line
+
+type t = {
+  input : Waveform.t;
+  near : Waveform.t;  (** driver output = line driving point *)
+  far : Waveform.t;
+  vdd : float;
+  t_in50 : float;  (** absolute time of the input 50 % crossing *)
+}
+
+val simulate :
+  ?dt:float ->
+  ?t_stop:float ->
+  ?n_segments:int ->
+  tech:Rlc_devices.Tech.t ->
+  size:float ->
+  input_slew:float ->
+  line:Line.t ->
+  cl:float ->
+  unit ->
+  t
+(** Rising-output bench: falling input ramp, inverter of the given size,
+    ladder, load cap.  Defaults: [dt = 0.25 ps],
+    [t_stop = 30 ps + slew + max(2 ns, 20 tf)]. *)
+
+val replay_pwl :
+  ?dt:float ->
+  ?t_stop:float ->
+  ?n_segments:int ->
+  pwl:Rlc_waveform.Pwl.t ->
+  line:Line.t ->
+  cl:float ->
+  unit ->
+  Waveform.t * Waveform.t
+(** [(near, far)] for the ideal-source replay, on the {e same time axis as
+    the input PWL} (for a {!Driver_model} waveform: t = 0 at the input 50 %
+    crossing), so model far-end measurements compare directly against
+    {!far_delay} of a transistor-level run. *)
+
+(* Measurements (conventions of DESIGN.md §4, all on the rising edge). *)
+
+val near_delay : t -> float
+(** Input 50 % -> driver output 50 %. *)
+
+val near_slew : t -> float
+(** 10–90 at the driver output. *)
+
+val far_delay : t -> float
+val far_slew : t -> float

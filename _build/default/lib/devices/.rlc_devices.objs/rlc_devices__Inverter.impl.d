@@ -1,0 +1,1 @@
+lib/devices/inverter.ml: Format Mosfet Netlist Printf Rlc_circuit Rlc_num Tech

@@ -1,0 +1,1 @@
+lib/devices/inverter.mli: Format Rlc_circuit Tech

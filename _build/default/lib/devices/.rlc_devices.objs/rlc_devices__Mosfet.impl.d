@@ -1,0 +1,1 @@
+lib/devices/mosfet.ml: Array Rlc_circuit Tech

@@ -1,0 +1,1 @@
+lib/devices/mosfet.mli: Rlc_circuit Tech

@@ -1,0 +1,1 @@
+lib/devices/tech.ml: Format

@@ -1,0 +1,1 @@
+lib/devices/testbench.ml: Inverter Rlc_circuit Rlc_waveform Tech

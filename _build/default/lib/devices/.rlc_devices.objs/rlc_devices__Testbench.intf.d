@@ -1,0 +1,1 @@
+lib/devices/testbench.mli: Rlc_circuit Rlc_waveform Tech

@@ -1,0 +1,33 @@
+type t = { tech : Tech.t; size : float }
+
+let make tech ~size =
+  if size <= 0. then invalid_arg "Inverter.make: size must be positive";
+  { tech; size }
+
+let tech t = t.tech
+let size t = t.size
+let wn_um t = t.size *. Rlc_num.Units.in_um t.tech.Tech.w_unit
+let wp_um t = 2. *. wn_um t
+let input_cap t = t.tech.Tech.cg_per_um *. (wn_um t +. wp_um t)
+let output_junction_cap t = t.tech.Tech.cd_per_um *. (wn_um t +. wp_um t)
+
+let add nl t ~vdd_node ~input ~output =
+  let open Rlc_circuit in
+  Netlist.nonlinear nl
+    (Mosfet.device t.tech.Tech.nmos ~polarity:Mosfet.Nmos ~w_um:(wn_um t) ~d:output ~g:input
+       ~s:Netlist.ground
+       ~name:(Printf.sprintf "MN_%gx" t.size));
+  Netlist.nonlinear nl
+    (Mosfet.device t.tech.Tech.pmos ~polarity:Mosfet.Pmos ~w_um:(wp_um t) ~d:output ~g:input
+       ~s:vdd_node
+       ~name:(Printf.sprintf "MP_%gx" t.size));
+  Netlist.capacitor nl ~name:(Printf.sprintf "Cj_%gx" t.size) output Netlist.ground
+    (output_junction_cap t)
+
+let add_receiver nl t node =
+  Rlc_circuit.Netlist.capacitor nl
+    ~name:(Printf.sprintf "Cg_%gx" t.size)
+    node Rlc_circuit.Netlist.ground (input_cap t)
+
+let pp fmt t =
+  Format.fprintf fmt "inv<%gX, Wn=%.2f um, Wp=%.2f um>" t.size (wn_um t) (wp_um t)

@@ -1,0 +1,35 @@
+(** Inverter drivers.
+
+    Sizes follow the paper's convention: an "NX" driver has an NMOS of width
+    [N * w_unit] (w_unit = 2 Lmin = 0.36 µm) and a PMOS twice as wide.  The
+    output node carries the summed drain-junction capacitance; receivers
+    present the summed gate capacitance. *)
+
+type t
+
+val make : Tech.t -> size:float -> t
+(** [size] is the X multiplier (25., 75., 100., ...). Must be positive. *)
+
+val tech : t -> Tech.t
+val size : t -> float
+val wn_um : t -> float
+val wp_um : t -> float
+
+val input_cap : t -> float
+(** Gate capacitance presented at the inverter input, farads. *)
+
+val output_junction_cap : t -> float
+(** Drain junction capacitance loading the inverter output, farads. *)
+
+val add :
+  Rlc_circuit.Netlist.t -> t ->
+  vdd_node:Rlc_circuit.Netlist.node ->
+  input:Rlc_circuit.Netlist.node ->
+  output:Rlc_circuit.Netlist.node -> unit
+(** Instantiate both devices plus the output junction capacitance. *)
+
+val add_receiver : Rlc_circuit.Netlist.t -> t -> Rlc_circuit.Netlist.node -> unit
+(** Attach only the gate-capacitance load of this inverter at a node — the
+    fan-out load [CL] of the paper's Eq. 9. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,74 @@
+type polarity = Nmos | Pmos
+
+type eval = { id : float; g_dd : float; g_dg : float; g_ds : float }
+
+let gmin = 1e-9
+
+let nmos_ids (p : Tech.mosfet_params) ~w_um ~vgs ~vds =
+  let vgt = vgs -. p.vth in
+  if vgt <= 0. then (0., 0., 0.)
+  else begin
+    let vd0 = p.kv *. (vgt ** (p.alpha /. 2.)) in
+    let i0 = p.beta *. w_um *. (vgt ** p.alpha) in
+    let clm = 1. +. (p.lambda *. vds) in
+    if vds >= vd0 then begin
+      let id = i0 *. clm in
+      let gm = p.alpha *. i0 /. vgt *. clm in
+      let gds = i0 *. p.lambda in
+      (id, gm, gds)
+    end
+    else begin
+      let u = vds /. vd0 in
+      let f = u *. (2. -. u) in
+      let f' = 2. -. (2. *. u) in
+      let id = i0 *. clm *. f in
+      let gds = i0 *. ((p.lambda *. f) +. (clm *. f' /. vd0)) in
+      (* du/dvgs = -u * (alpha/2) / vgt because vd0 grows with vgt. *)
+      let gm = clm *. i0 /. vgt *. ((p.alpha *. f) -. (f' *. u *. p.alpha /. 2.)) in
+      (id, gm, gds)
+    end
+  end
+
+let eval_nmos p ~w_um ~vd ~vg ~vs =
+  if vd >= vs then begin
+    let id, gm, gds = nmos_ids p ~w_um ~vgs:(vg -. vs) ~vds:(vd -. vs) in
+    {
+      id = id +. (gmin *. (vd -. vs));
+      g_dd = gds +. gmin;
+      g_dg = gm;
+      g_ds = -.(gm +. gds) -. gmin;
+    }
+  end
+  else begin
+    (* Reverse conduction: the lower terminal acts as the source. *)
+    let id, gm, gds = nmos_ids p ~w_um ~vgs:(vg -. vd) ~vds:(vs -. vd) in
+    {
+      id = -.id +. (gmin *. (vd -. vs));
+      g_dd = gm +. gds +. gmin;
+      g_dg = -.gm;
+      g_ds = -.gds -. gmin;
+    }
+  end
+
+let eval_pmos p ~w_um ~vd ~vg ~vs =
+  (* Voltage mirroring: a PMOS at (vd, vg, vs) behaves as an NMOS at the
+     negated voltages with the channel current reversed; the chain rule
+     through the negation leaves the conductances unchanged. *)
+  let m = eval_nmos p ~w_um ~vd:(-.vd) ~vg:(-.vg) ~vs:(-.vs) in
+  { id = -.m.id; g_dd = m.g_dd; g_dg = m.g_dg; g_ds = m.g_ds }
+
+let device p ~polarity ~w_um ~d ~g ~s ~name =
+  let eval = match polarity with Nmos -> eval_nmos | Pmos -> eval_pmos in
+  {
+    Rlc_circuit.Netlist.nl_name = name;
+    nl_nodes = [| d; g; s |];
+    nl_eval =
+      (fun v ->
+        let e = eval p ~w_um ~vd:v.(0) ~vg:v.(1) ~vs:v.(2) in
+        ( [| e.id; 0.; -.e.id |],
+          [|
+            [| e.g_dd; e.g_dg; e.g_ds |];
+            [| 0.; 0.; 0. |];
+            [| -.e.g_dd; -.e.g_dg; -.e.g_ds |];
+          |] ));
+  }

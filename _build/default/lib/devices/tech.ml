@@ -1,0 +1,36 @@
+type mosfet_params = {
+  vth : float;
+  alpha : float;
+  beta : float;
+  kv : float;
+  lambda : float;
+}
+
+type t = {
+  name : string;
+  vdd : float;
+  lmin : float;
+  w_unit : float;
+  nmos : mosfet_params;
+  pmos : mosfet_params;
+  cg_per_um : float;
+  cd_per_um : float;
+}
+
+let c018 =
+  {
+    name = "synthetic-0.18um-1.8V";
+    vdd = 1.8;
+    lmin = 0.18e-6;
+    w_unit = 0.36e-6;
+    nmos = { vth = 0.45; alpha = 1.3; beta = 3.2e-4; kv = 0.65; lambda = 0.05 };
+    (* PMOS at half the per-µm drive: the paper's inverters use Wp = 2 Wn,
+       which then balances rise and fall strength. *)
+    pmos = { vth = 0.45; alpha = 1.3; beta = 1.6e-4; kv = 0.65; lambda = 0.05 };
+    cg_per_um = 1.6e-15;
+    cd_per_um = 1.0e-15;
+  }
+
+let pp fmt t =
+  Format.fprintf fmt "tech<%s, vdd=%.2f V, lmin=%g m, beta_n=%g A/um>" t.name t.vdd t.lmin
+    t.nmos.beta

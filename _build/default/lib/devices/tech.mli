@@ -1,0 +1,34 @@
+(** Technology description.
+
+    The paper characterizes drivers in a commercial 1.8 V / 0.18 µm CMOS
+    process.  That library is proprietary, so this module carries an
+    equivalent synthetic technology: Sakurai–Newton alpha-power-law device
+    parameters chosen so that the paper's driver-size regimes are preserved —
+    a 75X inverter's fitted output resistance is comparable to the
+    characteristic impedance of the paper's global wires (≈ 50–70 Ω), making
+    75X-and-up drivers inductively significant while 25X stays RC-like
+    (DESIGN.md §2 records the substitution). *)
+
+type mosfet_params = {
+  vth : float;  (** threshold voltage, V (positive for both polarities) *)
+  alpha : float;  (** velocity-saturation exponent *)
+  beta : float;  (** drive strength, A/µm of width at (Vgs - Vth) = 1 V *)
+  kv : float;  (** saturation-voltage coefficient: Vdsat = kv (Vgs-Vth)^(α/2) *)
+  lambda : float;  (** channel-length modulation, 1/V *)
+}
+
+type t = {
+  name : string;
+  vdd : float;
+  lmin : float;  (** drawn channel length, metres *)
+  w_unit : float;  (** minimum device width (= 2 Lmin per the paper), metres *)
+  nmos : mosfet_params;
+  pmos : mosfet_params;
+  cg_per_um : float;  (** gate input capacitance, F per µm of width *)
+  cd_per_um : float;  (** drain junction capacitance, F per µm of width *)
+}
+
+val c018 : t
+(** The default 0.18 µm, 1.8 V technology used by every experiment. *)
+
+val pp : Format.formatter -> t -> unit

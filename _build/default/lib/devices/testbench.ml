@@ -1,0 +1,55 @@
+module Netlist = Rlc_circuit.Netlist
+module Engine = Rlc_circuit.Engine
+module Waveform = Rlc_waveform.Waveform
+
+type result = {
+  input : Waveform.t;
+  output : Waveform.t;
+  engine : Engine.result;
+  out_node : Netlist.node;
+  vdd_node : Netlist.node;
+}
+
+let falling_input (tech : Tech.t) ~t0 ~slew t =
+  if t <= t0 then tech.vdd
+  else if t >= t0 +. slew then 0.
+  else tech.vdd *. (1. -. ((t -. t0) /. slew))
+
+let rising_input (tech : Tech.t) ~t0 ~slew t =
+  if t <= t0 then 0.
+  else if t >= t0 +. slew then tech.vdd
+  else tech.vdd *. (t -. t0) /. slew
+
+type edge = Rise | Fall
+
+let cap_load farads nl node =
+  if farads > 0. then Netlist.capacitor nl ~name:"Cload" node Netlist.ground farads
+
+let drive ?(dt = 0.25e-12) ?t_stop ?(t0 = 10e-12) ?(edge = Rise) ~tech ~size ~input_slew ~load ()
+    =
+  if input_slew <= 0. then invalid_arg "Testbench.drive: input_slew must be positive";
+  let t_stop =
+    match t_stop with Some t -> t | None -> t0 +. (4. *. input_slew) +. 1e-9
+  in
+  let nl = Netlist.create () in
+  let vdd_node = Netlist.node nl "vdd" in
+  Netlist.force_voltage nl vdd_node (fun _ -> tech.Tech.vdd);
+  let input = Netlist.node nl "in" in
+  let input_fn =
+    match edge with
+    | Rise -> falling_input tech ~t0 ~slew:input_slew
+    | Fall -> rising_input tech ~t0 ~slew:input_slew
+  in
+  Netlist.force_voltage nl input input_fn;
+  let output = Netlist.node nl "out" in
+  let inv = Inverter.make tech ~size in
+  Inverter.add nl inv ~vdd_node ~input ~output;
+  load nl output;
+  let engine = Engine.transient ~dt ~t_stop nl in
+  {
+    input = Engine.voltage engine input;
+    output = Engine.voltage engine output;
+    engine;
+    out_node = output;
+    vdd_node;
+  }

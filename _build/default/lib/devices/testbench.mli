@@ -1,0 +1,49 @@
+(** Driver test benches.
+
+    One helper builds the circuit every experiment shares — ramp input,
+    inverter, arbitrary load — and runs the transient.  The cell
+    characterization runner, the reference ("HSPICE substitute") waveforms,
+    and the device-level tests all go through here so they agree on bias
+    conventions: a {e rising} driver output is produced by a {e falling}
+    input ramp of the given 0–100 % transition time. *)
+
+module Netlist = Rlc_circuit.Netlist
+module Waveform = Rlc_waveform.Waveform
+
+type result = {
+  input : Waveform.t;
+  output : Waveform.t;
+  engine : Rlc_circuit.Engine.result;
+  out_node : Netlist.node;
+  vdd_node : Netlist.node;
+}
+
+val falling_input : Tech.t -> t0:float -> slew:float -> float -> float
+(** [falling_input tech ~t0 ~slew t]: holds at [vdd] until [t0], then ramps
+    linearly to 0 over [slew] seconds.  Drives a rising output edge. *)
+
+val rising_input : Tech.t -> t0:float -> slew:float -> float -> float
+
+type edge = Rise | Fall
+(** Direction of the {e driver output} transition. *)
+
+val drive :
+  ?dt:float ->
+  ?t_stop:float ->
+  ?t0:float ->
+  ?edge:edge ->
+  tech:Tech.t ->
+  size:float ->
+  input_slew:float ->
+  load:(Netlist.t -> Netlist.node -> unit) ->
+  unit ->
+  result
+(** Build [input ramp -> inverter -> load] and simulate.  Defaults:
+    [dt = 0.25 ps], [t0 = 10 ps], [edge = Rise],
+    [t_stop = t0 + 4 * input_slew + 1 ns].  The [load] callback attaches
+    arbitrary elements to the driver output node (pure capacitance, RLC
+    ladder, ...); pass [fun _ _ -> ()] for an unloaded driver. *)
+
+val cap_load : float -> Netlist.t -> Netlist.node -> unit
+(** Ready-made pure-capacitance load (skipped entirely when the value is
+    non-positive, so 0 fF is a legal table index). *)

@@ -1,0 +1,1 @@
+lib/liberty/characterize.ml: Array Float Hashtbl Inverter Measure Printf Rlc_devices Rlc_num Rlc_waveform Table Tech Testbench

@@ -1,0 +1,1 @@
+lib/liberty/characterize.mli: Rlc_devices Table

@@ -1,0 +1,1 @@
+lib/liberty/liberty_ast.ml: Buffer List Printf String

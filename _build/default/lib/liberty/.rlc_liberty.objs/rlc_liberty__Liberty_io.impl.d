@@ -1,0 +1,1 @@
+lib/liberty/liberty_io.ml: Array Float Fun Liberty_ast List Printf Result Table

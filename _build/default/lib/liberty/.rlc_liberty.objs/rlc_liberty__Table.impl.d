@@ -1,0 +1,1 @@
+lib/liberty/table.ml: Array Float Format Interp Rlc_num Rlc_waveform

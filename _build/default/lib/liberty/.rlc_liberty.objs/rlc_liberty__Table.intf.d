@@ -1,0 +1,1 @@
+lib/liberty/table.mli: Format Rlc_waveform

@@ -1,0 +1,109 @@
+open Rlc_devices
+open Rlc_waveform
+
+type grid = { slews : float array; caps : float array }
+
+let default_grid =
+  let ps = Rlc_num.Units.ps and ff = Rlc_num.Units.ff in
+  {
+    slews = Array.map ps [| 20.; 50.; 75.; 100.; 150.; 200.; 300. |];
+    caps = Array.map ff [| 20.; 50.; 100.; 200.; 400.; 800.; 1600.; 3200. |];
+  }
+
+let characterize_point tech ~size ~edge ~input_slew ~cap =
+  let vdd = tech.Tech.vdd in
+  (* Conservative horizon: the input ramp plus several output time
+     constants of the weakest drivers into the largest loads. *)
+  let t0 = 10e-12 in
+  let t_stop = t0 +. (2. *. input_slew) +. Float.max 2e-9 (2000. *. cap) in
+  let r =
+    Testbench.drive ~dt:0.5e-12 ~t_stop ~t0 ~edge ~tech ~size ~input_slew
+      ~load:(Testbench.cap_load cap) ()
+  in
+  let out_edge =
+    match edge with Testbench.Rise -> Measure.Rising | Testbench.Fall -> Measure.Falling
+  in
+  let in_edge =
+    match edge with Testbench.Rise -> Measure.Falling | Testbench.Fall -> Measure.Rising
+  in
+  let fail_point msg =
+    failwith
+      (Printf.sprintf "Characterize: %s (size=%g, slew=%g ps, cap=%g fF)" msg size
+         (Rlc_num.Units.in_ps input_slew) (Rlc_num.Units.in_ff cap))
+  in
+  let delay =
+    match
+      Measure.delay_50 ~input:r.Testbench.input ~output:r.Testbench.output ~vdd
+        ~input_edge:in_edge ~output_edge:out_edge
+    with
+    | Some d -> d
+    | None -> fail_point "no 50% crossing"
+  in
+  let slew_10_90 =
+    match Measure.slew_10_90 r.Testbench.output ~vdd ~edge:out_edge with
+    | Some s -> s
+    | None -> fail_point "output never completed 10-90"
+  in
+  let slew_20_80 =
+    match Measure.slew_20_80 r.Testbench.output ~vdd ~edge:out_edge with
+    | Some s -> s
+    | None -> fail_point "output never completed 20-80"
+  in
+  let tail_50_90 =
+    match Measure.slew r.Testbench.output ~vdd ~edge:out_edge ~lo:0.5 ~hi:0.9 with
+    | Some s -> s
+    | None -> fail_point "output never completed 50-90"
+  in
+  (delay, slew_10_90, slew_20_80, tail_50_90)
+
+let characterize_arc tech ~size ~edge grid =
+  let point i j =
+    characterize_point tech ~size ~edge ~input_slew:grid.slews.(i) ~cap:grid.caps.(j)
+  in
+  let n_s = Array.length grid.slews and n_c = Array.length grid.caps in
+  let delay = Array.make_matrix n_s n_c 0.
+  and s19 = Array.make_matrix n_s n_c 0.
+  and s28 = Array.make_matrix n_s n_c 0.
+  and t59 = Array.make_matrix n_s n_c 0. in
+  for i = 0 to n_s - 1 do
+    for j = 0 to n_c - 1 do
+      let d, a, b, t = point i j in
+      delay.(i).(j) <- d;
+      s19.(i).(j) <- a;
+      s28.(i).(j) <- b;
+      t59.(i).(j) <- t
+    done
+  done;
+  let lut values = Table.make_lut ~slews:grid.slews ~caps:grid.caps ~values in
+  {
+    Table.delay = lut delay;
+    slew_10_90 = lut s19;
+    slew_20_80 = lut s28;
+    tail_50_90 = lut t59;
+  }
+
+let cache : (string * float * int, Table.cell) Hashtbl.t = Hashtbl.create 16
+
+let clear_cache () = Hashtbl.reset cache
+
+let cell ?(grid = default_grid) tech ~size =
+  (* The grid participates in the key: characterizing the same cell on a
+     different grid must not return stale tables. *)
+  let key = (tech.Tech.name, size, Hashtbl.hash (grid.slews, grid.caps)) in
+  match Hashtbl.find_opt cache key with
+  | Some c -> c
+  | None ->
+      let rise = characterize_arc tech ~size ~edge:Testbench.Rise grid in
+      let fall = characterize_arc tech ~size ~edge:Testbench.Fall grid in
+      let c =
+        {
+          Table.name = Printf.sprintf "inv_%gx" size;
+          drive_size = size;
+          vdd = tech.Tech.vdd;
+          input_cap = Inverter.input_cap (Inverter.make tech ~size);
+          rise;
+          fall;
+        }
+      in
+      Hashtbl.replace cache key c;
+      c

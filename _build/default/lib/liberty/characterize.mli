@@ -1,0 +1,28 @@
+(** Cell characterization: generate NLDM tables with the circuit engine.
+
+    This plays the role of the foundry's SPICE characterization runs — each
+    grid point is one transient of (ramp input -> inverter -> pure
+    capacitance), measured with the shared {!Rlc_waveform.Measure}
+    conventions.  Results are memoized per (technology, size, grid) because
+    the effective-capacitance iterations hit the same cell repeatedly. *)
+
+type grid = {
+  slews : float array;  (** input transitions, seconds *)
+  caps : float array;  (** load capacitances, farads *)
+}
+
+val default_grid : grid
+(** 7 slews (20–300 ps) x 8 caps (20 fF – 3.2 pF), covering the paper's
+    sweep (input slews 50–200 ps, line caps 0.2–1.8 pF). *)
+
+val cell : ?grid:grid -> Rlc_devices.Tech.t -> size:float -> Table.cell
+(** Characterize both output arcs of an inverter of the given size.
+    Results are cached; repeated calls are free. *)
+
+val clear_cache : unit -> unit
+
+val characterize_point :
+  Rlc_devices.Tech.t -> size:float -> edge:Rlc_devices.Testbench.edge ->
+  input_slew:float -> cap:float -> float * float * float * float
+(** One grid point: [(delay_50, slew_10_90, slew_20_80, tail_50_90)].
+    Exposed so tests can compare table lookups against direct simulation. *)

@@ -1,0 +1,265 @@
+type value = Num of float | Str of string | Ident of string
+
+type statement =
+  | Attribute of string * value
+  | Complex of string * value list
+  | Group of group
+
+and group = { gname : string; gargs : value list; body : statement list }
+
+(* ------------------------------------------------------------- lexing *)
+
+type token = TIdent of string | TNum of float | TStr of string
+           | TLparen | TRparen | TLbrace | TRbrace | TColon | TSemi | TComma
+
+exception Parse_error of int * string
+
+let tokenize src =
+  let n = String.length src in
+  let line = ref 1 in
+  let tokens = ref [] in
+  let i = ref 0 in
+  let peek k = if !i + k < n then Some src.[!i + k] else None in
+  let is_ident_char c =
+    (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = '_'
+    || c = '.' || c = '!' || c = '*'
+  in
+  while !i < n do
+    let c = src.[!i] in
+    if c = '\n' then begin
+      incr line;
+      incr i
+    end
+    else if c = ' ' || c = '\t' || c = '\r' then incr i
+    else if c = '\\' && peek 1 = Some '\n' then begin
+      (* Line continuation. *)
+      incr line;
+      i := !i + 2
+    end
+    else if c = '/' && peek 1 = Some '*' then begin
+      i := !i + 2;
+      let closed = ref false in
+      while (not !closed) && !i < n do
+        if src.[!i] = '\n' then incr line;
+        if src.[!i] = '*' && peek 1 = Some '/' then begin
+          closed := true;
+          i := !i + 2
+        end
+        else incr i
+      done;
+      if not !closed then raise (Parse_error (!line, "unterminated comment"))
+    end
+    else if c = '/' && peek 1 = Some '/' then begin
+      while !i < n && src.[!i] <> '\n' do
+        incr i
+      done
+    end
+    else if c = '"' then begin
+      let start = !i + 1 in
+      incr i;
+      while !i < n && src.[!i] <> '"' do
+        if src.[!i] = '\n' then incr line;
+        incr i
+      done;
+      if !i >= n then raise (Parse_error (!line, "unterminated string"));
+      tokens := (TStr (String.sub src start (!i - start)), !line) :: !tokens;
+      incr i
+    end
+    else if c = '(' then (tokens := (TLparen, !line) :: !tokens; incr i)
+    else if c = ')' then (tokens := (TRparen, !line) :: !tokens; incr i)
+    else if c = '{' then (tokens := (TLbrace, !line) :: !tokens; incr i)
+    else if c = '}' then (tokens := (TRbrace, !line) :: !tokens; incr i)
+    else if c = ':' then (tokens := (TColon, !line) :: !tokens; incr i)
+    else if c = ';' then (tokens := (TSemi, !line) :: !tokens; incr i)
+    else if c = ',' then (tokens := (TComma, !line) :: !tokens; incr i)
+    else if (c >= '0' && c <= '9') || c = '-' || c = '+' then begin
+      let start = !i in
+      incr i;
+      while
+        !i < n
+        &&
+        let d = src.[!i] in
+        (d >= '0' && d <= '9') || d = '.' || d = 'e' || d = 'E'
+        || ((d = '-' || d = '+') && (src.[!i - 1] = 'e' || src.[!i - 1] = 'E'))
+      do
+        incr i
+      done;
+      let text = String.sub src start (!i - start) in
+      match float_of_string_opt text with
+      | Some f -> tokens := (TNum f, !line) :: !tokens
+      | None -> raise (Parse_error (!line, "bad number: " ^ text))
+    end
+    else if is_ident_char c then begin
+      let start = !i in
+      while !i < n && is_ident_char src.[!i] do
+        incr i
+      done;
+      tokens := (TIdent (String.sub src start (!i - start)), !line) :: !tokens
+    end
+    else raise (Parse_error (!line, Printf.sprintf "unexpected character %C" c))
+  done;
+  List.rev !tokens
+
+(* ------------------------------------------------------------ parsing *)
+
+type stream = { mutable toks : (token * int) list }
+
+let peek_tok s = match s.toks with [] -> None | (t, _) :: _ -> Some t
+let cur_line s = match s.toks with [] -> 0 | (_, l) :: _ -> l
+let advance s = match s.toks with [] -> () | _ :: rest -> s.toks <- rest
+
+let expect s tok msg =
+  match s.toks with
+  | (t, _) :: rest when t = tok -> s.toks <- rest
+  | _ -> raise (Parse_error (cur_line s, "expected " ^ msg))
+
+let parse_value s =
+  match s.toks with
+  | (TNum f, _) :: rest ->
+      s.toks <- rest;
+      Num f
+  | (TStr str, _) :: rest ->
+      s.toks <- rest;
+      Str str
+  | (TIdent id, _) :: rest ->
+      s.toks <- rest;
+      Ident id
+  | _ -> raise (Parse_error (cur_line s, "expected a value"))
+
+let parse_args s =
+  expect s TLparen "'('";
+  let rec go acc =
+    match peek_tok s with
+    | Some TRparen ->
+        advance s;
+        List.rev acc
+    | Some TComma ->
+        advance s;
+        go acc
+    | Some _ -> go (parse_value s :: acc)
+    | None -> raise (Parse_error (cur_line s, "unterminated argument list"))
+  in
+  go []
+
+let rec parse_group_body s gname gargs =
+  expect s TLbrace "'{'";
+  let rec go acc =
+    match peek_tok s with
+    | Some TRbrace ->
+        advance s;
+        List.rev acc
+    | Some (TIdent name) -> begin
+        advance s;
+        match peek_tok s with
+        | Some TColon ->
+            advance s;
+            let v = parse_value s in
+            expect s TSemi "';'";
+            go (Attribute (name, v) :: acc)
+        | Some TLparen -> begin
+            let args = parse_args s in
+            match peek_tok s with
+            | Some TLbrace ->
+                let body = parse_group_body s name args in
+                go (Group { gname = name; gargs = args; body } :: acc)
+            | Some TSemi ->
+                advance s;
+                go (Complex (name, args) :: acc)
+            | _ -> raise (Parse_error (cur_line s, "expected '{' or ';' after " ^ name))
+          end
+        | _ -> raise (Parse_error (cur_line s, "expected ':' or '(' after " ^ name))
+      end
+    | Some _ -> raise (Parse_error (cur_line s, "expected a statement"))
+    | None -> raise (Parse_error (cur_line s, "unterminated group " ^ gname))
+  in
+  ignore gargs;
+  go []
+
+let parse src =
+  match tokenize src with
+  | exception Parse_error (line, msg) -> Error (Printf.sprintf "line %d: %s" line msg)
+  | toks -> begin
+      let s = { toks } in
+      match peek_tok s with
+      | Some (TIdent name) -> begin
+          advance s;
+          match
+            let args = parse_args s in
+            let body = parse_group_body s name args in
+            { gname = name; gargs = args; body }
+          with
+          | g -> if s.toks = [] then Ok g else Error "trailing content after top-level group"
+          | exception Parse_error (line, msg) -> Error (Printf.sprintf "line %d: %s" line msg)
+        end
+      | _ -> Error "expected a top-level group"
+    end
+
+(* ----------------------------------------------------------- printing *)
+
+let string_of_value = function
+  | Num f -> Printf.sprintf "%.17g" f
+  | Str s -> Printf.sprintf "%S" s
+  | Ident id -> id
+
+let to_string g =
+  let buf = Buffer.create 4096 in
+  let indent d = Buffer.add_string buf (String.make (2 * d) ' ') in
+  let rec emit_group d g =
+    indent d;
+    Buffer.add_string buf g.gname;
+    Buffer.add_string buf " (";
+    Buffer.add_string buf (String.concat ", " (List.map string_of_value g.gargs));
+    Buffer.add_string buf ") {\n";
+    List.iter (emit_stmt (d + 1)) g.body;
+    indent d;
+    Buffer.add_string buf "}\n"
+  and emit_stmt d = function
+    | Attribute (name, v) ->
+        indent d;
+        Buffer.add_string buf (Printf.sprintf "%s : %s;\n" name (string_of_value v))
+    | Complex (name, args) ->
+        indent d;
+        Buffer.add_string buf
+          (Printf.sprintf "%s (%s);\n" name (String.concat ", " (List.map string_of_value args)))
+    | Group g -> emit_group d g
+  in
+  emit_group 0 g;
+  Buffer.contents buf
+
+(* ---------------------------------------------------------- accessors *)
+
+let find_groups g name =
+  List.filter_map (function Group sub when sub.gname = name -> Some sub | _ -> None) g.body
+
+let find_group g name = match find_groups g name with [] -> None | sub :: _ -> Some sub
+
+let find_attr g name =
+  List.find_map (function Attribute (n, v) when n = name -> Some v | _ -> None) g.body
+
+let find_complex g name =
+  List.find_map (function Complex (n, args) when n = name -> Some args | _ -> None) g.body
+
+let float_list_of_value = function
+  | Num f -> [ f ]
+  | Ident id -> (
+      match float_of_string_opt id with
+      | Some f -> [ f ]
+      | None -> invalid_arg ("Liberty_ast.float_list_of_value: " ^ id))
+  | Str s ->
+      String.split_on_char ','
+        (String.map (function ' ' | '\t' | '\n' -> ',' | c -> c) s)
+      |> List.filter_map (fun tok -> if tok = "" then None else Some (float_of_string tok))
+
+let value_of_float_list fs = Str (String.concat ", " (List.map (Printf.sprintf "%.17g") fs))
+
+let rec equal_group a b =
+  a.gname = b.gname && a.gargs = b.gargs
+  && List.length a.body = List.length b.body
+  && List.for_all2
+       (fun x y ->
+         match (x, y) with
+         | Attribute (n1, v1), Attribute (n2, v2) -> n1 = n2 && v1 = v2
+         | Complex (n1, a1), Complex (n2, a2) -> n1 = n2 && a1 = a2
+         | Group g1, Group g2 -> equal_group g1 g2
+         | _ -> false)
+       a.body b.body

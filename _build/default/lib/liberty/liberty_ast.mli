@@ -1,0 +1,41 @@
+(** Generic Liberty-format syntax: groups, simple and complex attributes.
+
+    Liberty files are nested groups [name (args) { statements }] whose
+    statements are simple attributes [name : value;], complex attributes
+    [name (arg, ...);], or sub-groups.  This module parses and prints that
+    generic shape; {!Liberty_io} maps it onto {!Table.cell}. *)
+
+type value =
+  | Num of float
+  | Str of string  (** was quoted in the source *)
+  | Ident of string
+
+type statement =
+  | Attribute of string * value
+  | Complex of string * value list
+  | Group of group
+
+and group = { gname : string; gargs : value list; body : statement list }
+
+val parse : string -> (group, string) result
+(** Parse one top-level group (e.g. [library(...) { ... }]).  Comments
+    ([/* */] and [//]) and line continuations ([\\] at end of line) are
+    handled.  Errors carry a line number. *)
+
+val to_string : group -> string
+(** Pretty-print with 2-space indentation; [parse (to_string g)] returns a
+    structurally equal group (round-trip property in the test suite). *)
+
+val find_groups : group -> string -> group list
+val find_group : group -> string -> group option
+val find_attr : group -> string -> value option
+val find_complex : group -> string -> value list option
+
+val float_list_of_value : value -> float list
+(** Liberty packs numeric vectors as quoted comma/space-separated strings
+    ("1.0, 2.0, 3.0"); this decodes either that or a bare [Num]. *)
+
+val value_of_float_list : float list -> value
+
+val equal_group : group -> group -> bool
+(** Structural equality with numeric tolerance 0 (exact round-trip). *)

@@ -1,0 +1,17 @@
+(** Map characterized cells to/from the Liberty subset.
+
+    The emitted library keeps SI units (seconds, farads) and adds two
+    non-standard lookup groups per arc — [*_transition_20_80] and
+    [*_tail_50_90] — carrying the auxiliary tables the driver-resistance fit
+    needs; standard consumers can ignore them.  [cells_of_library
+    (library_of_cells cs)] reproduces the cells exactly (round-trip property
+    in the test suite). *)
+
+val library_of_cells : name:string -> Table.cell list -> Liberty_ast.group
+val cell_to_group : Table.cell -> Liberty_ast.group
+
+val cells_of_library : Liberty_ast.group -> (Table.cell list, string) result
+val cell_of_group : Liberty_ast.group -> (Table.cell, string) result
+
+val save : path:string -> name:string -> Table.cell list -> unit
+val load : path:string -> (Table.cell list, string) result

@@ -1,0 +1,40 @@
+open Rlc_num
+
+type lut = { slews : float array; caps : float array; values : float array array }
+
+let make_lut ~slews ~caps ~values =
+  let g = Interp.make_grid2 ~xs:slews ~ys:caps ~values in
+  { slews = g.Interp.xs; caps = g.Interp.ys; values = g.Interp.values }
+
+let lut_lookup lut ~slew ~cap =
+  Interp.bilinear { Interp.xs = lut.slews; ys = lut.caps; values = lut.values } slew cap
+
+type timing = { delay : lut; slew_10_90 : lut; slew_20_80 : lut; tail_50_90 : lut }
+
+type cell = {
+  name : string;
+  drive_size : float;
+  vdd : float;
+  input_cap : float;
+  rise : timing;
+  fall : timing;
+}
+
+let arc cell ~(edge : Rlc_waveform.Measure.edge) =
+  match edge with Rlc_waveform.Measure.Rising -> cell.rise | Falling -> cell.fall
+
+let delay cell ~edge ~slew ~cap = lut_lookup (arc cell ~edge).delay ~slew ~cap
+let slew_10_90 cell ~edge ~slew ~cap = lut_lookup (arc cell ~edge).slew_10_90 ~slew ~cap
+let slew_20_80 cell ~edge ~slew ~cap = lut_lookup (arc cell ~edge).slew_20_80 ~slew ~cap
+let tail_50_90 cell ~edge ~slew ~cap = lut_lookup (arc cell ~edge).tail_50_90 ~slew ~cap
+
+let ramp_time cell ~edge ~slew ~cap = slew_10_90 cell ~edge ~slew ~cap /. 0.8
+
+let fitted_rs cell ~edge ~slew ~cap =
+  let tail = tail_50_90 cell ~edge ~slew ~cap in
+  tail /. (cap *. Float.log 5.)
+
+let pp_cell fmt c =
+  Format.fprintf fmt "cell<%s, %gX, vdd=%.2f V, %dx%d grid>" c.name c.drive_size c.vdd
+    (Array.length c.rise.delay.slews)
+    (Array.length c.rise.delay.caps)

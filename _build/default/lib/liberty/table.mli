@@ -1,0 +1,53 @@
+(** NLDM-style cell timing tables.
+
+    The paper's flow consumes exactly what a pre-characterized library
+    stores: 50 % delay and output transition versus (input slew, load
+    capacitance).  We additionally characterize the 20–80 transition and the
+    50 %→90 % tail time — the latter feeds the paper's driver on-resistance
+    fit (Section 5) without re-simulating.  Lookups are bilinear with edge
+    extrapolation, the standard STA behaviour. *)
+
+type lut = {
+  slews : float array;  (** input transition axis, seconds, increasing *)
+  caps : float array;  (** load capacitance axis, farads, increasing *)
+  values : float array array;  (** [values.(i_slew).(j_cap)], seconds *)
+}
+
+val make_lut : slews:float array -> caps:float array -> values:float array array -> lut
+val lut_lookup : lut -> slew:float -> cap:float -> float
+
+type timing = {
+  delay : lut;  (** input 50 % -> output 50 % *)
+  slew_10_90 : lut;
+  slew_20_80 : lut;
+  tail_50_90 : lut;  (** output 50 % -> output 90 % *)
+}
+
+type cell = {
+  name : string;
+  drive_size : float;  (** the X multiplier *)
+  vdd : float;
+  input_cap : float;  (** farads, for fan-out loading *)
+  rise : timing;  (** output-rising arc (input falling) *)
+  fall : timing;  (** output-falling arc (input rising) *)
+}
+
+val delay : cell -> edge:Rlc_waveform.Measure.edge -> slew:float -> cap:float -> float
+(** Output-edge selected arc; [edge] is the {e output} transition
+    direction. *)
+
+val slew_10_90 : cell -> edge:Rlc_waveform.Measure.edge -> slew:float -> cap:float -> float
+val slew_20_80 : cell -> edge:Rlc_waveform.Measure.edge -> slew:float -> cap:float -> float
+val tail_50_90 : cell -> edge:Rlc_waveform.Measure.edge -> slew:float -> cap:float -> float
+
+val ramp_time : cell -> edge:Rlc_waveform.Measure.edge -> slew:float -> cap:float -> float
+(** Full-swing saturated-ramp time equivalent to the 10–90 table entry
+    (divide by 0.8): this is the [Tr] the effective-capacitance iteration
+    exchanges with the tables. *)
+
+val fitted_rs : cell -> edge:Rlc_waveform.Measure.edge -> slew:float -> cap:float -> float
+(** The paper's driver on-resistance: fit [v(t) = vdd (1 - e^(-t/RsC))]
+    through the 50 % and 90 % points of the characterized output —
+    [Rs = tail_50_90 / (C ln 5)]. *)
+
+val pp_cell : Format.formatter -> cell -> unit

@@ -1,0 +1,1 @@
+lib/moments/awe.ml: Array Cx Float Format Int Linalg List Moments Pade Poly Polyroots Printf Rlc_num Rlc_tline String

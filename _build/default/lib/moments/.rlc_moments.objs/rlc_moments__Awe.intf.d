@@ -1,0 +1,1 @@
+lib/moments/awe.mli: Format Pade Rlc_num Rlc_tline Tree

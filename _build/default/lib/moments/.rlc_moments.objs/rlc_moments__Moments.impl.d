@@ -1,0 +1,1 @@
+lib/moments/moments.ml: Array List Rlc_tline Tree

@@ -1,0 +1,1 @@
+lib/moments/moments.mli: Rlc_tline Tree

@@ -1,0 +1,1 @@
+lib/moments/pade.ml: Array Cx Float Format Moments Poly Rlc_num Rlc_tline

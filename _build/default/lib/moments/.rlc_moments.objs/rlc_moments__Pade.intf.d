@@ -1,0 +1,1 @@
+lib/moments/pade.mli: Format Rlc_num Rlc_tline Tree

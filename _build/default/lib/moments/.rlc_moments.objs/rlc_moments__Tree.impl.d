@@ -1,0 +1,1 @@
+lib/moments/tree.ml: Int List Rlc_tline

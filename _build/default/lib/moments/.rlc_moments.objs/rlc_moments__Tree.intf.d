@@ -1,0 +1,1 @@
+lib/moments/tree.mli: Rlc_tline

@@ -1,0 +1,80 @@
+open Rlc_num
+
+type t = { num : float array; den : float array }
+
+let order t = Array.length t.den
+
+let fit ~q m =
+  if q < 1 then invalid_arg "Awe.fit: q must be >= 1";
+  if Array.length m < (2 * q) + 2 then
+    invalid_arg
+      (Printf.sprintf "Awe.fit: q = %d needs %d moments, got %d" q ((2 * q) + 2)
+         (Array.length m));
+  if Float.abs m.(0) > 1e-9 *. Float.abs m.(1) then
+    invalid_arg "Awe.fit: m0 must vanish for a capacitive load";
+  if m.(2) = 0. then invalid_arg "Awe.fit: pure capacitance has no order-q >= 1 fit";
+  (* Moments span ~20 orders of magnitude (m_k ~ m1 tau^{k-1}); normalize
+     with the load's time scale so the Hankel solve is well conditioned:
+     m'_k = m_k / (m1 tau^{k-1}) with tau = |m2/m1|. *)
+  let tau = Float.abs (m.(2) /. m.(1)) in
+  let ms = Array.mapi (fun k mk -> if k = 0 then 0. else mk /. (m.(1) *. (tau ** float_of_int (k - 1)))) m in
+  (* Denominator (scaled): for n = q+2 .. 2q+1, m'_n + sum_j b'_j m'_{n-j} = 0. *)
+  let mat = Array.init q (fun r -> Array.init q (fun c -> ms.(q + 1 + r - c))) in
+  let rhs = Array.init q (fun r -> -.ms.(q + 2 + r)) in
+  let b' = Linalg.solve mat rhs in
+  (* Numerator (scaled): a'_i = m'_i + sum_{j=1..min(q, i-1)} b'_j m'_{i-j}. *)
+  let num' =
+    Array.init (q + 1) (fun idx ->
+        let i = idx + 1 in
+        let acc = ref ms.(i) in
+        for j = 1 to Int.min q (i - 1) do
+          acc := !acc +. (b'.(j - 1) *. ms.(i - j))
+        done;
+        !acc)
+  in
+  (* Undo the scaling: b_j = b'_j tau^j, a_i = m1 a'_i tau^{i-1}. *)
+  let den = Array.mapi (fun j v -> v *. (tau ** float_of_int (j + 1))) b' in
+  let num = Array.mapi (fun idx v -> m.(1) *. v *. (tau ** float_of_int idx)) num' in
+  { num; den }
+
+let of_line ~q line ~cl =
+  fit ~q (Rlc_tline.Abcd.input_admittance_moments line ~cl ~order:((2 * q) + 1))
+
+let of_tree ~q tree = fit ~q (Moments.driving_point ~order:((2 * q) + 1) tree)
+
+let num_poly t = Poly.of_coeffs (Array.append [| 0. |] t.num)
+let den_poly t = Poly.of_coeffs (Array.append [| 1. |] t.den)
+
+let eval t s =
+  let open Cx in
+  Poly.eval_cx (num_poly t) s /: Poly.eval_cx (den_poly t) s
+
+let moments t ~order =
+  let num = Poly.coeffs (num_poly t) and den = Poly.coeffs (den_poly t) in
+  let get a k = if k < Array.length a then a.(k) else 0. in
+  let m = Array.make (order + 1) 0. in
+  for k = 0 to order do
+    let acc = ref (get num k) in
+    for j = 1 to k do
+      acc := !acc -. (get den j *. m.(k - j))
+    done;
+    m.(k) <- !acc
+  done;
+  m
+
+let poles t =
+  let d = den_poly t in
+  if Poly.degree d <= 3 then Poly.roots d else Polyroots.roots d
+
+let is_stable t = List.for_all (fun (p : Cx.t) -> p.Cx.re < 0.) (poles t)
+
+let to_pade t =
+  match (Array.length t.num, Array.length t.den) with
+  | 3, 2 -> { Pade.a1 = t.num.(0); a2 = t.num.(1); a3 = t.num.(2); b1 = t.den.(0); b2 = t.den.(1) }
+  | 2, 1 -> { Pade.a1 = t.num.(0); a2 = t.num.(1); a3 = 0.; b1 = t.den.(0); b2 = 0. }
+  | _ -> invalid_arg "Awe.to_pade: only q <= 2 maps onto the paper's Eq. 3 form"
+
+let pp fmt t =
+  Format.fprintf fmt "awe<q=%d, num=[%s], den=[1; %s]>" (order t)
+    (String.concat "; " (Array.to_list (Array.map (Printf.sprintf "%.3g") t.num)))
+    (String.concat "; " (Array.to_list (Array.map (Printf.sprintf "%.3g") t.den)))

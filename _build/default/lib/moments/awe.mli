@@ -1,0 +1,37 @@
+(** Order-q reduced driving-point admittances (asymptotic waveform
+    evaluation, the paper's reference [10]).
+
+    Generalizes the paper's fixed 3/2 fit (Eq. 3) to
+    [Y(s) = (a1 s + ... + a_{q+1} s^{q+1}) / (1 + b1 s + ... + b_q s^q)]
+    matched to the first [2q + 1] admittance moments.  The repo's model flow
+    keeps the paper's q = 2; this module quantifies what higher orders buy
+    (ablation E in the bench) and provides the pole/residue view used to
+    sanity-check fit stability. *)
+
+type t = {
+  num : float array;  (** a_1 .. a_{q+1} (the s^0 term is zero) *)
+  den : float array;  (** b_1 .. b_q (the constant term is 1) *)
+}
+
+val order : t -> int
+
+val fit : q:int -> float array -> t
+(** [fit ~q m] with [m = [| m0; m1; ... |]], requiring
+    [Array.length m >= 2q + 2] and negligible [m0].  Raises
+    [Invalid_argument] on insufficient moments or [Rlc_num.Linalg.Singular]
+    when the moment Hankel matrix degenerates (use a smaller [q]). *)
+
+val of_line : q:int -> Rlc_tline.Line.t -> cl:float -> t
+val of_tree : q:int -> Tree.t -> t
+
+val eval : t -> Rlc_num.Cx.t -> Rlc_num.Cx.t
+val moments : t -> order:int -> float array
+val poles : t -> Rlc_num.Cx.t list
+val is_stable : t -> bool
+
+val to_pade : t -> Pade.t
+(** Only for [q <= 2] (raises otherwise); lets q = 2 AWE results flow into
+    the paper's Ceff machinery and pins equivalence with {!Pade.fit} in the
+    tests. *)
+
+val pp : Format.formatter -> t -> unit

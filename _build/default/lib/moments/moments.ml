@@ -1,0 +1,76 @@
+(* Flattened tree representation for the moment recurrences. *)
+type flat = {
+  n : int;
+  parent : int array;  (* -1 for root *)
+  r : float array;  (* branch impedance from parent; 0 at root *)
+  l : float array;
+  cap : float array;
+  order_post : int array;  (* children before parents *)
+}
+
+let flatten tree =
+  let n = Tree.node_count tree in
+  let parent = Array.make n (-1)
+  and r = Array.make n 0.
+  and l = Array.make n 0.
+  and cap = Array.make n 0. in
+  let next = ref 0 in
+  (* Pre-order numbering: parents receive smaller indices than children, so a
+     reverse index scan is a valid post-order. *)
+  let rec go p_idx br_r br_l t =
+    let idx = !next in
+    incr next;
+    parent.(idx) <- p_idx;
+    r.(idx) <- br_r;
+    l.(idx) <- br_l;
+    cap.(idx) <- Tree.cap t;
+    List.iter (fun (cr, cl_, child) -> go idx cr cl_ child) (Tree.children t)
+  in
+  go (-1) 0. 0. tree;
+  { n; parent; r; l; cap; order_post = Array.init n (fun i -> n - 1 - i) }
+
+let driving_point ?(order = 5) tree =
+  if order < 0 then invalid_arg "Moments.driving_point: negative order";
+  let f = flatten tree in
+  let m = Array.make (order + 1) 0. in
+  (* v.(i): voltage moment of current order; i_br.(i): current moment of the
+     branch feeding node i (this order); i_prev: previous order's branch
+     current moments (needed for the L term). *)
+  let v = Array.make f.n 1. in
+  let i_br = Array.make f.n 0. in
+  let i_prev = Array.make f.n 0. in
+  for k = 1 to order do
+    (* m_k = sum C_i V_i^(k-1). *)
+    let mk = ref 0. in
+    for i = 0 to f.n - 1 do
+      mk := !mk +. (f.cap.(i) *. v.(i))
+    done;
+    m.(k) <- !mk;
+    (* Branch currents of order k: subtree sums of C_i V_i^(k-1). *)
+    let subtree = Array.make f.n 0. in
+    Array.iter
+      (fun i ->
+        subtree.(i) <- subtree.(i) +. (f.cap.(i) *. v.(i));
+        if f.parent.(i) >= 0 then subtree.(f.parent.(i)) <- subtree.(f.parent.(i)) +. subtree.(i))
+      f.order_post;
+    (* Voltage moments of order k, pre-order: root driven by V(s) = 1 has
+       zero moments beyond order 0. *)
+    for i = 0 to f.n - 1 do
+      let ik = subtree.(i) in
+      let drop = (f.r.(i) *. ik) +. (f.l.(i) *. i_prev.(i)) in
+      let vp = if f.parent.(i) < 0 then 0. else v.(f.parent.(i)) in
+      (* v is being overwritten in place pre-order: at this point v.(parent)
+         already holds the parent's order-k moment. *)
+      v.(i) <- (if f.parent.(i) < 0 then -.drop else vp -. drop);
+      i_br.(i) <- ik
+    done;
+    (* Root of the recurrence: the driven root keeps moment 0 for k >= 1. *)
+    v.(0) <- 0.;
+    Array.blit i_br 0 i_prev 0 f.n
+  done;
+  m
+
+let of_line_discretized ?(order = 5) ?n_segments line ~cl =
+  driving_point ~order (Tree.of_line ?n_segments line ~cl)
+
+let of_line ?(order = 5) line ~cl = Rlc_tline.Abcd.input_admittance_moments line ~cl ~order

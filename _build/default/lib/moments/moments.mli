@@ -1,0 +1,28 @@
+(** Driving-point admittance moments of RLC trees.
+
+    With the root driven by an ideal source [V(s) = 1], the input current is
+    [Y(s) = Σ_i s C_i V_i(s)], so the admittance moments follow from node
+    voltage moments computed by path tracing (the RICE recurrence extended
+    with inductance):
+
+    - order 0: [V_i = 1] everywhere, [m0 = 0];
+    - order k: branch current moments are subtree sums of [C_j V_j^(k-1)],
+      node voltage moments accumulate [-R I^(k) - L I^(k-1)] down every
+      branch, and [m_k = Σ_i C_i V_i^(k-1)].
+
+    Each additional order is one post-order plus one pre-order walk: O(n)
+    per moment. *)
+
+val driving_point : ?order:int -> Tree.t -> float array
+(** Moments [m0 .. m_order] (default [order = 5], the five the paper's 3/2
+    Padé fit consumes plus [m0]). *)
+
+val of_line : ?order:int -> Rlc_tline.Line.t -> cl:float -> float array
+(** Moments of a uniform line terminated by [cl].  Uses the exact
+    distributed (ABCD series) computation — no discretization error; the
+    chain-tree path is cross-checked against it in the test suite. *)
+
+val of_line_discretized :
+  ?order:int -> ?n_segments:int -> Rlc_tline.Line.t -> cl:float -> float array
+(** Same quantity through {!Tree.of_line} + {!driving_point}; exposed for the
+    convergence tests and as the only path for non-uniform chains. *)

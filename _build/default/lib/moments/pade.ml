@@ -1,0 +1,65 @@
+open Rlc_num
+
+type t = { a1 : float; a2 : float; a3 : float; b1 : float; b2 : float }
+
+let fit m =
+  if Array.length m < 6 then invalid_arg "Pade.fit: needs moments m0..m5";
+  let m0 = m.(0) and m1 = m.(1) and m2 = m.(2) and m3 = m.(3) and m4 = m.(4) and m5 = m.(5) in
+  if Float.abs m0 > 1e-9 *. Float.abs m1 then
+    invalid_arg "Pade.fit: m0 must vanish for a capacitive load";
+  let scale = Float.abs (m3 *. m3) +. Float.abs (m2 *. m4) in
+  let det = (m3 *. m3) -. (m2 *. m4) in
+  if Float.abs m2 < 1e-9 *. Float.abs m1 *. Float.abs m1 || scale = 0. then
+    (* Pure capacitance: all higher moments vanish. *)
+    { a1 = m1; a2 = 0.; a3 = 0.; b1 = 0.; b2 = 0. }
+  else if Float.abs det < 1e-12 *. scale then begin
+    (* Singular moment matrix (single-pole load): 2/1 Pade. *)
+    let b1 = -.m3 /. m2 in
+    { a1 = m1; a2 = m2 +. (m1 *. b1); a3 = 0.; b1; b2 = 0. }
+  end
+  else begin
+    (* [m3 m2; m4 m3] [b1; b2] = [-m4; -m5] *)
+    let b1 = ((-.m4 *. m3) -. (-.m5 *. m2)) /. det in
+    let b2 = ((m3 *. -.m5) -. (m4 *. -.m4)) /. det in
+    let a1 = m1 in
+    let a2 = m2 +. (m1 *. b1) in
+    let a3 = m3 +. (m2 *. b1) +. (m1 *. b2) in
+    { a1; a2; a3; b1; b2 }
+  end
+
+let of_load line ~cl = fit (Rlc_tline.Abcd.input_admittance_moments line ~cl ~order:5)
+let of_tree tree = fit (Moments.driving_point ~order:5 tree)
+
+let eval t s =
+  let open Cx in
+  let num = (re t.a1 *: s) +: (re t.a2 *: s *: s) +: (re t.a3 *: s *: s *: s) in
+  let den = one +: (re t.b1 *: s) +: (re t.b2 *: s *: s) in
+  num /: den
+
+let moments t ~order =
+  let num = [| 0.; t.a1; t.a2; t.a3 |] in
+  let den = [| 1.; t.b1; t.b2 |] in
+  let get a k = if k < Array.length a then a.(k) else 0. in
+  let m = Array.make (order + 1) 0. in
+  for k = 0 to order do
+    let acc = ref (get num k) in
+    for j = 1 to k do
+      acc := !acc -. (get den j *. m.(k - j))
+    done;
+    m.(k) <- !acc
+  done;
+  m
+
+let total_cap t = t.a1
+
+let poles t =
+  if t.b2 = 0. then None else Some (Poly.quadratic_roots ~a:t.b2 ~b:t.b1 ~c:1.)
+
+let is_stable t =
+  match poles t with
+  | Some (p1, p2) -> p1.Cx.re < 0. && p2.Cx.re < 0.
+  | None -> t.b1 >= 0.
+
+let pp fmt t =
+  Format.fprintf fmt "Y(s) = (%.4g s + %.4g s^2 + %.4g s^3)/(1 + %.4g s + %.4g s^2)" t.a1 t.a2
+    t.a3 t.b1 t.b2

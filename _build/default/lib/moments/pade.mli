@@ -1,0 +1,46 @@
+(** The paper's reduced-order driving-point admittance (Eq. 3):
+
+    [Y(s) = (a1 s + a2 s^2 + a3 s^3) / (1 + b1 s + b2 s^2)]
+
+    fitted by matching the first five admittance moments — the direct-moment
+    alternative to synthesizing a realizable pi/ladder circuit, which is the
+    point of the paper's Section 4.  Degenerate loads (pure capacitance, or
+    RC loads whose moment matrix is singular) gracefully fall back to lower
+    order ([b2 = 0], possibly [b1 = 0]). *)
+
+type t = {
+  a1 : float;
+  a2 : float;
+  a3 : float;
+  b1 : float;
+  b2 : float;
+}
+
+val fit : float array -> t
+(** [fit m] with [m = [| m0; m1; ...; m5 |]] (at least 6 entries; [m0] must
+    be negligible against [m1], as it is for capacitive loads — raises
+    [Invalid_argument] otherwise). *)
+
+val of_load : Rlc_tline.Line.t -> cl:float -> t
+(** Fit the distributed-line moments directly. *)
+
+val of_tree : Tree.t -> t
+
+val eval : t -> Rlc_num.Cx.t -> Rlc_num.Cx.t
+
+val moments : t -> order:int -> float array
+(** Re-expand the rational into moments (round-trip check: the first five
+    match the fitted input). *)
+
+val total_cap : t -> float
+(** [a1 = m1]: the total capacitance of the load. *)
+
+val poles : t -> (Rlc_num.Cx.t * Rlc_num.Cx.t) option
+(** Roots of [b2 s^2 + b1 s + 1]; [None] when the fit degenerated to
+    [b2 = 0]. *)
+
+val is_stable : t -> bool
+(** All poles strictly in the left half plane (degenerate single pole
+    included; a pure-capacitance fit is stable by convention). *)
+
+val pp : Format.formatter -> t -> unit

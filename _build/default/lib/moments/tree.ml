@@ -1,0 +1,41 @@
+type t = { cap : float; children : (float * float * t) list }
+
+let make ?(cap = 0.) ~children () =
+  if cap < 0. then invalid_arg "Tree.make: negative capacitance";
+  List.iter
+    (fun (r, l, _) ->
+      if r <= 0. || l < 0. then invalid_arg "Tree.make: branch needs r > 0 and l >= 0")
+    children;
+  { cap; children }
+
+let leaf cap = make ~cap ~children:[] ()
+
+let of_line ?n_segments line ~cl =
+  let n =
+    match n_segments with
+    | Some n when n >= 1 -> n
+    | Some _ -> invalid_arg "Tree.of_line: n_segments must be >= 1"
+    | None -> Rlc_tline.Ladder.default_segments line
+  in
+  let fn = float_of_int n in
+  let dr = Rlc_tline.Line.total_r line /. fn
+  and dl = Rlc_tline.Line.total_l line /. fn
+  and dc = Rlc_tline.Line.total_c line /. fn in
+  let rec chain i =
+    let cap = if i = n then dc +. cl else dc in
+    if i = n then make ~cap ~children:[] ()
+    else make ~cap ~children:[ (dr, dl, chain (i + 1)) ] ()
+  in
+  make ~cap:0. ~children:[ (dr, dl, chain 1) ] ()
+
+let cap t = t.cap
+let children t = t.children
+
+let rec total_cap t =
+  List.fold_left (fun acc (_, _, child) -> acc +. total_cap child) t.cap t.children
+
+let rec node_count t =
+  List.fold_left (fun acc (_, _, child) -> acc + node_count child) 1 t.children
+
+let rec depth t =
+  1 + List.fold_left (fun acc (_, _, child) -> Int.max acc (depth child)) 0 t.children

@@ -1,0 +1,27 @@
+(** RLC interconnect trees.
+
+    A tree node carries a grounded capacitance and children reached through
+    series (R, L) branches; the root is the driving point.  Uniform lines are
+    a special case (a chain via {!of_line}), but the moment machinery works
+    on arbitrary trees, which is what a routed net with side branches
+    needs. *)
+
+type t
+
+val make : ?cap:float -> children:(float * float * t) list -> unit -> t
+(** [make ~cap ~children ()] where each child is [(r, l, subtree)] with
+    [r > 0] and [l >= 0] (pure-RC branches are allowed). *)
+
+val leaf : float -> t
+(** A node with only a grounded capacitance. *)
+
+val of_line : ?n_segments:int -> Rlc_tline.Line.t -> cl:float -> t
+(** Chain discretization of a uniform line terminated by [cl] (an extra
+    grounded cap at the last node).  Default segment count follows
+    [Ladder.default_segments]. *)
+
+val cap : t -> float
+val children : t -> (float * float * t) list
+val total_cap : t -> float
+val node_count : t -> int
+val depth : t -> int

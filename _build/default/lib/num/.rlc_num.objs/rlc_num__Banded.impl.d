@@ -1,0 +1,1 @@
+lib/num/banded.ml: Array Float Int

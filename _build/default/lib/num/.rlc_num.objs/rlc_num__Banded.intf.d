@@ -1,0 +1,1 @@
+lib/num/banded.mli: Linalg

@@ -1,0 +1,1 @@
+lib/num/cx.ml: Complex Float Format Printf

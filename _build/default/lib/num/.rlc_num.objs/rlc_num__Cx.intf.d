@@ -1,0 +1,1 @@
+lib/num/cx.mli: Complex Format

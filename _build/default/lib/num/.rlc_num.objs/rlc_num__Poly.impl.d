@@ -1,0 +1,1 @@
+lib/num/poly.ml: Array Cx Float Format Int List Printf

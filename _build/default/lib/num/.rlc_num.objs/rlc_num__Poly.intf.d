@@ -1,0 +1,1 @@
+lib/num/poly.mli: Cx Format

@@ -1,0 +1,1 @@
+lib/num/polyroots.ml: Array Cx Float Poly

@@ -1,0 +1,1 @@
+lib/num/polyroots.mli: Cx Poly

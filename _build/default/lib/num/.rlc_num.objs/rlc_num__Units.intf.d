@@ -1,0 +1,1 @@
+lib/num/units.mli: Format

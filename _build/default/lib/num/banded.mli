@@ -1,0 +1,36 @@
+(** Banded LU factorization without pivoting.
+
+    General RLC tree netlists produce nodal matrices whose bandwidth, after
+    breadth-first node numbering, is small; this solver keeps their transient
+    cost at O(n·bw²) instead of O(n³).  Companion-model nodal matrices are
+    diagonally dominant, which justifies the pivot-free elimination (a
+    vanishing pivot still raises {!Singular}). *)
+
+type t
+(** Mutable banded matrix of dimension [n] with [bw] sub- and
+    super-diagonals. *)
+
+exception Singular of int
+
+val create : n:int -> bw:int -> t
+val dim : t -> int
+val bandwidth : t -> int
+
+val get : t -> int -> int -> float
+val set : t -> int -> int -> float -> unit
+(** [set m i j v] with [|i - j| > bw] raises [Invalid_argument]. *)
+
+val add : t -> int -> int -> float -> unit
+(** Accumulate [v] into entry [(i, j)]; the stamping primitive. *)
+
+val clear : t -> unit
+val copy : t -> t
+val mat_vec : t -> float array -> float array
+
+val solve_in_place : t -> float array -> unit
+(** Factor destructively and overwrite the right-hand side with the
+    solution. *)
+
+val solve : t -> float array -> float array
+
+val to_dense : t -> Linalg.mat

@@ -1,0 +1,36 @@
+type t = Complex.t = { re : float; im : float }
+
+let zero = Complex.zero
+let one = Complex.one
+let i = Complex.i
+let re x = { re = x; im = 0. }
+let make re im = { re; im }
+let ( +: ) = Complex.add
+let ( -: ) = Complex.sub
+let ( *: ) = Complex.mul
+let ( /: ) = Complex.div
+let neg = Complex.neg
+let scale a z = { re = a *. z.re; im = a *. z.im }
+let conj = Complex.conj
+let exp = Complex.exp
+let sqrt = Complex.sqrt
+let inv = Complex.inv
+let norm = Complex.norm
+let arg = Complex.arg
+let is_finite z = Float.is_finite z.re && Float.is_finite z.im
+
+let approx_equal ?(tol = 1e-9) a b =
+  let close x y = Float.abs (x -. y) <= tol *. (1. +. Float.abs x +. Float.abs y) in
+  close a.re b.re && close a.im b.im
+
+let real_part_checked ?(tol = 1e-6) z =
+  let mag = Float.max (norm z) 1e-300 in
+  if Float.abs z.im > tol *. Float.max mag 1. then
+    invalid_arg
+      (Printf.sprintf "Cx.real_part_checked: imaginary residue %g (|z|=%g)" z.im mag)
+  else z.re
+
+let pp fmt z =
+  if z.im = 0. then Format.fprintf fmt "%g" z.re
+  else if z.im > 0. then Format.fprintf fmt "%g+%gi" z.re z.im
+  else Format.fprintf fmt "%g-%gi" z.re (-.z.im)

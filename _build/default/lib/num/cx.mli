@@ -1,0 +1,49 @@
+(** Complex arithmetic helpers on top of the standard [Complex] type.
+
+    The effective-capacitance closed forms (Eqs. 4-7 of the paper) are
+    evaluated uniformly in complex arithmetic: the poles of the fitted
+    admittance are the roots of [b2 s^2 + b1 s + 1], which may be real or a
+    conjugate pair.  Working in ℂ removes the separate code paths of the
+    paper's printed formulas; results of physically real quantities are
+    recovered with {!real_part_checked}. *)
+
+type t = Complex.t = { re : float; im : float }
+
+val zero : t
+val one : t
+val i : t
+
+val re : float -> t
+(** [re x] embeds a real number. *)
+
+val make : float -> float -> t
+
+val ( +: ) : t -> t -> t
+val ( -: ) : t -> t -> t
+val ( *: ) : t -> t -> t
+val ( /: ) : t -> t -> t
+val neg : t -> t
+
+val scale : float -> t -> t
+(** [scale a z] is the complex number [a * z] for real [a]. *)
+
+val conj : t -> t
+val exp : t -> t
+val sqrt : t -> t
+val inv : t -> t
+val norm : t -> float
+val arg : t -> float
+
+val is_finite : t -> bool
+
+val approx_equal : ?tol:float -> t -> t -> bool
+(** Componentwise comparison with absolute-plus-relative tolerance
+    (default [tol = 1e-9]). *)
+
+val real_part_checked : ?tol:float -> t -> float
+(** [real_part_checked z] returns [z.re], raising [Invalid_argument] when the
+    imaginary part is not negligible relative to the magnitude (default
+    relative tolerance [1e-6]).  Used to assert that charge integrals built
+    from conjugate pole pairs collapse to real values. *)
+
+val pp : Format.formatter -> t -> unit

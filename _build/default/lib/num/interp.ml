@@ -1,0 +1,53 @@
+let check_axis name xs =
+  let n = Array.length xs in
+  if n < 2 then invalid_arg (Printf.sprintf "Interp: axis %s needs >= 2 points" name);
+  for i = 0 to n - 2 do
+    if xs.(i + 1) <= xs.(i) then
+      invalid_arg (Printf.sprintf "Interp: axis %s not strictly increasing at %d" name i)
+  done
+
+let bracket xs x =
+  let n = Array.length xs in
+  if x <= xs.(0) then 0
+  else if x >= xs.(n - 1) then n - 2
+  else begin
+    (* Binary search for the segment containing x. *)
+    let lo = ref 0 and hi = ref (n - 1) in
+    while !hi - !lo > 1 do
+      let mid = (!lo + !hi) / 2 in
+      if xs.(mid) <= x then lo := mid else hi := mid
+    done;
+    !lo
+  end
+
+let linear ~xs ~ys x =
+  check_axis "x" xs;
+  if Array.length ys <> Array.length xs then invalid_arg "Interp.linear: length mismatch";
+  let i = bracket xs x in
+  let t = (x -. xs.(i)) /. (xs.(i + 1) -. xs.(i)) in
+  ys.(i) +. (t *. (ys.(i + 1) -. ys.(i)))
+
+type grid2 = { xs : float array; ys : float array; values : float array array }
+
+let make_grid2 ~xs ~ys ~values =
+  check_axis "x" xs;
+  check_axis "y" ys;
+  if Array.length values <> Array.length xs then invalid_arg "Interp.make_grid2: row count";
+  Array.iter
+    (fun row ->
+      if Array.length row <> Array.length ys then invalid_arg "Interp.make_grid2: column count")
+    values;
+  { xs; ys; values }
+
+let bilinear g x y =
+  let i = bracket g.xs x and j = bracket g.ys y in
+  let tx = (x -. g.xs.(i)) /. (g.xs.(i + 1) -. g.xs.(i)) in
+  let ty = (y -. g.ys.(j)) /. (g.ys.(j + 1) -. g.ys.(j)) in
+  let v00 = g.values.(i).(j)
+  and v01 = g.values.(i).(j + 1)
+  and v10 = g.values.(i + 1).(j)
+  and v11 = g.values.(i + 1).(j + 1) in
+  ((1. -. tx) *. (((1. -. ty) *. v00) +. (ty *. v01)))
+  +. (tx *. (((1. -. ty) *. v10) +. (ty *. v11)))
+
+let grid2_map f g = { g with values = Array.map (Array.map f) g.values }

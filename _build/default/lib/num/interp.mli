@@ -1,0 +1,28 @@
+(** Piecewise-linear interpolation on 1-D and 2-D grids.
+
+    NLDM cell tables (delay/slew vs input slew x load capacitance) are looked
+    up through {!bilinear}; out-of-range queries extrapolate linearly from
+    the edge cells, matching common STA tool behaviour. *)
+
+val linear : xs:float array -> ys:float array -> float -> float
+(** [linear ~xs ~ys x]: [xs] strictly increasing, same length as [ys]
+    (>= 2 entries, else [Invalid_argument]).  Extrapolates beyond the ends
+    using the first/last segment slope. *)
+
+val bracket : float array -> float -> int
+(** [bracket xs x] returns [i] such that segment [(xs.(i), xs.(i+1))] is used
+    for (extra)interpolation at [x]; clamped to [\[0, n-2\]]. *)
+
+type grid2 = {
+  xs : float array;  (** first index, strictly increasing *)
+  ys : float array;  (** second index, strictly increasing *)
+  values : float array array;  (** [values.(i).(j)] at [(xs.(i), ys.(j))] *)
+}
+
+val make_grid2 : xs:float array -> ys:float array -> values:float array array -> grid2
+(** Validates monotonicity and dimensions. *)
+
+val bilinear : grid2 -> float -> float -> float
+(** Bilinear interpolation with linear extrapolation outside the grid. *)
+
+val grid2_map : (float -> float) -> grid2 -> grid2

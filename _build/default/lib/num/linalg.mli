@@ -1,0 +1,33 @@
+(** Dense linear algebra: LU factorization with partial pivoting.
+
+    Used by the general nodal-analysis path of the circuit engine (arbitrary
+    topologies, small systems).  Ladder networks use {!Tridiag} instead. *)
+
+type mat = float array array
+(** Row-major dense matrix; rows must share one length. *)
+
+type lu
+(** Factorization [P A = L U] of a square matrix. *)
+
+val make : int -> int -> float -> mat
+val identity : int -> mat
+val dim : mat -> int * int
+val copy_mat : mat -> mat
+val mat_vec : mat -> float array -> float array
+val transpose : mat -> mat
+
+exception Singular of int
+(** Raised (with the offending pivot column) when a pivot underflows. *)
+
+val lu_factor : ?pivot_tol:float -> mat -> lu
+(** Factor a copy of the matrix; [pivot_tol] (default [1e-13]) is the
+    smallest acceptable absolute pivot. *)
+
+val lu_solve : lu -> float array -> float array
+val solve : mat -> float array -> float array
+(** [solve a b] factors and solves in one shot. *)
+
+val determinant : lu -> float
+
+val residual_norm : mat -> float array -> float array -> float
+(** [residual_norm a x b] is [max_i |(Ax - b)_i|]; test helper. *)

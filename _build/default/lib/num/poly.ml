@@ -1,0 +1,119 @@
+type t = float array
+
+let of_coeffs c =
+  let n = Array.length c in
+  let rec last_nonzero i = if i <= 0 then 0 else if c.(i) <> 0. then i else last_nonzero (i - 1) in
+  if n = 0 then [| 0. |]
+  else
+    let d = last_nonzero (n - 1) in
+    Array.sub c 0 (d + 1)
+
+let coeffs p = Array.copy p
+let zero = [| 0. |]
+let one = [| 1. |]
+let x = [| 0.; 1. |]
+let constant c = of_coeffs [| c |]
+let degree p = Array.length p - 1
+
+let eval p x =
+  let acc = ref 0. in
+  for i = Array.length p - 1 downto 0 do
+    acc := (!acc *. x) +. p.(i)
+  done;
+  !acc
+
+let eval_cx p z =
+  let acc = ref Cx.zero in
+  for i = Array.length p - 1 downto 0 do
+    acc := Cx.( +: ) (Cx.( *: ) !acc z) (Cx.re p.(i))
+  done;
+  !acc
+
+let add p q =
+  let n = Int.max (Array.length p) (Array.length q) in
+  let get a i = if i < Array.length a then a.(i) else 0. in
+  of_coeffs (Array.init n (fun i -> get p i +. get q i))
+
+let scale a p = of_coeffs (Array.map (fun c -> a *. c) p)
+let sub p q = add p (scale (-1.) q)
+
+let mul p q =
+  let n = Array.length p + Array.length q - 1 in
+  let r = Array.make n 0. in
+  Array.iteri (fun i pi -> Array.iteri (fun j qj -> r.(i + j) <- r.(i + j) +. (pi *. qj)) q) p;
+  of_coeffs r
+
+let derivative p =
+  if Array.length p <= 1 then zero
+  else of_coeffs (Array.init (Array.length p - 1) (fun i -> float_of_int (i + 1) *. p.(i + 1)))
+
+let equal ?(tol = 0.) p q =
+  degree p = degree q
+  && Array.for_all2 (fun a b -> Float.abs (a -. b) <= tol *. (1. +. Float.abs a +. Float.abs b)) p q
+
+let quadratic_roots ~a ~b ~c =
+  if a = 0. then invalid_arg "Poly.quadratic_roots: a = 0";
+  let disc = (b *. b) -. (4. *. a *. c) in
+  if disc >= 0. then begin
+    let sq = Float.sqrt disc in
+    (* Avoid catastrophic cancellation: compute the larger-magnitude root
+       first and recover the other from the product c/a. *)
+    let q = -0.5 *. (b +. (Float.copy_sign sq b)) in
+    let r1 = if q <> 0. then q /. a else 0. in
+    let r2 = if q <> 0. then c /. q else -.b /. (2. *. a) in
+    (Cx.re r1, Cx.re r2)
+  end
+  else begin
+    let alpha = -.b /. (2. *. a) in
+    let beta = Float.sqrt (-.disc) /. (2. *. Float.abs a) in
+    (Cx.make alpha beta, Cx.make alpha (-.beta))
+  end
+
+let cubic_roots ~a ~b ~c ~d =
+  (* Depressed cubic via Cardano; a <> 0. *)
+  let b = b /. a and c = c /. a and d = d /. a in
+  let p = c -. (b *. b /. 3.) in
+  let q = ((2. *. b *. b *. b) -. (9. *. b *. c) +. (27. *. d)) /. 27. in
+  let shift = -.b /. 3. in
+  let disc = ((q *. q) /. 4.) +. ((p *. p *. p) /. 27.) in
+  if disc > 0. then begin
+    let sq = Float.sqrt disc in
+    let cbrt v = Float.copy_sign (Float.abs v ** (1. /. 3.)) v in
+    let u = cbrt ((-.q /. 2.) +. sq) and v = cbrt ((-.q /. 2.) -. sq) in
+    let t1 = u +. v in
+    let alpha = (-.t1 /. 2.) +. shift in
+    let beta = Float.sqrt 3. /. 2. *. Float.abs (u -. v) in
+    [ Cx.re (t1 +. shift); Cx.make alpha beta; Cx.make alpha (-.beta) ]
+  end
+  else begin
+    (* Three real roots: trigonometric form. *)
+    let r = Float.sqrt (-.p *. p *. p /. 27.) in
+    let phi = Float.acos (Float.max (-1.) (Float.min 1. (-.q /. (2. *. r)))) in
+    let m = 2. *. Float.sqrt (-.p /. 3.) in
+    List.init 3 (fun k ->
+        Cx.re ((m *. Float.cos ((phi +. (2. *. Float.pi *. float_of_int k)) /. 3.)) +. shift))
+  end
+
+let roots p =
+  match Array.length p - 1 with
+  | 0 -> []
+  | 1 -> [ Cx.re (-.p.(0) /. p.(1)) ]
+  | 2 ->
+      let r1, r2 = quadratic_roots ~a:p.(2) ~b:p.(1) ~c:p.(0) in
+      [ r1; r2 ]
+  | 3 -> cubic_roots ~a:p.(3) ~b:p.(2) ~c:p.(1) ~d:p.(0)
+  | d -> invalid_arg (Printf.sprintf "Poly.roots: degree %d > 3 unsupported" d)
+
+let pp fmt p =
+  let started = ref false in
+  Array.iteri
+    (fun i c ->
+      if c <> 0. || (i = 0 && Array.length p = 1) then begin
+        if !started then Format.fprintf fmt " + ";
+        (match i with
+        | 0 -> Format.fprintf fmt "%g" c
+        | 1 -> Format.fprintf fmt "%g x" c
+        | _ -> Format.fprintf fmt "%g x^%d" c i);
+        started := true
+      end)
+    p

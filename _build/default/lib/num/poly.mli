@@ -1,0 +1,39 @@
+(** Dense univariate polynomials with real coefficients.
+
+    Coefficients are stored in ascending order of degree:
+    [\[| c0; c1; c2 |\]] represents [c0 + c1 x + c2 x^2].  These are used for
+    admittance numerators/denominators, moment series manipulation, and the
+    quadratic pole extraction required by the Ceff closed forms. *)
+
+type t = private float array
+
+val of_coeffs : float array -> t
+(** Trailing zero coefficients are trimmed; the zero polynomial is [[|0.|]]. *)
+
+val coeffs : t -> float array
+val zero : t
+val one : t
+val x : t
+val constant : float -> t
+val degree : t -> int
+val eval : t -> float -> float
+val eval_cx : t -> Cx.t -> Cx.t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val scale : float -> t -> t
+val derivative : t -> t
+
+val equal : ?tol:float -> t -> t -> bool
+
+val quadratic_roots : a:float -> b:float -> c:float -> Cx.t * Cx.t
+(** Roots of [a x^2 + b x + c] with [a <> 0.], computed with the
+    cancellation-safe formula ([q = -(b + sign b * sqrt disc)/2]).  Real roots
+    are returned with [im = 0.]; complex roots as a conjugate pair
+    [(α + iβ, α - iβ)] with [β > 0.] in the first component. *)
+
+val roots : t -> Cx.t list
+(** All complex roots for degree <= 3 (closed forms); raises
+    [Invalid_argument] above degree 3. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,66 @@
+let eval_and_deriv coeffs z =
+  (* Horner for p(z) and p'(z) simultaneously. *)
+  let open Cx in
+  let n = Array.length coeffs in
+  let p = ref zero and dp = ref zero in
+  for i = n - 1 downto 0 do
+    dp := (!dp *: z) +: !p;
+    p := (!p *: z) +: re coeffs.(i)
+  done;
+  (!p, !dp)
+
+let residual poly z =
+  let coeffs = Poly.coeffs poly in
+  let p, _ = eval_and_deriv coeffs z in
+  let scale =
+    Array.fold_left
+      (fun (acc, zp) c -> (acc +. (Float.abs c *. zp), zp *. Cx.norm z))
+      (0., 1.) coeffs
+    |> fst
+  in
+  Cx.norm p /. Float.max scale 1e-300
+
+let roots ?(max_iter = 200) ?(tol = 1e-12) poly =
+  let coeffs = Poly.coeffs poly in
+  let n = Array.length coeffs - 1 in
+  if n < 1 then invalid_arg "Polyroots.roots: degree must be >= 1";
+  if coeffs.(n) = 0. then invalid_arg "Polyroots.roots: zero leading coefficient";
+  (* Initial guesses: points on a circle whose radius bounds the root
+     magnitudes (Cauchy bound), slightly de-phased to break symmetry. *)
+  let radius =
+    1.
+    +. Array.fold_left
+         (fun acc c -> Float.max acc (Float.abs (c /. coeffs.(n))))
+         0. (Array.sub coeffs 0 n)
+  in
+  let z =
+    Array.init n (fun i ->
+        let theta = (2. *. Float.pi *. float_of_int i /. float_of_int n) +. 0.4 in
+        Cx.make (radius *. Float.cos theta) (radius *. Float.sin theta))
+  in
+  let converged = ref false and iter = ref 0 in
+  while (not !converged) && !iter < max_iter do
+    incr iter;
+    let worst = ref 0. in
+    for idx = 0 to n - 1 do
+      let p, dp = eval_and_deriv coeffs z.(idx) in
+      if Cx.norm p > 0. then begin
+        let open Cx in
+        let newton = if norm dp = 0. then re 1e-6 else p /: dp in
+        (* Aberth correction: repel from the other current root estimates. *)
+        let repel = ref zero in
+        for j = 0 to n - 1 do
+          if j <> idx then begin
+            let d = z.(idx) -: z.(j) in
+            if norm d > 1e-300 then repel := !repel +: inv d
+          end
+        done;
+        let denom = one -: (newton *: !repel) in
+        let step = if norm denom < 1e-12 then newton else newton /: denom in
+        z.(idx) <- z.(idx) -: step;
+        worst := Float.max !worst (norm step /. Float.max 1. (norm z.(idx)))
+      end
+    done;
+    if !worst < tol then converged := true
+  done;
+  Array.to_list z

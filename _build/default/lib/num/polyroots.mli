@@ -1,0 +1,17 @@
+(** All complex roots of real polynomials of arbitrary degree
+    (Aberth–Ehrlich simultaneous iteration).
+
+    {!Poly.roots} covers the closed-form degrees the paper's 3/2 fit needs;
+    this module serves the AWE generalization (order-q reduced admittances),
+    whose denominators exceed degree 3. *)
+
+val roots : ?max_iter:int -> ?tol:float -> Poly.t -> Cx.t list
+(** Roots of the polynomial (degree >= 1; raises [Invalid_argument] on
+    constants and on a zero leading coefficient after trimming).  Default
+    [tol = 1e-12] (relative correction), [max_iter = 200].  Real-coefficient
+    symmetry is not enforced structurally but holds to solver tolerance;
+    roots are returned unordered. *)
+
+val residual : Poly.t -> Cx.t -> float
+(** |p(z)| scaled by the polynomial's coefficient magnitude at |z| — test
+    helper. *)

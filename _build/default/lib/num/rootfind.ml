@@ -1,0 +1,115 @@
+exception No_bracket
+
+let bisect ?(tol = 1e-12) ?(max_iter = 200) f ~lo ~hi =
+  let flo = f lo and fhi = f hi in
+  if flo = 0. then lo
+  else if fhi = 0. then hi
+  else if flo *. fhi > 0. then raise No_bracket
+  else begin
+    let lo = ref lo and hi = ref hi and flo = ref flo in
+    let x = ref (0.5 *. (!lo +. !hi)) in
+    (try
+       for _ = 1 to max_iter do
+         x := 0.5 *. (!lo +. !hi);
+         let fx = f !x in
+         if fx = 0. || !hi -. !lo < tol then raise Exit;
+         if fx *. !flo < 0. then hi := !x
+         else begin
+           lo := !x;
+           flo := fx
+         end
+       done
+     with Exit -> ());
+    !x
+  end
+
+let brent ?(tol = 1e-12) ?(max_iter = 200) f ~lo ~hi =
+  let a = ref lo and b = ref hi in
+  let fa = ref (f !a) and fb = ref (f !b) in
+  if !fa = 0. then !a
+  else if !fb = 0. then !b
+  else if !fa *. !fb > 0. then raise No_bracket
+  else begin
+    if Float.abs !fa < Float.abs !fb then begin
+      let t = !a in a := !b; b := t;
+      let t = !fa in fa := !fb; fb := t
+    end;
+    let c = ref !a and fc = ref !fa and d = ref (!b -. !a) and mflag = ref true in
+    let iter = ref 0 in
+    while !fb <> 0. && Float.abs (!b -. !a) > tol && !iter < max_iter do
+      incr iter;
+      let s =
+        if !fa <> !fc && !fb <> !fc then
+          (* Inverse quadratic interpolation. *)
+          (!a *. !fb *. !fc /. ((!fa -. !fb) *. (!fa -. !fc)))
+          +. (!b *. !fa *. !fc /. ((!fb -. !fa) *. (!fb -. !fc)))
+          +. (!c *. !fa *. !fb /. ((!fc -. !fa) *. (!fc -. !fb)))
+        else !b -. (!fb *. (!b -. !a) /. (!fb -. !fa))
+      in
+      let lo_lim = ((3. *. !a) +. !b) /. 4. in
+      let out_of_range =
+        if lo_lim < !b then s < lo_lim || s > !b else s > lo_lim || s < !b
+      in
+      let s =
+        if
+          out_of_range
+          || (!mflag && Float.abs (s -. !b) >= Float.abs (!b -. !c) /. 2.)
+          || ((not !mflag) && Float.abs (s -. !b) >= Float.abs !d /. 2.)
+          || (!mflag && Float.abs (!b -. !c) < tol)
+          || ((not !mflag) && Float.abs !d < tol)
+        then begin
+          mflag := true;
+          0.5 *. (!a +. !b)
+        end
+        else begin
+          mflag := false;
+          s
+        end
+      in
+      let fs = f s in
+      d := !b -. !c;
+      c := !b;
+      fc := !fb;
+      if !fa *. fs < 0. then begin
+        b := s;
+        fb := fs
+      end
+      else begin
+        a := s;
+        fa := fs
+      end;
+      if Float.abs !fa < Float.abs !fb then begin
+        let t = !a in a := !b; b := t;
+        let t = !fa in fa := !fb; fb := t
+      end
+    done;
+    !b
+  end
+
+type fixed_point_result = { value : float; iterations : int; converged : bool }
+
+let fixed_point ?(damping = 1.0) ?(rel_tol = 1e-6) ?(max_iter = 100) f ~init =
+  let x = ref init and n = ref 0 and converged = ref false in
+  while (not !converged) && !n < max_iter do
+    incr n;
+    let next = ((1. -. damping) *. !x) +. (damping *. f !x) in
+    if Float.abs (next -. !x) <= rel_tol *. (Float.abs next +. 1e-30) then converged := true;
+    x := next
+  done;
+  { value = !x; iterations = !n; converged = !converged }
+
+let fixed_point_bracketed ?(rel_tol = 1e-6) ?(max_iter = 100) f ~lo ~hi ~init =
+  let clamp x = Float.max lo (Float.min hi x) in
+  let fc x = clamp (f (clamp x)) in
+  let direct = fixed_point ~damping:0.6 ~rel_tol ~max_iter:(Int.min 30 max_iter) fc ~init:(clamp init) in
+  if direct.converged then { direct with value = clamp direct.value }
+  else begin
+    (* Solve g x = f x - x = 0 on the bracket. *)
+    let g x = fc x -. x in
+    match brent ~tol:(rel_tol *. (hi -. lo)) ~max_iter g ~lo ~hi with
+    | root -> { value = root; iterations = direct.iterations + max_iter; converged = true }
+    | exception No_bracket ->
+        (* No crossing inside the bracket: the fixed point sits on a bound. *)
+        let value = if Float.abs (g lo) < Float.abs (g hi) then lo else hi in
+        { value; iterations = direct.iterations; converged = false }
+  end

@@ -1,0 +1,33 @@
+(** Scalar root finding and damped fixed-point iteration.
+
+    The Ceff computations are fixed points [c = F (slew_table c)]; Brent's
+    method is the fallback when plain damped iteration stalls (strongly
+    inductive loads can make [F] non-contractive). *)
+
+exception No_bracket
+(** Raised when the supplied interval does not bracket a sign change. *)
+
+val bisect : ?tol:float -> ?max_iter:int -> (float -> float) -> lo:float -> hi:float -> float
+
+val brent : ?tol:float -> ?max_iter:int -> (float -> float) -> lo:float -> hi:float -> float
+(** Brent's method: inverse quadratic interpolation with bisection
+    safeguard.  Default [tol = 1e-12] (absolute on x), [max_iter = 200]. *)
+
+type fixed_point_result = {
+  value : float;
+  iterations : int;
+  converged : bool;
+}
+
+val fixed_point : ?damping:float -> ?rel_tol:float -> ?max_iter:int ->
+  (float -> float) -> init:float -> fixed_point_result
+(** Damped iteration [x <- (1-d) x + d (f x)] with [damping] d (default 1.0,
+    i.e. undamped), stopping when the relative step falls below [rel_tol]
+    (default 1e-6) or after [max_iter] (default 100) rounds. *)
+
+val fixed_point_bracketed : ?rel_tol:float -> ?max_iter:int ->
+  (float -> float) -> lo:float -> hi:float -> init:float -> fixed_point_result
+(** Robust fixed point of [f] on [\[lo, hi\]]: runs a short damped iteration
+    and, if it fails to converge, solves [f x - x = 0] with Brent on the
+    bracket (clamping [f] evaluations into the interval).  This is the solver
+    used for Ceff iterations. *)

@@ -1,0 +1,49 @@
+type t = { lower : float array; diag : float array; upper : float array }
+
+exception Singular of int
+
+let create n = { lower = Array.make n 0.; diag = Array.make n 0.; upper = Array.make n 0. }
+let dim t = Array.length t.diag
+
+let copy t =
+  { lower = Array.copy t.lower; diag = Array.copy t.diag; upper = Array.copy t.upper }
+
+let solve_in_place t b =
+  let n = dim t in
+  if Array.length b <> n then invalid_arg "Tridiag.solve: size mismatch";
+  if n = 0 then ()
+  else begin
+    if Float.abs t.diag.(0) < 1e-300 then raise (Singular 0);
+    for i = 1 to n - 1 do
+      let w = t.lower.(i) /. t.diag.(i - 1) in
+      t.diag.(i) <- t.diag.(i) -. (w *. t.upper.(i - 1));
+      if Float.abs t.diag.(i) < 1e-300 then raise (Singular i);
+      b.(i) <- b.(i) -. (w *. b.(i - 1))
+    done;
+    b.(n - 1) <- b.(n - 1) /. t.diag.(n - 1);
+    for i = n - 2 downto 0 do
+      b.(i) <- (b.(i) -. (t.upper.(i) *. b.(i + 1))) /. t.diag.(i)
+    done
+  end
+
+let solve t b =
+  let t = copy t and x = Array.copy b in
+  solve_in_place t x;
+  x
+
+let mat_vec t v =
+  let n = dim t in
+  Array.init n (fun i ->
+      let acc = ref (t.diag.(i) *. v.(i)) in
+      if i > 0 then acc := !acc +. (t.lower.(i) *. v.(i - 1));
+      if i < n - 1 then acc := !acc +. (t.upper.(i) *. v.(i + 1));
+      !acc)
+
+let to_dense t =
+  let n = dim t in
+  Array.init n (fun i ->
+      Array.init n (fun j ->
+          if j = i then t.diag.(i)
+          else if j = i - 1 then t.lower.(i)
+          else if j = i + 1 then t.upper.(i)
+          else 0.))

@@ -1,0 +1,34 @@
+(** Tridiagonal systems (Thomas algorithm).
+
+    The nodal matrix of a driver + uniform RLC ladder, with nodes numbered
+    along the line, is tridiagonal; the transient engine solves one such
+    system per Newton iteration, so this O(n) path is what makes sweeping
+    hundreds of reference simulations cheap. *)
+
+type t = {
+  lower : float array;  (** [lower.(i)] multiplies x_{i-1} in row i; [lower.(0)] ignored *)
+  diag : float array;
+  upper : float array;  (** [upper.(i)] multiplies x_{i+1} in row i; last entry ignored *)
+}
+
+val create : int -> t
+(** All-zero system of the given dimension. *)
+
+val dim : t -> int
+val copy : t -> t
+
+exception Singular of int
+
+val solve : t -> float array -> float array
+(** Thomas algorithm without pivoting.  Raises {!Singular} on a vanishing
+    pivot; nodal matrices stamped from positive R/L/C companion conductances
+    are strictly diagonally dominant so this does not occur in practice. *)
+
+val solve_in_place : t -> float array -> unit
+(** Destructive variant: overwrites the system and stores the solution in the
+    right-hand-side array.  Used by the transient inner loop to avoid
+    allocation. *)
+
+val mat_vec : t -> float array -> float array
+
+val to_dense : t -> Linalg.mat

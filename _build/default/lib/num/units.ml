@@ -1,0 +1,41 @@
+let ps x = x *. 1e-12
+let ns x = x *. 1e-9
+let ff x = x *. 1e-15
+let pf x = x *. 1e-12
+let nh x = x *. 1e-9
+let ph x = x *. 1e-12
+let um x = x *. 1e-6
+let mm x = x *. 1e-3
+let ohm x = x
+let kohm x = x *. 1e3
+let in_ps x = x /. 1e-12
+let in_ns x = x /. 1e-9
+let in_ff x = x /. 1e-15
+let in_pf x = x /. 1e-12
+let in_nh x = x /. 1e-9
+let in_um x = x /. 1e-6
+let in_mm x = x /. 1e-3
+
+let prefixes =
+  [ (1e-15, "f"); (1e-12, "p"); (1e-9, "n"); (1e-6, "u"); (1e-3, "m"); (1., ""); (1e3, "k"); (1e6, "M") ]
+
+let pp_eng ~unit fmt x =
+  if x = 0. then Format.fprintf fmt "0 %s" unit
+  else begin
+    let mag = Float.abs x in
+    let scale, prefix =
+      let rec pick = function
+        | [] -> (1e6, "M")
+        | [ (s, p) ] -> (s, p)
+        | (s, p) :: rest ->
+            if mag < s *. 1000. then (s, p) else pick rest
+      in
+      pick prefixes
+    in
+    Format.fprintf fmt "%.4g %s%s" (x /. scale) prefix unit
+  end
+
+let pp_time fmt x = pp_eng ~unit:"s" fmt x
+let pp_cap fmt x = pp_eng ~unit:"F" fmt x
+let pp_ind fmt x = pp_eng ~unit:"H" fmt x
+let pp_res fmt x = pp_eng ~unit:"Ohm" fmt x

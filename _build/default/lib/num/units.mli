@@ -1,0 +1,34 @@
+(** SI unit helpers.
+
+    All internal quantities are plain SI floats (seconds, farads, henries,
+    ohms, metres, volts, amperes).  These constructors keep experiment
+    definitions readable ([ps 100.], [mm 5.], [nh 5.14]) and the formatters
+    render engineering notation for reports. *)
+
+val ps : float -> float
+val ns : float -> float
+val ff : float -> float
+val pf : float -> float
+val nh : float -> float
+val ph : float -> float
+val um : float -> float
+val mm : float -> float
+val ohm : float -> float
+val kohm : float -> float
+
+val in_ps : float -> float
+val in_ns : float -> float
+val in_ff : float -> float
+val in_pf : float -> float
+val in_nh : float -> float
+val in_um : float -> float
+val in_mm : float -> float
+
+val pp_eng : unit:string -> Format.formatter -> float -> unit
+(** Engineering notation with 4 significant digits, e.g. [pp_eng ~unit:"F"]
+    renders [1.1e-12] as ["1.100 pF"]. *)
+
+val pp_time : Format.formatter -> float -> unit
+val pp_cap : Format.formatter -> float -> unit
+val pp_ind : Format.formatter -> float -> unit
+val pp_res : Format.formatter -> float -> unit

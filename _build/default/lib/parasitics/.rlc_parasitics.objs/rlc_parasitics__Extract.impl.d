@@ -1,0 +1,1 @@
+lib/parasitics/extract.ml: Float Format List Rlc_tline

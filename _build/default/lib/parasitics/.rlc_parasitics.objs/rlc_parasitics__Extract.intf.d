@@ -1,0 +1,1 @@
+lib/parasitics/extract.mli: Format Rlc_tline

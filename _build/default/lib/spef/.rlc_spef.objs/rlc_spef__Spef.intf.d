@@ -1,0 +1,1 @@
+lib/spef/spef.mli: Rlc_moments

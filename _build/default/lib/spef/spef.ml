@@ -1,0 +1,286 @@
+type units = { t_scale : float; c_scale : float; r_scale : float; l_scale : float }
+
+type direction = Input | Output | Bidir
+
+type conn = { pin : string; dir : direction }
+
+type branch_kind = Res | Induc
+
+type branch = { b_id : int; kind : branch_kind; n1 : string; n2 : string; value : float }
+
+type ground_cap = { c_id : int; node : string; farads : float }
+
+type dnet = {
+  net_name : string;
+  total_cap : float;
+  conns : conn list;
+  caps : ground_cap list;
+  branches : branch list;
+}
+
+type t = { design : string; units : units; nets : dnet list }
+
+let default_units = { t_scale = 1e-12; c_scale = 1e-15; r_scale = 1.; l_scale = 1e-12 }
+
+(* ------------------------------------------------------------- parsing *)
+
+exception Err of int * string
+
+let scale_of_suffix lineno = function
+  | "S" -> 1.
+  | "MS" -> 1e-3
+  | "US" -> 1e-6
+  | "NS" -> 1e-9
+  | "PS" -> 1e-12
+  | "F" -> 1.
+  | "UF" -> 1e-6
+  | "NF" -> 1e-9
+  | "PF" -> 1e-12
+  | "FF" -> 1e-15
+  | "OHM" -> 1.
+  | "KOHM" -> 1e3
+  | "HENRY" -> 1.
+  | "MH" -> 1e-3
+  | "UH" -> 1e-6
+  | "NH" -> 1e-9
+  | "PH" -> 1e-12
+  | u -> raise (Err (lineno, "unknown unit " ^ u))
+
+let float_of lineno s =
+  match float_of_string_opt s with
+  | Some f -> f
+  | None -> raise (Err (lineno, "expected a number, got " ^ s))
+
+let int_of lineno s =
+  match int_of_string_opt s with
+  | Some i -> i
+  | None -> raise (Err (lineno, "expected an integer id, got " ^ s))
+
+let unquote s =
+  let n = String.length s in
+  if n >= 2 && s.[0] = '"' && s.[n - 1] = '"' then String.sub s 1 (n - 2) else s
+
+type section = S_none | S_conn | S_cap | S_res | S_induc
+
+let parse src =
+  let lines = String.split_on_char '\n' src in
+  let design = ref "" in
+  let units = ref default_units in
+  let nets = ref [] in
+  (* current net under construction *)
+  let cur = ref None in
+  let section = ref S_none in
+  let finish_net lineno =
+    match !cur with
+    | None -> raise (Err (lineno, "*END outside a *D_NET"))
+    | Some net ->
+        nets :=
+          { net with conns = List.rev net.conns; caps = List.rev net.caps;
+            branches = List.rev net.branches }
+          :: !nets;
+        cur := None;
+        section := S_none
+  in
+  try
+    List.iteri
+      (fun i line ->
+        let lineno = i + 1 in
+        let line =
+          match String.index_opt line '/' with
+          | Some k when k + 1 < String.length line && line.[k + 1] = '/' -> String.sub line 0 k
+          | _ -> line
+        in
+        let toks =
+          String.split_on_char ' ' (String.map (function '\t' | '\r' -> ' ' | c -> c) line)
+          |> List.filter (fun s -> s <> "")
+        in
+        match (toks, !cur) with
+        | [], _ -> ()
+        | "*SPEF" :: _, _ | "*VERSION" :: _, _ | "*DATE" :: _, _ | "*VENDOR" :: _, _
+        | "*PROGRAM" :: _, _ | "*DIVIDER" :: _, _ | "*DELIMITER" :: _, _
+        | "*BUS_DELIMITER" :: _, _ ->
+            ()
+        | [ "*DESIGN"; name ], _ -> design := unquote name
+        | [ "*T_UNIT"; mult; unit ], _ ->
+            units := { !units with t_scale = float_of lineno mult *. scale_of_suffix lineno unit }
+        | [ "*C_UNIT"; mult; unit ], _ ->
+            units := { !units with c_scale = float_of lineno mult *. scale_of_suffix lineno unit }
+        | [ "*R_UNIT"; mult; unit ], _ ->
+            units := { !units with r_scale = float_of lineno mult *. scale_of_suffix lineno unit }
+        | [ "*L_UNIT"; mult; unit ], _ ->
+            units := { !units with l_scale = float_of lineno mult *. scale_of_suffix lineno unit }
+        | [ "*D_NET"; name; tc ], None ->
+            cur :=
+              Some
+                {
+                  net_name = name;
+                  total_cap = float_of lineno tc *. !units.c_scale;
+                  conns = [];
+                  caps = [];
+                  branches = [];
+                };
+            section := S_none
+        | "*D_NET" :: _, Some _ -> raise (Err (lineno, "nested *D_NET"))
+        | [ "*CONN" ], Some _ -> section := S_conn
+        | [ "*CAP" ], Some _ -> section := S_cap
+        | [ "*RES" ], Some _ -> section := S_res
+        | [ "*INDUC" ], Some _ -> section := S_induc
+        | [ "*END" ], Some _ -> finish_net lineno
+        | "*K" :: _, Some _ | "*C" :: "*K" :: _, Some _ ->
+            raise (Err (lineno, "mutual inductance (*K) is not supported"))
+        | (("*P" | "*I") :: pin :: dir :: _), Some net when !section = S_conn ->
+            let dir =
+              match dir with
+              | "I" -> Input
+              | "O" -> Output
+              | "B" -> Bidir
+              | d -> raise (Err (lineno, "unknown direction " ^ d))
+            in
+            cur := Some { net with conns = { pin; dir } :: net.conns }
+        | [ id; node; value ], Some net when !section = S_cap ->
+            cur :=
+              Some
+                {
+                  net with
+                  caps =
+                    { c_id = int_of lineno id; node; farads = float_of lineno value *. !units.c_scale }
+                    :: net.caps;
+                }
+        | [ _; _; _; _ ], Some _ when !section = S_cap ->
+            raise (Err (lineno, "coupling capacitances are not supported"))
+        | [ id; n1; n2; value ], Some net when !section = S_res || !section = S_induc ->
+            let kind, scale = if !section = S_res then (Res, !units.r_scale) else (Induc, !units.l_scale) in
+            cur :=
+              Some
+                {
+                  net with
+                  branches =
+                    { b_id = int_of lineno id; kind; n1; n2; value = float_of lineno value *. scale }
+                    :: net.branches;
+                }
+        | tok :: _, _ -> raise (Err (lineno, "unexpected token " ^ tok)))
+      lines;
+    (match !cur with
+    | Some net -> raise (Err (List.length lines, "unterminated *D_NET " ^ net.net_name))
+    | None -> ());
+    Ok { design = !design; units = !units; nets = List.rev !nets }
+  with Err (lineno, msg) -> Error (Printf.sprintf "line %d: %s" lineno msg)
+
+(* ------------------------------------------------------------ printing *)
+
+let to_string t =
+  let buf = Buffer.create 1024 in
+  let p fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  p "*SPEF \"IEEE 1481-1998\"\n";
+  p "*DESIGN \"%s\"\n" t.design;
+  p "*T_UNIT %g PS\n" (t.units.t_scale /. 1e-12);
+  p "*C_UNIT %g FF\n" (t.units.c_scale /. 1e-15);
+  p "*R_UNIT %g OHM\n" t.units.r_scale;
+  p "*L_UNIT %g PH\n\n" (t.units.l_scale /. 1e-12);
+  List.iter
+    (fun net ->
+      p "*D_NET %s %.6g\n" net.net_name (net.total_cap /. t.units.c_scale);
+      if net.conns <> [] then begin
+        p "*CONN\n";
+        List.iter
+          (fun c ->
+            p "*P %s %s\n" c.pin
+              (match c.dir with Input -> "I" | Output -> "O" | Bidir -> "B"))
+          net.conns
+      end;
+      if net.caps <> [] then begin
+        p "*CAP\n";
+        List.iter (fun c -> p "%d %s %.6g\n" c.c_id c.node (c.farads /. t.units.c_scale)) net.caps
+      end;
+      let res = List.filter (fun b -> b.kind = Res) net.branches in
+      let ind = List.filter (fun b -> b.kind = Induc) net.branches in
+      if res <> [] then begin
+        p "*RES\n";
+        List.iter (fun b -> p "%d %s %s %.6g\n" b.b_id b.n1 b.n2 (b.value /. t.units.r_scale)) res
+      end;
+      if ind <> [] then begin
+        p "*INDUC\n";
+        List.iter (fun b -> p "%d %s %s %.6g\n" b.b_id b.n1 b.n2 (b.value /. t.units.l_scale)) ind
+      end;
+      p "*END\n\n")
+    t.nets;
+  Buffer.contents buf
+
+let find_net t name = List.find_opt (fun n -> n.net_name = name) t.nets
+
+let net_total_cap net = List.fold_left (fun acc c -> acc +. c.farads) 0. net.caps
+
+(* ----------------------------------------------------------- to_tree *)
+
+module SMap = Map.Make (String)
+
+let to_tree net ~root =
+  (* Merge R and L between identical unordered node pairs. *)
+  let key a b = if a <= b then (a, b) else (b, a) in
+  let merged = Hashtbl.create 16 in
+  List.iter
+    (fun b ->
+      let k = key b.n1 b.n2 in
+      let r, l = Option.value (Hashtbl.find_opt merged k) ~default:(0., 0.) in
+      match b.kind with
+      | Res ->
+          let r' = if r = 0. then b.value else r *. b.value /. (r +. b.value) in
+          Hashtbl.replace merged k (r', l)
+      | Induc ->
+          let l' = if l = 0. then b.value else l *. b.value /. (l +. b.value) in
+          Hashtbl.replace merged k (r, l'))
+    net.branches;
+  (* Adjacency. *)
+  let adj = Hashtbl.create 16 in
+  let add_adj a b rl =
+    Hashtbl.replace adj a ((b, rl) :: Option.value (Hashtbl.find_opt adj a) ~default:[])
+  in
+  Hashtbl.iter
+    (fun (a, b) rl ->
+      add_adj a b rl;
+      add_adj b a rl)
+    merged;
+  let caps_at =
+    List.fold_left
+      (fun m c -> SMap.update c.node (fun v -> Some (Option.value v ~default:0. +. c.farads)) m)
+      SMap.empty net.caps
+  in
+  let known_node n = Hashtbl.mem adj n || SMap.mem n caps_at in
+  if not (known_node root) then Error (Printf.sprintf "root %s not found in net %s" root net.net_name)
+  else begin
+    let visited = Hashtbl.create 16 in
+    let exception Cycle of string in
+    let exception Bad_branch of string in
+    let rec build parent node =
+      Hashtbl.replace visited node ();
+      let cap = Option.value (SMap.find_opt node caps_at) ~default:0. in
+      let children =
+        List.filter_map
+          (fun (next, (r, l)) ->
+            if Some next = parent then None
+            else if Hashtbl.mem visited next then raise (Cycle next)
+            else begin
+              if r <= 0. then
+                raise
+                  (Bad_branch (Printf.sprintf "branch %s-%s has no resistance" node next));
+              Some (r, l, build (Some node) next)
+            end)
+          (Option.value (Hashtbl.find_opt adj node) ~default:[])
+      in
+      Rlc_moments.Tree.make ~cap ~children ()
+    in
+    match build None root with
+    | tree ->
+        (* Anything carrying parasitics but unreachable is a modeling error. *)
+        let disconnected =
+          List.filter (fun c -> not (Hashtbl.mem visited c.node)) net.caps
+        in
+        if disconnected <> [] then
+          Error
+            (Printf.sprintf "net %s: node %s is not connected to %s" net.net_name
+               (List.hd disconnected).node root)
+        else Ok tree
+    | exception Cycle n ->
+        Error (Printf.sprintf "net %s: resistive loop through %s (not a tree)" net.net_name n)
+    | exception Bad_branch msg -> Error (Printf.sprintf "net %s: %s" net.net_name msg)
+  end

@@ -1,0 +1,57 @@
+(** SPEF-subset parser and printer for extracted RLC nets.
+
+    The model's input in a production flow is an extracted netlist, not
+    geometry; this module reads the detailed-parasitics subset needed for
+    RLC timing — header units, [*D_NET] blocks with [*CONN], [*CAP]
+    (grounded), [*RES] and the IEEE-1481 [*INDUC] (self-inductance) section —
+    and converts a net into an {!Rlc_moments.Tree.t} rooted at its driver
+    port.  Coupling capacitances and mutual inductances are out of scope and
+    reported as errors rather than silently dropped. *)
+
+type units = {
+  t_scale : float;  (** seconds per time unit *)
+  c_scale : float;  (** farads per cap unit *)
+  r_scale : float;
+  l_scale : float;  (** henries per inductance unit *)
+}
+
+type direction = Input | Output | Bidir
+
+type conn = { pin : string; dir : direction }
+
+type branch_kind = Res | Induc
+
+type branch = { b_id : int; kind : branch_kind; n1 : string; n2 : string; value : float }
+(** Value in SI units after scaling. *)
+
+type ground_cap = { c_id : int; node : string; farads : float }
+
+type dnet = {
+  net_name : string;
+  total_cap : float;  (** farads; as declared on the D_NET line *)
+  conns : conn list;
+  caps : ground_cap list;
+  branches : branch list;
+}
+
+type t = { design : string; units : units; nets : dnet list }
+
+val parse : string -> (t, string) result
+(** Errors carry a line number.  Unsupported constructs (coupling caps with
+    two internal nodes, [*K] mutual sections) produce errors. *)
+
+val to_string : t -> string
+(** Canonical printer; [parse (to_string f)] reproduces the structure
+    (round-trip property in tests).  Values are emitted in the file's
+    declared units. *)
+
+val find_net : t -> string -> dnet option
+
+val to_tree : dnet -> root:string -> (Rlc_moments.Tree.t, string) result
+(** Build the RLC tree seen from [root] (a node or pin name appearing in the
+    net).  Requires the R/L branch graph to be a tree after merging R and L
+    between identical node pairs into single branches; loops, disconnected
+    pieces, or L-only branches are errors. *)
+
+val net_total_cap : dnet -> float
+(** Sum of the grounded caps (farads); tests compare it with [total_cap]. *)

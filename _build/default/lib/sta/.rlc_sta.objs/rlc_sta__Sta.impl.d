@@ -1,0 +1,1 @@
+lib/sta/sta.ml: Float Format List Rlc_ceff Rlc_devices Rlc_liberty Rlc_num Rlc_tline Rlc_waveform

@@ -1,0 +1,1 @@
+lib/sta/sta.mli: Format Rlc_ceff Rlc_devices Rlc_tline Rlc_waveform

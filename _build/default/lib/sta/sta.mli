@@ -1,0 +1,58 @@
+(** Gate-level static timing over multi-stage RLC paths.
+
+    Demonstrates the paper's "library compatible" claim end to end: each
+    stage's driver is reduced to its one-/two-ramp model from the NLDM
+    tables, the modeled waveform is replayed through the stage's line
+    (linear circuit only — no transistor simulation inside the timing loop),
+    and the far-end 50 % time and slew feed the next stage.  Per the paper's
+    Section 3 observation, far-end waveforms show no plateau, so a single
+    ramp (the measured far-end slew) is a faithful hand-off to the next
+    cell arc.
+
+    Stages alternate output edges like a real inverter chain; the edge
+    selects the rise or fall table arc, and waveforms are handled in the
+    normalized rising domain (electrically symmetric for the mirrored
+    edge). *)
+
+module Line = Rlc_tline.Line
+
+type stage = {
+  size : float;  (** driver strength, X multiplier *)
+  line : Line.t;  (** the net this stage drives *)
+}
+
+type stage_result = {
+  stage : stage;
+  edge : Rlc_waveform.Measure.edge;  (** output edge direction *)
+  model : Rlc_ceff.Driver_model.t;
+  input_slew : float;  (** slew presented at this stage's input *)
+  stage_delay : float;  (** stage input 50 % -> far-end 50 % *)
+  near_delay : float;  (** stage input 50 % -> driver output 50 % *)
+  far_slew : float;  (** 10-90 at the far end *)
+  arrival : float;  (** cumulative arrival time at the far end *)
+}
+
+type path_result = {
+  stages : stage_result list;
+  total_delay : float;  (** path input 50 % -> last far end 50 % *)
+}
+
+val analyze :
+  ?dt:float ->
+  ?tech:Rlc_devices.Tech.t ->
+  input_slew:float ->
+  sink_cl:float ->
+  stage list ->
+  path_result
+(** Requires at least one stage.  Intermediate stage loads are the input
+    capacitance of the next stage's driver; the final stage sees
+    [sink_cl]. *)
+
+val estimate_far_delay : Rlc_ceff.Driver_model.t -> line:Line.t -> cl:float -> float
+(** Replay-free estimate (for sorting / pruning, not signoff): near-end
+    50 % plus the two-moment transfer-function delay of the line
+    ({!Rlc_tline.Transfer.delay_50_estimate}), which degrades gracefully
+    from the RC scaled-Elmore regime to the time-of-flight bound on
+    inductive lines. *)
+
+val pp_path : Format.formatter -> path_result -> unit

@@ -1,0 +1,1 @@
+lib/tline/abcd.ml: Array Cx Line Poly Rlc_num

@@ -1,0 +1,1 @@
+lib/tline/abcd.mli: Line Rlc_num

@@ -1,0 +1,1 @@
+lib/tline/coupled_ladder.ml: Float Ladder Line Printf Rlc_circuit

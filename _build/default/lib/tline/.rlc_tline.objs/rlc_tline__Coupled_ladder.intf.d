@@ -1,0 +1,1 @@
+lib/tline/coupled_ladder.mli: Line Rlc_circuit

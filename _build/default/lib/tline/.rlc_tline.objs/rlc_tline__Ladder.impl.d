@@ -1,0 +1,1 @@
+lib/tline/ladder.ml: Float Int Line List Printf Rlc_circuit Rlc_num

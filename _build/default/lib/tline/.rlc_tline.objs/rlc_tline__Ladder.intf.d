@@ -1,0 +1,1 @@
+lib/tline/ladder.mli: Line Rlc_circuit

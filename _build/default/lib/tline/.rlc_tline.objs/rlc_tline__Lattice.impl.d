@@ -1,0 +1,1 @@
+lib/tline/lattice.ml: Float List

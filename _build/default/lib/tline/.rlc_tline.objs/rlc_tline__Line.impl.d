@@ -1,0 +1,1 @@
+lib/tline/line.ml: Float Format Rlc_num

@@ -1,0 +1,1 @@
+lib/tline/line.mli: Format

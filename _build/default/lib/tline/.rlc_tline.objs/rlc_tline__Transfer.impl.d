@@ -1,0 +1,1 @@
+lib/tline/transfer.ml: Abcd Array Float Line Poly Rlc_num

@@ -1,0 +1,1 @@
+lib/tline/transfer.mli: Line

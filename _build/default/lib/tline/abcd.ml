@@ -1,0 +1,83 @@
+open Rlc_num
+
+let truncate order p =
+  let c = Poly.coeffs p in
+  if Array.length c <= order + 1 then p else Poly.of_coeffs (Array.sub c 0 (order + 1))
+
+
+let entries_series line ~order =
+  let r = Line.total_r line and l = Line.total_l line and c = Line.total_c line in
+  (* u = (R + sL) * sC, a polynomial starting at s^1: even/odd cosh and
+     sinh series in theta*l become finite polynomial sums once truncated. *)
+  let u = Poly.of_coeffs [| 0.; r *. c; l *. c |] in
+  let series coeff_of_k =
+    (* sum over k of u^k * coeff_of_k, truncated to the requested order *)
+    let acc = ref Poly.zero and upow = ref Poly.one in
+    let k = ref 0 in
+    while Poly.degree !upow <= order && !k <= order do
+      acc := Poly.add !acc (Poly.scale (coeff_of_k !k) !upow);
+      upow := truncate order (Poly.mul !upow u);
+      incr k
+    done;
+    truncate order !acc
+  in
+  let fact n =
+    let rec go acc i = if i <= 1 then acc else go (acc *. float_of_int i) (i - 1) in
+    go 1. n
+  in
+  let a = series (fun k -> 1. /. fact (2 * k)) in
+  let sinh_over_theta = series (fun k -> 1. /. fact ((2 * k) + 1)) in
+  let b = truncate order (Poly.mul (Poly.of_coeffs [| r; l |]) sinh_over_theta) in
+  let c_entry = truncate order (Poly.mul (Poly.of_coeffs [| 0.; c |]) sinh_over_theta) in
+  (a, b, c_entry)
+
+let input_admittance_moments line ~cl ~order =
+  let a, b, c = entries_series line ~order:(order + 1) in
+  let s_cl = Poly.of_coeffs [| 0.; cl |] in
+  let num = Poly.add c (truncate (order + 1) (Poly.mul a s_cl)) in
+  let den = Poly.add a (truncate (order + 1) (Poly.mul b s_cl)) in
+  let coeff p k =
+    let cs = Poly.coeffs p in
+    if k < Array.length cs then cs.(k) else 0.
+  in
+  (* Series division y = num/den with den(0) = 1. *)
+  let m = Array.make (order + 1) 0. in
+  let d0 = coeff den 0 in
+  for k = 0 to order do
+    let acc = ref (coeff num k) in
+    for j = 1 to k do
+      acc := !acc -. (coeff den j *. m.(k - j))
+    done;
+    m.(k) <- !acc /. d0
+  done;
+  m
+
+let theta_l line s =
+  let open Cx in
+  let r = Line.total_r line and l = Line.total_l line and c = Line.total_c line in
+  sqrt ((re r +: scale l s) *: scale c s)
+
+let entries_cx line s =
+  let open Cx in
+  let tl = theta_l line s in
+  let r = Line.total_r line and l = Line.total_l line and c = Line.total_c line in
+  let ch = scale 0.5 (exp tl +: exp (neg tl)) in
+  let sh = scale 0.5 (exp tl -: exp (neg tl)) in
+  (* sinh(tl)/tl is regular at s = 0; guard the removable singularity. *)
+  let sh_over_tl = if norm tl < 1e-12 then one else sh /: tl in
+  let a = ch in
+  let b = (re r +: scale l s) *: sh_over_tl in
+  let c_entry = scale c s *: sh_over_tl in
+  (a, b, c_entry)
+
+let input_admittance line ~cl s =
+  let open Cx in
+  let a, b, c = entries_cx line s in
+  let yl = scale cl s in
+  (c +: (a *: yl)) /: (a +: (b *: yl))
+
+let transfer line ~cl s =
+  let open Cx in
+  let a, b, _ = entries_cx line s in
+  let yl = scale cl s in
+  inv (a +: (b *: yl))

@@ -1,0 +1,26 @@
+(** Exact two-port (ABCD) analysis of the uniform lossy line.
+
+    For a uniform RLC line the chain matrix is
+    [A = D = cosh θl], [B = Zc sinh θl], [C = sinh θl / Zc] with
+    [θl = sqrt ((R + sL) sC)] (totals).  Because every entry is a power
+    series in [s] with {e polynomial} coefficients in [u = (R+sL)sC], the
+    driving-point admittance moments of the distributed line (terminated by a
+    load capacitance) come out in closed form — this is the oracle the
+    ladder/tree moment engine is tested against, and also what the production
+    moment path uses for uniform lines. *)
+
+val entries_series : Line.t -> order:int -> Rlc_num.Poly.t * Rlc_num.Poly.t * Rlc_num.Poly.t
+(** [(a, b, c)] as truncated power series in [s] up to [s^order]
+    ([d = a]). *)
+
+val input_admittance_moments : Line.t -> cl:float -> order:int -> float array
+(** Moments [m0 .. m_order] of [Yin(s) = (C + D·sCL)/(A + B·sCL)];
+    [m0 = 0] for a capacitively terminated line. *)
+
+val input_admittance : Line.t -> cl:float -> Rlc_num.Cx.t -> Rlc_num.Cx.t
+(** Exact complex evaluation at a frequency point (for spot checks of the
+    series and of reduced-order fits). *)
+
+val transfer : Line.t -> cl:float -> Rlc_num.Cx.t -> Rlc_num.Cx.t
+(** Far-end over near-end voltage transfer [1 / (A + B·YL)] at complex
+    frequency [s]. *)

@@ -1,0 +1,36 @@
+(** Two parallel coupled lines as a lumped ladder.
+
+    Each segment carries the series resistance of both wires, a magnetically
+    coupled inductor pair (coupling coefficient [k]) and the grounded plus
+    mutual capacitances — the standard symmetric two-conductor model behind
+    on-chip crosstalk analysis.  The builder allocates the two lines' nodes
+    alternately so the nodal matrix stays narrow-banded.
+
+    For identical lossless lines the structure supports the classic modal
+    decomposition: the even mode sees [L (1 + k)] and [Cg], the odd mode
+    [L (1 - k)] and [Cg + 2 Cc]; {!even_mode_tf} / {!odd_mode_tf} expose the
+    resulting flight times (the test-suite oracle). *)
+
+type built = {
+  far_a : Rlc_circuit.Netlist.node;
+  far_b : Rlc_circuit.Netlist.node;
+  n_segments : int;
+}
+
+val build :
+  ?n_segments:int ->
+  Rlc_circuit.Netlist.t ->
+  Line.t ->
+  k:float ->
+  cc_total:float ->
+  near_a:Rlc_circuit.Netlist.node ->
+  near_b:Rlc_circuit.Netlist.node ->
+  built
+(** Both wires use the same per-unit-length parameters of [line]; [k] is the
+    inductive coupling coefficient in [0, 1), [cc_total] the total
+    line-to-line capacitance (farads, may be 0). *)
+
+val even_mode_tf : Line.t -> k:float -> float
+val odd_mode_tf : Line.t -> k:float -> cc_total:float -> float
+val even_mode_z0 : Line.t -> k:float -> float
+val odd_mode_z0 : Line.t -> k:float -> cc_total:float -> float

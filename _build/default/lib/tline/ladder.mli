@@ -1,0 +1,32 @@
+(** Discretize a uniform line into a lumped RLC ladder.
+
+    Each segment contributes a series R/n + L/n branch followed by a shunt
+    C/n capacitor.  With enough segments (the default targets a per-segment
+    delay an order of magnitude below the line's time of flight) the ladder
+    reproduces transmission-line behaviour — launch step, time of flight,
+    reflections — which is exactly what the reference transient simulations
+    need. *)
+
+val default_segments : Line.t -> int
+(** Segment-count heuristic: [max 40 (ceil (20 * length_mm))], capped at
+    400. *)
+
+type built = {
+  near : Rlc_circuit.Netlist.node;  (** driving-point node *)
+  far : Rlc_circuit.Netlist.node;
+  internal : Rlc_circuit.Netlist.node list;  (** excludes [near]; includes [far] *)
+  n_segments : int;
+}
+
+val build :
+  ?n_segments:int ->
+  Rlc_circuit.Netlist.t -> Line.t -> near:Rlc_circuit.Netlist.node -> built
+(** Append the ladder to the netlist, starting at the existing [near] node
+    (typically a driver output), allocating the internal nodes in line order
+    so the nodal matrix stays banded. *)
+
+val attach_load : ?n_segments:int -> Line.t -> cl:float -> Rlc_circuit.Netlist.t ->
+  Rlc_circuit.Netlist.node -> Rlc_circuit.Netlist.node ref -> unit
+(** Convenience for testbench [load] callbacks: build the ladder at the given
+    node and add a load capacitance [cl] at the far end; stores the far node
+    in the given ref for probing. *)

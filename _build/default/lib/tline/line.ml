@@ -1,0 +1,26 @@
+type t = { r_per_m : float; l_per_m : float; c_per_m : float; length : float }
+
+let create ~r_per_m ~l_per_m ~c_per_m ~length =
+  if r_per_m <= 0. || l_per_m <= 0. || c_per_m <= 0. || length <= 0. then
+    invalid_arg "Line.create: all parameters must be positive";
+  { r_per_m; l_per_m; c_per_m; length }
+
+let of_totals ~r ~l ~c ~length =
+  create ~r_per_m:(r /. length) ~l_per_m:(l /. length) ~c_per_m:(c /. length) ~length
+
+let total_r t = t.r_per_m *. t.length
+let total_l t = t.l_per_m *. t.length
+let total_c t = t.c_per_m *. t.length
+let z0 t = Float.sqrt (t.l_per_m /. t.c_per_m)
+let time_of_flight t = t.length *. Float.sqrt (t.l_per_m *. t.c_per_m)
+let attenuation t = Float.exp (-.total_r t /. (2. *. z0 t))
+let damping_ratio t = total_r t /. (2. *. z0 t)
+let scale_length t length = { t with length }
+
+let pp fmt t =
+  Format.fprintf fmt "line<len=%g mm, R=%.4g Ohm, L=%.4g nH, C=%.4g pF, Z0=%.1f Ohm, tf=%.1f ps>"
+    (Rlc_num.Units.in_mm t.length) (total_r t)
+    (Rlc_num.Units.in_nh (total_l t))
+    (Rlc_num.Units.in_pf (total_c t))
+    (z0 t)
+    (Rlc_num.Units.in_ps (time_of_flight t))

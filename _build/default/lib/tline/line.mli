@@ -1,0 +1,43 @@
+(** Uniform RLC transmission line description.
+
+    Carries per-unit-length parasitics plus physical length and exposes the
+    transmission-line quantities the paper's model consumes: lossless
+    characteristic impedance [Z0 = sqrt(L/C)], time of flight
+    [tf = len * sqrt(L C)], and total R/L/C for moment computation and screen
+    criteria (Eq. 9). *)
+
+type t = private {
+  r_per_m : float;  (** Ohm / m *)
+  l_per_m : float;  (** H / m *)
+  c_per_m : float;  (** F / m *)
+  length : float;  (** m *)
+}
+
+val create : r_per_m:float -> l_per_m:float -> c_per_m:float -> length:float -> t
+(** All arguments must be positive. *)
+
+val of_totals : r:float -> l:float -> c:float -> length:float -> t
+(** Build from total line R (Ohm), L (H), C (F) — the form the paper quotes
+    (e.g. 5 mm: 72.44 Ohm, 5.14 nH, 1.10 pF). *)
+
+val total_r : t -> float
+val total_l : t -> float
+val total_c : t -> float
+
+val z0 : t -> float
+(** Lossless characteristic impedance, Ohm. *)
+
+val time_of_flight : t -> float
+(** Seconds. *)
+
+val attenuation : t -> float
+(** Lossy amplitude attenuation factor of the first traversal,
+    [exp (-R_tot / (2 Z0))] — how much of the launched step survives to the
+    far end. *)
+
+val damping_ratio : t -> float
+(** [R_tot / (2 Z0)]: < 1 indicates transmission-line (underdamped)
+    behaviour, one of the Eq. 9 criteria. *)
+
+val scale_length : t -> float -> t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,36 @@
+open Rlc_num
+
+let moments line ~cl ~order =
+  let a, b, _ = Abcd.entries_series line ~order in
+  (* Denominator of H: A + B * s * CL. *)
+  let den = Poly.add a (Poly.mul b (Poly.of_coeffs [| 0.; cl |])) in
+  let dc = Poly.coeffs den in
+  let get k = if k < Array.length dc then dc.(k) else 0. in
+  (* Series inversion of 1/den with den(0) = 1. *)
+  let h = Array.make (order + 1) 0. in
+  for k = 0 to order do
+    if k = 0 then h.(0) <- 1. /. get 0
+    else begin
+      let acc = ref 0. in
+      for j = 1 to k do
+        acc := !acc +. (get j *. h.(k - j))
+      done;
+      h.(k) <- -. !acc /. get 0
+    end
+  done;
+  h
+
+let elmore_delay line ~cl =
+  let h = moments line ~cl ~order:1 in
+  -.h.(1)
+
+let delay_50_estimate line ~cl =
+  let h = moments line ~cl ~order:2 in
+  let m1 = -.h.(1) in
+  (* Match e^{-sT}/(1 + s tau): h1 = -(T + tau), h2 = T^2/2 + T tau + tau^2,
+     hence tau^2 = h2 - h1^2/2 (when positive; an oscillatory response can
+     drive it negative, in which case fall back to pure delay). *)
+  let tau_sq = h.(2) -. (h.(1) *. h.(1) /. 2.) in
+  let tau = if tau_sq > 0. then Float.sqrt tau_sq else 0. in
+  let t_delay = Float.max 0. (m1 -. tau) in
+  Float.max (Line.time_of_flight line) (t_delay +. (tau *. Float.log 2.))

@@ -1,0 +1,22 @@
+(** Far-end transfer-function moments of the loaded line.
+
+    For the voltage transfer [H(s) = Vfar/Vnear = 1 / (A + B·sCL)] the series
+    coefficients give the classic delay metrics: [-h1] is the Elmore delay
+    of the far end with respect to the near end, and the (h1, h2) pair
+    supports the two-moment ("scaled Elmore") 50 % delay estimate used by
+    the STA layer when a full linear replay is not warranted. *)
+
+val moments : Line.t -> cl:float -> order:int -> float array
+(** [h0 .. h_order] of the far/near transfer; [h0 = 1]. *)
+
+val elmore_delay : Line.t -> cl:float -> float
+(** [-h1 = R (C/2 + CL)] for a uniform line (exactly; the distributed
+    closed form is reproduced by the series in the tests). *)
+
+val delay_50_estimate : Line.t -> cl:float -> float
+(** Two-moment 50 % delay estimate of the far end relative to the near-end
+    ramp midpoint: fits the transfer to a single-pole-with-delay form
+    [e^{-s T}/(1 + s tau)] by matching h1 and h2, giving
+    [T + tau ln 2] (clamped below by the time of flight — the physical
+    lower bound a moment metric can undershoot on strongly inductive
+    lines). *)

@@ -1,0 +1,1 @@
+lib/waveform/measure.ml: Printf Waveform

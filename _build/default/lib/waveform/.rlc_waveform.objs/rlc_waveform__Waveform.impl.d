@@ -1,0 +1,1 @@
+lib/waveform/waveform.ml: Array Float Format Int List Option Rlc_num

@@ -1,0 +1,1 @@
+lib/waveform/waveform.mli: Format

@@ -1,0 +1,35 @@
+type edge = Waveform.direction = Rising | Falling
+
+let level_of_frac ~vdd ~edge ~frac =
+  match edge with Rising -> frac *. vdd | Falling -> (1. -. frac) *. vdd
+
+let t_frac w ~vdd ~edge ~frac =
+  let level = level_of_frac ~vdd ~edge ~frac in
+  Waveform.first_crossing w ~level ~direction:edge
+
+let t_frac_exn w ~vdd ~edge ~frac =
+  match t_frac w ~vdd ~edge ~frac with
+  | Some t -> t
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Measure.t_frac: waveform never reaches %.0f%% of %g V" (frac *. 100.)
+           vdd)
+
+let slew w ~vdd ~edge ~lo ~hi =
+  match (t_frac w ~vdd ~edge ~frac:lo, t_frac w ~vdd ~edge ~frac:hi) with
+  | Some a, Some b -> Some (b -. a)
+  | _ -> None
+
+let slew_10_90 w ~vdd ~edge = slew w ~vdd ~edge ~lo:0.1 ~hi:0.9
+let slew_20_80 w ~vdd ~edge = slew w ~vdd ~edge ~lo:0.2 ~hi:0.8
+let full_swing_of_slew ~lo ~hi s = s /. (hi -. lo)
+
+let delay_50 ~input ~output ~vdd ~input_edge ~output_edge =
+  match
+    (t_frac input ~vdd ~edge:input_edge ~frac:0.5, t_frac output ~vdd ~edge:output_edge ~frac:0.5)
+  with
+  | Some a, Some b -> Some (b -. a)
+  | _ -> None
+
+let rel_error ~actual ~model = (model -. actual) /. actual
+let pct_error ~actual ~model = 100. *. rel_error ~actual ~model

@@ -1,0 +1,120 @@
+type t = { ts : float array; vs : float array }
+
+let create ~ts ~vs =
+  let n = Array.length ts in
+  if Array.length vs <> n then invalid_arg "Waveform.create: length mismatch";
+  if n < 2 then invalid_arg "Waveform.create: needs >= 2 samples";
+  for i = 0 to n - 2 do
+    if ts.(i + 1) < ts.(i) then invalid_arg "Waveform.create: times must be non-decreasing"
+  done;
+  { ts = Array.copy ts; vs = Array.copy vs }
+
+let of_fun ~t0 ~t1 ~n f =
+  if n < 2 then invalid_arg "Waveform.of_fun: n >= 2";
+  let ts = Array.init n (fun i -> t0 +. ((t1 -. t0) *. float_of_int i /. float_of_int (n - 1))) in
+  { ts; vs = Array.map f ts }
+
+let length w = Array.length w.ts
+let times w = Array.copy w.ts
+let values w = Array.copy w.vs
+let t_start w = w.ts.(0)
+let t_end w = w.ts.(Array.length w.ts - 1)
+
+let value_at w t =
+  let n = Array.length w.ts in
+  if t <= w.ts.(0) then w.vs.(0)
+  else if t >= w.ts.(n - 1) then w.vs.(n - 1)
+  else begin
+    let i = Rlc_num.Interp.bracket w.ts t in
+    let t0 = w.ts.(i) and t1 = w.ts.(i + 1) in
+    if t1 = t0 then w.vs.(i + 1)
+    else w.vs.(i) +. ((t -. t0) /. (t1 -. t0) *. (w.vs.(i + 1) -. w.vs.(i)))
+  end
+
+let v_min w = Array.fold_left Float.min Float.infinity w.vs
+let v_max w = Array.fold_left Float.max Float.neg_infinity w.vs
+let v_final w = w.vs.(Array.length w.vs - 1)
+let map_values f w = { w with vs = Array.map f w.vs }
+let shift_time dt w = { w with ts = Array.map (fun t -> t +. dt) w.ts }
+
+let clip w ~t_lo ~t_hi =
+  if t_hi <= t_lo then invalid_arg "Waveform.clip: empty window";
+  let pts = ref [] in
+  let push t v = pts := (t, v) :: !pts in
+  push t_lo (value_at w t_lo);
+  Array.iteri (fun i t -> if t > t_lo && t < t_hi then push t w.vs.(i)) w.ts;
+  push t_hi (value_at w t_hi);
+  let pts = List.rev !pts in
+  { ts = Array.of_list (List.map fst pts); vs = Array.of_list (List.map snd pts) }
+
+let resample w ~n = of_fun ~t0:(t_start w) ~t1:(t_end w) ~n (value_at w)
+
+type direction = Rising | Falling
+
+let crossings w ~level ~direction =
+  let n = Array.length w.ts in
+  let out = ref [] in
+  for i = 0 to n - 2 do
+    let v0 = w.vs.(i) and v1 = w.vs.(i + 1) in
+    let hit =
+      match direction with
+      | Rising -> v0 < level && v1 >= level
+      | Falling -> v0 > level && v1 <= level
+    in
+    if hit then begin
+      let t0 = w.ts.(i) and t1 = w.ts.(i + 1) in
+      let t = if v1 = v0 then t1 else t0 +. ((level -. v0) /. (v1 -. v0) *. (t1 -. t0)) in
+      out := t :: !out
+    end
+  done;
+  List.rev !out
+
+let first_crossing w ~level ~direction =
+  match crossings w ~level ~direction with [] -> None | t :: _ -> Some t
+
+let last_crossing w ~level ~direction =
+  match List.rev (crossings w ~level ~direction) with [] -> None | t :: _ -> Some t
+
+let overshoot w ~final = Float.max 0. (v_max w -. final)
+
+let is_monotone_rising ?(tol = 0.) w =
+  let ok = ref true in
+  for i = 0 to Array.length w.vs - 2 do
+    if w.vs.(i + 1) < w.vs.(i) -. tol then ok := false
+  done;
+  !ok
+
+let charge_integral w = Rlc_num.Quadrature.trapezoid_sampled w.ts w.vs
+
+let sampled_diff ?(n = 512) a b ~t0 ~t1 reduce init =
+  if t1 <= t0 then invalid_arg "Waveform.diff: empty window";
+  if n < 2 then invalid_arg "Waveform.diff: n >= 2";
+  let acc = ref init in
+  for i = 0 to n - 1 do
+    let t = t0 +. ((t1 -. t0) *. float_of_int i /. float_of_int (n - 1)) in
+    acc := reduce !acc (value_at a t -. value_at b t)
+  done;
+  !acc
+
+let rms_diff ?n a b ~t0 ~t1 =
+  let count = Option.value n ~default:512 in
+  let sum_sq = sampled_diff ?n a b ~t0 ~t1 (fun acc d -> acc +. (d *. d)) 0. in
+  Float.sqrt (sum_sq /. float_of_int count)
+
+let max_diff ?n a b ~t0 ~t1 =
+  sampled_diff ?n a b ~t0 ~t1 (fun acc d -> Float.max acc (Float.abs d)) 0.
+
+let pp fmt w =
+  Format.fprintf fmt "waveform<%d samples, t=[%a, %a], v=[%g, %g]>" (length w)
+    Rlc_num.Units.pp_time (t_start w) Rlc_num.Units.pp_time (t_end w) (v_min w) (v_max w)
+
+let pp_series ?(max_rows = max_int) ~unit_time ~unit_v fmt w =
+  let n = length w in
+  let stride = Int.max 1 ((n + max_rows - 1) / max_rows) in
+  let i = ref 0 in
+  while !i < n do
+    Format.fprintf fmt "%12.4f %12.5f@\n" (w.ts.(!i) /. unit_time) (w.vs.(!i) /. unit_v);
+    i := !i + stride
+  done;
+  if (n - 1) mod stride <> 0 then
+    Format.fprintf fmt "%12.4f %12.5f@\n" (w.ts.(n - 1) /. unit_time) (w.vs.(n - 1) /. unit_v)

@@ -1,0 +1,69 @@
+(** Sampled voltage waveforms.
+
+    A waveform is a pair of parallel arrays [(ts, vs)] with non-decreasing
+    times; values between samples are linearly interpolated.  Reference
+    (transient-simulated) and modelled (two-ramp) waveforms both flow through
+    this type so delay/slew are measured by the same code on both sides. *)
+
+type t
+
+val create : ts:float array -> vs:float array -> t
+(** Validates equal lengths (>= 2) and non-decreasing times. *)
+
+val of_fun : t0:float -> t1:float -> n:int -> (float -> float) -> t
+(** Sample a function at [n] uniformly spaced points ([n >= 2]). *)
+
+val length : t -> int
+val times : t -> float array
+val values : t -> float array
+val t_start : t -> float
+val t_end : t -> float
+
+val value_at : t -> float -> float
+(** Linear interpolation; clamps to the first/last sample outside the
+    domain. *)
+
+val v_min : t -> float
+val v_max : t -> float
+val v_final : t -> float
+
+val map_values : (float -> float) -> t -> t
+val shift_time : float -> t -> t
+val clip : t -> t_lo:float -> t_hi:float -> t
+(** Restrict to the samples inside [\[t_lo, t_hi\]], adding interpolated
+    boundary samples. *)
+
+val resample : t -> n:int -> t
+
+type direction = Rising | Falling
+
+val crossings : t -> level:float -> direction:direction -> float list
+(** All interpolated times where the waveform crosses [level] in the given
+    direction, in time order. *)
+
+val first_crossing : t -> level:float -> direction:direction -> float option
+val last_crossing : t -> level:float -> direction:direction -> float option
+
+val overshoot : t -> final:float -> float
+(** [max 0 (v_max - final)]. *)
+
+val is_monotone_rising : ?tol:float -> t -> bool
+
+val charge_integral : t -> float
+(** Trapezoidal integral of the samples over time (used to integrate
+    currents). *)
+
+val rms_diff : ?n:int -> t -> t -> t0:float -> t1:float -> float
+(** Root-mean-square difference of two waveforms over [\[t0, t1\]], sampled
+    at [n] (default 512) uniform points — the figure-fidelity metric in
+    EXPERIMENTS.md. *)
+
+val max_diff : ?n:int -> t -> t -> t0:float -> t1:float -> float
+
+val pp : Format.formatter -> t -> unit
+(** Compact summary (sample count, span, range) for logs and test output. *)
+
+val pp_series : ?max_rows:int -> unit_time:float -> unit_v:float ->
+  Format.formatter -> t -> unit
+(** Two-column (time, value) dump scaled by the given units, e.g.
+    [unit_time = 1e-12] prints picoseconds.  Used by the figure benches. *)

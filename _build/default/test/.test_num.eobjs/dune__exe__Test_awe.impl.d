@@ -1,0 +1,1 @@
+test/test_awe.ml: Abcd Alcotest Array Awe Cx Float Gen Line List Pade Poly Polyroots Printf QCheck QCheck_alcotest Rlc_moments Rlc_num Rlc_tline

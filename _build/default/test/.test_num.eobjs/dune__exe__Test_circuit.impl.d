@@ -1,0 +1,1 @@
+test/test_circuit.ml: Alcotest Array Engine Float Format List Netlist Printf Pwl QCheck QCheck_alcotest Rlc_circuit Rlc_waveform Waveform

@@ -1,0 +1,1 @@
+test/test_coupled.ml: Alcotest Coupled_ladder Engine Float Line List Netlist Option Printf Rlc_circuit Rlc_tline Rlc_waveform Waveform

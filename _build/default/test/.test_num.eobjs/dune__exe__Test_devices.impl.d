@@ -1,0 +1,1 @@
+test/test_devices.ml: Alcotest Array Engine Float Inverter List Measure Mosfet Netlist Printf QCheck QCheck_alcotest Rlc_circuit Rlc_devices Rlc_waveform Tech Testbench Waveform

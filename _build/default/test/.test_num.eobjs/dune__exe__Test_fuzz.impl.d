@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Alcotest Array Char Cx Float Gen List Poly Polyroots QCheck QCheck_alcotest Rlc_ceff Rlc_liberty Rlc_moments Rlc_num Rlc_spef

@@ -1,0 +1,1 @@
+test/test_moments.ml: Abcd Alcotest Array Cx Float Line List Moments Pade Printf QCheck QCheck_alcotest Rlc_moments Rlc_num Rlc_tline Tree

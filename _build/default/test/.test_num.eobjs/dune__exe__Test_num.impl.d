@@ -1,0 +1,1 @@
+test/test_num.ml: Alcotest Array Banded Cx Float Format Gen Int Interp Linalg List Poly QCheck QCheck_alcotest Quadrature Rlc_num Rootfind Tridiag Units

@@ -1,0 +1,1 @@
+test/test_parasitics.ml: Alcotest Extract Float List Printf QCheck QCheck_alcotest Rlc_parasitics Rlc_tline

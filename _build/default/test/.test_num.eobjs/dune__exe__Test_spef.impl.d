@@ -1,0 +1,1 @@
+test/test_spef.ml: Alcotest Array Buffer Float Lazy List Option Printf Result Rlc_moments Rlc_spef Rlc_tline String

@@ -1,0 +1,1 @@
+test/test_sta.ml: Alcotest Float Lazy List Printf Reference Rlc_ceff Rlc_devices Rlc_num Rlc_parasitics Rlc_sta Rlc_waveform Sta

@@ -1,0 +1,1 @@
+test/test_tline.ml: Abcd Alcotest Array Cx Engine Float Ladder Lattice Line List Netlist Option Printf QCheck QCheck_alcotest Rlc_circuit Rlc_num Rlc_tline Rlc_waveform Transfer Waveform

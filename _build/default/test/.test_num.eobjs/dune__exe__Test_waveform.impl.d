@@ -1,0 +1,1 @@
+test/test_waveform.ml: Alcotest Float List Measure Printf Pwl QCheck QCheck_alcotest Rlc_num Rlc_waveform Units Waveform

@@ -1,0 +1,142 @@
+(* Arbitrary-degree root finding and the order-q AWE generalization of the
+   paper's 3/2 admittance fit. *)
+open Rlc_num
+open Rlc_moments
+open Rlc_tline
+
+let check_rel ?(tol = 1e-6) msg expected actual =
+  Alcotest.(check (float (tol *. (Float.abs expected +. 1e-300)))) msg expected actual
+
+(* ----------------------------------------------------------- polyroots *)
+
+let test_roots_known_quintic () =
+  (* (x-1)(x-2)(x-3)(x-4)(x-5) *)
+  let p = Poly.of_coeffs [| -120.; 274.; -225.; 85.; -15.; 1. |] in
+  let roots = Polyroots.roots p in
+  Alcotest.(check int) "count" 5 (List.length roots);
+  List.iter
+    (fun (z : Cx.t) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "residual at %g+%gi" z.Cx.re z.Cx.im)
+        true
+        (Polyroots.residual p z < 1e-9))
+    roots;
+  let reals = List.sort compare (List.map (fun (z : Cx.t) -> Float.round z.Cx.re) roots) in
+  Alcotest.(check (list (float 1e-9))) "integer roots" [ 1.; 2.; 3.; 4.; 5. ] reals
+
+let test_roots_complex_quartic () =
+  (* (x^2+1)(x^2+4): roots +-i, +-2i. *)
+  let p = Poly.of_coeffs [| 4.; 0.; 5.; 0.; 1. |] in
+  let roots = Polyroots.roots p in
+  Alcotest.(check int) "count" 4 (List.length roots);
+  List.iter
+    (fun z -> Alcotest.(check bool) "residual" true (Polyroots.residual p z < 1e-9))
+    roots;
+  let mags = List.sort compare (List.map Cx.norm roots) in
+  List.iter2 (fun e a -> check_rel ~tol:1e-6 "magnitude" e a) [ 1.; 1.; 2.; 2. ] mags
+
+let test_roots_matches_closed_form () =
+  let p = Poly.of_coeffs [| 6.; -5.; 1. |] in
+  let aberth = List.sort compare (List.map (fun (z : Cx.t) -> z.Cx.re) (Polyroots.roots p)) in
+  List.iter2 (fun e a -> check_rel ~tol:1e-9 "vs quadratic formula" e a) [ 2.; 3. ] aberth
+
+let prop_roots_reconstruct_polynomial =
+  QCheck.Test.make ~name:"Aberth roots reproduce random polynomials" ~count:100
+    QCheck.(list_of_size (Gen.int_range 3 7) (float_range (-3.) 3.))
+    (fun root_list ->
+      (* Build p = prod (x - r_i) from random real roots, re-find them. *)
+      let p =
+        List.fold_left
+          (fun acc r -> Poly.mul acc (Poly.of_coeffs [| -.r; 1. |]))
+          Poly.one root_list
+      in
+      let found = Polyroots.roots p in
+      List.length found = List.length root_list
+      && List.for_all (fun z -> Polyroots.residual p z < 1e-6) found)
+
+(* ----------------------------------------------------------------- awe *)
+
+let line7 = Line.of_totals ~r:101.3 ~l:7.1e-9 ~c:1.54e-12 ~length:7e-3
+let cl = 10e-15
+
+let test_q2_equals_pade () =
+  let awe = Awe.of_line ~q:2 line7 ~cl in
+  let pade = Pade.of_load line7 ~cl in
+  let p2 = Awe.to_pade awe in
+  check_rel "a1" pade.Pade.a1 p2.Pade.a1;
+  check_rel "a2" pade.Pade.a2 p2.Pade.a2;
+  check_rel "a3" pade.Pade.a3 p2.Pade.a3;
+  check_rel "b1" pade.Pade.b1 p2.Pade.b1;
+  check_rel "b2" pade.Pade.b2 p2.Pade.b2
+
+let test_moments_roundtrip () =
+  List.iter
+    (fun q ->
+      let awe = Awe.of_line ~q line7 ~cl in
+      let m = Rlc_tline.Abcd.input_admittance_moments line7 ~cl ~order:((2 * q) + 1) in
+      let m' = Awe.moments awe ~order:((2 * q) + 1) in
+      for k = 1 to (2 * q) + 1 do
+        check_rel ~tol:1e-5 (Printf.sprintf "q=%d m%d" q k) m.(k) m'.(k)
+      done)
+    [ 1; 2; 3; 4 ]
+
+let test_accuracy_improves_with_order () =
+  (* Fit error against the exact admittance at a frequency near the first
+     line resonance must drop (substantially) from q=1 to q=3. *)
+  let s = Cx.make 0. (2. *. Float.pi *. 3e9) in
+  let exact = Abcd.input_admittance line7 ~cl s in
+  let err q =
+    let awe = Awe.of_line ~q line7 ~cl in
+    Cx.norm Cx.(Awe.eval awe s -: exact) /. Cx.norm exact
+  in
+  let e1 = err 1 and e3 = err 3 in
+  Alcotest.(check bool)
+    (Printf.sprintf "err q=1 %.3g -> q=3 %.3g" e1 e3)
+    true (e3 < e1 /. 5.)
+
+let test_stability_pattern () =
+  (* The classic AWE pathology, and the reason the paper's Section 1 cites
+     realizable reductions [6]: direct Pade moment matching of an inductive
+     line is NOT guaranteed stable.  On this line the even orders are stable
+     while q = 1 and q = 3 throw a right-half-plane pole — the q = 2 choice
+     of Eq. 3 is the smallest order that both sees inductance and stays
+     stable here. *)
+  List.iter
+    (fun (q, expect_stable) ->
+      let awe = Awe.of_line ~q line7 ~cl in
+      Alcotest.(check int) (Printf.sprintf "q=%d pole count" q) q (List.length (Awe.poles awe));
+      Alcotest.(check bool) (Printf.sprintf "q=%d stability" q) expect_stable (Awe.is_stable awe))
+    [ (1, false); (2, true); (3, false); (4, true) ]
+
+let test_insufficient_moments_rejected () =
+  Alcotest.(check bool) "too few moments" true
+    (match Awe.fit ~q:3 [| 0.; 1e-12; -1e-22 |] with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let test_to_pade_rejects_high_order () =
+  let awe = Awe.of_line ~q:4 line7 ~cl in
+  Alcotest.(check bool) "q=4 has no Eq. 3 form" true
+    (match Awe.to_pade awe with _ -> false | exception Invalid_argument _ -> true)
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "rlc_awe"
+    [
+      ( "polyroots",
+        [
+          Alcotest.test_case "quintic" `Quick test_roots_known_quintic;
+          Alcotest.test_case "complex quartic" `Quick test_roots_complex_quartic;
+          Alcotest.test_case "vs closed form" `Quick test_roots_matches_closed_form;
+          q prop_roots_reconstruct_polynomial;
+        ] );
+      ( "awe",
+        [
+          Alcotest.test_case "q=2 equals paper fit" `Quick test_q2_equals_pade;
+          Alcotest.test_case "moments roundtrip" `Quick test_moments_roundtrip;
+          Alcotest.test_case "order improves accuracy" `Quick test_accuracy_improves_with_order;
+          Alcotest.test_case "stability pattern" `Quick test_stability_pattern;
+          Alcotest.test_case "insufficient moments" `Quick test_insufficient_moments_rejected;
+          Alcotest.test_case "to_pade bounds" `Quick test_to_pade_rejects_high_order;
+        ] );
+    ]

@@ -1,0 +1,321 @@
+(* Validation of the nodal transient engine against closed-form circuit
+   responses: these are the physics the "HSPICE substitute" must get right
+   before any effective-capacitance experiment can be trusted. *)
+open Rlc_circuit
+open Rlc_waveform
+
+let check_float ?(eps = 1e-9) msg expected actual =
+  Alcotest.(check (float eps)) msg expected actual
+
+let step v t = if t <= 0. then 0. else v
+
+(* ------------------------------------------------------- linear circuits *)
+
+let test_rc_step () =
+  (* 1 kOhm into 1 pF: tau = 1 ns. *)
+  let nl = Netlist.create () in
+  let src = Netlist.node nl "src" and out = Netlist.node nl "out" in
+  Netlist.force_voltage nl src (step 1.);
+  Netlist.resistor nl src out 1e3;
+  Netlist.capacitor nl out Netlist.ground 1e-12;
+  let r = Engine.transient ~dt:5e-12 ~t_stop:5e-9 nl in
+  let w = Engine.voltage r out in
+  let tau = 1e-9 in
+  List.iter
+    (fun t ->
+      let expected = 1. -. Float.exp (-.t /. tau) in
+      check_float ~eps:2e-3 (Printf.sprintf "rc at %g" t) expected (Waveform.value_at w t))
+    [ 0.3e-9; 1e-9; 2e-9; 4e-9 ]
+
+let test_rc_divider_dc () =
+  let nl = Netlist.create () in
+  let src = Netlist.node nl "src" and mid = Netlist.node nl "mid" in
+  Netlist.force_voltage nl src (fun _ -> 1.8);
+  Netlist.resistor nl src mid 2e3;
+  Netlist.resistor nl mid Netlist.ground 1e3;
+  let v = Engine.dc_operating_point nl in
+  check_float ~eps:1e-9 "divider" 0.6 v.(mid)
+
+let test_series_rlc_underdamped () =
+  (* R = 20 Ohm, L = 5 nH, C = 1 pF: zeta ~ 0.141, wn = 1.414e10. *)
+  let r = 20. and l = 5e-9 and c = 1e-12 and v = 1. in
+  let nl = Netlist.create () in
+  let src = Netlist.node nl "src" and mid = Netlist.node nl "mid" and out = Netlist.node nl "out" in
+  Netlist.force_voltage nl src (step v);
+  Netlist.resistor nl src mid r;
+  Netlist.inductor nl mid out l;
+  Netlist.capacitor nl out Netlist.ground c;
+  let res = Engine.transient ~dt:0.2e-12 ~t_stop:2e-9 nl in
+  let w = Engine.voltage res out in
+  let wn = 1. /. Float.sqrt (l *. c) in
+  let zeta = r /. 2. *. Float.sqrt (c /. l) in
+  let wd = wn *. Float.sqrt (1. -. (zeta *. zeta)) in
+  let expected t =
+    let e = Float.exp (-.zeta *. wn *. t) in
+    v *. (1. -. (e *. (Float.cos (wd *. t) +. (zeta /. Float.sqrt (1. -. (zeta *. zeta)) *. Float.sin (wd *. t)))))
+  in
+  List.iter
+    (fun t ->
+      check_float ~eps:5e-3 (Printf.sprintf "rlc at %g" t) (expected t) (Waveform.value_at w t))
+    [ 0.1e-9; 0.22e-9; 0.5e-9; 1.0e-9; 1.8e-9 ];
+  (* Underdamped response must overshoot the supply. *)
+  Alcotest.(check bool) "overshoots" true (Waveform.v_max w > 1.2)
+
+let test_backward_euler_damps () =
+  (* BE is more dissipative than trapezoidal: peak overshoot must be lower. *)
+  let build () =
+    let nl = Netlist.create () in
+    let src = Netlist.node nl "src" and mid = Netlist.node nl "mid" and out = Netlist.node nl "out" in
+    Netlist.force_voltage nl src (step 1.);
+    Netlist.resistor nl src mid 10.;
+    Netlist.inductor nl mid out 5e-9;
+    Netlist.capacitor nl out Netlist.ground 1e-12;
+    (nl, out)
+  in
+  let run integration =
+    let nl, out = build () in
+    let options =
+      { (Engine.default_options ~dt:2e-12 ~t_stop:2e-9) with Engine.integration } in
+    let r = Engine.transient ~options ~dt:2e-12 ~t_stop:2e-9 nl in
+    Waveform.v_max (Engine.voltage r out)
+  in
+  let peak_trap = run Engine.Trapezoidal and peak_be = run Engine.Backward_euler in
+  Alcotest.(check bool)
+    (Printf.sprintf "BE peak (%.3f) < trap peak (%.3f)" peak_be peak_trap)
+    true (peak_be < peak_trap)
+
+let test_current_source_into_rc () =
+  (* 1 mA into 1 kOhm || cap: settles to 1 V. *)
+  let nl = Netlist.create () in
+  let out = Netlist.node nl "out" in
+  Netlist.current_source nl Netlist.ground out (step 1e-3);
+  Netlist.resistor nl out Netlist.ground 1e3;
+  Netlist.capacitor nl out Netlist.ground 1e-12;
+  let r = Engine.transient ~dt:10e-12 ~t_stop:10e-9 nl in
+  check_float ~eps:2e-3 "settles to IR" 1. (Engine.voltage_at r out 9e-9)
+
+let test_lc_ladder_time_of_flight () =
+  (* Matched-source lossless line: far end sees a full-swing step delayed by
+     the time of flight sqrt(Ltot * Ctot). *)
+  let l_tot = 5e-9 and c_tot = 1e-12 and n = 60 in
+  let z0 = Float.sqrt (l_tot /. c_tot) in
+  let tf = Float.sqrt (l_tot *. c_tot) in
+  let nl = Netlist.create () in
+  let src = Netlist.node nl "src" in
+  Netlist.force_voltage nl src (step 1.);
+  let drive = Netlist.node nl "drive" in
+  Netlist.resistor nl src drive z0;
+  let dl = l_tot /. float_of_int n and dc = c_tot /. float_of_int n in
+  let last =
+    List.fold_left
+      (fun prev i ->
+        let nn = Netlist.node nl (Printf.sprintf "n%d" i) in
+        Netlist.inductor nl prev nn dl;
+        Netlist.capacitor nl nn Netlist.ground dc;
+        nn)
+      drive
+      (List.init n (fun i -> i))
+  in
+  let r = Engine.transient ~dt:0.25e-12 ~t_stop:0.5e-9 nl in
+  let far = Engine.voltage r last in
+  (match Waveform.first_crossing far ~level:0.5 ~direction:Waveform.Rising with
+  | Some t50 ->
+      Alcotest.(check bool)
+        (Printf.sprintf "far-end 50%% at %.1f ps vs tf %.1f ps" (t50 /. 1e-12) (tf /. 1e-12))
+        true
+        (Float.abs (t50 -. tf) < 0.08 *. tf)
+  | None -> Alcotest.fail "far end never crossed 50%");
+  (* Open far end doubles the incident half-swing wave: settles near 1 V. *)
+  check_float ~eps:0.05 "far end settles" 1. (Waveform.v_final far)
+
+let test_pwl_replay () =
+  (* Forced PWL source reproduces itself at the forced node. *)
+  let p = Pwl.two_ramp ~t0:20e-12 ~vdd:1.8 ~f:0.55 ~tr1:30e-12 ~tr2:180e-12 in
+  let nl = Netlist.create () in
+  let src = Netlist.node nl "src" and out = Netlist.node nl "out" in
+  Netlist.force_voltage nl src (Pwl.eval p);
+  Netlist.resistor nl src out 50.;
+  Netlist.capacitor nl out Netlist.ground 10e-15;
+  let r = Engine.transient ~dt:1e-12 ~t_stop:400e-12 nl in
+  let w = Engine.voltage r src in
+  List.iter
+    (fun t -> check_float ~eps:1e-6 (Printf.sprintf "pwl at %g" t) (Pwl.eval p t) (Waveform.value_at w t))
+    [ 25e-12; 50e-12; 150e-12; 350e-12 ]
+
+(* ---------------------------------------------------------- nonlinear *)
+
+(* A nonlinear element that behaves exactly like a grounded linear resistor:
+   the Newton path must then agree with the plain resistor stamp. *)
+let nonlinear_resistor node g =
+  {
+    Netlist.nl_name = "gres";
+    nl_nodes = [| node |];
+    nl_eval =
+      (fun v ->
+        let i = g *. v.(0) in
+        ([| i |], [| [| g |] |]));
+  }
+
+let test_nonlinear_matches_linear () =
+  let build use_nonlinear =
+    let nl = Netlist.create () in
+    let src = Netlist.node nl "src" and out = Netlist.node nl "out" in
+    Netlist.force_voltage nl src (fun _ -> 2.);
+    Netlist.resistor nl src out 1e3;
+    if use_nonlinear then Netlist.nonlinear nl (nonlinear_resistor out 1e-3)
+    else Netlist.resistor nl out Netlist.ground 1e3;
+    let v = Engine.dc_operating_point nl in
+    v.(out)
+  in
+  check_float ~eps:1e-9 "nonlinear = linear" (build false) (build true)
+
+let test_diode_clamp_dc () =
+  (* Source 1 V -> 1 kOhm -> diode to ground.  Check KCL at the solution:
+     (1 - v)/R = Is (exp (v/vt) - 1). *)
+  let is_ = 1e-14 and vt = 0.02585 in
+  let nl = Netlist.create () in
+  let src = Netlist.node nl "src" and out = Netlist.node nl "out" in
+  Netlist.force_voltage nl src (fun _ -> 1.);
+  Netlist.resistor nl src out 1e3;
+  Netlist.nonlinear nl
+    {
+      Netlist.nl_name = "diode";
+      nl_nodes = [| out |];
+      nl_eval =
+        (fun v ->
+          (* Exponent clamp keeps early Newton iterations finite. *)
+          let x = Float.min (v.(0) /. vt) 60. in
+          let e = Float.exp x in
+          ([| is_ *. (e -. 1.) |], [| [| is_ *. e /. vt |] |]));
+    };
+  let v = Engine.dc_operating_point nl in
+  let i_r = (1. -. v.(out)) /. 1e3 in
+  let i_d = is_ *. (Float.exp (v.(out) /. vt) -. 1.) in
+  check_float ~eps:1e-9 "KCL balance" 0. (i_r -. i_d);
+  Alcotest.(check bool) "forward drop plausible" true (v.(out) > 0.4 && v.(out) < 0.75)
+
+(* ----------------------------------------------------------- netlist *)
+
+let test_floating_node_rejected () =
+  let nl = Netlist.create () in
+  let a = Netlist.node nl "a" and b = Netlist.node nl "b" in
+  Netlist.resistor nl a b 1e3;
+  Alcotest.(check bool) "floating pair detected" true
+    (match Netlist.validate nl with _ -> false | exception Failure _ -> true)
+
+let test_double_force_rejected () =
+  let nl = Netlist.create () in
+  let a = Netlist.node nl "a" in
+  Netlist.force_voltage nl a (fun _ -> 1.);
+  Alcotest.(check bool) "double force" true
+    (match Netlist.force_voltage nl a (fun _ -> 2.) with
+    | _ -> false
+    | exception Invalid_argument _ -> true);
+  Alcotest.(check bool) "force ground" true
+    (match Netlist.force_voltage nl Netlist.ground (fun _ -> 2.) with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let test_invalid_element_values () =
+  let nl = Netlist.create () in
+  let a = Netlist.node nl "a" in
+  Alcotest.(check bool) "zero resistance" true
+    (match Netlist.resistor nl a Netlist.ground 0. with
+    | _ -> false
+    | exception Invalid_argument _ -> true);
+  Alcotest.(check bool) "negative capacitance" true
+    (match Netlist.capacitor nl a Netlist.ground (-1e-15) with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let test_engine_stats_and_options () =
+  let nl = Netlist.create () in
+  let src = Netlist.node nl "src" and out = Netlist.node nl "out" in
+  Netlist.force_voltage nl src (step 1.);
+  Netlist.resistor nl src out 1e3;
+  Netlist.capacitor nl out Netlist.ground 1e-12;
+  let r = Engine.transient ~dt:10e-12 ~t_stop:1e-9 nl in
+  Alcotest.(check int) "step count" 100 (Engine.steps r);
+  (* Linear circuit: exactly one solve per step. *)
+  Alcotest.(check int) "newton total" 100 (Engine.newton_total r);
+  Alcotest.(check int) "newton worst" 1 (Engine.newton_worst r);
+  Alcotest.(check bool) "invalid dt rejected" true
+    (match Engine.transient ~dt:0. ~t_stop:1e-9 nl with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let test_nonlinear_newton_counts () =
+  let nl = Netlist.create () in
+  let src = Netlist.node nl "src" and out = Netlist.node nl "out" in
+  Netlist.force_voltage nl src (step 1.);
+  Netlist.resistor nl src out 1e3;
+  Netlist.nonlinear nl (nonlinear_resistor out 1e-3);
+  let r = Engine.transient ~dt:10e-12 ~t_stop:0.2e-9 nl in
+  (* Nonlinear path needs at least the verification iteration. *)
+  Alcotest.(check bool) "newton ran" true (Engine.newton_total r >= Engine.steps r);
+  Alcotest.(check bool) "bounded iterations" true (Engine.newton_worst r <= 10)
+
+let test_pp_summary () =
+  let nl = Netlist.create () in
+  let a = Netlist.node nl "a" in
+  Netlist.force_voltage nl a (fun _ -> 1.);
+  let b = Netlist.node nl "b" in
+  Netlist.resistor nl a b 10.;
+  Netlist.capacitor nl b Netlist.ground 1e-15;
+  let s = Format.asprintf "%a" Netlist.pp_summary nl in
+  Alcotest.(check string) "summary" "netlist<3 nodes, 1R 1C 0L 0I 0K 0 nonlinear, 1 forced>" s
+
+let test_node_names () =
+  let nl = Netlist.create () in
+  let a = Netlist.node nl "alpha" in
+  let b = Netlist.node nl "beta" in
+  Alcotest.(check string) "ground name" "gnd" (Netlist.node_name nl Netlist.ground);
+  Alcotest.(check string) "first" "alpha" (Netlist.node_name nl a);
+  Alcotest.(check string) "second" "beta" (Netlist.node_name nl b)
+
+(* ------------------------------------------------------------ property *)
+
+let prop_rc_charge_conservation =
+  QCheck.Test.make ~name:"RC step settles to the source voltage" ~count:25
+    QCheck.(pair (float_range 100. 5000.) (float_range 0.1e-12 2e-12))
+    (fun (r, c) ->
+      let nl = Netlist.create () in
+      let src = Netlist.node nl "src" and out = Netlist.node nl "out" in
+      Netlist.force_voltage nl src (step 1.5);
+      Netlist.resistor nl src out r;
+      Netlist.capacitor nl out Netlist.ground c;
+      let tau = r *. c in
+      let res = Engine.transient ~dt:(tau /. 200.) ~t_stop:(8. *. tau) nl in
+      Float.abs (Engine.voltage_at res out (7.5 *. tau) -. 1.5) < 5e-3)
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "rlc_circuit"
+    [
+      ( "linear",
+        [
+          Alcotest.test_case "RC step response" `Quick test_rc_step;
+          Alcotest.test_case "DC divider" `Quick test_rc_divider_dc;
+          Alcotest.test_case "series RLC underdamped" `Quick test_series_rlc_underdamped;
+          Alcotest.test_case "BE damps vs trapezoidal" `Quick test_backward_euler_damps;
+          Alcotest.test_case "current source" `Quick test_current_source_into_rc;
+          Alcotest.test_case "LC ladder time of flight" `Quick test_lc_ladder_time_of_flight;
+          Alcotest.test_case "PWL replay" `Quick test_pwl_replay;
+          q prop_rc_charge_conservation;
+        ] );
+      ( "nonlinear",
+        [
+          Alcotest.test_case "nonlinear resistor = linear" `Quick test_nonlinear_matches_linear;
+          Alcotest.test_case "diode clamp KCL" `Quick test_diode_clamp_dc;
+        ] );
+      ( "netlist",
+        [
+          Alcotest.test_case "floating node" `Quick test_floating_node_rejected;
+          Alcotest.test_case "double force" `Quick test_double_force_rejected;
+          Alcotest.test_case "invalid values" `Quick test_invalid_element_values;
+          Alcotest.test_case "engine stats/options" `Quick test_engine_stats_and_options;
+          Alcotest.test_case "nonlinear newton counts" `Quick test_nonlinear_newton_counts;
+          Alcotest.test_case "pp summary" `Quick test_pp_summary;
+          Alcotest.test_case "node names" `Quick test_node_names;
+        ] );
+    ]

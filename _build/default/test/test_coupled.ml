@@ -1,0 +1,204 @@
+(* Mutual-inductance and coupled-line tests: companion-model correctness
+   against transformer theory, modal flight times against the even/odd
+   decomposition, and crosstalk sanity. *)
+open Rlc_circuit
+open Rlc_tline
+open Rlc_waveform
+
+let check_float ?(eps = 1e-9) msg expected actual =
+  Alcotest.(check (float eps)) msg expected actual
+
+let step v t = if t <= 0. then 0. else v
+
+(* ------------------------------------------------------- validation *)
+
+let test_lmat_validation () =
+  let nl = Netlist.create () in
+  let a = Netlist.node nl "a" and b = Netlist.node nl "b" in
+  let reject lmat =
+    match Netlist.coupled_inductors nl [| (a, Netlist.ground); (b, Netlist.ground) |] ~lmat with
+    | _ -> false
+    | exception Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "asymmetric rejected" true
+    (reject [| [| 1e-9; 0.5e-9 |]; [| 0.4e-9; 1e-9 |] |]);
+  Alcotest.(check bool) "non-passive rejected" true
+    (reject [| [| 1e-9; 1.5e-9 |]; [| 1.5e-9; 1e-9 |] |]);
+  Alcotest.(check bool) "negative self rejected" true
+    (reject [| [| -1e-9; 0. |]; [| 0.; 1e-9 |] |]);
+  Alcotest.(check bool) "k >= 1 rejected" true
+    (match Netlist.coupled_pair nl (a, Netlist.ground) 1e-9 (b, Netlist.ground) 1e-9 ~k:1. with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+(* ------------------------------------------------ companion physics *)
+
+(* A 1x1 "coupled" group must behave exactly like a plain inductor. *)
+let test_single_branch_group_equals_inductor () =
+  let run use_group =
+    let nl = Netlist.create () in
+    let src = Netlist.node nl "src" and mid = Netlist.node nl "mid" and out = Netlist.node nl "out" in
+    Netlist.force_voltage nl src (step 1.);
+    Netlist.resistor nl src mid 30.;
+    if use_group then Netlist.coupled_inductors nl [| (mid, out) |] ~lmat:[| [| 4e-9 |] |]
+    else Netlist.inductor nl mid out 4e-9;
+    Netlist.capacitor nl out Netlist.ground 1e-12;
+    let r = Engine.transient ~dt:0.5e-12 ~t_stop:1.5e-9 nl in
+    Engine.voltage r out
+  in
+  let wa = run false and wb = run true in
+  List.iter
+    (fun t ->
+      check_float ~eps:1e-9 (Printf.sprintf "match at %g" t) (Waveform.value_at wa t)
+        (Waveform.value_at wb t))
+    [ 0.1e-9; 0.3e-9; 0.7e-9; 1.2e-9 ]
+
+(* Shorted secondary: the primary sees the leakage inductance
+   L_eff = L1 (1 - k^2).  Compare the R-L current rise time constant. *)
+let test_shorted_secondary_leakage () =
+  let l1 = 5e-9 and k = 0.6 and r = 50. in
+  let run k =
+    let nl = Netlist.create () in
+    let src = Netlist.node nl "src" and mid = Netlist.node nl "mid" in
+    let sec = Netlist.node nl "sec" in
+    Netlist.force_voltage nl src (step 1.);
+    Netlist.resistor nl src mid r;
+    (* Primary from mid to ground; secondary shorted through 1 mOhm. *)
+    Netlist.coupled_pair nl (mid, Netlist.ground) l1 (sec, Netlist.ground) l1 ~k;
+    Netlist.resistor nl sec Netlist.ground 1e-3;
+    let res = Engine.transient ~dt:0.1e-12 ~t_stop:1e-9 nl in
+    Engine.voltage res mid
+  in
+  (* v_mid decays with tau = L_eff / R from 1 toward 0. *)
+  let tau_of w =
+    match Waveform.first_crossing w ~level:(Float.exp (-1.)) ~direction:Waveform.Falling with
+    | Some t -> t
+    | None -> Alcotest.fail "no decay"
+  in
+  let tau_coupled = tau_of (run k) in
+  let expected = l1 *. (1. -. (k *. k)) /. r in
+  Alcotest.(check bool)
+    (Printf.sprintf "tau %.1f ps vs leakage L/R %.1f ps" (tau_coupled /. 1e-12)
+       (expected /. 1e-12))
+    true
+    (Float.abs (tau_coupled -. expected) < 0.05 *. expected);
+  (* And without coupling the time constant is the full L1/R. *)
+  let tau0 = tau_of (run 0.) in
+  check_float ~eps:(0.05 *. l1 /. r) "uncoupled tau" (l1 /. r) tau0
+
+(* ------------------------------------------------------ modal flight *)
+
+let line_lossless = Line.of_totals ~r:1. ~l:5e-9 ~c:1e-12 ~length:5e-3
+
+let modal_run ~k ~cc_total ~drive_b =
+  let nl = Netlist.create () in
+  let src_a = Netlist.node nl "src_a" and src_b = Netlist.node nl "src_b" in
+  Netlist.force_voltage nl src_a (step 1.);
+  Netlist.force_voltage nl src_b (fun t -> drive_b *. step 1. t);
+  let drv_a = Netlist.node nl "drv_a" and drv_b = Netlist.node nl "drv_b" in
+  (* Roughly matched launches keep reflections small. *)
+  let z = Line.z0 line_lossless in
+  Netlist.resistor nl src_a drv_a z;
+  Netlist.resistor nl src_b drv_b z;
+  let built = Coupled_ladder.build ~n_segments:120 nl line_lossless ~k ~cc_total ~near_a:drv_a ~near_b:drv_b in
+  Netlist.capacitor nl built.Coupled_ladder.far_a Netlist.ground 1e-15;
+  Netlist.capacitor nl built.Coupled_ladder.far_b Netlist.ground 1e-15;
+  let r = Engine.transient ~dt:0.25e-12 ~t_stop:1e-9 nl in
+  (Engine.voltage r built.Coupled_ladder.far_a, Engine.voltage r built.Coupled_ladder.far_b)
+
+let test_even_mode_flight_time () =
+  let k = 0.4 and cc_total = 0.4e-12 in
+  (* Both lines driven identically: pure even mode; coupling cap inert. *)
+  let far_a, far_b = modal_run ~k ~cc_total ~drive_b:1. in
+  let tf_even = Coupled_ladder.even_mode_tf line_lossless ~k in
+  let t50 =
+    Option.get (Waveform.first_crossing far_a ~level:0.5 ~direction:Waveform.Rising)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "even-mode tf: %.1f ps vs theory %.1f ps" (t50 /. 1e-12) (tf_even /. 1e-12))
+    true
+    (Float.abs (t50 -. tf_even) < 0.10 *. tf_even);
+  (* Symmetry: both far ends identical. *)
+  check_float ~eps:1e-6 "symmetric" (Waveform.value_at far_a 0.8e-9) (Waveform.value_at far_b 0.8e-9)
+
+let test_odd_mode_flight_time () =
+  let k = 0.4 and cc_total = 0.4e-12 in
+  (* Opposite drive: pure odd mode, slower L(1-k) but heavier C + 2Cc. *)
+  let far_a, _ = modal_run ~k ~cc_total ~drive_b:(-1.) in
+  let tf_odd = Coupled_ladder.odd_mode_tf line_lossless ~k ~cc_total in
+  let t50 =
+    Option.get (Waveform.first_crossing far_a ~level:0.5 ~direction:Waveform.Rising)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "odd-mode tf: %.1f ps vs theory %.1f ps" (t50 /. 1e-12) (tf_odd /. 1e-12))
+    true
+    (Float.abs (t50 -. tf_odd) < 0.10 *. tf_odd)
+
+let test_modes_differ () =
+  let k = 0.4 and cc_total = 0.4e-12 in
+  let tf_even = Coupled_ladder.even_mode_tf line_lossless ~k in
+  let tf_odd = Coupled_ladder.odd_mode_tf line_lossless ~k ~cc_total in
+  Alcotest.(check bool) "even slower than odd here" true (tf_even > tf_odd *. 1.05)
+
+(* -------------------------------------------------------- crosstalk *)
+
+let test_quiet_victim_noise () =
+  let k = 0.4 and cc_total = 0.3e-12 in
+  (* Aggressor switches; victim held low through its driver resistance. *)
+  let far_a, far_b = modal_run ~k ~cc_total ~drive_b:0. in
+  ignore far_a;
+  let noise = Waveform.v_max far_b in
+  Alcotest.(check bool)
+    (Printf.sprintf "victim noise %.0f mV in (0, 500 mV)" (noise /. 1e-3))
+    true
+    (noise > 0.02 && noise < 0.5);
+  (* Victim settles back to quiet. *)
+  check_float ~eps:0.05 "settles" 0. (Waveform.v_final far_b)
+
+let test_no_coupling_no_noise () =
+  let far_a, far_b = modal_run ~k:0. ~cc_total:0. ~drive_b:0. in
+  ignore far_a;
+  Alcotest.(check bool) "silent victim" true (Waveform.v_max far_b < 1e-6)
+
+let test_forward_crosstalk_polarity () =
+  (* Classic coupled-line result: forward (far-end) crosstalk is
+     proportional to (Cc/C - M/L), so purely inductive coupling dips the
+     quiet victim's far end NEGATIVE while purely capacitive coupling pushes
+     it positive. *)
+  let _, far_inductive = modal_run ~k:0.5 ~cc_total:0. ~drive_b:0. in
+  Alcotest.(check bool)
+    (Printf.sprintf "inductive forward noise negative (min %.0f mV)"
+       (Waveform.v_min far_inductive /. 1e-3))
+    true
+    (Waveform.v_min far_inductive < -0.02);
+  let _, far_capacitive = modal_run ~k:0. ~cc_total:0.3e-12 ~drive_b:0. in
+  Alcotest.(check bool)
+    (Printf.sprintf "capacitive forward noise positive (max %.0f mV)"
+       (Waveform.v_max far_capacitive /. 1e-3))
+    true
+    (Waveform.v_max far_capacitive > 0.02
+    && Waveform.v_max far_capacitive > Float.abs (Waveform.v_min far_capacitive))
+
+let () =
+  Alcotest.run "rlc_coupled"
+    [
+      ( "netlist",
+        [ Alcotest.test_case "lmat validation" `Quick test_lmat_validation ] );
+      ( "companion",
+        [
+          Alcotest.test_case "1x1 group = inductor" `Quick test_single_branch_group_equals_inductor;
+          Alcotest.test_case "shorted-secondary leakage" `Quick test_shorted_secondary_leakage;
+        ] );
+      ( "modes",
+        [
+          Alcotest.test_case "even-mode flight" `Quick test_even_mode_flight_time;
+          Alcotest.test_case "odd-mode flight" `Quick test_odd_mode_flight_time;
+          Alcotest.test_case "modes differ" `Quick test_modes_differ;
+        ] );
+      ( "crosstalk",
+        [
+          Alcotest.test_case "quiet victim noise" `Quick test_quiet_victim_noise;
+          Alcotest.test_case "no coupling, no noise" `Quick test_no_coupling_no_noise;
+          Alcotest.test_case "forward crosstalk polarity" `Quick test_forward_crosstalk_polarity;
+        ] );
+    ]

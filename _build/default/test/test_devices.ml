@@ -1,0 +1,198 @@
+(* Device-model tests: alpha-power MOSFET continuity and Jacobian
+   correctness, inverter DC transfer, and transient drive sanity. *)
+open Rlc_devices
+open Rlc_waveform
+
+let tech = Tech.c018
+let vdd = tech.Tech.vdd
+
+let check_float ?(eps = 1e-9) msg expected actual =
+  Alcotest.(check (float eps)) msg expected actual
+
+(* ------------------------------------------------------------- MOSFET *)
+
+let test_off_below_threshold () =
+  let id, gm, gds = Mosfet.nmos_ids tech.Tech.nmos ~w_um:10. ~vgs:0.3 ~vds:1. in
+  check_float "id off" 0. id;
+  check_float "gm off" 0. gm;
+  check_float "gds off" 0. gds
+
+let test_continuity_at_vdsat () =
+  let p = tech.Tech.nmos in
+  let vgs = 1.2 in
+  let vd0 = p.Tech.kv *. ((vgs -. p.Tech.vth) ** (p.Tech.alpha /. 2.)) in
+  let below, _, _ = Mosfet.nmos_ids p ~w_um:10. ~vgs ~vds:(vd0 -. 1e-9) in
+  let above, _, _ = Mosfet.nmos_ids p ~w_um:10. ~vgs ~vds:(vd0 +. 1e-9) in
+  check_float ~eps:1e-9 "current continuous at vdsat" below above;
+  (* Slope continuity: dId/dVds -> Idsat * lambda at the boundary. *)
+  let _, _, gds_below = Mosfet.nmos_ids p ~w_um:10. ~vgs ~vds:(vd0 -. 1e-9) in
+  let _, _, gds_above = Mosfet.nmos_ids p ~w_um:10. ~vgs ~vds:(vd0 +. 1e-9) in
+  check_float ~eps:1e-6 "conductance continuous at vdsat" gds_below gds_above
+
+let test_continuity_at_threshold () =
+  let p = tech.Tech.nmos in
+  let just_on, gm, _ = Mosfet.nmos_ids p ~w_um:10. ~vgs:(p.Tech.vth +. 1e-6) ~vds:1. in
+  Alcotest.(check bool) "tiny current just above vth" true (just_on < 1e-8);
+  Alcotest.(check bool) "tiny gm just above vth" true (gm < 1e-4)
+
+let test_saturation_scaling () =
+  let p = tech.Tech.nmos in
+  let i1, _, _ = Mosfet.nmos_ids p ~w_um:10. ~vgs:vdd ~vds:vdd in
+  let i2, _, _ = Mosfet.nmos_ids p ~w_um:20. ~vgs:vdd ~vds:vdd in
+  check_float ~eps:1e-12 "current scales with width" (2. *. i1) i2;
+  (* 75X driver saturation current should be in the mA-tens range so that the
+     fitted driver resistance is comparable to global-wire Z0 (~50-70 Ohm). *)
+  let w75 = 75. *. 0.36 in
+  let i75, _, _ = Mosfet.nmos_ids p ~w_um:w75 ~vgs:vdd ~vds:vdd in
+  Alcotest.(check bool)
+    (Printf.sprintf "75X Idsat = %.1f mA plausible" (i75 /. 1e-3))
+    true
+    (i75 > 5e-3 && i75 < 40e-3)
+
+let test_source_drain_symmetry () =
+  let e1 = Mosfet.eval_nmos tech.Tech.nmos ~w_um:10. ~vd:1.0 ~vg:1.5 ~vs:0.2 in
+  let e2 = Mosfet.eval_nmos tech.Tech.nmos ~w_um:10. ~vd:0.2 ~vg:1.5 ~vs:1.0 in
+  check_float ~eps:1e-15 "reversing terminals negates current" (-.e1.Mosfet.id) e2.Mosfet.id
+
+let test_pmos_mirror () =
+  (* PMOS pulling its drain up: current must flow out of the device into the
+     drain (negative by our "into the device" drain convention). *)
+  let e = Mosfet.eval_pmos tech.Tech.pmos ~w_um:20. ~vd:0.5 ~vg:0. ~vs:vdd in
+  Alcotest.(check bool) "pmos sources current" true (e.Mosfet.id < -1e-4)
+
+let finite_diff f x h = (f (x +. h) -. f (x -. h)) /. (2. *. h)
+
+let prop_jacobian_matches_fd =
+  QCheck.Test.make ~name:"MOSFET Jacobian matches finite differences" ~count:300
+    QCheck.(triple (float_range 0. 1.8) (float_range 0. 1.8) (float_range 0. 1.8))
+    (fun (vd, vg, vs) ->
+      let p = tech.Tech.nmos and w_um = 12. in
+      (* Stay away from the non-smooth vds = 0 crease where one-sided
+         derivatives differ legitimately. *)
+      QCheck.assume (Float.abs (vd -. vs) > 1e-3);
+      let h = 1e-7 in
+      let id_at ~vd ~vg ~vs = (Mosfet.eval_nmos p ~w_um ~vd ~vg ~vs).Mosfet.id in
+      let e = Mosfet.eval_nmos p ~w_um ~vd ~vg ~vs in
+      let close a b = Float.abs (a -. b) < 1e-4 *. (1. +. Float.abs a +. Float.abs b) in
+      close e.Mosfet.g_dd (finite_diff (fun x -> id_at ~vd:x ~vg ~vs) vd h)
+      && close e.Mosfet.g_dg (finite_diff (fun x -> id_at ~vd ~vg:x ~vs) vg h)
+      && close e.Mosfet.g_ds (finite_diff (fun x -> id_at ~vd ~vg ~vs:x) vs h))
+
+(* ------------------------------------------------------------ Inverter *)
+
+let test_inverter_sizing () =
+  let inv = Inverter.make tech ~size:75. in
+  check_float ~eps:1e-9 "wn" 27. (Inverter.wn_um inv);
+  check_float ~eps:1e-9 "wp" 54. (Inverter.wp_um inv);
+  check_float ~eps:1e-20 "input cap" (81. *. 1.6e-15) (Inverter.input_cap inv);
+  check_float ~eps:1e-20 "junction cap" (81. *. 1.0e-15) (Inverter.output_junction_cap inv)
+
+let vtc vin =
+  let open Rlc_circuit in
+  let nl = Netlist.create () in
+  let vdd_node = Netlist.node nl "vdd" and input = Netlist.node nl "in" in
+  let output = Netlist.node nl "out" in
+  Netlist.force_voltage nl vdd_node (fun _ -> vdd);
+  Netlist.force_voltage nl input (fun _ -> vin);
+  Inverter.add nl (Inverter.make tech ~size:10.) ~vdd_node ~input ~output;
+  (Engine.dc_operating_point nl).(output)
+
+let test_vtc_rails () =
+  check_float ~eps:1e-3 "output high for low input" vdd (vtc 0.);
+  check_float ~eps:1e-3 "output low for high input" 0. (vtc vdd)
+
+let test_vtc_monotone () =
+  let vs = List.init 19 (fun i -> float_of_int i *. 0.1) in
+  let outs = List.map vtc vs in
+  let rec check = function
+    | a :: (b :: _ as rest) ->
+        Alcotest.(check bool) "monotone falling" true (b <= a +. 1e-6);
+        check rest
+    | _ -> ()
+  in
+  check outs
+
+let test_vtc_switching_region () =
+  let mid = vtc (vdd /. 2.) in
+  Alcotest.(check bool) "switching threshold near mid-rail" true (mid > 0.1 && mid < 1.7)
+
+(* ----------------------------------------------------------- Testbench *)
+
+let slew_for size cap =
+  let r =
+    Testbench.drive ~tech ~size ~input_slew:100e-12 ~t_stop:2e-9
+      ~load:(Testbench.cap_load cap) ()
+  in
+  match Measure.slew_10_90 r.Testbench.output ~vdd ~edge:Measure.Rising with
+  | Some s -> s
+  | None -> Alcotest.fail "driver output never completed its transition"
+
+let test_drive_rises_full_swing () =
+  let r =
+    Testbench.drive ~tech ~size:75. ~input_slew:100e-12 ~t_stop:2e-9
+      ~load:(Testbench.cap_load 500e-15) ()
+  in
+  check_float ~eps:0.01 "reaches vdd" vdd (Waveform.v_final r.Testbench.output);
+  check_float ~eps:1e-6 "starts at 0" 0.
+    (Waveform.value_at r.Testbench.output 1e-12);
+  Alcotest.(check bool) "input starts at vdd" true
+    (Waveform.value_at r.Testbench.input 1e-12 > vdd -. 1e-6)
+
+let test_fall_edge () =
+  let r =
+    Testbench.drive ~tech ~size:75. ~input_slew:100e-12 ~t_stop:2e-9 ~edge:Testbench.Fall
+      ~load:(Testbench.cap_load 500e-15) ()
+  in
+  check_float ~eps:0.01 "falls to 0" 0. (Waveform.v_final r.Testbench.output);
+  Alcotest.(check bool) "starts high" true (Waveform.value_at r.Testbench.output 1e-12 > vdd -. 0.01)
+
+let test_bigger_driver_is_faster () =
+  let s25 = slew_for 25. 500e-15 and s100 = slew_for 100. 500e-15 in
+  Alcotest.(check bool)
+    (Printf.sprintf "slew(25X)=%.1f ps > slew(100X)=%.1f ps" (s25 /. 1e-12) (s100 /. 1e-12))
+    true (s25 > 2. *. s100)
+
+let test_heavier_load_is_slower () =
+  let light = slew_for 75. 100e-15 and heavy = slew_for 75. 1e-12 in
+  Alcotest.(check bool)
+    (Printf.sprintf "slew(100fF)=%.1f ps < slew(1pF)=%.1f ps" (light /. 1e-12) (heavy /. 1e-12))
+    true (heavy > 2. *. light)
+
+let test_75x_drives_pf_in_hundreds_of_ps () =
+  (* Regime check backing the Rs ~ Z0 calibration claim in Tech. *)
+  let s = slew_for 75. 1e-12 in
+  Alcotest.(check bool)
+    (Printf.sprintf "75X 10-90 slew into 1 pF = %.0f ps" (s /. 1e-12))
+    true
+    (s > 30e-12 && s < 400e-12)
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "rlc_devices"
+    [
+      ( "mosfet",
+        [
+          Alcotest.test_case "off below threshold" `Quick test_off_below_threshold;
+          Alcotest.test_case "continuity at vdsat" `Quick test_continuity_at_vdsat;
+          Alcotest.test_case "continuity at vth" `Quick test_continuity_at_threshold;
+          Alcotest.test_case "saturation scaling" `Quick test_saturation_scaling;
+          Alcotest.test_case "source/drain symmetry" `Quick test_source_drain_symmetry;
+          Alcotest.test_case "pmos mirror" `Quick test_pmos_mirror;
+          q prop_jacobian_matches_fd;
+        ] );
+      ( "inverter",
+        [
+          Alcotest.test_case "sizing" `Quick test_inverter_sizing;
+          Alcotest.test_case "VTC rails" `Quick test_vtc_rails;
+          Alcotest.test_case "VTC monotone" `Quick test_vtc_monotone;
+          Alcotest.test_case "VTC switching region" `Quick test_vtc_switching_region;
+        ] );
+      ( "testbench",
+        [
+          Alcotest.test_case "full swing rise" `Quick test_drive_rises_full_swing;
+          Alcotest.test_case "fall edge" `Quick test_fall_edge;
+          Alcotest.test_case "size speeds up" `Quick test_bigger_driver_is_faster;
+          Alcotest.test_case "load slows down" `Quick test_heavier_load_is_slower;
+          Alcotest.test_case "75X regime" `Quick test_75x_drives_pf_in_hundreds_of_ps;
+        ] );
+    ]

@@ -1,0 +1,135 @@
+(* Robustness fuzzing: the Liberty and SPEF parsers must never raise on
+   arbitrary input — they either parse or return Error — and the numeric
+   kernels must stay finite on randomized physical inputs. *)
+open Rlc_num
+
+let printable_gen =
+  QCheck.Gen.(string_size ~gen:(map Char.chr (int_range 32 126)) (int_range 0 400))
+
+let mixed_gen =
+  (* Bias the fuzz toward inputs that reach deep into the parsers. *)
+  QCheck.Gen.(
+    oneof
+      [
+        printable_gen;
+        map (fun s -> "library (x) {" ^ s) printable_gen;
+        map (fun s -> "*SPEF \"x\"\n*D_NET n 1.0\n" ^ s) printable_gen;
+        map (fun s -> "cell (" ^ s ^ ") { }") printable_gen;
+        map (fun s -> s ^ "}") printable_gen;
+        map (fun s -> "*CAP\n" ^ s) printable_gen;
+      ])
+
+let prop_liberty_parser_total =
+  QCheck.Test.make ~name:"Liberty parser is total (Ok or Error, never raises)" ~count:500
+    (QCheck.make mixed_gen)
+    (fun src ->
+      match Rlc_liberty.Liberty_ast.parse src with Ok _ -> true | Error _ -> true)
+
+let prop_spef_parser_total =
+  QCheck.Test.make ~name:"SPEF parser is total" ~count:500 (QCheck.make mixed_gen)
+    (fun src -> match Rlc_spef.Spef.parse src with Ok _ -> true | Error _ -> true)
+
+let prop_liberty_roundtrip_fuzzed_numbers =
+  (* Any finite float must survive print -> parse exactly. *)
+  QCheck.Test.make ~name:"Liberty number round-trip" ~count:300
+    QCheck.(float)
+    (fun x ->
+      QCheck.assume (Float.is_finite x);
+      let g =
+        {
+          Rlc_liberty.Liberty_ast.gname = "library";
+          gargs = [ Rlc_liberty.Liberty_ast.Ident "f" ];
+          body = [ Rlc_liberty.Liberty_ast.Attribute ("v", Rlc_liberty.Liberty_ast.Num x) ];
+        }
+      in
+      match Rlc_liberty.Liberty_ast.parse (Rlc_liberty.Liberty_ast.to_string g) with
+      | Ok g' -> (
+          match Rlc_liberty.Liberty_ast.find_attr g' "v" with
+          | Some (Rlc_liberty.Liberty_ast.Num y) -> x = y
+          | _ -> false)
+      | Error _ -> false)
+
+let prop_ceff_finite_on_random_loads =
+  (* The Ceff closed forms must stay finite across the whole physical
+     parameter space, including near-critically-damped loads where the pole
+     pair nearly degenerates.  Note the bound: on strongly underdamped loads
+     the delivered charge RINGS, so Ceff can legitimately exceed Ctot (or
+     dip toward zero) at some window lengths — the model-flow iteration
+     clamps to (0, Ctot], but the raw closed form must only be finite and
+     physically bounded by the ringing envelope. *)
+  QCheck.Test.make ~name:"Ceff finite and envelope-bounded over random RLC loads" ~count:500
+    QCheck.(
+      quad (float_range 1. 1000.) (float_range 1e-11 2e-8) (float_range 1e-14 5e-12)
+        (pair (float_range 0.05 0.99) (float_range 5e-12 1e-9)))
+    (fun (r, l, c, (f, tr)) ->
+      let p =
+        Rlc_moments.Pade.of_tree
+          (Rlc_moments.Tree.make ~cap:0. ~children:[ (r, l, Rlc_moments.Tree.leaf c) ] ())
+      in
+      match Rlc_ceff.Ceff.first_ramp p ~f ~tr with
+      | v -> Float.is_finite v && v > -.c && v < 3. *. c
+      | exception Rlc_ceff.Ceff.Unstable_load _ -> true)
+
+let prop_moments_finite_on_random_trees =
+  let tree_gen =
+    QCheck.Gen.(
+      sized_size (int_range 1 12) (fun depth ->
+          fix
+            (fun self d ->
+              if d = 0 then map (fun c -> Rlc_moments.Tree.leaf (1e-16 +. (1e-13 *. c))) (float_range 0. 1.)
+              else
+                frequency
+                  [
+                    (2, map (fun c -> Rlc_moments.Tree.leaf (1e-16 +. (1e-13 *. c))) (float_range 0. 1.));
+                    ( 3,
+                      map3
+                        (fun r l child ->
+                          Rlc_moments.Tree.make ~cap:1e-16
+                            ~children:[ (1. +. (200. *. r), 1e-12 +. (5e-9 *. l), child) ]
+                            ())
+                        (float_range 0. 1.) (float_range 0. 1.) (self (d - 1)) );
+                    ( 2,
+                      map2
+                        (fun a b ->
+                          Rlc_moments.Tree.make ~cap:0.
+                            ~children:[ (50., 1e-10, a); (80., 2e-10, b) ]
+                            ())
+                        (self (d / 2)) (self (d / 2)) );
+                  ])
+            depth))
+  in
+  QCheck.Test.make ~name:"moments finite on random RLC trees" ~count:300 (QCheck.make tree_gen)
+    (fun t ->
+      let m = Rlc_moments.Moments.driving_point ~order:5 t in
+      Array.for_all Float.is_finite m
+      && Float.abs (m.(1) -. Rlc_moments.Tree.total_cap t) <= 1e-9 *. m.(1))
+
+let prop_aberth_total_on_random_coeffs =
+  QCheck.Test.make ~name:"Aberth handles random coefficient polynomials" ~count:200
+    QCheck.(list_of_size (Gen.int_range 3 9) (float_range (-10.) 10.))
+    (fun coeffs ->
+      let arr = Array.of_list coeffs in
+      QCheck.assume (Float.abs arr.(Array.length arr - 1) > 1e-3);
+      let p = Poly.of_coeffs arr in
+      QCheck.assume (Poly.degree p >= 1);
+      let roots = Polyroots.roots p in
+      List.length roots = Poly.degree p
+      && List.for_all (fun (z : Cx.t) -> Cx.is_finite z) roots)
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "rlc_fuzz"
+    [
+      ( "parsers",
+        [
+          q prop_liberty_parser_total;
+          q prop_spef_parser_total;
+          q prop_liberty_roundtrip_fuzzed_numbers;
+        ] );
+      ( "numerics",
+        [
+          q prop_ceff_finite_on_random_loads;
+          q prop_moments_finite_on_random_trees;
+          q prop_aberth_total_on_random_coeffs;
+        ] );
+    ]

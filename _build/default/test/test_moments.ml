@@ -1,0 +1,245 @@
+(* Moment computation and Pade fitting tests.  Closed-form lumped loads pin
+   the recurrence; the distributed ABCD series and the discretized chain
+   cross-check each other; Pade round-trips confirm Eq. 3 fitting. *)
+open Rlc_moments
+open Rlc_tline
+open Rlc_num
+
+let check_float ?(eps = 1e-9) msg expected actual =
+  Alcotest.(check (float eps)) msg expected actual
+
+let check_rel msg expected actual =
+  let tol = 1e-6 *. (Float.abs expected +. 1e-300) in
+  Alcotest.(check (float tol)) msg expected actual
+
+let line5 = Line.of_totals ~r:72.44 ~l:5.14e-9 ~c:1.10e-12 ~length:5e-3
+
+(* ---------------------------------------------------------------- Tree *)
+
+let test_tree_shape () =
+  let t =
+    Tree.make ~cap:1e-15
+      ~children:
+        [
+          (10., 1e-12, Tree.leaf 2e-15);
+          (20., 0., Tree.make ~cap:3e-15 ~children:[ (5., 1e-12, Tree.leaf 4e-15) ] ());
+        ]
+      ()
+  in
+  Alcotest.(check int) "node count" 4 (Tree.node_count t);
+  Alcotest.(check int) "depth" 3 (Tree.depth t);
+  check_float ~eps:1e-24 "total cap" 10e-15 (Tree.total_cap t)
+
+let test_tree_validation () =
+  Alcotest.(check bool) "zero branch R rejected" true
+    (match Tree.make ~cap:0. ~children:[ (0., 1e-12, Tree.leaf 1e-15) ] () with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let test_of_line_totals () =
+  let t = Tree.of_line ~n_segments:25 line5 ~cl:30e-15 in
+  Alcotest.(check int) "nodes = segments + root" 26 (Tree.node_count t);
+  check_float ~eps:1e-20 "total cap includes CL" (1.10e-12 +. 30e-15) (Tree.total_cap t)
+
+(* ----------------------------------------------- lumped closed forms *)
+
+let test_single_rc_moments () =
+  (* Y = sC / (1 + sRC): m_k = C * (-RC)^(k-1). *)
+  let r = 100. and c = 1e-12 in
+  let t = Tree.make ~cap:0. ~children:[ (r, 0., Tree.leaf c) ] () in
+  let m = Moments.driving_point ~order:5 t in
+  check_float "m0" 0. m.(0);
+  for k = 1 to 5 do
+    let expected = c *. ((-.r *. c) ** float_of_int (k - 1)) in
+    check_rel (Printf.sprintf "m%d" k) expected m.(k)
+  done
+
+let test_series_rlc_moments () =
+  (* Y = sC / (1 + sRC + s^2 LC); expansion of the geometric series gives
+     m1 = C, m2 = -RC^2, m3 = R^2C^3 - LC^2, m4 = -R^3C^4 + 2RLC^3,
+     m5 = R^4C^5 - 3R^2LC^4 + L^2C^3. *)
+  let r = 70. and l = 5e-9 and c = 1e-12 in
+  let t = Tree.make ~cap:0. ~children:[ (r, l, Tree.leaf c) ] () in
+  let m = Moments.driving_point ~order:5 t in
+  check_rel "m1" c m.(1);
+  check_rel "m2" (-.r *. c *. c) m.(2);
+  check_rel "m3" ((r *. r *. c *. c *. c) -. (l *. c *. c)) m.(3);
+  check_rel "m4" ((-.r *. r *. r *. c ** 4.) +. (2. *. r *. l *. (c ** 3.))) m.(4);
+  check_rel "m5"
+    (((r ** 4.) *. (c ** 5.)) -. (3. *. r *. r *. l *. (c ** 4.)) +. (l *. l *. (c ** 3.)))
+    m.(5)
+
+let test_two_stage_rc_ladder () =
+  (* R1-C1-R2-C2 ladder: m1 = C1 + C2, m2 = -(R1 (C1+C2)^2 + R2 C2^2). *)
+  let r1 = 50. and c1 = 0.4e-12 and r2 = 80. and c2 = 0.6e-12 in
+  let t =
+    Tree.make ~cap:0.
+      ~children:[ (r1, 0., Tree.make ~cap:c1 ~children:[ (r2, 0., Tree.leaf c2) ] ()) ]
+      ()
+  in
+  let m = Moments.driving_point ~order:2 t in
+  check_rel "m1" (c1 +. c2) m.(1);
+  check_rel "m2" (-.((r1 *. ((c1 +. c2) ** 2.)) +. (r2 *. c2 *. c2))) m.(2)
+
+let test_branched_tree_m1_m2 () =
+  (* Root -> R -> node with two capacitive branches; m2 sums per-cap
+     upstream resistances: m2 = -(R (Ca+Cb)^2 + Ra Ca^2 + Rb Cb^2). *)
+  let r = 30. and ra = 40. and ca = 0.3e-12 and rb = 60. and cb = 0.5e-12 in
+  let t =
+    Tree.make ~cap:0.
+      ~children:
+        [ (r, 0., Tree.make ~cap:0. ~children:[ (ra, 0., Tree.leaf ca); (rb, 0., Tree.leaf cb) ] ()) ]
+      ()
+  in
+  let m = Moments.driving_point ~order:2 t in
+  check_rel "m1" (ca +. cb) m.(1);
+  check_rel "m2" (-.((r *. ((ca +. cb) ** 2.)) +. (ra *. ca *. ca) +. (rb *. cb *. cb))) m.(2)
+
+(* ------------------------------------- distributed vs discretized *)
+
+let test_chain_converges_to_distributed () =
+  let cl = 20e-15 in
+  let exact = Moments.of_line ~order:5 line5 ~cl in
+  let approx = Moments.of_line_discretized ~order:5 ~n_segments:400 line5 ~cl in
+  for k = 1 to 5 do
+    let rel = Float.abs ((approx.(k) -. exact.(k)) /. exact.(k)) in
+    Alcotest.(check bool)
+      (Printf.sprintf "m%d discretization error %.2e" k rel)
+      true (rel < 0.02)
+  done
+
+let test_chain_convergence_order () =
+  (* Halving the segment size must shrink the m2 error. *)
+  let cl = 0. in
+  let exact = Moments.of_line ~order:2 line5 ~cl in
+  let err n =
+    let m = Moments.of_line_discretized ~order:2 ~n_segments:n line5 ~cl in
+    Float.abs ((m.(2) -. exact.(2)) /. exact.(2))
+  in
+  Alcotest.(check bool) "error decreases with refinement" true (err 200 < err 50 /. 2.)
+
+(* ---------------------------------------------------------------- Pade *)
+
+let test_pade_roundtrip_synthetic () =
+  (* Start from known coefficients, expand to moments, fit back. *)
+  let t0 = { Pade.a1 = 1e-12; a2 = -5e-23; a3 = 2e-33; b1 = 4e-11; b2 = 3e-22 } in
+  let m = Pade.moments t0 ~order:5 in
+  let t1 = Pade.fit m in
+  check_rel "a1" t0.Pade.a1 t1.Pade.a1;
+  check_rel "a2" t0.Pade.a2 t1.Pade.a2;
+  check_rel "a3" t0.Pade.a3 t1.Pade.a3;
+  check_rel "b1" t0.Pade.b1 t1.Pade.b1;
+  check_rel "b2" t0.Pade.b2 t1.Pade.b2
+
+let test_pade_moments_match_input () =
+  let cl = 10e-15 in
+  let m = Moments.of_line ~order:5 line5 ~cl in
+  let p = Pade.fit m in
+  let m' = Pade.moments p ~order:5 in
+  for k = 0 to 5 do
+    check_rel (Printf.sprintf "moment %d preserved" k) m.(k) m'.(k)
+  done
+
+let test_pade_pure_cap () =
+  let p = Pade.fit [| 0.; 1e-12; 0.; 0.; 0.; 0. |] in
+  check_float ~eps:1e-24 "a1" 1e-12 p.Pade.a1;
+  check_float "b2 degenerate" 0. p.Pade.b2;
+  Alcotest.(check bool) "no quadratic poles" true (Pade.poles p = None);
+  Alcotest.(check bool) "stable" true (Pade.is_stable p)
+
+let test_pade_single_pole_rc () =
+  (* Lumped RC has a rank-1 moment matrix: fit must degrade to 2/1 and
+     reproduce the exact single pole at -1/RC. *)
+  let r = 100. and c = 1e-12 in
+  let t = Tree.make ~cap:0. ~children:[ (r, 0., Tree.leaf c) ] () in
+  let p = Pade.of_tree t in
+  check_float "b2 = 0" 0. p.Pade.b2;
+  check_rel "b1 = RC" (r *. c) p.Pade.b1;
+  check_rel "a1 = C" c p.Pade.a1;
+  Alcotest.(check bool) "stable" true (Pade.is_stable p)
+
+let test_pade_line_poles_stable () =
+  let p = Pade.of_load line5 ~cl:20e-15 in
+  Alcotest.(check bool) "stable fit for the paper's 5 mm line" true (Pade.is_stable p);
+  check_rel "a1 is total cap" (1.10e-12 +. 20e-15) (Pade.total_cap p)
+
+let test_pade_eval_matches_exact_low_freq () =
+  let cl = 15e-15 in
+  let p = Pade.of_load line5 ~cl in
+  List.iter
+    (fun f ->
+      let s = Cx.make 0. (2. *. Float.pi *. f) in
+      let fit = Pade.eval p s and exact = Abcd.input_admittance line5 ~cl s in
+      let rel = Cx.norm Cx.(fit -: exact) /. Cx.norm exact in
+      Alcotest.(check bool) (Printf.sprintf "at %.0e Hz err %.2e" f rel) true (rel < 0.02))
+    [ 1e8; 5e8; 1e9 ]
+
+let prop_random_rc_trees_m1_m2_signs =
+  (* For any RC tree: m1 = total cap > 0 and m2 < 0. *)
+  let gen =
+    QCheck.Gen.(
+      sized_size (int_range 1 8) (fun n ->
+          fix
+            (fun self n ->
+              if n = 0 then map (fun c -> Tree.leaf (1e-15 +. (1e-13 *. c))) (float_range 0. 1.)
+              else
+                map3
+                  (fun c r child -> Tree.make ~cap:(1e-15 *. c) ~children:[ (10. +. (100. *. r), 0., child) ] ())
+                  (float_range 0. 1.) (float_range 0. 1.) (self (n - 1)))
+            n))
+  in
+  QCheck.Test.make ~name:"random RC chains: m1 > 0, m2 < 0" ~count:200
+    (QCheck.make gen)
+    (fun t ->
+      let m = Moments.driving_point ~order:2 t in
+      m.(1) > 0. && m.(2) < 0. && Float.abs (m.(1) -. Tree.total_cap t) < 1e-9 *. m.(1))
+
+let prop_pade_fit_preserves_first_five_moments =
+  QCheck.Test.make ~name:"fit-then-expand preserves moments for random lines" ~count:100
+    QCheck.(
+      triple (float_range 20. 150.) (float_range 1e-9 8e-9) (float_range 0.3e-12 2e-12))
+    (fun (r, l, c) ->
+      let line = Line.of_totals ~r ~l ~c ~length:5e-3 in
+      let m = Moments.of_line ~order:5 line ~cl:10e-15 in
+      let p = Pade.fit m in
+      let m' = Pade.moments p ~order:5 in
+      let ok = ref true in
+      for k = 1 to 5 do
+        if Float.abs ((m'.(k) -. m.(k)) /. m.(k)) > 1e-6 then ok := false
+      done;
+      !ok)
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "rlc_moments"
+    [
+      ( "tree",
+        [
+          Alcotest.test_case "shape accessors" `Quick test_tree_shape;
+          Alcotest.test_case "validation" `Quick test_tree_validation;
+          Alcotest.test_case "of_line totals" `Quick test_of_line_totals;
+        ] );
+      ( "lumped",
+        [
+          Alcotest.test_case "single RC closed form" `Quick test_single_rc_moments;
+          Alcotest.test_case "series RLC closed form" `Quick test_series_rlc_moments;
+          Alcotest.test_case "two-stage RC ladder" `Quick test_two_stage_rc_ladder;
+          Alcotest.test_case "branched tree" `Quick test_branched_tree_m1_m2;
+          q prop_random_rc_trees_m1_m2_signs;
+        ] );
+      ( "distributed",
+        [
+          Alcotest.test_case "chain converges to ABCD" `Quick test_chain_converges_to_distributed;
+          Alcotest.test_case "convergence order" `Quick test_chain_convergence_order;
+        ] );
+      ( "pade",
+        [
+          Alcotest.test_case "synthetic roundtrip" `Quick test_pade_roundtrip_synthetic;
+          Alcotest.test_case "moments preserved" `Quick test_pade_moments_match_input;
+          Alcotest.test_case "pure capacitance" `Quick test_pade_pure_cap;
+          Alcotest.test_case "lumped RC degenerates" `Quick test_pade_single_pole_rc;
+          Alcotest.test_case "line poles stable" `Quick test_pade_line_poles_stable;
+          Alcotest.test_case "eval vs exact" `Quick test_pade_eval_matches_exact_low_freq;
+          q prop_pade_fit_preserves_first_five_moments;
+        ] );
+    ]

@@ -1,0 +1,103 @@
+(* Parasitics substrate tests: the fitted formulas must reproduce every
+   calibration point the paper quotes to within a few percent, and the
+   calibrated lookup must return the paper's values verbatim. *)
+open Rlc_parasitics
+
+let check_float ?(eps = 1e-9) msg expected actual =
+  Alcotest.(check (float eps)) msg expected actual
+
+let test_calibration_lookup_exact () =
+  let g = Extract.geometry ~length_mm:5. ~width_um:1.6 in
+  match Extract.lookup_calibrated g with
+  | Some p ->
+      check_float "R" 72.44 p.Extract.r_total;
+      check_float "L" 5.14e-9 p.Extract.l_total;
+      check_float "C" 1.10e-12 p.Extract.c_total
+  | None -> Alcotest.fail "5mm x 1.6um must be calibrated"
+
+let test_lookup_tolerance () =
+  (* Within 1%: still the calibrated point. *)
+  let g = Extract.geometry ~length_mm:5.004 ~width_um:1.599 in
+  Alcotest.(check bool) "near match accepted" true (Extract.lookup_calibrated g <> None);
+  let g2 = Extract.geometry ~length_mm:5.5 ~width_um:1.6 in
+  Alcotest.(check bool) "distinct geometry rejected" true (Extract.lookup_calibrated g2 = None)
+
+let test_fit_accuracy_on_all_calibration_points () =
+  List.iter
+    (fun (g, p) ->
+      let fit = Extract.fitted g in
+      let rel a b = Float.abs ((a -. b) /. b) *. 100. in
+      let er = rel fit.Extract.r_total p.Extract.r_total in
+      let el = rel fit.Extract.l_total p.Extract.l_total in
+      let ec = rel fit.Extract.c_total p.Extract.c_total in
+      let label =
+        Printf.sprintf "%.0fmm/%.1fum: R %.1f%%, L %.1f%%, C %.1f%%"
+          (g.Extract.length /. 1e-3) (g.Extract.width /. 1e-6) er el ec
+      in
+      Alcotest.(check bool) label true (er < 6. && el < 5. && ec < 5.))
+    Extract.calibration_points
+
+let test_extract_prefers_table () =
+  let g = Extract.geometry ~length_mm:7. ~width_um:1.6 in
+  let p = Extract.extract g in
+  check_float "paper's fig3 R" 101.3 p.Extract.r_total
+
+let test_extract_falls_back_to_fit () =
+  let g = Extract.geometry ~length_mm:4.5 ~width_um:1.4 in
+  let p = Extract.extract g in
+  (* Sanity ranges interpolated between neighbouring calibration points. *)
+  Alcotest.(check bool) "R plausible" true (p.Extract.r_total > 60. && p.Extract.r_total < 90.);
+  Alcotest.(check bool) "L plausible" true (p.Extract.l_total > 4e-9 && p.Extract.l_total < 5.5e-9);
+  Alcotest.(check bool) "C plausible" true
+    (p.Extract.c_total > 0.8e-12 && p.Extract.c_total < 1.1e-12)
+
+let test_line_of_roundtrip () =
+  let g = Extract.geometry ~length_mm:5. ~width_um:1.6 in
+  let line = Extract.line_of g in
+  check_float ~eps:1e-9 "line R" 72.44 (Rlc_tline.Line.total_r line);
+  check_float ~eps:1e-15 "line length" 5e-3 line.Rlc_tline.Line.length
+
+let test_geometry_validation () =
+  Alcotest.(check bool) "non-positive rejected" true
+    (match Extract.geometry ~length_mm:0. ~width_um:1. with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let prop_fitted_monotonicity =
+  QCheck.Test.make ~name:"fitted parasitics: R falls and C rises with width" ~count:200
+    QCheck.(pair (float_range 1. 7.) (float_range 0.8 3.4))
+    (fun (len, w) ->
+      let p1 = Extract.fitted (Extract.geometry ~length_mm:len ~width_um:w) in
+      let p2 = Extract.fitted (Extract.geometry ~length_mm:len ~width_um:(w +. 0.1)) in
+      p2.Extract.r_total < p1.Extract.r_total
+      && p2.Extract.c_total > p1.Extract.c_total
+      && p2.Extract.l_total < p1.Extract.l_total)
+
+let prop_fitted_scales_with_length =
+  QCheck.Test.make ~name:"fitted parasitics scale linearly with length" ~count:200
+    QCheck.(pair (float_range 1. 3.5) (float_range 0.8 3.5))
+    (fun (len, w) ->
+      let p1 = Extract.fitted (Extract.geometry ~length_mm:len ~width_um:w) in
+      let p2 = Extract.fitted (Extract.geometry ~length_mm:(2. *. len) ~width_um:w) in
+      let close a b = Float.abs ((a -. b) /. b) < 1e-9 in
+      close p2.Extract.r_total (2. *. p1.Extract.r_total)
+      && close p2.Extract.c_total (2. *. p1.Extract.c_total)
+      && close p2.Extract.l_total (2. *. p1.Extract.l_total))
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "rlc_parasitics"
+    [
+      ( "calibration",
+        [
+          Alcotest.test_case "exact lookup" `Quick test_calibration_lookup_exact;
+          Alcotest.test_case "lookup tolerance" `Quick test_lookup_tolerance;
+          Alcotest.test_case "fit matches all points" `Quick test_fit_accuracy_on_all_calibration_points;
+          Alcotest.test_case "extract prefers table" `Quick test_extract_prefers_table;
+          Alcotest.test_case "extract fit fallback" `Quick test_extract_falls_back_to_fit;
+          Alcotest.test_case "line_of" `Quick test_line_of_roundtrip;
+          Alcotest.test_case "validation" `Quick test_geometry_validation;
+          q prop_fitted_monotonicity;
+          q prop_fitted_scales_with_length;
+        ] );
+    ]

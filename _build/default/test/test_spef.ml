@@ -1,0 +1,199 @@
+(* SPEF-subset parser tests: header units, D_NET sections, error paths,
+   round-trip, and tree conversion feeding the moment engine. *)
+
+let sample =
+  {|*SPEF "IEEE 1481-1998"
+*DESIGN "demo_chip"
+*T_UNIT 1 PS
+*C_UNIT 1 FF
+*R_UNIT 1 OHM
+*L_UNIT 1 PH
+
+// a 2-segment RLC net with a side branch
+*D_NET net1 1300
+*CONN
+*P drv O
+*P rcv I
+*CAP
+1 net1:1 400
+2 net1:2 500
+3 rcv 400
+*RES
+1 drv net1:1 25.0
+2 net1:1 net1:2 25.0
+3 net1:2 rcv 10.0
+*INDUC
+1 drv net1:1 2000
+2 net1:1 net1:2 2000
+*END
+|}
+
+let parsed = lazy (match Rlc_spef.Spef.parse sample with Ok t -> t | Error e -> failwith e)
+
+let check_float ?(eps = 1e-9) msg expected actual =
+  Alcotest.(check (float eps)) msg expected actual
+
+let test_header () =
+  let t = Lazy.force parsed in
+  Alcotest.(check string) "design" "demo_chip" t.Rlc_spef.Spef.design;
+  check_float ~eps:1e-30 "c unit" 1e-15 t.Rlc_spef.Spef.units.Rlc_spef.Spef.c_scale;
+  check_float ~eps:1e-30 "l unit" 1e-12 t.Rlc_spef.Spef.units.Rlc_spef.Spef.l_scale
+
+let test_net_contents () =
+  let t = Lazy.force parsed in
+  match Rlc_spef.Spef.find_net t "net1" with
+  | None -> Alcotest.fail "net1 missing"
+  | Some net ->
+      Alcotest.(check int) "conns" 2 (List.length net.Rlc_spef.Spef.conns);
+      Alcotest.(check int) "caps" 3 (List.length net.Rlc_spef.Spef.caps);
+      Alcotest.(check int) "branches" 5 (List.length net.Rlc_spef.Spef.branches);
+      check_float ~eps:1e-22 "declared total cap" 1.3e-12 net.Rlc_spef.Spef.total_cap;
+      check_float ~eps:1e-20 "summed cap" 1.3e-12 (Rlc_spef.Spef.net_total_cap net);
+      (* Values are scaled to SI. *)
+      let r1 = List.find (fun b -> b.Rlc_spef.Spef.kind = Rlc_spef.Spef.Res && b.Rlc_spef.Spef.b_id = 1) net.Rlc_spef.Spef.branches in
+      check_float "r in ohms" 25. r1.Rlc_spef.Spef.value;
+      let l1 = List.find (fun b -> b.Rlc_spef.Spef.kind = Rlc_spef.Spef.Induc && b.Rlc_spef.Spef.b_id = 1) net.Rlc_spef.Spef.branches in
+      check_float ~eps:1e-18 "l in henries" 2e-9 l1.Rlc_spef.Spef.value
+
+let test_roundtrip () =
+  let t = Lazy.force parsed in
+  match Rlc_spef.Spef.parse (Rlc_spef.Spef.to_string t) with
+  | Error e -> Alcotest.fail e
+  | Ok t' ->
+      Alcotest.(check string) "design" t.Rlc_spef.Spef.design t'.Rlc_spef.Spef.design;
+      let n = Option.get (Rlc_spef.Spef.find_net t "net1") and n' = Option.get (Rlc_spef.Spef.find_net t' "net1") in
+      Alcotest.(check int) "branches" (List.length n.Rlc_spef.Spef.branches) (List.length n'.Rlc_spef.Spef.branches);
+      check_float ~eps:1e-22 "total cap preserved" (Rlc_spef.Spef.net_total_cap n) (Rlc_spef.Spef.net_total_cap n')
+
+let test_to_tree () =
+  let t = Lazy.force parsed in
+  let net = Option.get (Rlc_spef.Spef.find_net t "net1") in
+  match Rlc_spef.Spef.to_tree net ~root:"drv" with
+  | Error e -> Alcotest.fail e
+  | Ok tree ->
+      Alcotest.(check int) "nodes" 4 (Rlc_moments.Tree.node_count tree);
+      check_float ~eps:1e-20 "tree cap = net cap" 1.3e-12 (Rlc_moments.Tree.total_cap tree);
+      (* Moments of the parsed net behave like any RLC tree. *)
+      let m = Rlc_moments.Moments.driving_point ~order:3 tree in
+      check_float ~eps:1e-20 "m1 = total cap" 1.3e-12 m.(1);
+      Alcotest.(check bool) "m2 negative" true (m.(2) < 0.)
+
+let test_to_tree_from_receiver () =
+  (* Rooting at the receiver must also work (tree re-rooted). *)
+  let t = Lazy.force parsed in
+  let net = Option.get (Rlc_spef.Spef.find_net t "net1") in
+  match Rlc_spef.Spef.to_tree net ~root:"rcv" with
+  | Error e -> Alcotest.fail e
+  | Ok tree -> check_float ~eps:1e-20 "same caps" 1.3e-12 (Rlc_moments.Tree.total_cap tree)
+
+let test_error_coupling_cap () =
+  let src = "*D_NET n 1.0\n*CAP\n1 a b 3.0\n*END\n" in
+  match Rlc_spef.Spef.parse src with
+  | Ok _ -> Alcotest.fail "coupling cap accepted"
+  | Error e ->
+      Alcotest.(check bool) "mentions coupling" true
+        (String.length e > 0 && Option.is_some (String.index_opt e 'c'))
+
+let test_error_mutual () =
+  match Rlc_spef.Spef.parse "*D_NET n 1.0\n*K 1 a b c 0.5\n*END\n" with
+  | Ok _ -> Alcotest.fail "mutual accepted"
+  | Error _ -> ()
+
+let test_error_unterminated () =
+  match Rlc_spef.Spef.parse "*D_NET n 1.0\n*CAP\n1 a 3.0\n" with
+  | Ok _ -> Alcotest.fail "unterminated net accepted"
+  | Error _ -> ()
+
+let test_error_loop () =
+  let src =
+    "*D_NET n 1.0\n*CAP\n1 a 1.0\n2 b 1.0\n3 c 1.0\n*RES\n1 a b 1.0\n2 b c 1.0\n3 c a 1.0\n*END\n"
+  in
+  let t = match Rlc_spef.Spef.parse src with Ok t -> t | Error e -> failwith e in
+  match Rlc_spef.Spef.to_tree (List.hd t.Rlc_spef.Spef.nets) ~root:"a" with
+  | Ok _ -> Alcotest.fail "loop accepted"
+  | Error e -> Alcotest.(check bool) "mentions loop" true (String.length e > 0)
+
+let test_error_bad_root () =
+  let t = Lazy.force parsed in
+  let net = Option.get (Rlc_spef.Spef.find_net t "net1") in
+  match Rlc_spef.Spef.to_tree net ~root:"nonexistent" with
+  | Ok _ -> Alcotest.fail "bad root accepted"
+  | Error _ -> ()
+
+let test_l_only_branch_rejected () =
+  let src = "*D_NET n 1.0\n*CAP\n1 a 1.0\n2 b 1.0\n*INDUC\n1 a b 100\n*END\n" in
+  let t = match Rlc_spef.Spef.parse src with Ok t -> t | Error e -> failwith e in
+  match Rlc_spef.Spef.to_tree (List.hd t.Rlc_spef.Spef.nets) ~root:"a" with
+  | Ok _ -> Alcotest.fail "L-only branch accepted"
+  | Error _ -> ()
+
+let test_parallel_merge () =
+  (* Two parallel 50-Ohm resistors between the same nodes merge to 25. *)
+  let src = "*D_NET n 1.0\n*CAP\n1 a 1.0\n2 b 1.0\n*RES\n1 a b 50\n2 a b 50\n*END\n" in
+  let t = match Rlc_spef.Spef.parse src with Ok t -> t | Error e -> failwith e in
+  match Rlc_spef.Spef.to_tree (List.hd t.Rlc_spef.Spef.nets) ~root:"a" with
+  | Error e -> Alcotest.fail e
+  | Ok tree -> (
+      match Rlc_moments.Tree.children tree with
+      | [ (r, _, _) ] -> check_float "parallel R" 25. r
+      | _ -> Alcotest.fail "expected one merged branch")
+
+let test_uniform_line_spef_matches_analytic () =
+  (* Emit a chain net equivalent to a uniform line and compare the parsed
+     tree's moments against the distributed ABCD computation. *)
+  let n = 60 in
+  let r_tot = 72.44 and l_tot = 5.14e-9 and c_tot = 1.10e-12 in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    "*SPEF \"IEEE 1481-1998\"\n*DESIGN \"gen\"\n*T_UNIT 1 PS\n*C_UNIT 1 FF\n*R_UNIT 1 OHM\n*L_UNIT 1 PH\n*D_NET line 0\n*CAP\n";
+  for i = 1 to n do
+    Buffer.add_string buf
+      (Printf.sprintf "%d n%d %.8g\n" i i (c_tot /. float_of_int n /. 1e-15))
+  done;
+  Buffer.add_string buf "*RES\n";
+  for i = 1 to n do
+    Buffer.add_string buf
+      (Printf.sprintf "%d n%d n%d %.8g\n" i (i - 1) i (r_tot /. float_of_int n))
+  done;
+  Buffer.add_string buf "*INDUC\n";
+  for i = 1 to n do
+    Buffer.add_string buf
+      (Printf.sprintf "%d n%d n%d %.8g\n" i (i - 1) i (l_tot /. float_of_int n /. 1e-12))
+  done;
+  Buffer.add_string buf "*END\n";
+  let t = match Rlc_spef.Spef.parse (Buffer.contents buf) with Ok t -> t | Error e -> failwith e in
+  let tree = Result.get_ok (Rlc_spef.Spef.to_tree (List.hd t.Rlc_spef.Spef.nets) ~root:"n0") in
+  let m_tree = Rlc_moments.Moments.driving_point ~order:3 tree in
+  let line = Rlc_tline.Line.of_totals ~r:r_tot ~l:l_tot ~c:c_tot ~length:5e-3 in
+  let m_exact = Rlc_moments.Moments.of_line ~order:3 line ~cl:0. in
+  for k = 1 to 3 do
+    let rel = Float.abs ((m_tree.(k) -. m_exact.(k)) /. m_exact.(k)) in
+    Alcotest.(check bool) (Printf.sprintf "m%d within discretization error" k) true (rel < 0.05)
+  done
+
+let () =
+  Alcotest.run "rlc_spef"
+    [
+      ( "parse",
+        [
+          Alcotest.test_case "header" `Quick test_header;
+          Alcotest.test_case "net contents" `Quick test_net_contents;
+          Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+        ] );
+      ( "tree",
+        [
+          Alcotest.test_case "to_tree" `Quick test_to_tree;
+          Alcotest.test_case "re-rooted" `Quick test_to_tree_from_receiver;
+          Alcotest.test_case "parallel merge" `Quick test_parallel_merge;
+          Alcotest.test_case "uniform line vs analytic" `Quick test_uniform_line_spef_matches_analytic;
+        ] );
+      ( "errors",
+        [
+          Alcotest.test_case "coupling cap" `Quick test_error_coupling_cap;
+          Alcotest.test_case "mutual inductance" `Quick test_error_mutual;
+          Alcotest.test_case "unterminated" `Quick test_error_unterminated;
+          Alcotest.test_case "resistive loop" `Quick test_error_loop;
+          Alcotest.test_case "bad root" `Quick test_error_bad_root;
+          Alcotest.test_case "L-only branch" `Quick test_l_only_branch_rejected;
+        ] );
+    ]

@@ -1,0 +1,107 @@
+(* STA-layer tests: arrival accumulation, slew propagation, edge
+   alternation, and agreement of the table-driven stage timing with the
+   transistor-level reference. *)
+open Rlc_sta
+open Rlc_ceff
+
+let tech = Rlc_devices.Tech.c018
+
+let line len_mm width_um =
+  Rlc_parasitics.Extract.line_of (Rlc_parasitics.Extract.geometry ~length_mm:len_mm ~width_um)
+
+let two_stage =
+  lazy
+    (Sta.analyze ~dt:0.5e-12 ~input_slew:(Rlc_num.Units.ps 80.) ~sink_cl:20e-15
+       [ { Sta.size = 75.; line = line 5. 1.6 }; { Sta.size = 100.; line = line 4. 1.2 } ])
+
+let test_arrival_accumulates () =
+  let p = Lazy.force two_stage in
+  Alcotest.(check int) "two stages" 2 (List.length p.Sta.stages);
+  let s0 = List.nth p.Sta.stages 0 and s1 = List.nth p.Sta.stages 1 in
+  Alcotest.(check (float 1e-15)) "arrival 0" s0.Sta.stage_delay s0.Sta.arrival;
+  Alcotest.(check (float 1e-15)) "arrival 1 = sum"
+    (s0.Sta.stage_delay +. s1.Sta.stage_delay)
+    s1.Sta.arrival;
+  Alcotest.(check (float 1e-15)) "total = last arrival" s1.Sta.arrival p.Sta.total_delay;
+  Alcotest.(check bool) "stage delays positive" true
+    (s0.Sta.stage_delay > 0. && s1.Sta.stage_delay > 0.)
+
+let test_edges_alternate () =
+  let p = Lazy.force two_stage in
+  match List.map (fun s -> s.Sta.edge) p.Sta.stages with
+  | [ Rlc_waveform.Measure.Rising; Rlc_waveform.Measure.Falling ] -> ()
+  | _ -> Alcotest.fail "expected rise then fall"
+
+let test_slew_propagates () =
+  let p = Lazy.force two_stage in
+  let s1 = List.nth p.Sta.stages 1 in
+  let s0 = List.nth p.Sta.stages 0 in
+  (* Stage 1's input slew is stage 0's far-end slew extrapolated to full
+     swing (clamped). *)
+  Alcotest.(check (float 1e-15)) "slew hand-off" (s0.Sta.far_slew /. 0.8) s1.Sta.input_slew
+
+let test_stage_matches_reference () =
+  (* Single-stage path against a transistor-level run with the same load. *)
+  let cl = 25e-15 in
+  let p =
+    Sta.analyze ~dt:0.5e-12 ~input_slew:(Rlc_num.Units.ps 100.) ~sink_cl:cl
+      [ { Sta.size = 75.; line = line 5. 1.6 } ]
+  in
+  let r =
+    Reference.simulate ~dt:0.5e-12 ~tech ~size:75. ~input_slew:(Rlc_num.Units.ps 100.)
+      ~line:(line 5. 1.6) ~cl ()
+  in
+  let sta_delay = p.Sta.total_delay and ref_delay = Reference.far_delay r in
+  let err = Float.abs ((sta_delay -. ref_delay) /. ref_delay) *. 100. in
+  Alcotest.(check bool)
+    (Printf.sprintf "STA %.1f ps vs reference %.1f ps (%.1f%%)"
+       (Rlc_num.Units.in_ps sta_delay) (Rlc_num.Units.in_ps ref_delay) err)
+    true (err < 12.)
+
+let test_longer_path_is_slower () =
+  let base =
+    Sta.analyze ~input_slew:(Rlc_num.Units.ps 80.) ~sink_cl:20e-15
+      [ { Sta.size = 75.; line = line 3. 1.6 } ]
+  in
+  let extended =
+    Sta.analyze ~input_slew:(Rlc_num.Units.ps 80.) ~sink_cl:20e-15
+      [ { Sta.size = 75.; line = line 3. 1.6 }; { Sta.size = 75.; line = line 3. 1.6 } ]
+  in
+  Alcotest.(check bool) "two stages slower than one" true
+    (extended.Sta.total_delay > base.Sta.total_delay)
+
+let test_empty_path_rejected () =
+  Alcotest.(check bool) "empty path" true
+    (match Sta.analyze ~input_slew:50e-12 ~sink_cl:10e-15 [] with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let test_estimate_vs_replay () =
+  (* The heuristic should land within ~25% of the replayed stage delay for a
+     screened-inductive stage. *)
+  let p = Lazy.force two_stage in
+  let s0 = List.nth p.Sta.stages 0 in
+  let est =
+    Sta.estimate_far_delay s0.Sta.model ~line:(line 5. 1.6)
+      ~cl:(Rlc_devices.Inverter.input_cap (Rlc_devices.Inverter.make tech ~size:100.))
+  in
+  let err = Float.abs ((est -. s0.Sta.stage_delay) /. s0.Sta.stage_delay) in
+  Alcotest.(check bool)
+    (Printf.sprintf "estimate %.1f ps vs replay %.1f ps" (Rlc_num.Units.in_ps est)
+       (Rlc_num.Units.in_ps s0.Sta.stage_delay))
+    true (err < 0.25)
+
+let () =
+  Alcotest.run "rlc_sta"
+    [
+      ( "path",
+        [
+          Alcotest.test_case "arrivals accumulate" `Slow test_arrival_accumulates;
+          Alcotest.test_case "edges alternate" `Slow test_edges_alternate;
+          Alcotest.test_case "slew propagates" `Slow test_slew_propagates;
+          Alcotest.test_case "matches reference" `Slow test_stage_matches_reference;
+          Alcotest.test_case "longer is slower" `Slow test_longer_path_is_slower;
+          Alcotest.test_case "empty rejected" `Quick test_empty_path_rejected;
+          Alcotest.test_case "estimate vs replay" `Slow test_estimate_vs_replay;
+        ] );
+    ]
