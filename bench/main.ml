@@ -511,10 +511,97 @@ let perf () =
         (List.sort compare rows))
     merged
 
+(* ---------------------------------------------------------------- flow *)
+
+(* Synthetic W-bit bus: W identical inductive global bits, each feeding an
+   identical local net — the repeated-bus-bit shape the flow's result cache
+   is built for. *)
+let flow_design ~bits =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    "*SPEF \"IEEE 1481-1998\"\n*DESIGN \"bench_bus\"\n*T_UNIT 1 PS\n*C_UNIT 1 FF\n*R_UNIT 1 \
+     OHM\n*L_UNIT 1 PH\n";
+  let spec = Buffer.create 1024 in
+  for i = 0 to bits - 1 do
+    let bit = Printf.sprintf "b%d" i and out = Printf.sprintf "o%d" i in
+    Buffer.add_string buf
+      (Printf.sprintf
+         "*D_NET %s 600\n*CONN\n*P %s_drv O\n*P %s_rcv I\n*CAP\n1 %s_1 200\n2 %s_2 200\n3 \
+          %s_rcv 200\n*RES\n1 %s_drv %s_1 24\n2 %s_1 %s_2 24\n3 %s_2 %s_rcv 24\n*INDUC\n1 \
+          %s_drv %s_1 1500\n2 %s_1 %s_2 1500\n3 %s_2 %s_rcv 1500\n*END\n"
+         bit bit bit bit bit bit bit bit bit bit bit bit bit bit bit bit bit bit);
+    Buffer.add_string buf
+      (Printf.sprintf
+         "*D_NET %s 90\n*CONN\n*P %s_drv O\n*P %s_rcv I\n*CAP\n1 %s_1 45\n2 %s_rcv \
+          45\n*RES\n1 %s_drv %s_1 60\n2 %s_1 %s_rcv 60\n*END\n"
+         out out out out out out out out out);
+    Buffer.add_string spec
+      (Printf.sprintf
+         "driver %s 75\ninput %s 100\ndriver %s 50\nedge %s %s_rcv %s\nload %s %s_rcv 5\n" bit
+         bit out bit bit out out out)
+  done;
+  let spef = Result.get_ok (Rlc_spef.Spef.parse (Buffer.contents buf)) in
+  let spec = Result.get_ok (Rlc_flow.Spec.parse (Buffer.contents spec)) in
+  match Rlc_flow.Design.ingest ~spef ~spec () with Ok d -> d | Error e -> failwith e
+
+let flow_bench () =
+  header "Flow: parallel full-design timing (cache effect, domain scaling, determinism)";
+  let bits = 16 in
+  let design = flow_design ~bits in
+  Format.printf "%a@." Rlc_flow.Design.pp design;
+  (* Pre-characterize so the wall times below measure the solves, not the
+     one-off transistor-level cell characterization. *)
+  List.iter
+    (fun size -> ignore (Characterize.cell design.Rlc_flow.Design.tech ~size))
+    design.Rlc_flow.Design.sizes;
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let v = f () in
+    (v, Unix.gettimeofday () -. t0)
+  in
+  let iters (r : Rlc_flow.Flow.result) = r.Rlc_flow.Flow.stats.Rlc_flow.Flow.iterations_spent in
+  let total (r : Rlc_flow.Flow.result) = r.Rlc_flow.Flow.stats.Rlc_flow.Flow.iterations_total in
+
+  Format.printf "@.# Ceff fixed-point iterations actually run (%d-bit bus, 2 levels)@." bits;
+  let no_cache, t_nc = time (fun () -> Rlc_flow.Flow.run ~jobs:1 ~use_cache:false design) in
+  Format.printf "  no cache        : %5d iterations  (%6.1f ms)@." (iters no_cache)
+    (1e3 *. t_nc);
+  let cache = Rlc_flow.Flow.create_cache () in
+  let cold, t_cold = time (fun () -> Rlc_flow.Flow.run ~jobs:1 ~cache design) in
+  Format.printf "  cold cache      : %5d iterations  (%6.1f ms)  [%d misses, %d hits]@."
+    (iters cold) (1e3 *. t_cold) cold.Rlc_flow.Flow.stats.Rlc_flow.Flow.cache_misses
+    cold.Rlc_flow.Flow.stats.Rlc_flow.Flow.cache_hits;
+  let warm, t_warm = time (fun () -> Rlc_flow.Flow.run ~jobs:1 ~cache design) in
+  Format.printf "  warm cache      : %5d iterations  (%6.1f ms)  [%d hits]@." (iters warm)
+    (1e3 *. t_warm) warm.Rlc_flow.Flow.stats.Rlc_flow.Flow.cache_hits;
+  Format.printf "  cache speedup   : %.1fx fewer iterations cold (%d -> %d of %d modeled)@."
+    (float_of_int (iters no_cache) /. float_of_int (Int.max 1 (iters cold)))
+    (iters no_cache) (iters cold) (total cold);
+
+  let rec_jobs = Rlc_flow.Pool.default_jobs () in
+  Format.printf "@.# domain scaling (cold, no cache, wall time; %d core%s recommended)@."
+    rec_jobs
+    (if rec_jobs = 1 then " — expect oversubscription to hurt, not help" else "s");
+  let base = ref 0. in
+  List.iter
+    (fun jobs ->
+      let _, t = time (fun () -> Rlc_flow.Flow.run ~jobs ~use_cache:false design) in
+      if jobs = 1 then base := t;
+      Format.printf "  jobs %2d: %7.1f ms  (speedup %.2fx)@." jobs (1e3 *. t) (!base /. t))
+    (List.sort_uniq compare [ 1; 2; rec_jobs ]);
+
+  let r1 = Rlc_flow.Flow.run ~jobs:1 design in
+  let rn = Rlc_flow.Flow.run ~jobs:(Rlc_flow.Pool.default_jobs ()) design in
+  Format.printf "@.# determinism: JSON report byte-identical jobs 1 vs %d: %b@."
+    (Rlc_flow.Pool.default_jobs ())
+    (Rlc_flow.Report.json_string r1 = Rlc_flow.Report.json_string rn)
+
 (* ---------------------------------------------------------------- main *)
 
 let () =
-  let all = [ "table1"; "fig1"; "fig3"; "fig4"; "fig5"; "fig6"; "fig7"; "ablation"; "perf" ] in
+  let all =
+    [ "table1"; "fig1"; "fig3"; "fig4"; "fig5"; "fig6"; "fig7"; "ablation"; "flow"; "perf" ]
+  in
   let requested = match Array.to_list Sys.argv with [] | [ _ ] -> all | _ :: rest -> rest in
   List.iter
     (fun name ->
@@ -528,6 +615,7 @@ let () =
       | "fig7" -> fig7 ()
       | "fig7-fast" -> fig7 ~stride:7 ()
       | "ablation" -> ablation ()
+      | "flow" -> flow_bench ()
       | "perf" -> perf ()
       | other ->
           Format.eprintf "unknown experiment %S (known: %s, fig7-fast)@." other

@@ -161,6 +161,107 @@ let sweep_cmd =
     (Cmd.info "sweep" ~doc:"Run the Figure-7 style sweep and print error statistics.")
     Term.(const run $ dt_arg $ limit_arg)
 
+(* --------------------------------------------------------------- flow *)
+
+let read_file file =
+  let ic = open_in_bin file in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path content =
+  let oc = open_out_bin path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc content)
+
+let flow_cmd =
+  let run spef_file spec_file jobs json csv size slew no_cache dt required verbose =
+    if verbose then begin
+      Logs.set_reporter (Logs.format_reporter ());
+      Logs.set_level (Some Logs.Info)
+    end;
+    let ( let* ) r f =
+      match r with
+      | Error e ->
+          Format.eprintf "%s@." e;
+          1
+      | Ok v -> f v
+    in
+    let* spef =
+      match Rlc_spef.Spef.parse (read_file spef_file) with
+      | Error e -> Error ("SPEF parse error: " ^ e)
+      | Ok s -> Ok s
+    in
+    let* spec =
+      match spec_file with
+      | Some file -> (
+          match Rlc_flow.Spec.parse (read_file file) with
+          | Error e -> Error ("spec error: " ^ e)
+          | Ok s -> Ok s)
+      | None -> Ok (Rlc_flow.Spec.default_of_spef ~size ~slew:(Rlc_num.Units.ps slew) spef)
+    in
+    let* design = Rlc_flow.Design.ingest ~spef ~spec () in
+    let result =
+      Rlc_flow.Flow.run ~dt:(Rlc_num.Units.ps dt) ?jobs ~use_cache:(not no_cache) design
+    in
+    let required = Option.map Rlc_num.Units.ps required in
+    Format.printf "%a" (fun fmt -> Rlc_flow.Report.summary ?required fmt) result;
+    Option.iter (fun path -> write_file path (Rlc_flow.Report.json_string ?required result)) json;
+    Option.iter (fun path -> write_file path (Rlc_flow.Report.csv_string result)) csv;
+    0
+  in
+  let spef_arg =
+    Arg.(
+      required & opt (some file) None & info [ "spef" ] ~docv:"SPEF" ~doc:"Design SPEF file.")
+  in
+  let spec_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "spec" ] ~docv:"FILE"
+          ~doc:
+            "Connectivity spec (driver sizes, primary input slews, net-to-net edges, extra \
+             loads).  Default: every net is a primary input driven at --size/--slew.")
+  in
+  let jobs_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "jobs" ] ~docv:"N"
+          ~doc:"Worker domains (default: the machine's recommended domain count).")
+  in
+  let json_arg =
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc:"Write JSON report.")
+  in
+  let csv_arg =
+    Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE" ~doc:"Write CSV report.")
+  in
+  let no_cache_arg =
+    Arg.(value & flag & info [ "no-cache" ] ~doc:"Disable the Ceff result cache.")
+  in
+  let required_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "required" ] ~docv:"PS" ~doc:"Required arrival time for slack reporting, in ps.")
+  in
+  let verbose_arg =
+    Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Log per-phase progress.")
+  in
+  let default_size_arg =
+    Arg.(
+      value
+      & opt float 75.
+      & info [ "size" ] ~docv:"X" ~doc:"Default driver size when no spec is given.")
+  in
+  Cmd.v
+    (Cmd.info "flow"
+       ~doc:
+         "Time a full multi-net design from SPEF: levelized net graph, parallel per-net Ceff \
+          solves over a domain pool, slew propagation between levels, JSON/CSV reports.")
+    Term.(
+      const run $ spef_arg $ spec_arg $ jobs_arg $ json_arg $ csv_arg $ default_size_arg
+      $ slew_arg $ no_cache_arg $ dt_arg $ required_arg $ verbose_arg)
+
 (* --------------------------------------------------------------- spef *)
 
 let spef_cmd =
@@ -243,4 +344,7 @@ let () =
     Cmd.info "rlc_timing" ~version:"1.0.0"
       ~doc:"Effective-capacitance two-ramp driver model for on-chip RLC interconnect (DAC 2003)."
   in
-  exit (Cmd.eval' (Cmd.group info [ analyze_cmd; screen_cmd; characterize_cmd; sweep_cmd; spef_cmd ]))
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [ analyze_cmd; screen_cmd; characterize_cmd; sweep_cmd; spef_cmd; flow_cmd ]))

@@ -82,12 +82,11 @@ let tail_pwl ~t0 ~vdd ~tail =
   let final = (t0 +. tail.t_switch +. (9. *. tail.tau), vdd) in
   Pwl.of_points (base @ exp_pts @ [ final ])
 
-let model ?(mode = Auto) ?(plateau = Stretch_tr2) ?(rc_tail = false) ?thresholds ~cell ~edge
-    ~input_slew ~line ~cl () =
+let model_pade ?(mode = Auto) ?(plateau = Stretch_tr2) ?(rc_tail = false) ?thresholds ~cell
+    ~edge ~input_slew ~pade ~line ~cl () =
   if input_slew <= 0. then invalid_arg "Driver_model.model: input_slew must be positive";
   if cl < 0. then invalid_arg "Driver_model.model: cl must be non-negative";
   let vdd = cell.Table.vdd in
-  let pade = Pade.fit (Moments.of_line ~order:5 line ~cl) in
   let ctot = Pade.total_cap pade in
   let rs = Table.fitted_rs cell ~edge ~slew:input_slew ~cap:ctot in
   let z0 = Line.z0 line and tf = Line.time_of_flight line in
@@ -156,6 +155,15 @@ let model ?(mode = Auto) ?(plateau = Stretch_tr2) ?(rc_tail = false) ?thresholds
     in
     { shape = One_ramp { ceff; tail }; f = 1.0; rs; z0; tf; pade; screen; delay_50; vdd; pwl }
   end
+
+let model ?mode ?plateau ?rc_tail ?thresholds ~cell ~edge ~input_slew ~line ~cl () =
+  let pade = Pade.fit (Moments.of_line ~order:5 line ~cl) in
+  model_pade ?mode ?plateau ?rc_tail ?thresholds ~cell ~edge ~input_slew ~pade ~line ~cl ()
+
+let total_iterations t =
+  match t.shape with
+  | One_ramp { ceff; _ } -> ceff.iterations
+  | Two_ramp { ceff1; ceff2; _ } -> ceff1.iterations + ceff2.iterations
 
 let single_ceff_variant t ~cell ~edge ~input_slew ~f =
   single_ceff ~cell ~edge ~input_slew ~pade:t.pade ~f

@@ -94,6 +94,34 @@ val model :
     [false]) enables the gate-resistor exponential tail on one-ramp outputs
     when the tangency point falls above 50 % of the swing. *)
 
+val model_pade :
+  ?mode:mode ->
+  ?plateau:plateau_mode ->
+  ?rc_tail:bool ->
+  ?thresholds:Screen.thresholds ->
+  cell:Table.cell ->
+  edge:Rlc_waveform.Measure.edge ->
+  input_slew:float ->
+  pade:Pade.t ->
+  line:Line.t ->
+  cl:float ->
+  unit ->
+  t
+(** Like {!model} but with the admittance fit supplied by the caller instead
+    of being re-fitted from [line] — the cache-friendly entry point for a
+    full-design flow, where the fit comes from an extracted SPEF tree
+    ({!Rlc_moments.Pade.of_tree}) and identical bus-bit loads share one
+    canonical [pade].  [line] only supplies the transmission-line quantities
+    ([Z0], time of flight, total R/C) consumed by the breakpoint (Eq. 1) and
+    the inductance screen (Eq. 9); for a non-uniform net pass its
+    total-R/L/C equivalent line.  The model is a pure function of
+    (cell, edge, input_slew, pade, line, cl), which is what makes results
+    cacheable across repeated nets. *)
+
+val total_iterations : t -> int
+(** Ceff fixed-point iterations spent building this model (Ceff1 + Ceff2 for
+    two-ramp shapes) — the cost a result cache avoids on a hit. *)
+
 val single_ceff_variant : t -> cell:Table.cell -> edge:Rlc_waveform.Measure.edge ->
   input_slew:float -> f:float -> iteration
 (** Re-run the single-Ceff iteration of an existing model at another charge

@@ -1,0 +1,51 @@
+type 'a t = {
+  table : (string, 'a) Hashtbl.t;
+  mutex : Mutex.t;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create () = { table = Hashtbl.create 64; mutex = Mutex.create (); hits = 0; misses = 0 }
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let find_or_add t key compute =
+  match
+    locked t (fun () ->
+        match Hashtbl.find_opt t.table key with
+        | Some v ->
+            t.hits <- t.hits + 1;
+            Some v
+        | None -> None)
+  with
+  | Some v -> (v, true)
+  | None ->
+      let v = compute () in
+      let v =
+        locked t (fun () ->
+            t.misses <- t.misses + 1;
+            match Hashtbl.find_opt t.table key with
+            | Some v' -> v' (* a racing domain inserted the same pure result first *)
+            | None ->
+                Hashtbl.add t.table key v;
+                v)
+      in
+      (v, false)
+
+let hits t = locked t (fun () -> t.hits)
+let misses t = locked t (fun () -> t.misses)
+let length t = locked t (fun () -> Hashtbl.length t.table)
+
+let clear t =
+  locked t (fun () ->
+      Hashtbl.reset t.table;
+      t.hits <- 0;
+      t.misses <- 0)
+
+let quantize ?(digits = 9) x =
+  if Float.is_nan x || Float.is_integer x || not (Float.is_finite x) then x
+  else float_of_string (Printf.sprintf "%.*e" (digits - 1) x)
+
+let quantize_slew ?(grid = 0.1e-12) s = Float.round (s /. grid) *. grid

@@ -1,0 +1,40 @@
+(** Concurrent string-keyed result cache with input canonicalization.
+
+    The Ceff↔Tr fixed point is a pure function of (cell, edge, input slew,
+    load admittance, line constants, sink load), so repeated bus bits — and
+    warm re-runs of a design — can share one solve.  Keys are strings built
+    from {e quantized} inputs, and callers must feed the {e same quantized
+    values} into the solve itself: that way two nets that collide on a key
+    compute bit-identical results, making reports independent of which
+    domain populated the cache first (the [--jobs 1] vs [--jobs N]
+    determinism guarantee).
+
+    On a concurrent miss both domains compute (the solve runs outside the
+    lock); the first insert wins and the duplicate result — equal by
+    construction — is dropped. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val find_or_add : 'a t -> string -> (unit -> 'a) -> 'a * bool
+(** [find_or_add t key compute] returns [(value, hit)].  [compute] runs
+    outside the lock on a miss. *)
+
+val hits : 'a t -> int
+val misses : 'a t -> int
+val length : 'a t -> int
+val clear : 'a t -> unit
+
+(** {2 Canonicalization helpers} *)
+
+val quantize : ?digits:int -> float -> float
+(** Round to [digits] significant decimal digits (default 9) by a
+    [%.*e] round-trip; total order preserved, NaN/inf pass through.  Nine
+    digits comfortably exceeds extraction noise while collapsing
+    bit-identical bus parasitics emitted with different float garbage. *)
+
+val quantize_slew : ?grid:float -> float -> float
+(** Snap a slew to a time grid (default 0.1 ps): slews arriving from
+    upstream stages differ in the last ulps even for symmetric bus bits, so
+    a coarser deterministic grid is what makes their cache keys collide. *)

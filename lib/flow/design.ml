@@ -1,0 +1,196 @@
+module Spef = Rlc_spef.Spef
+module Tree = Rlc_moments.Tree
+module Line = Rlc_tline.Line
+module Inverter = Rlc_devices.Inverter
+
+let src = Logs.Src.create "rlc.flow.design" ~doc:"full-design ingest"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type net = {
+  id : int;
+  name : string;
+  size : float;
+  root_pin : string;
+  tree : Tree.t;
+  pade : Rlc_moments.Pade.t;
+  eq_line : Line.t;
+  cl : float;
+  fanin : int option;
+  fanout : int list;
+  level : int;
+  prim_slew : float option;
+}
+
+type t = {
+  design_name : string;
+  tech : Rlc_devices.Tech.t;
+  nets : net array;
+  levels : int array array;
+  sizes : float list;
+}
+
+(* Total series R and L of a net, with parallel branches between the same
+   node pair merged exactly as {!Spef.to_tree} merges them. *)
+let branch_totals (dnet : Spef.dnet) =
+  let key a b = if a <= b then (a, b) else (b, a) in
+  let merged = Hashtbl.create 16 in
+  List.iter
+    (fun (b : Spef.branch) ->
+      let k = key b.Spef.n1 b.Spef.n2 in
+      let r, l = Option.value (Hashtbl.find_opt merged k) ~default:(0., 0.) in
+      match b.Spef.kind with
+      | Spef.Res ->
+          let r' = if r = 0. then b.Spef.value else r *. b.Spef.value /. (r +. b.Spef.value) in
+          Hashtbl.replace merged k (r', l)
+      | Spef.Induc ->
+          let l' = if l = 0. then b.Spef.value else l *. b.Spef.value /. (l +. b.Spef.value) in
+          Hashtbl.replace merged k (r, l'))
+    dnet.Spef.branches;
+  Hashtbl.fold (fun _ (r, l) (tr, tl) -> (tr +. r, tl +. l)) merged (0., 0.)
+
+exception Bad of string
+
+let ingest ?(tech = Rlc_devices.Tech.c018) ~spef ~spec () =
+  try
+    (* Net universe: the spec's driver lines, sorted by name for stable ids. *)
+    let names = List.sort compare (List.map fst spec.Spec.drivers) in
+    let id_of = Hashtbl.create 16 in
+    List.iteri (fun i n -> Hashtbl.replace id_of n i) names;
+    let n = List.length names in
+    let lookup what name =
+      match Hashtbl.find_opt id_of name with
+      | Some i -> i
+      | None -> raise (Bad (Printf.sprintf "%s references net %s with no driver line" what name))
+    in
+    let dnets =
+      Array.of_list
+        (List.map
+           (fun name ->
+             match Spef.find_net spef name with
+             | Some d -> d
+             | None -> raise (Bad (Printf.sprintf "net %s is not in the SPEF file" name)))
+           names)
+    in
+    List.iter
+      (fun (d : Spef.dnet) ->
+        if not (Hashtbl.mem id_of d.Spef.net_name) then
+          Log.info (fun m -> m "SPEF net %s has no driver line; ignored" d.Spef.net_name))
+      spef.Spef.nets;
+    let size = Array.make n 0. in
+    List.iter (fun (name, s) -> size.(lookup "driver" name) <- s) spec.Spec.drivers;
+    (* Connectivity. *)
+    let prim = Array.make n None and fanin = Array.make n None in
+    let fanout = Array.make n [] and extra = Array.make n [] in
+    List.iter
+      (fun (name, slew) -> prim.(lookup "input" name) <- Some slew)
+      spec.Spec.inputs;
+    List.iter
+      (fun (from_net, pin, to_net) ->
+        let f = lookup "edge" from_net and t = lookup "edge" to_net in
+        (match fanin.(t) with
+        | Some _ -> raise (Bad (Printf.sprintf "net %s is driven by more than one edge" to_net))
+        | None -> fanin.(t) <- Some f);
+        fanout.(f) <- t :: fanout.(f);
+        extra.(f) <- (pin, Inverter.input_cap (Inverter.make tech ~size:size.(t))) :: extra.(f))
+      spec.Spec.edges;
+    List.iter
+      (fun (name, pin, farads) ->
+        let i = lookup "load" name in
+        extra.(i) <- (pin, farads) :: extra.(i))
+      spec.Spec.loads;
+    Array.iteri
+      (fun i p ->
+        match (p, fanin.(i)) with
+        | None, None ->
+            raise
+              (Bad
+                 (Printf.sprintf "net %s has no slew source (neither input nor edge)"
+                    (List.nth names i)))
+        | Some _, Some _ ->
+            raise
+              (Bad
+                 (Printf.sprintf "net %s is both a primary input and edge-driven"
+                    (List.nth names i)))
+        | _ -> ())
+      prim;
+    (* Levelize along the single-fanin chains; a net still unlevelled after
+       following its ancestry is on a combinational cycle. *)
+    let level = Array.make n (-1) in
+    let rec level_of i seen =
+      if level.(i) >= 0 then level.(i)
+      else if List.mem i seen then
+        raise (Bad (Printf.sprintf "combinational cycle through net %s" (List.nth names i)))
+      else begin
+        let l = match fanin.(i) with None -> 0 | Some p -> 1 + level_of p (i :: seen) in
+        level.(i) <- l;
+        l
+      end
+    in
+    for i = 0 to n - 1 do
+      ignore (level_of i [])
+    done;
+    (* Per-net electrical view. *)
+    let nets =
+      Array.init n (fun i ->
+          let dnet = dnets.(i) and name = List.nth names i in
+          let root_pin =
+            match Spef.driver_conn dnet with Ok c -> c.Spef.pin | Error e -> raise (Bad e)
+          in
+          let extra_caps = List.rev extra.(i) in
+          let tree =
+            match Spef.to_tree ~extra_caps dnet ~root:root_pin with
+            | Ok t -> t
+            | Error e -> raise (Bad e)
+          in
+          let cl = List.fold_left (fun acc (_, c) -> acc +. c) 0. extra_caps in
+          let r_tot, l_tot = branch_totals dnet in
+          let c_wire = Spef.net_total_cap dnet in
+          if c_wire <= 0. then
+            raise (Bad (Printf.sprintf "net %s has no grounded wire capacitance" name));
+          (* Equivalent uniform line for Z0 / tf / the screen; both are
+             length-independent given totals, so the nominal 1 mm only
+             feeds pretty-printing.  Degenerate R or L totals (single-node
+             or RC-only nets) are clamped to keep the line constructible —
+             a vanishing L makes Z0 ~ 0, which correctly drives Eq. 1's
+             breakpoint to 0 and the Eq. 9 screen to "RC-like". *)
+          let eq_line =
+            Line.of_totals ~r:(Float.max 1e-6 r_tot) ~l:(Float.max 1e-16 l_tot) ~c:c_wire
+              ~length:1e-3
+          in
+          let pade = Rlc_moments.Pade.fit (Rlc_moments.Moments.driving_point ~order:5 tree) in
+          {
+            id = i;
+            name;
+            size = size.(i);
+            root_pin;
+            tree;
+            pade;
+            eq_line;
+            cl;
+            fanin = fanin.(i);
+            fanout = List.sort compare fanout.(i);
+            level = level.(i);
+            prim_slew = prim.(i);
+          })
+    in
+    let max_level = Array.fold_left (fun acc net -> Int.max acc net.level) 0 nets in
+    let levels =
+      Array.init (max_level + 1) (fun l ->
+          Array.of_list
+            (List.filter_map
+               (fun net -> if net.level = l then Some net.id else None)
+               (Array.to_list nets)))
+    in
+    let sizes =
+      List.sort_uniq compare (Array.to_list (Array.map (fun net -> net.size) nets))
+    in
+    Ok { design_name = spef.Spef.design; tech; nets; levels; sizes }
+  with Bad msg -> Error msg
+
+let n_nets t = Array.length t.nets
+
+let pp fmt t =
+  Format.fprintf fmt "design<%s: %d nets, %d levels, sizes %s>" t.design_name
+    (Array.length t.nets) (Array.length t.levels)
+    (String.concat "," (List.map (Printf.sprintf "%gX") t.sizes))

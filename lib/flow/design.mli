@@ -1,0 +1,48 @@
+(** Full-design ingest: SPEF parasitics + connectivity spec -> levelized net
+    graph.
+
+    Each net of the design becomes one timing job: an inverter driver of the
+    spec'd size at the net's SPEF [Output] pin, the extracted RLC tree (with
+    fan-out gate capacitances and explicit loads folded in at their receiver
+    pins), and the lumped sink load [CL] the inductance screen compares
+    against the wire capacitance.  Nets are levelized by driver dependency —
+    level 0 nets take their input slew from the spec, level [k] nets from the
+    far-end slew computed at level [k-1] — which is exactly the stage
+    hand-off of {!Rlc_sta.analyze} lifted from a single path to a DAG. *)
+
+type net = {
+  id : int;  (** dense index; nets are sorted by name, so ids are stable *)
+  name : string;
+  size : float;  (** driver strength, X multiplier *)
+  root_pin : string;  (** the SPEF [Output] conn the driver sits on *)
+  tree : Rlc_moments.Tree.t;  (** extracted tree with sink loads folded in *)
+  pade : Rlc_moments.Pade.t;  (** 3/2 fit of the tree's admittance moments *)
+  eq_line : Rlc_tline.Line.t;
+      (** total-R/L/C equivalent uniform line: supplies [Z0], time of
+          flight and the wire capacitance to Eq. 1 / Eq. 9, and carries the
+          model waveform replay *)
+  cl : float;  (** lumped sink load: fan-out gate caps + explicit loads, F *)
+  fanin : int option;  (** the net whose far end drives this net's driver *)
+  fanout : int list;  (** nets driven from this net's receivers, ascending *)
+  level : int;
+  prim_slew : float option;  (** input slew when this is a primary input *)
+}
+
+type t = {
+  design_name : string;
+  tech : Rlc_devices.Tech.t;
+  nets : net array;  (** indexed by [id] *)
+  levels : int array array;  (** [levels.(l)] = ids at level [l], ascending *)
+  sizes : float list;  (** distinct driver sizes, ascending (for pre-characterization) *)
+}
+
+val ingest :
+  ?tech:Rlc_devices.Tech.t -> spef:Rlc_spef.Spef.t -> spec:Spec.t -> unit -> (t, string) result
+(** Errors: a spec net missing from the SPEF (or vice versa: SPEF nets not
+    covered by a [driver] line are ignored with a log message, they are not
+    errors); a net without a unique [Output] conn; a net that is neither a
+    primary input nor the target of exactly one [edge]; combinational
+    cycles; unknown pins; nets whose R/L graph is not a tree. *)
+
+val n_nets : t -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,235 @@
+module Measure = Rlc_waveform.Measure
+module Driver_model = Rlc_ceff.Driver_model
+module Reference = Rlc_ceff.Reference
+module Characterize = Rlc_liberty.Characterize
+module Line = Rlc_tline.Line
+module Pade = Rlc_moments.Pade
+module Sta = Rlc_sta.Sta
+
+let src = Logs.Src.create "rlc.flow" ~doc:"parallel full-design timing flow"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type solve = {
+  model : Driver_model.t;
+  stage_delay : float;
+  far_slew : float;
+  iterations : int;
+}
+
+type net_result = {
+  net : Design.net;
+  edge : Measure.edge;
+  input_slew : float;
+  solve : solve;
+  arrival : float;
+}
+
+type phase = { p_name : string; p_seconds : float }
+
+type stats = {
+  n_nets : int;
+  n_levels : int;
+  n_inductive : int;
+  n_two_ramp : int;
+  iterations_total : int;
+  cache_hits : int;
+  cache_misses : int;
+  iterations_spent : int;
+  phases : phase list;
+}
+
+type result = { design : Design.t; results : net_result array; stats : stats }
+
+let create_cache : unit -> solve Cache.t = Cache.create
+
+(* Canonicalize the per-net electrical inputs so that (a) repeated bus bits
+   collide on one cache key and (b) the solve is a pure function of the key
+   — the flow's jobs-count-independence rests on computing FROM the
+   quantized values, not merely keying on them. *)
+type canonical = {
+  q_slew : float;
+  q_pade : Pade.t;
+  q_line : Line.t;
+  q_cl : float;
+  key : string;
+}
+
+let canonicalize ~digits ~grid ~tech ~dt (net : Design.net) ~edge ~input_slew =
+  let q = Cache.quantize ~digits in
+  let q_slew = Cache.quantize_slew ~grid (Sta.clamp_slew input_slew) in
+  let p = net.Design.pade in
+  let q_pade =
+    { Pade.a1 = q p.Pade.a1; a2 = q p.Pade.a2; a3 = q p.Pade.a3; b1 = q p.Pade.b1; b2 = q p.Pade.b2 }
+  in
+  let line = net.Design.eq_line in
+  let q_line =
+    Line.of_totals ~r:(q (Line.total_r line)) ~l:(q (Line.total_l line))
+      ~c:(q (Line.total_c line)) ~length:line.Line.length
+  in
+  let q_cl = q net.Design.cl in
+  let key =
+    Printf.sprintf "%s|%.17g|%c|%.17g|%.17g|%.17g|%.17g|%.17g|%.17g|%.17g|%.17g|%.17g|%.17g|%.17g"
+      tech.Rlc_devices.Tech.name net.Design.size
+      (match edge with Measure.Rising -> 'r' | Measure.Falling -> 'f')
+      q_slew q_pade.Pade.a1 q_pade.Pade.a2 q_pade.Pade.a3 q_pade.Pade.b1 q_pade.Pade.b2
+      (Line.total_r q_line) (Line.total_l q_line) (Line.total_c q_line) q_cl dt
+  in
+  { q_slew; q_pade; q_line; q_cl; key }
+
+let solve_net ~tech ~dt ~edge ~size c =
+  let cell = Characterize.cell tech ~size in
+  let model =
+    Driver_model.model_pade ~cell ~edge ~input_slew:c.q_slew ~pade:c.q_pade ~line:c.q_line
+      ~cl:c.q_cl ()
+  in
+  let _, far = Reference.replay_pwl ~dt ~pwl:model.Driver_model.pwl ~line:c.q_line ~cl:c.q_cl () in
+  let vdd = model.Driver_model.vdd in
+  (* The model waveform lives in the normalized rising domain; t = 0 is the
+     driver-input 50 % crossing, so the far-end 50 % time IS the stage
+     delay (same convention as Rlc_sta.analyze). *)
+  let stage_delay = Measure.t_frac_exn far ~vdd ~edge:Measure.Rising ~frac:0.5 in
+  let far_slew =
+    match Measure.slew_10_90 far ~vdd ~edge:Measure.Rising with
+    | Some s -> s
+    | None -> invalid_arg "Rlc_flow.Flow: far-end replay never completed 10-90"
+  in
+  { model; stage_delay; far_slew; iterations = Driver_model.total_iterations model }
+
+let run ?(dt = 0.5e-12) ?jobs ?(use_cache = true) ?cache ?(quantize_digits = 9)
+    ?(slew_grid = 0.1e-12) (design : Design.t) =
+  let jobs = match jobs with Some j -> Int.max 1 j | None -> Pool.default_jobs () in
+  let cache = match cache with Some c -> c | None -> create_cache () in
+  let hits0 = Cache.hits cache and misses0 = Cache.misses cache in
+  let tech = design.Design.tech in
+  let n = Array.length design.Design.nets in
+  let phases = ref [] in
+  let timed name f =
+    let t0 = Unix.gettimeofday () in
+    let v = f () in
+    let dt_wall = Unix.gettimeofday () -. t0 in
+    phases := { p_name = name; p_seconds = dt_wall } :: !phases;
+    Log.info (fun m -> m "phase %-12s %8.1f ms" name (1e3 *. dt_wall));
+    v
+  in
+  (* Characterize every driver size once, in the calling domain, so the
+     worker domains only ever read the (mutex-guarded) memo table. *)
+  timed "characterize" (fun () ->
+      List.iter (fun size -> ignore (Characterize.cell tech ~size)) design.Design.sizes);
+  let results : net_result option array = Array.make n None in
+  (* incremented from worker domains *)
+  let spent = Atomic.make 0 in
+  timed "solve" (fun () ->
+      Pool.with_pool ~jobs (fun pool ->
+          Array.iteri
+            (fun lvl ids ->
+              (* Input slew and edge for this level are fixed by the
+                 previous level (or the spec), so prepare them serially. *)
+              let jobs_for_level =
+                Array.map
+                  (fun id ->
+                    let net = design.Design.nets.(id) in
+                    let edge, input_slew =
+                      match net.Design.fanin with
+                      | None -> (Measure.Rising, Option.get net.Design.prim_slew)
+                      | Some p ->
+                          let pr = Option.get results.(p) in
+                          ( Sta.other_edge pr.edge,
+                            Sta.handoff_slew ~far_slew:pr.solve.far_slew )
+                    in
+                    (net, edge, input_slew))
+                  ids
+              in
+              let solved =
+                Pool.map pool (Array.length ids) (fun k ->
+                    let net, edge, input_slew = jobs_for_level.(k) in
+                    let c =
+                      canonicalize ~digits:quantize_digits ~grid:slew_grid ~tech ~dt net ~edge
+                        ~input_slew
+                    in
+                    let compute () =
+                      let s = solve_net ~tech ~dt ~edge ~size:net.Design.size c in
+                      Atomic.fetch_and_add spent s.iterations |> ignore;
+                      s
+                    in
+                    let solve, hit =
+                      if use_cache then Cache.find_or_add cache c.key compute
+                      else (compute (), false)
+                    in
+                    Log.debug (fun m ->
+                        m "net %-16s level %d %s: delay %.1f ps slew %.1f ps (%d iters%s)"
+                          net.Design.name lvl
+                          (match edge with Measure.Rising -> "rise" | Measure.Falling -> "fall")
+                          (Rlc_num.Units.in_ps solve.stage_delay)
+                          (Rlc_num.Units.in_ps solve.far_slew)
+                          solve.iterations
+                          (if hit then ", cached" else ""));
+                    { net; edge; input_slew = c.q_slew; solve; arrival = 0. })
+              in
+              Array.iteri (fun k r -> results.(ids.(k)) <- Some r) solved)
+            design.Design.levels));
+  (* Arrivals accumulate along the fan-in chains; levels are already in
+     dependency order, so one ordered pass suffices. *)
+  let results =
+    timed "arrivals" (fun () ->
+        let out = Array.map Option.get results in
+        Array.iter
+          (fun ids ->
+            Array.iter
+              (fun id ->
+                let r = out.(id) in
+                let base =
+                  match r.net.Design.fanin with
+                  | None -> 0.
+                  | Some p -> out.(p).arrival
+                in
+                out.(id) <- { r with arrival = base +. r.solve.stage_delay })
+              ids)
+          design.Design.levels;
+        out)
+  in
+  let count f = Array.fold_left (fun acc r -> if f r then acc + 1 else acc) 0 results in
+  let stats =
+    {
+      n_nets = n;
+      n_levels = Array.length design.Design.levels;
+      n_inductive =
+        count (fun r ->
+            r.solve.model.Driver_model.screen.Rlc_ceff.Screen.significant);
+      n_two_ramp =
+        count (fun r ->
+            match r.solve.model.Driver_model.shape with
+            | Driver_model.Two_ramp _ -> true
+            | Driver_model.One_ramp _ -> false);
+      iterations_total =
+        Array.fold_left (fun acc r -> acc + r.solve.iterations) 0 results;
+      cache_hits = Cache.hits cache - hits0;
+      cache_misses = Cache.misses cache - misses0;
+      iterations_spent = Atomic.get spent;
+      phases = List.rev !phases;
+    }
+  in
+  Log.info (fun m ->
+      m "flow: %d nets / %d levels, %d inductive, cache %d hits / %d misses, %d/%d iterations run"
+        stats.n_nets stats.n_levels stats.n_inductive stats.cache_hits stats.cache_misses
+        stats.iterations_spent stats.iterations_total);
+  { design; results; stats }
+
+let critical_path result =
+  let worst =
+    Array.fold_left
+      (fun acc r ->
+        match acc with
+        | None -> Some r
+        | Some best -> if r.arrival > best.arrival then Some r else Some best)
+      None result.results
+  in
+  match worst with
+  | None -> []
+  | Some last ->
+      let rec walk acc r =
+        match r.net.Design.fanin with
+        | None -> r :: acc
+        | Some p -> walk (r :: acc) result.results.(p)
+      in
+      walk [] last

@@ -1,0 +1,70 @@
+(** The parallel full-design timing flow.
+
+    Levels run in order; within a level every net is an independent job
+    fanned out over a {!Pool} of OCaml domains.  Each job canonicalizes its
+    inputs ({!Cache.quantize} on the admittance fit and line constants,
+    {!Cache.quantize_slew} on the input slew), consults the Ceff result
+    cache, and on a miss runs the paper's model
+    ({!Rlc_ceff.Driver_model.model_pade}) followed by the far-end replay of
+    the modeled waveform through the net.  Far-end slews hand off to the
+    next level exactly as {!Rlc_sta.analyze} hands off between stages of a
+    path ({!Rlc_sta.handoff_slew}, edge alternation included).
+
+    Determinism: every per-net quantity in {!net_result} is a pure function
+    of the canonicalized inputs, and results are stored by net id — so
+    reports are byte-identical for any [jobs] count.  Cache hit/miss
+    counters and wall times {e do} depend on scheduling and are only
+    surfaced through {!stats} / logs, never through report payloads. *)
+
+type solve = {
+  model : Rlc_ceff.Driver_model.t;
+  stage_delay : float;  (** driver-input 50 % -> far-end 50 % (replayed) *)
+  far_slew : float;  (** 10–90 at the far end of the replayed waveform *)
+  iterations : int;  (** Ceff fixed-point iterations of this solve *)
+}
+
+type net_result = {
+  net : Design.net;
+  edge : Rlc_waveform.Measure.edge;  (** driver output edge *)
+  input_slew : float;  (** quantized slew presented at the driver input *)
+  solve : solve;
+  arrival : float;  (** cumulative arrival at the net's far end, s *)
+}
+
+type phase = { p_name : string; p_seconds : float }
+
+type stats = {
+  n_nets : int;
+  n_levels : int;
+  n_inductive : int;  (** Eq. 9 verdicts (deterministic) *)
+  n_two_ramp : int;
+  iterations_total : int;  (** sum of per-net solve iterations (deterministic) *)
+  cache_hits : int;  (** scheduling-dependent; never reported in JSON/CSV *)
+  cache_misses : int;
+  iterations_spent : int;  (** iterations actually run = sum over misses *)
+  phases : phase list;  (** wall time per phase, in execution order *)
+}
+
+type result = { design : Design.t; results : net_result array; stats : stats }
+
+val create_cache : unit -> solve Cache.t
+(** A cache that can be shared across {!run} invocations (warm re-timing). *)
+
+val run :
+  ?dt:float ->
+  ?jobs:int ->
+  ?use_cache:bool ->
+  ?cache:solve Cache.t ->
+  ?quantize_digits:int ->
+  ?slew_grid:float ->
+  Design.t ->
+  result
+(** Defaults: [dt] 0.5 ps (the sweep-throughput timestep), [jobs]
+    {!Pool.default_jobs}, [use_cache] true with a fresh per-run cache,
+    [quantize_digits] 9, [slew_grid] 0.1 ps.  Cells for every driver size
+    are characterized up front in the calling domain (the memo table is
+    shared, read-only during fan-out). *)
+
+val critical_path : result -> net_result list
+(** The worst-arrival net and its fan-in chain, source first.  Ties break
+    toward the lowest net id (deterministic). *)

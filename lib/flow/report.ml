@@ -1,0 +1,184 @@
+module Driver_model = Rlc_ceff.Driver_model
+module Screen = Rlc_ceff.Screen
+module Measure = Rlc_waveform.Measure
+module Units = Rlc_num.Units
+
+let ps = Units.in_ps
+let ff = Units.in_ff
+
+(* One float format for every payload so report bytes are reproducible. *)
+let num = Printf.sprintf "%.6g"
+let num_ps x = num (ps x)
+
+let edge_name = function Measure.Rising -> "rise" | Measure.Falling -> "fall"
+
+let shape_name (m : Driver_model.t) =
+  match m.Driver_model.shape with
+  | Driver_model.One_ramp _ -> "one-ramp"
+  | Driver_model.Two_ramp _ -> "two-ramp"
+
+let ceffs (m : Driver_model.t) =
+  match m.Driver_model.shape with
+  | Driver_model.One_ramp { ceff; _ } -> (ceff, None)
+  | Driver_model.Two_ramp { ceff1; ceff2; _ } -> (ceff1, Some ceff2)
+
+(* ------------------------------------------------------------ histogram *)
+
+type histogram = { bin_width : float; lo : float; counts : int array }
+
+let histogram ?(bins = 8) values =
+  match values with
+  | [] -> { bin_width = 1.; lo = 0.; counts = [||] }
+  | _ ->
+      let lo = List.fold_left Float.min Float.infinity values in
+      let hi = List.fold_left Float.max Float.neg_infinity values in
+      let width = if hi > lo then (hi -. lo) /. float_of_int bins else 1. in
+      let counts = Array.make bins 0 in
+      List.iter
+        (fun v ->
+          let b = Int.min (bins - 1) (int_of_float ((v -. lo) /. width)) in
+          counts.(b) <- counts.(b) + 1)
+        values;
+      { bin_width = width; lo; counts }
+
+(* ----------------------------------------------------------------- JSON *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_histogram h =
+  Printf.sprintf {|{"lo_ps":%s,"bin_width_ps":%s,"counts":[%s]}|} (num_ps h.lo)
+    (num_ps h.bin_width)
+    (String.concat "," (List.map string_of_int (Array.to_list h.counts)))
+
+let net_json (r : Flow.net_result) =
+  let m = r.Flow.solve.Flow.model in
+  let c1, c2 = ceffs m in
+  let screen = m.Driver_model.screen in
+  Printf.sprintf
+    {|    {"net":"%s","level":%d,"driver_size":%s,"edge":"%s","input_slew_ps":%s,"shape":"%s","inductive":%b,"f":%s,"rs_ohm":%s,"z0_ohm":%s,"tf_ps":%s,"ceff1_ff":%s,"tr1_ps":%s,"ceff2_ff":%s,"tr2_ps":%s,"ceff_iterations":%d,"near_delay_ps":%s,"stage_delay_ps":%s,"far_slew_ps":%s,"arrival_ps":%s}|}
+    (json_escape r.Flow.net.Design.name)
+    r.Flow.net.Design.level
+    (num r.Flow.net.Design.size)
+    (edge_name r.Flow.edge) (num_ps r.Flow.input_slew) (shape_name m)
+    screen.Screen.significant (num m.Driver_model.f) (num m.Driver_model.rs)
+    (num m.Driver_model.z0)
+    (num_ps m.Driver_model.tf)
+    (num (ff c1.Driver_model.value))
+    (num_ps c1.Driver_model.ramp)
+    (match c2 with Some c -> num (ff c.Driver_model.value) | None -> "null")
+    (match c2 with Some c -> num_ps c.Driver_model.ramp | None -> "null")
+    r.Flow.solve.Flow.iterations
+    (num_ps m.Driver_model.delay_50)
+    (num_ps r.Flow.solve.Flow.stage_delay)
+    (num_ps r.Flow.solve.Flow.far_slew)
+    (num_ps r.Flow.arrival)
+
+let json_string ?required (result : Flow.result) =
+  let buf = Buffer.create 4096 in
+  let p fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let stats = result.Flow.stats in
+  p "{\n";
+  p "  \"design\": \"%s\",\n" (json_escape result.Flow.design.Design.design_name);
+  p "  \"nets\": %d,\n" stats.Flow.n_nets;
+  p "  \"levels\": %d,\n" stats.Flow.n_levels;
+  p "  \"inductive_nets\": %d,\n" stats.Flow.n_inductive;
+  p "  \"two_ramp_nets\": %d,\n" stats.Flow.n_two_ramp;
+  p "  \"ceff_iterations\": %d,\n" stats.Flow.iterations_total;
+  p "  \"net_results\": [\n";
+  Array.iteri
+    (fun i r ->
+      Buffer.add_string buf (net_json r);
+      if i < Array.length result.Flow.results - 1 then Buffer.add_string buf ",";
+      Buffer.add_string buf "\n")
+    result.Flow.results;
+  p "  ],\n";
+  let path = Flow.critical_path result in
+  let worst_arrival =
+    match List.rev path with last :: _ -> last.Flow.arrival | [] -> 0.
+  in
+  p "  \"summary\": {\n";
+  p "    \"worst_arrival_ps\": %s,\n" (num_ps worst_arrival);
+  (match required with
+  | Some req -> p "    \"worst_slack_ps\": %s,\n" (num_ps (req -. worst_arrival))
+  | None -> ());
+  p "    \"critical_path\": [%s],\n"
+    (String.concat ","
+       (List.map (fun r -> "\"" ^ json_escape r.Flow.net.Design.name ^ "\"") path));
+  let delays =
+    Array.to_list (Array.map (fun r -> r.Flow.solve.Flow.stage_delay) result.Flow.results)
+  in
+  let slews =
+    Array.to_list (Array.map (fun r -> r.Flow.solve.Flow.far_slew) result.Flow.results)
+  in
+  p "    \"stage_delay_histogram\": %s,\n" (json_histogram (histogram delays));
+  p "    \"far_slew_histogram\": %s\n" (json_histogram (histogram slews));
+  p "  }\n";
+  p "}\n";
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ CSV *)
+
+let csv_string (result : Flow.result) =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf
+    "net,level,driver_size,edge,input_slew_ps,shape,inductive,f,rs_ohm,z0_ohm,tf_ps,ceff1_ff,tr1_ps,ceff2_ff,tr2_ps,ceff_iterations,near_delay_ps,stage_delay_ps,far_slew_ps,arrival_ps\n";
+  Array.iter
+    (fun (r : Flow.net_result) ->
+      let m = r.Flow.solve.Flow.model in
+      let c1, c2 = ceffs m in
+      Buffer.add_string buf
+        (Printf.sprintf "%s,%d,%s,%s,%s,%s,%b,%s,%s,%s,%s,%s,%s,%s,%s,%d,%s,%s,%s,%s\n"
+           r.Flow.net.Design.name r.Flow.net.Design.level
+           (num r.Flow.net.Design.size)
+           (edge_name r.Flow.edge) (num_ps r.Flow.input_slew) (shape_name m)
+           m.Driver_model.screen.Screen.significant (num m.Driver_model.f)
+           (num m.Driver_model.rs) (num m.Driver_model.z0)
+           (num_ps m.Driver_model.tf)
+           (num (ff c1.Driver_model.value))
+           (num_ps c1.Driver_model.ramp)
+           (match c2 with Some c -> num (ff c.Driver_model.value) | None -> "")
+           (match c2 with Some c -> num_ps c.Driver_model.ramp | None -> "")
+           r.Flow.solve.Flow.iterations
+           (num_ps m.Driver_model.delay_50)
+           (num_ps r.Flow.solve.Flow.stage_delay)
+           (num_ps r.Flow.solve.Flow.far_slew)
+           (num_ps r.Flow.arrival)))
+    result.Flow.results;
+  Buffer.contents buf
+
+(* -------------------------------------------------------------- summary *)
+
+let summary ?required fmt (result : Flow.result) =
+  let stats = result.Flow.stats in
+  Format.fprintf fmt "design %s: %d nets in %d levels@." result.Flow.design.Design.design_name
+    stats.Flow.n_nets stats.Flow.n_levels;
+  Format.fprintf fmt "  screen: %d inductive (two-ramp: %d), %d RC-like@." stats.Flow.n_inductive
+    stats.Flow.n_two_ramp
+    (stats.Flow.n_nets - stats.Flow.n_inductive);
+  Format.fprintf fmt "  Ceff iterations: %d modeled, %d actually run (cache: %d hits, %d misses)@."
+    stats.Flow.iterations_total stats.Flow.iterations_spent stats.Flow.cache_hits
+    stats.Flow.cache_misses;
+  let path = Flow.critical_path result in
+  (match List.rev path with
+  | last :: _ ->
+      Format.fprintf fmt "  critical path (%s): %s, arrival %.1f ps@."
+        (String.concat " -> " (List.map (fun r -> r.Flow.net.Design.name) path))
+        (match required with
+        | Some req -> Printf.sprintf "slack %+.1f ps" (ps (req -. last.Flow.arrival))
+        | None -> "no required time")
+        (ps last.Flow.arrival)
+  | [] -> ());
+  List.iter
+    (fun ph -> Format.fprintf fmt "  phase %-12s %8.1f ms@." ph.Flow.p_name (1e3 *. ph.Flow.p_seconds))
+    stats.Flow.phases

@@ -1,0 +1,22 @@
+(** Machine-readable reports for a flow run.
+
+    The JSON and CSV payloads contain only deterministic quantities (pure
+    functions of the design and the canonicalized per-net inputs), so a run
+    with [--jobs N] emits byte-identical reports for every [N]; scheduling-
+    dependent observability (cache hit counters, wall times) lives in the
+    human {!summary} and the logs only.  Floats are printed with [%.6g] —
+    one fixed, locale-independent format everywhere. *)
+
+val json_string : ?required:float -> Flow.result -> string
+(** Full report: design header, one object per net (timing, shape, screen
+    verdict, Ceff values, iteration count), and a summary block with the
+    worst-arrival (critical) path, optional slack against a [required]
+    arrival time (seconds), and fixed-bin stage-delay / far-slew
+    histograms. *)
+
+val csv_string : Flow.result -> string
+(** One row per net, same per-net fields as the JSON. *)
+
+val summary : ?required:float -> Format.formatter -> Flow.result -> unit
+(** Human-readable run summary: net/level counts, verdict mix, critical
+    path, cache and per-phase wall-time counters. *)

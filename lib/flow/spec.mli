@@ -1,0 +1,44 @@
+(** Top-level connectivity spec for a full-design flow.
+
+    A SPEF file carries per-net parasitics but not the gate-level context a
+    timer needs: which cell drives each net, where primary inputs enter and
+    with what transition time, and how nets chain (a receiver pin of one net
+    feeding the driver of another).  This module parses the small
+    line-oriented spec that supplies exactly that:
+
+    {v
+    # comments start with '#' (or '//'); blank lines are ignored
+    driver <net> <sizeX>          # every net: driver strength (X multiplier)
+    input  <net> <slew_ps>        # primary-input net: transition time at its
+                                  # driver input, picoseconds
+    edge   <net> <pin> <net2>     # <net2>'s driver input is the receiver
+                                  # <pin> of <net>
+    load   <net> <pin> <cap_ff>   # extra lumped sink load at <pin>, fF
+    v}
+
+    Every net named anywhere must have a [driver] line.  A net must be
+    either a primary input ([input]) or driven through exactly one [edge] —
+    never both, never neither, never more than once ({!Design.ingest}
+    enforces the graph-level rules; this module only validates syntax and
+    per-line duplicates). *)
+
+type t = {
+  drivers : (string * float) list;  (** net name, driver size (X) *)
+  inputs : (string * float) list;  (** net name, input slew (seconds) *)
+  edges : (string * string * string) list;  (** from net, pin on it, to net *)
+  loads : (string * string * float) list;  (** net, pin, farads *)
+}
+
+val parse : string -> (t, string) result
+(** Errors carry a line number.  Duplicate [driver] or [input] lines for the
+    same net, unknown keywords, malformed numbers and non-positive sizes or
+    slews are errors. *)
+
+val default_of_spef : ?size:float -> ?slew:float -> Rlc_spef.Spef.t -> t
+(** A flat spec for running a bare SPEF file: every net is a primary input
+    with the given driver [size] (default 75X) and input [slew] (default
+    100 ps), no inter-net edges and no extra loads. *)
+
+val to_string : t -> string
+(** Canonical printer in the syntax above ([parse (to_string s)] round-trips
+    the structure). *)

@@ -82,15 +82,24 @@ let characterize_arc tech ~size ~edge grid =
     tail_50_90 = lut t59;
   }
 
+(* The memo table is shared by every domain of a parallel flow; guard it so
+   concurrent lookups are safe.  Characterization itself runs outside the
+   lock (it is deterministic, so a rare duplicated run is only wasted work,
+   never a wrong table). *)
 let cache : (string * float * int, Table.cell) Hashtbl.t = Hashtbl.create 16
+let cache_mutex = Mutex.create ()
 
-let clear_cache () = Hashtbl.reset cache
+let with_cache f =
+  Mutex.lock cache_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock cache_mutex) f
+
+let clear_cache () = with_cache (fun () -> Hashtbl.reset cache)
 
 let cell ?(grid = default_grid) tech ~size =
   (* The grid participates in the key: characterizing the same cell on a
      different grid must not return stale tables. *)
   let key = (tech.Tech.name, size, Hashtbl.hash (grid.slews, grid.caps)) in
-  match Hashtbl.find_opt cache key with
+  match with_cache (fun () -> Hashtbl.find_opt cache key) with
   | Some c -> c
   | None ->
       let rise = characterize_arc tech ~size ~edge:Testbench.Rise grid in
@@ -105,5 +114,5 @@ let cell ?(grid = default_grid) tech ~size =
           fall;
         }
       in
-      Hashtbl.replace cache key c;
+      with_cache (fun () -> Hashtbl.replace cache key c);
       c

@@ -74,6 +74,8 @@ let parse src =
     match !cur with
     | None -> raise (Err (lineno, "*END outside a *D_NET"))
     | Some net ->
+        if List.exists (fun n -> n.net_name = net.net_name) !nets then
+          raise (Err (lineno, "duplicate *D_NET " ^ net.net_name));
         nets :=
           { net with conns = List.rev net.conns; caps = List.rev net.caps;
             branches = List.rev net.branches }
@@ -210,11 +212,20 @@ let find_net t name = List.find_opt (fun n -> n.net_name = name) t.nets
 
 let net_total_cap net = List.fold_left (fun acc c -> acc +. c.farads) 0. net.caps
 
+let driver_conn net =
+  match List.filter (fun c -> c.dir = Output) net.conns with
+  | [ c ] -> Ok c
+  | [] -> Error (Printf.sprintf "net %s has no Output *CONN (no driver pin)" net.net_name)
+  | _ :: _ ->
+      Error (Printf.sprintf "net %s has multiple Output *CONN entries" net.net_name)
+
+let load_conns net = List.filter (fun c -> c.dir <> Output) net.conns
+
 (* ----------------------------------------------------------- to_tree *)
 
 module SMap = Map.Make (String)
 
-let to_tree net ~root =
+let to_tree ?(extra_caps = []) net ~root =
   (* Merge R and L between identical unordered node pairs. *)
   let key a b = if a <= b then (a, b) else (b, a) in
   let merged = Hashtbl.create 16 in
@@ -242,8 +253,10 @@ let to_tree net ~root =
     merged;
   let caps_at =
     List.fold_left
-      (fun m c -> SMap.update c.node (fun v -> Some (Option.value v ~default:0. +. c.farads)) m)
-      SMap.empty net.caps
+      (fun m (node, farads) ->
+        SMap.update node (fun v -> Some (Option.value v ~default:0. +. farads)) m)
+      SMap.empty
+      (List.map (fun c -> (c.node, c.farads)) net.caps @ extra_caps)
   in
   let known_node n = Hashtbl.mem adj n || SMap.mem n caps_at in
   if not (known_node root) then Error (Printf.sprintf "root %s not found in net %s" root net.net_name)
@@ -273,12 +286,14 @@ let to_tree net ~root =
     | tree ->
         (* Anything carrying parasitics but unreachable is a modeling error. *)
         let disconnected =
-          List.filter (fun c -> not (Hashtbl.mem visited c.node)) net.caps
+          List.filter
+            (fun node -> not (Hashtbl.mem visited node))
+            (List.map (fun c -> c.node) net.caps @ List.map fst extra_caps)
         in
         if disconnected <> [] then
           Error
             (Printf.sprintf "net %s: node %s is not connected to %s" net.net_name
-               (List.hd disconnected).node root)
+               (List.hd disconnected) root)
         else Ok tree
     | exception Cycle n ->
         Error (Printf.sprintf "net %s: resistive loop through %s (not a tree)" net.net_name n)

@@ -47,11 +47,21 @@ val to_string : t -> string
 
 val find_net : t -> string -> dnet option
 
-val to_tree : dnet -> root:string -> (Rlc_moments.Tree.t, string) result
+val driver_conn : dnet -> (conn, string) result
+(** The unique [Output] connection of the net — its driving pin in a
+    full-design flow.  Zero or multiple [Output] conns are errors. *)
+
+val load_conns : dnet -> conn list
+(** The [Input]/[Bidir] connections (receiver pins), in file order. *)
+
+val to_tree : ?extra_caps:(string * float) list -> dnet -> root:string -> (Rlc_moments.Tree.t, string) result
 (** Build the RLC tree seen from [root] (a node or pin name appearing in the
     net).  Requires the R/L branch graph to be a tree after merging R and L
     between identical node pairs into single branches; loops, disconnected
-    pieces, or L-only branches are errors. *)
+    pieces, or L-only branches are errors.  [extra_caps] adds lumped
+    grounded capacitance (farads) at named nodes — how a design flow folds
+    receiver gate loads into the net before computing moments; naming a node
+    absent from the net is an error. *)
 
 val net_total_cap : dnet -> float
 (** Sum of the grounded caps (farads); tests compare it with [total_cap]. *)

@@ -25,6 +25,11 @@ let other_edge = function Measure.Rising -> Measure.Falling | Measure.Falling ->
 
 let clamp_slew s = Float.max (Units.ps 10.) (Float.min (Units.ps 400.) s)
 
+(* Far-end waveforms carry no plateau (paper Section 3): the hand-off to the
+   next cell arc is a single ramp, the measured 10-90 slew extrapolated to
+   full swing and clamped into the characterized table range. *)
+let handoff_slew ~far_slew = clamp_slew (far_slew /. 0.8)
+
 let analyze ?(dt = 0.5e-12) ?(tech = Rlc_devices.Tech.c018) ~input_slew ~sink_cl stages =
   if stages = [] then invalid_arg "Sta.analyze: empty path";
   let vdd = tech.Rlc_devices.Tech.vdd in
@@ -62,9 +67,7 @@ let analyze ?(dt = 0.5e-12) ?(tech = Rlc_devices.Tech.c018) ~input_slew ~sink_cl
             arrival = arrival +. stage_delay;
           }
         in
-        (* Far-end waveforms carry no plateau: hand a single ramp (the
-           measured slew, extrapolated to full swing) to the next arc. *)
-        go (result :: acc) result.arrival (clamp_slew (far_slew /. 0.8)) (other_edge edge) rest
+        go (result :: acc) result.arrival (handoff_slew ~far_slew) (other_edge edge) rest
   in
   let stages = go [] 0. (clamp_slew input_slew) Measure.Rising stages in
   let total_delay = (List.nth stages (List.length stages - 1)).arrival in

@@ -48,6 +48,19 @@ val analyze :
     capacitance of the next stage's driver; the final stage sees
     [sink_cl]. *)
 
+val other_edge : Rlc_waveform.Measure.edge -> Rlc_waveform.Measure.edge
+(** Inverting-stage edge alternation. *)
+
+val clamp_slew : float -> float
+(** Clamp a slew into the characterized table range (10–400 ps) before a
+    table lookup. *)
+
+val handoff_slew : far_slew:float -> float
+(** The stage hand-off convention shared by {!analyze} and the full-design
+    flow ({!Rlc_flow}): far-end waveforms carry no plateau (paper Section 3),
+    so the next arc receives a single ramp — the measured 10–90 far-end slew
+    extrapolated to full swing ([/. 0.8]) and clamped by {!clamp_slew}. *)
+
 val estimate_far_delay : Rlc_ceff.Driver_model.t -> line:Line.t -> cl:float -> float
 (** Replay-free estimate (for sorting / pruning, not signoff): near-end
     50 % plus the two-moment transfer-function delay of the line

@@ -1,0 +1,394 @@
+(* Rlc_flow tests: spec parsing, design ingest + levelization, the domain
+   pool, the result cache, and the flow's determinism across jobs counts. *)
+
+module Spec = Rlc_flow.Spec
+module Design = Rlc_flow.Design
+module Cache = Rlc_flow.Cache
+module Pool = Rlc_flow.Pool
+module Flow = Rlc_flow.Flow
+module Report = Rlc_flow.Report
+
+(* ---------------------------------------------------------- fixtures *)
+
+(* Two identical bus bits feeding two identical local nets — small enough
+   to keep runtest fast, rich enough to exercise levels, edge alternation
+   and cache collisions. *)
+let spef_src =
+  {|*SPEF "IEEE 1481-1998"
+*DESIGN "flow_test"
+*T_UNIT 1 PS
+*C_UNIT 1 FF
+*R_UNIT 1 OHM
+*L_UNIT 1 PH
+*D_NET b0 300
+*CONN
+*P b0_drv O
+*P b0_rcv I
+*CAP
+1 b0_1 150
+2 b0_rcv 150
+*RES
+1 b0_drv b0_1 30
+2 b0_1 b0_rcv 30
+*INDUC
+1 b0_drv b0_1 1500
+2 b0_1 b0_rcv 1500
+*END
+*D_NET b1 300
+*CONN
+*P b1_drv O
+*P b1_rcv I
+*CAP
+1 b1_1 150
+2 b1_rcv 150
+*RES
+1 b1_drv b1_1 30
+2 b1_1 b1_rcv 30
+*INDUC
+1 b1_drv b1_1 1500
+2 b1_1 b1_rcv 1500
+*END
+*D_NET o0 90
+*CONN
+*P o0_drv O
+*P o0_rcv I
+*CAP
+1 o0_1 45
+2 o0_rcv 45
+*RES
+1 o0_drv o0_1 60
+2 o0_1 o0_rcv 60
+*END
+*D_NET o1 90
+*CONN
+*P o1_drv O
+*P o1_rcv I
+*CAP
+1 o1_1 45
+2 o1_rcv 45
+*RES
+1 o1_drv o1_1 60
+2 o1_1 o1_rcv 60
+*END
+|}
+
+let spec_src =
+  {|# two bus bits into two local nets
+driver b0 75
+driver b1 75
+input b0 100
+input b1 100
+driver o0 50
+driver o1 50
+edge b0 b0_rcv o0
+edge b1 b1_rcv o1
+load o0 o0_rcv 5
+load o1 o1_rcv 5
+|}
+
+let spef = lazy (Result.get_ok (Rlc_spef.Spef.parse spef_src))
+let spec = lazy (Result.get_ok (Spec.parse spec_src))
+
+let design =
+  lazy
+    (match Design.ingest ~spef:(Lazy.force spef) ~spec:(Lazy.force spec) () with
+    | Ok d -> d
+    | Error e -> failwith e)
+
+let ingest_with ~spec_src =
+  match Spec.parse spec_src with
+  | Error e -> Error e
+  | Ok spec -> Design.ingest ~spef:(Lazy.force spef) ~spec ()
+
+let check_error msg = function
+  | Ok _ -> Alcotest.fail (msg ^ ": accepted")
+  | Error e -> Alcotest.(check bool) (msg ^ ": message non-empty") true (String.length e > 0)
+
+(* -------------------------------------------------------------- spec *)
+
+let test_spec_parse () =
+  let s = Lazy.force spec in
+  Alcotest.(check int) "drivers" 4 (List.length s.Spec.drivers);
+  Alcotest.(check int) "inputs" 2 (List.length s.Spec.inputs);
+  Alcotest.(check int) "edges" 2 (List.length s.Spec.edges);
+  Alcotest.(check int) "loads" 2 (List.length s.Spec.loads);
+  Alcotest.(check (float 1e-18)) "slew in seconds" 100e-12 (List.assoc "b0" s.Spec.inputs);
+  Alcotest.(check (float 1e-20)) "load in farads" 5e-15
+    (match s.Spec.loads with (_, _, c) :: _ -> c | [] -> nan)
+
+let test_spec_roundtrip () =
+  let s = Lazy.force spec in
+  let s' = Result.get_ok (Spec.parse (Spec.to_string s)) in
+  Alcotest.(check bool) "roundtrip" true (s = s')
+
+let test_spec_errors () =
+  check_error "duplicate driver" (Spec.parse "driver a 75\ndriver a 50\n");
+  check_error "duplicate input" (Spec.parse "input a 100\ninput a 50\n");
+  check_error "negative size" (Spec.parse "driver a -3\n");
+  check_error "zero slew" (Spec.parse "input a 0\n");
+  check_error "self edge" (Spec.parse "edge a p a\n");
+  check_error "negative load" (Spec.parse "load a p -1\n");
+  check_error "unknown keyword" (Spec.parse "wire a b\n");
+  check_error "bad number" (Spec.parse "driver a huge\n");
+  (* Error messages carry the line number. *)
+  match Spec.parse "driver a 75\ndriver a 50\n" with
+  | Error e -> Alcotest.(check bool) "line number" true (String.length e >= 11 && String.sub e 0 11 = "spec line 2")
+  | Ok _ -> Alcotest.fail "duplicate accepted"
+
+let test_spec_comments () =
+  let s = Result.get_ok (Spec.parse "# comment\n  // also comment\ndriver a 75 # trailing\n") in
+  Alcotest.(check int) "one driver" 1 (List.length s.Spec.drivers)
+
+let test_spec_default () =
+  let s = Spec.default_of_spef ~size:60. ~slew:80e-12 (Lazy.force spef) in
+  Alcotest.(check int) "all nets driven" 4 (List.length s.Spec.drivers);
+  Alcotest.(check int) "all nets inputs" 4 (List.length s.Spec.inputs);
+  Alcotest.(check (float 0.)) "size" 60. (List.assoc "b0" s.Spec.drivers)
+
+(* ------------------------------------------------------------ ingest *)
+
+let test_ingest_shape () =
+  let d = Lazy.force design in
+  Alcotest.(check int) "nets" 4 (Design.n_nets d);
+  Alcotest.(check int) "levels" 2 (Array.length d.Design.levels);
+  (* Ids are sorted by name: b0 b1 o0 o1. *)
+  Alcotest.(check (list string)) "names" [ "b0"; "b1"; "o0"; "o1" ]
+    (Array.to_list (Array.map (fun (n : Design.net) -> n.Design.name) d.Design.nets));
+  Alcotest.(check (list int)) "level 0" [ 0; 1 ] (Array.to_list d.Design.levels.(0));
+  Alcotest.(check (list int)) "level 1" [ 2; 3 ] (Array.to_list d.Design.levels.(1));
+  let b0 = d.Design.nets.(0) and o0 = d.Design.nets.(2) in
+  Alcotest.(check string) "root from Output conn" "b0_drv" b0.Design.root_pin;
+  Alcotest.(check (list int)) "fanout" [ 2 ] b0.Design.fanout;
+  Alcotest.(check bool) "o0 fanin is b0" true (o0.Design.fanin = Some 0);
+  Alcotest.(check bool) "b0 is primary" true (Option.is_some b0.Design.prim_slew);
+  Alcotest.(check bool) "o0 is not primary" true (Option.is_none o0.Design.prim_slew);
+  Alcotest.(check (list (float 0.))) "sizes deduped" [ 50.; 75. ] d.Design.sizes;
+  (* b0's tree carries o0's gate input cap at the edge pin, so its total cap
+     exceeds the bare wire cap. *)
+  let wire = Rlc_spef.Spef.net_total_cap (Option.get (Rlc_spef.Spef.find_net (Lazy.force spef) "b0")) in
+  Alcotest.(check bool) "fanout gate cap added" true
+    (Rlc_moments.Tree.total_cap b0.Design.tree > wire +. 1e-16);
+  (* o0's lumped far load is the explicit 5 fF. *)
+  Alcotest.(check (float 1e-20)) "explicit load" 5e-15 o0.Design.cl
+
+let test_ingest_errors () =
+  check_error "net missing from SPEF" (ingest_with ~spec_src:"driver nope 75\ninput nope 100\n");
+  check_error "edge to net without driver"
+    (ingest_with ~spec_src:"driver b0 75\ninput b0 100\nedge b0 b0_rcv o0\n");
+  check_error "multiple fanin"
+    (ingest_with
+       ~spec_src:
+         "driver b0 75\ninput b0 100\ndriver b1 75\ninput b1 100\ndriver o0 50\nedge b0 b0_rcv \
+          o0\nedge b1 b1_rcv o0\n");
+  check_error "no slew source"
+    (ingest_with ~spec_src:"driver b0 75\ninput b0 100\ndriver o0 50\n");
+  check_error "both input and edge-driven"
+    (ingest_with
+       ~spec_src:"driver b0 75\ninput b0 100\ndriver o0 50\ninput o0 100\nedge b0 b0_rcv o0\n");
+  check_error "cycle"
+    (ingest_with
+       ~spec_src:"driver b0 75\ndriver b1 75\nedge b0 b0_rcv b1\nedge b1 b1_rcv b0\n");
+  check_error "edge pin not on the net"
+    (ingest_with
+       ~spec_src:
+         "driver b0 75\ninput b0 100\ndriver o0 50\nedge b0 nonexistent_pin o0\n")
+
+let test_ingest_no_driver_conn () =
+  (* A net whose SPEF section lacks an Output *CONN cannot be rooted. *)
+  let src =
+    "*D_NET n 1.0\n*CONN\n*P rcv I\n*CAP\n1 a 1.0\n2 rcv 1.0\n*RES\n1 a rcv 10\n*END\n"
+  in
+  let spef = Result.get_ok (Rlc_spef.Spef.parse src) in
+  let spec = Result.get_ok (Spec.parse "driver n 75\ninput n 100\n") in
+  check_error "no Output conn" (Design.ingest ~spef ~spec ())
+
+(* -------------------------------------------------------------- pool *)
+
+let test_pool_map () =
+  Pool.with_pool ~jobs:4 (fun p ->
+      Alcotest.(check int) "jobs" 4 (Pool.jobs p);
+      let r = Pool.map p 100 (fun i -> i * i) in
+      Alcotest.(check int) "length" 100 (Array.length r);
+      Array.iteri (fun i v -> Alcotest.(check int) "in order" (i * i) v) r;
+      (* Reuse: a second batch on the same pool. *)
+      let r2 = Pool.map p 7 (fun i -> -i) in
+      Alcotest.(check int) "second batch" (-6) r2.(6);
+      Alcotest.(check int) "empty batch" 0 (Array.length (Pool.map p 0 (fun i -> i))))
+
+let test_pool_sequential () =
+  Pool.with_pool ~jobs:1 (fun p ->
+      let r = Pool.map p 10 (fun i -> 2 * i) in
+      Alcotest.(check int) "inline" 18 r.(9))
+
+let test_pool_exception () =
+  (* The lowest-index exception wins, deterministically, and the pool
+     survives for the next batch. *)
+  Pool.with_pool ~jobs:4 (fun p ->
+      (match Pool.map p 50 (fun i -> if i mod 7 = 3 then failwith (string_of_int i) else i) with
+      | _ -> Alcotest.fail "expected exception"
+      | exception Failure msg -> Alcotest.(check string) "lowest index" "3" msg);
+      let r = Pool.map p 5 (fun i -> i + 1) in
+      Alcotest.(check int) "pool still usable" 5 r.(4))
+
+let test_pool_parallelism () =
+  (* All domains really participate: count distinct domain ids seen. *)
+  Pool.with_pool ~jobs:4 (fun p ->
+      let seen = Array.make 256 false in
+      let r =
+        Pool.map p 64 (fun _ ->
+            let id = (Domain.self () :> int) in
+            (* benign race: worst case we under-count *)
+            seen.(id mod 256) <- true;
+            Unix.sleepf 0.001;
+            id)
+      in
+      ignore r;
+      let n = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 seen in
+      Alcotest.(check bool) "more than one domain" true (n > 1))
+
+(* ------------------------------------------------------------- cache *)
+
+let test_cache_basics () =
+  let c : int Cache.t = Cache.create () in
+  let calls = ref 0 in
+  let compute () = incr calls; 42 in
+  let v, hit = Cache.find_or_add c "k" compute in
+  Alcotest.(check bool) "miss" false hit;
+  Alcotest.(check int) "value" 42 v;
+  let v', hit' = Cache.find_or_add c "k" compute in
+  Alcotest.(check bool) "hit" true hit';
+  Alcotest.(check int) "same value" 42 v';
+  Alcotest.(check int) "computed once" 1 !calls;
+  Alcotest.(check int) "hits" 1 (Cache.hits c);
+  Alcotest.(check int) "misses" 1 (Cache.misses c);
+  Alcotest.(check int) "length" 1 (Cache.length c);
+  Cache.clear c;
+  Alcotest.(check int) "cleared" 0 (Cache.length c)
+
+let test_cache_quantize () =
+  let q = Cache.quantize ~digits:9 in
+  Alcotest.(check bool) "collapses tiny diffs" true (q 1.0000000001 = q 1.0000000002);
+  Alcotest.(check bool) "keeps real diffs" true (q 1.001 <> q 1.002);
+  Alcotest.(check (float 0.)) "exact zero" 0. (q 0.);
+  Alcotest.(check bool) "nan passthrough" true (Float.is_nan (q Float.nan));
+  let qs = Cache.quantize_slew ~grid:0.1e-12 in
+  Alcotest.(check (float 1e-30)) "snaps to grid" 100e-12 (qs 100.04e-12);
+  Alcotest.(check bool) "same bucket same key" true (qs 50.01e-12 = qs 49.99e-12)
+
+(* -------------------------------------------------------------- flow *)
+
+let test_flow_determinism () =
+  let d = Lazy.force design in
+  let r1 = Flow.run ~jobs:1 d in
+  let r4 = Flow.run ~jobs:4 d in
+  Alcotest.(check string) "json identical across jobs" (Report.json_string r1)
+    (Report.json_string r4);
+  Alcotest.(check string) "csv identical across jobs" (Report.csv_string r1)
+    (Report.csv_string r4);
+  (* And a no-cache run computes the very same numbers. *)
+  let r_nc = Flow.run ~jobs:1 ~use_cache:false d in
+  Alcotest.(check string) "cache does not change results" (Report.json_string r1)
+    (Report.json_string r_nc)
+
+let test_flow_results () =
+  let d = Lazy.force design in
+  let r = Flow.run ~jobs:1 d in
+  Alcotest.(check int) "all nets solved" 4 (Array.length r.Flow.results);
+  let b0 = r.Flow.results.(0) and b1 = r.Flow.results.(1) and o0 = r.Flow.results.(2) in
+  Alcotest.(check bool) "roots rise" true (b0.Flow.edge = Rlc_waveform.Measure.Rising);
+  Alcotest.(check bool) "level 1 falls" true (o0.Flow.edge = Rlc_waveform.Measure.Falling);
+  (* Identical bus bits time identically. *)
+  Alcotest.(check (float 0.)) "b0 = b1 delay" b0.Flow.solve.Flow.stage_delay
+    b1.Flow.solve.Flow.stage_delay;
+  (* Arrivals accumulate along the chain. *)
+  Alcotest.(check (float 1e-15)) "arrival = parent + stage"
+    (b0.Flow.arrival +. o0.Flow.solve.Flow.stage_delay)
+    o0.Flow.arrival;
+  Alcotest.(check bool) "positive delays" true (b0.Flow.solve.Flow.stage_delay > 0.);
+  (* Handoff: o0's input slew derives from b0's far slew like Rlc_sta does. *)
+  let expect =
+    Cache.quantize_slew
+      (Rlc_sta.Sta.handoff_slew ~far_slew:b0.Flow.solve.Flow.far_slew)
+  in
+  Alcotest.(check (float 1e-16)) "slew handoff" expect o0.Flow.input_slew;
+  (* Critical path runs from a level-0 net to a level-1 net. *)
+  match Flow.critical_path r with
+  | [ first; last ] ->
+      Alcotest.(check int) "path root level" 0 first.Flow.net.Design.level;
+      Alcotest.(check int) "path end level" 1 last.Flow.net.Design.level
+  | p -> Alcotest.fail (Printf.sprintf "expected 2-net path, got %d" (List.length p))
+
+let test_flow_cache_effect () =
+  let d = Lazy.force design in
+  let cache = Flow.create_cache () in
+  let cold = Flow.run ~jobs:1 ~cache d in
+  (* b1 hits b0's entry, o1 hits o0's: 2 misses, 2 hits. *)
+  Alcotest.(check int) "cold misses" 2 cold.Flow.stats.Flow.cache_misses;
+  Alcotest.(check int) "cold hits" 2 cold.Flow.stats.Flow.cache_hits;
+  Alcotest.(check bool) "cold spends iterations" true
+    (cold.Flow.stats.Flow.iterations_spent > 0);
+  (* >= 2x fewer iterations actually run than modeled, thanks to the bits. *)
+  Alcotest.(check bool) "cache halves the work" true
+    (2 * cold.Flow.stats.Flow.iterations_spent <= cold.Flow.stats.Flow.iterations_total);
+  let warm = Flow.run ~jobs:1 ~cache d in
+  Alcotest.(check int) "warm misses" 0 warm.Flow.stats.Flow.cache_misses;
+  Alcotest.(check int) "warm hits" 4 warm.Flow.stats.Flow.cache_hits;
+  Alcotest.(check int) "warm spends nothing" 0 warm.Flow.stats.Flow.iterations_spent;
+  Alcotest.(check string) "warm = cold results" (Report.json_string cold)
+    (Report.json_string warm)
+
+let test_flow_stats_and_report () =
+  let d = Lazy.force design in
+  let r = Flow.run ~jobs:1 d in
+  Alcotest.(check int) "levels" 2 r.Flow.stats.Flow.n_levels;
+  Alcotest.(check bool) "phases recorded" true (List.length r.Flow.stats.Flow.phases >= 3);
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  let json = Report.json_string ~required:200e-12 r in
+  Alcotest.(check bool) "has slack" true (contains json "worst_slack_ps");
+  Alcotest.(check bool) "no scheduling-dependent fields" true
+    (not (contains json "cache") && not (contains json "phase"));
+  let csv = Report.csv_string r in
+  Alcotest.(check int) "csv rows = nets + header" 5
+    (List.length (List.filter (fun s -> s <> "") (String.split_on_char '\n' csv)))
+
+let () =
+  Alcotest.run "rlc_flow"
+    [
+      ( "spec",
+        [
+          Alcotest.test_case "parse" `Quick test_spec_parse;
+          Alcotest.test_case "roundtrip" `Quick test_spec_roundtrip;
+          Alcotest.test_case "errors" `Quick test_spec_errors;
+          Alcotest.test_case "comments" `Quick test_spec_comments;
+          Alcotest.test_case "default from SPEF" `Quick test_spec_default;
+        ] );
+      ( "ingest",
+        [
+          Alcotest.test_case "shape" `Quick test_ingest_shape;
+          Alcotest.test_case "errors" `Quick test_ingest_errors;
+          Alcotest.test_case "no driver conn" `Quick test_ingest_no_driver_conn;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "map" `Quick test_pool_map;
+          Alcotest.test_case "sequential" `Quick test_pool_sequential;
+          Alcotest.test_case "exception" `Quick test_pool_exception;
+          Alcotest.test_case "parallelism" `Quick test_pool_parallelism;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "basics" `Quick test_cache_basics;
+          Alcotest.test_case "quantize" `Quick test_cache_quantize;
+        ] );
+      ( "flow",
+        [
+          Alcotest.test_case "determinism" `Quick test_flow_determinism;
+          Alcotest.test_case "results" `Quick test_flow_results;
+          Alcotest.test_case "cache effect" `Quick test_flow_cache_effect;
+          Alcotest.test_case "stats and report" `Quick test_flow_stats_and_report;
+        ] );
+    ]

@@ -138,6 +138,78 @@ let test_parallel_merge () =
       | [ (r, _, _) ] -> check_float "parallel R" 25. r
       | _ -> Alcotest.fail "expected one merged branch")
 
+let test_multi_net_out_of_order () =
+  (* Several D_NET blocks in one file, deliberately not in topological
+     order; parsing preserves every block and find_net sees them all. *)
+  let block name =
+    Printf.sprintf
+      "*D_NET %s 2.0\n*CONN\n*P %s_drv O\n*CAP\n1 %s_a 1.0\n2 %s_b 1.0\n*RES\n1 %s_drv %s_a \
+       5\n2 %s_a %s_b 5\n*END\n"
+      name name name name name name name name
+  in
+  let src = "*SPEF \"x\"\n" ^ block "sink2" ^ block "root0" ^ block "mid1" in
+  let t = match Rlc_spef.Spef.parse src with Ok t -> t | Error e -> failwith e in
+  Alcotest.(check int) "three nets" 3 (List.length t.Rlc_spef.Spef.nets);
+  List.iter
+    (fun name ->
+      match Rlc_spef.Spef.find_net t name with
+      | None -> Alcotest.fail (name ^ " missing")
+      | Some net ->
+          check_float ~eps:1e-25 "each block kept its caps" 2e-15
+            (Rlc_spef.Spef.net_total_cap net))
+    [ "root0"; "mid1"; "sink2" ]
+
+let test_duplicate_net_rejected () =
+  let block = "*D_NET dup 1.0\n*CAP\n1 a 1.0\n*END\n" in
+  match Rlc_spef.Spef.parse (block ^ block) with
+  | Ok _ -> Alcotest.fail "duplicate *D_NET accepted"
+  | Error e ->
+      Alcotest.(check bool) "names the net" true
+        (String.length e > 0
+        &&
+        let rec contains i =
+          i + 3 <= String.length e && (String.sub e i 3 = "dup" || contains (i + 1))
+        in
+        contains 0)
+
+let test_driver_conn () =
+  let t = Lazy.force parsed in
+  let net = Option.get (Rlc_spef.Spef.find_net t "net1") in
+  (match Rlc_spef.Spef.driver_conn net with
+  | Ok c -> Alcotest.(check string) "driver pin" "drv" c.Rlc_spef.Spef.pin
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check int) "one load conn" 1 (List.length (Rlc_spef.Spef.load_conns net));
+  (* No Output conn at all. *)
+  let src = "*D_NET n 1.0\n*CONN\n*P rcv I\n*CAP\n1 a 1.0\n*END\n" in
+  let t = match Rlc_spef.Spef.parse src with Ok t -> t | Error e -> failwith e in
+  (match Rlc_spef.Spef.driver_conn (List.hd t.Rlc_spef.Spef.nets) with
+  | Ok _ -> Alcotest.fail "accepted net with no Output conn"
+  | Error _ -> ());
+  (* Two Output conns is ambiguous. *)
+  let src = "*D_NET n 1.0\n*CONN\n*P d1 O\n*P d2 O\n*CAP\n1 a 1.0\n*END\n" in
+  let t = match Rlc_spef.Spef.parse src with Ok t -> t | Error e -> failwith e in
+  match Rlc_spef.Spef.driver_conn (List.hd t.Rlc_spef.Spef.nets) with
+  | Ok _ -> Alcotest.fail "accepted net with two Output conns"
+  | Error _ -> ()
+
+let test_extra_caps () =
+  let t = Lazy.force parsed in
+  let net = Option.get (Rlc_spef.Spef.find_net t "net1") in
+  let bare = Result.get_ok (Rlc_spef.Spef.to_tree net ~root:"drv") in
+  let loaded =
+    Result.get_ok (Rlc_spef.Spef.to_tree ~extra_caps:[ ("rcv", 10e-15) ] net ~root:"drv")
+  in
+  check_float ~eps:1e-20 "extra cap lands in the tree" (1.3e-12 +. 10e-15)
+    (Rlc_moments.Tree.total_cap loaded);
+  (* More far-end cap slows the first moment down. *)
+  let m = Rlc_moments.Moments.driving_point ~order:1 bare
+  and m' = Rlc_moments.Moments.driving_point ~order:1 loaded in
+  Alcotest.(check bool) "m1 grows" true (m'.(1) > m.(1));
+  (* Unknown attachment node is an error, not a silent drop. *)
+  match Rlc_spef.Spef.to_tree ~extra_caps:[ ("nowhere", 1e-15) ] net ~root:"drv" with
+  | Ok _ -> Alcotest.fail "extra cap on unknown node accepted"
+  | Error _ -> ()
+
 let test_uniform_line_spef_matches_analytic () =
   (* Emit a chain net equivalent to a uniform line and compare the parsed
      tree's moments against the distributed ABCD computation. *)
@@ -179,12 +251,16 @@ let () =
           Alcotest.test_case "header" `Quick test_header;
           Alcotest.test_case "net contents" `Quick test_net_contents;
           Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+          Alcotest.test_case "multi-net out of order" `Quick test_multi_net_out_of_order;
+          Alcotest.test_case "duplicate net rejected" `Quick test_duplicate_net_rejected;
+          Alcotest.test_case "driver conn" `Quick test_driver_conn;
         ] );
       ( "tree",
         [
           Alcotest.test_case "to_tree" `Quick test_to_tree;
           Alcotest.test_case "re-rooted" `Quick test_to_tree_from_receiver;
           Alcotest.test_case "parallel merge" `Quick test_parallel_merge;
+          Alcotest.test_case "extra caps" `Quick test_extra_caps;
           Alcotest.test_case "uniform line vs analytic" `Quick test_uniform_line_spef_matches_analytic;
         ] );
       ( "errors",
