@@ -179,7 +179,7 @@ let fig6 () =
 
 (* -------------------------------------------------------------- table1 *)
 
-let table1 () =
+let table1 ?(jobs = 1) () =
   header "Table 1: HSPICE vs one-ramp vs two-ramp (paper numbers in brackets)";
   Format.printf
     "%-18s | %-17s | %-16s | %-8s | %-16s | %-17s | %-16s | %-8s | %-16s@." "case"
@@ -187,10 +187,17 @@ let table1 () =
     "2r err% [paper]" "2rF err%" "1r err% [paper]";
   let acc = Array.make 6 0. in
   let n = List.length Experiments.table1 in
-  List.iter
-    (fun row ->
-      let case = Experiments.case_of_row row in
-      let cmp = Evaluate.run ~dt:dt_sweep case in
+  (* Evaluate the rows on the pool; print (and accumulate) sequentially in
+     row order afterwards so the output is identical for every [jobs]. *)
+  let rows = Array.of_list Experiments.table1 in
+  let cmps =
+    Rlc_parallel.Pool.with_pool ~jobs (fun pool ->
+        Rlc_parallel.Pool.map pool (Array.length rows) (fun i ->
+            Evaluate.run ~dt:dt_sweep (Experiments.case_of_row rows.(i))))
+  in
+  List.iteri
+    (fun idx row ->
+      let cmp = cmps.(idx) in
       let d2 = Evaluate.delay_err_pct cmp cmp.Evaluate.two_ramp in
       let d2f = Evaluate.delay_err_pct cmp cmp.Evaluate.two_ramp_flat in
       let d1 = Evaluate.delay_err_pct cmp cmp.Evaluate.one_ramp in
@@ -222,16 +229,17 @@ let table1 () =
 
 (* ---------------------------------------------------------------- fig7 *)
 
-let fig7 ?(stride = 1) () =
+let fig7 ?(stride = 1) ?(jobs = 1) () =
   header "Figure 7: model vs reference scatter over the full sweep";
   let cases = Experiments.sweep_cases () in
   let cases = List.filteri (fun i _ -> i mod stride = 0) cases in
   Format.printf
-    "grid: %d cases (lengths 1-7 mm, widths 0.8-3.5 um, drivers 25X-125X, slews 50-200 ps)%s@."
+    "grid: %d cases (lengths 1-7 mm, widths 0.8-3.5 um, drivers 25X-125X, slews 50-200 ps)%s%s@."
     (List.length cases)
-    (if stride > 1 then Printf.sprintf " [stride %d]" stride else "");
+    (if stride > 1 then Printf.sprintf " [stride %d]" stride else "")
+    (if jobs > 1 then Printf.sprintf " [jobs %d]" jobs else "");
   let stats =
-    Experiments.run_sweep ~dt:dt_sweep
+    Experiments.run_sweep ~dt:dt_sweep ~jobs
       ~progress:(fun k n -> if k mod 50 = 0 || k = n then Printf.eprintf "  fig7: %d/%d\n%!" k n)
       cases
   in
@@ -319,8 +327,8 @@ let ablation () =
      real plateaus smear out; quantify over the Table 1 rows. *)
   let acc = Hashtbl.create 4 in
   let add key v =
-    Hashtbl.replace acc key ((Float.abs v +. fst (Option.value (Hashtbl.find_opt acc key) ~default:(0., 0))),
-                             (snd (Option.value (Hashtbl.find_opt acc key) ~default:(0., 0)) + 1))
+    let sum, n = Option.value (Hashtbl.find_opt acc key) ~default:(0., 0) in
+    Hashtbl.replace acc key (Float.abs v +. sum, n + 1)
   in
   List.iter
     (fun row ->
@@ -596,29 +604,327 @@ let flow_bench () =
     (Rlc_flow.Pool.default_jobs ())
     (Rlc_flow.Report.json_string r1 = Rlc_flow.Report.json_string rn)
 
+(* -------------------------------------------------------------- engine *)
+
+(* Perf trajectory for the factor-once transient engine.  Three comparators
+   per circuit:
+     fast   - current engine (assemble + factor once, per-step RHS rebuild)
+     naive  - current engine forced to reassemble and refactor every step
+     pre_pr - the seed engine and banded solver, vendored verbatim in
+              bench/pre_pr_engine.ml, i.e. the true pre-PR baseline
+   plus the per-step Banded stage costs and the fig7-fast sweep wall time at
+   jobs 1 vs N.  `--json PATH` writes the numbers as BENCH_engine.json. *)
+
+module Netlist = Rlc_circuit.Netlist
+module Engine = Rlc_circuit.Engine
+
+let step_source t = if t <= 0. then 0. else 1.
+
+let rc_1r1c () =
+  let nl = Netlist.create () in
+  let src = Netlist.node nl "src" in
+  Netlist.force_voltage nl src step_source;
+  let out = Netlist.node nl "out" in
+  Netlist.resistor nl src out 1e3;
+  Netlist.capacitor nl out Netlist.ground 1e-12;
+  (nl, out)
+
+let rc_ladder ~n () =
+  let nl = Netlist.create () in
+  let src = Netlist.node nl "src" in
+  Netlist.force_voltage nl src step_source;
+  let prev = ref src in
+  for i = 1 to n do
+    let nd = Netlist.node nl (Printf.sprintf "n%d" i) in
+    Netlist.resistor nl !prev nd 10.;
+    Netlist.capacitor nl nd Netlist.ground 10e-15;
+    prev := nd
+  done;
+  (nl, !prev)
+
+let rlc_ladder ~n () =
+  (* 5 mm-class global line split into n series R-L segments with shunt C. *)
+  let nl = Netlist.create () in
+  let src = Netlist.node nl "src" in
+  Netlist.force_voltage nl src step_source;
+  let fn = float_of_int n in
+  let prev = ref src in
+  for i = 1 to n do
+    let mid = Netlist.node nl (Printf.sprintf "m%d" i) in
+    let nd = Netlist.node nl (Printf.sprintf "n%d" i) in
+    Netlist.resistor nl !prev mid (72.44 /. fn);
+    Netlist.inductor nl mid nd (5.14e-9 /. fn);
+    Netlist.capacitor nl nd Netlist.ground (1.10e-12 /. fn);
+    prev := nd
+  done;
+  (nl, !prev)
+
+let time_per_run ?(target = 0.3) f =
+  (* Batched timing: one warm-up call, then a calibration call sizes batches
+     of >= ~20 ms so the clock reads never dominate. *)
+  f ();
+  let t1 = Unix.gettimeofday () in
+  f ();
+  let once = Unix.gettimeofday () -. t1 in
+  let batch = Int.max 1 (int_of_float (0.02 /. Float.max 1e-9 once)) in
+  let reps = ref 0 and elapsed = ref 0. in
+  let t0 = Unix.gettimeofday () in
+  while !elapsed < target do
+    for _ = 1 to batch do
+      f ()
+    done;
+    reps := !reps + batch;
+    elapsed := Unix.gettimeofday () -. t0
+  done;
+  !elapsed /. float_of_int !reps
+
+let best_of ?(n = 3) measure =
+  (* Minimum over n independent measurements: on shared/virtualized hosts
+     the min is the least-interfered estimate. *)
+  let best = ref infinity in
+  for _ = 1 to n do
+    best := Float.min !best (measure ())
+  done;
+  !best
+
+let max_dv wa wb =
+  let va = Waveform.values wa and vb = Waveform.values wb in
+  let m = ref 0. in
+  Array.iteri (fun i v -> m := Float.max !m (Float.abs (v -. vb.(i)))) va;
+  !m
+
+type engine_row = {
+  er_name : string;
+  er_steps : int;
+  er_fast_ns : float;
+  er_naive_ns : float;
+  er_pre_pr_ns : float;
+  er_dv_naive : float;
+  er_dv_pre_pr : float;
+}
+
+let engine_bench ?(jobs = 1) ?(smoke = false) ?json () =
+  header "Engine: factor-once transient vs per-step reassembly vs pre-PR seed engine";
+  let target = if smoke then 0.05 else 0.3 in
+  (* Five rounds per comparator in full mode: run-to-run variance on shared
+     hosts is large and the min-estimator needs the extra draws to settle. *)
+  let rounds = if smoke then 1 else 5 in
+  let circuits =
+    [
+      ("rc_1r1c_1000steps", rc_1r1c (), 1e-12, 1e-9);
+      ("rc_ladder100_1000steps", rc_ladder ~n:100 (), 1e-12, 1e-9);
+      ("rlc_ladder100_2000steps", rlc_ladder ~n:100 (), 0.5e-12, 1e-9);
+    ]
+  in
+  Format.printf "@.%-26s %6s %12s %12s %12s %8s %8s %11s@." "circuit" "steps" "fast ns/run"
+    "naive ns/run" "prePR ns/run" "vs naive" "vs prePR" "steps/s";
+  let rows =
+    List.map
+      (fun (name, (nl, probe), dt, t_stop) ->
+        let fast = Engine.transient ~dt ~t_stop nl in
+        let naive = Engine.transient ~reassemble_per_step:true ~dt ~t_stop nl in
+        let pre = Pre_pr_engine.transient ~dt ~t_stop nl in
+        let dv_naive = max_dv (Engine.voltage fast probe) (Engine.voltage naive probe) in
+        let dv_pre = max_dv (Engine.voltage fast probe) (Pre_pr_engine.voltage pre probe) in
+        let t_fast =
+          best_of ~n:rounds (fun () ->
+              time_per_run ~target (fun () -> ignore (Engine.transient ~dt ~t_stop nl)))
+        in
+        let t_naive =
+          best_of ~n:rounds (fun () ->
+              time_per_run ~target (fun () ->
+                  ignore (Engine.transient ~reassemble_per_step:true ~dt ~t_stop nl)))
+        in
+        let t_pre =
+          best_of ~n:rounds (fun () ->
+              time_per_run ~target (fun () -> ignore (Pre_pr_engine.transient ~dt ~t_stop nl)))
+        in
+        let steps = Engine.steps fast in
+        Format.printf "%-26s %6d %12.0f %12.0f %12.0f %7.2fx %7.2fx %11.0f@." name steps
+          (1e9 *. t_fast) (1e9 *. t_naive) (1e9 *. t_pre) (t_naive /. t_fast) (t_pre /. t_fast)
+          (float_of_int steps /. t_fast);
+        Format.printf "%-26s max |dv| vs naive %.3e V, vs prePR %.3e V@." "" dv_naive dv_pre;
+        {
+          er_name = name;
+          er_steps = steps;
+          er_fast_ns = 1e9 *. t_fast;
+          er_naive_ns = 1e9 *. t_naive;
+          er_pre_pr_ns = 1e9 *. t_pre;
+          er_dv_naive = dv_naive;
+          er_dv_pre_pr = dv_pre;
+        })
+      circuits
+  in
+
+  (* Per-step linear-stage costs in isolation.  The new engine pays blit +
+     solve_factored per step; the seed engine re-factored from scratch (the
+     copy below stands in for its per-step re-stamp). *)
+  let bn = 200 and bbw = 2 in
+  let master = Rlc_num.Banded.create ~n:bn ~bw:bbw in
+  let master_pre = Pre_pr_banded.create ~n:bn ~bw:bbw in
+  for i = 0 to bn - 1 do
+    Rlc_num.Banded.set master i i 4.;
+    Pre_pr_banded.set master_pre i i 4.;
+    if i > 0 then (
+      Rlc_num.Banded.set master i (i - 1) (-1.);
+      Pre_pr_banded.set master_pre i (i - 1) (-1.));
+    if i < bn - 1 then (
+      Rlc_num.Banded.set master i (i + 1) (-1.);
+      Pre_pr_banded.set master_pre i (i + 1) (-1.))
+  done;
+  let rhs = Array.make bn 1. in
+  let scratch = Rlc_num.Banded.copy master in
+  let b = Array.make bn 0. in
+  let t_factor =
+    time_per_run ~target (fun () ->
+        Rlc_num.Banded.blit ~src:master ~dst:scratch;
+        Rlc_num.Banded.factor scratch)
+  in
+  let factored = Rlc_num.Banded.copy master in
+  Rlc_num.Banded.factor factored;
+  let t_solve =
+    time_per_run ~target (fun () ->
+        Array.blit rhs 0 b 0 bn;
+        Rlc_num.Banded.solve_factored factored b)
+  in
+  let t_pre_solve =
+    time_per_run ~target (fun () ->
+        Array.blit rhs 0 b 0 bn;
+        Pre_pr_banded.solve_in_place (Pre_pr_banded.copy master_pre) b)
+  in
+  Format.printf
+    "@.banded stages (n=%d, bw=%d): factor %.0f ns; per-step solve_factored %.0f ns; pre-PR \
+     per-step copy+solve_in_place %.0f ns (%.1fx)@."
+    bn bbw (1e9 *. t_factor) (1e9 *. t_solve) (1e9 *. t_pre_solve) (t_pre_solve /. t_solve);
+
+  (* Sweep scaling on the fig7-fast grid.  Pre-warm the (mutex-shared) cell
+     characterization memo so both wall times measure the solves. *)
+  let stride = if smoke then 70 else 7 in
+  let cases = List.filteri (fun i _ -> i mod stride = 0) (Experiments.sweep_cases ()) in
+  List.iter
+    (fun (c : Evaluate.case) -> ignore (Characterize.cell c.Evaluate.tech ~size:c.Evaluate.size))
+    cases;
+  let jn = if jobs > 1 then jobs else 4 in
+  let rec_domains = Rlc_parallel.Pool.default_jobs () in
+  let wall f =
+    let t0 = Unix.gettimeofday () in
+    let v = f () in
+    (v, Unix.gettimeofday () -. t0)
+  in
+  Format.printf "@.sweep scaling: %d cases (stride %d), jobs 1 vs %d (%d core%s available)%s@."
+    (List.length cases) stride jn rec_domains
+    (if rec_domains = 1 then "" else "s")
+    (if jn > rec_domains then " - oversubscribed, expect no speedup" else "");
+  let s1, w1 = wall (fun () -> Experiments.run_sweep ~dt:dt_sweep ~jobs:1 cases) in
+  let sn, wn = wall (fun () -> Experiments.run_sweep ~dt:dt_sweep ~jobs:jn cases) in
+  let stats_identical =
+    s1.Experiments.n_inductive = sn.Experiments.n_inductive
+    && s1.Experiments.stretch = sn.Experiments.stretch
+    && s1.Experiments.flat = sn.Experiments.flat
+  in
+  Format.printf
+    "sweep (%d inductive): jobs 1 %.2f s, jobs %d %.2f s -> %.2fx; statistics identical: %b@."
+    s1.Experiments.n_inductive w1 jn wn (w1 /. wn) stats_identical;
+
+  match json with
+  | None -> ()
+  | Some path ->
+      let buf = Buffer.create 4096 in
+      let fl v =
+        (* %.17g round-trips; trim the common case to something readable. *)
+        if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+        else Printf.sprintf "%.6g" v
+      in
+      Printf.bprintf buf "{\n  \"schema\": \"rlc-bench-engine/1\",\n";
+      Printf.bprintf buf "  \"smoke\": %b,\n" smoke;
+      Printf.bprintf buf "  \"circuits\": [\n";
+      List.iteri
+        (fun i r ->
+          Printf.bprintf buf
+            "    {\"name\": \"%s\", \"steps\": %d, \"fast_ns_per_run\": %s, \
+             \"naive_ns_per_run\": %s, \"pre_pr_ns_per_run\": %s, \"speedup_vs_naive\": %s, \
+             \"speedup_vs_pre_pr\": %s, \"steps_per_sec_fast\": %s, \"max_dv_vs_naive_V\": %s, \
+             \"max_dv_vs_pre_pr_V\": %s}%s\n"
+            r.er_name r.er_steps (fl r.er_fast_ns) (fl r.er_naive_ns) (fl r.er_pre_pr_ns)
+            (fl (r.er_naive_ns /. r.er_fast_ns))
+            (fl (r.er_pre_pr_ns /. r.er_fast_ns))
+            (fl (float_of_int r.er_steps /. (r.er_fast_ns *. 1e-9)))
+            (fl r.er_dv_naive) (fl r.er_dv_pre_pr)
+            (if i = List.length rows - 1 then "" else ","))
+        rows;
+      Printf.bprintf buf "  ],\n";
+      Printf.bprintf buf
+        "  \"banded_stages\": {\"n\": %d, \"bw\": %d, \"factor_ns\": %s, \"solve_factored_ns\": \
+         %s, \"pre_pr_copy_solve_ns\": %s},\n"
+        bn bbw (fl (1e9 *. t_factor)) (fl (1e9 *. t_solve)) (fl (1e9 *. t_pre_solve));
+      Printf.bprintf buf
+        "  \"sweep\": {\"cases\": %d, \"inductive\": %d, \"jobs\": %d, \
+         \"recommended_domains\": %d, \"wall_s_jobs1\": %s, \"wall_s_jobsN\": %s, \"speedup\": \
+         %s, \"stats_identical\": %b}\n"
+        (List.length cases) s1.Experiments.n_inductive jn rec_domains (fl w1) (fl wn)
+        (fl (w1 /. wn)) stats_identical;
+      Printf.bprintf buf "}\n";
+      let oc = open_out path in
+      output_string oc (Buffer.contents buf);
+      close_out oc;
+      Format.printf "wrote %s@." path
+
 (* ---------------------------------------------------------------- main *)
 
 let () =
   let all =
-    [ "table1"; "fig1"; "fig3"; "fig4"; "fig5"; "fig6"; "fig7"; "ablation"; "flow"; "perf" ]
+    [
+      "table1"; "fig1"; "fig3"; "fig4"; "fig5"; "fig6"; "fig7"; "ablation"; "flow"; "engine";
+      "perf";
+    ]
   in
-  let requested = match Array.to_list Sys.argv with [] | [ _ ] -> all | _ :: rest -> rest in
+  (* Flags: --jobs N (table1/fig7/engine fan out over a domain pool),
+     --json PATH (engine group writes BENCH_engine.json there; implies the
+     engine group if it was not requested), --smoke (short engine timings
+     for CI). *)
+  let json_out = ref None and jobs_arg = ref 1 and smoke = ref false in
+  let rec parse acc = function
+    | [] -> List.rev acc
+    | "--json" :: path :: rest ->
+        json_out := Some path;
+        parse acc rest
+    | "--jobs" :: n :: rest ->
+        (match int_of_string_opt n with
+        | Some j when j >= 1 -> jobs_arg := j
+        | _ ->
+            Format.eprintf "--jobs expects a positive integer, got %S@." n;
+            exit 2);
+        parse acc rest
+    | "--smoke" :: rest ->
+        smoke := true;
+        parse acc rest
+    | x :: rest -> parse (x :: acc) rest
+  in
+  let requested = parse [] (List.tl (Array.to_list Sys.argv)) in
+  let requested = match requested with [] -> all | r -> r in
+  let requested =
+    if !json_out <> None && not (List.mem "engine" requested) then requested @ [ "engine" ]
+    else requested
+  in
   List.iter
     (fun name ->
       match name with
-      | "table1" -> table1 ()
+      | "table1" -> table1 ~jobs:!jobs_arg ()
       | "fig1" -> fig1 ()
       | "fig3" -> fig3 ()
       | "fig4" -> fig4 ()
       | "fig5" -> fig5 ()
       | "fig6" -> fig6 ()
-      | "fig7" -> fig7 ()
-      | "fig7-fast" -> fig7 ~stride:7 ()
+      | "fig7" -> fig7 ~jobs:!jobs_arg ()
+      | "fig7-fast" -> fig7 ~stride:7 ~jobs:!jobs_arg ()
       | "ablation" -> ablation ()
       | "flow" -> flow_bench ()
+      | "engine" -> engine_bench ~jobs:!jobs_arg ~smoke:!smoke ?json:!json_out ()
       | "perf" -> perf ()
       | other ->
-          Format.eprintf "unknown experiment %S (known: %s, fig7-fast)@." other
-            (String.concat ", " all);
+          Format.eprintf
+            "unknown experiment %S (known: %s, fig7-fast; flags: --jobs N, --json PATH, \
+             --smoke)@."
+            other (String.concat ", " all);
           exit 2)
     requested

@@ -1,0 +1,74 @@
+(* Frozen copy of lib/num/banded.ml as of the pre-factor-once engine
+   (seed commit).  Used only by the [engine] bench group as the
+   pre-PR performance baseline; do not modify. *)
+(* Storage: row i keeps its entries for columns [i-bw, i+bw] in a flat array
+   at offset [i*(2*bw+1)]; column j lives at slot [j - i + bw]. *)
+type t = { n : int; bw : int; data : float array }
+
+exception Singular of int
+
+let create ~n ~bw =
+  if n < 0 || bw < 0 then invalid_arg "Banded.create";
+  { n; bw; data = Array.make (n * ((2 * bw) + 1)) 0. }
+
+let dim t = t.n
+let bandwidth t = t.bw
+
+let slot t i j =
+  if i < 0 || i >= t.n || j < 0 || j >= t.n then invalid_arg "Banded: index out of range";
+  if abs (i - j) > t.bw then None else Some ((i * ((2 * t.bw) + 1)) + (j - i) + t.bw)
+
+let get t i j = match slot t i j with None -> 0. | Some k -> t.data.(k)
+
+let set t i j v =
+  match slot t i j with
+  | None -> invalid_arg "Banded.set: entry outside band"
+  | Some k -> t.data.(k) <- v
+
+let add t i j v =
+  match slot t i j with
+  | None -> invalid_arg "Banded.add: entry outside band"
+  | Some k -> t.data.(k) <- t.data.(k) +. v
+
+let clear t = Array.fill t.data 0 (Array.length t.data) 0.
+let copy t = { t with data = Array.copy t.data }
+
+let mat_vec t v =
+  Array.init t.n (fun i ->
+      let acc = ref 0. in
+      for j = Int.max 0 (i - t.bw) to Int.min (t.n - 1) (i + t.bw) do
+        acc := !acc +. (get t i j *. v.(j))
+      done;
+      !acc)
+
+let solve_in_place t b =
+  let n = t.n and bw = t.bw in
+  if Array.length b <> n then invalid_arg "Banded.solve: size mismatch";
+  for k = 0 to n - 1 do
+    let pivot = get t k k in
+    if Float.abs pivot < 1e-300 then raise (Singular k);
+    for i = k + 1 to Int.min (n - 1) (k + bw) do
+      let f = get t i k /. pivot in
+      if f <> 0. then begin
+        for j = k + 1 to Int.min (n - 1) (k + bw) do
+          set t i j (get t i j -. (f *. get t k j))
+        done;
+        b.(i) <- b.(i) -. (f *. b.(k))
+      end
+    done
+  done;
+  for i = n - 1 downto 0 do
+    let acc = ref b.(i) in
+    for j = i + 1 to Int.min (n - 1) (i + bw) do
+      acc := !acc -. (get t i j *. b.(j))
+    done;
+    b.(i) <- !acc /. get t i i
+  done
+
+let solve t b =
+  let t = copy t and x = Array.copy b in
+  solve_in_place t x;
+  x
+
+let to_dense t =
+  Array.init t.n (fun i -> Array.init t.n (fun j -> get t i j))

@@ -1,0 +1,460 @@
+(* Frozen copy of lib/circuit/engine.ml as of the pre-factor-once engine
+   (seed commit), compiled against the frozen [Pre_pr_banded] solver.
+   Used only by the [engine] bench group as the pre-PR performance
+   baseline; do not modify. *)
+module Banded = Pre_pr_banded
+module Linalg = Rlc_num.Linalg
+module Netlist = Rlc_circuit.Netlist
+module Waveform = Rlc_waveform.Waveform
+
+type integration = Trapezoidal | Backward_euler
+
+type options = {
+  dt : float;
+  t_stop : float;
+  integration : integration;
+  newton_tol : float;
+  newton_max : int;
+  dv_limit : float;
+}
+
+let default_options ~dt ~t_stop =
+  { dt; t_stop; integration = Trapezoidal; newton_tol = 1e-9; newton_max = 60; dv_limit = 0.5 }
+
+(* Linear-system abstraction: banded when the netlist numbering keeps the
+   bandwidth small (uniform ladders are tridiagonal), dense otherwise. *)
+type sys = B of Banded.t | D of Linalg.mat
+
+let sys_create ~n ~bw = if bw <= 16 || n <= 24 && bw < n then B (Banded.create ~n ~bw) else D (Linalg.make n n 0.)
+
+let sys_clear = function
+  | B b -> Banded.clear b
+  | D m -> Array.iter (fun row -> Array.fill row 0 (Array.length row) 0.) m
+
+let sys_add s i j v =
+  match s with B b -> Banded.add b i j v | D m -> m.(i).(j) <- m.(i).(j) +. v
+
+let sys_copy = function B b -> B (Banded.copy b) | D m -> D (Linalg.copy_mat m)
+
+let sys_solve_in_place s rhs =
+  match s with
+  | B b -> Banded.solve_in_place b rhs
+  | D m ->
+      let x = Linalg.solve m rhs in
+      Array.blit x 0 rhs 0 (Array.length x)
+
+(* Compiled two-terminal element with per-step companion state. *)
+type companion = { n1 : int; n2 : int; value : float; mutable v_prev : float; mutable i_prev : float }
+
+(* Magnetically coupled group: branch currents depend on all branch
+   voltages through G = alpha * L^{-1} (alpha = h/2 for trapezoidal, h for
+   backward Euler), which stays purely nodal. *)
+type coupled_state = {
+  k_branches : (int * int) array;
+  linv : float array array;  (* L^{-1} *)
+  i_prev_k : float array;
+  v_prev_k : float array;
+}
+
+type compiled = {
+  nl : Netlist.t;
+  n_nodes : int;
+  n_unknown : int;
+  unknown_of_node : int array;  (* -1 for ground and forced nodes *)
+  forced : (int * (float -> float)) array;
+  resistors : (int * int * float) array;
+  caps : companion array;
+  inds : companion array;
+  coupled : coupled_state array;
+  isources : (int * int * (float -> float)) array;
+  nonlinears : Netlist.nonlinear array;
+  bandwidth : int;
+}
+
+let compile netlist =
+  Netlist.validate netlist;
+  let n_nodes = Netlist.node_count netlist in
+  let forced = Array.of_list (Netlist.forced netlist) in
+  let unknown_of_node = Array.make n_nodes (-1) in
+  let is_forced = Array.make n_nodes false in
+  Array.iter (fun (n, _) -> is_forced.(n) <- true) forced;
+  let next = ref 0 in
+  for n = 1 to n_nodes - 1 do
+    if not is_forced.(n) then begin
+      unknown_of_node.(n) <- !next;
+      incr next
+    end
+  done;
+  let n_unknown = !next in
+  let rs = ref [] and cs = ref [] and ls = ref [] and is_ = ref [] and nls = ref [] in
+  let ks = ref [] in
+  let invert m =
+    let n = Array.length m in
+    let lu = Linalg.lu_factor m in
+    let inv = Array.make_matrix n n 0. in
+    for j = 0 to n - 1 do
+      let e = Array.make n 0. in
+      e.(j) <- 1.;
+      let col = Linalg.lu_solve lu e in
+      for i = 0 to n - 1 do
+        inv.(i).(j) <- col.(i)
+      done
+    done;
+    inv
+  in
+  List.iter
+    (fun (e : Netlist.element) ->
+      match e with
+      | Resistor { n1; n2; ohms; _ } -> rs := (n1, n2, 1. /. ohms) :: !rs
+      | Capacitor { n1; n2; farads; _ } ->
+          cs := { n1; n2; value = farads; v_prev = 0.; i_prev = 0. } :: !cs
+      | Inductor { n1; n2; henries; _ } ->
+          ls := { n1; n2; value = henries; v_prev = 0.; i_prev = 0. } :: !ls
+      | Current_source { n1; n2; amps; _ } -> is_ := (n1, n2, amps) :: !is_
+      | Coupled_inductors { cp_branches; cp_lmat; _ } ->
+          let k = Array.length cp_branches in
+          ks :=
+            {
+              k_branches = Array.copy cp_branches;
+              linv = invert cp_lmat;
+              i_prev_k = Array.make k 0.;
+              v_prev_k = Array.make k 0.;
+            }
+            :: !ks
+      | Nonlinear nl -> nls := nl :: !nls)
+    (Netlist.elements netlist);
+  let pair_band n1 n2 =
+    let u1 = unknown_of_node.(n1) and u2 = unknown_of_node.(n2) in
+    if u1 >= 0 && u2 >= 0 then abs (u1 - u2) else 0
+  in
+  let bw = ref 1 in
+  List.iter (fun (n1, n2, _) -> bw := Int.max !bw (pair_band n1 n2)) !rs;
+  List.iter (fun (c : companion) -> bw := Int.max !bw (pair_band c.n1 c.n2)) !cs;
+  List.iter (fun (c : companion) -> bw := Int.max !bw (pair_band c.n1 c.n2)) !ls;
+  List.iter
+    (fun (nl : Netlist.nonlinear) ->
+      Array.iter
+        (fun a -> Array.iter (fun b -> bw := Int.max !bw (pair_band a b)) nl.nl_nodes)
+        nl.nl_nodes)
+    !nls;
+  List.iter
+    (fun (k : coupled_state) ->
+      Array.iter
+        (fun (a1, b1) ->
+          Array.iter
+            (fun (a2, b2) ->
+              List.iter
+                (fun (x, y) -> bw := Int.max !bw (pair_band x y))
+                [ (a1, a2); (a1, b2); (b1, a2); (b1, b2) ])
+            k.k_branches)
+        k.k_branches)
+    !ks;
+  {
+    nl = netlist;
+    n_nodes;
+    n_unknown;
+    unknown_of_node;
+    forced;
+    resistors = Array.of_list (List.rev !rs);
+    caps = Array.of_list (List.rev !cs);
+    inds = Array.of_list (List.rev !ls);
+    coupled = Array.of_list (List.rev !ks);
+    isources = Array.of_list (List.rev !is_);
+    nonlinears = Array.of_list (List.rev !nls);
+    bandwidth = !bw;
+  }
+
+(* Stamp conductance [g] and constant element current [j] (flowing n1 -> n2)
+   into system/rhs given the full node-voltage vector for known nodes. *)
+let stamp c sys rhs vnode n1 n2 g j =
+  let u1 = c.unknown_of_node.(n1) and u2 = c.unknown_of_node.(n2) in
+  if u1 >= 0 then begin
+    if g <> 0. then begin
+      sys_add sys u1 u1 g;
+      if u2 >= 0 then sys_add sys u1 u2 (-.g) else rhs.(u1) <- rhs.(u1) +. (g *. vnode.(n2))
+    end;
+    rhs.(u1) <- rhs.(u1) -. j
+  end;
+  if u2 >= 0 then begin
+    if g <> 0. then begin
+      sys_add sys u2 u2 g;
+      if u1 >= 0 then sys_add sys u2 u1 (-.g) else rhs.(u2) <- rhs.(u2) +. (g *. vnode.(n1))
+    end;
+    rhs.(u2) <- rhs.(u2) +. j
+  end
+
+(* Companion coefficients of a coupled group for the current step:
+   [g = alpha L^{-1}] and per-branch history sources. *)
+let coupled_companion (k : coupled_state) integration dt =
+  let nb = Array.length k.k_branches in
+  let alpha = match integration with Trapezoidal -> dt /. 2. | Backward_euler -> dt in
+  let g = Array.init nb (fun p -> Array.map (fun v -> alpha *. v) k.linv.(p)) in
+  let ieq =
+    Array.init nb (fun p ->
+        match integration with
+        | Backward_euler -> k.i_prev_k.(p)
+        | Trapezoidal ->
+            let acc = ref k.i_prev_k.(p) in
+            for q = 0 to nb - 1 do
+              acc := !acc +. (g.(p).(q) *. k.v_prev_k.(q))
+            done;
+            !acc)
+  in
+  (g, ieq)
+
+(* Stamp a coupled group: branch p carries
+   i_p = sum_q g.(p).(q) (v(aq) - v(bq)) + ieq.(p), flowing from the first
+   to the second node of branch p. *)
+let stamp_coupled c sys rhs vnode (k : coupled_state) g ieq =
+  let nb = Array.length k.k_branches in
+  for p = 0 to nb - 1 do
+    let ap, bp = k.k_branches.(p) in
+    let row node row_sign =
+      let u = c.unknown_of_node.(node) in
+      if u >= 0 then begin
+        for q = 0 to nb - 1 do
+          let aq, bq = k.k_branches.(q) in
+          let add col col_sign =
+            let coeff = row_sign *. col_sign *. g.(p).(q) in
+            if coeff <> 0. then begin
+              let uc = c.unknown_of_node.(col) in
+              if uc >= 0 then sys_add sys u uc coeff
+              else rhs.(u) <- rhs.(u) -. (coeff *. vnode.(col))
+            end
+          in
+          add aq 1.;
+          add bq (-1.)
+        done;
+        rhs.(u) <- rhs.(u) -. (row_sign *. ieq.(p))
+      end
+    in
+    row ap 1.;
+    row bp (-1.)
+  done
+
+let stamp_nonlinear c sys rhs vnode (dev : Netlist.nonlinear) =
+  let nn = Array.length dev.nl_nodes in
+  let v = Array.map (fun n -> vnode.(n)) dev.nl_nodes in
+  let i, gm = dev.nl_eval v in
+  for k = 0 to nn - 1 do
+    let uk = c.unknown_of_node.(dev.nl_nodes.(k)) in
+    if uk >= 0 then begin
+      let acc = ref (-.i.(k)) in
+      for jn = 0 to nn - 1 do
+        let uj = c.unknown_of_node.(dev.nl_nodes.(jn)) in
+        if uj >= 0 then begin
+          sys_add sys uk uj gm.(k).(jn);
+          acc := !acc +. (gm.(k).(jn) *. v.(jn))
+        end
+      done;
+      rhs.(uk) <- rhs.(uk) +. !acc
+    end
+  done
+
+let update_forced c vnode t =
+  Array.iter (fun (n, f) -> vnode.(n) <- f t) c.forced
+
+(* Newton loop on top of a base (linear part) assembly function. *)
+let newton ~opts ~c ~assemble_base ~vnode ~t =
+  if Array.length c.nonlinears = 0 && c.n_unknown > 0 then begin
+    let sys, rhs = assemble_base () in
+    sys_solve_in_place sys rhs;
+    for n = 1 to c.n_nodes - 1 do
+      let u = c.unknown_of_node.(n) in
+      if u >= 0 then vnode.(n) <- rhs.(u)
+    done;
+    1
+  end
+  else if c.n_unknown = 0 then 0
+  else begin
+    let iter = ref 0 and converged = ref false in
+    while (not !converged) && !iter < opts.newton_max do
+      incr iter;
+      let base_sys, base_rhs = assemble_base () in
+      let sys = sys_copy base_sys and rhs = Array.copy base_rhs in
+      Array.iter (fun dev -> stamp_nonlinear c sys rhs vnode dev) c.nonlinears;
+      sys_solve_in_place sys rhs;
+      let worst = ref 0. in
+      for n = 1 to c.n_nodes - 1 do
+        let u = c.unknown_of_node.(n) in
+        if u >= 0 then begin
+          let dv = rhs.(u) -. vnode.(n) in
+          worst := Float.max !worst (Float.abs dv);
+          let dv = Float.max (-.opts.dv_limit) (Float.min opts.dv_limit dv) in
+          vnode.(n) <- vnode.(n) +. dv
+        end
+      done;
+      if !worst < opts.newton_tol then converged := true
+    done;
+    if not !converged then
+      failwith (Printf.sprintf "Engine: Newton failed to converge at t=%g s" t);
+    !iter
+  end
+
+type result = {
+  times_ : float array;
+  volts : float array array;  (* volts.(node).(step) *)
+  total_newton : int;
+  worst_newton : int;
+}
+
+let dc_solve ?(t = 0.) c opts =
+  let vnode = Array.make c.n_nodes 0. in
+  update_forced c vnode t;
+  let g_short = 1e3 in
+  let assemble_base () =
+    let sys = sys_create ~n:c.n_unknown ~bw:c.bandwidth in
+    sys_clear sys;
+    let rhs = Array.make c.n_unknown 0. in
+    Array.iter (fun (n1, n2, g) -> stamp c sys rhs vnode n1 n2 g 0.) c.resistors;
+    Array.iter (fun (cc : companion) -> stamp c sys rhs vnode cc.n1 cc.n2 g_short 0.) c.inds;
+    Array.iter
+      (fun (k : coupled_state) ->
+        Array.iter (fun (a, b) -> stamp c sys rhs vnode a b g_short 0.) k.k_branches)
+      c.coupled;
+    (* Capacitors are open at DC, but a node connected only through
+       capacitors would make the matrix singular; a tiny leak conductance
+       pins such nodes without perturbing the solution elsewhere. *)
+    Array.iter (fun (cc : companion) -> stamp c sys rhs vnode cc.n1 cc.n2 1e-12 0.) c.caps;
+    Array.iter (fun (n1, n2, f) -> stamp c sys rhs vnode n1 n2 0. (f t)) c.isources;
+    (sys, rhs)
+  in
+  let _ = newton ~opts ~c ~assemble_base ~vnode ~t in
+  vnode
+
+let dc_operating_point ?(t = 0.) netlist =
+  let c = compile netlist in
+  let opts = default_options ~dt:1e-12 ~t_stop:0. in
+  dc_solve ~t c opts
+
+let transient ?options ~dt ~t_stop netlist =
+  let opts = match options with Some o -> o | None -> default_options ~dt ~t_stop in
+  let dt = opts.dt and t_stop = opts.t_stop in
+  if dt <= 0. || t_stop <= 0. then invalid_arg "Engine.transient: dt and t_stop must be positive";
+  let c = compile netlist in
+  (* Tiny epsilon guards float-division noise (1e-9 / 10e-12 is slightly
+     above 100) from adding a spurious extra step. *)
+  let n_steps = Int.max 1 (int_of_float (Float.ceil ((t_stop /. dt) -. 1e-9))) in
+  let vnode = dc_solve ~t:0. c opts in
+  (* Initialize companion states from the DC point. *)
+  Array.iter
+    (fun (cc : companion) ->
+      cc.v_prev <- vnode.(cc.n1) -. vnode.(cc.n2);
+      cc.i_prev <- 0.)
+    c.caps;
+  Array.iter
+    (fun (cc : companion) ->
+      let dv = vnode.(cc.n1) -. vnode.(cc.n2) in
+      cc.v_prev <- dv;
+      cc.i_prev <- 1e3 *. dv)
+    c.inds;
+  Array.iter
+    (fun (k : coupled_state) ->
+      Array.iteri
+        (fun p (a, b) ->
+          let dv = vnode.(a) -. vnode.(b) in
+          k.v_prev_k.(p) <- dv;
+          k.i_prev_k.(p) <- 1e3 *. dv)
+        k.k_branches)
+    c.coupled;
+  let times_ = Array.init (n_steps + 1) (fun i -> dt *. float_of_int i) in
+  let volts = Array.init c.n_nodes (fun _ -> Array.make (n_steps + 1) 0.) in
+  let record step = Array.iteri (fun n col -> col.(step) <- vnode.(n)) volts in
+  record 0;
+  let total_newton = ref 0 and worst_newton = ref 0 in
+  for step = 1 to n_steps do
+    let t = times_.(step) in
+    update_forced c vnode t;
+    let assemble_base () =
+      let sys = sys_create ~n:c.n_unknown ~bw:c.bandwidth in
+      sys_clear sys;
+      let rhs = Array.make c.n_unknown 0. in
+      Array.iter (fun (n1, n2, g) -> stamp c sys rhs vnode n1 n2 g 0.) c.resistors;
+      Array.iter
+        (fun (cc : companion) ->
+          match opts.integration with
+          | Trapezoidal ->
+              let g = 2. *. cc.value /. dt in
+              stamp c sys rhs vnode cc.n1 cc.n2 g (-.((g *. cc.v_prev) +. cc.i_prev))
+          | Backward_euler ->
+              let g = cc.value /. dt in
+              stamp c sys rhs vnode cc.n1 cc.n2 g (-.(g *. cc.v_prev)))
+        c.caps;
+      Array.iter
+        (fun (cc : companion) ->
+          match opts.integration with
+          | Trapezoidal ->
+              let g = dt /. (2. *. cc.value) in
+              stamp c sys rhs vnode cc.n1 cc.n2 g (cc.i_prev +. (g *. cc.v_prev))
+          | Backward_euler ->
+              let g = dt /. cc.value in
+              stamp c sys rhs vnode cc.n1 cc.n2 g cc.i_prev)
+        c.inds;
+      Array.iter
+        (fun (k : coupled_state) ->
+          let g, ieq = coupled_companion k opts.integration dt in
+          stamp_coupled c sys rhs vnode k g ieq)
+        c.coupled;
+      Array.iter (fun (n1, n2, f) -> stamp c sys rhs vnode n1 n2 0. (f t)) c.isources;
+      (sys, rhs)
+    in
+    let iters = newton ~opts ~c ~assemble_base ~vnode ~t in
+    total_newton := !total_newton + iters;
+    worst_newton := Int.max !worst_newton iters;
+    (* Commit companion states. *)
+    Array.iter
+      (fun (cc : companion) ->
+        let v = vnode.(cc.n1) -. vnode.(cc.n2) in
+        let i =
+          match opts.integration with
+          | Trapezoidal ->
+              let g = 2. *. cc.value /. dt in
+              (g *. v) -. ((g *. cc.v_prev) +. cc.i_prev)
+          | Backward_euler -> cc.value /. dt *. (v -. cc.v_prev)
+        in
+        cc.v_prev <- v;
+        cc.i_prev <- i)
+      c.caps;
+    Array.iter
+      (fun (cc : companion) ->
+        let v = vnode.(cc.n1) -. vnode.(cc.n2) in
+        let i =
+          match opts.integration with
+          | Trapezoidal ->
+              let g = dt /. (2. *. cc.value) in
+              (g *. v) +. cc.i_prev +. (g *. cc.v_prev)
+          | Backward_euler -> (dt /. cc.value *. v) +. cc.i_prev
+        in
+        cc.v_prev <- v;
+        cc.i_prev <- i)
+      c.inds;
+    Array.iter
+      (fun (k : coupled_state) ->
+        (* Companion coefficients still reference the pre-step state; commit
+           currents first, voltages after. *)
+        let g, ieq = coupled_companion k opts.integration dt in
+        let nb = Array.length k.k_branches in
+        let v_new = Array.map (fun (a, b) -> vnode.(a) -. vnode.(b)) k.k_branches in
+        for p = 0 to nb - 1 do
+          let acc = ref ieq.(p) in
+          for q = 0 to nb - 1 do
+            acc := !acc +. (g.(p).(q) *. v_new.(q))
+          done;
+          k.i_prev_k.(p) <- !acc
+        done;
+        Array.blit v_new 0 k.v_prev_k 0 nb)
+      c.coupled;
+    record step
+  done;
+  { times_; volts; total_newton = !total_newton; worst_newton = !worst_newton }
+
+let times r = Array.copy r.times_
+let voltage r n = Waveform.create ~ts:r.times_ ~vs:r.volts.(n)
+
+let voltage_at r n t =
+  let w = voltage r n in
+  Waveform.value_at w t
+
+let newton_total r = r.total_newton
+let newton_worst r = r.worst_newton
+let steps r = Array.length r.times_ - 1

@@ -125,15 +125,16 @@ let characterize_cmd =
 (* -------------------------------------------------------------- sweep *)
 
 let sweep_cmd =
-  let run dt limit =
+  let run dt limit jobs =
     let cases = Experiments.sweep_cases () in
     let cases =
       match limit with
       | Some n -> List.filteri (fun i _ -> i < n) cases
       | None -> cases
     in
+    let jobs = match jobs with Some j -> j | None -> Rlc_flow.Pool.default_jobs () in
     let stats =
-      Experiments.run_sweep ~dt:(Rlc_num.Units.ps dt)
+      Experiments.run_sweep ~dt:(Rlc_num.Units.ps dt) ~jobs
         ~progress:(fun k n -> if k mod 25 = 0 || k = n then Printf.eprintf "  %d/%d\n%!" k n)
         cases
     in
@@ -157,9 +158,18 @@ let sweep_cmd =
       & opt (some int) None
       & info [ "limit" ] ~docv:"N" ~doc:"Only examine the first N grid cases.")
   in
+  let jobs_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "jobs" ] ~docv:"N"
+          ~doc:
+            "Worker domains for the sweep (default: the machine's recommended domain count).  \
+             Results are identical for every N.")
+  in
   Cmd.v
     (Cmd.info "sweep" ~doc:"Run the Figure-7 style sweep and print error statistics.")
-    Term.(const run $ dt_arg $ limit_arg)
+    Term.(const run $ dt_arg $ limit_arg $ jobs_arg)
 
 (* --------------------------------------------------------------- flow *)
 

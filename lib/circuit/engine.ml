@@ -19,7 +19,11 @@ let default_options ~dt ~t_stop =
    bandwidth small (uniform ladders are tridiagonal), dense otherwise. *)
 type sys = B of Banded.t | D of Linalg.mat
 
-let sys_create ~n ~bw = if bw <= 16 || n <= 24 && bw < n then B (Banded.create ~n ~bw) else D (Linalg.make n n 0.)
+let sys_create ~n ~bw =
+  (* An n x n system never needs more than n - 1 off-diagonals; compile
+     seeds the bandwidth at 1, so clamp before sizing the band storage. *)
+  let bw = Int.min bw (Int.max 0 (n - 1)) in
+  if bw <= 16 || (n <= 24 && bw < n) then B (Banded.create ~n ~bw) else D (Linalg.make n n 0.)
 
 let sys_clear = function
   | B b -> Banded.clear b
@@ -30,6 +34,12 @@ let sys_add s i j v =
 
 let sys_copy = function B b -> B (Banded.copy b) | D m -> D (Linalg.copy_mat m)
 
+let sys_blit ~src ~dst =
+  match (src, dst) with
+  | B a, B b -> Banded.blit ~src:a ~dst:b
+  | D a, D b -> Array.iteri (fun i row -> Array.blit row 0 b.(i) 0 (Array.length row)) a
+  | _ -> invalid_arg "Engine.sys_blit: shape mismatch"
+
 let sys_solve_in_place s rhs =
   match s with
   | B b -> Banded.solve_in_place b rhs
@@ -37,8 +47,34 @@ let sys_solve_in_place s rhs =
       let x = Linalg.solve m rhs in
       Array.blit x 0 rhs 0 (Array.length x)
 
+(* A factorized system: the banded case factors in place and replays the
+   elimination per right-hand side; the dense case keeps the pivoted LU. *)
+type factored = FB of Banded.t | FD of Linalg.lu
+
+let factorize = function
+  | B b ->
+      Banded.factor b;
+      FB b
+  | D m -> FD (Linalg.lu_factor_in_place m)
+
+(* Overwrite [rhs] with the solution; [scratch] (same length, distinct) is
+   needed by the dense path to un-permute without allocating. *)
+let factored_solve f rhs scratch =
+  match f with
+  | FB b -> Banded.solve_factored b rhs
+  | FD lu ->
+      Linalg.lu_solve_into lu rhs scratch;
+      Array.blit scratch 0 rhs 0 (Array.length rhs)
+
+(* Per-step companion history.  Kept as its own all-float record so it is a
+   flat float block: updating [v_prev]/[i_prev] is a direct unboxed store.
+   Inside the mixed int/float [companion] record the same mutable float
+   fields would be boxed, costing an allocation plus a write barrier per
+   element per step in [commit_step]. *)
+type comp_hist = { mutable v_prev : float; mutable i_prev : float }
+
 (* Compiled two-terminal element with per-step companion state. *)
-type companion = { n1 : int; n2 : int; value : float; mutable v_prev : float; mutable i_prev : float }
+type companion = { n1 : int; n2 : int; value : float; hist : comp_hist }
 
 (* Magnetically coupled group: branch currents depend on all branch
    voltages through G = alpha * L^{-1} (alpha = h/2 for trapezoidal, h for
@@ -101,9 +137,9 @@ let compile netlist =
       match e with
       | Resistor { n1; n2; ohms; _ } -> rs := (n1, n2, 1. /. ohms) :: !rs
       | Capacitor { n1; n2; farads; _ } ->
-          cs := { n1; n2; value = farads; v_prev = 0.; i_prev = 0. } :: !cs
+          cs := { n1; n2; value = farads; hist = { v_prev = 0.; i_prev = 0. } } :: !cs
       | Inductor { n1; n2; henries; _ } ->
-          ls := { n1; n2; value = henries; v_prev = 0.; i_prev = 0. } :: !ls
+          ls := { n1; n2; value = henries; hist = { v_prev = 0.; i_prev = 0. } } :: !ls
       | Current_source { n1; n2; amps; _ } -> is_ := (n1, n2, amps) :: !is_
       | Coupled_inductors { cp_branches; cp_lmat; _ } ->
           let k = Array.length cp_branches in
@@ -158,6 +194,32 @@ let compile netlist =
     bandwidth = !bw;
   }
 
+(* Companion conductances for a fixed (integration, dt): time-invariant, so
+   the fast path computes them once per transient. *)
+let cap_g integration dt (cc : companion) =
+  match integration with
+  | Trapezoidal -> 2. *. cc.value /. dt
+  | Backward_euler -> cc.value /. dt
+
+let ind_g integration dt (cc : companion) =
+  match integration with
+  | Trapezoidal -> dt /. (2. *. cc.value)
+  | Backward_euler -> dt /. cc.value
+
+(* History current (flowing n1 -> n2 through the companion source) for the
+   current step, given the element's per-transient conductance. *)
+let cap_ieq integration g (cc : companion) =
+  let h = cc.hist in
+  match integration with
+  | Trapezoidal -> -.((g *. h.v_prev) +. h.i_prev)
+  | Backward_euler -> -.(g *. h.v_prev)
+
+let ind_ieq integration g (cc : companion) =
+  let h = cc.hist in
+  match integration with
+  | Trapezoidal -> h.i_prev +. (g *. h.v_prev)
+  | Backward_euler -> h.i_prev
+
 (* Stamp conductance [g] and constant element current [j] (flowing n1 -> n2)
    into system/rhs given the full node-voltage vector for known nodes. *)
 let stamp c sys rhs vnode n1 n2 g j =
@@ -177,24 +239,41 @@ let stamp c sys rhs vnode n1 n2 g j =
     rhs.(u2) <- rhs.(u2) +. j
   end
 
+(* The time-invariant matrix half of [stamp]; the per-step right-hand-side
+   half is open-coded in [assemble_rhs].  Contribution order matches
+   [stamp] exactly so the fast path accumulates bit-identical sums. *)
+let stamp_mat c sys n1 n2 g =
+  if g <> 0. then begin
+    let u1 = c.unknown_of_node.(n1) and u2 = c.unknown_of_node.(n2) in
+    if u1 >= 0 then begin
+      sys_add sys u1 u1 g;
+      if u2 >= 0 then sys_add sys u1 u2 (-.g)
+    end;
+    if u2 >= 0 then begin
+      sys_add sys u2 u2 g;
+      if u1 >= 0 then sys_add sys u2 u1 (-.g)
+    end
+  end
+
 (* Companion coefficients of a coupled group for the current step:
    [g = alpha L^{-1}] and per-branch history sources. *)
-let coupled_companion (k : coupled_state) integration dt =
-  let nb = Array.length k.k_branches in
+let coupled_galpha (k : coupled_state) integration dt =
   let alpha = match integration with Trapezoidal -> dt /. 2. | Backward_euler -> dt in
-  let g = Array.init nb (fun p -> Array.map (fun v -> alpha *. v) k.linv.(p)) in
-  let ieq =
-    Array.init nb (fun p ->
-        match integration with
-        | Backward_euler -> k.i_prev_k.(p)
-        | Trapezoidal ->
-            let acc = ref k.i_prev_k.(p) in
-            for q = 0 to nb - 1 do
-              acc := !acc +. (g.(p).(q) *. k.v_prev_k.(q))
-            done;
-            !acc)
-  in
-  (g, ieq)
+  Array.init (Array.length k.k_branches) (fun p -> Array.map (fun v -> alpha *. v) k.linv.(p))
+
+let coupled_ieq_into (k : coupled_state) integration g ieq =
+  let nb = Array.length k.k_branches in
+  for p = 0 to nb - 1 do
+    ieq.(p) <-
+      (match integration with
+      | Backward_euler -> k.i_prev_k.(p)
+      | Trapezoidal ->
+          let acc = ref k.i_prev_k.(p) in
+          for q = 0 to nb - 1 do
+            acc := !acc +. (g.(p).(q) *. k.v_prev_k.(q))
+          done;
+          !acc)
+  done
 
 (* Stamp a coupled group: branch p carries
    i_p = sum_q g.(p).(q) (v(aq) - v(bq)) + ieq.(p), flowing from the first
@@ -226,6 +305,55 @@ let stamp_coupled c sys rhs vnode (k : coupled_state) g ieq =
     row bp (-1.)
   done
 
+(* Matrix/rhs split of [stamp_coupled], same contribution order. *)
+let stamp_coupled_mat c sys (k : coupled_state) g =
+  let nb = Array.length k.k_branches in
+  for p = 0 to nb - 1 do
+    let ap, bp = k.k_branches.(p) in
+    let row node row_sign =
+      let u = c.unknown_of_node.(node) in
+      if u >= 0 then
+        for q = 0 to nb - 1 do
+          let aq, bq = k.k_branches.(q) in
+          let add col col_sign =
+            let coeff = row_sign *. col_sign *. g.(p).(q) in
+            if coeff <> 0. then begin
+              let uc = c.unknown_of_node.(col) in
+              if uc >= 0 then sys_add sys u uc coeff
+            end
+          in
+          add aq 1.;
+          add bq (-1.)
+        done
+    in
+    row ap 1.;
+    row bp (-1.)
+  done
+
+let stamp_coupled_rhs c rhs vnode (k : coupled_state) g ieq =
+  let nb = Array.length k.k_branches in
+  for p = 0 to nb - 1 do
+    let ap, bp = k.k_branches.(p) in
+    let row node row_sign =
+      let u = c.unknown_of_node.(node) in
+      if u >= 0 then begin
+        for q = 0 to nb - 1 do
+          let aq, bq = k.k_branches.(q) in
+          let add col col_sign =
+            let coeff = row_sign *. col_sign *. g.(p).(q) in
+            if coeff <> 0. && c.unknown_of_node.(col) < 0 then
+              rhs.(u) <- rhs.(u) -. (coeff *. vnode.(col))
+          in
+          add aq 1.;
+          add bq (-1.)
+        done;
+        rhs.(u) <- rhs.(u) -. (row_sign *. ieq.(p))
+      end
+    in
+    row ap 1.;
+    row bp (-1.)
+  done
+
 let stamp_nonlinear c sys rhs vnode (dev : Netlist.nonlinear) =
   let nn = Array.length dev.nl_nodes in
   let v = Array.map (fun n -> vnode.(n)) dev.nl_nodes in
@@ -246,9 +374,14 @@ let stamp_nonlinear c sys rhs vnode (dev : Netlist.nonlinear) =
   done
 
 let update_forced c vnode t =
-  Array.iter (fun (n, f) -> vnode.(n) <- f t) c.forced
+  for i = 0 to Array.length c.forced - 1 do
+    let n, f = c.forced.(i) in
+    vnode.(n) <- f t
+  done
 
-(* Newton loop on top of a base (linear part) assembly function. *)
+(* Newton loop on top of a base (linear part) assembly function — the
+   rebuild-everything path, used for the DC operating point (once per
+   transient) and as the [reassemble_per_step] reference stepper. *)
 let newton ~opts ~c ~assemble_base ~vnode ~t =
   if Array.length c.nonlinears = 0 && c.n_unknown > 0 then begin
     let sys, rhs = assemble_base () in
@@ -287,7 +420,8 @@ let newton ~opts ~c ~assemble_base ~vnode ~t =
 
 type result = {
   times_ : float array;
-  volts : float array array;  (* volts.(node).(step) *)
+  col_of_node : int array;  (* -1 when the node was not recorded *)
+  cols : float array array;  (* cols.(col_of_node.(node)).(step) *)
   total_newton : int;
   worst_newton : int;
 }
@@ -321,7 +455,312 @@ let dc_operating_point ?(t = 0.) netlist =
   let opts = default_options ~dt:1e-12 ~t_stop:0. in
   dc_solve ~t c opts
 
-let transient ?options ~dt ~t_stop netlist =
+(* Per-transient solver state for the fast path: everything that is
+   time-invariant for a fixed (integration, dt) is computed once here —
+   companion conductances, the assembled linear system matrix (factored
+   outright when the circuit has no nonlinear devices), the coupled-group
+   alpha*L^-1 matrices, and all solver scratch. *)
+type transient_state = {
+  caps_g : float array;
+  inds_g : float array;
+  galpha : float array array array;  (* per coupled group *)
+  ieq_k : float array array;  (* per-group history scratch, refreshed per step *)
+  vnew_k : float array array;  (* per-group commit scratch (post-step branch voltages) *)
+  rhs : float array;
+  xsol : float array;  (* dense-solve unpermute scratch *)
+  linear_fact : factored option;  (* Some iff no nonlinear devices *)
+  (* Nonlinear path: pre-stamped linear matrix, per-iteration scratch. *)
+  base : sys;
+  base_rhs : float array;
+  newton_sys : sys;
+}
+
+let make_transient_state c opts =
+  let dt = opts.dt in
+  let caps_g = Array.map (cap_g opts.integration dt) c.caps in
+  let inds_g = Array.map (ind_g opts.integration dt) c.inds in
+  let galpha = Array.map (fun k -> coupled_galpha k opts.integration dt) c.coupled in
+  let ieq_k = Array.map (fun (k : coupled_state) -> Array.make (Array.length k.k_branches) 0.) c.coupled in
+  let vnew_k = Array.map (fun (k : coupled_state) -> Array.make (Array.length k.k_branches) 0.) c.coupled in
+  let base = sys_create ~n:c.n_unknown ~bw:c.bandwidth in
+  (* Assembly order mirrors the rebuild path: resistors, caps, inductors,
+     coupled groups (current sources carry no conductance). *)
+  Array.iter (fun (n1, n2, g) -> stamp_mat c base n1 n2 g) c.resistors;
+  Array.iteri (fun i (cc : companion) -> stamp_mat c base cc.n1 cc.n2 caps_g.(i)) c.caps;
+  Array.iteri (fun i (cc : companion) -> stamp_mat c base cc.n1 cc.n2 inds_g.(i)) c.inds;
+  Array.iteri (fun i k -> stamp_coupled_mat c base k galpha.(i)) c.coupled;
+  let linear = Array.length c.nonlinears = 0 in
+  let linear_fact =
+    if linear && c.n_unknown > 0 then Some (factorize (sys_copy base)) else None
+  in
+  {
+    caps_g;
+    inds_g;
+    galpha;
+    ieq_k;
+    vnew_k;
+    rhs = Array.make c.n_unknown 0.;
+    xsol = Array.make c.n_unknown 0.;
+    linear_fact;
+    base;
+    base_rhs = Array.make c.n_unknown 0.;
+    newton_sys = sys_copy base;
+  }
+
+(* Linear-part right-hand side for the step at time [t]: history currents
+   plus injections from forced-node neighbours, in rebuild-path order.
+   Plain [for] loops with the integration match hoisted out — this runs
+   once per step (the whole point of the factor-once split), so closure
+   allocation here would dominate small circuits. *)
+(* Independent-source contribution to the RHS — split out so the linear
+   fast path can skip the call entirely (and the float [t] boxing that
+   comes with it) when the circuit has no current sources. *)
+let add_isources_rhs c rhs t =
+  let uon = c.unknown_of_node in
+  for i = 0 to Array.length c.isources - 1 do
+    let n1, n2, f = c.isources.(i) in
+    let j = f t in
+    let u1 = uon.(n1) and u2 = uon.(n2) in
+    if u1 >= 0 then rhs.(u1) <- rhs.(u1) -. j;
+    if u2 >= 0 then rhs.(u2) <- rhs.(u2) +. j
+  done
+
+let assemble_rhs_hist c st opts rhs vnode =
+  (* Monomorphic clear: [Array.fill] goes through the generic set primitive
+     (runtime float-array dispatch per element); this loop compiles to
+     direct unboxed stores. *)
+  for k = 0 to Array.length rhs - 1 do
+    rhs.(k) <- 0.
+  done;
+  let uon = c.unknown_of_node in
+  (* The right-hand-side half of [stamp] is open-coded per element type:
+     without flambda a per-element helper call boxes its float arguments,
+     and at one call per element per step that boxing rivals the factored
+     solve itself.  Contribution order per element — forced-neighbour
+     injection, then the -j/+j history pair — matches [stamp] exactly. *)
+  for i = 0 to Array.length c.resistors - 1 do
+    let n1, n2, g = c.resistors.(i) in
+    let u1 = uon.(n1) and u2 = uon.(n2) in
+    if u1 >= 0 && g <> 0. && u2 < 0 then rhs.(u1) <- rhs.(u1) +. (g *. vnode.(n2));
+    if u2 >= 0 && g <> 0. && u1 < 0 then rhs.(u2) <- rhs.(u2) +. (g *. vnode.(n1))
+  done;
+  (match opts.integration with
+  | Trapezoidal ->
+      for i = 0 to Array.length c.caps - 1 do
+        let cc = c.caps.(i) in
+        let g = st.caps_g.(i) in
+        let h = cc.hist in
+        let j = -.((g *. h.v_prev) +. h.i_prev) in
+        let u1 = uon.(cc.n1) and u2 = uon.(cc.n2) in
+        if u1 >= 0 then begin
+          if g <> 0. && u2 < 0 then rhs.(u1) <- rhs.(u1) +. (g *. vnode.(cc.n2));
+          rhs.(u1) <- rhs.(u1) -. j
+        end;
+        if u2 >= 0 then begin
+          if g <> 0. && u1 < 0 then rhs.(u2) <- rhs.(u2) +. (g *. vnode.(cc.n1));
+          rhs.(u2) <- rhs.(u2) +. j
+        end
+      done
+  | Backward_euler ->
+      for i = 0 to Array.length c.caps - 1 do
+        let cc = c.caps.(i) in
+        let g = st.caps_g.(i) in
+        let j = -.(g *. cc.hist.v_prev) in
+        let u1 = uon.(cc.n1) and u2 = uon.(cc.n2) in
+        if u1 >= 0 then begin
+          if g <> 0. && u2 < 0 then rhs.(u1) <- rhs.(u1) +. (g *. vnode.(cc.n2));
+          rhs.(u1) <- rhs.(u1) -. j
+        end;
+        if u2 >= 0 then begin
+          if g <> 0. && u1 < 0 then rhs.(u2) <- rhs.(u2) +. (g *. vnode.(cc.n1));
+          rhs.(u2) <- rhs.(u2) +. j
+        end
+      done);
+  (match opts.integration with
+  | Trapezoidal ->
+      for i = 0 to Array.length c.inds - 1 do
+        let cc = c.inds.(i) in
+        let g = st.inds_g.(i) in
+        let h = cc.hist in
+        let j = h.i_prev +. (g *. h.v_prev) in
+        let u1 = uon.(cc.n1) and u2 = uon.(cc.n2) in
+        if u1 >= 0 then begin
+          if g <> 0. && u2 < 0 then rhs.(u1) <- rhs.(u1) +. (g *. vnode.(cc.n2));
+          rhs.(u1) <- rhs.(u1) -. j
+        end;
+        if u2 >= 0 then begin
+          if g <> 0. && u1 < 0 then rhs.(u2) <- rhs.(u2) +. (g *. vnode.(cc.n1));
+          rhs.(u2) <- rhs.(u2) +. j
+        end
+      done
+  | Backward_euler ->
+      for i = 0 to Array.length c.inds - 1 do
+        let cc = c.inds.(i) in
+        let g = st.inds_g.(i) in
+        let j = cc.hist.i_prev in
+        let u1 = uon.(cc.n1) and u2 = uon.(cc.n2) in
+        if u1 >= 0 then begin
+          if g <> 0. && u2 < 0 then rhs.(u1) <- rhs.(u1) +. (g *. vnode.(cc.n2));
+          rhs.(u1) <- rhs.(u1) -. j
+        end;
+        if u2 >= 0 then begin
+          if g <> 0. && u1 < 0 then rhs.(u2) <- rhs.(u2) +. (g *. vnode.(cc.n1));
+          rhs.(u2) <- rhs.(u2) +. j
+        end
+      done);
+  for i = 0 to Array.length c.coupled - 1 do
+    stamp_coupled_rhs c rhs vnode c.coupled.(i) st.galpha.(i) st.ieq_k.(i)
+  done
+
+let assemble_rhs c st opts rhs vnode t =
+  assemble_rhs_hist c st opts rhs vnode;
+  add_isources_rhs c rhs t
+
+let scatter_solution c vnode x =
+  for n = 1 to c.n_nodes - 1 do
+    let u = c.unknown_of_node.(n) in
+    if u >= 0 then vnode.(n) <- x.(u)
+  done
+
+(* One fast-path timestep: factored solve for linear circuits; for nonlinear
+   circuits, copy the pre-stamped linear system per Newton iteration instead
+   of re-walking every element.  Returns the Newton iteration count. *)
+let fast_step c st opts vnode t =
+  if c.n_unknown = 0 then 0
+  else
+    match st.linear_fact with
+    | Some f ->
+        assemble_rhs c st opts st.rhs vnode t;
+        factored_solve f st.rhs st.xsol;
+        scatter_solution c vnode st.rhs;
+        1
+    | None ->
+        assemble_rhs c st opts st.base_rhs vnode t;
+        let iter = ref 0 and converged = ref false in
+        while (not !converged) && !iter < opts.newton_max do
+          incr iter;
+          sys_blit ~src:st.base ~dst:st.newton_sys;
+          Array.blit st.base_rhs 0 st.rhs 0 c.n_unknown;
+          Array.iter (fun dev -> stamp_nonlinear c st.newton_sys st.rhs vnode dev) c.nonlinears;
+          (match st.newton_sys with
+          | B b -> Banded.solve_in_place b st.rhs
+          | D m ->
+              let lu = Linalg.lu_factor_in_place m in
+              Linalg.lu_solve_into lu st.rhs st.xsol;
+              Array.blit st.xsol 0 st.rhs 0 c.n_unknown);
+          let worst = ref 0. in
+          for n = 1 to c.n_nodes - 1 do
+            let u = c.unknown_of_node.(n) in
+            if u >= 0 then begin
+              let dv = st.rhs.(u) -. vnode.(n) in
+              worst := Float.max !worst (Float.abs dv);
+              let dv = Float.max (-.opts.dv_limit) (Float.min opts.dv_limit dv) in
+              vnode.(n) <- vnode.(n) +. dv
+            end
+          done;
+          if !worst < opts.newton_tol then converged := true
+        done;
+        if not !converged then
+          failwith (Printf.sprintf "Engine: Newton failed to converge at t=%g s" t);
+        !iter
+
+(* The pre-factorization stepper: rebuild and refactor the whole system at
+   every step (and every Newton iteration), exactly as the engine did before
+   the compile/factor/step split.  Kept as the golden reference for
+   equivalence tests and speedup measurement. *)
+let rebuild_step c st opts vnode t =
+  let dt = opts.dt in
+  let assemble_base () =
+    let sys = sys_create ~n:c.n_unknown ~bw:c.bandwidth in
+    sys_clear sys;
+    let rhs = Array.make c.n_unknown 0. in
+    Array.iter (fun (n1, n2, g) -> stamp c sys rhs vnode n1 n2 g 0.) c.resistors;
+    Array.iter
+      (fun (cc : companion) ->
+        let g = cap_g opts.integration dt cc in
+        stamp c sys rhs vnode cc.n1 cc.n2 g (cap_ieq opts.integration g cc))
+      c.caps;
+    Array.iter
+      (fun (cc : companion) ->
+        let g = ind_g opts.integration dt cc in
+        stamp c sys rhs vnode cc.n1 cc.n2 g (ind_ieq opts.integration g cc))
+      c.inds;
+    Array.iteri
+      (fun i k ->
+        stamp_coupled c sys rhs vnode k st.galpha.(i) st.ieq_k.(i))
+      c.coupled;
+    Array.iter (fun (n1, n2, f) -> stamp c sys rhs vnode n1 n2 0. (f t)) c.isources;
+    (sys, rhs)
+  in
+  newton ~opts ~c ~assemble_base ~vnode ~t
+
+(* Commit companion states after a converged step.  Coupled groups reuse the
+   step's alpha*L^-1 and pre-step history sources.  The companion
+   conductances come from [st] rather than being re-divided per element per
+   step — [make_transient_state] computed them with the exact same
+   expressions, so the substitution is bit-identical. *)
+let commit_step c st opts vnode =
+  (match opts.integration with
+  | Trapezoidal ->
+      for i = 0 to Array.length c.caps - 1 do
+        let cc = c.caps.(i) in
+        let h = cc.hist in
+        let v = vnode.(cc.n1) -. vnode.(cc.n2) in
+        let g = st.caps_g.(i) in
+        let icur = (g *. v) -. ((g *. h.v_prev) +. h.i_prev) in
+        h.v_prev <- v;
+        h.i_prev <- icur
+      done
+  | Backward_euler ->
+      for i = 0 to Array.length c.caps - 1 do
+        let cc = c.caps.(i) in
+        let h = cc.hist in
+        let v = vnode.(cc.n1) -. vnode.(cc.n2) in
+        let icur = st.caps_g.(i) *. (v -. h.v_prev) in
+        h.v_prev <- v;
+        h.i_prev <- icur
+      done);
+  (match opts.integration with
+  | Trapezoidal ->
+      for i = 0 to Array.length c.inds - 1 do
+        let cc = c.inds.(i) in
+        let h = cc.hist in
+        let v = vnode.(cc.n1) -. vnode.(cc.n2) in
+        let g = st.inds_g.(i) in
+        let icur = (g *. v) +. h.i_prev +. (g *. h.v_prev) in
+        h.v_prev <- v;
+        h.i_prev <- icur
+      done
+  | Backward_euler ->
+      for i = 0 to Array.length c.inds - 1 do
+        let cc = c.inds.(i) in
+        let h = cc.hist in
+        let v = vnode.(cc.n1) -. vnode.(cc.n2) in
+        let icur = (st.inds_g.(i) *. v) +. h.i_prev in
+        h.v_prev <- v;
+        h.i_prev <- icur
+      done);
+  for gi = 0 to Array.length c.coupled - 1 do
+    let k = c.coupled.(gi) in
+    (* galpha/ieq still reference the pre-step state; commit currents
+       first, voltages after. *)
+    let g = st.galpha.(gi) and ieq = st.ieq_k.(gi) and v_new = st.vnew_k.(gi) in
+    let nb = Array.length k.k_branches in
+    for p = 0 to nb - 1 do
+      let a, b = k.k_branches.(p) in
+      v_new.(p) <- vnode.(a) -. vnode.(b)
+    done;
+    for p = 0 to nb - 1 do
+      let acc = ref ieq.(p) in
+      for q = 0 to nb - 1 do
+        acc := !acc +. (g.(p).(q) *. v_new.(q))
+      done;
+      k.i_prev_k.(p) <- !acc
+    done;
+    Array.blit v_new 0 k.v_prev_k 0 nb
+  done
+
+let transient ?options ?record_nodes ?(reassemble_per_step = false) ~dt ~t_stop netlist =
   let opts = match options with Some o -> o | None -> default_options ~dt ~t_stop in
   let dt = opts.dt and t_stop = opts.t_stop in
   if dt <= 0. || t_stop <= 0. then invalid_arg "Engine.transient: dt and t_stop must be positive";
@@ -333,14 +772,14 @@ let transient ?options ~dt ~t_stop netlist =
   (* Initialize companion states from the DC point. *)
   Array.iter
     (fun (cc : companion) ->
-      cc.v_prev <- vnode.(cc.n1) -. vnode.(cc.n2);
-      cc.i_prev <- 0.)
+      cc.hist.v_prev <- vnode.(cc.n1) -. vnode.(cc.n2);
+      cc.hist.i_prev <- 0.)
     c.caps;
   Array.iter
     (fun (cc : companion) ->
       let dv = vnode.(cc.n1) -. vnode.(cc.n2) in
-      cc.v_prev <- dv;
-      cc.i_prev <- 1e3 *. dv)
+      cc.hist.v_prev <- dv;
+      cc.hist.i_prev <- 1e3 *. dv)
     c.inds;
   Array.iter
     (fun (k : coupled_state) ->
@@ -352,98 +791,98 @@ let transient ?options ~dt ~t_stop netlist =
         k.k_branches)
     c.coupled;
   let times_ = Array.init (n_steps + 1) (fun i -> dt *. float_of_int i) in
-  let volts = Array.init c.n_nodes (fun _ -> Array.make (n_steps + 1) 0.) in
-  let record step = Array.iteri (fun n col -> col.(step) <- vnode.(n)) volts in
+  (* Selective recording: storing all nodes costs O(nodes * steps) memory;
+     long-ladder references only ever measure input/near/far. *)
+  let col_of_node = Array.make c.n_nodes (-1) in
+  (match record_nodes with
+  | None -> Array.iteri (fun n _ -> col_of_node.(n) <- n) col_of_node
+  | Some nodes ->
+      List.iter
+        (fun n ->
+          if n < 0 || n >= c.n_nodes then
+            invalid_arg "Engine.transient: record_nodes entry out of range";
+          col_of_node.(n) <- 0)
+        nodes;
+      let next = ref 0 in
+      Array.iteri
+        (fun n marked ->
+          if marked >= 0 then begin
+            col_of_node.(n) <- !next;
+            incr next
+          end)
+        col_of_node);
+  let rec_nodes =
+    let acc = ref [] in
+    for n = c.n_nodes - 1 downto 0 do
+      if col_of_node.(n) >= 0 then acc := n :: !acc
+    done;
+    Array.of_list !acc
+  in
+  let cols = Array.map (fun _ -> Array.make (n_steps + 1) 0.) rec_nodes in
+  (* [rec_nodes] is node-ascending and column ids were assigned in node
+     order, so [cols.(i)] is exactly [rec_nodes.(i)]'s trace. *)
+  let record step =
+    for i = 0 to Array.length rec_nodes - 1 do
+      cols.(i).(step) <- vnode.(rec_nodes.(i))
+    done
+  in
   record 0;
+  let st = make_transient_state c opts in
   let total_newton = ref 0 and worst_newton = ref 0 in
-  for step = 1 to n_steps do
-    let t = times_.(step) in
-    update_forced c vnode t;
-    let assemble_base () =
-      let sys = sys_create ~n:c.n_unknown ~bw:c.bandwidth in
-      sys_clear sys;
-      let rhs = Array.make c.n_unknown 0. in
-      Array.iter (fun (n1, n2, g) -> stamp c sys rhs vnode n1 n2 g 0.) c.resistors;
-      Array.iter
-        (fun (cc : companion) ->
-          match opts.integration with
-          | Trapezoidal ->
-              let g = 2. *. cc.value /. dt in
-              stamp c sys rhs vnode cc.n1 cc.n2 g (-.((g *. cc.v_prev) +. cc.i_prev))
-          | Backward_euler ->
-              let g = cc.value /. dt in
-              stamp c sys rhs vnode cc.n1 cc.n2 g (-.(g *. cc.v_prev)))
-        c.caps;
-      Array.iter
-        (fun (cc : companion) ->
-          match opts.integration with
-          | Trapezoidal ->
-              let g = dt /. (2. *. cc.value) in
-              stamp c sys rhs vnode cc.n1 cc.n2 g (cc.i_prev +. (g *. cc.v_prev))
-          | Backward_euler ->
-              let g = dt /. cc.value in
-              stamp c sys rhs vnode cc.n1 cc.n2 g cc.i_prev)
-        c.inds;
-      Array.iter
-        (fun (k : coupled_state) ->
-          let g, ieq = coupled_companion k opts.integration dt in
-          stamp_coupled c sys rhs vnode k g ieq)
-        c.coupled;
-      Array.iter (fun (n1, n2, f) -> stamp c sys rhs vnode n1 n2 0. (f t)) c.isources;
-      (sys, rhs)
-    in
-    let iters = newton ~opts ~c ~assemble_base ~vnode ~t in
-    total_newton := !total_newton + iters;
-    worst_newton := Int.max !worst_newton iters;
-    (* Commit companion states. *)
-    Array.iter
-      (fun (cc : companion) ->
-        let v = vnode.(cc.n1) -. vnode.(cc.n2) in
-        let i =
-          match opts.integration with
-          | Trapezoidal ->
-              let g = 2. *. cc.value /. dt in
-              (g *. v) -. ((g *. cc.v_prev) +. cc.i_prev)
-          | Backward_euler -> cc.value /. dt *. (v -. cc.v_prev)
-        in
-        cc.v_prev <- v;
-        cc.i_prev <- i)
-      c.caps;
-    Array.iter
-      (fun (cc : companion) ->
-        let v = vnode.(cc.n1) -. vnode.(cc.n2) in
-        let i =
-          match opts.integration with
-          | Trapezoidal ->
-              let g = dt /. (2. *. cc.value) in
-              (g *. v) +. cc.i_prev +. (g *. cc.v_prev)
-          | Backward_euler -> (dt /. cc.value *. v) +. cc.i_prev
-        in
-        cc.v_prev <- v;
-        cc.i_prev <- i)
-      c.inds;
-    Array.iter
-      (fun (k : coupled_state) ->
-        (* Companion coefficients still reference the pre-step state; commit
-           currents first, voltages after. *)
-        let g, ieq = coupled_companion k opts.integration dt in
-        let nb = Array.length k.k_branches in
-        let v_new = Array.map (fun (a, b) -> vnode.(a) -. vnode.(b)) k.k_branches in
-        for p = 0 to nb - 1 do
-          let acc = ref ieq.(p) in
-          for q = 0 to nb - 1 do
-            acc := !acc +. (g.(p).(q) *. v_new.(q))
-          done;
-          k.i_prev_k.(p) <- !acc
+  (match (st.linear_fact, reassemble_per_step) with
+  | Some f, false ->
+      (* Linear fast path, fully specialized: one factored solve per step,
+         no per-step dispatch.  The forced-source update is open-coded and
+         the isource term split off so that (for the common forced-input
+         circuit) no float crosses a non-inlined call boundary per step. *)
+      let n_forced = Array.length c.forced in
+      let n_coupled = Array.length c.coupled in
+      let has_isources = Array.length c.isources > 0 in
+      for step = 1 to n_steps do
+        let t = times_.(step) in
+        for i = 0 to n_forced - 1 do
+          let n, fsrc = c.forced.(i) in
+          vnode.(n) <- fsrc t
         done;
-        Array.blit v_new 0 k.v_prev_k 0 nb)
-      c.coupled;
-    record step
-  done;
-  { times_; volts; total_newton = !total_newton; worst_newton = !worst_newton }
+        for i = 0 to n_coupled - 1 do
+          coupled_ieq_into c.coupled.(i) opts.integration st.galpha.(i) st.ieq_k.(i)
+        done;
+        assemble_rhs_hist c st opts st.rhs vnode;
+        if has_isources then add_isources_rhs c st.rhs t;
+        factored_solve f st.rhs st.xsol;
+        scatter_solution c vnode st.rhs;
+        commit_step c st opts vnode;
+        record step
+      done;
+      total_newton := n_steps;
+      worst_newton := 1
+  | _ ->
+      let step_fn = if reassemble_per_step then rebuild_step else fast_step in
+      for step = 1 to n_steps do
+        let t = times_.(step) in
+        update_forced c vnode t;
+        (* Coupled-group history sources for this step (pre-step state),
+           shared by assembly and commit. *)
+        for i = 0 to Array.length c.coupled - 1 do
+          coupled_ieq_into c.coupled.(i) opts.integration st.galpha.(i) st.ieq_k.(i)
+        done;
+        let iters = step_fn c st opts vnode t in
+        total_newton := !total_newton + iters;
+        worst_newton := Int.max !worst_newton iters;
+        commit_step c st opts vnode;
+        record step
+      done);
+  { times_; col_of_node; cols; total_newton = !total_newton; worst_newton = !worst_newton }
 
 let times r = Array.copy r.times_
-let voltage r n = Waveform.create ~ts:r.times_ ~vs:r.volts.(n)
+
+let is_recorded r n = n >= 0 && n < Array.length r.col_of_node && r.col_of_node.(n) >= 0
+
+let voltage r n =
+  if not (is_recorded r n) then
+    invalid_arg
+      (Printf.sprintf "Engine.voltage: node %d was not recorded (pass it in ~record_nodes)" n);
+  Waveform.create ~ts:r.times_ ~vs:r.cols.(r.col_of_node.(n))
 
 let voltage_at r n t =
   let w = voltage r n in

@@ -5,7 +5,16 @@
     available for damping comparisons), nonlinear devices are handled with
     Newton iteration inside every timestep, and the linear solve uses a
     banded factorization sized to the netlist's natural bandwidth (dense LU
-    fallback), so uniform-ladder transients cost O(nodes) per step. *)
+    fallback), so uniform-ladder transients cost O(nodes) per step.
+
+    The transient solver is split compile → factor → step: for a fixed
+    [(integration, dt)] the companion conductance stamps are time-invariant,
+    so linear circuits assemble and factor the system matrix once per
+    transient and each step only rebuilds the right-hand side
+    (O(n·bw) instead of O(n·bw²) per step).  Nonlinear circuits pre-stamp
+    the constant linear part once and copy it per Newton iteration.  The
+    fast path produces bit-identical waveforms to per-step reassembly,
+    which remains available via [~reassemble_per_step:true]. *)
 
 module Waveform = Rlc_waveform.Waveform
 
@@ -26,13 +35,35 @@ val default_options : dt:float -> t_stop:float -> options
 
 type result
 
-val transient : ?options:options -> dt:float -> t_stop:float -> Netlist.t -> result
+val transient :
+  ?options:options ->
+  ?record_nodes:Netlist.node list ->
+  ?reassemble_per_step:bool ->
+  dt:float ->
+  t_stop:float ->
+  Netlist.t ->
+  result
 (** Runs DC operating point at [t = 0] then steps to [t_stop].  Either pass
     a full [options] record or just [dt]/[t_stop].  Raises [Failure] if
-    Newton fails to converge at any timestep. *)
+    Newton fails to converge at any timestep.
+
+    [record_nodes] restricts waveform storage to the listed nodes (default:
+    every node).  Recording all nodes costs O(nodes × steps) memory, which
+    dominates for long ladders whose observers only ever read input/near/far;
+    {!voltage} on an unrecorded node raises [Invalid_argument].
+
+    [reassemble_per_step] (default [false]) disables the factor-once fast
+    path and rebuilds + refactors the full system at every step (and every
+    Newton iteration), as the engine did before the compile/factor/step
+    split.  The two paths produce bit-identical waveforms; the slow path is
+    kept as the golden reference for equivalence tests and speedup
+    measurement. *)
 
 val times : result -> float array
 val voltage : result -> Netlist.node -> Waveform.t
+(** Raises [Invalid_argument] if the node was excluded by [record_nodes]. *)
+
+val is_recorded : result -> Netlist.node -> bool
 val voltage_at : result -> Netlist.node -> float -> float
 val newton_total : result -> int
 val newton_worst : result -> int

@@ -132,23 +132,39 @@ let model_only (case : Evaluate.case) =
   Driver_model.model ~cell ~edge:Rlc_waveform.Measure.Rising
     ~input_slew:case.Evaluate.input_slew ~line:case.Evaluate.line ~cl:case.Evaluate.cl ()
 
-let run_sweep ?(dt = 0.5e-12) ?(progress = fun _ _ -> ()) cases =
+let run_sweep ?(dt = 0.5e-12) ?(jobs = 1) ?(progress = fun _ _ -> ()) cases =
+  let module Pool = Rlc_parallel.Pool in
+  let case_arr = Array.of_list cases in
+  Pool.with_pool ~jobs @@ fun pool ->
   (* Cheap pass: model + screen only; expensive reference runs are reserved
-     for the inductive survivors, as in the paper's 165-case figure. *)
-  let inductive =
-    List.filter
-      (fun c ->
+     for the inductive survivors, as in the paper's 165-case figure.  Both
+     passes go through [Pool.map], whose result array is in submission
+     order, so the sweep's points (and hence its statistics) are identical
+     for every [jobs] value.  Cell characterization behind [model_only] is
+     memoized under a mutex, so the workers share one table. *)
+  let screened =
+    Pool.map pool (Array.length case_arr) (fun i ->
+        let c = case_arr.(i) in
         match model_only c with
         | m -> m.Driver_model.screen.Screen.significant
         | exception _ -> false)
-      cases
   in
-  let total = List.length inductive in
-  let points =
-    List.mapi
-      (fun i case ->
+  let inductive =
+    Array.of_seq
+      (Seq.filter_map
+         (fun i -> if screened.(i) then Some case_arr.(i) else None)
+         (Seq.init (Array.length case_arr) Fun.id))
+  in
+  let total = Array.length inductive in
+  (* [progress] sees a monotone completed-count (atomic), not the case
+     index: under parallel execution cases finish out of order, and the
+     callback may fire concurrently from several domains. *)
+  let completed = Atomic.make 0 in
+  let points_arr =
+    Pool.map pool total (fun i ->
+        let case = inductive.(i) in
         let cmp = Evaluate.run ~dt case in
-        progress (i + 1) total;
+        progress (Atomic.fetch_and_add completed 1 + 1) total;
         {
           point_case = case;
           screen = cmp.Evaluate.two_ramp_model.Driver_model.screen;
@@ -161,10 +177,10 @@ let run_sweep ?(dt = 0.5e-12) ?(progress = fun _ _ -> ()) cases =
           flat_delay_err_pct = Evaluate.delay_err_pct cmp cmp.Evaluate.two_ramp_flat;
           flat_slew_err_pct = Evaluate.slew_err_pct cmp cmp.Evaluate.two_ramp_flat;
         })
-      inductive
   in
+  let points = Array.to_list points_arr in
   {
-    n_swept = List.length cases;
+    n_swept = Array.length case_arr;
     n_inductive = List.length points;
     points;
     stretch =

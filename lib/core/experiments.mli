@@ -85,11 +85,18 @@ type sweep_stats = {
 val stats_of_points :
   delay:(sweep_point -> float) -> slew:(sweep_point -> float) -> sweep_point list -> error_stats
 
-val run_sweep : ?dt:float -> ?progress:(int -> int -> unit) -> Evaluate.case list -> sweep_stats
+val run_sweep :
+  ?dt:float -> ?jobs:int -> ?progress:(int -> int -> unit) -> Evaluate.case list -> sweep_stats
 (** Model every case (cheap), keep those the screen marks inductive, then
     reference-simulate and score only those — mirroring the paper's "165
-    inductive cases".  [progress] receives (done, total) after each
-    reference simulation. *)
+    inductive cases".
+
+    [jobs] (default 1) fans both passes out over an OCaml 5 domain pool;
+    results and statistics are identical for every [jobs] value (points stay
+    in case order).  [progress] receives (completed, total) after each
+    reference simulation; the completed count is monotone but, when
+    [jobs > 1], the callback may be invoked concurrently from worker
+    domains, so it must be thread-safe. *)
 
 val paper_fig7_stats : (string * float) list
 (** The paper's published Figure 7 statistics for side-by-side printing

@@ -24,8 +24,12 @@ let simulate ?(dt = 0.25e-12) ?t_stop ?n_segments ~tech ~size ~input_slew ~line 
     match t_stop with Some t -> t | None -> default_t_stop ~t0 ~input_slew ~line
   in
   let far_ref = ref Netlist.ground in
+  (* Only input/near/far are ever read back, so don't store the whole
+     ladder's waveforms. *)
   let r =
-    Testbench.drive ~dt ~t_stop ~t0 ~edge:Testbench.Rise ~tech ~size ~input_slew
+    Testbench.drive ~dt ~t_stop ~t0 ~edge:Testbench.Rise
+      ~record:(fun () -> [ !far_ref ])
+      ~tech ~size ~input_slew
       ~load:(fun nl node -> Ladder.attach_load ?n_segments line ~cl nl node far_ref)
       ()
   in
@@ -52,7 +56,7 @@ let replay_pwl ?(dt = 0.25e-12) ?t_stop ?n_segments ~pwl ~line ~cl () =
   Netlist.force_voltage nl near (Pwl.eval pwl);
   let far_ref = ref Netlist.ground in
   Ladder.attach_load ?n_segments line ~cl nl near far_ref;
-  let r = Engine.transient ~dt ~t_stop nl in
+  let r = Engine.transient ~record_nodes:[ near; !far_ref ] ~dt ~t_stop nl in
   (* Undo the shift: return waveforms on the caller's PWL time axis. *)
   ( Waveform.shift_time (-.shift) (Engine.voltage r near),
     Waveform.shift_time (-.shift) (Engine.voltage r !far_ref) )

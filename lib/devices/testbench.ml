@@ -25,8 +25,8 @@ type edge = Rise | Fall
 let cap_load farads nl node =
   if farads > 0. then Netlist.capacitor nl ~name:"Cload" node Netlist.ground farads
 
-let drive ?(dt = 0.25e-12) ?t_stop ?(t0 = 10e-12) ?(edge = Rise) ~tech ~size ~input_slew ~load ()
-    =
+let drive ?(dt = 0.25e-12) ?t_stop ?(t0 = 10e-12) ?(edge = Rise) ?record ~tech ~size ~input_slew
+    ~load () =
   if input_slew <= 0. then invalid_arg "Testbench.drive: input_slew must be positive";
   let t_stop =
     match t_stop with Some t -> t | None -> t0 +. (4. *. input_slew) +. 1e-9
@@ -45,7 +45,15 @@ let drive ?(dt = 0.25e-12) ?t_stop ?(t0 = 10e-12) ?(edge = Rise) ~tech ~size ~in
   let inv = Inverter.make tech ~size in
   Inverter.add nl inv ~vdd_node ~input ~output;
   load nl output;
-  let engine = Engine.transient ~dt ~t_stop nl in
+  (* The [record] thunk runs after [load] so it can name nodes the load
+     callback created (e.g. the far end of a just-attached ladder).  The
+     bench's own observation nodes are always kept. *)
+  let record_nodes =
+    match record with
+    | None -> None
+    | Some extra -> Some (input :: output :: vdd_node :: extra ())
+  in
+  let engine = Engine.transient ?record_nodes ~dt ~t_stop nl in
   {
     input = Engine.voltage engine input;
     output = Engine.voltage engine output;

@@ -32,6 +32,7 @@ val drive :
   ?t_stop:float ->
   ?t0:float ->
   ?edge:edge ->
+  ?record:(unit -> Netlist.node list) ->
   tech:Tech.t ->
   size:float ->
   input_slew:float ->
@@ -42,7 +43,13 @@ val drive :
     [dt = 0.25 ps], [t0 = 10 ps], [edge = Rise],
     [t_stop = t0 + 4 * input_slew + 1 ns].  The [load] callback attaches
     arbitrary elements to the driver output node (pure capacitance, RLC
-    ladder, ...); pass [fun _ _ -> ()] for an unloaded driver. *)
+    ladder, ...); pass [fun _ _ -> ()] for an unloaded driver.
+
+    [record], evaluated after [load] has attached its elements, names the
+    extra nodes whose waveforms must be stored (input, output, and vdd are
+    always kept).  When omitted every node is recorded — for long ladder
+    loads that is O(nodes × steps) memory, so observers that only read a
+    few probe nodes should pass the list. *)
 
 val cap_load : float -> Netlist.t -> Netlist.node -> unit
 (** Ready-made pure-capacitance load (skipped entirely when the value is

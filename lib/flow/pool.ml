@@ -1,118 +1,1 @@
-type batch = { run : int -> unit; n : int; next : int Atomic.t; remaining : int Atomic.t }
-
-type t = {
-  n_jobs : int;
-  mutex : Mutex.t;
-  cond : Condition.t;
-  mutable batch : (int * batch) option;  (** (sequence number, batch) *)
-  mutable seq : int;
-  mutable stop : bool;
-  mutable domains : unit Domain.t list;
-}
-
-let default_jobs () = Domain.recommended_domain_count ()
-let jobs t = t.n_jobs
-
-(* Pull indices until the batch is exhausted.  The worker that completes the
-   last job broadcasts so the master can collect the batch. *)
-let drain t b =
-  let rec go () =
-    let i = Atomic.fetch_and_add b.next 1 in
-    if i < b.n then begin
-      b.run i;
-      let remaining = Atomic.fetch_and_add b.remaining (-1) - 1 in
-      if remaining = 0 then begin
-        Mutex.lock t.mutex;
-        Condition.broadcast t.cond;
-        Mutex.unlock t.mutex
-      end;
-      go ()
-    end
-  in
-  go ()
-
-let worker t () =
-  let rec loop last_seq =
-    Mutex.lock t.mutex;
-    let rec wait () =
-      if t.stop then None
-      else
-        match t.batch with
-        | Some (seq, b) when seq <> last_seq -> Some (seq, b)
-        | _ ->
-            Condition.wait t.cond t.mutex;
-            wait ()
-    in
-    match wait () with
-    | None -> Mutex.unlock t.mutex
-    | Some (seq, b) ->
-        Mutex.unlock t.mutex;
-        drain t b;
-        loop seq
-  in
-  loop 0
-
-let create ~jobs =
-  let n_jobs = Int.max 1 jobs in
-  let t =
-    {
-      n_jobs;
-      mutex = Mutex.create ();
-      cond = Condition.create ();
-      batch = None;
-      seq = 0;
-      stop = false;
-      domains = [];
-    }
-  in
-  t.domains <- List.init (n_jobs - 1) (fun _ -> Domain.spawn (worker t));
-  t
-
-let map t n f =
-  if n = 0 then [||]
-  else begin
-    let results = Array.make n None in
-    let errors = Array.make n None in
-    let run i =
-      match f i with
-      | v -> results.(i) <- Some v
-      | exception e -> errors.(i) <- Some e
-    in
-    if t.n_jobs = 1 || n = 1 then
-      for i = 0 to n - 1 do
-        run i
-      done
-    else begin
-      let b = { run; n; next = Atomic.make 0; remaining = Atomic.make n } in
-      Mutex.lock t.mutex;
-      t.seq <- t.seq + 1;
-      t.batch <- Some (t.seq, b);
-      Condition.broadcast t.cond;
-      Mutex.unlock t.mutex;
-      drain t b;
-      Mutex.lock t.mutex;
-      while Atomic.get b.remaining > 0 do
-        Condition.wait t.cond t.mutex
-      done;
-      t.batch <- None;
-      Mutex.unlock t.mutex
-    end;
-    Array.iter (function Some e -> raise e | None -> ()) errors;
-    Array.map Option.get results
-  end
-
-let run t thunks =
-  let arr = Array.of_list thunks in
-  ignore (map t (Array.length arr) (fun i -> arr.(i) ()))
-
-let shutdown t =
-  Mutex.lock t.mutex;
-  t.stop <- true;
-  Condition.broadcast t.cond;
-  Mutex.unlock t.mutex;
-  List.iter Domain.join t.domains;
-  t.domains <- []
-
-let with_pool ~jobs f =
-  let t = create ~jobs in
-  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+include Rlc_parallel.Pool

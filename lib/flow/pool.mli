@@ -1,35 +1,9 @@
-(** A persistent OCaml 5 [Domain] worker pool for levelized fan-out.
+(** Re-export of {!Rlc_parallel.Pool}.
 
-    The pool is created once per flow run and fed one batch per timing
-    level; workers pull job indices from an atomic counter, so scheduling is
-    work-stealing-flat and the result array is always in submission order
-    regardless of completion order (determinism of the flow reports does not
-    depend on the pool).  The calling domain participates in every batch, so
-    [create ~jobs:n] spawns [n - 1] domains and [jobs = 1] spawns none and
-    runs batches inline. *)
+    The domain pool started life inside the flow; it now lives in
+    [rlc_parallel] so lower layers (the {!Rlc_ceff.Experiments} sweep) can
+    fan out over the same scheduler without depending on the flow.  This
+    alias keeps [Rlc_flow.Pool] as the stable name flow users already
+    import. *)
 
-type t
-
-val default_jobs : unit -> int
-(** [Domain.recommended_domain_count ()]. *)
-
-val create : jobs:int -> t
-(** [jobs >= 1] is clamped from below. *)
-
-val jobs : t -> int
-
-val map : t -> int -> (int -> 'a) -> 'a array
-(** [map t n f] computes [[| f 0; ...; f (n-1) |]], running the calls on the
-    pool.  [f] must be safe to call from any domain.  If any call raises,
-    the batch still drains and the exception of the {e lowest index} is
-    re-raised (deterministic error reporting under parallel execution). *)
-
-val run : t -> (unit -> unit) list -> unit
-(** Convenience: run thunks as one batch. *)
-
-val shutdown : t -> unit
-(** Join all worker domains.  The pool must not be used afterwards;
-    [shutdown] is idempotent. *)
-
-val with_pool : jobs:int -> (t -> 'a) -> 'a
-(** [create], run, [shutdown] (also on exceptions). *)
+include module type of Rlc_parallel.Pool

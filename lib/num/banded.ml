@@ -30,6 +30,10 @@ let add t i j v =
 let clear t = Array.fill t.data 0 (Array.length t.data) 0.
 let copy t = { t with data = Array.copy t.data }
 
+let blit ~src ~dst =
+  if src.n <> dst.n || src.bw <> dst.bw then invalid_arg "Banded.blit: shape mismatch";
+  Array.blit src.data 0 dst.data 0 (Array.length src.data)
+
 let mat_vec t v =
   Array.init t.n (fun i ->
       let acc = ref 0. in
@@ -38,29 +42,62 @@ let mat_vec t v =
       done;
       !acc)
 
-let solve_in_place t b =
+(* Elimination overwrites the strict lower band with the multipliers, so the
+   factorization can be replayed against many right-hand sides.  No pivoting:
+   see the .mli for why companion-model matrices permit it.
+
+   Both hot loops index [data] directly — row i's entry (i, j) lives at
+   [i*w + j - i + bw] with [w = 2*bw + 1] — because going through
+   [get]/[set] costs a bounds check and an option allocation per entry,
+   which dominates the per-step solve on small bandwidths.  The unchecked
+   accesses are safe: every loop keeps [|i - j| <= bw] and [i, j < n], so
+   the flat index stays inside row i's [w]-wide segment. *)
+let factor t =
   let n = t.n and bw = t.bw in
-  if Array.length b <> n then invalid_arg "Banded.solve: size mismatch";
+  let w = (2 * bw) + 1 in
+  let data = t.data in
   for k = 0 to n - 1 do
-    let pivot = get t k k in
+    let krow = (k * w) + bw - k in
+    let pivot = Array.unsafe_get data (krow + k) in
     if Float.abs pivot < 1e-300 then raise (Singular k);
     for i = k + 1 to Int.min (n - 1) (k + bw) do
-      let f = get t i k /. pivot in
-      if f <> 0. then begin
+      let irow = (i * w) + bw - i in
+      let f = Array.unsafe_get data (irow + k) /. pivot in
+      Array.unsafe_set data (irow + k) f;
+      if f <> 0. then
         for j = k + 1 to Int.min (n - 1) (k + bw) do
-          set t i j (get t i j -. (f *. get t k j))
-        done;
-        b.(i) <- b.(i) -. (f *. b.(k))
-      end
+          Array.unsafe_set data (irow + j)
+            (Array.unsafe_get data (irow + j) -. (f *. Array.unsafe_get data (krow + j)))
+        done
+    done
+  done
+
+let solve_factored t b =
+  let n = t.n and bw = t.bw in
+  if Array.length b <> n then invalid_arg "Banded.solve_factored: size mismatch";
+  let w = (2 * bw) + 1 in
+  let data = t.data in
+  (* Forward: apply the stored multipliers (unit lower triangle). *)
+  for k = 0 to n - 1 do
+    let bk = Array.unsafe_get b k in
+    for i = k + 1 to Int.min (n - 1) (k + bw) do
+      let f = Array.unsafe_get data ((i * w) + bw - i + k) in
+      if f <> 0. then Array.unsafe_set b i (Array.unsafe_get b i -. (f *. bk))
     done
   done;
   for i = n - 1 downto 0 do
-    let acc = ref b.(i) in
+    let irow = (i * w) + bw - i in
+    let acc = ref (Array.unsafe_get b i) in
     for j = i + 1 to Int.min (n - 1) (i + bw) do
-      acc := !acc -. (get t i j *. b.(j))
+      acc := !acc -. (Array.unsafe_get data (irow + j) *. Array.unsafe_get b j)
     done;
-    b.(i) <- !acc /. get t i i
+    Array.unsafe_set b i (!acc /. Array.unsafe_get data (irow + i))
   done
+
+let solve_in_place t b =
+  if Array.length b <> t.n then invalid_arg "Banded.solve: size mismatch";
+  factor t;
+  solve_factored t b
 
 let solve t b =
   let t = copy t and x = Array.copy b in

@@ -25,11 +25,28 @@ val add : t -> int -> int -> float -> unit
 
 val clear : t -> unit
 val copy : t -> t
+
+val blit : src:t -> dst:t -> unit
+(** Copy [src]'s entries into [dst] without allocating; dimension and
+    bandwidth must match. *)
+
 val mat_vec : t -> float array -> float array
+
+val factor : t -> unit
+(** Destructive in-place LU: the strict lower band is overwritten with the
+    elimination multipliers so {!solve_factored} can replay the
+    factorization against any number of right-hand sides (the matrix must
+    not be re-stamped afterwards).  Raises {!Singular} on a vanishing
+    pivot. *)
+
+val solve_factored : t -> float array -> unit
+(** Overwrite the right-hand side with the solution, using a matrix already
+    processed by {!factor}.  O(n·bw) per call versus O(n·bw²) for a fresh
+    factorization — the transient engine's factor-once fast path. *)
 
 val solve_in_place : t -> float array -> unit
 (** Factor destructively and overwrite the right-hand side with the
-    solution. *)
+    solution ({!factor} followed by {!solve_factored}). *)
 
 val solve : t -> float array -> float array
 

@@ -23,10 +23,9 @@ let transpose m =
   let r, c = dim m in
   Array.init c (fun j -> Array.init r (fun i -> m.(i).(j)))
 
-let lu_factor ?(pivot_tol = 1e-13) a =
-  let n, c = dim a in
+let lu_factor_in_place ?(pivot_tol = 1e-13) m =
+  let n, c = dim m in
   if n <> c then invalid_arg "Linalg.lu_factor: non-square matrix";
-  let m = copy_mat a in
   let perm = Array.init n Fun.id in
   let sign = ref 1. in
   for k = 0 to n - 1 do
@@ -56,10 +55,16 @@ let lu_factor ?(pivot_tol = 1e-13) a =
   done;
   { lu = m; perm; sign = !sign }
 
-let lu_solve { lu; perm; _ } b =
+let lu_factor ?pivot_tol a = lu_factor_in_place ?pivot_tol (copy_mat a)
+
+let lu_solve_into { lu; perm; _ } b x =
   let n = Array.length lu in
-  if Array.length b <> n then invalid_arg "Linalg.lu_solve: size mismatch";
-  let x = Array.init n (fun i -> b.(perm.(i))) in
+  if Array.length b <> n || Array.length x <> n then
+    invalid_arg "Linalg.lu_solve: size mismatch";
+  if b == x then invalid_arg "Linalg.lu_solve_into: aliased arrays";
+  for i = 0 to n - 1 do
+    x.(i) <- b.(perm.(i))
+  done;
   (* Forward substitution (unit lower triangle). *)
   for i = 1 to n - 1 do
     for j = 0 to i - 1 do
@@ -72,7 +77,11 @@ let lu_solve { lu; perm; _ } b =
       x.(i) <- x.(i) -. (lu.(i).(j) *. x.(j))
     done;
     x.(i) <- x.(i) /. lu.(i).(i)
-  done;
+  done
+
+let lu_solve lu b =
+  let x = Array.make (Array.length b) 0. in
+  lu_solve_into lu b x;
   x
 
 let solve a b = lu_solve (lu_factor a) b

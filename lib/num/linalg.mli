@@ -23,7 +23,17 @@ val lu_factor : ?pivot_tol:float -> mat -> lu
 (** Factor a copy of the matrix; [pivot_tol] (default [1e-13]) is the
     smallest acceptable absolute pivot. *)
 
+val lu_factor_in_place : ?pivot_tol:float -> mat -> lu
+(** Like {!lu_factor} but destroys (and shares storage with) its argument —
+    for callers that already hold a scratch copy, e.g. the engine's Newton
+    iteration matrix. *)
+
 val lu_solve : lu -> float array -> float array
+
+val lu_solve_into : lu -> float array -> float array -> unit
+(** [lu_solve_into lu b x] solves into the preallocated [x] without
+    allocating; [b] is left intact and must not alias [x]. *)
+
 val solve : mat -> float array -> float array
 (** [solve a b] factors and solves in one shot. *)
 

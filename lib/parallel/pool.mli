@@ -1,0 +1,36 @@
+(** A persistent OCaml 5 [Domain] worker pool for batch fan-out.
+
+    The pool is created once per run (a flow run feeds it one batch per
+    timing level, the experiment sweep one batch per pass); workers pull
+    job indices from an atomic counter, so scheduling is
+    work-stealing-flat and the result array is always in submission order
+    regardless of completion order (determinism of the flow reports does not
+    depend on the pool).  The calling domain participates in every batch, so
+    [create ~jobs:n] spawns [n - 1] domains and [jobs = 1] spawns none and
+    runs batches inline. *)
+
+type t
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()]. *)
+
+val create : jobs:int -> t
+(** [jobs >= 1] is clamped from below. *)
+
+val jobs : t -> int
+
+val map : t -> int -> (int -> 'a) -> 'a array
+(** [map t n f] computes [[| f 0; ...; f (n-1) |]], running the calls on the
+    pool.  [f] must be safe to call from any domain.  If any call raises,
+    the batch still drains and the exception of the {e lowest index} is
+    re-raised (deterministic error reporting under parallel execution). *)
+
+val run : t -> (unit -> unit) list -> unit
+(** Convenience: run thunks as one batch. *)
+
+val shutdown : t -> unit
+(** Join all worker domains.  The pool must not be used afterwards;
+    [shutdown] is idempotent. *)
+
+val with_pool : jobs:int -> (t -> 'a) -> 'a
+(** [create], run, [shutdown] (also on exceptions). *)

@@ -430,6 +430,47 @@ let prop_far_end_tracks_reference_on_screened_cases =
       in
       Float.abs err < 15.)
 
+(* --------------------------------------------------------------- sweep *)
+
+let test_sweep_jobs_deterministic () =
+  (* run_sweep must produce identical points and statistics for every jobs
+     value, and the parallel progress callback must deliver each completed
+     count exactly once. *)
+  let cases =
+    Evaluate.case ~label:"short" ~length_mm:1. ~width_um:0.8 ~size:25. ~input_slew_ps:200. ()
+    :: List.map Experiments.case_of_row (List.filteri (fun i _ -> i < 4) Experiments.table1)
+  in
+  let s1 = Experiments.run_sweep ~dt:1e-12 ~jobs:1 cases in
+  let seen = ref [] in
+  let mu = Mutex.create () in
+  let s4 =
+    Experiments.run_sweep ~dt:1e-12 ~jobs:4
+      ~progress:(fun k _n ->
+        Mutex.lock mu;
+        seen := k :: !seen;
+        Mutex.unlock mu)
+      cases
+  in
+  Alcotest.(check int) "n_swept" s1.Experiments.n_swept s4.Experiments.n_swept;
+  Alcotest.(check int) "n_inductive" s1.Experiments.n_inductive s4.Experiments.n_inductive;
+  Alcotest.(check bool) "some case was inductive" true (s1.Experiments.n_inductive > 0);
+  Alcotest.(check bool) "stretch stats identical" true
+    (s1.Experiments.stretch = s4.Experiments.stretch);
+  Alcotest.(check bool) "flat stats identical" true (s1.Experiments.flat = s4.Experiments.flat);
+  let key p =
+    ( p.Experiments.ref_delay,
+      p.Experiments.ref_slew,
+      p.Experiments.model_delay,
+      p.Experiments.model_slew,
+      p.Experiments.delay_err_pct,
+      p.Experiments.slew_err_pct )
+  in
+  Alcotest.(check bool) "points identical and in case order" true
+    (List.map key s1.Experiments.points = List.map key s4.Experiments.points);
+  let expected = List.init s4.Experiments.n_inductive (fun i -> i + 1) in
+  Alcotest.(check (list int)) "progress counts each completion once" expected
+    (List.sort compare !seen)
+
 let () =
   let q = QCheck_alcotest.to_alcotest in
   Alcotest.run "rlc_ceff"
@@ -479,4 +520,6 @@ let () =
           Alcotest.test_case "far-end replay" `Slow test_far_end_replay;
           q prop_far_end_tracks_reference_on_screened_cases;
         ] );
+      ( "sweep",
+        [ Alcotest.test_case "jobs-parallel sweep deterministic" `Slow test_sweep_jobs_deterministic ] );
     ]

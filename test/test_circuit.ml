@@ -194,6 +194,135 @@ let test_diode_clamp_dc () =
   check_float ~eps:1e-9 "KCL balance" 0. (i_r -. i_d);
   Alcotest.(check bool) "forward drop plausible" true (v.(out) > 0.4 && v.(out) < 0.75)
 
+(* -------------------------------------------------------- factor-once *)
+
+(* The factor-once fast path (assemble + factor the linear system once, then
+   only rebuild the RHS) must reproduce the per-step reassembly path sample
+   for sample.  One builder per stamp class, checked under both
+   integrators. *)
+
+let build_rc_ladder () =
+  let nl = Netlist.create () in
+  let src = Netlist.node nl "src" in
+  Netlist.force_voltage nl src (step 1.);
+  let prev = ref src and probes = ref [ src ] in
+  for i = 1 to 20 do
+    let nd = Netlist.node nl (Printf.sprintf "n%d" i) in
+    Netlist.resistor nl !prev nd 50.;
+    Netlist.capacitor nl nd Netlist.ground 20e-15;
+    prev := nd;
+    probes := nd :: !probes
+  done;
+  (nl, !probes)
+
+let build_rlc_ladder () =
+  let nl = Netlist.create () in
+  let src = Netlist.node nl "src" in
+  Netlist.force_voltage nl src (step 1.);
+  let prev = ref src and probes = ref [ src ] in
+  for i = 1 to 12 do
+    let mid = Netlist.node nl (Printf.sprintf "m%d" i) in
+    let nd = Netlist.node nl (Printf.sprintf "n%d" i) in
+    Netlist.resistor nl !prev mid 5.;
+    Netlist.inductor nl mid nd 0.4e-9;
+    Netlist.capacitor nl nd Netlist.ground 80e-15;
+    prev := nd;
+    probes := nd :: mid :: !probes
+  done;
+  (nl, !probes)
+
+let build_coupled_pair () =
+  (* Aggressor drives a coupled segment; victim closed through a resistor so
+     mutual inductance induces observable noise. *)
+  let nl = Netlist.create () in
+  let src = Netlist.node nl "src" in
+  Netlist.force_voltage nl src (step 1.);
+  let a1 = Netlist.node nl "a1" and a2 = Netlist.node nl "a2" in
+  let b1 = Netlist.node nl "b1" and b2 = Netlist.node nl "b2" in
+  Netlist.resistor nl src a1 25.;
+  Netlist.coupled_pair nl (a1, a2) 2e-9 (b1, b2) 2e-9 ~k:0.5;
+  Netlist.capacitor nl a2 Netlist.ground 0.2e-12;
+  Netlist.resistor nl b1 Netlist.ground 50.;
+  Netlist.capacitor nl b2 Netlist.ground 0.2e-12;
+  Netlist.resistor nl b2 Netlist.ground 1e3;
+  (nl, [ a1; a2; b1; b2 ])
+
+let build_nonlinear_clamp () =
+  (* Step through a resistor into a capacitor clamped by a diode: exercises
+     the Newton path (several iterations per step) on top of linear
+     stamps. *)
+  let is_ = 1e-14 and vt = 0.02585 in
+  let nl = Netlist.create () in
+  let src = Netlist.node nl "src" and out = Netlist.node nl "out" in
+  Netlist.force_voltage nl src (step 1.);
+  Netlist.resistor nl src out 1e3;
+  Netlist.capacitor nl out Netlist.ground 0.1e-12;
+  Netlist.nonlinear nl
+    {
+      Netlist.nl_name = "diode";
+      nl_nodes = [| out |];
+      nl_eval =
+        (fun v ->
+          let x = Float.min (v.(0) /. vt) 60. in
+          let e = Float.exp x in
+          ([| is_ *. (e -. 1.) |], [| [| is_ *. e /. vt |] |]));
+    };
+  (nl, [ src; out ])
+
+let check_factored_equivalence name build ~dt ~t_stop () =
+  List.iter
+    (fun (tag, integration) ->
+      let nl, probes = build () in
+      let options = { (Engine.default_options ~dt ~t_stop) with Engine.integration } in
+      let fast = Engine.transient ~options ~dt ~t_stop nl in
+      let naive = Engine.transient ~options ~reassemble_per_step:true ~dt ~t_stop nl in
+      Alcotest.(check int)
+        (Printf.sprintf "%s/%s newton total" name tag)
+        (Engine.newton_total naive) (Engine.newton_total fast);
+      List.iter
+        (fun node ->
+          let vf = Waveform.values (Engine.voltage fast node) in
+          let vn = Waveform.values (Engine.voltage naive node) in
+          Array.iteri
+            (fun i v ->
+              if v <> vn.(i) then
+                Alcotest.failf "%s/%s: node %s step %d: fast %.17g <> naive %.17g" name tag
+                  (Netlist.node_name nl node) i v vn.(i))
+            vf)
+        probes)
+    [ ("trap", Engine.Trapezoidal); ("be", Engine.Backward_euler) ]
+
+let test_equiv_rc () = check_factored_equivalence "rc-ladder" build_rc_ladder ~dt:1e-12 ~t_stop:0.5e-9 ()
+let test_equiv_rlc () = check_factored_equivalence "rlc-ladder" build_rlc_ladder ~dt:0.5e-12 ~t_stop:0.5e-9 ()
+
+let test_equiv_coupled () =
+  check_factored_equivalence "coupled-pair" build_coupled_pair ~dt:1e-12 ~t_stop:1e-9 ()
+
+let test_equiv_nonlinear () =
+  check_factored_equivalence "nonlinear-clamp" build_nonlinear_clamp ~dt:1e-12 ~t_stop:0.5e-9 ()
+
+let test_record_nodes () =
+  let nl, probes = build_rc_ladder () in
+  let out = List.hd probes in
+  let some_mid = List.nth probes 10 in
+  let full = Engine.transient ~dt:1e-12 ~t_stop:0.2e-9 nl in
+  let sel = Engine.transient ~record_nodes:[ out ] ~dt:1e-12 ~t_stop:0.2e-9 nl in
+  Alcotest.(check bool) "probe recorded" true (Engine.is_recorded sel out);
+  Alcotest.(check bool) "other node dropped" false (Engine.is_recorded sel some_mid);
+  let vf = Waveform.values (Engine.voltage full out) in
+  let vs = Waveform.values (Engine.voltage sel out) in
+  Array.iteri
+    (fun i v ->
+      if v <> vs.(i) then
+        Alcotest.failf "selective recording changed the waveform at step %d" i)
+    vf;
+  (match Engine.voltage sel some_mid with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "voltage on an unrecorded node must raise");
+  match Engine.transient ~record_nodes:[ 9999 ] ~dt:1e-12 ~t_stop:0.1e-9 nl with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "out-of-range record node must be rejected"
+
 (* ----------------------------------------------------------- netlist *)
 
 let test_floating_node_rejected () =
@@ -307,6 +436,14 @@ let () =
         [
           Alcotest.test_case "nonlinear resistor = linear" `Quick test_nonlinear_matches_linear;
           Alcotest.test_case "diode clamp KCL" `Quick test_diode_clamp_dc;
+        ] );
+      ( "factor-once",
+        [
+          Alcotest.test_case "RC ladder fast = per-step reassembly" `Quick test_equiv_rc;
+          Alcotest.test_case "RLC ladder fast = per-step reassembly" `Quick test_equiv_rlc;
+          Alcotest.test_case "coupled pair fast = per-step reassembly" `Quick test_equiv_coupled;
+          Alcotest.test_case "nonlinear fast = per-step reassembly" `Quick test_equiv_nonlinear;
+          Alcotest.test_case "selective node recording" `Quick test_record_nodes;
         ] );
       ( "netlist",
         [
