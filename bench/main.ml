@@ -701,6 +701,12 @@ type engine_row = {
   er_pre_pr_ns : float;
   er_dv_naive : float;
   er_dv_pre_pr : float;
+  (* Stage metrics from one instrumented run (Rlc_obs sink): where a single
+     transient spends its time, and how much Newton work it does. *)
+  er_compile_s : float;
+  er_factor_s : float;
+  er_step_loop_s : float;
+  er_newton_iters : int;
 }
 
 let engine_bench ?(jobs = 1) ?(smoke = false) ?json () =
@@ -722,6 +728,18 @@ let engine_bench ?(jobs = 1) ?(smoke = false) ?json () =
     List.map
       (fun (name, (nl, probe), dt, t_stop) ->
         let fast = Engine.transient ~dt ~t_stop nl in
+        (* One instrumented run per circuit: the Rlc_obs spans split the wall
+           time into compile / factor / step-loop, and the counters give the
+           Newton iteration budget.  Timed runs below stay uninstrumented
+           (Obs.null) so the ns/run numbers are untouched. *)
+        let stage_obs = Rlc_obs.Obs.create () in
+        ignore (Engine.transient ~obs:stage_obs ~dt ~t_stop nl);
+        let stage_m = Rlc_obs.Obs.snapshot stage_obs in
+        let span name = snd (Rlc_obs.Obs.span_total stage_m name) in
+        let compile_s = span "engine.compile" in
+        let factor_s = span "engine.factor" in
+        let step_loop_s = span "engine.step_loop" in
+        let newton_iters = Rlc_obs.Obs.counter stage_m "engine.newton_iters" in
         let naive = Engine.transient ~reassemble_per_step:true ~dt ~t_stop nl in
         let pre = Pre_pr_engine.transient ~dt ~t_stop nl in
         let dv_naive = max_dv (Engine.voltage fast probe) (Engine.voltage naive probe) in
@@ -744,6 +762,9 @@ let engine_bench ?(jobs = 1) ?(smoke = false) ?json () =
           (1e9 *. t_fast) (1e9 *. t_naive) (1e9 *. t_pre) (t_naive /. t_fast) (t_pre /. t_fast)
           (float_of_int steps /. t_fast);
         Format.printf "%-26s max |dv| vs naive %.3e V, vs prePR %.3e V@." "" dv_naive dv_pre;
+        Format.printf
+          "%-26s stages: compile %.0f us, factor %.0f us, step loop %.0f us (%d Newton iters)@."
+          "" (1e6 *. compile_s) (1e6 *. factor_s) (1e6 *. step_loop_s) newton_iters;
         {
           er_name = name;
           er_steps = steps;
@@ -752,6 +773,10 @@ let engine_bench ?(jobs = 1) ?(smoke = false) ?json () =
           er_pre_pr_ns = 1e9 *. t_pre;
           er_dv_naive = dv_naive;
           er_dv_pre_pr = dv_pre;
+          er_compile_s = compile_s;
+          er_factor_s = factor_s;
+          er_step_loop_s = step_loop_s;
+          er_newton_iters = newton_iters;
         })
       circuits
   in
@@ -844,12 +869,17 @@ let engine_bench ?(jobs = 1) ?(smoke = false) ?json () =
             "    {\"name\": \"%s\", \"steps\": %d, \"fast_ns_per_run\": %s, \
              \"naive_ns_per_run\": %s, \"pre_pr_ns_per_run\": %s, \"speedup_vs_naive\": %s, \
              \"speedup_vs_pre_pr\": %s, \"steps_per_sec_fast\": %s, \"max_dv_vs_naive_V\": %s, \
-             \"max_dv_vs_pre_pr_V\": %s}%s\n"
+             \"max_dv_vs_pre_pr_V\": %s, \"stages\": {\"compile_us\": %s, \"factor_us\": %s, \
+             \"step_loop_us\": %s, \"newton_iters\": %d}}%s\n"
             r.er_name r.er_steps (fl r.er_fast_ns) (fl r.er_naive_ns) (fl r.er_pre_pr_ns)
             (fl (r.er_naive_ns /. r.er_fast_ns))
             (fl (r.er_pre_pr_ns /. r.er_fast_ns))
             (fl (float_of_int r.er_steps /. (r.er_fast_ns *. 1e-9)))
             (fl r.er_dv_naive) (fl r.er_dv_pre_pr)
+            (fl (1e6 *. r.er_compile_s))
+            (fl (1e6 *. r.er_factor_s))
+            (fl (1e6 *. r.er_step_loop_s))
+            r.er_newton_iters
             (if i = List.length rows - 1 then "" else ","))
         rows;
       Printf.bprintf buf "  ],\n";

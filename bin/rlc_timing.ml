@@ -36,6 +36,46 @@ let make_case ~label length width size slew cl =
   Evaluate.case ~label ~length_mm:length ~width_um:width ~size ~input_slew_ps:slew
     ?cl:(Option.map Rlc_num.Units.ff cl) ()
 
+let read_file file =
+  let ic = open_in_bin file in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path content =
+  let oc = open_out_bin path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc content)
+
+(* -------------------------------------------------- instrumentation args *)
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Write a Chrome trace-event JSON of instrumentation spans (open in chrome://tracing \
+           or Perfetto).  Telemetry is a sidecar file; report payloads are unaffected.")
+
+let metrics_json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-json" ] ~docv:"FILE"
+        ~doc:"Write an instrumentation metrics summary (counters, histograms, span totals).")
+
+(* The sink is enabled only when an exporter will consume it, so default
+   runs keep the zero-overhead disabled path. *)
+let obs_of ~trace ~metrics_json =
+  if trace <> None || metrics_json <> None then Rlc_obs.Obs.create () else Rlc_obs.Obs.null
+
+let export_obs obs ~trace ~metrics_json =
+  if Rlc_obs.Obs.enabled obs then begin
+    let m = Rlc_obs.Obs.snapshot obs in
+    Option.iter (fun path -> write_file path (Rlc_obs.Export.chrome_trace m)) trace;
+    Option.iter (fun path -> write_file path (Rlc_obs.Export.metrics_json m)) metrics_json
+  end
+
 (* ------------------------------------------------------------ analyze *)
 
 let analyze_cmd =
@@ -125,7 +165,7 @@ let characterize_cmd =
 (* -------------------------------------------------------------- sweep *)
 
 let sweep_cmd =
-  let run dt limit jobs =
+  let run dt limit jobs trace metrics_json =
     let cases = Experiments.sweep_cases () in
     let cases =
       match limit with
@@ -133,11 +173,19 @@ let sweep_cmd =
       | None -> cases
     in
     let jobs = match jobs with Some j -> j | None -> Rlc_flow.Pool.default_jobs () in
+    let obs = obs_of ~trace ~metrics_json in
+    (* The reference-pass total (inductive survivor count) is only known
+       after screening, so the meter learns it from the first callback. *)
+    let meter = Rlc_obs.Progress.create ~label:"  sweep" ~total:0 () in
     let stats =
-      Experiments.run_sweep ~dt:(Rlc_num.Units.ps dt) ~jobs
-        ~progress:(fun k n -> if k mod 25 = 0 || k = n then Printf.eprintf "  %d/%d\n%!" k n)
+      Experiments.run_sweep ~obs ~dt:(Rlc_num.Units.ps dt) ~jobs
+        ~progress:(fun k n ->
+          Rlc_obs.Progress.set_total meter n;
+          Rlc_obs.Progress.report meter k)
         cases
     in
+    Rlc_obs.Progress.finish meter;
+    export_obs obs ~trace ~metrics_json;
     Format.printf "swept %d cases; %d inductive@." stats.Experiments.n_swept
       stats.Experiments.n_inductive;
     let show tag (e : Experiments.error_stats) =
@@ -169,22 +217,13 @@ let sweep_cmd =
   in
   Cmd.v
     (Cmd.info "sweep" ~doc:"Run the Figure-7 style sweep and print error statistics.")
-    Term.(const run $ dt_arg $ limit_arg $ jobs_arg)
+    Term.(const run $ dt_arg $ limit_arg $ jobs_arg $ trace_arg $ metrics_json_arg)
 
 (* --------------------------------------------------------------- flow *)
 
-let read_file file =
-  let ic = open_in_bin file in
-  Fun.protect
-    ~finally:(fun () -> close_in ic)
-    (fun () -> really_input_string ic (in_channel_length ic))
-
-let write_file path content =
-  let oc = open_out_bin path in
-  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc content)
-
 let flow_cmd =
-  let run spef_file spec_file jobs json csv size slew no_cache dt required verbose =
+  let run spef_file spec_file jobs json csv size slew no_cache dt required verbose trace
+      metrics_json =
     if verbose then begin
       Logs.set_reporter (Logs.format_reporter ());
       Logs.set_level (Some Logs.Info)
@@ -210,14 +249,42 @@ let flow_cmd =
       | None -> Ok (Rlc_flow.Spec.default_of_spef ~size ~slew:(Rlc_num.Units.ps slew) spef)
     in
     let* design = Rlc_flow.Design.ingest ~spef ~spec () in
-    let result =
-      Rlc_flow.Flow.run ~dt:(Rlc_num.Units.ps dt) ?jobs ~use_cache:(not no_cache) design
+    let obs = obs_of ~trace ~metrics_json in
+    (* Level-grained progress: a plain line per level on a non-TTY stderr
+       (every:1), an in-place redraw on a terminal. *)
+    let progress =
+      if verbose then
+        Some
+          (Rlc_obs.Progress.create ~every:1 ~label:"  flow nets"
+             ~total:(Array.length design.Rlc_flow.Design.nets)
+             ())
+      else None
     in
+    let result =
+      Rlc_flow.Flow.run ~obs ?progress ~dt:(Rlc_num.Units.ps dt) ?jobs
+        ~use_cache:(not no_cache) design
+    in
+    Option.iter Rlc_obs.Progress.finish progress;
+    export_obs obs ~trace ~metrics_json;
     let required = Option.map Rlc_num.Units.ps required in
     Format.printf "%a" (fun fmt -> Rlc_flow.Report.summary ?required fmt) result;
     Option.iter (fun path -> write_file path (Rlc_flow.Report.json_string ?required result)) json;
     Option.iter (fun path -> write_file path (Rlc_flow.Report.csv_string result)) csv;
-    0
+    (* Gate CI on timing: nonzero exit when the worst arrival violates the
+       required time. *)
+    let violated =
+      match required with
+      | None -> false
+      | Some req -> (
+          match List.rev (Rlc_flow.Flow.critical_path result) with
+          | last :: _ -> req -. last.Rlc_flow.Flow.arrival < 0.
+          | [] -> false)
+    in
+    if violated then begin
+      Format.eprintf "timing violated: worst slack is negative@.";
+      1
+    end
+    else 0
   in
   let spef_arg =
     Arg.(
@@ -270,7 +337,8 @@ let flow_cmd =
           solves over a domain pool, slew propagation between levels, JSON/CSV reports.")
     Term.(
       const run $ spef_arg $ spec_arg $ jobs_arg $ json_arg $ csv_arg $ default_size_arg
-      $ slew_arg $ no_cache_arg $ dt_arg $ required_arg $ verbose_arg)
+      $ slew_arg $ no_cache_arg $ dt_arg $ required_arg $ verbose_arg $ trace_arg
+      $ metrics_json_arg)
 
 (* --------------------------------------------------------------- spef *)
 

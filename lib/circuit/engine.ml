@@ -1,5 +1,6 @@
 open Rlc_num
 module Waveform = Rlc_waveform.Waveform
+module Obs = Rlc_obs.Obs
 
 type integration = Trapezoidal | Backward_euler
 
@@ -760,15 +761,16 @@ let commit_step c st opts vnode =
     Array.blit v_new 0 k.v_prev_k 0 nb
   done
 
-let transient ?options ?record_nodes ?(reassemble_per_step = false) ~dt ~t_stop netlist =
+let transient ?(obs = Obs.null) ?options ?record_nodes ?(reassemble_per_step = false) ~dt
+    ~t_stop netlist =
   let opts = match options with Some o -> o | None -> default_options ~dt ~t_stop in
   let dt = opts.dt and t_stop = opts.t_stop in
   if dt <= 0. || t_stop <= 0. then invalid_arg "Engine.transient: dt and t_stop must be positive";
-  let c = compile netlist in
+  let c = Obs.time obs "engine.compile" (fun () -> compile netlist) in
   (* Tiny epsilon guards float-division noise (1e-9 / 10e-12 is slightly
      above 100) from adding a spurious extra step. *)
   let n_steps = Int.max 1 (int_of_float (Float.ceil ((t_stop /. dt) -. 1e-9))) in
-  let vnode = dc_solve ~t:0. c opts in
+  let vnode = Obs.time obs "engine.dc_solve" (fun () -> dc_solve ~t:0. c opts) in
   (* Initialize companion states from the DC point. *)
   Array.iter
     (fun (cc : companion) ->
@@ -827,8 +829,9 @@ let transient ?options ?record_nodes ?(reassemble_per_step = false) ~dt ~t_stop 
     done
   in
   record 0;
-  let st = make_transient_state c opts in
+  let st = Obs.time obs "engine.factor" (fun () -> make_transient_state c opts) in
   let total_newton = ref 0 and worst_newton = ref 0 in
+  let step_t0 = Obs.start obs in
   (match (st.linear_fact, reassemble_per_step) with
   | Some f, false ->
       (* Linear fast path, fully specialized: one factored solve per step,
@@ -872,6 +875,25 @@ let transient ?options ?record_nodes ?(reassemble_per_step = false) ~dt ~t_stop 
         commit_step c st opts vnode;
         record step
       done);
+  if Obs.enabled obs then begin
+    let path =
+      match (st.linear_fact, reassemble_per_step) with
+      | Some _, false -> "linear-fast"
+      | None, false -> "newton-fast"
+      | _, true -> "rebuild"
+    in
+    Obs.finish obs
+      ~args:
+        [
+          ("steps", string_of_int n_steps);
+          ("newton_total", string_of_int !total_newton);
+          ("path", path);
+        ]
+      "engine.step_loop" step_t0;
+    Obs.incr obs "engine.transients";
+    Obs.add obs "engine.steps" n_steps;
+    Obs.add obs "engine.newton_iters" !total_newton
+  end;
   { times_; col_of_node; cols; total_newton = !total_newton; worst_newton = !worst_newton }
 
 let times r = Array.copy r.times_

@@ -36,6 +36,7 @@ val default_options : dt:float -> t_stop:float -> options
 type result
 
 val transient :
+  ?obs:Rlc_obs.Obs.t ->
   ?options:options ->
   ?record_nodes:Netlist.node list ->
   ?reassemble_per_step:bool ->
@@ -46,6 +47,14 @@ val transient :
 (** Runs DC operating point at [t = 0] then steps to [t_stop].  Either pass
     a full [options] record or just [dt]/[t_stop].  Raises [Failure] if
     Newton fails to converge at any timestep.
+
+    [obs] (default disabled) records ["engine.compile"] /
+    ["engine.dc_solve"] / ["engine.factor"] / ["engine.step_loop"] spans
+    (the step-loop span carries [steps], [newton_total], and the solver
+    [path] as args) plus ["engine.transients"] / ["engine.steps"] /
+    ["engine.newton_iters"] counters.  Only phase boundaries are
+    instrumented — the per-step inner loops are untouched, so results and
+    speed are identical when disabled.
 
     [record_nodes] restricts waveform storage to the listed nodes (default:
     every node).  Recording all nodes costs O(nodes × steps) memory, which

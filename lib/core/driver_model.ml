@@ -5,6 +5,7 @@ module Moments = Rlc_moments.Moments
 module Pwl = Rlc_waveform.Pwl
 module Waveform = Rlc_waveform.Waveform
 module Measure = Rlc_waveform.Measure
+module Obs = Rlc_obs.Obs
 
 type iteration = { value : float; ramp : float; iterations : int; converged : bool }
 
@@ -38,20 +39,45 @@ type t = {
 type mode = Auto | Force_two_ramp | Force_one_ramp
 
 (* One Ceff fixed point: c = compute (table_ramp_time c), solved on the
-   bracket (0, Ctot]. *)
-let iterate ~cell ~edge ~input_slew ~pade ~compute =
+   bracket (0, Ctot].  [obs] observes the solve as a ["ceff.solve"] span
+   (stage/iterations/converged args), a ["ceff.iterations_run"] counter,
+   convergence counters, and — when enabled — the normalized iterate
+   trajectory as a ["ceff.trajectory_f"] histogram.  The solver call is
+   bit-identical when [obs] is disabled: the trajectory hook is only
+   installed on an enabled sink, and it never perturbs solver state. *)
+let iterate ?(obs = Obs.null) ?(stage = "ceff") ~cell ~edge ~input_slew ~pade ~compute () =
   let ctot = Pade.total_cap pade in
   let tr_of c = Table.ramp_time cell ~edge ~slew:input_slew ~cap:c in
   let fp c = compute (tr_of c) in
+  let t0 = Obs.start obs in
   let r =
-    Rlc_num.Rootfind.fixed_point_bracketed fp ~lo:(1e-4 *. ctot) ~hi:ctot ~init:ctot
-      ~rel_tol:1e-6 ~max_iter:120
+    if Obs.enabled obs then
+      Rlc_num.Rootfind.fixed_point_bracketed fp
+        ~on_iter:(fun c -> Obs.observe obs "ceff.trajectory_f" (c /. ctot))
+        ~lo:(1e-4 *. ctot) ~hi:ctot ~init:ctot ~rel_tol:1e-6 ~max_iter:120
+    else
+      Rlc_num.Rootfind.fixed_point_bracketed fp ~lo:(1e-4 *. ctot) ~hi:ctot ~init:ctot
+        ~rel_tol:1e-6 ~max_iter:120
   in
+  if Obs.enabled obs then begin
+    Obs.finish obs
+      ~args:
+        [
+          ("stage", stage);
+          ("iterations", string_of_int r.Rlc_num.Rootfind.iterations);
+          ("converged", string_of_bool r.Rlc_num.Rootfind.converged);
+        ]
+      "ceff.solve" t0;
+    Obs.add obs "ceff.iterations_run" r.Rlc_num.Rootfind.iterations;
+    Obs.incr obs (if r.Rlc_num.Rootfind.converged then "ceff.converged" else "ceff.unconverged")
+  end;
   { value = r.Rlc_num.Rootfind.value; ramp = tr_of r.value; iterations = r.iterations;
     converged = r.converged }
 
-let single_ceff ~cell ~edge ~input_slew ~pade ~f =
-  iterate ~cell ~edge ~input_slew ~pade ~compute:(fun tr -> Ceff.first_ramp pade ~f ~tr)
+let single_ceff ?obs ?stage ~cell ~edge ~input_slew ~pade ~f () =
+  iterate ?obs ?stage ~cell ~edge ~input_slew ~pade
+    ~compute:(fun tr -> Ceff.first_ramp pade ~f ~tr)
+    ()
 
 (* Offset from waveform start to the 50% crossing of a two-ramp shape
    (with an optional flat step of [hold] seconds after the breakpoint). *)
@@ -82,8 +108,8 @@ let tail_pwl ~t0 ~vdd ~tail =
   let final = (t0 +. tail.t_switch +. (9. *. tail.tau), vdd) in
   Pwl.of_points (base @ exp_pts @ [ final ])
 
-let model_pade ?(mode = Auto) ?(plateau = Stretch_tr2) ?(rc_tail = false) ?thresholds ~cell
-    ~edge ~input_slew ~pade ~line ~cl () =
+let model_pade ?(obs = Obs.null) ?(mode = Auto) ?(plateau = Stretch_tr2) ?(rc_tail = false)
+    ?thresholds ~cell ~edge ~input_slew ~pade ~line ~cl () =
   if input_slew <= 0. then invalid_arg "Driver_model.model: input_slew must be positive";
   if cl < 0. then invalid_arg "Driver_model.model: cl must be non-negative";
   let vdd = cell.Table.vdd in
@@ -92,7 +118,7 @@ let model_pade ?(mode = Auto) ?(plateau = Stretch_tr2) ?(rc_tail = false) ?thres
   let z0 = Line.z0 line and tf = Line.time_of_flight line in
   (* Eq. 1; the clamp only guards pathological near-zero fitted Rs. *)
   let f = Float.min 0.98 (z0 /. (z0 +. rs)) in
-  let ceff1 = single_ceff ~cell ~edge ~input_slew ~pade ~f in
+  let ceff1 = single_ceff ~obs ~stage:"ceff1" ~cell ~edge ~input_slew ~pade ~f () in
   let screen = Screen.evaluate ?thresholds ~line ~cl ~rs ~tr1:ceff1.ramp () in
   let use_two_ramp =
     match mode with
@@ -102,8 +128,9 @@ let model_pade ?(mode = Auto) ?(plateau = Stretch_tr2) ?(rc_tail = false) ?thres
   in
   if use_two_ramp then begin
     let ceff2 =
-      iterate ~cell ~edge ~input_slew ~pade ~compute:(fun tr ->
-          Ceff.second_ramp pade ~f ~tr1:ceff1.ramp ~tr2:tr)
+      iterate ~obs ~stage:"ceff2" ~cell ~edge ~input_slew ~pade
+        ~compute:(fun tr -> Ceff.second_ramp pade ~f ~tr1:ceff1.ramp ~tr2:tr)
+        ()
     in
     let plateau_time = Float.max 0. ((2. *. tf) -. ceff1.ramp) in
     let delay_50 = Table.delay cell ~edge ~slew:input_slew ~cap:ceff1.value in
@@ -144,7 +171,7 @@ let model_pade ?(mode = Auto) ?(plateau = Stretch_tr2) ?(rc_tail = false) ?thres
   else begin
     (* RC-like: one effective capacitance equating charge over the whole
        transition (f = 1). *)
-    let ceff = single_ceff ~cell ~edge ~input_slew ~pade ~f:1.0 in
+    let ceff = single_ceff ~obs ~stage:"ceff_f1" ~cell ~edge ~input_slew ~pade ~f:1.0 () in
     let delay_50 = Table.delay cell ~edge ~slew:input_slew ~cap:ceff.value in
     let t0 = delay_50 -. (0.5 *. ceff.ramp) in
     let tail = if rc_tail then tail_of ~vdd ~tr:ceff.ramp ~rs ~ctot else None in
@@ -156,9 +183,10 @@ let model_pade ?(mode = Auto) ?(plateau = Stretch_tr2) ?(rc_tail = false) ?thres
     { shape = One_ramp { ceff; tail }; f = 1.0; rs; z0; tf; pade; screen; delay_50; vdd; pwl }
   end
 
-let model ?mode ?plateau ?rc_tail ?thresholds ~cell ~edge ~input_slew ~line ~cl () =
+let model ?obs ?mode ?plateau ?rc_tail ?thresholds ~cell ~edge ~input_slew ~line ~cl () =
   let pade = Pade.fit (Moments.of_line ~order:5 line ~cl) in
-  model_pade ?mode ?plateau ?rc_tail ?thresholds ~cell ~edge ~input_slew ~pade ~line ~cl ()
+  model_pade ?obs ?mode ?plateau ?rc_tail ?thresholds ~cell ~edge ~input_slew ~pade ~line ~cl
+    ()
 
 let total_iterations t =
   match t.shape with
@@ -166,7 +194,7 @@ let total_iterations t =
   | Two_ramp { ceff1; ceff2; _ } -> ceff1.iterations + ceff2.iterations
 
 let single_ceff_variant t ~cell ~edge ~input_slew ~f =
-  single_ceff ~cell ~edge ~input_slew ~pade:t.pade ~f
+  single_ceff ~cell ~edge ~input_slew ~pade:t.pade ~f ()
 
 let transition_end t = Pwl.end_time t.pwl
 

@@ -79,6 +79,7 @@ type mode =
   | Force_one_ramp
 
 val model :
+  ?obs:Rlc_obs.Obs.t ->
   ?mode:mode ->
   ?plateau:plateau_mode ->
   ?rc_tail:bool ->
@@ -92,9 +93,19 @@ val model :
   t
 (** [plateau] defaults to {!Stretch_tr2} (Eq. 8).  [rc_tail] (default
     [false]) enables the gate-resistor exponential tail on one-ramp outputs
-    when the tangency point falls above 50 % of the swing. *)
+    when the tangency point falls above 50 % of the swing.
+
+    [obs] (default disabled) records each Ceff fixed point as a
+    ["ceff.solve"] span whose args carry the stage (["ceff1"], ["ceff2"],
+    or ["ceff_f1"]), the iteration count, and the convergence flag;
+    counters ["ceff.iterations_run"] / ["ceff.converged"] /
+    ["ceff.unconverged"]; and the normalized iterate trajectory as the
+    ["ceff.trajectory_f"] histogram.  Note ["ceff.iterations_run"] counts
+    {e every} fixed point run, including the Ceff1 probe a one-ramp model
+    discards, so it is an upper bound on {!total_iterations}. *)
 
 val model_pade :
+  ?obs:Rlc_obs.Obs.t ->
   ?mode:mode ->
   ?plateau:plateau_mode ->
   ?rc_tail:bool ->

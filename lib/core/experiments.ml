@@ -132,16 +132,19 @@ let model_only (case : Evaluate.case) =
   Driver_model.model ~cell ~edge:Rlc_waveform.Measure.Rising
     ~input_slew:case.Evaluate.input_slew ~line:case.Evaluate.line ~cl:case.Evaluate.cl ()
 
-let run_sweep ?(dt = 0.5e-12) ?(jobs = 1) ?(progress = fun _ _ -> ()) cases =
+let run_sweep ?(obs = Rlc_obs.Obs.null) ?(dt = 0.5e-12) ?(jobs = 1)
+    ?(progress = fun _ _ -> ()) cases =
+  let module Obs = Rlc_obs.Obs in
   let module Pool = Rlc_parallel.Pool in
   let case_arr = Array.of_list cases in
-  Pool.with_pool ~jobs @@ fun pool ->
+  Pool.with_pool ~obs ~jobs @@ fun pool ->
   (* Cheap pass: model + screen only; expensive reference runs are reserved
      for the inductive survivors, as in the paper's 165-case figure.  Both
      passes go through [Pool.map], whose result array is in submission
      order, so the sweep's points (and hence its statistics) are identical
      for every [jobs] value.  Cell characterization behind [model_only] is
      memoized under a mutex, so the workers share one table. *)
+  let screen_t0 = Obs.start obs in
   let screened =
     Pool.map pool (Array.length case_arr) (fun i ->
         let c = case_arr.(i) in
@@ -149,6 +152,9 @@ let run_sweep ?(dt = 0.5e-12) ?(jobs = 1) ?(progress = fun _ _ -> ()) cases =
         | m -> m.Driver_model.screen.Screen.significant
         | exception _ -> false)
   in
+  Obs.finish obs
+    ~args:[ ("cases", string_of_int (Array.length case_arr)) ]
+    "sweep.screen" screen_t0;
   let inductive =
     Array.of_seq
       (Seq.filter_map
@@ -163,7 +169,10 @@ let run_sweep ?(dt = 0.5e-12) ?(jobs = 1) ?(progress = fun _ _ -> ()) cases =
   let points_arr =
     Pool.map pool total (fun i ->
         let case = inductive.(i) in
-        let cmp = Evaluate.run ~dt case in
+        let cmp =
+          Obs.time obs ~args:[ ("case", case.Evaluate.label) ] "sweep.case" (fun () ->
+              Evaluate.run ~obs ~dt case)
+        in
         progress (Atomic.fetch_and_add completed 1 + 1) total;
         {
           point_case = case;
@@ -179,6 +188,10 @@ let run_sweep ?(dt = 0.5e-12) ?(jobs = 1) ?(progress = fun _ _ -> ()) cases =
         })
   in
   let points = Array.to_list points_arr in
+  if Obs.enabled obs then begin
+    Obs.add obs "sweep.cases" (Array.length case_arr);
+    Obs.add obs "sweep.inductive" total
+  end;
   {
     n_swept = Array.length case_arr;
     n_inductive = List.length points;

@@ -86,7 +86,12 @@ val stats_of_points :
   delay:(sweep_point -> float) -> slew:(sweep_point -> float) -> sweep_point list -> error_stats
 
 val run_sweep :
-  ?dt:float -> ?jobs:int -> ?progress:(int -> int -> unit) -> Evaluate.case list -> sweep_stats
+  ?obs:Rlc_obs.Obs.t ->
+  ?dt:float ->
+  ?jobs:int ->
+  ?progress:(int -> int -> unit) ->
+  Evaluate.case list ->
+  sweep_stats
 (** Model every case (cheap), keep those the screen marks inductive, then
     reference-simulate and score only those — mirroring the paper's "165
     inductive cases".
@@ -96,7 +101,12 @@ val run_sweep :
     in case order).  [progress] receives (completed, total) after each
     reference simulation; the completed count is monotone but, when
     [jobs > 1], the callback may be invoked concurrently from worker
-    domains, so it must be thread-safe. *)
+    domains, so it must be thread-safe.
+
+    [obs] (default disabled) records a ["sweep.screen"] span over the cheap
+    pass, one ["sweep.case"] span (labelled by case) per reference-scored
+    survivor, ["sweep.cases"] / ["sweep.inductive"] counters, and is
+    forwarded to the pool, the reference engine, and the Ceff solves. *)
 
 val paper_fig7_stats : (string * float) list
 (** The paper's published Figure 7 statistics for side-by-side printing

@@ -19,6 +19,7 @@ type t = {
 }
 
 val simulate :
+  ?obs:Rlc_obs.Obs.t ->
   ?dt:float ->
   ?t_stop:float ->
   ?n_segments:int ->
@@ -34,6 +35,7 @@ val simulate :
     [t_stop = 30 ps + slew + max(2 ns, 20 tf)]. *)
 
 val replay_pwl :
+  ?obs:Rlc_obs.Obs.t ->
   ?dt:float ->
   ?t_stop:float ->
   ?n_segments:int ->

@@ -28,6 +28,7 @@ type edge = Rise | Fall
 (** Direction of the {e driver output} transition. *)
 
 val drive :
+  ?obs:Rlc_obs.Obs.t ->
   ?dt:float ->
   ?t_stop:float ->
   ?t0:float ->
@@ -49,7 +50,9 @@ val drive :
     extra nodes whose waveforms must be stored (input, output, and vdd are
     always kept).  When omitted every node is recorded — for long ladder
     loads that is O(nodes × steps) memory, so observers that only read a
-    few probe nodes should pass the list. *)
+    few probe nodes should pass the list.
+
+    [obs] is forwarded to {!Rlc_circuit.Engine.transient}. *)
 
 val cap_load : float -> Netlist.t -> Netlist.node -> unit
 (** Ready-made pure-capacitance load (skipped entirely when the value is

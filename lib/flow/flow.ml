@@ -5,6 +5,8 @@ module Characterize = Rlc_liberty.Characterize
 module Line = Rlc_tline.Line
 module Pade = Rlc_moments.Pade
 module Sta = Rlc_sta.Sta
+module Obs = Rlc_obs.Obs
+module Progress = Rlc_obs.Progress
 
 let src = Logs.Src.create "rlc.flow" ~doc:"parallel full-design timing flow"
 
@@ -77,13 +79,15 @@ let canonicalize ~digits ~grid ~tech ~dt (net : Design.net) ~edge ~input_slew =
   in
   { q_slew; q_pade; q_line; q_cl; key }
 
-let solve_net ~tech ~dt ~edge ~size c =
+let solve_net ?obs ~tech ~dt ~edge ~size c =
   let cell = Characterize.cell tech ~size in
   let model =
-    Driver_model.model_pade ~cell ~edge ~input_slew:c.q_slew ~pade:c.q_pade ~line:c.q_line
+    Driver_model.model_pade ?obs ~cell ~edge ~input_slew:c.q_slew ~pade:c.q_pade ~line:c.q_line
       ~cl:c.q_cl ()
   in
-  let _, far = Reference.replay_pwl ~dt ~pwl:model.Driver_model.pwl ~line:c.q_line ~cl:c.q_cl () in
+  let _, far =
+    Reference.replay_pwl ?obs ~dt ~pwl:model.Driver_model.pwl ~line:c.q_line ~cl:c.q_cl ()
+  in
   let vdd = model.Driver_model.vdd in
   (* The model waveform lives in the normalized rising domain; t = 0 is the
      driver-input 50 % crossing, so the far-end 50 % time IS the stage
@@ -96,8 +100,8 @@ let solve_net ~tech ~dt ~edge ~size c =
   in
   { model; stage_delay; far_slew; iterations = Driver_model.total_iterations model }
 
-let run ?(dt = 0.5e-12) ?jobs ?(use_cache = true) ?cache ?(quantize_digits = 9)
-    ?(slew_grid = 0.1e-12) (design : Design.t) =
+let run ?(obs = Obs.null) ?progress ?(dt = 0.5e-12) ?jobs ?(use_cache = true) ?cache
+    ?(quantize_digits = 9) ?(slew_grid = 0.1e-12) (design : Design.t) =
   let jobs = match jobs with Some j -> Int.max 1 j | None -> Pool.default_jobs () in
   let cache = match cache with Some c -> c | None -> create_cache () in
   let hits0 = Cache.hits cache and misses0 = Cache.misses cache in
@@ -106,7 +110,7 @@ let run ?(dt = 0.5e-12) ?jobs ?(use_cache = true) ?cache ?(quantize_digits = 9)
   let phases = ref [] in
   let timed name f =
     let t0 = Unix.gettimeofday () in
-    let v = f () in
+    let v = Obs.time obs ("flow." ^ name) f in
     let dt_wall = Unix.gettimeofday () -. t0 in
     phases := { p_name = name; p_seconds = dt_wall } :: !phases;
     Log.info (fun m -> m "phase %-12s %8.1f ms" name (1e3 *. dt_wall));
@@ -119,10 +123,12 @@ let run ?(dt = 0.5e-12) ?jobs ?(use_cache = true) ?cache ?(quantize_digits = 9)
   let results : net_result option array = Array.make n None in
   (* incremented from worker domains *)
   let spent = Atomic.make 0 in
+  let nets_done = Atomic.make 0 in
   timed "solve" (fun () ->
-      Pool.with_pool ~jobs (fun pool ->
+      Pool.with_pool ~obs ~jobs (fun pool ->
           Array.iteri
             (fun lvl ids ->
+              let level_t0 = Obs.start obs in
               (* Input slew and edge for this level are fixed by the
                  previous level (or the spec), so prepare them serially. *)
               let jobs_for_level =
@@ -143,12 +149,13 @@ let run ?(dt = 0.5e-12) ?jobs ?(use_cache = true) ?cache ?(quantize_digits = 9)
               let solved =
                 Pool.map pool (Array.length ids) (fun k ->
                     let net, edge, input_slew = jobs_for_level.(k) in
+                    let net_t0 = Obs.start obs in
                     let c =
                       canonicalize ~digits:quantize_digits ~grid:slew_grid ~tech ~dt net ~edge
                         ~input_slew
                     in
                     let compute () =
-                      let s = solve_net ~tech ~dt ~edge ~size:net.Design.size c in
+                      let s = solve_net ~obs ~tech ~dt ~edge ~size:net.Design.size c in
                       Atomic.fetch_and_add spent s.iterations |> ignore;
                       s
                     in
@@ -156,6 +163,28 @@ let run ?(dt = 0.5e-12) ?jobs ?(use_cache = true) ?cache ?(quantize_digits = 9)
                       if use_cache then Cache.find_or_add cache c.key compute
                       else (compute (), false)
                     in
+                    if Obs.enabled obs then begin
+                      Obs.finish obs
+                        ~args:
+                          [
+                            ("net", net.Design.name);
+                            ("level", string_of_int lvl);
+                            ("cache", if hit then "hit" else "miss");
+                            ("ceff_iterations", string_of_int solve.iterations);
+                            ( "shape",
+                              match solve.model.Driver_model.shape with
+                              | Driver_model.Two_ramp _ -> "two-ramp"
+                              | Driver_model.One_ramp _ -> "one-ramp" );
+                          ]
+                        "flow.net" net_t0;
+                      Obs.incr obs "flow.nets";
+                      Obs.incr obs (if hit then "flow.cache.hits" else "flow.cache.misses");
+                      (* Per-net iterations regardless of cache outcome: sums
+                         to [stats.iterations_total].  The separate *_run
+                         counter tracks iterations actually executed. *)
+                      Obs.add obs "flow.ceff_iterations" solve.iterations;
+                      if not hit then Obs.add obs "flow.ceff_iterations_run" solve.iterations
+                    end;
                     Log.debug (fun m ->
                         m "net %-16s level %d %s: delay %.1f ps slew %.1f ps (%d iters%s)"
                           net.Design.name lvl
@@ -166,7 +195,14 @@ let run ?(dt = 0.5e-12) ?jobs ?(use_cache = true) ?cache ?(quantize_digits = 9)
                           (if hit then ", cached" else ""));
                     { net; edge; input_slew = c.q_slew; solve; arrival = 0. })
               in
-              Array.iteri (fun k r -> results.(ids.(k)) <- Some r) solved)
+              Array.iteri (fun k r -> results.(ids.(k)) <- Some r) solved;
+              Obs.finish obs
+                ~args:[ ("level", string_of_int lvl); ("nets", string_of_int (Array.length ids)) ]
+                "flow.level" level_t0;
+              let done_now = Atomic.fetch_and_add nets_done (Array.length ids) + Array.length ids in
+              match progress with
+              | Some p -> Progress.report p done_now
+              | None -> ())
             design.Design.levels));
   (* Arrivals accumulate along the fan-in chains; levels are already in
      dependency order, so one ordered pass suffices. *)

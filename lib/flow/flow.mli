@@ -51,6 +51,8 @@ val create_cache : unit -> solve Cache.t
 (** A cache that can be shared across {!run} invocations (warm re-timing). *)
 
 val run :
+  ?obs:Rlc_obs.Obs.t ->
+  ?progress:Rlc_obs.Progress.t ->
   ?dt:float ->
   ?jobs:int ->
   ?use_cache:bool ->
@@ -63,7 +65,21 @@ val run :
     {!Pool.default_jobs}, [use_cache] true with a fresh per-run cache,
     [quantize_digits] 9, [slew_grid] 0.1 ps.  Cells for every driver size
     are characterized up front in the calling domain (the memo table is
-    shared, read-only during fan-out). *)
+    shared, read-only during fan-out).
+
+    [obs] (default disabled) records: ["flow.characterize"] /
+    ["flow.solve"] / ["flow.arrivals"] phase spans, a ["flow.level"] span
+    per timing level, a ["flow.net"] span per net (args: net name, level,
+    [cache] hit/miss, Ceff iteration count, waveform shape), counters
+    ["flow.nets"], ["flow.cache.hits"]/["flow.cache.misses"],
+    ["flow.ceff_iterations"] (per-net solve iterations, cached or not —
+    sums to [stats.iterations_total]) and ["flow.ceff_iterations_run"]
+    (misses only — sums to [stats.iterations_spent]); the sink is also
+    forwarded to the pool, the driver model, and the replay engine.
+    Telemetry stays out of {!Report} payloads by construction.
+
+    [progress] (default none) is reported the cumulative finished-net
+    count after each level completes. *)
 
 val critical_path : result -> net_result list
 (** The worst-arrival net and its fan-in chain, source first.  Ties break

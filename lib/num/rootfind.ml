@@ -88,24 +88,35 @@ let brent ?(tol = 1e-12) ?(max_iter = 200) f ~lo ~hi =
 
 type fixed_point_result = { value : float; iterations : int; converged : bool }
 
-let fixed_point ?(damping = 1.0) ?(rel_tol = 1e-6) ?(max_iter = 100) f ~init =
+let no_iter_hook : float -> unit = fun _ -> ()
+
+let fixed_point ?(on_iter = no_iter_hook) ?(damping = 1.0) ?(rel_tol = 1e-6) ?(max_iter = 100)
+    f ~init =
   let x = ref init and n = ref 0 and converged = ref false in
   while (not !converged) && !n < max_iter do
     incr n;
     let next = ((1. -. damping) *. !x) +. (damping *. f !x) in
+    on_iter next;
     if Float.abs (next -. !x) <= rel_tol *. (Float.abs next +. 1e-30) then converged := true;
     x := next
   done;
   { value = !x; iterations = !n; converged = !converged }
 
-let fixed_point_bracketed ?(rel_tol = 1e-6) ?(max_iter = 100) f ~lo ~hi ~init =
+let fixed_point_bracketed ?(on_iter = no_iter_hook) ?(rel_tol = 1e-6) ?(max_iter = 100) f ~lo
+    ~hi ~init =
   let clamp x = Float.max lo (Float.min hi x) in
   let fc x = clamp (f (clamp x)) in
-  let direct = fixed_point ~damping:0.6 ~rel_tol ~max_iter:(Int.min 30 max_iter) fc ~init:(clamp init) in
+  let direct =
+    fixed_point ~on_iter ~damping:0.6 ~rel_tol ~max_iter:(Int.min 30 max_iter) fc
+      ~init:(clamp init)
+  in
   if direct.converged then { direct with value = clamp direct.value }
   else begin
     (* Solve g x = f x - x = 0 on the bracket. *)
-    let g x = fc x -. x in
+    let g x =
+      on_iter x;
+      fc x -. x
+    in
     match brent ~tol:(rel_tol *. (hi -. lo)) ~max_iter g ~lo ~hi with
     | root -> { value = root; iterations = direct.iterations + max_iter; converged = true }
     | exception No_bracket ->

@@ -19,15 +19,22 @@ type fixed_point_result = {
   converged : bool;
 }
 
-val fixed_point : ?damping:float -> ?rel_tol:float -> ?max_iter:int ->
-  (float -> float) -> init:float -> fixed_point_result
+val fixed_point : ?on_iter:(float -> unit) -> ?damping:float -> ?rel_tol:float ->
+  ?max_iter:int -> (float -> float) -> init:float -> fixed_point_result
 (** Damped iteration [x <- (1-d) x + d (f x)] with [damping] d (default 1.0,
     i.e. undamped), stopping when the relative step falls below [rel_tol]
-    (default 1e-6) or after [max_iter] (default 100) rounds. *)
+    (default 1e-6) or after [max_iter] (default 100) rounds.
 
-val fixed_point_bracketed : ?rel_tol:float -> ?max_iter:int ->
+    [on_iter] (default: no-op) is invoked with each new iterate, purely for
+    observation — it must not mutate solver state and has no effect on the
+    result. *)
+
+val fixed_point_bracketed : ?on_iter:(float -> unit) -> ?rel_tol:float -> ?max_iter:int ->
   (float -> float) -> lo:float -> hi:float -> init:float -> fixed_point_result
 (** Robust fixed point of [f] on [\[lo, hi\]]: runs a short damped iteration
     and, if it fails to converge, solves [f x - x = 0] with Brent on the
     bracket (clamping [f] evaluations into the interval).  This is the solver
-    used for Ceff iterations. *)
+    used for Ceff iterations.
+
+    [on_iter] observes each damped iterate and, in the Brent fallback, each
+    trial abscissa — the Ceff trajectory hook. *)

@@ -1,0 +1,99 @@
+(* Serializers for {!Obs.metrics}: a metrics JSON summary and a Chrome
+   trace-event JSON loadable in chrome://tracing or https://ui.perfetto.dev.
+   Telemetry lives in these sidecar files only — the deterministic
+   [Rlc_flow.Report] payloads never embed it. *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let num v =
+  if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.9g" v
+
+(* ----------------------------------------------------- metrics summary *)
+
+let metrics_json (m : Obs.metrics) =
+  let b = Buffer.create 4096 in
+  let add = Buffer.add_string b in
+  add "{\n  \"schema\": \"rlc-obs/1\",\n  \"counters\": {";
+  List.iteri
+    (fun i (name, v) ->
+      if i > 0 then add ",";
+      add (Printf.sprintf "\n    \"%s\": %d" (json_escape name) v))
+    m.Obs.m_counters;
+  if m.Obs.m_counters <> [] then add "\n  ";
+  add "},\n  \"stats\": {";
+  List.iteri
+    (fun i (name, (s : Obs.stat_summary)) ->
+      if i > 0 then add ",";
+      let mean = if s.count > 0 then s.sum /. float_of_int s.count else 0. in
+      let mn = if s.count > 0 then s.min else 0. in
+      let mx = if s.count > 0 then s.max else 0. in
+      add
+        (Printf.sprintf
+           "\n    \"%s\": {\"count\": %d, \"sum\": %s, \"min\": %s, \"max\": \
+            %s, \"mean\": %s, \"buckets\": [%s]}"
+           (json_escape name) s.count (num s.sum) (num mn) (num mx) (num mean)
+           (String.concat ", "
+              (Array.to_list (Array.map string_of_int s.buckets)))))
+    m.Obs.m_stats;
+  if m.Obs.m_stats <> [] then add "\n  ";
+  add "},\n  \"span_totals\": {";
+  let names =
+    List.sort_uniq compare (List.map (fun sp -> sp.Obs.sp_name) m.Obs.m_spans)
+  in
+  List.iteri
+    (fun i name ->
+      if i > 0 then add ",";
+      let count, total = Obs.span_total m name in
+      add
+        (Printf.sprintf "\n    \"%s\": {\"count\": %d, \"total_s\": %s}"
+           (json_escape name) count (num total)))
+    names;
+  if names <> [] then add "\n  ";
+  add "}\n}\n";
+  Buffer.contents b
+
+(* ------------------------------------------------- Chrome trace events *)
+
+let chrome_trace (m : Obs.metrics) =
+  let b = Buffer.create 8192 in
+  let add = Buffer.add_string b in
+  add "{\"traceEvents\": [";
+  List.iteri
+    (fun i (sp : Obs.span) ->
+      if i > 0 then add ",";
+      add
+        (Printf.sprintf
+           "\n  {\"name\": \"%s\", \"cat\": \"rlc\", \"ph\": \"X\", \"pid\": \
+            0, \"tid\": %d, \"ts\": %s, \"dur\": %s"
+           (json_escape sp.Obs.sp_name) sp.Obs.sp_tid
+           (num (sp.Obs.sp_start *. 1e6))
+           (num (sp.Obs.sp_dur *. 1e6)));
+      if sp.Obs.sp_args <> [] then begin
+        add ", \"args\": {";
+        List.iteri
+          (fun j (k, v) ->
+            if j > 0 then add ", ";
+            add (Printf.sprintf "\"%s\": \"%s\"" (json_escape k) (json_escape v)))
+          sp.Obs.sp_args;
+        add "}"
+      end;
+      add "}")
+    m.Obs.m_spans;
+  add "\n], \"displayTimeUnit\": \"ms\"}\n";
+  Buffer.contents b

@@ -1,0 +1,11 @@
+(** Exporters for {!Obs.metrics} snapshots.  Both produce sidecar files;
+    telemetry never enters the deterministic [Report] payloads. *)
+
+val metrics_json : Obs.metrics -> string
+(** Summary JSON (schema ["rlc-obs/1"]): merged counters, histogram
+    stats (count/sum/min/max/mean/buckets), and per-name span totals. *)
+
+val chrome_trace : Obs.metrics -> string
+(** Chrome trace-event JSON (["X"] complete events, µs timestamps),
+    loadable in [chrome://tracing] or Perfetto.  Span args are emitted
+    as string-valued [args]. *)

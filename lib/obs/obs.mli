@@ -1,0 +1,90 @@
+(** Domain-safe instrumentation: counters, value histograms, and spans.
+
+    A sink is either enabled ({!create}) or the shared disabled {!null}.
+    Every operation on a disabled sink reduces to a single branch — no
+    clock reads, no allocation — so instrumented code paths stay
+    bit-identical and speed-neutral when observability is off.
+
+    Enabled sinks buffer per domain (via [Domain.DLS]) and merge at
+    {!snapshot}, so worker domains in [Rlc_parallel.Pool] record without
+    lock contention.  Snapshot after the instrumented work has quiesced
+    (pool drained or joined). *)
+
+type t
+(** An instrumentation sink. *)
+
+val create : unit -> t
+(** A fresh enabled sink.  Its epoch is the creation time; span start
+    timestamps are relative to it. *)
+
+val null : t
+(** The shared disabled sink: every operation is a no-op. *)
+
+val enabled : t -> bool
+
+val now : unit -> float
+(** Wall-clock seconds ([Unix.gettimeofday]).  The repo has no monotonic
+    clock dependency; durations are clamped to [>= 0]. *)
+
+(** {1 Counters} *)
+
+val add : t -> string -> int -> unit
+val incr : t -> string -> unit
+
+(** {1 Value histograms}
+
+    Each observed value updates count/sum/min/max and a 32-bucket log2
+    histogram (bucket [i] covers [[2^i, 2^(i+1)) ns] for durations in
+    seconds; any positive unit works, buckets are just log2-spaced). *)
+
+val observe : t -> string -> float -> unit
+
+(** {1 Spans} *)
+
+val start : t -> float
+(** Timestamp to later pass to {!finish}.  Returns [0.] when disabled. *)
+
+val finish : t -> ?args:(string * string) list -> string -> float -> unit
+(** [finish t ~args name t0] records a span from [t0] (a {!start} result)
+    to now.  No-op when disabled. *)
+
+val time : t -> ?args:(string * string) list -> string -> (unit -> 'a) -> 'a
+(** [time t name f] runs [f] inside a span.  Exception-safe: a raising
+    [f] still records the span, with an ["error"] arg, then re-raises. *)
+
+(** {1 Snapshot} *)
+
+type span = {
+  sp_name : string;
+  sp_tid : int;  (** recording domain id *)
+  sp_start : float;  (** seconds since the sink's epoch *)
+  sp_dur : float;  (** seconds, [>= 0] *)
+  sp_args : (string * string) list;
+}
+
+type stat_summary = {
+  count : int;
+  sum : float;
+  min : float;
+  max : float;
+  buckets : int array;  (** length {!n_buckets} *)
+}
+
+type metrics = {
+  m_counters : (string * int) list;  (** name-sorted, summed over domains *)
+  m_stats : (string * stat_summary) list;  (** name-sorted, merged *)
+  m_spans : span list;  (** sorted by (tid, start, longest-first) *)
+}
+
+val n_buckets : int
+
+val snapshot : t -> metrics
+(** Merge all per-domain buffers.  Call after instrumented work has
+    quiesced; concurrent recording during a snapshot is not torn (each
+    buffer is read whole) but may be partially missed. *)
+
+val counter : metrics -> string -> int
+(** Merged value of a counter, [0] if never incremented. *)
+
+val span_total : metrics -> string -> int * float
+(** [(occurrences, total seconds)] over all spans with that name. *)

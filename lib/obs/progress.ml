@@ -1,0 +1,83 @@
+(* TTY-aware progress reporting on stderr (or any channel).
+
+   On a TTY the current count overwrites itself with "\r"; otherwise a
+   plain line is printed every [every] completions (so CI logs stay
+   bounded).  All entry points are mutex-guarded: pool workers may call
+   [tick]/[report] from any domain. *)
+
+type t = {
+  label : string;
+  mutable total : int;
+  mutable every : int;
+  channel : out_channel;
+  tty : bool;
+  mutex : Mutex.t;
+  count : int Atomic.t;
+  mutable last_len : int;
+  mutable finished : bool;
+}
+
+let default_every ~tty ~total = if tty then 1 else max 1 (total / 20)
+
+let create ?(channel = stderr) ?every ~label ~total () =
+  let tty =
+    try Unix.isatty (Unix.descr_of_out_channel channel)
+    with Unix.Unix_error _ | Sys_error _ -> false
+  in
+  let every =
+    match every with Some e -> max 1 e | None -> default_every ~tty ~total
+  in
+  {
+    label;
+    total;
+    every;
+    channel;
+    tty;
+    mutex = Mutex.create ();
+    count = Atomic.make 0;
+    last_len = 0;
+    finished = false;
+  }
+
+let set_total t total =
+  Mutex.lock t.mutex;
+  t.total <- total;
+  if t.every <> 1 || not t.tty then
+    t.every <- default_every ~tty:t.tty ~total;
+  Mutex.unlock t.mutex
+
+let emit t k =
+  if t.tty then begin
+    let line =
+      if t.total > 0 then
+        Printf.sprintf "%s %d/%d (%.0f%%)" t.label k t.total
+          (100. *. float_of_int k /. float_of_int t.total)
+      else Printf.sprintf "%s %d" t.label k
+    in
+    let pad = max 0 (t.last_len - String.length line) in
+    Printf.fprintf t.channel "\r%s%s%!" line (String.make pad ' ');
+    t.last_len <- String.length line
+  end
+  else if t.total > 0 then
+    Printf.fprintf t.channel "%s %d/%d\n%!" t.label k t.total
+  else Printf.fprintf t.channel "%s %d\n%!" t.label k
+
+let report t k =
+  Mutex.lock t.mutex;
+  if (not t.finished) && (t.tty || k mod t.every = 0 || k = t.total) then
+    emit t k;
+  Mutex.unlock t.mutex
+
+let tick t = report t (Atomic.fetch_and_add t.count 1 + 1)
+
+let finish t =
+  Mutex.lock t.mutex;
+  if not t.finished then begin
+    t.finished <- true;
+    if t.tty then begin
+      emit t (max (Atomic.get t.count) t.total);
+      output_char t.channel '\n';
+      flush t.channel
+    end
+  end;
+  Mutex.unlock t.mutex

@@ -1,0 +1,26 @@
+(** TTY-aware progress meter, safe to drive from multiple domains.
+
+    When the output channel is a terminal the count redraws in place
+    ([\r]); otherwise a plain ["label k/n"] line is printed every
+    [every] completions (default: ~5% increments) so non-interactive
+    logs stay bounded. *)
+
+type t
+
+val create :
+  ?channel:out_channel -> ?every:int -> label:string -> total:int -> unit -> t
+(** [channel] defaults to [stderr].  [every] (non-TTY line interval)
+    defaults to [max 1 (total / 20)]; pass [~every:1] for line-per-item. *)
+
+val report : t -> int -> unit
+(** [report t k] shows completion count [k] (subject to [every]). *)
+
+val tick : t -> unit
+(** Atomically increment the internal counter and report it. *)
+
+val set_total : t -> int -> unit
+(** Revise the total (e.g. once a sweep learns its survivor count). *)
+
+val finish : t -> unit
+(** Terminate the meter; on a TTY prints the final count and a newline.
+    Further [report]/[tick] calls are ignored. *)

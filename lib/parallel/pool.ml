@@ -1,7 +1,14 @@
-type batch = { run : int -> unit; n : int; next : int Atomic.t; remaining : int Atomic.t }
+type batch = {
+  run : int -> unit;
+  n : int;
+  next : int Atomic.t;
+  remaining : int Atomic.t;
+  published : float;  (** [Obs.now] at publication, for queue-wait stats *)
+}
 
 type t = {
   n_jobs : int;
+  obs : Rlc_obs.Obs.t;
   mutex : Mutex.t;
   cond : Condition.t;
   mutable batch : (int * batch) option;  (** (sequence number, batch) *)
@@ -47,16 +54,20 @@ let worker t () =
     | None -> Mutex.unlock t.mutex
     | Some (seq, b) ->
         Mutex.unlock t.mutex;
+        if Rlc_obs.Obs.enabled t.obs then
+          Rlc_obs.Obs.observe t.obs "pool.queue_wait_s"
+            (Float.max 0. (Rlc_obs.Obs.now () -. b.published));
         drain t b;
         loop seq
   in
   loop 0
 
-let create ~jobs =
+let create ?(obs = Rlc_obs.Obs.null) ~jobs () =
   let n_jobs = Int.max 1 jobs in
   let t =
     {
       n_jobs;
+      obs;
       mutex = Mutex.create ();
       cond = Condition.create ();
       batch = None;
@@ -78,12 +89,21 @@ let map t n f =
       | v -> results.(i) <- Some v
       | exception e -> errors.(i) <- Some e
     in
+    let t0 = Rlc_obs.Obs.start t.obs in
     if t.n_jobs = 1 || n = 1 then
       for i = 0 to n - 1 do
         run i
       done
     else begin
-      let b = { run; n; next = Atomic.make 0; remaining = Atomic.make n } in
+      let b =
+        {
+          run;
+          n;
+          next = Atomic.make 0;
+          remaining = Atomic.make n;
+          published = (if Rlc_obs.Obs.enabled t.obs then Rlc_obs.Obs.now () else 0.);
+        }
+      in
       Mutex.lock t.mutex;
       t.seq <- t.seq + 1;
       t.batch <- Some (t.seq, b);
@@ -97,6 +117,9 @@ let map t n f =
       t.batch <- None;
       Mutex.unlock t.mutex
     end;
+    Rlc_obs.Obs.finish t.obs
+      ~args:[ ("jobs", string_of_int (Int.min t.n_jobs n)); ("n", string_of_int n) ]
+      "pool.batch" t0;
     Array.iter (function Some e -> raise e | None -> ()) errors;
     Array.map Option.get results
   end
@@ -113,6 +136,6 @@ let shutdown t =
   List.iter Domain.join t.domains;
   t.domains <- []
 
-let with_pool ~jobs f =
-  let t = create ~jobs in
+let with_pool ?(obs = Rlc_obs.Obs.null) ~jobs f =
+  let t = create ~obs ~jobs () in
   Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

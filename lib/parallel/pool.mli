@@ -14,8 +14,11 @@ type t
 val default_jobs : unit -> int
 (** [Domain.recommended_domain_count ()]. *)
 
-val create : jobs:int -> t
-(** [jobs >= 1] is clamped from below. *)
+val create : ?obs:Rlc_obs.Obs.t -> jobs:int -> unit -> t
+(** [jobs >= 1] is clamped from below.  When [obs] is an enabled sink
+    (default {!Rlc_obs.Obs.null}), each [map] records a ["pool.batch"]
+    span and workers record a ["pool.queue_wait_s"] histogram sample
+    when they pick up a published batch. *)
 
 val jobs : t -> int
 
@@ -32,5 +35,5 @@ val shutdown : t -> unit
 (** Join all worker domains.  The pool must not be used afterwards;
     [shutdown] is idempotent. *)
 
-val with_pool : jobs:int -> (t -> 'a) -> 'a
+val with_pool : ?obs:Rlc_obs.Obs.t -> jobs:int -> (t -> 'a) -> 'a
 (** [create], run, [shutdown] (also on exceptions). *)
