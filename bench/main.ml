@@ -524,7 +524,7 @@ let perf () =
 (* Synthetic W-bit bus: W identical inductive global bits, each feeding an
    identical local net — the repeated-bus-bit shape the flow's result cache
    is built for. *)
-let flow_design ~bits =
+let flow_sources ~bits =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf
     "*SPEF \"IEEE 1481-1998\"\n*DESIGN \"bench_bus\"\n*T_UNIT 1 PS\n*C_UNIT 1 FF\n*R_UNIT 1 \
@@ -548,9 +548,21 @@ let flow_design ~bits =
          "driver %s 75\ninput %s 100\ndriver %s 50\nedge %s %s_rcv %s\nload %s %s_rcv 5\n" bit
          bit out bit bit out out out)
   done;
-  let spef = Result.get_ok (Rlc_spef.Spef.parse (Buffer.contents buf)) in
-  let spec = Result.get_ok (Rlc_flow.Spec.parse (Buffer.contents spec)) in
+  (Buffer.contents buf, Buffer.contents spec)
+
+let flow_design ~bits =
+  let spef_src, spec_src = flow_sources ~bits in
+  let spef = Result.get_ok (Rlc_spef.Spef.parse spef_src) in
+  let spec = Result.get_ok (Rlc_flow.Spec.parse spec_src) in
   match Rlc_flow.Design.ingest ~spef ~spec () with Ok d -> d | Error e -> failwith e
+
+(* All bench flow runs go through the Config record (Flow.run is a
+   deprecated shim). *)
+let flow_run ?(jobs = 1) ?(use_cache = true) ?cache design =
+  let cfg =
+    { Rlc_flow.Flow.Config.default with Rlc_flow.Flow.Config.jobs = Some jobs; use_cache; cache }
+  in
+  Rlc_flow.Flow.run_cfg cfg design
 
 let flow_bench () =
   header "Flow: parallel full-design timing (cache effect, domain scaling, determinism)";
@@ -571,15 +583,15 @@ let flow_bench () =
   let total (r : Rlc_flow.Flow.result) = r.Rlc_flow.Flow.stats.Rlc_flow.Flow.iterations_total in
 
   Format.printf "@.# Ceff fixed-point iterations actually run (%d-bit bus, 2 levels)@." bits;
-  let no_cache, t_nc = time (fun () -> Rlc_flow.Flow.run ~jobs:1 ~use_cache:false design) in
+  let no_cache, t_nc = time (fun () -> flow_run ~use_cache:false design) in
   Format.printf "  no cache        : %5d iterations  (%6.1f ms)@." (iters no_cache)
     (1e3 *. t_nc);
   let cache = Rlc_flow.Flow.create_cache () in
-  let cold, t_cold = time (fun () -> Rlc_flow.Flow.run ~jobs:1 ~cache design) in
+  let cold, t_cold = time (fun () -> flow_run ~cache design) in
   Format.printf "  cold cache      : %5d iterations  (%6.1f ms)  [%d misses, %d hits]@."
     (iters cold) (1e3 *. t_cold) cold.Rlc_flow.Flow.stats.Rlc_flow.Flow.cache_misses
     cold.Rlc_flow.Flow.stats.Rlc_flow.Flow.cache_hits;
-  let warm, t_warm = time (fun () -> Rlc_flow.Flow.run ~jobs:1 ~cache design) in
+  let warm, t_warm = time (fun () -> flow_run ~cache design) in
   Format.printf "  warm cache      : %5d iterations  (%6.1f ms)  [%d hits]@." (iters warm)
     (1e3 *. t_warm) warm.Rlc_flow.Flow.stats.Rlc_flow.Flow.cache_hits;
   Format.printf "  cache speedup   : %.1fx fewer iterations cold (%d -> %d of %d modeled)@."
@@ -593,13 +605,13 @@ let flow_bench () =
   let base = ref 0. in
   List.iter
     (fun jobs ->
-      let _, t = time (fun () -> Rlc_flow.Flow.run ~jobs ~use_cache:false design) in
+      let _, t = time (fun () -> flow_run ~jobs ~use_cache:false design) in
       if jobs = 1 then base := t;
       Format.printf "  jobs %2d: %7.1f ms  (speedup %.2fx)@." jobs (1e3 *. t) (!base /. t))
     (List.sort_uniq compare [ 1; 2; rec_jobs ]);
 
-  let r1 = Rlc_flow.Flow.run ~jobs:1 design in
-  let rn = Rlc_flow.Flow.run ~jobs:(Rlc_flow.Pool.default_jobs ()) design in
+  let r1 = flow_run design in
+  let rn = flow_run ~jobs:(Rlc_flow.Pool.default_jobs ()) design in
   Format.printf "@.# determinism: JSON report byte-identical jobs 1 vs %d: %b@."
     (Rlc_flow.Pool.default_jobs ())
     (Rlc_flow.Report.json_string r1 = Rlc_flow.Report.json_string rn)
@@ -899,19 +911,100 @@ let engine_bench ?(jobs = 1) ?(smoke = false) ?json () =
       close_out oc;
       Format.printf "wrote %s@." path
 
+(* -------------------------------------------------------------- service *)
+
+(* What the resident daemon buys per request: one Session/Server pair driven
+   straight through Server.handle_line (no transport), so the numbers are
+   the protocol + dispatch + solve cost.  The first flow request pays cell
+   characterization and every Ceff solve; the session keeps both, so warm
+   requests should be all cache hits.  `--json` writes BENCH_service.json
+   (or the given path when the engine group is not also writing there). *)
+
+module Sjson = Rlc_service.Json
+
+let service_request fields =
+  Sjson.to_string (Sjson.Obj (("schema", Sjson.Str Rlc_service.Protocol.schema) :: fields))
+
+let service_bench ?(smoke = false) ?json () =
+  header "Service: resident daemon, cold vs warm flow requests";
+  let bits = if smoke then 4 else 16 in
+  let spef_src, spec_src = flow_sources ~bits in
+  let flow_req =
+    service_request
+      [ ("kind", Sjson.Str "flow"); ("spef", Sjson.Str spef_src); ("spec", Sjson.Str spec_src) ]
+  in
+  let ping_req = service_request [ ("kind", Sjson.Str "ping") ] in
+  let session = Rlc_service.Session.create () in
+  Fun.protect ~finally:(fun () -> Rlc_service.Session.close session) @@ fun () ->
+  let server = Rlc_service.Server.create ~timeout_s:0. session in
+  let handle req = fst (Rlc_service.Server.handle_line server req) in
+  let field resp name =
+    match Sjson.parse resp with Ok j -> Sjson.member name j | Error _ -> None
+  in
+  let int_field resp name = match field resp name with Some (Sjson.Int n) -> n | _ -> -1 in
+  let expect_ok what resp =
+    match field resp "ok" with
+    | Some (Sjson.Bool true) -> ()
+    | _ -> failwith (what ^ " request failed: " ^ resp)
+  in
+  let t0 = Unix.gettimeofday () in
+  let cold_resp = handle flow_req in
+  let cold_s = Unix.gettimeofday () -. t0 in
+  expect_ok "cold flow" cold_resp;
+  let cold_misses = int_field cold_resp "cache_misses" in
+  let warm_resp = handle flow_req in
+  expect_ok "warm flow" warm_resp;
+  let warm_misses = int_field warm_resp "cache_misses" in
+  let target = if smoke then 0.05 else 0.3 in
+  let warm_s = time_per_run ~target (fun () -> expect_ok "warm flow" (handle flow_req)) in
+  let ping_s = time_per_run ~target (fun () -> expect_ok "ping" (handle ping_req)) in
+  Format.printf "@.%d-bit bus flow over Server.handle_line (no transport):@." bits;
+  Format.printf "  cold : %8.1f ms/request  (%d Ceff cache misses)@." (1e3 *. cold_s)
+    cold_misses;
+  Format.printf "  warm : %8.2f ms/request  (%d misses, %.0f requests/s, %.1fx vs cold)@."
+    (1e3 *. warm_s) warm_misses (1. /. warm_s) (cold_s /. warm_s);
+  Format.printf "  ping : %8.1f us/request  (%.0f requests/s)@." (1e6 *. ping_s) (1. /. ping_s);
+  match json with
+  | None -> ()
+  | Some path ->
+      let buf = Buffer.create 512 in
+      let fl v =
+        if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+        else Printf.sprintf "%.6g" v
+      in
+      Printf.bprintf buf "{\n  \"schema\": \"rlc-bench-service/1\",\n";
+      Printf.bprintf buf "  \"smoke\": %b,\n  \"bits\": %d,\n" smoke bits;
+      Printf.bprintf buf
+        "  \"flow\": {\"cold_ms\": %s, \"warm_ms\": %s, \"speedup\": %s, \
+         \"warm_requests_per_sec\": %s, \"cold_cache_misses\": %d, \"warm_cache_misses\": \
+         %d},\n"
+        (fl (1e3 *. cold_s)) (fl (1e3 *. warm_s))
+        (fl (cold_s /. warm_s))
+        (fl (1. /. warm_s))
+        cold_misses warm_misses;
+      Printf.bprintf buf "  \"ping\": {\"us_per_request\": %s, \"requests_per_sec\": %s}\n"
+        (fl (1e6 *. ping_s))
+        (fl (1. /. ping_s));
+      Printf.bprintf buf "}\n";
+      let oc = open_out path in
+      output_string oc (Buffer.contents buf);
+      close_out oc;
+      Format.printf "wrote %s@." path
+
 (* ---------------------------------------------------------------- main *)
 
 let () =
   let all =
     [
       "table1"; "fig1"; "fig3"; "fig4"; "fig5"; "fig6"; "fig7"; "ablation"; "flow"; "engine";
-      "perf";
+      "service"; "perf";
     ]
   in
   (* Flags: --jobs N (table1/fig7/engine fan out over a domain pool),
      --json PATH (engine group writes BENCH_engine.json there; implies the
-     engine group if it was not requested), --smoke (short engine timings
-     for CI). *)
+     engine group unless engine or service was requested explicitly; when
+     both groups run, service falls back to BENCH_service.json so neither
+     clobbers the other), --smoke (short timings for CI). *)
   let json_out = ref None and jobs_arg = ref 1 and smoke = ref false in
   let rec parse acc = function
     | [] -> List.rev acc
@@ -933,7 +1026,11 @@ let () =
   let requested = parse [] (List.tl (Array.to_list Sys.argv)) in
   let requested = match requested with [] -> all | r -> r in
   let requested =
-    if !json_out <> None && not (List.mem "engine" requested) then requested @ [ "engine" ]
+    if
+      !json_out <> None
+      && (not (List.mem "engine" requested))
+      && not (List.mem "service" requested)
+    then requested @ [ "engine" ]
     else requested
   in
   List.iter
@@ -950,6 +1047,14 @@ let () =
       | "ablation" -> ablation ()
       | "flow" -> flow_bench ()
       | "engine" -> engine_bench ~jobs:!jobs_arg ~smoke:!smoke ?json:!json_out ()
+      | "service" ->
+          let json =
+            match !json_out with
+            | Some p when not (List.mem "engine" requested) -> Some p
+            | Some _ -> Some "BENCH_service.json"
+            | None -> None
+          in
+          service_bench ~smoke:!smoke ?json ()
       | "perf" -> perf ()
       | other ->
           Format.eprintf

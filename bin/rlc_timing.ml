@@ -142,12 +142,21 @@ let screen_cmd =
 
 let characterize_cmd =
   let run sizes out =
-    let cells =
-      List.map (fun s -> Rlc_liberty.Characterize.cell Rlc_devices.Tech.c018 ~size:s) sizes
+    let rec build acc = function
+      | [] -> Ok (List.rev acc)
+      | s :: rest -> (
+          match Rlc_liberty.Characterize.cell_res Rlc_devices.Tech.c018 ~size:s with
+          | Ok c -> build (c :: acc) rest
+          | Error e -> Error e)
     in
-    Rlc_liberty.Liberty_io.save ~path:out ~name:"rlc_timing_c018" cells;
-    Format.printf "wrote %d cells to %s@." (List.length cells) out;
-    0
+    match build [] sizes with
+    | Error e ->
+        Format.eprintf "%s@." (Rlc_service.Error.message e);
+        2
+    | Ok cells ->
+        Rlc_liberty.Liberty_io.save ~path:out ~name:"rlc_timing_c018" cells;
+        Format.printf "wrote %d cells to %s@." (List.length cells) out;
+        0
   in
   let sizes_arg =
     Arg.(
@@ -228,63 +237,73 @@ let flow_cmd =
       Logs.set_reporter (Logs.format_reporter ());
       Logs.set_level (Some Logs.Info)
     end;
-    let ( let* ) r f =
-      match r with
-      | Error e ->
-          Format.eprintf "%s@." e;
-          1
-      | Ok v -> f v
-    in
-    let* spef =
-      match Rlc_spef.Spef.parse (read_file spef_file) with
-      | Error e -> Error ("SPEF parse error: " ^ e)
-      | Ok s -> Ok s
-    in
-    let* spec =
-      match spec_file with
-      | Some file -> (
-          match Rlc_flow.Spec.parse (read_file file) with
-          | Error e -> Error ("spec error: " ^ e)
-          | Ok s -> Ok s)
-      | None -> Ok (Rlc_flow.Spec.default_of_spef ~size ~slew:(Rlc_num.Units.ps slew) spef)
-    in
-    let* design = Rlc_flow.Design.ingest ~spef ~spec () in
     let obs = obs_of ~trace ~metrics_json in
-    (* Level-grained progress: a plain line per level on a non-TTY stderr
-       (every:1), an in-place redraw on a terminal. *)
-    let progress =
-      if verbose then
-        Some
-          (Rlc_obs.Progress.create ~every:1 ~label:"  flow nets"
-             ~total:(Array.length design.Rlc_flow.Design.nets)
-             ())
-      else None
+    (* The one-shot flow rides the same Session as the daemon, so the
+       --json payload is byte-identical to a served "flow" request.
+       Exit codes: 2 for errors (parse errors print file:line: message),
+       1 for a timing violation, 0 otherwise. *)
+    let config =
+      {
+        Rlc_service.Session.Config.default with
+        Rlc_service.Session.Config.jobs =
+          (match jobs with Some j -> j | None -> Rlc_flow.Pool.default_jobs ());
+        dt = Rlc_num.Units.ps dt;
+        use_cache = not no_cache;
+        default_size = size;
+        default_slew = Rlc_num.Units.ps slew;
+        obs;
+      }
     in
-    let result =
-      Rlc_flow.Flow.run ~obs ?progress ~dt:(Rlc_num.Units.ps dt) ?jobs
-        ~use_cache:(not no_cache) design
-    in
-    Option.iter Rlc_obs.Progress.finish progress;
-    export_obs obs ~trace ~metrics_json;
-    let required = Option.map Rlc_num.Units.ps required in
-    Format.printf "%a" (fun fmt -> Rlc_flow.Report.summary ?required fmt) result;
-    Option.iter (fun path -> write_file path (Rlc_flow.Report.json_string ?required result)) json;
-    Option.iter (fun path -> write_file path (Rlc_flow.Report.csv_string result)) csv;
-    (* Gate CI on timing: nonzero exit when the worst arrival violates the
-       required time. *)
-    let violated =
-      match required with
-      | None -> false
-      | Some req -> (
-          match List.rev (Rlc_flow.Flow.critical_path result) with
-          | last :: _ -> req -. last.Rlc_flow.Flow.arrival < 0.
-          | [] -> false)
-    in
-    if violated then begin
-      Format.eprintf "timing violated: worst slack is negative@.";
-      1
-    end
-    else 0
+    Rlc_service.Session.with_session ~config (fun session ->
+        let ingested =
+          Rlc_service.Session.ingest session ~spef:(read_file spef_file) ~spef_name:spef_file
+            ?spec:(Option.map read_file spec_file)
+            ?spec_name:spec_file ()
+        in
+        match ingested with
+        | Error e ->
+            Format.eprintf "%s@." (Rlc_service.Error.message e);
+            2
+        | Ok design -> (
+            (* Level-grained progress: a plain line per level on a non-TTY
+               stderr (every:1), an in-place redraw on a terminal. *)
+            let progress =
+              if verbose then
+                Some
+                  (Rlc_obs.Progress.create ~every:1 ~label:"  flow nets"
+                     ~total:(Array.length design.Rlc_flow.Design.nets)
+                     ())
+              else None
+            in
+            let required = Option.map Rlc_num.Units.ps required in
+            match Rlc_service.Session.flow session ?required ?progress design with
+            | Error e ->
+                Option.iter Rlc_obs.Progress.finish progress;
+                Format.eprintf "%s@." (Rlc_service.Error.message e);
+                2
+            | Ok { Rlc_service.Session.result; report } ->
+                Option.iter Rlc_obs.Progress.finish progress;
+                export_obs obs ~trace ~metrics_json;
+                Format.printf "%a" (fun fmt -> Rlc_flow.Report.summary ?required fmt) result;
+                Option.iter (fun path -> write_file path report) json;
+                Option.iter
+                  (fun path -> write_file path (Rlc_flow.Report.csv_string result))
+                  csv;
+                (* Gate CI on timing: nonzero exit when the worst arrival
+                   violates the required time. *)
+                let violated =
+                  match required with
+                  | None -> false
+                  | Some req -> (
+                      match List.rev (Rlc_flow.Flow.critical_path result) with
+                      | last :: _ -> req -. last.Rlc_flow.Flow.arrival < 0.
+                      | [] -> false)
+                in
+                if violated then begin
+                  Format.eprintf "timing violated: worst slack is negative@.";
+                  1
+                end
+                else 0))
   in
   let spef_arg =
     Arg.(
@@ -339,6 +358,87 @@ let flow_cmd =
       const run $ spef_arg $ spec_arg $ jobs_arg $ json_arg $ csv_arg $ default_size_arg
       $ slew_arg $ no_cache_arg $ dt_arg $ required_arg $ verbose_arg $ trace_arg
       $ metrics_json_arg)
+
+(* -------------------------------------------------------------- serve *)
+
+let serve_cmd =
+  let run socket jobs timeout_ms max_bytes warm verbose trace metrics_json =
+    if verbose then begin
+      Logs.set_reporter (Logs.format_reporter ());
+      Logs.set_level (Some Logs.Info)
+    end;
+    let obs = obs_of ~trace ~metrics_json in
+    let config =
+      { Rlc_service.Session.Config.default with Rlc_service.Session.Config.jobs; obs }
+    in
+    Rlc_service.Session.with_session ~config (fun session ->
+        match Rlc_service.Session.warm session warm with
+        | Error e ->
+            Format.eprintf "%s@." (Rlc_service.Error.message e);
+            2
+        | Ok () ->
+            let server =
+              Rlc_service.Server.create
+                ~timeout_s:(float_of_int timeout_ms /. 1000.)
+                ~max_request_bytes:max_bytes session
+            in
+            (match socket with
+            | None -> Rlc_service.Server.serve_channels server stdin stdout
+            | Some path -> Rlc_service.Server.serve_unix server ~path);
+            export_obs obs ~trace ~metrics_json;
+            0)
+  in
+  let socket_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:
+            "Serve on a Unix-domain socket at $(docv) instead of the default stdin/stdout pipe \
+             mode.")
+  in
+  let jobs_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs" ] ~docv:"N"
+          ~doc:
+            "Worker domains of the resident pool.  The default 1 keeps solves in the serving \
+             domain so the per-request timeout can interrupt them.")
+  in
+  let timeout_arg =
+    Arg.(
+      value
+      & opt int (int_of_float (Rlc_service.Server.default_timeout_s *. 1000.))
+      & info [ "timeout-ms" ] ~docv:"MS"
+          ~doc:
+            "Per-request wall-clock budget in milliseconds (requests may lower it with \
+             timeout_ms); 0 disables the timeout.")
+  in
+  let max_bytes_arg =
+    Arg.(
+      value
+      & opt int Rlc_service.Protocol.default_max_bytes
+      & info [ "max-request-bytes" ] ~docv:"N" ~doc:"Reject request lines longer than $(docv).")
+  in
+  let warm_arg =
+    Arg.(
+      value & opt (list float) []
+      & info [ "warm" ] ~docv:"X,X,..."
+          ~doc:"Pre-characterize these driver sizes before serving the first request.")
+  in
+  let verbose_arg =
+    Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Log served requests and failures.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the persistent timing daemon: newline-delimited JSON requests (schema \
+          rlc-service/1) answered from warm state — characterized cells, the shared Ceff \
+          result cache, a resident domain pool.  Kinds: flow, sweep_case, screen, ping, \
+          stats, shutdown.")
+    Term.(
+      const run $ socket_arg $ jobs_arg $ timeout_arg $ max_bytes_arg $ warm_arg $ verbose_arg
+      $ trace_arg $ metrics_json_arg)
 
 (* --------------------------------------------------------------- spef *)
 
@@ -425,4 +525,4 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ analyze_cmd; screen_cmd; characterize_cmd; sweep_cmd; spef_cmd; flow_cmd ]))
+          [ analyze_cmd; screen_cmd; characterize_cmd; sweep_cmd; spef_cmd; flow_cmd; serve_cmd ]))

@@ -37,17 +37,23 @@ let () =
   in
   Format.printf "%a@.@." Rlc_flow.Design.pp design;
 
-  (* Cold run on one domain, then the same design on four. *)
-  let r1 = Rlc_flow.Flow.run ~jobs:1 design in
-  let r4 = Rlc_flow.Flow.run ~jobs:4 design in
+  (* Cold run on one domain, then the same design on four.  Runs are
+     configured through the Flow.Config record. *)
+  let run ?cache ~jobs design =
+    Rlc_flow.Flow.run_cfg
+      { Rlc_flow.Flow.Config.default with Rlc_flow.Flow.Config.jobs = Some jobs; cache }
+      design
+  in
+  let r1 = run ~jobs:1 design in
+  let r4 = run ~jobs:4 design in
   Rlc_flow.Report.summary Format.std_formatter r1;
   Format.printf "@.deterministic across jobs: %b@."
     (Rlc_flow.Report.json_string r1 = Rlc_flow.Report.json_string r4);
 
   (* Warm rerun against a shared cache: every net is a hit. *)
   let cache = Rlc_flow.Flow.create_cache () in
-  let cold = Rlc_flow.Flow.run ~jobs:1 ~cache design in
-  let warm = Rlc_flow.Flow.run ~jobs:1 ~cache design in
+  let cold = run ~cache ~jobs:1 design in
+  let warm = run ~cache ~jobs:1 design in
   Format.printf
     "cold run: %d/%d Ceff iterations actually run; warm rerun: %d (cache %d hits)@."
     cold.Rlc_flow.Flow.stats.Rlc_flow.Flow.iterations_spent

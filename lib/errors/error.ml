@@ -1,0 +1,32 @@
+type t =
+  | Parse of { file : string option; line : int option; msg : string }
+  | Unsupported_version of string
+  | Timeout of float
+  | Internal of string
+  | Bad_request of string
+
+let code = function
+  | Parse _ -> "parse_error"
+  | Unsupported_version _ -> "unsupported_version"
+  | Timeout _ -> "timeout"
+  | Internal _ -> "internal"
+  | Bad_request _ -> "bad_request"
+
+let message = function
+  | Parse { file; line; msg } ->
+      let file = match file with Some f -> f ^ ":" | None -> "" in
+      let line = match line with Some l -> string_of_int l ^ ":" | None -> "" in
+      if file = "" && line = "" then msg else Printf.sprintf "%s%s %s" file line msg
+  | Unsupported_version v -> Printf.sprintf "unsupported schema version %S" v
+  | Timeout budget -> Printf.sprintf "request exceeded its %g s budget" budget
+  | Internal msg -> msg
+  | Bad_request msg -> msg
+
+let to_string e = code e ^ ": " ^ message e
+let pp fmt e = Format.pp_print_string fmt (to_string e)
+let parse ?file ?line msg = Parse { file; line; msg }
+
+let of_exn = function
+  | Invalid_argument msg -> Bad_request msg
+  | Failure msg -> Internal msg
+  | e -> Internal (Printexc.to_string e)

@@ -1,0 +1,53 @@
+(** The library-wide typed error.
+
+    Every user-reachable failure of the timing stack — malformed input
+    files, protocol violations, per-request timeouts, and genuine internal
+    faults — maps onto one constructor here, so embedders (the CLI, the
+    {!Rlc_service} daemon, tests) can react to a stable machine-readable
+    {!code} instead of pattern-matching exception strings.  Lower layers
+    ({!Rlc_flow.Spec}, {!Rlc_spef.Spef}, {!Rlc_liberty.Characterize},
+    {!Rlc_sta.Sta}) expose [_res] entry points returning
+    [(_, Error.t) result]; {!Rlc_service.Error} re-exports this module as
+    the service's public error surface. *)
+
+type t =
+  | Parse of { file : string option; line : int option; msg : string }
+      (** Malformed input text (SPEF, spec, or protocol JSON).  [line] is
+          1-based when known; [file] names the source when the caller
+          supplied one. *)
+  | Unsupported_version of string
+      (** A protocol request whose [schema] tag is not one this build
+          speaks; carries the offending tag. *)
+  | Timeout of float
+      (** The per-request wall-clock budget (seconds) was exhausted. *)
+  | Internal of string
+      (** A failure of the engine itself (non-convergence, incomplete
+          waveform, ...) — a bug report, not a user error. *)
+  | Bad_request of string
+      (** A structurally valid request the engine cannot serve: unknown
+          kind, missing field, inconsistent design, oversized payload. *)
+
+val code : t -> string
+(** Stable machine-readable code, one per constructor: ["parse_error"],
+    ["unsupported_version"], ["timeout"], ["internal"], ["bad_request"].
+    Protocol clients dispatch on this; it never changes within a schema
+    version. *)
+
+val message : t -> string
+(** Human-readable message.  [Parse] formats as [file:line: msg] with the
+    [file:] and [line:] prefixes present exactly when known. *)
+
+val to_string : t -> string
+(** [code ^ ": " ^ message]. *)
+
+val pp : Format.formatter -> t -> unit
+
+val parse : ?file:string -> ?line:int -> string -> t
+(** Convenience constructor for [Parse]. *)
+
+val of_exn : exn -> t
+(** Classify a caught exception: [Invalid_argument] (caller-supplied data
+    the engine rejected) becomes [Bad_request]; [Failure] and anything else
+    become [Internal] (via [Printexc.to_string] for the latter).  Never
+    call this on exceptions that must escape ([Out_of_memory], ...); catch
+    specific ones first. *)

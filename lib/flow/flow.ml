@@ -45,6 +45,41 @@ type result = { design : Design.t; results : net_result array; stats : stats }
 
 let create_cache : unit -> solve Cache.t = Cache.create
 
+(* The whole knob surface of a flow run as one value, so embedders (CLI,
+   bench, the service daemon's [Session]) pass configuration around and
+   override single fields without threading eight optional arguments. *)
+module Config = struct
+  type flow_config = {
+    dt : float;
+    jobs : int option;
+    use_cache : bool;
+    cache : solve Cache.t option;
+    quantize_digits : int;
+    slew_grid : float;
+    obs : Obs.t;
+    progress : Progress.t option;
+    pool : Pool.t option;
+  }
+
+  type t = flow_config
+
+  let default =
+    {
+      dt = 0.5e-12;
+      jobs = None;
+      use_cache = true;
+      cache = None;
+      quantize_digits = 9;
+      slew_grid = 0.1e-12;
+      obs = Obs.null;
+      progress = None;
+      pool = None;
+    }
+
+  let with_jobs jobs t = { t with jobs = Some jobs }
+  let with_cache cache t = { t with cache = Some cache }
+end
+
 (* Canonicalize the per-net electrical inputs so that (a) repeated bus bits
    collide on one cache key and (b) the solve is a pure function of the key
    — the flow's jobs-count-independence rests on computing FROM the
@@ -100,10 +135,26 @@ let solve_net ?obs ~tech ~dt ~edge ~size c =
   in
   { model; stage_delay; far_slew; iterations = Driver_model.total_iterations model }
 
-let run ?(obs = Obs.null) ?progress ?(dt = 0.5e-12) ?jobs ?(use_cache = true) ?cache
-    ?(quantize_digits = 9) ?(slew_grid = 0.1e-12) (design : Design.t) =
-  let jobs = match jobs with Some j -> Int.max 1 j | None -> Pool.default_jobs () in
-  let cache = match cache with Some c -> c | None -> create_cache () in
+let run_cfg (cfg : Config.t) (design : Design.t) =
+  let obs = cfg.Config.obs
+  and progress = cfg.Config.progress
+  and dt = cfg.Config.dt
+  and use_cache = cfg.Config.use_cache
+  and quantize_digits = cfg.Config.quantize_digits
+  and slew_grid = cfg.Config.slew_grid in
+  (* A borrowed pool (the service daemon's resident one) is used as-is and
+     left running; otherwise a pool is created for this run and shut down
+     with it. *)
+  let with_run_pool f =
+    match cfg.Config.pool with
+    | Some pool -> f pool
+    | None ->
+        let jobs =
+          match cfg.Config.jobs with Some j -> Int.max 1 j | None -> Pool.default_jobs ()
+        in
+        Pool.with_pool ~obs ~jobs f
+  in
+  let cache = match cfg.Config.cache with Some c -> c | None -> create_cache () in
   let hits0 = Cache.hits cache and misses0 = Cache.misses cache in
   let tech = design.Design.tech in
   let n = Array.length design.Design.nets in
@@ -125,7 +176,7 @@ let run ?(obs = Obs.null) ?progress ?(dt = 0.5e-12) ?jobs ?(use_cache = true) ?c
   let spent = Atomic.make 0 in
   let nets_done = Atomic.make 0 in
   timed "solve" (fun () ->
-      Pool.with_pool ~obs ~jobs (fun pool ->
+      with_run_pool (fun pool ->
           Array.iteri
             (fun lvl ids ->
               let level_t0 = Obs.start obs in
@@ -250,6 +301,22 @@ let run ?(obs = Obs.null) ?progress ?(dt = 0.5e-12) ?jobs ?(use_cache = true) ?c
         stats.n_nets stats.n_levels stats.n_inductive stats.cache_hits stats.cache_misses
         stats.iterations_spent stats.iterations_total);
   { design; results; stats }
+
+let run ?(obs = Obs.null) ?progress ?(dt = 0.5e-12) ?jobs ?(use_cache = true) ?cache
+    ?(quantize_digits = 9) ?(slew_grid = 0.1e-12) design =
+  run_cfg
+    {
+      Config.obs;
+      progress;
+      dt;
+      jobs;
+      use_cache;
+      cache;
+      quantize_digits;
+      slew_grid;
+      pool = None;
+    }
+    design
 
 let critical_path result =
   let worst =

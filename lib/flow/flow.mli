@@ -48,7 +48,57 @@ type stats = {
 type result = { design : Design.t; results : net_result array; stats : stats }
 
 val create_cache : unit -> solve Cache.t
-(** A cache that can be shared across {!run} invocations (warm re-timing). *)
+(** A cache that can be shared across {!run_cfg} invocations (warm
+    re-timing), including across requests of a resident
+    [Rlc_service.Session]. *)
+
+(** The whole knob surface of a flow run as one record, replacing the old
+    eight-optional-argument {!run} convention.  Build configurations with
+    [{ Config.default with dt = ... }] or the [with_*] helpers. *)
+module Config : sig
+  type flow_config = {
+    dt : float;  (** replay timestep, seconds; default 0.5 ps *)
+    jobs : int option;
+        (** worker domains when the run creates its own pool; [None] means
+            {!Pool.default_jobs}.  Ignored when [pool] is given. *)
+    use_cache : bool;  (** default true *)
+    cache : solve Cache.t option;
+        (** share a cache across runs; [None] creates a fresh one per run *)
+    quantize_digits : int;  (** cache-key significant digits; default 9 *)
+    slew_grid : float;  (** cache-key slew grid, seconds; default 0.1 ps *)
+    obs : Rlc_obs.Obs.t;  (** default {!Rlc_obs.Obs.null} (disabled) *)
+    progress : Rlc_obs.Progress.t option;
+    pool : Pool.t option;
+        (** borrow a resident pool: the run uses it as-is and leaves it
+            running (the service daemon's warm pool).  [None] (default)
+            creates and shuts down a per-run pool of [jobs] domains. *)
+  }
+
+  type t = flow_config
+
+  val default : t
+  val with_jobs : int -> t -> t
+  val with_cache : solve Cache.t -> t -> t
+end
+
+val run_cfg : Config.t -> Design.t -> result
+(** Run the flow under a {!Config.t}.  Cells for every driver size are
+    characterized up front in the calling domain (the memo table is shared,
+    read-only during fan-out).
+
+    [Config.obs] (default disabled) records: ["flow.characterize"] /
+    ["flow.solve"] / ["flow.arrivals"] phase spans, a ["flow.level"] span
+    per timing level, a ["flow.net"] span per net (args: net name, level,
+    [cache] hit/miss, Ceff iteration count, waveform shape), counters
+    ["flow.nets"], ["flow.cache.hits"]/["flow.cache.misses"],
+    ["flow.ceff_iterations"] (per-net solve iterations, cached or not —
+    sums to [stats.iterations_total]) and ["flow.ceff_iterations_run"]
+    (misses only — sums to [stats.iterations_spent]); the sink is also
+    forwarded to the pool, the driver model, and the replay engine.
+    Telemetry stays out of {!Report} payloads by construction.
+
+    [Config.progress] (default none) is reported the cumulative
+    finished-net count after each level completes. *)
 
 val run :
   ?obs:Rlc_obs.Obs.t ->
@@ -61,25 +111,9 @@ val run :
   ?slew_grid:float ->
   Design.t ->
   result
-(** Defaults: [dt] 0.5 ps (the sweep-throughput timestep), [jobs]
-    {!Pool.default_jobs}, [use_cache] true with a fresh per-run cache,
-    [quantize_digits] 9, [slew_grid] 0.1 ps.  Cells for every driver size
-    are characterized up front in the calling domain (the memo table is
-    shared, read-only during fan-out).
-
-    [obs] (default disabled) records: ["flow.characterize"] /
-    ["flow.solve"] / ["flow.arrivals"] phase spans, a ["flow.level"] span
-    per timing level, a ["flow.net"] span per net (args: net name, level,
-    [cache] hit/miss, Ceff iteration count, waveform shape), counters
-    ["flow.nets"], ["flow.cache.hits"]/["flow.cache.misses"],
-    ["flow.ceff_iterations"] (per-net solve iterations, cached or not —
-    sums to [stats.iterations_total]) and ["flow.ceff_iterations_run"]
-    (misses only — sums to [stats.iterations_spent]); the sink is also
-    forwarded to the pool, the driver model, and the replay engine.
-    Telemetry stays out of {!Report} payloads by construction.
-
-    [progress] (default none) is reported the cumulative finished-net
-    count after each level completes. *)
+[@@deprecated "use run_cfg with a Flow.Config.t record"]
+(** Shim over {!run_cfg}: builds a {!Config.t} from the optional arguments
+    (identical defaults) and delegates.  Behavior is unchanged. *)
 
 val critical_path : result -> net_result list
 (** The worst-arrival net and its fan-in chain, source first.  Ties break

@@ -12,7 +12,7 @@ let float_of lineno s =
   | Some f -> f
   | None -> raise (Err (lineno, "expected a number, got " ^ s))
 
-let parse src =
+let parse_res ?file src =
   let drivers = ref [] and inputs = ref [] and edges = ref [] and loads = ref [] in
   let lines = String.split_on_char '\n' src in
   try
@@ -65,7 +65,14 @@ let parse src =
         edges = List.rev !edges;
         loads = List.rev !loads;
       }
-  with Err (lineno, msg) -> Error (Printf.sprintf "spec line %d: %s" lineno msg)
+  with Err (lineno, msg) -> Error (Rlc_errors.Error.parse ?file ~line:lineno msg)
+
+let parse src =
+  match parse_res src with
+  | Ok t -> Ok t
+  | Error (Rlc_errors.Error.Parse { line = Some l; msg; _ }) ->
+      Error (Printf.sprintf "spec line %d: %s" l msg)
+  | Error e -> Error (Rlc_errors.Error.message e)
 
 let default_of_spef ?(size = 75.) ?(slew = 100e-12) (spef : Rlc_spef.Spef.t) =
   let names = List.map (fun n -> n.Rlc_spef.Spef.net_name) spef.Rlc_spef.Spef.nets in

@@ -29,10 +29,15 @@ type t = {
   loads : (string * string * float) list;  (** net, pin, farads *)
 }
 
+val parse_res : ?file:string -> string -> (t, Rlc_errors.Error.t) result
+(** Errors are {!Rlc_errors.Error.Parse} carrying the 1-based input line and
+    the source [file] name when given.  Duplicate [driver] or [input] lines
+    for the same net, unknown keywords, malformed numbers and non-positive
+    sizes or slews are errors. *)
+
 val parse : string -> (t, string) result
-(** Errors carry a line number.  Duplicate [driver] or [input] lines for the
-    same net, unknown keywords, malformed numbers and non-positive sizes or
-    slews are errors. *)
+(** Legacy shim over {!parse_res}: same grammar, errors flattened to
+    ["spec line %d: %s"] strings (no file context).  Prefer {!parse_res}. *)
 
 val default_of_spef : ?size:float -> ?slew:float -> Rlc_spef.Spef.t -> t
 (** A flat spec for running a bare SPEF file: every net is a primary input

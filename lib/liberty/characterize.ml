@@ -116,3 +116,19 @@ let cell ?(grid = default_grid) tech ~size =
       in
       with_cache (fun () -> Hashtbl.replace cache key c);
       c
+
+(* Result-returning variants for embedders (the service daemon, the CLI)
+   that must answer with a typed error instead of dying on a bad driver
+   size or an uncharacterizable grid point. *)
+
+let characterize_point_res tech ~size ~edge ~input_slew ~cap =
+  match characterize_point tech ~size ~edge ~input_slew ~cap with
+  | v -> Ok v
+  | exception Invalid_argument msg -> Error (Rlc_errors.Error.Bad_request msg)
+  | exception Failure msg -> Error (Rlc_errors.Error.Internal msg)
+
+let cell_res ?grid tech ~size =
+  match cell ?grid tech ~size with
+  | c -> Ok c
+  | exception Invalid_argument msg -> Error (Rlc_errors.Error.Bad_request msg)
+  | exception Failure msg -> Error (Rlc_errors.Error.Internal msg)

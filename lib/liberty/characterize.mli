@@ -17,12 +17,27 @@ val default_grid : grid
 
 val cell : ?grid:grid -> Rlc_devices.Tech.t -> size:float -> Table.cell
 (** Characterize both output arcs of an inverter of the given size.
-    Results are cached; repeated calls are free. *)
+    Results are cached; repeated calls are free.  Raises [Invalid_argument]
+    on a non-positive size and [Failure] when a grid point's waveform never
+    completes; embedders that must not die should use {!cell_res}. *)
+
+val cell_res :
+  ?grid:grid -> Rlc_devices.Tech.t -> size:float -> (Table.cell, Rlc_errors.Error.t) result
+(** {!cell} with the user-reachable exits converted to typed errors:
+    [Invalid_argument] (bad driver size) becomes
+    {!Rlc_errors.Error.Bad_request}, characterization failures become
+    {!Rlc_errors.Error.Internal}. *)
 
 val clear_cache : unit -> unit
+
+val characterize_point_res :
+  Rlc_devices.Tech.t -> size:float -> edge:Rlc_devices.Testbench.edge ->
+  input_slew:float -> cap:float -> (float * float * float * float, Rlc_errors.Error.t) result
+(** One grid point: [(delay_50, slew_10_90, slew_20_80, tail_50_90)].
+    Exposed so tests can compare table lookups against direct simulation. *)
 
 val characterize_point :
   Rlc_devices.Tech.t -> size:float -> edge:Rlc_devices.Testbench.edge ->
   input_slew:float -> cap:float -> float * float * float * float
-(** One grid point: [(delay_50, slew_10_90, slew_20_80, tail_50_90)].
-    Exposed so tests can compare table lookups against direct simulation. *)
+[@@deprecated "use characterize_point_res (typed errors instead of Failure)"]
+(** Raising shim over {!characterize_point_res}; behavior unchanged. *)

@@ -1,0 +1,1 @@
+include Rlc_errors.Error

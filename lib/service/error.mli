@@ -1,0 +1,8 @@
+(** The service's error type — a re-export of {!Rlc_errors.Error} so that
+    embedders only ever need to open [Rlc_service].  Every failure a request
+    can produce is one of these constructors; {!code} is the stable wire
+    identifier carried in error responses and {!message} the human text. *)
+
+include module type of struct
+  include Rlc_errors.Error
+end

@@ -1,0 +1,166 @@
+(* Wire protocol: versioned newline-delimited JSON requests/responses.
+   Parsing is strict about types and required fields but lenient about
+   unknown fields (forward compatibility within a schema version). *)
+
+let schema = "rlc-service/1"
+let default_max_bytes = 8 * 1024 * 1024
+
+type source = Inline of string | File of string
+
+type flow_req = {
+  f_spef : source;
+  f_spec : source option;
+  f_size : float option;
+  f_slew_ps : float option;
+  f_required_ps : float option;
+  f_use_cache : bool option;
+  f_dt_ps : float option;
+}
+
+type case_req = {
+  c_length_mm : float;
+  c_width_um : float;
+  c_size : float;
+  c_slew_ps : float option;
+  c_cl_ff : float option;
+  c_dt_ps : float option;
+}
+
+type kind =
+  | Flow of flow_req
+  | Sweep_case of case_req
+  | Screen of case_req
+  | Ping
+  | Stats
+  | Shutdown
+
+type request = { id : Json.t option; timeout_ms : int option; kind : kind }
+
+(* -------------------------------------------------------- field access *)
+
+let ( let* ) = Result.bind
+let bad fmt = Printf.ksprintf (fun msg -> Error (Error.Bad_request msg)) fmt
+
+let opt_field name conv what fields =
+  match List.assoc_opt name fields with
+  | None -> Ok None
+  | Some v -> (
+      match conv v with
+      | Some x -> Ok (Some x)
+      | None -> bad "field %S must be %s" name what)
+
+let req_field name conv what fields =
+  match List.assoc_opt name fields with
+  | None -> bad "missing required field %S" name
+  | Some v -> (
+      match conv v with
+      | Some x -> Ok x
+      | None -> bad "field %S must be %s" name what)
+
+let str_opt name = opt_field name Json.get_string "a string"
+let num_opt name = opt_field name Json.get_float "a number"
+let bool_opt name = opt_field name Json.get_bool "a boolean"
+let num_req name = req_field name Json.get_float "a number"
+
+let positive name = function
+  | Some x when x <= 0. -> bad "field %S must be positive" name
+  | v -> Ok v
+
+let num_req_pos name fields =
+  let* v = num_req name fields in
+  if v <= 0. then bad "field %S must be positive" name else Ok v
+
+(* ------------------------------------------------------------ requests *)
+
+let parse_source ~inline_key ~file_key fields =
+  let* inline = str_opt inline_key fields in
+  let* file = str_opt file_key fields in
+  match (inline, file) with
+  | Some _, Some _ -> bad "give %S or %S, not both" inline_key file_key
+  | Some s, None -> Ok (Some (Inline s))
+  | None, Some f -> Ok (Some (File f))
+  | None, None -> Ok None
+
+let parse_flow fields =
+  let* spef = parse_source ~inline_key:"spef" ~file_key:"spef_file" fields in
+  let* f_spef =
+    match spef with
+    | Some s -> Ok s
+    | None -> bad "a flow request needs %S or %S" "spef" "spef_file"
+  in
+  let* f_spec = parse_source ~inline_key:"spec" ~file_key:"spec_file" fields in
+  let* f_size = Result.bind (num_opt "size" fields) (positive "size") in
+  let* f_slew_ps = Result.bind (num_opt "slew_ps" fields) (positive "slew_ps") in
+  let* f_required_ps = num_opt "required_ps" fields in
+  let* f_use_cache = bool_opt "use_cache" fields in
+  let* f_dt_ps = Result.bind (num_opt "dt_ps" fields) (positive "dt_ps") in
+  Ok (Flow { f_spef; f_spec; f_size; f_slew_ps; f_required_ps; f_use_cache; f_dt_ps })
+
+let parse_case fields =
+  let* c_length_mm = num_req_pos "length_mm" fields in
+  let* c_width_um = num_req_pos "width_um" fields in
+  let* c_size = num_req_pos "size" fields in
+  let* c_slew_ps = Result.bind (num_opt "slew_ps" fields) (positive "slew_ps") in
+  let* c_cl_ff = num_opt "cl_ff" fields in
+  let* c_dt_ps = Result.bind (num_opt "dt_ps" fields) (positive "dt_ps") in
+  Ok { c_length_mm; c_width_um; c_size; c_slew_ps; c_cl_ff; c_dt_ps }
+
+let parse_request ?(max_bytes = default_max_bytes) line =
+  if String.length line > max_bytes then
+    bad "request is %d bytes; the limit is %d" (String.length line) max_bytes
+  else
+    let* json =
+      match Json.parse line with
+      | Ok j -> Ok j
+      | Error (pos, msg) -> Error (Error.parse (Printf.sprintf "at byte %d: %s" pos msg))
+    in
+    let* fields =
+      match Json.get_obj json with
+      | Some fields -> Ok fields
+      | None -> bad "a request must be a JSON object"
+    in
+    let* () =
+      match List.assoc_opt "schema" fields with
+      | Some (Json.Str v) when v = schema -> Ok ()
+      | Some (Json.Str v) -> Error (Error.Unsupported_version v)
+      | Some _ -> bad "field %S must be a string" "schema"
+      | None -> Error (Error.Unsupported_version "(missing schema field)")
+    in
+    let id = List.assoc_opt "id" fields in
+    let* timeout_ms =
+      match List.assoc_opt "timeout_ms" fields with
+      | None -> Ok None
+      | Some (Json.Int ms) when ms > 0 -> Ok (Some ms)
+      | Some _ -> bad "field %S must be a positive integer" "timeout_ms"
+    in
+    let* kind_name = req_field "kind" Json.get_string "a string" fields in
+    let* kind =
+      match kind_name with
+      | "flow" -> parse_flow fields
+      | "sweep_case" -> Result.map (fun c -> Sweep_case c) (parse_case fields)
+      | "screen" -> Result.map (fun c -> Screen c) (parse_case fields)
+      | "ping" -> Ok Ping
+      | "stats" -> Ok Stats
+      | "shutdown" -> Ok Shutdown
+      | other -> bad "unknown request kind %S" other
+    in
+    Ok { id; timeout_ms; kind }
+
+(* ----------------------------------------------------------- responses *)
+
+let response ?id ~ok fields =
+  let base =
+    ("schema", Json.Str schema)
+    :: (match id with Some id -> [ ("id", id) ] | None -> [])
+  in
+  Json.to_string (Json.Obj (base @ (("ok", Json.Bool ok) :: fields)))
+
+let ok_response ?id fields = response ?id ~ok:true fields
+
+let error_response ?id err =
+  response ?id ~ok:false
+    [
+      ( "error",
+        Json.Obj
+          [ ("code", Json.Str (Error.code err)); ("message", Json.Str (Error.message err)) ] );
+    ]

@@ -1,0 +1,80 @@
+(** The daemon's wire protocol: newline-delimited JSON, schema
+    ["rlc-service/1"].
+
+    Every request is one line — a JSON object carrying a ["schema"] tag, a
+    ["kind"], an optional ["id"] (echoed verbatim in the response, any JSON
+    value), an optional ["timeout_ms"] overriding the server's per-request
+    budget, and kind-specific parameters.  Every response is one line:
+    [{"schema":...,"id":...,"ok":true,...}] on success and
+    [{"schema":...,"id":...,"ok":false,"error":{"code":...,"message":...}}]
+    on failure, where [code] is the stable machine identifier from
+    {!Error.code}.
+
+    Request kinds:
+    - ["flow"]: time a full design.  Exactly one of ["spef"] (inline text)
+      or ["spef_file"] (path the {e server} reads); at most one of ["spec"]
+      / ["spec_file"]; optional ["size"], ["slew_ps"] (spec defaults),
+      ["required_ps"], ["use_cache"], ["dt_ps"].
+    - ["sweep_case"] / ["screen"]: one geometric case; required
+      ["length_mm"], ["width_um"], ["size"]; optional ["slew_ps"],
+      ["cl_ff"], ["dt_ps"] (sweep only).
+    - ["ping"], ["stats"], ["shutdown"]: no parameters. *)
+
+val schema : string
+(** ["rlc-service/1"].  Requests carrying any other value are rejected with
+    an [unsupported_version] error before their parameters are looked at. *)
+
+val default_max_bytes : int
+(** Default request-size limit, 8 MiB. *)
+
+type source =
+  | Inline of string  (** content shipped in the request *)
+  | File of string  (** path to be read by the server *)
+
+type flow_req = {
+  f_spef : source;
+  f_spec : source option;
+  f_size : float option;  (** default driver size when no spec is given *)
+  f_slew_ps : float option;  (** default primary-input slew, ps *)
+  f_required_ps : float option;  (** required arrival for slack, ps *)
+  f_use_cache : bool option;
+  f_dt_ps : float option;
+}
+
+type case_req = {
+  c_length_mm : float;
+  c_width_um : float;
+  c_size : float;
+  c_slew_ps : float option;
+  c_cl_ff : float option;
+  c_dt_ps : float option;
+}
+
+type kind =
+  | Flow of flow_req
+  | Sweep_case of case_req
+  | Screen of case_req
+  | Ping
+  | Stats
+  | Shutdown
+
+type request = {
+  id : Json.t option;  (** echoed verbatim into the response *)
+  timeout_ms : int option;
+  kind : kind;
+}
+
+val parse_request : ?max_bytes:int -> string -> (request, Error.t) result
+(** Validate one request line.  Errors, in checking order: over
+    [max_bytes] (default {!default_max_bytes}) → [Bad_request]; malformed
+    JSON → [Parse] with the byte position; wrong/missing schema →
+    [Unsupported_version]; unknown kind, missing required field, or a
+    type/positivity violation → [Bad_request]. *)
+
+val ok_response : ?id:Json.t -> (string * Json.t) list -> string
+(** Success line (no trailing newline): the standard envelope with the
+    given extra fields appended after ["ok"]. *)
+
+val error_response : ?id:Json.t -> Error.t -> string
+(** Failure line carrying [{"code";"message"}] from {!Error.code} /
+    {!Error.message}. *)

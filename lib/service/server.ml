@@ -1,0 +1,278 @@
+(* The accept/dispatch loop around a Session.
+
+   One request line in, one response line out, in order.  Requests are
+   isolated: any failure — malformed JSON, a bad design, an exception out
+   of the numeric layers, a blown time budget — produces a typed error
+   response and the daemon keeps serving.  The wall-clock budget uses
+   ITIMER_REAL + SIGALRM raising a private exception, armed only for the
+   duration of the dispatch; with the session's default [jobs = 1] the
+   whole solve runs in this domain, where the signal can interrupt it. *)
+
+module Flow = Rlc_flow.Flow
+module Evaluate = Rlc_ceff.Evaluate
+module Units = Rlc_num.Units
+
+let src = Logs.Src.create "rlc.service" ~doc:"timing daemon"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type t = {
+  session : Session.t;
+  timeout_s : float;
+  max_request_bytes : int;
+  stop : bool Atomic.t;
+}
+
+let default_timeout_s = 60.
+
+(* ------------------------------------------------------------ timeout *)
+
+exception Timed_out
+
+(* The handler fires only while [armed]: a stray alarm delivered after the
+   guarded region (the timer is cleared, but a signal can already be
+   pending) must not kill an innocent bystander. *)
+let armed = Atomic.make false
+
+let install_sigalrm () =
+  try
+    Sys.set_signal Sys.sigalrm
+      (Sys.Signal_handle (fun _ -> if Atomic.get armed then raise Timed_out))
+  with Invalid_argument _ -> ()
+
+let create ?(timeout_s = default_timeout_s) ?(max_request_bytes = Protocol.default_max_bytes)
+    session =
+  (* Installed here so that driving {!handle_line} directly (tests, the
+     bench) is safe: an armed alarm must never hit the default action. *)
+  install_sigalrm ();
+  { session; timeout_s; max_request_bytes; stop = Atomic.make false }
+
+let stop t = Atomic.set t.stop true
+let stopped t = Atomic.get t.stop
+
+let install_signals t =
+  install_sigalrm ();
+  (* Graceful drain: finish the in-flight request, then exit the loop. *)
+  (try Sys.set_signal Sys.sigterm (Sys.Signal_handle (fun _ -> Atomic.set t.stop true))
+   with Invalid_argument _ -> ());
+  (* A client vanishing mid-response must be an EPIPE we can catch, not a
+     process kill. *)
+  try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ()
+
+let set_timer seconds =
+  ignore (Unix.setitimer Unix.ITIMER_REAL { Unix.it_value = seconds; it_interval = 0. })
+
+let with_timeout budget f =
+  if budget <= 0. || budget = Float.infinity then f ()
+  else begin
+    Atomic.set armed true;
+    set_timer budget;
+    Fun.protect
+      ~finally:(fun () ->
+        Atomic.set armed false;
+        set_timer 0.)
+      f
+  end
+
+(* ----------------------------------------------------------- dispatch *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let resolve what = function
+  | Protocol.Inline s -> Ok (s, None)
+  | Protocol.File path -> (
+      match read_file path with
+      | content -> Ok (content, Some path)
+      | exception Sys_error msg -> Error (Error.Bad_request (what ^ ": " ^ msg)))
+
+let metrics_fields (m : Evaluate.metrics) =
+  Json.Obj
+    [
+      ("delay_ps", Json.Float (Units.in_ps m.Evaluate.delay));
+      ("slew_ps", Json.Float (Units.in_ps m.Evaluate.slew));
+    ]
+
+let screen_fields (v : Rlc_ceff.Screen.verdict) =
+  [
+    ("significant", Json.Bool v.Rlc_ceff.Screen.significant);
+    ("cl_ok", Json.Bool v.Rlc_ceff.Screen.cl_ok);
+    ("rl_ok", Json.Bool v.Rlc_ceff.Screen.rl_ok);
+    ("rs_ok", Json.Bool v.Rlc_ceff.Screen.rs_ok);
+    ("tr_ok", Json.Bool v.Rlc_ceff.Screen.tr_ok);
+    ("cl_ratio", Json.Float v.Rlc_ceff.Screen.cl_ratio);
+    ("rl_over_z0", Json.Float v.Rlc_ceff.Screen.rl_over_z0);
+    ("rs_over_z0", Json.Float v.Rlc_ceff.Screen.rs_over_z0);
+    ("tr1_over_tf", Json.Float v.Rlc_ceff.Screen.tr1_over_tf);
+  ]
+
+let shape_name (m : Rlc_ceff.Driver_model.t) =
+  match m.Rlc_ceff.Driver_model.shape with
+  | Rlc_ceff.Driver_model.One_ramp _ -> "one_ramp"
+  | Rlc_ceff.Driver_model.Two_ramp _ -> "two_ramp"
+
+let flow_fields (o : Session.flow_outcome) =
+  let s = o.Session.result.Flow.stats in
+  [
+    ("report", Json.Str o.Session.report);
+    ("nets", Json.Int s.Flow.n_nets);
+    ("levels", Json.Int s.Flow.n_levels);
+    ("inductive", Json.Int s.Flow.n_inductive);
+    ("two_ramp", Json.Int s.Flow.n_two_ramp);
+    ("cache_hits", Json.Int s.Flow.cache_hits);
+    ("cache_misses", Json.Int s.Flow.cache_misses);
+    ("iterations_total", Json.Int s.Flow.iterations_total);
+    ("iterations_spent", Json.Int s.Flow.iterations_spent);
+  ]
+
+let case_of t (c : Protocol.case_req) =
+  Session.case t.session ?slew_ps:c.Protocol.c_slew_ps ?cl_ff:c.Protocol.c_cl_ff
+    ~length_mm:c.Protocol.c_length_mm ~width_um:c.Protocol.c_width_um ~size:c.Protocol.c_size ()
+
+let dispatch t (kind : Protocol.kind) :
+    ((string * Json.t) list, Error.t) result * [ `Continue | `Stop ] =
+  let ( let* ) = Result.bind in
+  match kind with
+  | Protocol.Ping -> (Ok [ ("pong", Json.Bool true) ], `Continue)
+  | Protocol.Stats ->
+      let s = Session.stats t.session in
+      ( Ok
+          [
+            ("uptime_s", Json.Float s.Session.uptime_s);
+            ("requests_served", Json.Int s.Session.requests_served);
+            ("requests_failed", Json.Int s.Session.requests_failed);
+            ( "cache",
+              Json.Obj
+                [
+                  ("entries", Json.Int s.Session.cache_entries);
+                  ("hits", Json.Int s.Session.cache_hits);
+                  ("misses", Json.Int s.Session.cache_misses);
+                ] );
+          ],
+        `Continue )
+  | Protocol.Shutdown -> (Ok [ ("stopping", Json.Bool true) ], `Stop)
+  | Protocol.Flow f ->
+      ( (let* spef, spef_name = resolve "spef_file" f.Protocol.f_spef in
+         let* spec, spec_name =
+           match f.Protocol.f_spec with
+           | None -> Ok (None, None)
+           | Some src ->
+               let* content, name = resolve "spec_file" src in
+               Ok (Some content, name)
+         in
+         let* design =
+           Session.ingest t.session ?spef_name ?spec ?spec_name ?size:f.Protocol.f_size
+             ?slew:(Option.map Units.ps f.Protocol.f_slew_ps)
+             ~spef ()
+         in
+         let* outcome =
+           Session.flow t.session
+             ?required:(Option.map Units.ps f.Protocol.f_required_ps)
+             ?use_cache:f.Protocol.f_use_cache
+             ?dt:(Option.map Units.ps f.Protocol.f_dt_ps)
+             design
+         in
+         Ok (flow_fields outcome)),
+        `Continue )
+  | Protocol.Sweep_case c ->
+      ( (let* case = case_of t c in
+         let* cmp = Session.sweep_case t.session ?dt:(Option.map Units.ps c.Protocol.c_dt_ps) case in
+         Ok
+           [
+             ("reference", metrics_fields cmp.Evaluate.reference);
+             ("auto", metrics_fields cmp.Evaluate.auto);
+             ("two_ramp", metrics_fields cmp.Evaluate.two_ramp);
+             ("one_ramp", metrics_fields cmp.Evaluate.one_ramp);
+             ("auto_shape", Json.Str (shape_name cmp.Evaluate.auto_model));
+             ("delay_err_pct", Json.Float (Evaluate.delay_err_pct cmp cmp.Evaluate.auto));
+             ("slew_err_pct", Json.Float (Evaluate.slew_err_pct cmp cmp.Evaluate.auto));
+           ]),
+        `Continue )
+  | Protocol.Screen c ->
+      ( (let* case = case_of t c in
+         let* model = Session.screen t.session case in
+         Ok
+           (screen_fields model.Rlc_ceff.Driver_model.screen
+           @ [ ("shape", Json.Str (shape_name model)) ])),
+        `Continue )
+
+let handle_line t line =
+  let parsed = Protocol.parse_request ~max_bytes:t.max_request_bytes line in
+  let id = match parsed with Ok req -> req.Protocol.id | Error _ -> None in
+  let outcome, control =
+    match parsed with
+    | Error e -> (Error e, `Continue)
+    | Ok req ->
+        let budget =
+          match req.Protocol.timeout_ms with
+          | Some ms -> float_of_int ms /. 1000.
+          | None -> t.timeout_s
+        in
+        (* Per-request isolation: whatever escapes — the private timeout,
+           an unexpected exception — becomes a typed error response and the
+           loop continues. *)
+        (match with_timeout budget (fun () -> dispatch t req.Protocol.kind) with
+        | outcome, control -> (outcome, control)
+        | exception Timed_out -> (Error (Error.Timeout budget), `Continue)
+        | exception Fun.Finally_raised Timed_out -> (Error (Error.Timeout budget), `Continue)
+        | exception e -> (Error (Error.of_exn e), `Continue))
+  in
+  match outcome with
+  | Ok fields ->
+      Session.note t.session ~ok:true;
+      (Protocol.ok_response ?id fields, control)
+  | Error e ->
+      Session.note t.session ~ok:false;
+      Log.info (fun m -> m "request failed: %s" (Error.to_string e));
+      (Protocol.error_response ?id e, `Continue)
+
+(* -------------------------------------------------------------- loops *)
+
+let serve_channels t ic oc =
+  install_signals t;
+  let rec loop () =
+    if stopped t then ()
+    else
+      match input_line ic with
+      | exception End_of_file -> ()
+      | line when String.trim line = "" -> loop ()
+      | line -> (
+          let response, control = handle_line t line in
+          output_string oc response;
+          output_char oc '\n';
+          flush oc;
+          match control with
+          | `Stop -> Atomic.set t.stop true
+          | `Continue -> loop ())
+  in
+  loop ()
+
+let serve_unix t ~path =
+  install_signals t;
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close sock with Unix.Unix_error _ -> ());
+      try Unix.unlink path with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.bind sock (Unix.ADDR_UNIX path);
+      Unix.listen sock 8;
+      Log.info (fun m -> m "listening on %s" path);
+      while not (stopped t) do
+        match Unix.accept sock with
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+        | fd, _ ->
+            let ic = Unix.in_channel_of_descr fd in
+            let oc = Unix.out_channel_of_descr fd in
+            (* One client at a time, in arrival order: requests of a
+               connection are served to completion before the next accept;
+               close_out closes the shared descriptor. *)
+            (try serve_channels t ic oc
+             with Sys_error msg -> Log.info (fun m -> m "client dropped: %s" msg));
+            (try flush oc with Sys_error _ -> ());
+            try close_out oc with Sys_error _ -> ()
+      done)

@@ -1,0 +1,47 @@
+(** The daemon's request loop: {!Protocol} lines in, {!Protocol} lines
+    out, one {!Session} underneath.
+
+    Requests are served strictly in order and in isolation — a request that
+    fails in {e any} way (malformed JSON, oversized line, bad design, an
+    exception from the numeric layers, an exceeded time budget) produces a
+    typed error response and the daemon keeps serving the next line.
+
+    The per-request wall-clock budget (default {!default_timeout_s},
+    overridable per request with ["timeout_ms"]) is enforced with
+    [ITIMER_REAL]/[SIGALRM]; the signal can only interrupt work running in
+    the serving domain, which is why {!Session.Config.default} keeps
+    [jobs = 1] for daemon use. *)
+
+type t
+
+val default_timeout_s : float
+(** 60 seconds. *)
+
+val create : ?timeout_s:float -> ?max_request_bytes:int -> Session.t -> t
+(** Wrap a session.  [timeout_s <= 0] or [infinity] disables the request
+    timeout; [max_request_bytes] defaults to
+    {!Protocol.default_max_bytes}.  The session is borrowed: closing it
+    after the serve loop returns is the caller's job. *)
+
+val stop : t -> unit
+(** Ask the serve loop to exit after the in-flight request (what the
+    [SIGTERM] handler calls). *)
+
+val stopped : t -> bool
+
+val handle_line : t -> string -> string * [ `Continue | `Stop ]
+(** Serve exactly one request line and return the one-line response
+    (without the trailing newline) plus whether the caller should keep
+    serving ([`Stop] after a [shutdown] request).  Never raises; this is
+    the transport-free core the tests and the bench drive directly. *)
+
+val serve_channels : t -> in_channel -> out_channel -> unit
+(** Pipe mode: read request lines until EOF, a [shutdown] request, or
+    {!stop}; write one flushed response line each.  Blank lines are
+    skipped.  Installs the [SIGALRM]/[SIGTERM]/[SIGPIPE] handlers. *)
+
+val serve_unix : t -> path:string -> unit
+(** Unix-domain-socket mode: bind [path] (an existing socket file is
+    replaced), accept one client at a time, and run the pipe-mode loop on
+    each connection until it disconnects.  A [shutdown] request stops the
+    accept loop; the socket file is unlinked on the way out. *)

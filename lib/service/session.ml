@@ -1,0 +1,174 @@
+(* A resident timing session: the warm state (characterization memo tables,
+   the shared Ceff result cache, the domain pool) plus the typed operations
+   the server and the CLI both call.  Keeping one code path here is what
+   makes the daemon's flow reports byte-identical to `rlc_timing flow`. *)
+
+module Flow = Rlc_flow.Flow
+module Report = Rlc_flow.Report
+module Evaluate = Rlc_ceff.Evaluate
+module Units = Rlc_num.Units
+
+module Config = struct
+  type t = {
+    tech : Rlc_devices.Tech.t;
+    jobs : int;
+    dt : float;
+    use_cache : bool;
+    quantize_digits : int;
+    slew_grid : float;
+    default_size : float;
+    default_slew : float;
+    obs : Rlc_obs.Obs.t;
+  }
+
+  let default =
+    {
+      tech = Rlc_devices.Tech.c018;
+      jobs = 1;
+      dt = 0.5e-12;
+      use_cache = true;
+      quantize_digits = 9;
+      slew_grid = 0.1e-12;
+      default_size = 75.;
+      default_slew = 100e-12;
+      obs = Rlc_obs.Obs.null;
+    }
+end
+
+type t = {
+  config : Config.t;
+  pool : Rlc_flow.Pool.t;
+  cache : Flow.solve Rlc_flow.Cache.t;
+  started_at : float;
+  mutable served : int;
+  mutable failed : int;
+  mutable closed : bool;
+}
+
+type stats = {
+  uptime_s : float;
+  requests_served : int;
+  requests_failed : int;
+  cache_entries : int;
+  cache_hits : int;
+  cache_misses : int;
+}
+
+let create ?(config = Config.default) () =
+  {
+    config;
+    pool = Rlc_flow.Pool.create ~obs:config.Config.obs ~jobs:(Int.max 1 config.Config.jobs) ();
+    cache = Flow.create_cache ();
+    started_at = Unix.gettimeofday ();
+    served = 0;
+    failed = 0;
+    closed = false;
+  }
+
+let config t = t.config
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    Rlc_flow.Pool.shutdown t.pool
+  end
+
+let with_session ?config f =
+  let t = create ?config () in
+  Fun.protect ~finally:(fun () -> close t) (fun () -> f t)
+
+let note t ~ok = if ok then t.served <- t.served + 1 else t.failed <- t.failed + 1
+
+let stats t =
+  {
+    uptime_s = Unix.gettimeofday () -. t.started_at;
+    requests_served = t.served;
+    requests_failed = t.failed;
+    cache_entries = Rlc_flow.Cache.length t.cache;
+    cache_hits = Rlc_flow.Cache.hits t.cache;
+    cache_misses = Rlc_flow.Cache.misses t.cache;
+  }
+
+(* Map the two raising conventions of the numeric layers to typed errors.
+   Deliberately NOT a catch-all: unknown exceptions (including the server's
+   private timeout) must keep propagating to the caller's own handler. *)
+let guard f =
+  match f () with
+  | v -> Ok v
+  | exception Invalid_argument msg -> Error (Error.Bad_request msg)
+  | exception Failure msg -> Error (Error.Internal msg)
+
+(* --------------------------------------------------------------- flow *)
+
+let ingest t ?spef_name ?spec ?spec_name ?size ?slew ~spef () =
+  let ( let* ) = Result.bind in
+  let* spef = Rlc_spef.Spef.parse_res ?file:spef_name spef in
+  let* spec =
+    match spec with
+    | Some src -> Rlc_flow.Spec.parse_res ?file:spec_name src
+    | None ->
+        let size = Option.value size ~default:t.config.Config.default_size in
+        let slew = Option.value slew ~default:t.config.Config.default_slew in
+        guard (fun () -> Rlc_flow.Spec.default_of_spef ~size ~slew spef)
+  in
+  match Rlc_flow.Design.ingest ~tech:t.config.Config.tech ~spef ~spec () with
+  | Ok d -> Ok d
+  | Error msg -> Error (Error.Bad_request msg)
+
+type flow_outcome = { result : Flow.result; report : string }
+
+let flow t ?required ?use_cache ?dt ?progress design =
+  let cfg =
+    {
+      Flow.Config.dt = Option.value dt ~default:t.config.Config.dt;
+      jobs = None;
+      use_cache = Option.value use_cache ~default:t.config.Config.use_cache;
+      cache = Some t.cache;
+      quantize_digits = t.config.Config.quantize_digits;
+      slew_grid = t.config.Config.slew_grid;
+      obs = t.config.Config.obs;
+      progress;
+      pool = Some t.pool;
+    }
+  in
+  guard (fun () ->
+      let result = Flow.run_cfg cfg design in
+      { result; report = Report.json_string ?required result })
+
+(* --------------------------------------------------------------- case *)
+
+let case t ?slew_ps ?cl_ff ~length_mm ~width_um ~size () =
+  let input_slew_ps =
+    Option.value slew_ps ~default:(Units.in_ps t.config.Config.default_slew)
+  in
+  if length_mm <= 0. || width_um <= 0. || size <= 0. || input_slew_ps <= 0. then
+    Error
+      (Error.Bad_request
+         (Printf.sprintf "case wants positive length/width/size/slew, got %g mm / %g um / %gX / %g ps"
+            length_mm width_um size input_slew_ps))
+  else
+  guard (fun () ->
+      Evaluate.case ~tech:t.config.Config.tech
+        ?cl:(Option.map Units.ff cl_ff)
+        ~label:"service" ~length_mm ~width_um ~size ~input_slew_ps ())
+
+let sweep_case t ?dt case =
+  guard (fun () ->
+      Evaluate.run ~obs:t.config.Config.obs ~dt:(Option.value dt ~default:t.config.Config.dt) case)
+
+let screen t (case : Evaluate.case) =
+  let ( let* ) = Result.bind in
+  let* cell = Rlc_liberty.Characterize.cell_res t.config.Config.tech ~size:case.Evaluate.size in
+  guard (fun () ->
+      Rlc_ceff.Driver_model.model ~obs:t.config.Config.obs ~cell ~edge:Rlc_waveform.Measure.Rising
+        ~input_slew:case.Evaluate.input_slew ~line:case.Evaluate.line ~cl:case.Evaluate.cl ())
+
+let warm t sizes =
+  let rec go = function
+    | [] -> Ok ()
+    | size :: rest -> (
+        match Rlc_liberty.Characterize.cell_res t.config.Config.tech ~size with
+        | Ok _ -> go rest
+        | Error e -> Error e)
+  in
+  go sizes

@@ -1,0 +1,123 @@
+(** A resident timing session — the redesigned embedding API.
+
+    One value of type {!t} owns everything that is worth keeping warm
+    between requests: the technology, the characterization memo tables
+    (populated on first use, shared process-wide), the cross-request Ceff
+    result {!Rlc_flow.Cache}, and a running {!Rlc_flow.Pool} of worker
+    domains.  The CLI's one-shot [flow] command and the {!Server} both
+    drive this module — the same ingest, the same flow configuration, the
+    same {!Rlc_flow.Report.json_string} — which is what guarantees the
+    daemon's report payloads are byte-identical to the CLI's.
+
+    Every operation returns [(_, Error.t) result]; the raising entry points
+    of the lower layers are confined behind it. *)
+
+module Config : sig
+  type t = {
+    tech : Rlc_devices.Tech.t;  (** default {!Rlc_devices.Tech.c018} *)
+    jobs : int;
+        (** worker domains of the resident pool; default 1 (everything in
+            the calling domain — required for the server's signal-based
+            request timeout to interrupt a solve) *)
+    dt : float;  (** default replay timestep, 0.5 ps *)
+    use_cache : bool;  (** default true *)
+    quantize_digits : int;  (** cache-key significant digits, default 9 *)
+    slew_grid : float;  (** cache-key slew grid, default 0.1 ps *)
+    default_size : float;  (** spec-less flow driver size, default 75X *)
+    default_slew : float;  (** spec-less primary slew, default 100 ps *)
+    obs : Rlc_obs.Obs.t;  (** default disabled *)
+  }
+
+  val default : t
+end
+
+type t
+
+val create : ?config:Config.t -> unit -> t
+(** Start a session: spawns the pool ([jobs - 1] domains) and creates an
+    empty shared cache.  Characterization happens lazily on first use
+    unless {!warm} is called. *)
+
+val config : t -> Config.t
+val close : t -> unit
+(** Shut the pool down.  Idempotent; the session must not be used after. *)
+
+val with_session : ?config:Config.t -> (t -> 'a) -> 'a
+(** [create], run, [close] (also on exceptions). *)
+
+(** {2 Operations} *)
+
+val ingest :
+  t ->
+  ?spef_name:string ->
+  ?spec:string ->
+  ?spec_name:string ->
+  ?size:float ->
+  ?slew:float ->
+  spef:string ->
+  unit ->
+  (Rlc_flow.Design.t, Error.t) result
+(** Parse SPEF (and spec, when given) text into a levelized design.
+    [spef_name]/[spec_name] label {!Error.Parse} errors with the file the
+    text came from, so messages render as [file:line: message].  Without a
+    spec, every net becomes a primary input driven at [size] (default
+    [Config.default_size]) and [slew] (default [Config.default_slew]). *)
+
+type flow_outcome = {
+  result : Rlc_flow.Flow.result;
+  report : string;
+      (** {!Rlc_flow.Report.json_string} of [result] — the exact payload
+          the CLI writes with [--json] *)
+}
+
+val flow :
+  t ->
+  ?required:float ->
+  ?use_cache:bool ->
+  ?dt:float ->
+  ?progress:Rlc_obs.Progress.t ->
+  Rlc_flow.Design.t ->
+  (flow_outcome, Error.t) result
+(** Run the full-design flow on the session's pool against the session's
+    shared cache (so a repeated design is all cache hits; the per-run
+    hit/miss deltas are in [result.stats]).  [required] (seconds) adds the
+    slack block to the report. *)
+
+val case :
+  t ->
+  ?slew_ps:float ->
+  ?cl_ff:float ->
+  length_mm:float ->
+  width_um:float ->
+  size:float ->
+  unit ->
+  (Rlc_ceff.Evaluate.case, Error.t) result
+(** Build a single-net case from geometry ({!Rlc_ceff.Evaluate.case}). *)
+
+val sweep_case :
+  t -> ?dt:float -> Rlc_ceff.Evaluate.case -> (Rlc_ceff.Evaluate.comparison, Error.t) result
+(** Model-vs-reference scoring of one case (a Figure-7 sweep cell). *)
+
+val screen : t -> Rlc_ceff.Evaluate.case -> (Rlc_ceff.Driver_model.t, Error.t) result
+(** Run the paper's model once and return it; the Eq. 9 inductance verdict
+    is [model.screen]. *)
+
+val warm : t -> float list -> (unit, Error.t) result
+(** Pre-characterize driver sizes into the memo table, so the first
+    request doesn't pay the characterization transient. *)
+
+(** {2 Accounting} *)
+
+type stats = {
+  uptime_s : float;
+  requests_served : int;
+  requests_failed : int;
+  cache_entries : int;  (** Ceff cache population *)
+  cache_hits : int;  (** cumulative since [create] *)
+  cache_misses : int;
+}
+
+val note : t -> ok:bool -> unit
+(** Count one finished request (the server calls this once per line). *)
+
+val stats : t -> stats

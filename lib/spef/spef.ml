@@ -62,7 +62,7 @@ let unquote s =
 
 type section = S_none | S_conn | S_cap | S_res | S_induc
 
-let parse src =
+let parse_res ?file src =
   let lines = String.split_on_char '\n' src in
   let design = ref "" in
   let units = ref default_units in
@@ -166,7 +166,14 @@ let parse src =
     | Some net -> raise (Err (List.length lines, "unterminated *D_NET " ^ net.net_name))
     | None -> ());
     Ok { design = !design; units = !units; nets = List.rev !nets }
-  with Err (lineno, msg) -> Error (Printf.sprintf "line %d: %s" lineno msg)
+  with Err (lineno, msg) -> Error (Rlc_errors.Error.parse ?file ~line:lineno msg)
+
+let parse src =
+  match parse_res src with
+  | Ok t -> Ok t
+  | Error (Rlc_errors.Error.Parse { line = Some l; msg; _ }) ->
+      Error (Printf.sprintf "line %d: %s" l msg)
+  | Error e -> Error (Rlc_errors.Error.message e)
 
 (* ------------------------------------------------------------ printing *)
 

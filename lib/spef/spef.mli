@@ -36,9 +36,14 @@ type dnet = {
 
 type t = { design : string; units : units; nets : dnet list }
 
+val parse_res : ?file:string -> string -> (t, Rlc_errors.Error.t) result
+(** Errors are {!Rlc_errors.Error.Parse} carrying the 1-based input line and
+    the source [file] name when given.  Unsupported constructs (coupling
+    caps with two internal nodes, [*K] mutual sections) produce errors. *)
+
 val parse : string -> (t, string) result
-(** Errors carry a line number.  Unsupported constructs (coupling caps with
-    two internal nodes, [*K] mutual sections) produce errors. *)
+(** Legacy shim over {!parse_res}: same grammar, errors flattened to
+    ["line %d: %s"] strings (no file context).  Prefer {!parse_res}. *)
 
 val to_string : t -> string
 (** Canonical printer; [parse (to_string f)] reproduces the structure

@@ -73,6 +73,12 @@ let analyze ?(dt = 0.5e-12) ?(tech = Rlc_devices.Tech.c018) ~input_slew ~sink_cl
   let total_delay = (List.nth stages (List.length stages - 1)).arrival in
   { stages; total_delay }
 
+let analyze_res ?dt ?tech ~input_slew ~sink_cl stages =
+  match analyze ?dt ?tech ~input_slew ~sink_cl stages with
+  | r -> Ok r
+  | exception Invalid_argument msg -> Error (Rlc_errors.Error.Bad_request msg)
+  | exception Failure msg -> Error (Rlc_errors.Error.Internal msg)
+
 let estimate_far_delay (model : Driver_model.t) ~line ~cl =
   (* Near-end 50% plus the two-moment transfer estimate of the line's own
      50% propagation (clamped below by the time of flight). *)

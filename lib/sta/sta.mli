@@ -46,7 +46,20 @@ val analyze :
   path_result
 (** Requires at least one stage.  Intermediate stage loads are the input
     capacitance of the next stage's driver; the final stage sees
-    [sink_cl]. *)
+    [sink_cl].  Raises on bad inputs ([Invalid_argument]) or an engine
+    failure; embedders that must not die should use {!analyze_res}. *)
+
+val analyze_res :
+  ?dt:float ->
+  ?tech:Rlc_devices.Tech.t ->
+  input_slew:float ->
+  sink_cl:float ->
+  stage list ->
+  (path_result, Rlc_errors.Error.t) result
+(** {!analyze} with the user-reachable exits converted to typed errors:
+    [Invalid_argument] (empty path, incomplete far end) becomes
+    {!Rlc_errors.Error.Bad_request}, engine failures become
+    {!Rlc_errors.Error.Internal}. *)
 
 val other_edge : Rlc_waveform.Measure.edge -> Rlc_waveform.Measure.edge
 (** Inverting-stage edge alternation. *)

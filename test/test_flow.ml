@@ -277,22 +277,27 @@ let test_cache_quantize () =
 
 (* -------------------------------------------------------------- flow *)
 
+(* All flow tests drive the Config record directly; one dedicated test
+   below checks the deprecated [Flow.run] shim still agrees with it. *)
+let run ?(jobs = 1) ?(use_cache = true) ?cache d =
+  Flow.run_cfg { Flow.Config.default with Flow.Config.jobs = Some jobs; use_cache; cache } d
+
 let test_flow_determinism () =
   let d = Lazy.force design in
-  let r1 = Flow.run ~jobs:1 d in
-  let r4 = Flow.run ~jobs:4 d in
+  let r1 = run ~jobs:1 d in
+  let r4 = run ~jobs:4 d in
   Alcotest.(check string) "json identical across jobs" (Report.json_string r1)
     (Report.json_string r4);
   Alcotest.(check string) "csv identical across jobs" (Report.csv_string r1)
     (Report.csv_string r4);
   (* And a no-cache run computes the very same numbers. *)
-  let r_nc = Flow.run ~jobs:1 ~use_cache:false d in
+  let r_nc = run ~jobs:1 ~use_cache:false d in
   Alcotest.(check string) "cache does not change results" (Report.json_string r1)
     (Report.json_string r_nc)
 
 let test_flow_results () =
   let d = Lazy.force design in
-  let r = Flow.run ~jobs:1 d in
+  let r = run ~jobs:1 d in
   Alcotest.(check int) "all nets solved" 4 (Array.length r.Flow.results);
   let b0 = r.Flow.results.(0) and b1 = r.Flow.results.(1) and o0 = r.Flow.results.(2) in
   Alcotest.(check bool) "roots rise" true (b0.Flow.edge = Rlc_waveform.Measure.Rising);
@@ -321,7 +326,7 @@ let test_flow_results () =
 let test_flow_cache_effect () =
   let d = Lazy.force design in
   let cache = Flow.create_cache () in
-  let cold = Flow.run ~jobs:1 ~cache d in
+  let cold = run ~jobs:1 ~cache d in
   (* b1 hits b0's entry, o1 hits o0's: 2 misses, 2 hits. *)
   Alcotest.(check int) "cold misses" 2 cold.Flow.stats.Flow.cache_misses;
   Alcotest.(check int) "cold hits" 2 cold.Flow.stats.Flow.cache_hits;
@@ -330,7 +335,7 @@ let test_flow_cache_effect () =
   (* >= 2x fewer iterations actually run than modeled, thanks to the bits. *)
   Alcotest.(check bool) "cache halves the work" true
     (2 * cold.Flow.stats.Flow.iterations_spent <= cold.Flow.stats.Flow.iterations_total);
-  let warm = Flow.run ~jobs:1 ~cache d in
+  let warm = run ~jobs:1 ~cache d in
   Alcotest.(check int) "warm misses" 0 warm.Flow.stats.Flow.cache_misses;
   Alcotest.(check int) "warm hits" 4 warm.Flow.stats.Flow.cache_hits;
   Alcotest.(check int) "warm spends nothing" 0 warm.Flow.stats.Flow.iterations_spent;
@@ -339,7 +344,7 @@ let test_flow_cache_effect () =
 
 let test_flow_stats_and_report () =
   let d = Lazy.force design in
-  let r = Flow.run ~jobs:1 d in
+  let r = run ~jobs:1 d in
   Alcotest.(check int) "levels" 2 r.Flow.stats.Flow.n_levels;
   Alcotest.(check bool) "phases recorded" true (List.length r.Flow.stats.Flow.phases >= 3);
   let contains hay needle =
@@ -354,6 +359,46 @@ let test_flow_stats_and_report () =
   let csv = Report.csv_string r in
   Alcotest.(check int) "csv rows = nets + header" 5
     (List.length (List.filter (fun s -> s <> "") (String.split_on_char '\n' csv)))
+
+let test_flow_config_defaults () =
+  (* The Config record's defaults mirror the old optional-argument defaults. *)
+  let c = Flow.Config.default in
+  Alcotest.(check (float 0.)) "dt" 0.5e-12 c.Flow.Config.dt;
+  Alcotest.(check bool) "jobs defaults to the pool's choice" true (c.Flow.Config.jobs = None);
+  Alcotest.(check bool) "cache on" true c.Flow.Config.use_cache;
+  Alcotest.(check int) "quantize digits" 9 c.Flow.Config.quantize_digits;
+  Alcotest.(check (float 0.)) "slew grid" 0.1e-12 c.Flow.Config.slew_grid;
+  Alcotest.(check bool) "no borrowed pool" true (c.Flow.Config.pool = None);
+  let c2 = Flow.Config.with_jobs 3 c in
+  Alcotest.(check bool) "with_jobs" true (c2.Flow.Config.jobs = Some 3);
+  let cache = Flow.create_cache () in
+  let c3 = Flow.Config.with_cache cache c in
+  Alcotest.(check bool) "with_cache" true
+    (match c3.Flow.Config.cache with Some c -> c == cache | None -> false)
+
+(* The deprecated shim must behave exactly like the record API. *)
+let test_flow_run_shim_equivalent () =
+  let d = Lazy.force design in
+  let via_cfg = run ~jobs:2 d in
+  let via_shim = (Flow.run [@alert "-deprecated"]) ~jobs:2 d in
+  Alcotest.(check string) "shim json = run_cfg json" (Report.json_string via_cfg)
+    (Report.json_string via_shim);
+  Alcotest.(check string) "shim csv = run_cfg csv" (Report.csv_string via_cfg)
+    (Report.csv_string via_shim)
+
+let test_flow_borrowed_pool () =
+  let d = Lazy.force design in
+  let baseline = run ~jobs:2 d in
+  Pool.with_pool ~jobs:2 (fun pool ->
+      let cfg = { Flow.Config.default with Flow.Config.pool = Some pool } in
+      let r1 = Flow.run_cfg cfg d in
+      (* The pool survives the run (borrowed, not owned) and a second run
+         over the same pool still works and agrees byte-for-byte. *)
+      let r2 = Flow.run_cfg cfg d in
+      Alcotest.(check string) "borrowed pool json" (Report.json_string baseline)
+        (Report.json_string r1);
+      Alcotest.(check string) "pool reusable across runs" (Report.json_string r1)
+        (Report.json_string r2))
 
 let () =
   Alcotest.run "rlc_flow"
@@ -390,5 +435,8 @@ let () =
           Alcotest.test_case "results" `Quick test_flow_results;
           Alcotest.test_case "cache effect" `Quick test_flow_cache_effect;
           Alcotest.test_case "stats and report" `Quick test_flow_stats_and_report;
+          Alcotest.test_case "config defaults" `Quick test_flow_config_defaults;
+          Alcotest.test_case "run shim equivalent" `Quick test_flow_run_shim_equivalent;
+          Alcotest.test_case "borrowed pool" `Quick test_flow_borrowed_pool;
         ] );
     ]

@@ -54,7 +54,12 @@ let test_table_matches_direct_simulation () =
   let c = Lazy.force cell75 in
   let slew = Units.ps 100. and cap = Units.ff 200. in
   let d_direct, s19_direct, _, t59_direct =
-    Characterize.characterize_point tech ~size:75. ~edge:Testbench.Rise ~input_slew:slew ~cap
+    match
+      Characterize.characterize_point_res tech ~size:75. ~edge:Testbench.Rise ~input_slew:slew
+        ~cap
+    with
+    | Ok v -> v
+    | Error e -> Alcotest.fail (Rlc_errors.Error.to_string e)
   in
   check_float ~eps:1e-15 "delay" d_direct
     (Table.delay c ~edge:Rlc_waveform.Measure.Rising ~slew ~cap);

@@ -517,13 +517,16 @@ let design =
      | Ok d -> d
      | Error e -> failwith e)
 
+let flow_run ?(obs = Obs.null) ~jobs d =
+  Flow.run_cfg { Flow.Config.default with Flow.Config.obs; jobs = Some jobs } d
+
 let test_flow_reports_unchanged () =
   let d = Lazy.force design in
-  let off = Flow.run ~jobs:1 d in
+  let off = flow_run ~jobs:1 d in
   let obs1 = Obs.create () in
-  let on1 = Flow.run ~obs:obs1 ~jobs:1 d in
+  let on1 = flow_run ~obs:obs1 ~jobs:1 d in
   let obs3 = Obs.create () in
-  let on3 = Flow.run ~obs:obs3 ~jobs:3 d in
+  let on3 = flow_run ~obs:obs3 ~jobs:3 d in
   Alcotest.(check string) "JSON identical obs off vs on" (Report.json_string off)
     (Report.json_string on1);
   Alcotest.(check string) "JSON identical across jobs" (Report.json_string on1)
@@ -536,7 +539,7 @@ let test_flow_reports_unchanged () =
 let test_flow_iteration_counters () =
   let d = Lazy.force design in
   let obs = Obs.create () in
-  let r = Flow.run ~obs ~jobs:2 d in
+  let r = flow_run ~obs ~jobs:2 d in
   let m = Obs.snapshot obs in
   let total_from_models =
     Array.fold_left
@@ -560,7 +563,7 @@ let test_flow_iteration_counters () =
 let test_flow_trace_valid () =
   let d = Lazy.force design in
   let obs = Obs.create () in
-  ignore (Flow.run ~obs ~jobs:2 d);
+  ignore (flow_run ~obs ~jobs:2 d);
   let m = Obs.snapshot obs in
   let j = parse_json (Export.chrome_trace m) in
   let events = as_arr (member "traceEvents" j) in

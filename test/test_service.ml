@@ -1,0 +1,450 @@
+(* Rlc_service tests: the JSON codec, the wire protocol, the session API,
+   per-request isolation/timeout in the server, cross-request cache warmth,
+   and byte-identity of served flow reports with the one-shot CLI path. *)
+
+module Json = Rlc_service.Json
+module Protocol = Rlc_service.Protocol
+module Session = Rlc_service.Session
+module Server = Rlc_service.Server
+module Error = Rlc_service.Error
+
+let ok_or_fail = function
+  | Ok v -> v
+  | Error e -> Alcotest.fail (Error.to_string e)
+
+let json_of s =
+  match Json.parse s with
+  | Ok j -> j
+  | Error (pos, msg) -> Alcotest.fail (Printf.sprintf "json error at %d: %s" pos msg)
+
+let member name j =
+  match Json.member name j with
+  | Some v -> v
+  | None -> Alcotest.fail (Printf.sprintf "missing field %S in %s" name (Json.to_string j))
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* dune runtest runs from _build/default/test/ (examples one up, staged by
+   the (deps ...) in test/dune); dune exec from the project root. *)
+let fixture name =
+  if Sys.file_exists (Filename.concat "examples" name) then Filename.concat "examples" name
+  else Filename.concat "../examples" name
+
+let bus8_spef = fixture "bus8.spef"
+let bus8_spec = fixture "bus8.spec"
+
+(* ---------------------------------------------------------------- json *)
+
+let test_json_roundtrip () =
+  let cases =
+    [
+      "null";
+      "true";
+      "false";
+      "42";
+      "-7";
+      "3.25";
+      "1e+20";
+      "\"hi\"";
+      "[]";
+      "[1,2,3]";
+      "{}";
+      {|{"a":1,"b":[true,null],"c":{"d":"x"}}|};
+    ]
+  in
+  List.iter
+    (fun src ->
+      let j = json_of src in
+      Alcotest.(check string) ("roundtrip " ^ src) src (Json.to_string j))
+    cases
+
+let test_json_escapes () =
+  let j = json_of {|"a\"b\\c\nd\te\u0041\u00e9"|} in
+  Alcotest.(check string) "decoded" "a\"b\\c\nd\teA\xc3\xa9" (Option.get (Json.get_string j));
+  (* Printing re-escapes what must be escaped and survives a reparse. *)
+  let printed = Json.to_string j in
+  Alcotest.(check string) "reparse" (Option.get (Json.get_string j))
+    (Option.get (Json.get_string (json_of printed)));
+  (* Surrogate pair -> one astral code point (UTF-8, 4 bytes). *)
+  let astral = json_of {|"\ud83d\ude00"|} in
+  Alcotest.(check string) "astral" "\xf0\x9f\x98\x80" (Option.get (Json.get_string astral))
+
+let test_json_errors () =
+  let bad src =
+    match Json.parse src with
+    | Ok _ -> Alcotest.fail ("accepted: " ^ src)
+    | Error (pos, msg) ->
+        Alcotest.(check bool) ("position sane: " ^ src) true
+          (pos >= 0 && pos <= String.length src);
+        Alcotest.(check bool) ("message non-empty: " ^ src) true (String.length msg > 0)
+  in
+  List.iter bad
+    [ ""; "{"; "[1,"; "nul"; "1."; "-"; "\"abc"; "{\"a\" 1}"; "[1] trailing"; "01x"; "\"\\q\"" ]
+
+let test_json_floats () =
+  (* Shortest round-tripping representation, and no NaN/inf in the output. *)
+  List.iter
+    (fun f ->
+      let s = Json.to_string (Json.Float f) in
+      Alcotest.(check (float 0.)) ("roundtrip " ^ s) f
+        (Option.get (Json.get_float (json_of s))))
+    [ 0.1; 1. /. 3.; 1e-300; 6.02e23; -2.5 ];
+  Alcotest.(check string) "nan -> null" "null" (Json.to_string (Json.Float Float.nan));
+  Alcotest.(check string) "inf -> null" "null" (Json.to_string (Json.Float Float.infinity));
+  Alcotest.(check string) "integral floats stay short" "2" (Json.to_string (Json.Float 2.));
+  (* Ints parse as Int but read as float too. *)
+  Alcotest.(check (float 0.)) "int as float" 5. (Option.get (Json.get_float (json_of "5")))
+
+(* ------------------------------------------------------------ protocol *)
+
+let parse_req line = Protocol.parse_request line
+
+let test_protocol_kinds () =
+  (* Every kind parses; ids and timeouts are carried through. *)
+  (match parse_req {|{"schema":"rlc-service/1","kind":"ping","id":7,"timeout_ms":500}|} with
+  | Ok { Protocol.id = Some (Json.Int 7); timeout_ms = Some 500; kind = Protocol.Ping } -> ()
+  | Ok _ -> Alcotest.fail "ping fields"
+  | Error e -> Alcotest.fail (Error.to_string e));
+  (match parse_req {|{"schema":"rlc-service/1","kind":"stats"}|} with
+  | Ok { Protocol.kind = Protocol.Stats; id = None; timeout_ms = None } -> ()
+  | _ -> Alcotest.fail "stats");
+  (match parse_req {|{"schema":"rlc-service/1","kind":"shutdown"}|} with
+  | Ok { Protocol.kind = Protocol.Shutdown; _ } -> ()
+  | _ -> Alcotest.fail "shutdown");
+  (match
+     parse_req
+       {|{"schema":"rlc-service/1","kind":"flow","spef":"x","spec_file":"a.spec","size":60,"slew_ps":80,"required_ps":500,"use_cache":false,"dt_ps":0.25}|}
+   with
+  | Ok { Protocol.kind = Protocol.Flow f; _ } ->
+      Alcotest.(check bool) "inline spef" true (f.Protocol.f_spef = Protocol.Inline "x");
+      Alcotest.(check bool) "spec file" true (f.Protocol.f_spec = Some (Protocol.File "a.spec"));
+      Alcotest.(check (option (float 0.))) "size" (Some 60.) f.Protocol.f_size;
+      Alcotest.(check (option (float 0.))) "slew" (Some 80.) f.Protocol.f_slew_ps;
+      Alcotest.(check (option (float 0.))) "required" (Some 500.) f.Protocol.f_required_ps;
+      Alcotest.(check (option bool)) "use_cache" (Some false) f.Protocol.f_use_cache;
+      Alcotest.(check (option (float 0.))) "dt" (Some 0.25) f.Protocol.f_dt_ps
+  | _ -> Alcotest.fail "flow");
+  match
+    parse_req
+      {|{"schema":"rlc-service/1","kind":"sweep_case","length_mm":5,"width_um":1.2,"size":75,"cl_ff":20}|}
+  with
+  | Ok { Protocol.kind = Protocol.Sweep_case c; _ } ->
+      Alcotest.(check (float 0.)) "length" 5. c.Protocol.c_length_mm;
+      Alcotest.(check (float 0.)) "width" 1.2 c.Protocol.c_width_um;
+      Alcotest.(check (float 0.)) "size" 75. c.Protocol.c_size;
+      Alcotest.(check (option (float 0.))) "cl" (Some 20.) c.Protocol.c_cl_ff;
+      Alcotest.(check (option (float 0.))) "slew default" None c.Protocol.c_slew_ps
+  | _ -> Alcotest.fail "sweep_case"
+
+let check_code expected = function
+  | Ok _ -> Alcotest.fail (expected ^ ": accepted")
+  | Error e -> Alcotest.(check string) expected expected (Error.code e)
+
+let test_protocol_rejections () =
+  check_code "parse_error" (parse_req "not json at all");
+  check_code "unsupported_version" (parse_req {|{"schema":"rlc-service/9","kind":"ping"}|});
+  check_code "unsupported_version" (parse_req {|{"kind":"ping"}|});
+  check_code "bad_request" (parse_req {|{"schema":"rlc-service/1","kind":"warp"}|});
+  check_code "bad_request" (parse_req {|{"schema":"rlc-service/1"}|});
+  check_code "bad_request" (parse_req {|{"schema":"rlc-service/1","kind":"flow"}|});
+  check_code "bad_request"
+    (parse_req {|{"schema":"rlc-service/1","kind":"flow","spef":"a","spef_file":"b"}|});
+  check_code "bad_request"
+    (parse_req {|{"schema":"rlc-service/1","kind":"sweep_case","length_mm":5,"width_um":1}|});
+  check_code "bad_request"
+    (parse_req
+       {|{"schema":"rlc-service/1","kind":"sweep_case","length_mm":-5,"width_um":1,"size":75}|});
+  check_code "bad_request"
+    (parse_req {|{"schema":"rlc-service/1","kind":"ping","timeout_ms":-4}|});
+  check_code "bad_request" (parse_req "[1,2,3]");
+  (* Size limit. *)
+  check_code "bad_request"
+    (Protocol.parse_request ~max_bytes:16 {|{"schema":"rlc-service/1","kind":"ping"}|})
+
+let test_protocol_responses () =
+  let ok = Protocol.ok_response ~id:(Json.Int 3) [ ("pong", Json.Bool true) ] in
+  let j = json_of ok in
+  Alcotest.(check string) "schema" Protocol.schema (Option.get (Json.get_string (member "schema" j)));
+  Alcotest.(check (option int)) "id echoed" (Some 3) (Json.get_int (member "id" j));
+  Alcotest.(check (option bool)) "ok" (Some true) (Json.get_bool (member "ok" j));
+  Alcotest.(check bool) "one line" false (String.contains ok '\n');
+  let err = Protocol.error_response (Error.Timeout 1.5) in
+  let j = json_of err in
+  Alcotest.(check (option bool)) "not ok" (Some false) (Json.get_bool (member "ok" j));
+  let e = member "error" j in
+  Alcotest.(check (option string)) "code" (Some "timeout") (Json.get_string (member "code" e));
+  Alcotest.(check bool) "message mentions budget" true
+    (Option.get (Json.get_string (member "message" e)) <> "")
+
+(* ------------------------------------------------------- typed errors *)
+
+let test_parse_res_positions () =
+  (match Rlc_spef.Spef.parse_res ~file:"bad.spef" "*D_NET n\n" with
+  | Ok _ -> Alcotest.fail "accepted bad spef"
+  | Error (Error.Parse { file; line; msg } as e) ->
+      Alcotest.(check (option string)) "file" (Some "bad.spef") file;
+      Alcotest.(check bool) "line known" true (line <> None);
+      Alcotest.(check bool) "msg" true (String.length msg > 0);
+      (* file:line: message rendering — what the CLI prints at exit 2. *)
+      let rendered = Error.message e in
+      Alcotest.(check bool) "file:line prefix" true
+        (String.length rendered > 9 && String.sub rendered 0 9 = "bad.spef:")
+  | Error e -> Alcotest.fail ("wrong error: " ^ Error.to_string e));
+  (match Rlc_flow.Spec.parse_res ~file:"x.spec" "driver a 75\ndriver a 50\n" with
+  | Error (Error.Parse { file = Some "x.spec"; line = Some 2; _ }) -> ()
+  | Error e -> Alcotest.fail ("wrong error: " ^ Error.to_string e)
+  | Ok _ -> Alcotest.fail "accepted duplicate driver");
+  (* The legacy string shims keep their historical formats. *)
+  (match Rlc_spef.Spef.parse "*D_NET n\n" with
+  | Error e -> Alcotest.(check bool) "legacy spef format" true (String.sub e 0 5 = "line ")
+  | Ok _ -> Alcotest.fail "accepted");
+  match Rlc_flow.Spec.parse "driver a 75\ndriver a 50\n" with
+  | Error e ->
+      Alcotest.(check bool) "legacy spec format" true (String.sub e 0 11 = "spec line 2")
+  | Ok _ -> Alcotest.fail "accepted"
+
+(* ------------------------------------------------------------- session *)
+
+let with_default_session f = Session.with_session f
+
+let test_session_flow_and_cache () =
+  with_default_session (fun session ->
+      let design =
+        ok_or_fail
+          (Session.ingest session ~spef:(read_file bus8_spef) ~spef_name:bus8_spef
+             ~spec:(read_file bus8_spec) ~spec_name:bus8_spec ())
+      in
+      let first = ok_or_fail (Session.flow session design) in
+      let second = ok_or_fail (Session.flow session design) in
+      let stats r = r.Session.result.Rlc_flow.Flow.stats in
+      Alcotest.(check bool) "cold run misses" true
+        ((stats first).Rlc_flow.Flow.cache_misses > 0);
+      (* The session cache persists across requests: a repeated design is
+         answered without a single new Ceff solve. *)
+      Alcotest.(check int) "warm run misses" 0 (stats second).Rlc_flow.Flow.cache_misses;
+      Alcotest.(check int) "warm spends no iterations" 0
+        (stats second).Rlc_flow.Flow.iterations_spent;
+      Alcotest.(check string) "identical reports" first.Session.report second.Session.report;
+      let s = Session.stats session in
+      Alcotest.(check bool) "cache populated" true (s.Session.cache_entries > 0))
+
+let test_session_ingest_errors () =
+  with_default_session (fun session ->
+      (match Session.ingest session ~spef:"*D_NET broken\n" ~spef_name:"b.spef" () with
+      | Error (Error.Parse { file = Some "b.spef"; _ }) -> ()
+      | Error e -> Alcotest.fail ("wrong error: " ^ Error.to_string e)
+      | Ok _ -> Alcotest.fail "accepted broken spef");
+      match
+        Session.ingest session ~spef:(read_file bus8_spef) ~spec:"driver nope 75\ninput nope 100\n" ()
+      with
+      | Error (Error.Bad_request _) -> ()
+      | Error e -> Alcotest.fail ("wrong error: " ^ Error.to_string e)
+      | Ok _ -> Alcotest.fail "accepted unknown net")
+
+let test_session_case_ops () =
+  with_default_session (fun session ->
+      let case =
+        ok_or_fail (Session.case session ~length_mm:5. ~width_um:1.0 ~size:75. ())
+      in
+      let model = ok_or_fail (Session.screen session case) in
+      Alcotest.(check bool) "5mm/75X is inductive" true
+        model.Rlc_ceff.Driver_model.screen.Rlc_ceff.Screen.significant;
+      (* Errors from the numeric layers surface as typed results. *)
+      match Session.case session ~length_mm:5. ~width_um:1.0 ~size:(-3.) () with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "accepted negative size")
+
+(* -------------------------------------------------------------- server *)
+
+let send server line =
+  let resp, control = Server.handle_line server line in
+  (json_of resp, control)
+
+let with_server ?timeout_s f =
+  with_default_session (fun session -> f (Server.create ?timeout_s session))
+
+let bus8_flow_request ?id ?timeout_ms ?(extra = []) () =
+  let fields =
+    [ ("schema", Json.Str Protocol.schema); ("kind", Json.Str "flow") ]
+    @ (match id with Some id -> [ ("id", Json.Int id) ] | None -> [])
+    @ (match timeout_ms with Some ms -> [ ("timeout_ms", Json.Int ms) ] | None -> [])
+    @ [ ("spef_file", Json.Str bus8_spef); ("spec_file", Json.Str bus8_spec) ]
+    @ extra
+  in
+  Json.to_string (Json.Obj fields)
+
+let test_server_flow_warmth () =
+  with_server (fun server ->
+      let first, _ = send server (bus8_flow_request ~id:1 ()) in
+      let second, _ = send server (bus8_flow_request ~id:2 ()) in
+      Alcotest.(check (option bool)) "first ok" (Some true) (Json.get_bool (member "ok" first));
+      Alcotest.(check (option int)) "id echoed" (Some 2) (Json.get_int (member "id" second));
+      Alcotest.(check bool) "first misses" true
+        (Option.get (Json.get_int (member "cache_misses" first)) > 0);
+      Alcotest.(check (option int)) "second all hits" (Some 0)
+        (Json.get_int (member "cache_misses" second));
+      Alcotest.(check (option int)) "8 nets" (Some 8) (Json.get_int (member "nets" second)))
+
+let test_server_report_byte_identical () =
+  (* The served report field must be the exact --json payload of the
+     one-shot CLI path (both go through Session -> Report.json_string). *)
+  let oneshot =
+    with_default_session (fun session ->
+        let design =
+          ok_or_fail
+            (Session.ingest session ~spef:(read_file bus8_spef) ~spec:(read_file bus8_spec) ())
+        in
+        (ok_or_fail (Session.flow session design)).Session.report)
+  in
+  with_server (fun server ->
+      let resp, _ = send server (bus8_flow_request ()) in
+      let served = Option.get (Json.get_string (member "report" resp)) in
+      Alcotest.(check string) "byte-identical report" oneshot served)
+
+let test_server_isolation () =
+  with_server (fun server ->
+      let expect_code code line =
+        let resp, control = send server line in
+        Alcotest.(check (option bool)) (code ^ ": not ok") (Some false)
+          (Json.get_bool (member "ok" resp));
+        Alcotest.(check (option string)) (code ^ ": code") (Some code)
+          (Json.get_string (member "code" (member "error" resp)));
+        Alcotest.(check bool) (code ^ ": continues") true (control = `Continue)
+      in
+      expect_code "parse_error" "}{ garbage";
+      expect_code "unsupported_version" {|{"schema":"rlc-service/2","kind":"ping"}|};
+      expect_code "bad_request" {|{"schema":"rlc-service/1","kind":"frobnicate"}|};
+      expect_code "bad_request"
+        {|{"schema":"rlc-service/1","kind":"flow","spef_file":"../examples/no_such.spef"}|};
+      expect_code "parse_error"
+        {|{"schema":"rlc-service/1","kind":"flow","spef":"*D_NET broken\n"}|};
+      (* After every failure the daemon still answers. *)
+      let resp, _ = send server {|{"schema":"rlc-service/1","kind":"ping","id":9}|} in
+      Alcotest.(check (option bool)) "daemon survives" (Some true)
+        (Json.get_bool (member "ok" resp));
+      let resp, _ = send server {|{"schema":"rlc-service/1","kind":"stats"}|} in
+      Alcotest.(check bool) "failures counted" true
+        (Option.get (Json.get_int (member "requests_failed" resp)) >= 5))
+
+let test_server_oversized () =
+  with_default_session (fun session ->
+      let server = Server.create ~max_request_bytes:64 session in
+      let long = bus8_flow_request () in
+      Alcotest.(check bool) "fixture really oversized" true (String.length long > 64);
+      let resp, _ = Server.handle_line server long in
+      let j = json_of resp in
+      Alcotest.(check (option string)) "rejected" (Some "bad_request")
+        (Json.get_string (member "code" (member "error" j)));
+      (* Short requests still fit. *)
+      let resp, _ = Server.handle_line server {|{"schema":"rlc-service/1","kind":"ping"}|} in
+      Alcotest.(check (option bool)) "ping fits" (Some true)
+        (Json.get_bool (member "ok" (json_of resp))))
+
+let test_server_timeout () =
+  with_server (fun server ->
+      (* A reference-simulation request at a tiny timestep takes far longer
+         than 2 ms of wall clock; the alarm must convert it into a typed
+         timeout response, after which the daemon keeps serving. *)
+      let resp, control =
+        send server
+          {|{"schema":"rlc-service/1","kind":"sweep_case","timeout_ms":2,"length_mm":7,"width_um":0.8,"size":75,"dt_ps":0.05}|}
+      in
+      Alcotest.(check (option string)) "timeout code" (Some "timeout")
+        (Json.get_string (member "code" (member "error" resp)));
+      Alcotest.(check bool) "continues" true (control = `Continue);
+      let resp, _ = send server {|{"schema":"rlc-service/1","kind":"ping"}|} in
+      Alcotest.(check (option bool)) "alive after timeout" (Some true)
+        (Json.get_bool (member "ok" resp)))
+
+let test_server_shutdown_control () =
+  with_server (fun server ->
+      let resp, control = send server {|{"schema":"rlc-service/1","kind":"shutdown","id":1}|} in
+      Alcotest.(check bool) "stop" true (control = `Stop);
+      Alcotest.(check (option bool)) "acknowledged" (Some true)
+        (Json.get_bool (member "stopping" resp)))
+
+(* Full pipe transport: a second domain runs the serve loop on real file
+   descriptors while this one plays client. *)
+let test_server_pipe_mode () =
+  with_default_session (fun session ->
+      (* Timeouts disabled: the alarm handler must not fire in whichever
+         domain OCaml picks while two are running. *)
+      let server = Server.create ~timeout_s:0. session in
+      let req_r, req_w = Unix.pipe ~cloexec:false () in
+      let resp_r, resp_w = Unix.pipe ~cloexec:false () in
+      let domain =
+        Domain.spawn (fun () ->
+            let ic = Unix.in_channel_of_descr req_r in
+            let oc = Unix.out_channel_of_descr resp_w in
+            Server.serve_channels server ic oc;
+            close_in_noerr ic;
+            close_out_noerr oc)
+      in
+      let oc = Unix.out_channel_of_descr req_w in
+      let ic = Unix.in_channel_of_descr resp_r in
+      List.iter
+        (fun line ->
+          output_string oc line;
+          output_char oc '\n')
+        [
+          {|{"schema":"rlc-service/1","kind":"ping","id":1}|};
+          "   ";
+          "broken json";
+          {|{"schema":"rlc-service/1","kind":"stats","id":2}|};
+          {|{"schema":"rlc-service/1","kind":"shutdown","id":3}|};
+        ];
+      flush oc;
+      let r1 = json_of (input_line ic) in
+      let r2 = json_of (input_line ic) in
+      let r3 = json_of (input_line ic) in
+      let r4 = json_of (input_line ic) in
+      Domain.join domain;
+      close_out_noerr oc;
+      close_in_noerr ic;
+      Alcotest.(check (option int)) "ping id" (Some 1) (Json.get_int (member "id" r1));
+      Alcotest.(check (option bool)) "broken line answered" (Some false)
+        (Json.get_bool (member "ok" r2));
+      Alcotest.(check (option int)) "stats id" (Some 2) (Json.get_int (member "id" r3));
+      Alcotest.(check (option bool)) "shutdown acked" (Some true)
+        (Json.get_bool (member "stopping" r4));
+      Alcotest.(check bool) "loop stopped" true (Server.stopped server))
+
+let () =
+  Alcotest.run "rlc_service"
+    [
+      ( "json",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
+          Alcotest.test_case "escapes" `Quick test_json_escapes;
+          Alcotest.test_case "errors" `Quick test_json_errors;
+          Alcotest.test_case "floats" `Quick test_json_floats;
+        ] );
+      ( "protocol",
+        [
+          Alcotest.test_case "kinds" `Quick test_protocol_kinds;
+          Alcotest.test_case "rejections" `Quick test_protocol_rejections;
+          Alcotest.test_case "responses" `Quick test_protocol_responses;
+        ] );
+      ( "errors",
+        [ Alcotest.test_case "parse_res positions" `Quick test_parse_res_positions ] );
+      ( "session",
+        [
+          Alcotest.test_case "flow and cache" `Quick test_session_flow_and_cache;
+          Alcotest.test_case "ingest errors" `Quick test_session_ingest_errors;
+          Alcotest.test_case "case ops" `Quick test_session_case_ops;
+        ] );
+      ( "server",
+        [
+          Alcotest.test_case "flow warmth" `Quick test_server_flow_warmth;
+          Alcotest.test_case "report byte-identical" `Quick test_server_report_byte_identical;
+          Alcotest.test_case "isolation" `Quick test_server_isolation;
+          Alcotest.test_case "oversized" `Quick test_server_oversized;
+          Alcotest.test_case "timeout" `Quick test_server_timeout;
+          Alcotest.test_case "shutdown control" `Quick test_server_shutdown_control;
+          Alcotest.test_case "pipe mode" `Quick test_server_pipe_mode;
+        ] );
+    ]
