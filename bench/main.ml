@@ -30,8 +30,13 @@ let series name w =
 
 let clip_to w t_hi = Waveform.clip w ~t_lo:(Waveform.t_start w) ~t_hi
 
+let cell_exn tech ~size =
+  match Characterize.cell_res tech ~size with
+  | Ok c -> c
+  | Error e -> failwith (Rlc_errors.Error.message e)
+
 let model_of (case : Evaluate.case) mode =
-  let cell = Characterize.cell case.Evaluate.tech ~size:case.Evaluate.size in
+  let cell = cell_exn case.Evaluate.tech ~size:case.Evaluate.size in
   Driver_model.model ~mode ~cell ~edge:Measure.Rising ~input_slew:case.Evaluate.input_slew
     ~line:case.Evaluate.line ~cl:case.Evaluate.cl ()
 
@@ -65,7 +70,7 @@ let fig3 () =
   let case = Experiments.fig3 in
   Format.printf "line: %a@." Rlc_tline.Line.pp case.Evaluate.line;
   let m = model_of case Driver_model.Force_two_ramp in
-  let cell = Characterize.cell case.Evaluate.tech ~size:case.Evaluate.size in
+  let cell = cell_exn case.Evaluate.tech ~size:case.Evaluate.size in
   let c50 =
     Driver_model.single_ceff_variant m ~cell ~edge:Measure.Rising
       ~input_slew:case.Evaluate.input_slew ~f:0.5
@@ -335,7 +340,7 @@ let ablation () =
       let case = Experiments.case_of_row row in
       let r = reference_of ~dt:dt_sweep case in
       let ref_slew = Reference.near_slew r and ref_delay = Reference.near_delay r in
-      let cell = Characterize.cell case.Evaluate.tech ~size:case.Evaluate.size in
+      let cell = cell_exn case.Evaluate.tech ~size:case.Evaluate.size in
       List.iter
         (fun (tag, plateau) ->
           let m =
@@ -356,7 +361,7 @@ let ablation () =
   header "Ablation B: gate-resistor tail (reference [11]) on an RC-screened case";
   let case = Experiments.fig6_left in
   let r = reference_of ~dt:dt_sweep case in
-  let cell = Characterize.cell case.Evaluate.tech ~size:case.Evaluate.size in
+  let cell = cell_exn case.Evaluate.tech ~size:case.Evaluate.size in
   List.iter
     (fun (tag, rc_tail) ->
       let m =
@@ -375,7 +380,7 @@ let ablation () =
     List.filter_map
       (fun (case : Evaluate.case) ->
         match
-          let cell = Characterize.cell case.Evaluate.tech ~size:case.Evaluate.size in
+          let cell = cell_exn case.Evaluate.tech ~size:case.Evaluate.size in
           let m =
             Driver_model.model ~cell ~edge:Measure.Rising ~input_slew:case.Evaluate.input_slew
               ~line:case.Evaluate.line ~cl:case.Evaluate.cl ()
@@ -456,7 +461,7 @@ let perf () =
   let cl = 20e-15 in
   let pade = Rlc_moments.Pade.of_load line ~cl in
   let tech = Rlc_devices.Tech.c018 in
-  let cell = Characterize.cell tech ~size:75. in
+  let cell = cell_exn tech ~size:75. in
   let lib_text =
     Rlc_liberty.Liberty_ast.to_string
       (Rlc_liberty.Liberty_io.library_of_cells ~name:"perf" [ cell ])
@@ -552,8 +557,8 @@ let flow_sources ~bits =
 
 let flow_design ~bits =
   let spef_src, spec_src = flow_sources ~bits in
-  let spef = Result.get_ok (Rlc_spef.Spef.parse spef_src) in
-  let spec = Result.get_ok (Rlc_flow.Spec.parse spec_src) in
+  let spef = Result.get_ok (Rlc_spef.Spef.parse_res spef_src) in
+  let spec = Result.get_ok (Rlc_flow.Spec.parse_res spec_src) in
   match Rlc_flow.Design.ingest ~spef ~spec () with Ok d -> d | Error e -> failwith e
 
 (* All bench flow runs go through the Config record (Flow.run is a
@@ -572,7 +577,7 @@ let flow_bench () =
   (* Pre-characterize so the wall times below measure the solves, not the
      one-off transistor-level cell characterization. *)
   List.iter
-    (fun size -> ignore (Characterize.cell design.Rlc_flow.Design.tech ~size))
+    (fun size -> ignore (cell_exn design.Rlc_flow.Design.tech ~size))
     design.Rlc_flow.Design.sizes;
   let time f =
     let t0 = Unix.gettimeofday () in
@@ -624,18 +629,26 @@ let flow_bench () =
      naive  - current engine forced to reassemble and refactor every step
      pre_pr - the seed engine and banded solver, vendored verbatim in
               bench/pre_pr_engine.ml, i.e. the true pre-PR baseline
-   plus the per-step Banded stage costs and the fig7-fast sweep wall time at
-   jobs 1 vs N.  `--json PATH` writes the numbers as BENCH_engine.json. *)
+   plus the LTE-adaptive stepper against fixed-step on the same circuits and
+   on the subsampled sweep, the per-step Banded stage costs, and the
+   fig7-fast sweep wall time at jobs 1 vs N (clamped to the core count).
+   `--json PATH` writes the numbers as BENCH_engine.json. *)
 
 module Netlist = Rlc_circuit.Netlist
 module Engine = Rlc_circuit.Engine
 
-let step_source t = if t <= 0. then 0. else 1.
+(* 25 ps linear rise into the ladders.  A finite edge (like every driver
+   waveform in the repo) rather than an ideal step: a zero-rise-time step
+   into a low-loss LC ladder keeps a discontinuous wavefront bouncing
+   end-to-end, which pins any error-controlled stepper at dt_min and
+   benchmarks a workload the timer never sees. *)
+let ramp_rise = 25e-12
+let ramp_source t = if t <= 0. then 0. else if t >= ramp_rise then 1. else t /. ramp_rise
 
 let rc_1r1c () =
   let nl = Netlist.create () in
   let src = Netlist.node nl "src" in
-  Netlist.force_voltage nl src step_source;
+  Netlist.force_voltage nl src ramp_source;
   let out = Netlist.node nl "out" in
   Netlist.resistor nl src out 1e3;
   Netlist.capacitor nl out Netlist.ground 1e-12;
@@ -644,7 +657,7 @@ let rc_1r1c () =
 let rc_ladder ~n () =
   let nl = Netlist.create () in
   let src = Netlist.node nl "src" in
-  Netlist.force_voltage nl src step_source;
+  Netlist.force_voltage nl src ramp_source;
   let prev = ref src in
   for i = 1 to n do
     let nd = Netlist.node nl (Printf.sprintf "n%d" i) in
@@ -658,7 +671,7 @@ let rlc_ladder ~n () =
   (* 5 mm-class global line split into n series R-L segments with shunt C. *)
   let nl = Netlist.create () in
   let src = Netlist.node nl "src" in
-  Netlist.force_voltage nl src step_source;
+  Netlist.force_voltage nl src ramp_source;
   let fn = float_of_int n in
   let prev = ref src in
   for i = 1 to n do
@@ -719,6 +732,19 @@ type engine_row = {
   er_factor_s : float;
   er_step_loop_s : float;
   er_newton_iters : int;
+}
+
+type adaptive_row = {
+  ar_name : string;
+  ar_fixed_steps : int;
+  ar_adaptive_steps : int;
+  ar_fixed_ns : float;
+  ar_adaptive_ns : float;
+  ar_refactors : int;
+  ar_rejected : int;
+  ar_max_dv : float;
+  ar_delay_delta_ps : float;
+  ar_slew_delta_ps : float;
 }
 
 let engine_bench ?(jobs = 1) ?(smoke = false) ?json () =
@@ -793,6 +819,63 @@ let engine_bench ?(jobs = 1) ?(smoke = false) ?json () =
       circuits
   in
 
+  (* Adaptive vs fixed on the same circuits.  dt_min is pinned to the fixed
+     dt, so the comparison is pure step economy: the LTE controller may only
+     coarsen, never out-resolve the fixed grid.  Accuracy is scored where
+     timing is measured — 50 % delay and 10–90 slew at the probe — plus the
+     max |dv| over a dense resample of the common window. *)
+  let ltol_default = (Engine.default_adaptive ()).Engine.ltol in
+  Format.printf "@.adaptive stepping (ltol %g, dt_min = fixed dt):@." ltol_default;
+  Format.printf "%-26s %7s %7s %7s %9s %8s %7s %7s %10s %10s@." "circuit" "f-steps" "a-steps"
+    "ratio" "speedup" "refact" "reject" "|dv|mV" "d50 ps" "slew ps";
+  let adaptive_rows =
+    List.map2
+      (fun (name, (nl, probe), dt, t_stop) (er : engine_row) ->
+        let ap = Engine.default_adaptive ~dt_min:dt () in
+        let fixed = Engine.transient ~dt ~t_stop nl in
+        let ad = Engine.transient ~adaptive:ap ~dt ~t_stop nl in
+        let wf = Engine.voltage fixed probe and wa = Engine.voltage ad probe in
+        let max_dv = Waveform.max_diff ~n:2001 wf wa ~t0:0. ~t1:t_stop in
+        let t50 w = Measure.t_frac_exn w ~vdd:1. ~edge:Measure.Rising ~frac:0.5 in
+        let slew w =
+          match Measure.slew_10_90 w ~vdd:1. ~edge:Measure.Rising with
+          | Some s -> s
+          | None -> Float.nan
+        in
+        let delay_delta = Float.abs (t50 wa -. t50 wf) in
+        let slew_delta = Float.abs (slew wa -. slew wf) in
+        let t_ad =
+          best_of ~n:rounds (fun () ->
+              time_per_run ~target (fun () ->
+                  ignore (Engine.transient ~adaptive:ap ~dt ~t_stop nl)))
+        in
+        let row =
+          {
+            ar_name = name;
+            ar_fixed_steps = Engine.steps fixed;
+            ar_adaptive_steps = Engine.steps ad;
+            ar_fixed_ns = er.er_fast_ns;
+            ar_adaptive_ns = 1e9 *. t_ad;
+            ar_refactors = Engine.refactors ad;
+            ar_rejected = Engine.steps_rejected ad;
+            ar_max_dv = max_dv;
+            ar_delay_delta_ps = 1e12 *. delay_delta;
+            ar_slew_delta_ps = 1e12 *. slew_delta;
+          }
+        in
+        (* "-" when the waveform never completes the 10-90 swing inside the
+           window (the slow RC circuits at 1 ns). *)
+        let opt v = if Float.is_finite v then Printf.sprintf "%.3f" v else "-" in
+        Format.printf "%-26s %7d %7d %6.1fx %8.2fx %8d %7d %7.2f %10s %10s@." name
+          row.ar_fixed_steps row.ar_adaptive_steps
+          (float_of_int row.ar_fixed_steps /. float_of_int row.ar_adaptive_steps)
+          (row.ar_fixed_ns /. row.ar_adaptive_ns)
+          row.ar_refactors row.ar_rejected (1e3 *. max_dv) (opt row.ar_delay_delta_ps)
+          (opt row.ar_slew_delta_ps);
+        row)
+      circuits rows
+  in
+
   (* Per-step linear-stage costs in isolation.  The new engine pays blit +
      solve_factored per step; the seed engine re-factored from scratch (the
      copy below stands in for its per-step re-stamp). *)
@@ -839,10 +922,14 @@ let engine_bench ?(jobs = 1) ?(smoke = false) ?json () =
   let stride = if smoke then 70 else 7 in
   let cases = List.filteri (fun i _ -> i mod stride = 0) (Experiments.sweep_cases ()) in
   List.iter
-    (fun (c : Evaluate.case) -> ignore (Characterize.cell c.Evaluate.tech ~size:c.Evaluate.size))
+    (fun (c : Evaluate.case) -> ignore (cell_exn c.Evaluate.tech ~size:c.Evaluate.size))
     cases;
-  let jn = if jobs > 1 then jobs else 4 in
   let rec_domains = Rlc_parallel.Pool.default_jobs () in
+  (* Requested fan-out clamped to the core count (the old default of 4
+     oversubscribed 1-core containers and recorded jobs-4 slower than
+     jobs-1 in BENCH_engine.json). *)
+  let jn_requested = if jobs > 1 then jobs else 4 in
+  let jn = Experiments.effective_jobs jn_requested in
   let wall f =
     let t0 = Unix.gettimeofday () in
     let v = f () in
@@ -851,7 +938,7 @@ let engine_bench ?(jobs = 1) ?(smoke = false) ?json () =
   Format.printf "@.sweep scaling: %d cases (stride %d), jobs 1 vs %d (%d core%s available)%s@."
     (List.length cases) stride jn rec_domains
     (if rec_domains = 1 then "" else "s")
-    (if jn > rec_domains then " - oversubscribed, expect no speedup" else "");
+    (if jn < jn_requested then Printf.sprintf " - requested %d, clamped" jn_requested else "");
   let s1, w1 = wall (fun () -> Experiments.run_sweep ~dt:dt_sweep ~jobs:1 cases) in
   let sn, wn = wall (fun () -> Experiments.run_sweep ~dt:dt_sweep ~jobs:jn cases) in
   let stats_identical =
@@ -862,6 +949,35 @@ let engine_bench ?(jobs = 1) ?(smoke = false) ?json () =
   Format.printf
     "sweep (%d inductive): jobs 1 %.2f s, jobs %d %.2f s -> %.2fx; statistics identical: %b@."
     s1.Experiments.n_inductive w1 jn wn (w1 /. wn) stats_identical;
+
+  (* The same sweep under adaptive stepping: total engine steps (via obs
+     counters) and wall clock at jobs 1, plus the worst per-point deviation
+     of the reference delay/slew — the acceptance bar is < 1 %. *)
+  let sweep_steps adaptive =
+    let obs = Rlc_obs.Obs.create () in
+    let s, w = wall (fun () -> Experiments.run_sweep ~obs ~dt:dt_sweep ?adaptive ~jobs:1 cases) in
+    (s, w, Rlc_obs.Obs.counter (Rlc_obs.Obs.snapshot obs) "engine.steps")
+  in
+  let sf, wf_sweep, steps_fixed = sweep_steps None in
+  let sa, wa_sweep, steps_adaptive =
+    sweep_steps (Some (Engine.default_adaptive ~dt_min:dt_sweep ()))
+  in
+  let max_ref_dev =
+    List.fold_left2
+      (fun acc (pf : Experiments.sweep_point) (pa : Experiments.sweep_point) ->
+        let rel a b = Float.abs (a -. b) /. Float.abs b in
+        Float.max acc
+          (Float.max
+             (rel pa.Experiments.ref_delay pf.Experiments.ref_delay)
+             (rel pa.Experiments.ref_slew pf.Experiments.ref_slew)))
+      0. sf.Experiments.points sa.Experiments.points
+  in
+  Format.printf
+    "sweep adaptive (ltol %g): %d -> %d engine steps (%.1fx fewer), wall %.2f s -> %.2f s \
+     (%.2fx); max reference delay/slew deviation %.3f%%@."
+    ltol_default steps_fixed steps_adaptive
+    (float_of_int steps_fixed /. float_of_int steps_adaptive)
+    wf_sweep wa_sweep (wf_sweep /. wa_sweep) (100. *. max_ref_dev);
 
   match json with
   | None -> ()
@@ -895,15 +1011,44 @@ let engine_bench ?(jobs = 1) ?(smoke = false) ?json () =
             (if i = List.length rows - 1 then "" else ","))
         rows;
       Printf.bprintf buf "  ],\n";
+      Printf.bprintf buf "  \"adaptive\": {\n    \"ltol\": %s,\n    \"circuits\": [\n"
+        (fl ltol_default);
+      List.iteri
+        (fun i (r : adaptive_row) ->
+          Printf.bprintf buf
+            "      {\"name\": \"%s\", \"fixed_steps\": %d, \"adaptive_steps\": %d, \
+             \"step_ratio\": %s, \"fixed_ns_per_run\": %s, \"adaptive_ns_per_run\": %s, \
+             \"speedup\": %s, \"refactors\": %d, \"steps_rejected\": %d, \"max_dv_V\": %s, \
+             \"delay_delta_ps\": %s, \"slew_delta_ps\": %s}%s\n"
+            r.ar_name r.ar_fixed_steps r.ar_adaptive_steps
+            (fl (float_of_int r.ar_fixed_steps /. float_of_int r.ar_adaptive_steps))
+            (fl r.ar_fixed_ns) (fl r.ar_adaptive_ns)
+            (fl (r.ar_fixed_ns /. r.ar_adaptive_ns))
+            r.ar_refactors r.ar_rejected (fl r.ar_max_dv)
+            (if Float.is_finite r.ar_delay_delta_ps then fl r.ar_delay_delta_ps else "null")
+            (if Float.is_finite r.ar_slew_delta_ps then fl r.ar_slew_delta_ps else "null")
+            (if i = List.length adaptive_rows - 1 then "" else ","))
+        adaptive_rows;
+      Printf.bprintf buf "    ],\n";
+      Printf.bprintf buf
+        "    \"sweep\": {\"engine_steps_fixed\": %d, \"engine_steps_adaptive\": %d, \
+         \"step_ratio\": %s, \"wall_s_fixed\": %s, \"wall_s_adaptive\": %s, \"speedup\": %s, \
+         \"max_ref_deviation_pct\": %s}\n  },\n"
+        steps_fixed steps_adaptive
+        (fl (float_of_int steps_fixed /. float_of_int steps_adaptive))
+        (fl wf_sweep) (fl wa_sweep)
+        (fl (wf_sweep /. wa_sweep))
+        (fl (100. *. max_ref_dev));
       Printf.bprintf buf
         "  \"banded_stages\": {\"n\": %d, \"bw\": %d, \"factor_ns\": %s, \"solve_factored_ns\": \
          %s, \"pre_pr_copy_solve_ns\": %s},\n"
         bn bbw (fl (1e9 *. t_factor)) (fl (1e9 *. t_solve)) (fl (1e9 *. t_pre_solve));
       Printf.bprintf buf
-        "  \"sweep\": {\"cases\": %d, \"inductive\": %d, \"jobs\": %d, \
+        "  \"sweep\": {\"cases\": %d, \"inductive\": %d, \"jobs\": %d, \"jobs_requested\": %d, \
          \"recommended_domains\": %d, \"wall_s_jobs1\": %s, \"wall_s_jobsN\": %s, \"speedup\": \
          %s, \"stats_identical\": %b}\n"
-        (List.length cases) s1.Experiments.n_inductive jn rec_domains (fl w1) (fl wn)
+        (List.length cases) s1.Experiments.n_inductive jn jn_requested rec_domains (fl w1)
+        (fl wn)
         (fl (w1 /. wn)) stats_identical;
       Printf.bprintf buf "}\n";
       let oc = open_out path in
@@ -1012,11 +1157,14 @@ let () =
         json_out := Some path;
         parse acc rest
     | "--jobs" :: n :: rest ->
-        (match int_of_string_opt n with
-        | Some j when j >= 1 -> jobs_arg := j
-        | _ ->
-            Format.eprintf "--jobs expects a positive integer, got %S@." n;
-            exit 2);
+        (match n with
+        | "auto" -> jobs_arg := Rlc_parallel.Pool.default_jobs ()
+        | _ -> (
+            match int_of_string_opt n with
+            | Some j when j >= 1 -> jobs_arg := j
+            | _ ->
+                Format.eprintf "--jobs expects a positive integer or `auto', got %S@." n;
+                exit 2));
         parse acc rest
     | "--smoke" :: rest ->
         smoke := true;

@@ -32,6 +32,77 @@ let cl_arg =
 let dt_arg =
   Arg.(value & opt float 0.5 & info [ "dt" ] ~docv:"PS" ~doc:"Simulation timestep in ps.")
 
+(* --jobs N | --jobs auto.  [None] means "auto": the machine's recommended
+   domain count.  Explicit requests are still clamped to that count by the
+   library layers (oversubscription only slows things down). *)
+let jobs_conv =
+  let parse s =
+    if String.lowercase_ascii s = "auto" then Ok None
+    else
+      match int_of_string_opt s with
+      | Some n when n >= 1 -> Ok (Some n)
+      | _ -> Error (`Msg (Printf.sprintf "expected a positive integer or 'auto', got %S" s))
+  in
+  let print fmt = function
+    | None -> Format.pp_print_string fmt "auto"
+    | Some n -> Format.pp_print_int fmt n
+  in
+  Arg.conv (parse, print)
+
+let jobs_arg =
+  Arg.(
+    value
+    & opt jobs_conv None
+    & info [ "jobs" ] ~docv:"N"
+        ~doc:
+          "Worker domains, or 'auto' (the default: the machine's recommended domain count).  \
+           Requests beyond the core count are clamped.  Results are identical for every N.")
+
+(* Adaptive-stepping knobs, shared by sweep and flow. *)
+let adaptive_flag =
+  Arg.(
+    value & flag
+    & info [ "adaptive" ]
+        ~doc:
+          "Use LTE-controlled adaptive time stepping for the transient simulations ($(b,--dt) \
+           is then unused by the engine).  Steps grow through flat regions and shrink near \
+           activity; waveform breakpoints are landed on exactly.")
+
+let dt_min_arg =
+  Arg.(
+    value & opt float 0.25
+    & info [ "dt-min" ] ~docv:"PS" ~doc:"Adaptive: smallest (and initial) step, in ps.")
+
+let dt_max_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "dt-max" ] ~docv:"PS" ~doc:"Adaptive: largest step, in ps (default 256 x dt-min).")
+
+let ltol_arg =
+  Arg.(
+    value
+    & opt float (Rlc_circuit.Engine.default_adaptive ()).Rlc_circuit.Engine.ltol
+    & info [ "ltol" ] ~docv:"V"
+        ~doc:
+          "Adaptive: per-step local truncation error tolerance, in volts. The default is \
+           timing-grade; tighten (e.g. 1e-3) for waveform-tracking work.")
+
+let adaptive_of ~adaptive ~dt_min ~dt_max ~ltol =
+  if not adaptive then None
+  else
+    Some
+      (Rlc_circuit.Engine.default_adaptive ~dt_min:(Rlc_num.Units.ps dt_min)
+         ?dt_max:(Option.map Rlc_num.Units.ps dt_max)
+         ~ltol ())
+
+let cell_or_die tech ~size =
+  match Rlc_liberty.Characterize.cell_res tech ~size with
+  | Ok c -> c
+  | Error e ->
+      Format.eprintf "%s@." (Rlc_service.Error.message e);
+      exit 2
+
 let make_case ~label length width size slew cl =
   Evaluate.case ~label ~length_mm:length ~width_um:width ~size ~input_slew_ps:slew
     ?cl:(Option.map Rlc_num.Units.ff cl) ()
@@ -96,7 +167,7 @@ let analyze_cmd =
       end
     end
     else begin
-      let cell = Rlc_liberty.Characterize.cell case.Evaluate.tech ~size in
+      let cell = cell_or_die case.Evaluate.tech ~size in
       let m =
         Driver_model.model ~cell ~edge:Rlc_waveform.Measure.Rising
           ~input_slew:case.Evaluate.input_slew ~line ~cl:case.Evaluate.cl ()
@@ -123,7 +194,7 @@ let analyze_cmd =
 let screen_cmd =
   let run length width size slew cl =
     let case = make_case ~label:"cli" length width size slew cl in
-    let cell = Rlc_liberty.Characterize.cell case.Evaluate.tech ~size in
+    let cell = cell_or_die case.Evaluate.tech ~size in
     let m =
       Driver_model.model ~cell ~edge:Rlc_waveform.Measure.Rising
         ~input_slew:case.Evaluate.input_slew ~line:case.Evaluate.line ~cl:case.Evaluate.cl ()
@@ -174,20 +245,22 @@ let characterize_cmd =
 (* -------------------------------------------------------------- sweep *)
 
 let sweep_cmd =
-  let run dt limit jobs trace metrics_json =
+  let run dt limit jobs adaptive dt_min dt_max ltol trace metrics_json =
     let cases = Experiments.sweep_cases () in
     let cases =
       match limit with
       | Some n -> List.filteri (fun i _ -> i < n) cases
       | None -> cases
     in
-    let jobs = match jobs with Some j -> j | None -> Rlc_flow.Pool.default_jobs () in
+    let requested = match jobs with Some j -> j | None -> Rlc_flow.Pool.default_jobs () in
+    let jobs = Experiments.effective_jobs requested in
+    let adaptive = adaptive_of ~adaptive ~dt_min ~dt_max ~ltol in
     let obs = obs_of ~trace ~metrics_json in
     (* The reference-pass total (inductive survivor count) is only known
        after screening, so the meter learns it from the first callback. *)
     let meter = Rlc_obs.Progress.create ~label:"  sweep" ~total:0 () in
     let stats =
-      Experiments.run_sweep ~obs ~dt:(Rlc_num.Units.ps dt) ~jobs
+      Experiments.run_sweep ~obs ~dt:(Rlc_num.Units.ps dt) ?adaptive ~jobs
         ~progress:(fun k n ->
           Rlc_obs.Progress.set_total meter n;
           Rlc_obs.Progress.report meter k)
@@ -195,6 +268,9 @@ let sweep_cmd =
     in
     Rlc_obs.Progress.finish meter;
     export_obs obs ~trace ~metrics_json;
+    (* Clamp note stays in the human summary; sweep has no machine payload. *)
+    if jobs < requested then
+      Format.printf "workers: %d domains (requested %d, clamped to core count)@." jobs requested;
     Format.printf "swept %d cases; %d inductive@." stats.Experiments.n_swept
       stats.Experiments.n_inductive;
     let show tag (e : Experiments.error_stats) =
@@ -215,29 +291,23 @@ let sweep_cmd =
       & opt (some int) None
       & info [ "limit" ] ~docv:"N" ~doc:"Only examine the first N grid cases.")
   in
-  let jobs_arg =
-    Arg.(
-      value
-      & opt (some int) None
-      & info [ "jobs" ] ~docv:"N"
-          ~doc:
-            "Worker domains for the sweep (default: the machine's recommended domain count).  \
-             Results are identical for every N.")
-  in
   Cmd.v
     (Cmd.info "sweep" ~doc:"Run the Figure-7 style sweep and print error statistics.")
-    Term.(const run $ dt_arg $ limit_arg $ jobs_arg $ trace_arg $ metrics_json_arg)
+    Term.(
+      const run $ dt_arg $ limit_arg $ jobs_arg $ adaptive_flag $ dt_min_arg $ dt_max_arg
+      $ ltol_arg $ trace_arg $ metrics_json_arg)
 
 (* --------------------------------------------------------------- flow *)
 
 let flow_cmd =
-  let run spef_file spec_file jobs json csv size slew no_cache dt required verbose trace
-      metrics_json =
+  let run spef_file spec_file jobs json csv size slew no_cache dt adaptive dt_min dt_max ltol
+      required verbose trace metrics_json =
     if verbose then begin
       Logs.set_reporter (Logs.format_reporter ());
       Logs.set_level (Some Logs.Info)
     end;
     let obs = obs_of ~trace ~metrics_json in
+    let adaptive = adaptive_of ~adaptive ~dt_min ~dt_max ~ltol in
     (* The one-shot flow rides the same Session as the daemon, so the
        --json payload is byte-identical to a served "flow" request.
        Exit codes: 2 for errors (parse errors print file:line: message),
@@ -246,7 +316,8 @@ let flow_cmd =
       {
         Rlc_service.Session.Config.default with
         Rlc_service.Session.Config.jobs =
-          (match jobs with Some j -> j | None -> Rlc_flow.Pool.default_jobs ());
+          Experiments.effective_jobs
+            (match jobs with Some j -> j | None -> Rlc_flow.Pool.default_jobs ());
         dt = Rlc_num.Units.ps dt;
         use_cache = not no_cache;
         default_size = size;
@@ -276,7 +347,7 @@ let flow_cmd =
               else None
             in
             let required = Option.map Rlc_num.Units.ps required in
-            match Rlc_service.Session.flow session ?required ?progress design with
+            match Rlc_service.Session.flow session ?required ?adaptive ?progress design with
             | Error e ->
                 Option.iter Rlc_obs.Progress.finish progress;
                 Format.eprintf "%s@." (Rlc_service.Error.message e);
@@ -318,13 +389,6 @@ let flow_cmd =
             "Connectivity spec (driver sizes, primary input slews, net-to-net edges, extra \
              loads).  Default: every net is a primary input driven at --size/--slew.")
   in
-  let jobs_arg =
-    Arg.(
-      value
-      & opt (some int) None
-      & info [ "jobs" ] ~docv:"N"
-          ~doc:"Worker domains (default: the machine's recommended domain count).")
-  in
   let json_arg =
     Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc:"Write JSON report.")
   in
@@ -356,8 +420,8 @@ let flow_cmd =
           solves over a domain pool, slew propagation between levels, JSON/CSV reports.")
     Term.(
       const run $ spef_arg $ spec_arg $ jobs_arg $ json_arg $ csv_arg $ default_size_arg
-      $ slew_arg $ no_cache_arg $ dt_arg $ required_arg $ verbose_arg $ trace_arg
-      $ metrics_json_arg)
+      $ slew_arg $ no_cache_arg $ dt_arg $ adaptive_flag $ dt_min_arg $ dt_max_arg $ ltol_arg
+      $ required_arg $ verbose_arg $ trace_arg $ metrics_json_arg)
 
 (* -------------------------------------------------------------- serve *)
 
@@ -450,9 +514,9 @@ let spef_cmd =
         ~finally:(fun () -> close_in ic)
         (fun () -> really_input_string ic (in_channel_length ic))
     in
-    match Rlc_spef.Spef.parse content with
+    match Rlc_spef.Spef.parse_res ~file content with
     | Error e ->
-        Format.eprintf "SPEF parse error: %s@." e;
+        Format.eprintf "%s@." (Rlc_service.Error.message e);
         1
     | Ok spef -> (
         match Rlc_spef.Spef.find_net spef net_name with
@@ -478,7 +542,7 @@ let spef_cmd =
                 (match size with
                 | None -> ()
                 | Some size ->
-                    let cell = Rlc_liberty.Characterize.cell Rlc_devices.Tech.c018 ~size in
+                    let cell = cell_or_die Rlc_devices.Tech.c018 ~size in
                     let slew_s = Rlc_num.Units.ps slew in
                     let iterate f =
                       let tr_of c =

@@ -13,7 +13,11 @@ let ps = Rlc_num.Units.in_ps
 let tech = Rlc_devices.Tech.c018
 
 let far_delay_of size line cl =
-  let cell = Rlc_liberty.Characterize.cell tech ~size in
+  let cell =
+    match Rlc_liberty.Characterize.cell_res tech ~size with
+    | Ok c -> c
+    | Error e -> failwith (Rlc_errors.Error.message e)
+  in
   let model =
     Driver_model.model ~cell ~edge:Rlc_waveform.Measure.Rising
       ~input_slew:(Rlc_num.Units.ps 100.) ~line ~cl ()

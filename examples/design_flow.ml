@@ -23,14 +23,14 @@ let find name =
 
 let () =
   let spef =
-    match Rlc_spef.Spef.parse (read_file (find "bus8.spef")) with
+    match Rlc_spef.Spef.parse_res ~file:"bus8.spef" (read_file (find "bus8.spef")) with
     | Ok s -> s
-    | Error e -> failwith e
+    | Error e -> failwith (Rlc_errors.Error.message e)
   in
   let spec =
-    match Rlc_flow.Spec.parse (read_file (find "bus8.spec")) with
+    match Rlc_flow.Spec.parse_res ~file:"bus8.spec" (read_file (find "bus8.spec")) with
     | Ok s -> s
-    | Error e -> failwith e
+    | Error e -> failwith (Rlc_errors.Error.message e)
   in
   let design =
     match Rlc_flow.Design.ingest ~spef ~spec () with Ok d -> d | Error e -> failwith e

@@ -30,7 +30,11 @@ let () =
       (fun (length_mm, width_um, size, slew_ps) ->
         let geom = Rlc_parasitics.Extract.geometry ~length_mm ~width_um in
         let line = Rlc_parasitics.Extract.line_of geom in
-        let cell = Rlc_liberty.Characterize.cell tech ~size in
+        let cell =
+          match Rlc_liberty.Characterize.cell_res tech ~size with
+          | Ok c -> c
+          | Error e -> failwith (Rlc_errors.Error.message e)
+        in
         let m =
           Driver_model.model ~cell ~edge:Rlc_waveform.Measure.Rising
             ~input_slew:(Rlc_num.Units.ps slew_ps) ~line ~cl:20e-15 ()

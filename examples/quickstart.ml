@@ -16,7 +16,11 @@ let () =
   (* 2. Characterize the driver cell (cached NLDM tables: delay/slew vs
      input slew x load cap, simulated with the built-in circuit engine). *)
   let tech = Rlc_devices.Tech.c018 in
-  let cell = Rlc_liberty.Characterize.cell tech ~size:75. in
+  let cell =
+    match Rlc_liberty.Characterize.cell_res tech ~size:75. with
+    | Ok c -> c
+    | Error e -> failwith (Rlc_errors.Error.message e)
+  in
   Format.printf "cell: %a@." Rlc_liberty.Table.pp_cell cell;
 
   (* 3. Run the paper's flow: moments -> breakpoint -> Ceff1/Ceff2

@@ -45,7 +45,9 @@ let spef_text =
 
 let () =
   let spef =
-    match Rlc_spef.Spef.parse spef_text with Ok t -> t | Error e -> failwith e
+    match Rlc_spef.Spef.parse_res spef_text with
+    | Ok t -> t
+    | Error e -> failwith (Rlc_errors.Error.message e)
   in
   let net = Option.get (Rlc_spef.Spef.find_net spef "clk_spine") in
   Format.printf "design %S, net %s: %d grounded caps, %d branches@." spef.Rlc_spef.Spef.design
@@ -64,7 +66,11 @@ let () =
 
   (* Ceff iteration against a characterized 75X driver, exactly as the flow
      does for uniform lines. *)
-  let cell = Rlc_liberty.Characterize.cell Rlc_devices.Tech.c018 ~size:75. in
+  let cell =
+    match Rlc_liberty.Characterize.cell_res Rlc_devices.Tech.c018 ~size:75. with
+    | Ok c -> c
+    | Error e -> failwith (Rlc_errors.Error.message e)
+  in
   let input_slew = Rlc_num.Units.ps 100. in
   let ctot = Rlc_moments.Pade.total_cap pade in
   let iterate f =

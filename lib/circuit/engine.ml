@@ -425,6 +425,8 @@ type result = {
   cols : float array array;  (* cols.(col_of_node.(node)).(step) *)
   total_newton : int;
   worst_newton : int;
+  rejected_ : int;  (* adaptive mode: LTE-rejected step attempts *)
+  refactors_ : int;  (* adaptive mode: system assemblies/factorizations *)
 }
 
 let dc_solve ?(t = 0.) c opts =
@@ -761,17 +763,9 @@ let commit_step c st opts vnode =
     Array.blit v_new 0 k.v_prev_k 0 nb
   done
 
-let transient ?(obs = Obs.null) ?options ?record_nodes ?(reassemble_per_step = false) ~dt
-    ~t_stop netlist =
-  let opts = match options with Some o -> o | None -> default_options ~dt ~t_stop in
-  let dt = opts.dt and t_stop = opts.t_stop in
-  if dt <= 0. || t_stop <= 0. then invalid_arg "Engine.transient: dt and t_stop must be positive";
-  let c = Obs.time obs "engine.compile" (fun () -> compile netlist) in
-  (* Tiny epsilon guards float-division noise (1e-9 / 10e-12 is slightly
-     above 100) from adding a spurious extra step. *)
-  let n_steps = Int.max 1 (int_of_float (Float.ceil ((t_stop /. dt) -. 1e-9))) in
-  let vnode = Obs.time obs "engine.dc_solve" (fun () -> dc_solve ~t:0. c opts) in
-  (* Initialize companion states from the DC point. *)
+(* Companion states from the DC point (inductor/coupled history currents
+   through the DC solve's 1 kS short, matching [dc_solve]'s [g_short]). *)
+let init_companions c vnode =
   Array.iter
     (fun (cc : companion) ->
       cc.hist.v_prev <- vnode.(cc.n1) -. vnode.(cc.n2);
@@ -791,10 +785,14 @@ let transient ?(obs = Obs.null) ?options ?record_nodes ?(reassemble_per_step = f
           k.v_prev_k.(p) <- dv;
           k.i_prev_k.(p) <- 1e3 *. dv)
         k.k_branches)
-    c.coupled;
-  let times_ = Array.init (n_steps + 1) (fun i -> dt *. float_of_int i) in
-  (* Selective recording: storing all nodes costs O(nodes * steps) memory;
-     long-ladder references only ever measure input/near/far. *)
+    c.coupled
+
+(* Selective recording: storing all nodes costs O(nodes * steps) memory;
+   long-ladder references only ever measure input/near/far.  Returns the
+   node -> column map (-1 = unrecorded) and the node-ascending recorded
+   list; column ids were assigned in node order, so column [i] is exactly
+   [rec_nodes.(i)]'s trace. *)
+let record_plan c record_nodes =
   let col_of_node = Array.make c.n_nodes (-1) in
   (match record_nodes with
   | None -> Array.iteri (fun n _ -> col_of_node.(n) <- n) col_of_node
@@ -820,9 +818,258 @@ let transient ?(obs = Obs.null) ?options ?record_nodes ?(reassemble_per_step = f
     done;
     Array.of_list !acc
   in
+  (col_of_node, rec_nodes)
+
+(* ------------------------------------------------------------- adaptive *)
+
+type adaptive = { dt_min : float; dt_max : float; ltol : float }
+
+let default_adaptive ?(dt_min = 0.25e-12) ?dt_max ?(ltol = 1e-2) () =
+  let dt_max = match dt_max with Some v -> v | None -> dt_min *. 256. in
+  { dt_min; dt_max; ltol }
+
+(* Grow the rung only after this many consecutive accepted steps whose LTE
+   estimate sits comfortably inside the budget. *)
+let grow_after = 2
+let grow_margin = 0.25
+
+(* LTE-controlled stepper.  Step sizes live on the quantized ladder
+   [h = dt_min * 2^k] so the per-(integration, h) factorization from
+   [make_transient_state] is built at most once per rung and reused across
+   every step taken at that rung; only breakpoint-clamped "offcut" steps
+   (one per arrival at a source kink) assemble a fresh system.
+
+   The local truncation error of each attempted step is estimated as the
+   gap between the corrector solution and a quadratic extrapolation through
+   the last three accepted points (divided differences, so non-uniform
+   history is handled); both scale with h^3 * v''', so the gap tracks the
+   trapezoidal LTE.  A step whose estimate exceeds [ltol] is rolled back —
+   the solve only mutates [vnode], and companion history is only advanced
+   by [commit_step] after acceptance, so rejection is a single vector
+   restore — and retried one rung down.  Rung-0 steps are always accepted:
+   [dt_min] is the accuracy floor.
+
+   Breakpoints (source kinks declared on the netlist, plus [t_stop]) are
+   landed on exactly; landing resets the predictor history and drops back
+   to rung 0, since the waveform is not smooth across a kink. *)
+let transient_adaptive ~obs ~opts ~record_nodes (a : adaptive) netlist =
+  if a.dt_min <= 0. || a.dt_max < a.dt_min || a.ltol <= 0. then
+    invalid_arg "Engine.transient: adaptive wants 0 < dt_min <= dt_max and ltol > 0";
+  let t_stop = opts.t_stop in
+  if t_stop <= 0. then invalid_arg "Engine.transient: t_stop must be positive";
+  let c = Obs.time obs "engine.compile" (fun () -> compile netlist) in
+  let vnode = Obs.time obs "engine.dc_solve" (fun () -> dc_solve ~t:0. c opts) in
+  init_companions c vnode;
+  let n_nodes = c.n_nodes in
+  let kmax =
+    let k = ref 0 in
+    while !k < 60 && ldexp a.dt_min (!k + 1) <= a.dt_max do
+      incr k
+    done;
+    !k
+  in
+  let bps =
+    let l = List.filter (fun b -> b > 0. && b < t_stop) (Netlist.breakpoints netlist) in
+    Array.of_list (l @ [ t_stop ])
+  in
+  let col_of_node, rec_nodes = record_plan c record_nodes in
+  (* The accepted-step count is data-dependent, so the recorded waveforms
+     live in doubling arrays (amortized O(1), no per-step allocation). *)
+  let cap = ref 256 and len = ref 0 in
+  let gtimes = ref (Array.make 256 0.) in
+  let gcols = Array.map (fun _ -> ref (Array.make 256 0.)) rec_nodes in
+  let push t =
+    if !len = !cap then begin
+      let ncap = 2 * !cap in
+      let nt = Array.make ncap 0. in
+      Array.blit !gtimes 0 nt 0 !len;
+      gtimes := nt;
+      Array.iter
+        (fun r ->
+          let na = Array.make ncap 0. in
+          Array.blit !r 0 na 0 !len;
+          r := na)
+        gcols;
+      cap := ncap
+    end;
+    !gtimes.(!len) <- t;
+    for i = 0 to Array.length rec_nodes - 1 do
+      (!(gcols.(i))).(!len) <- vnode.(rec_nodes.(i))
+    done;
+    incr len
+  in
+  push 0.;
+  (* Predictor history: the last three accepted (t, vnode) samples, rotated
+     by reference swap so the hot loop never allocates. *)
+  let h0v = ref (Array.make n_nodes 0.)
+  and h1v = ref (Array.make n_nodes 0.)
+  and h2v = ref (Array.make n_nodes 0.) in
+  let h0t = ref 0. and h1t = ref 0. and h2t = ref 0. in
+  let nh = ref 0 in
+  let push_hist tm =
+    let tmp = !h0v in
+    h0v := !h1v;
+    h1v := !h2v;
+    h2v := tmp;
+    h0t := !h1t;
+    h1t := !h2t;
+    h2t := tm;
+    Array.blit vnode 0 !h2v 0 n_nodes;
+    if !nh < 3 then incr nh
+  in
+  push_hist 0.;
+  let v_save = Array.make n_nodes 0. in
+  (* Worst |corrector - quadratic extrapolation| over the unknown nodes
+     (forced nodes are exact by construction). *)
+  let pred_err t_new =
+    let va = !h0v and vb = !h1v and vc = !h2v in
+    let ta = !h0t and tb = !h1t and tc = !h2t in
+    let dab = tb -. ta and dbc = tc -. tb and dac = tc -. ta in
+    let x1 = t_new -. ta and x2 = t_new -. tb in
+    let uon = c.unknown_of_node in
+    let worst = ref 0. in
+    for n = 1 to n_nodes - 1 do
+      if uon.(n) >= 0 then begin
+        let f_ab = (vb.(n) -. va.(n)) /. dab in
+        let f_bc = (vc.(n) -. vb.(n)) /. dbc in
+        let f2 = (f_bc -. f_ab) /. dac in
+        let p = va.(n) +. (x1 *. (f_ab +. (x2 *. f2))) in
+        let e = Float.abs (vnode.(n) -. p) in
+        if e > !worst then worst := e
+      end
+    done;
+    !worst
+  in
+  let rungs = Array.make (kmax + 1) None in
+  let refactors = ref 0 in
+  let state_for k =
+    match rungs.(k) with
+    | Some st -> st
+    | None ->
+        let st = make_transient_state c { opts with dt = ldexp a.dt_min k } in
+        incr refactors;
+        rungs.(k) <- Some st;
+        st
+  in
+  let total_newton = ref 0 and worst_newton = ref 0 in
+  let rejected = ref 0 in
+  let k = ref 0 and consec = ref 0 and bpi = ref 0 in
+  let t = ref 0. in
+  (* Steps that would leave a sliver shorter than half a rung-0 step before
+     the next breakpoint are stretched to land on it instead. *)
+  let slack = 0.5 *. a.dt_min in
+  let n_bps = Array.length bps in
+  let step_t0 = Obs.start obs in
+  while !bpi < n_bps do
+    let bp = bps.(!bpi) in
+    let rung_h = ldexp a.dt_min !k in
+    let clamped = !t +. rung_h >= bp -. slack in
+    let h_eff = if clamped then bp -. !t else rung_h in
+    let t_new = if clamped then bp else !t +. rung_h in
+    let st =
+      if clamped then begin
+        incr refactors;
+        make_transient_state c { opts with dt = h_eff }
+      end
+      else state_for !k
+    in
+    Array.blit vnode 0 v_save 0 n_nodes;
+    update_forced c vnode t_new;
+    for i = 0 to Array.length c.coupled - 1 do
+      coupled_ieq_into c.coupled.(i) opts.integration st.galpha.(i) st.ieq_k.(i)
+    done;
+    let verdict =
+      match fast_step c st opts vnode t_new with
+      | iters ->
+          (* err < 0 means "no estimate yet" (fewer than three accepted
+             points since the start or the last kink). *)
+          let err = if !nh >= 3 then pred_err t_new else -1. in
+          if !k = 0 || err < 0. || err <= a.ltol then Some (iters, err) else None
+      | exception Failure _ when !k > 0 -> None
+    in
+    match verdict with
+    | None ->
+        Array.blit v_save 0 vnode 0 n_nodes;
+        incr rejected;
+        k := Int.max 0 (!k - 1);
+        consec := 0
+    | Some (iters, err) ->
+        total_newton := !total_newton + iters;
+        worst_newton := Int.max !worst_newton iters;
+        commit_step c st opts vnode;
+        t := t_new;
+        push t_new;
+        push_hist t_new;
+        Obs.observe obs "engine.step_size_ns" (h_eff *. 1e9);
+        if clamped then begin
+          incr bpi;
+          k := 0;
+          consec := 0;
+          (* The source is not smooth across the kink just landed on:
+             restart the predictor from this point only. *)
+          nh := 1
+        end
+        else begin
+          if err >= 0. && err <= grow_margin *. a.ltol then incr consec else consec := 0;
+          if !consec >= grow_after && !k < kmax then begin
+            k := !k + 1;
+            consec := 0
+          end
+        end
+  done;
+  let n_steps = !len - 1 in
+  let times_ = Array.sub !gtimes 0 !len in
+  let cols = Array.map (fun r -> Array.sub !r 0 !len) gcols in
+  if Obs.enabled obs then begin
+    let path =
+      if Array.length c.nonlinears = 0 then "adaptive-linear" else "adaptive-newton"
+    in
+    Obs.finish obs
+      ~args:
+        [
+          ("steps", string_of_int n_steps);
+          ("rejected", string_of_int !rejected);
+          ("refactors", string_of_int !refactors);
+          ("newton_total", string_of_int !total_newton);
+          ("path", path);
+        ]
+      "engine.step_loop" step_t0;
+    Obs.incr obs "engine.transients";
+    Obs.add obs "engine.steps" n_steps;
+    Obs.add obs "engine.newton_iters" !total_newton;
+    Obs.add obs "engine.steps_rejected" !rejected;
+    Obs.add obs "engine.refactors" !refactors
+  end;
+  {
+    times_;
+    col_of_node;
+    cols;
+    total_newton = !total_newton;
+    worst_newton = !worst_newton;
+    rejected_ = !rejected;
+    refactors_ = !refactors;
+  }
+
+let transient ?(obs = Obs.null) ?options ?record_nodes ?(reassemble_per_step = false) ?adaptive
+    ~dt ~t_stop netlist =
+  let opts = match options with Some o -> o | None -> default_options ~dt ~t_stop in
+  match adaptive with
+  | Some a ->
+      if reassemble_per_step then
+        invalid_arg "Engine.transient: adaptive and reassemble_per_step are exclusive";
+      transient_adaptive ~obs ~opts ~record_nodes a netlist
+  | None ->
+  let dt = opts.dt and t_stop = opts.t_stop in
+  if dt <= 0. || t_stop <= 0. then invalid_arg "Engine.transient: dt and t_stop must be positive";
+  let c = Obs.time obs "engine.compile" (fun () -> compile netlist) in
+  (* Tiny epsilon guards float-division noise (1e-9 / 10e-12 is slightly
+     above 100) from adding a spurious extra step. *)
+  let n_steps = Int.max 1 (int_of_float (Float.ceil ((t_stop /. dt) -. 1e-9))) in
+  let vnode = Obs.time obs "engine.dc_solve" (fun () -> dc_solve ~t:0. c opts) in
+  init_companions c vnode;
+  let times_ = Array.init (n_steps + 1) (fun i -> dt *. float_of_int i) in
+  let col_of_node, rec_nodes = record_plan c record_nodes in
   let cols = Array.map (fun _ -> Array.make (n_steps + 1) 0.) rec_nodes in
-  (* [rec_nodes] is node-ascending and column ids were assigned in node
-     order, so [cols.(i)] is exactly [rec_nodes.(i)]'s trace. *)
   let record step =
     for i = 0 to Array.length rec_nodes - 1 do
       cols.(i).(step) <- vnode.(rec_nodes.(i))
@@ -894,7 +1141,15 @@ let transient ?(obs = Obs.null) ?options ?record_nodes ?(reassemble_per_step = f
     Obs.add obs "engine.steps" n_steps;
     Obs.add obs "engine.newton_iters" !total_newton
   end;
-  { times_; col_of_node; cols; total_newton = !total_newton; worst_newton = !worst_newton }
+  {
+    times_;
+    col_of_node;
+    cols;
+    total_newton = !total_newton;
+    worst_newton = !worst_newton;
+    rejected_ = 0;
+    refactors_ = 0;
+  }
 
 let times r = Array.copy r.times_
 
@@ -913,3 +1168,5 @@ let voltage_at r n t =
 let newton_total r = r.total_newton
 let newton_worst r = r.worst_newton
 let steps r = Array.length r.times_ - 1
+let steps_rejected r = r.rejected_
+let refactors r = r.refactors_

@@ -33,6 +33,27 @@ val default_options : dt:float -> t_stop:float -> options
 (** Trapezoidal, [newton_tol = 1e-9] V, [newton_max = 60],
     [dv_limit = 0.5] V. *)
 
+type adaptive = {
+  dt_min : float;  (** smallest step (ladder rung 0), seconds *)
+  dt_max : float;  (** largest step; the ladder tops out at the largest
+                       [dt_min * 2^k <= dt_max] *)
+  ltol : float;  (** per-step local-truncation-error budget, volts *)
+}
+(** Parameters of the LTE-controlled adaptive stepper.  Step sizes are
+    quantized to the ladder [h = dt_min * 2^k] so the factorization of the
+    companion system is built once per rung and reused for every step taken
+    at that rung; [h] grows through flat regions (two consecutive accepts
+    with the error estimate under [ltol]/4 climb one rung) and drops a rung
+    on rejection.  Rung-0 steps are never rejected — [dt_min] is the
+    accuracy floor. *)
+
+val default_adaptive : ?dt_min:float -> ?dt_max:float -> ?ltol:float -> unit -> adaptive
+(** [dt_min = 0.25 ps], [dt_max = 256 * dt_min], [ltol = 10 mV].  The
+    10 mV per-step budget is calibrated on the Table-1 sweep: accumulated
+    delay/slew deviation from fixed-step stays under 0.2 % (the acceptance
+    bar is 1 %) while flat tails coarsen by two extra rungs; pass
+    [~ltol:1e-3] for waveform-tracking work. *)
+
 type result
 
 val transient :
@@ -40,6 +61,7 @@ val transient :
   ?options:options ->
   ?record_nodes:Netlist.node list ->
   ?reassemble_per_step:bool ->
+  ?adaptive:adaptive ->
   dt:float ->
   t_stop:float ->
   Netlist.t ->
@@ -66,7 +88,20 @@ val transient :
     Newton iteration), as the engine did before the compile/factor/step
     split.  The two paths produce bit-identical waveforms; the slow path is
     kept as the golden reference for equivalence tests and speedup
-    measurement. *)
+    measurement.
+
+    [adaptive] switches to LTE-controlled variable time steps (see
+    {!adaptive}); [dt] is then unused and the recorded waveforms sit on the
+    adaptive (non-uniform) grid.  Every breakpoint declared on the netlist's
+    forced sources ({!Netlist.force_voltage} / {!Netlist.force_pwl}) that
+    falls inside [(0, t_stop)] is landed on exactly, as is [t_stop] itself,
+    so source kinks are never stepped over; landing on a kink restarts the
+    stepper at [dt_min].  Incompatible with [reassemble_per_step].  With
+    [obs] enabled the step-loop span additionally carries [rejected] and
+    [refactors] args, accepted step sizes feed the ["engine.step_size_ns"]
+    histogram (values in nanoseconds), and ["engine.steps_rejected"] /
+    ["engine.refactors"] counters accumulate.  The fixed-step path is
+    completely untouched by this option. *)
 
 val times : result -> float array
 val voltage : result -> Netlist.node -> Waveform.t
@@ -77,6 +112,16 @@ val voltage_at : result -> Netlist.node -> float -> float
 val newton_total : result -> int
 val newton_worst : result -> int
 val steps : result -> int
+
+val steps_rejected : result -> int
+(** Adaptive mode: step attempts rolled back by the LTE control (0 for
+    fixed-step runs). *)
+
+val refactors : result -> int
+(** Adaptive mode: companion-system assemblies/factorizations performed —
+    one per ladder rung visited plus one per breakpoint-clamped offcut step
+    (0 for fixed-step runs).  Ladder reuse working means this stays far
+    below {!steps}. *)
 
 val dc_operating_point : ?t:float -> Netlist.t -> float array
 (** Newton DC solution (capacitors open, inductors shorted through 1 mOhm)

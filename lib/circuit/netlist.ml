@@ -1,3 +1,5 @@
+module Pwl = Rlc_waveform.Pwl
+
 type node = int
 
 let ground = 0
@@ -27,10 +29,12 @@ type t = {
   mutable n_nodes : int;
   mutable elems : element list;  (* reversed *)
   mutable forced : (node * (float -> float)) list;
+  mutable breakpoints : float list;  (* source kink times, unsorted *)
   mutable counter : int;
 }
 
-let create () = { names = [ "gnd" ]; n_nodes = 1; elems = []; forced = []; counter = 0 }
+let create () =
+  { names = [ "gnd" ]; n_nodes = 1; elems = []; forced = []; breakpoints = []; counter = 0 }
 
 let node t name =
   let id = t.n_nodes in
@@ -117,14 +121,24 @@ let coupled_pair t ?name (a1, b1) l1 (a2, b2) l2 ~k =
   let m = k *. Float.sqrt (l1 *. l2) in
   coupled_inductors t ?name [| (a1, b1); (a2, b2) |] ~lmat:[| [| l1; m |]; [| m; l2 |] |]
 
-let force_voltage t n f =
+let force_voltage t ?(breakpoints = []) n f =
   check_node t n "force_voltage";
   if n = ground then invalid_arg "Netlist.force_voltage: cannot force ground";
   if List.mem_assoc n t.forced then invalid_arg "Netlist.force_voltage: node already forced";
-  t.forced <- (n, f) :: t.forced
+  List.iter
+    (fun b ->
+      if not (Float.is_finite b) then
+        invalid_arg "Netlist.force_voltage: breakpoints must be finite")
+    breakpoints;
+  t.forced <- (n, f) :: t.forced;
+  if breakpoints <> [] then t.breakpoints <- List.rev_append breakpoints t.breakpoints
+
+let force_pwl t n pwl =
+  force_voltage t ~breakpoints:(List.map fst (Pwl.points pwl)) n (Pwl.eval pwl)
 
 let elements t = List.rev t.elems
 let forced t = List.rev t.forced
+let breakpoints t = List.sort_uniq Float.compare t.breakpoints
 
 let element_nodes = function
   | Resistor { n1; n2; _ } | Capacitor { n1; n2; _ } | Inductor { n1; n2; _ }

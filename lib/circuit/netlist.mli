@@ -71,14 +71,26 @@ val coupled_pair :
 (** Two coupled inductors with coupling coefficient [k] in [0, 1):
     [M = k sqrt (l1 l2)]. *)
 
-val force_voltage : t -> node -> (float -> float) -> unit
+val force_voltage : t -> ?breakpoints:float list -> node -> (float -> float) -> unit
 (** Attach an ideal voltage source from [node] to ground.  A node may be
-    forced at most once; forcing ground raises [Invalid_argument]. *)
+    forced at most once; forcing ground raises [Invalid_argument].
+
+    [breakpoints] (default none) declares the times where the source is not
+    smooth — ramp corners, PWL kinks, plateau starts.  The fixed-step engine
+    ignores them; the adaptive stepper lands a step on each one exactly so a
+    kink is never stepped over.  Non-finite times raise [Invalid_argument]. *)
+
+val force_pwl : t -> node -> Rlc_waveform.Pwl.t -> unit
+(** [force_voltage] with the PWL's evaluator and every PWL point registered
+    as a breakpoint. *)
 
 val elements : t -> element list
 (** In insertion order. *)
 
 val forced : t -> (node * (float -> float)) list
+
+val breakpoints : t -> float list
+(** All declared source breakpoints, sorted and deduplicated. *)
 
 val validate : t -> unit
 (** Checks that every non-ground node is reachable from a forced node or

@@ -47,10 +47,14 @@ type comparison = {
 let metrics_of_model m =
   { delay = Driver_model.model_delay m; slew = Driver_model.model_slew_10_90 m }
 
-let run ?obs ?(dt = 0.5e-12) ?n_segments case =
-  let cell = Characterize.cell case.tech ~size:case.size in
+let run ?obs ?(dt = 0.5e-12) ?adaptive ?n_segments case =
+  let cell =
+    match Characterize.cell_res case.tech ~size:case.size with
+    | Ok c -> c
+    | Error e -> failwith (Rlc_errors.Error.message e)
+  in
   let ref_run =
-    Reference.simulate ?obs ~dt ?n_segments ~tech:case.tech ~size:case.size
+    Reference.simulate ?obs ~dt ?adaptive ?n_segments ~tech:case.tech ~size:case.size
       ~input_slew:case.input_slew ~line:case.line ~cl:case.cl ()
   in
   let reference = { delay = Reference.near_delay ref_run; slew = Reference.near_slew ref_run } in
@@ -85,15 +89,15 @@ type far_comparison = {
   far_model_wave : Reference.Waveform.t;
 }
 
-let run_far ?obs ?(dt = 0.5e-12) ?n_segments case model =
+let run_far ?obs ?(dt = 0.5e-12) ?adaptive ?n_segments case model =
   let ref_run =
-    Reference.simulate ?obs ~dt ?n_segments ~tech:case.tech ~size:case.size
+    Reference.simulate ?obs ~dt ?adaptive ?n_segments ~tech:case.tech ~size:case.size
       ~input_slew:case.input_slew ~line:case.line ~cl:case.cl ()
   in
   let far_reference = { delay = Reference.far_delay ref_run; slew = Reference.far_slew ref_run } in
   let near_w, far_w =
-    Reference.replay_pwl ?obs ~dt ?n_segments ~pwl:model.Driver_model.pwl ~line:case.line
-      ~cl:case.cl ()
+    Reference.replay_pwl ?obs ~dt ?adaptive ?n_segments ~pwl:model.Driver_model.pwl
+      ~line:case.line ~cl:case.cl ()
   in
   let vdd = case.tech.Rlc_devices.Tech.vdd in
   (* Model axis: t = 0 is the input 50% crossing, so crossing times ARE

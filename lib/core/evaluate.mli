@@ -48,10 +48,17 @@ type comparison = {
 
 val metrics_of_model : Driver_model.t -> metrics
 
-val run : ?obs:Rlc_obs.Obs.t -> ?dt:float -> ?n_segments:int -> case -> comparison
+val run :
+  ?obs:Rlc_obs.Obs.t ->
+  ?dt:float ->
+  ?adaptive:Rlc_circuit.Engine.adaptive ->
+  ?n_segments:int ->
+  case ->
+  comparison
 (** [dt] defaults to 0.5 ps for sweep throughput (the paper-named figure
     cases pass 0.25 ps explicitly).  [obs] is forwarded to the reference
-    simulation and the driver models. *)
+    simulation and the driver models; [adaptive] switches the reference
+    transient to LTE-controlled stepping. *)
 
 val delay_err_pct : comparison -> metrics -> float
 val slew_err_pct : comparison -> metrics -> float
@@ -64,7 +71,13 @@ type far_comparison = {
 }
 
 val run_far :
-  ?obs:Rlc_obs.Obs.t -> ?dt:float -> ?n_segments:int -> case -> Driver_model.t -> far_comparison
+  ?obs:Rlc_obs.Obs.t ->
+  ?dt:float ->
+  ?adaptive:Rlc_circuit.Engine.adaptive ->
+  ?n_segments:int ->
+  case ->
+  Driver_model.t ->
+  far_comparison
 (** Step 5 of the paper's flow: replace the driver by the modeled waveform
     and compare far-end timing against the reference (Figure 6 right). *)
 

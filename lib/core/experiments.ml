@@ -128,14 +128,24 @@ let stats_of_points ~delay ~slew points =
   }
 
 let model_only (case : Evaluate.case) =
-  let cell = Rlc_liberty.Characterize.cell case.Evaluate.tech ~size:case.Evaluate.size in
+  let cell =
+    match Rlc_liberty.Characterize.cell_res case.Evaluate.tech ~size:case.Evaluate.size with
+    | Ok c -> c
+    | Error e -> failwith (Rlc_errors.Error.message e)
+  in
   Driver_model.model ~cell ~edge:Rlc_waveform.Measure.Rising
     ~input_slew:case.Evaluate.input_slew ~line:case.Evaluate.line ~cl:case.Evaluate.cl ()
 
-let run_sweep ?(obs = Rlc_obs.Obs.null) ?(dt = 0.5e-12) ?(jobs = 1)
+let effective_jobs jobs = Int.max 1 (Int.min jobs (Rlc_parallel.Pool.default_jobs ()))
+
+let run_sweep ?(obs = Rlc_obs.Obs.null) ?(dt = 0.5e-12) ?adaptive ?(jobs = 1)
     ?(progress = fun _ _ -> ()) cases =
   let module Obs = Rlc_obs.Obs in
   let module Pool = Rlc_parallel.Pool in
+  (* Never oversubscribe: more domains than cores only adds scheduler
+     churn, so the requested fan-out is capped at the machine's
+     recommendation.  Results are order-stable either way. *)
+  let jobs = effective_jobs jobs in
   let case_arr = Array.of_list cases in
   Pool.with_pool ~obs ~jobs @@ fun pool ->
   (* Cheap pass: model + screen only; expensive reference runs are reserved
@@ -171,7 +181,7 @@ let run_sweep ?(obs = Rlc_obs.Obs.null) ?(dt = 0.5e-12) ?(jobs = 1)
         let case = inductive.(i) in
         let cmp =
           Obs.time obs ~args:[ ("case", case.Evaluate.label) ] "sweep.case" (fun () ->
-              Evaluate.run ~obs ~dt case)
+              Evaluate.run ~obs ~dt ?adaptive case)
         in
         progress (Atomic.fetch_and_add completed 1 + 1) total;
         {

@@ -85,9 +85,15 @@ type sweep_stats = {
 val stats_of_points :
   delay:(sweep_point -> float) -> slew:(sweep_point -> float) -> sweep_point list -> error_stats
 
+val effective_jobs : int -> int
+(** [max 1 (min requested (Pool.default_jobs ()))] — the fan-out
+    {!run_sweep} actually uses.  Exposed so callers (CLI, bench) can report
+    when a request was clamped. *)
+
 val run_sweep :
   ?obs:Rlc_obs.Obs.t ->
   ?dt:float ->
+  ?adaptive:Rlc_circuit.Engine.adaptive ->
   ?jobs:int ->
   ?progress:(int -> int -> unit) ->
   Evaluate.case list ->
@@ -96,9 +102,13 @@ val run_sweep :
     reference-simulate and score only those — mirroring the paper's "165
     inductive cases".
 
+    [adaptive] switches the reference transients to LTE-controlled stepping
+    ([dt] is then unused by the engine).
+
     [jobs] (default 1) fans both passes out over an OCaml 5 domain pool;
-    results and statistics are identical for every [jobs] value (points stay
-    in case order).  [progress] receives (completed, total) after each
+    requests beyond the core count are clamped via {!effective_jobs}
+    (oversubscription only slows the sweep down); results and statistics
+    are identical for every [jobs] value (points stay in case order).  [progress] receives (completed, total) after each
     reference simulation; the completed count is monotone but, when
     [jobs > 1], the callback may be invoked concurrently from worker
     domains, so it must be thread-safe.

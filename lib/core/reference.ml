@@ -18,7 +18,8 @@ type t = {
 let default_t_stop ~t0 ~input_slew ~line =
   t0 +. input_slew +. Float.max 2e-9 (20. *. Line.time_of_flight line)
 
-let simulate ?obs ?(dt = 0.25e-12) ?t_stop ?n_segments ~tech ~size ~input_slew ~line ~cl () =
+let simulate ?obs ?(dt = 0.25e-12) ?t_stop ?adaptive ?n_segments ~tech ~size ~input_slew
+    ~line ~cl () =
   let t0 = 30e-12 in
   let t_stop =
     match t_stop with Some t -> t | None -> default_t_stop ~t0 ~input_slew ~line
@@ -27,7 +28,7 @@ let simulate ?obs ?(dt = 0.25e-12) ?t_stop ?n_segments ~tech ~size ~input_slew ~
   (* Only input/near/far are ever read back, so don't store the whole
      ladder's waveforms. *)
   let r =
-    Testbench.drive ?obs ~dt ~t_stop ~t0 ~edge:Testbench.Rise
+    Testbench.drive ?obs ~dt ~t_stop ?adaptive ~t0 ~edge:Testbench.Rise
       ~record:(fun () -> [ !far_ref ])
       ~tech ~size ~input_slew
       ~load:(fun nl node -> Ladder.attach_load ?n_segments line ~cl nl node far_ref)
@@ -40,7 +41,7 @@ let simulate ?obs ?(dt = 0.25e-12) ?t_stop ?n_segments ~tech ~size ~input_slew ~
   in
   { input = r.Testbench.input; near = r.Testbench.output; far; vdd; t_in50 }
 
-let replay_pwl ?obs ?(dt = 0.25e-12) ?t_stop ?n_segments ~pwl ~line ~cl () =
+let replay_pwl ?obs ?(dt = 0.25e-12) ?t_stop ?adaptive ?n_segments ~pwl ~line ~cl () =
   (* Shift so the source starts after t = 0 (the engine's DC point must see
      the quiescent low state). *)
   let start = fst (List.hd (Pwl.points pwl)) in
@@ -53,10 +54,12 @@ let replay_pwl ?obs ?(dt = 0.25e-12) ?t_stop ?n_segments ~pwl ~line ~cl () =
   in
   let nl = Netlist.create () in
   let near = Netlist.node nl "near" in
-  Netlist.force_voltage nl near (Pwl.eval pwl);
+  (* force_pwl declares every PWL point as a breakpoint, so the two-ramp
+     kink and plateau are landed on exactly under adaptive stepping. *)
+  Netlist.force_pwl nl near pwl;
   let far_ref = ref Netlist.ground in
   Ladder.attach_load ?n_segments line ~cl nl near far_ref;
-  let r = Engine.transient ?obs ~record_nodes:[ near; !far_ref ] ~dt ~t_stop nl in
+  let r = Engine.transient ?obs ~record_nodes:[ near; !far_ref ] ?adaptive ~dt ~t_stop nl in
   (* Undo the shift: return waveforms on the caller's PWL time axis. *)
   ( Waveform.shift_time (-.shift) (Engine.voltage r near),
     Waveform.shift_time (-.shift) (Engine.voltage r !far_ref) )

@@ -18,10 +18,17 @@ type t = {
   t_in50 : float;  (** absolute time of the input 50 % crossing *)
 }
 
+val default_t_stop : t0:float -> input_slew:float -> line:Line.t -> float
+(** The default simulation window of {!simulate}:
+    [t0 + input_slew + max(2 ns, 20 tf)], where [tf] is the line's time of
+    flight — wide enough that the slowest Table-1 ramp settles and far-end
+    50 %/90 % crossings always exist. *)
+
 val simulate :
   ?obs:Rlc_obs.Obs.t ->
   ?dt:float ->
   ?t_stop:float ->
+  ?adaptive:Rlc_circuit.Engine.adaptive ->
   ?n_segments:int ->
   tech:Rlc_devices.Tech.t ->
   size:float ->
@@ -32,12 +39,15 @@ val simulate :
   t
 (** Rising-output bench: falling input ramp, inverter of the given size,
     ladder, load cap.  Defaults: [dt = 0.25 ps],
-    [t_stop = 30 ps + slew + max(2 ns, 20 tf)]. *)
+    [t_stop = 30 ps + slew + max(2 ns, 20 tf)].  [adaptive] switches the
+    engine to LTE-controlled stepping ([dt] is then unused); the returned
+    waveforms sit on the adaptive grid. *)
 
 val replay_pwl :
   ?obs:Rlc_obs.Obs.t ->
   ?dt:float ->
   ?t_stop:float ->
+  ?adaptive:Rlc_circuit.Engine.adaptive ->
   ?n_segments:int ->
   pwl:Rlc_waveform.Pwl.t ->
   line:Line.t ->

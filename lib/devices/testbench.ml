@@ -25,8 +25,8 @@ type edge = Rise | Fall
 let cap_load farads nl node =
   if farads > 0. then Netlist.capacitor nl ~name:"Cload" node Netlist.ground farads
 
-let drive ?obs ?(dt = 0.25e-12) ?t_stop ?(t0 = 10e-12) ?(edge = Rise) ?record ~tech ~size
-    ~input_slew ~load () =
+let drive ?obs ?(dt = 0.25e-12) ?t_stop ?adaptive ?(t0 = 10e-12) ?(edge = Rise) ?record
+    ~tech ~size ~input_slew ~load () =
   if input_slew <= 0. then invalid_arg "Testbench.drive: input_slew must be positive";
   let t_stop =
     match t_stop with Some t -> t | None -> t0 +. (4. *. input_slew) +. 1e-9
@@ -40,7 +40,8 @@ let drive ?obs ?(dt = 0.25e-12) ?t_stop ?(t0 = 10e-12) ?(edge = Rise) ?record ~t
     | Rise -> falling_input tech ~t0 ~slew:input_slew
     | Fall -> rising_input tech ~t0 ~slew:input_slew
   in
-  Netlist.force_voltage nl input input_fn;
+  (* The ramp corners are where the adaptive stepper must land exactly. *)
+  Netlist.force_voltage nl ~breakpoints:[ t0; t0 +. input_slew ] input input_fn;
   let output = Netlist.node nl "out" in
   let inv = Inverter.make tech ~size in
   Inverter.add nl inv ~vdd_node ~input ~output;
@@ -53,7 +54,7 @@ let drive ?obs ?(dt = 0.25e-12) ?t_stop ?(t0 = 10e-12) ?(edge = Rise) ?record ~t
     | None -> None
     | Some extra -> Some (input :: output :: vdd_node :: extra ())
   in
-  let engine = Engine.transient ?obs ?record_nodes ~dt ~t_stop nl in
+  let engine = Engine.transient ?obs ?record_nodes ?adaptive ~dt ~t_stop nl in
   {
     input = Engine.voltage engine input;
     output = Engine.voltage engine output;

@@ -31,6 +31,7 @@ val drive :
   ?obs:Rlc_obs.Obs.t ->
   ?dt:float ->
   ?t_stop:float ->
+  ?adaptive:Rlc_circuit.Engine.adaptive ->
   ?t0:float ->
   ?edge:edge ->
   ?record:(unit -> Netlist.node list) ->
@@ -52,7 +53,9 @@ val drive :
     loads that is O(nodes × steps) memory, so observers that only read a
     few probe nodes should pass the list.
 
-    [obs] is forwarded to {!Rlc_circuit.Engine.transient}. *)
+    [obs] and [adaptive] are forwarded to {!Rlc_circuit.Engine.transient};
+    the input ramp's corners ([t0] and [t0 + input_slew]) are declared as
+    breakpoints so the adaptive stepper lands on them exactly. *)
 
 val cap_load : float -> Netlist.t -> Netlist.node -> unit
 (** Ready-made pure-capacitance load (skipped entirely when the value is

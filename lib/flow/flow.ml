@@ -38,6 +38,7 @@ type stats = {
   cache_hits : int;
   cache_misses : int;
   iterations_spent : int;
+  jobs_used : int;
   phases : phase list;
 }
 
@@ -51,6 +52,7 @@ let create_cache : unit -> solve Cache.t = Cache.create
 module Config = struct
   type flow_config = {
     dt : float;
+    adaptive : Rlc_circuit.Engine.adaptive option;
     jobs : int option;
     use_cache : bool;
     cache : solve Cache.t option;
@@ -66,6 +68,7 @@ module Config = struct
   let default =
     {
       dt = 0.5e-12;
+      adaptive = None;
       jobs = None;
       use_cache = true;
       cache = None;
@@ -78,6 +81,7 @@ module Config = struct
 
   let with_jobs jobs t = { t with jobs = Some jobs }
   let with_cache cache t = { t with cache = Some cache }
+  let with_adaptive a t = { t with adaptive = Some a }
 end
 
 (* Canonicalize the per-net electrical inputs so that (a) repeated bus bits
@@ -92,7 +96,17 @@ type canonical = {
   key : string;
 }
 
-let canonicalize ~digits ~grid ~tech ~dt (net : Design.net) ~edge ~input_slew =
+(* Adaptive stepping changes the replayed waveform's grid (and hence the
+   measured numbers at the last ulp), so its parameters are part of the
+   cache key: a shared cache never serves a fixed-step solve to an
+   adaptive run or vice versa. *)
+let stepping_tag = function
+  | None -> "fixed"
+  | Some a ->
+      Printf.sprintf "adaptive:%.17g:%.17g:%.17g" a.Rlc_circuit.Engine.dt_min
+        a.Rlc_circuit.Engine.dt_max a.Rlc_circuit.Engine.ltol
+
+let canonicalize ~digits ~grid ~tech ~dt ?adaptive (net : Design.net) ~edge ~input_slew =
   let q = Cache.quantize ~digits in
   let q_slew = Cache.quantize_slew ~grid (Sta.clamp_slew input_slew) in
   let p = net.Design.pade in
@@ -106,22 +120,30 @@ let canonicalize ~digits ~grid ~tech ~dt (net : Design.net) ~edge ~input_slew =
   in
   let q_cl = q net.Design.cl in
   let key =
-    Printf.sprintf "%s|%.17g|%c|%.17g|%.17g|%.17g|%.17g|%.17g|%.17g|%.17g|%.17g|%.17g|%.17g|%.17g"
+    Printf.sprintf
+      "%s|%.17g|%c|%.17g|%.17g|%.17g|%.17g|%.17g|%.17g|%.17g|%.17g|%.17g|%.17g|%.17g|%s"
       tech.Rlc_devices.Tech.name net.Design.size
       (match edge with Measure.Rising -> 'r' | Measure.Falling -> 'f')
       q_slew q_pade.Pade.a1 q_pade.Pade.a2 q_pade.Pade.a3 q_pade.Pade.b1 q_pade.Pade.b2
       (Line.total_r q_line) (Line.total_l q_line) (Line.total_c q_line) q_cl dt
+      (stepping_tag adaptive)
   in
   { q_slew; q_pade; q_line; q_cl; key }
 
-let solve_net ?obs ~tech ~dt ~edge ~size c =
-  let cell = Characterize.cell tech ~size in
+let cell_exn tech ~size =
+  match Characterize.cell_res tech ~size with
+  | Ok c -> c
+  | Error e -> failwith (Rlc_errors.Error.message e)
+
+let solve_net ?obs ?adaptive ~tech ~dt ~edge ~size c =
+  let cell = cell_exn tech ~size in
   let model =
     Driver_model.model_pade ?obs ~cell ~edge ~input_slew:c.q_slew ~pade:c.q_pade ~line:c.q_line
       ~cl:c.q_cl ()
   in
   let _, far =
-    Reference.replay_pwl ?obs ~dt ~pwl:model.Driver_model.pwl ~line:c.q_line ~cl:c.q_cl ()
+    Reference.replay_pwl ?obs ~dt ?adaptive ~pwl:model.Driver_model.pwl ~line:c.q_line
+      ~cl:c.q_cl ()
   in
   let vdd = model.Driver_model.vdd in
   (* The model waveform lives in the normalized rising domain; t = 0 is the
@@ -139,20 +161,26 @@ let run_cfg (cfg : Config.t) (design : Design.t) =
   let obs = cfg.Config.obs
   and progress = cfg.Config.progress
   and dt = cfg.Config.dt
+  and adaptive = cfg.Config.adaptive
   and use_cache = cfg.Config.use_cache
   and quantize_digits = cfg.Config.quantize_digits
   and slew_grid = cfg.Config.slew_grid in
   (* A borrowed pool (the service daemon's resident one) is used as-is and
      left running; otherwise a pool is created for this run and shut down
-     with it. *)
+     with it.  Requested fan-out is clamped to the core count —
+     oversubscribing domains only adds scheduler churn. *)
+  let jobs_used =
+    match cfg.Config.pool with
+    | Some pool -> Pool.jobs pool
+    | None -> (
+        match cfg.Config.jobs with
+        | Some j -> Int.max 1 (Int.min j (Pool.default_jobs ()))
+        | None -> Pool.default_jobs ())
+  in
   let with_run_pool f =
     match cfg.Config.pool with
     | Some pool -> f pool
-    | None ->
-        let jobs =
-          match cfg.Config.jobs with Some j -> Int.max 1 j | None -> Pool.default_jobs ()
-        in
-        Pool.with_pool ~obs ~jobs f
+    | None -> Pool.with_pool ~obs ~jobs:jobs_used f
   in
   let cache = match cfg.Config.cache with Some c -> c | None -> create_cache () in
   let hits0 = Cache.hits cache and misses0 = Cache.misses cache in
@@ -170,7 +198,7 @@ let run_cfg (cfg : Config.t) (design : Design.t) =
   (* Characterize every driver size once, in the calling domain, so the
      worker domains only ever read the (mutex-guarded) memo table. *)
   timed "characterize" (fun () ->
-      List.iter (fun size -> ignore (Characterize.cell tech ~size)) design.Design.sizes);
+      List.iter (fun size -> ignore (cell_exn tech ~size)) design.Design.sizes);
   let results : net_result option array = Array.make n None in
   (* incremented from worker domains *)
   let spent = Atomic.make 0 in
@@ -202,11 +230,11 @@ let run_cfg (cfg : Config.t) (design : Design.t) =
                     let net, edge, input_slew = jobs_for_level.(k) in
                     let net_t0 = Obs.start obs in
                     let c =
-                      canonicalize ~digits:quantize_digits ~grid:slew_grid ~tech ~dt net ~edge
-                        ~input_slew
+                      canonicalize ~digits:quantize_digits ~grid:slew_grid ~tech ~dt ?adaptive
+                        net ~edge ~input_slew
                     in
                     let compute () =
-                      let s = solve_net ~obs ~tech ~dt ~edge ~size:net.Design.size c in
+                      let s = solve_net ~obs ?adaptive ~tech ~dt ~edge ~size:net.Design.size c in
                       Atomic.fetch_and_add spent s.iterations |> ignore;
                       s
                     in
@@ -293,6 +321,7 @@ let run_cfg (cfg : Config.t) (design : Design.t) =
       cache_hits = Cache.hits cache - hits0;
       cache_misses = Cache.misses cache - misses0;
       iterations_spent = Atomic.get spent;
+      jobs_used;
       phases = List.rev !phases;
     }
   in
@@ -309,6 +338,7 @@ let run ?(obs = Obs.null) ?progress ?(dt = 0.5e-12) ?jobs ?(use_cache = true) ?c
       Config.obs;
       progress;
       dt;
+      adaptive = None;
       jobs;
       use_cache;
       cache;

@@ -42,6 +42,9 @@ type stats = {
   cache_hits : int;  (** scheduling-dependent; never reported in JSON/CSV *)
   cache_misses : int;
   iterations_spent : int;  (** iterations actually run = sum over misses *)
+  jobs_used : int;
+      (** worker domains actually used, after clamping the request to the
+          machine's core count; surfaced in the human summary only *)
   phases : phase list;  (** wall time per phase, in execution order *)
 }
 
@@ -58,9 +61,16 @@ val create_cache : unit -> solve Cache.t
 module Config : sig
   type flow_config = {
     dt : float;  (** replay timestep, seconds; default 0.5 ps *)
+    adaptive : Rlc_circuit.Engine.adaptive option;
+        (** when set, far-end replays run under LTE-controlled adaptive
+            stepping ([dt] is then unused by the engine).  The parameters
+            are folded into the Ceff cache key, so a shared cache never
+            mixes fixed-step and adaptive solves. *)
     jobs : int option;
         (** worker domains when the run creates its own pool; [None] means
-            {!Pool.default_jobs}.  Ignored when [pool] is given. *)
+            {!Pool.default_jobs}; requests beyond the core count are
+            clamped (see [stats.jobs_used]).  Ignored when [pool] is
+            given. *)
     use_cache : bool;  (** default true *)
     cache : solve Cache.t option;
         (** share a cache across runs; [None] creates a fresh one per run *)
@@ -79,6 +89,7 @@ module Config : sig
   val default : t
   val with_jobs : int -> t -> t
   val with_cache : solve Cache.t -> t -> t
+  val with_adaptive : Rlc_circuit.Engine.adaptive -> t -> t
 end
 
 val run_cfg : Config.t -> Design.t -> result

@@ -169,6 +169,8 @@ let summary ?required fmt (result : Flow.result) =
   Format.fprintf fmt "  Ceff iterations: %d modeled, %d actually run (cache: %d hits, %d misses)@."
     stats.Flow.iterations_total stats.Flow.iterations_spent stats.Flow.cache_hits
     stats.Flow.cache_misses;
+  Format.fprintf fmt "  workers: %d domain%s@." stats.Flow.jobs_used
+    (if stats.Flow.jobs_used = 1 then "" else "s");
   let path = Flow.critical_path result in
   (match List.rev path with
   | last :: _ ->

@@ -36,8 +36,9 @@ val parse_res : ?file:string -> string -> (t, Rlc_errors.Error.t) result
     sizes or slews are errors. *)
 
 val parse : string -> (t, string) result
+[@@deprecated "use parse_res (typed errors with file/line context)"]
 (** Legacy shim over {!parse_res}: same grammar, errors flattened to
-    ["spec line %d: %s"] strings (no file context).  Prefer {!parse_res}. *)
+    ["spec line %d: %s"] strings (no file context). *)
 
 val default_of_spef : ?size:float -> ?slew:float -> Rlc_spef.Spef.t -> t
 (** A flat spec for running a bare SPEF file: every net is a primary input

@@ -16,10 +16,11 @@ val default_grid : grid
     sweep (input slews 50–200 ps, line caps 0.2–1.8 pF). *)
 
 val cell : ?grid:grid -> Rlc_devices.Tech.t -> size:float -> Table.cell
+[@@deprecated "use cell_res (typed errors instead of raising)"]
 (** Characterize both output arcs of an inverter of the given size.
     Results are cached; repeated calls are free.  Raises [Invalid_argument]
     on a non-positive size and [Failure] when a grid point's waveform never
-    completes; embedders that must not die should use {!cell_res}. *)
+    completes. *)
 
 val cell_res :
   ?grid:grid -> Rlc_devices.Tech.t -> size:float -> (Table.cell, Rlc_errors.Error.t) result

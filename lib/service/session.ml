@@ -117,10 +117,11 @@ let ingest t ?spef_name ?spec ?spec_name ?size ?slew ~spef () =
 
 type flow_outcome = { result : Flow.result; report : string }
 
-let flow t ?required ?use_cache ?dt ?progress design =
+let flow t ?required ?use_cache ?dt ?adaptive ?progress design =
   let cfg =
     {
       Flow.Config.dt = Option.value dt ~default:t.config.Config.dt;
+      adaptive;
       jobs = None;
       use_cache = Option.value use_cache ~default:t.config.Config.use_cache;
       cache = Some t.cache;

@@ -75,13 +75,16 @@ val flow :
   ?required:float ->
   ?use_cache:bool ->
   ?dt:float ->
+  ?adaptive:Rlc_circuit.Engine.adaptive ->
   ?progress:Rlc_obs.Progress.t ->
   Rlc_flow.Design.t ->
   (flow_outcome, Error.t) result
 (** Run the full-design flow on the session's pool against the session's
     shared cache (so a repeated design is all cache hits; the per-run
     hit/miss deltas are in [result.stats]).  [required] (seconds) adds the
-    slack block to the report. *)
+    slack block to the report.  [adaptive] switches the far-end replays to
+    LTE-controlled stepping; its parameters are part of the cache key, so
+    fixed-step and adaptive requests never share entries. *)
 
 val case :
   t ->

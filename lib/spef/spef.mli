@@ -42,8 +42,9 @@ val parse_res : ?file:string -> string -> (t, Rlc_errors.Error.t) result
     caps with two internal nodes, [*K] mutual sections) produce errors. *)
 
 val parse : string -> (t, string) result
+[@@deprecated "use parse_res (typed errors with file/line context)"]
 (** Legacy shim over {!parse_res}: same grammar, errors flattened to
-    ["line %d: %s"] strings (no file context).  Prefer {!parse_res}. *)
+    ["line %d: %s"] strings (no file context). *)
 
 val to_string : t -> string
 (** Canonical printer; [parse (to_string f)] reproduces the structure

@@ -41,7 +41,11 @@ let analyze ?(dt = 0.5e-12) ?(tech = Rlc_devices.Tech.c018) ~input_slew ~sink_cl
           | next :: _ -> Inverter.input_cap (Inverter.make tech ~size:next.size)
           | [] -> sink_cl
         in
-        let cell = Characterize.cell tech ~size:stage.size in
+        let cell =
+          match Characterize.cell_res tech ~size:stage.size with
+          | Ok c -> c
+          | Error e -> failwith (Rlc_errors.Error.message e)
+        in
         let model =
           Driver_model.model ~cell ~edge ~input_slew:slew ~line:stage.line ~cl ()
         in

@@ -52,13 +52,36 @@ let to_waveform ?(n = 256) ?t_end t =
   let t0 = fst t.(0) in
   let t1 = match t_end with Some te -> Float.max te (end_time t) | None -> end_time t in
   let t1 = if t1 > t0 then t1 else t0 +. 1e-15 in
-  (* Uniform sampling plus exact breakpoints so kinks are preserved. *)
-  let uniform =
-    List.init n (fun i -> t0 +. ((t1 -. t0) *. float_of_int i /. float_of_int (n - 1)))
-  in
-  let brk = Array.to_list (Array.map fst t) in
-  let all = List.sort_uniq compare (uniform @ List.filter (fun x -> x <= t1) brk) in
-  let ts = Array.of_list all in
+  (* Uniform sampling plus exact breakpoints so kinks are preserved.  This
+     sits in the Ceff replay path, so build the time axis with monomorphic
+     float sorting over one array and dedupe in place — no polymorphic
+     [compare] dispatch, no intermediate lists. *)
+  let nb = Array.length t in
+  let all = Array.make (n + nb) t1 in
+  let span = t1 -. t0 and nf = float_of_int (n - 1) in
+  for i = 0 to n - 1 do
+    all.(i) <- t0 +. (span *. float_of_int i /. nf)
+  done;
+  let kept = ref n in
+  for i = 0 to nb - 1 do
+    let x = fst t.(i) in
+    if x <= t1 then begin
+      all.(!kept) <- x;
+      incr kept
+    end
+  done;
+  let m = !kept in
+  let all = if m = Array.length all then all else Array.sub all 0 m in
+  Array.sort Float.compare all;
+  (* In-place dedupe of the sorted axis. *)
+  let w = ref 1 in
+  for r = 1 to m - 1 do
+    if all.(r) <> all.(!w - 1) then begin
+      all.(!w) <- all.(r);
+      incr w
+    end
+  done;
+  let ts = Array.sub all 0 !w in
   Waveform.create ~ts ~vs:(Array.map (eval t) ts)
 
 let pp fmt t =

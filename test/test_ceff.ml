@@ -11,6 +11,11 @@ open Rlc_num
 let check_float ?(eps = 1e-9) msg expected actual =
   Alcotest.(check (float eps)) msg expected actual
 
+let cell_exn tech ~size =
+  match Rlc_liberty.Characterize.cell_res tech ~size with
+  | Ok c -> c
+  | Error e -> failwith (Rlc_errors.Error.message e)
+
 let check_rel ?(tol = 1e-6) msg expected actual =
   Alcotest.(check (float (tol *. (Float.abs expected +. 1e-300)))) msg expected actual
 
@@ -356,7 +361,7 @@ let test_rc_tail_activation () =
   (* On the RC-screened 25X case the tangency construction must fire and
      lengthen the modeled slew. *)
   let case = fig6l_case in
-  let cell = Rlc_liberty.Characterize.cell case.Evaluate.tech ~size:case.Evaluate.size in
+  let cell = cell_exn case.Evaluate.tech ~size:case.Evaluate.size in
   let build rc_tail =
     Driver_model.model ~rc_tail ~cell ~edge:Measure.Rising ~input_slew:case.Evaluate.input_slew
       ~line:case.Evaluate.line ~cl:case.Evaluate.cl ()
@@ -382,7 +387,7 @@ let test_rc_tail_improves_rc_slew () =
   (* Reproduces the paper's pointer to [11]: with strong resistive
      shielding the exponential tail recovers the slew a bare ramp misses. *)
   let c = Evaluate.run ~dt:0.5e-12 fig6l_case in
-  let cell = Rlc_liberty.Characterize.cell fig6l_case.Evaluate.tech ~size:fig6l_case.Evaluate.size in
+  let cell = cell_exn fig6l_case.Evaluate.tech ~size:fig6l_case.Evaluate.size in
   let tailed =
     Driver_model.model ~rc_tail:true ~cell ~edge:Measure.Rising
       ~input_slew:fig6l_case.Evaluate.input_slew ~line:fig6l_case.Evaluate.line
@@ -416,7 +421,7 @@ let prop_far_end_tracks_reference_on_screened_cases =
           ~label:(Printf.sprintf "rand %.1f/%.1f %.0fx" len_mm wid_um size)
           ~length_mm:len_mm ~width_um:wid_um ~size ~input_slew_ps:100. ()
       in
-      let cell = Rlc_liberty.Characterize.cell case.Evaluate.tech ~size in
+      let cell = cell_exn case.Evaluate.tech ~size in
       let m =
         Driver_model.model ~cell ~edge:Measure.Rising ~input_slew:case.Evaluate.input_slew
           ~line:case.Evaluate.line ~cl:case.Evaluate.cl ()
@@ -429,6 +434,75 @@ let prop_far_end_tracks_reference_on_screened_cases =
           ~model:far.Evaluate.far_model.Evaluate.delay
       in
       Float.abs err < 15.)
+
+(* ----------------------------------------------------------- reference *)
+
+let test_replay_pwl_time_axis () =
+  (* The internal "start the source at 10 ps" shift must round-trip: the
+     returned waveforms sit on the caller's PWL time axis (driver-model
+     waveforms put t = 0 at the input 50 % crossing, so starts are often
+     negative), and the forced near-end node reproduces the PWL exactly at
+     its own breakpoints. *)
+  let line =
+    (Evaluate.case ~label:"axis" ~length_mm:2. ~width_um:1.2 ~size:75. ~input_slew_ps:100. ())
+      .Evaluate.line
+  in
+  let pwl = Pwl.ramp ~t0:(-20e-12) ~v0:0. ~v1:1.8 ~transition:80e-12 in
+  let check_mode label adaptive =
+    let near, far = Reference.replay_pwl ?adaptive ~pwl ~line ~cl:20e-15 () in
+    check_float ~eps:1e-18
+      (label ^ ": grid starts 10 ps before the source, on the caller's axis")
+      (-30e-12) (Waveform.t_start near);
+    check_float ~eps:1e-18 (label ^ ": far shares the near time axis")
+      (Waveform.t_start near) (Waveform.t_start far);
+    Alcotest.(check bool) (label ^ ": window covers the PWL plus the tail") true
+      (Waveform.t_end near >= Pwl.end_time pwl +. 1e-9 -. 1e-15);
+    List.iter
+      (fun (t, v) ->
+        check_float ~eps:1e-9 (Printf.sprintf "%s: forced node at %g" label t) v
+          (Waveform.value_at near t))
+      (Pwl.points pwl)
+  in
+  check_mode "fixed" None;
+  check_mode "adaptive" (Some (Rlc_circuit.Engine.default_adaptive ()))
+
+let test_default_t_stop_covers_table1 () =
+  (* The default window must keep >= 20 time-of-flights after the ramp for
+     every Table-1 line — the longest (6 mm, widest) line is the binding
+     case; a shrunken window would clip the far-end 90 % crossing. *)
+  List.iter
+    (fun (r : Experiments.paper_row) ->
+      let case = Experiments.case_of_row r in
+      let t0 = 30e-12 in
+      let stop =
+        Reference.default_t_stop ~t0 ~input_slew:case.Evaluate.input_slew
+          ~line:case.Evaluate.line
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: window >= t0 + slew + 20 tf" r.Experiments.row_label)
+        true
+        (stop -. t0 -. case.Evaluate.input_slew
+        >= 20. *. Line.time_of_flight case.Evaluate.line -. 1e-15))
+    Experiments.table1
+
+let test_adaptive_matches_fixed_on_table1 () =
+  (* Acceptance bar for the adaptive engine: on a Table-1 case the reference
+     delay/slew must agree with fixed-step to < 1 % while taking several
+     times fewer steps (step counts are asserted at the engine level in
+     test_circuit). *)
+  let case = Experiments.case_of_row (List.nth Experiments.table1 11) in
+  let fixed = Evaluate.run ~dt:0.5e-12 case in
+  let adaptive =
+    Evaluate.run ~dt:0.5e-12 ~adaptive:(Rlc_circuit.Engine.default_adaptive ()) case
+  in
+  let rel what a b =
+    let e = 100. *. Float.abs (a -. b) /. Float.abs b in
+    Alcotest.(check bool) (Printf.sprintf "%s within 1%% (%.2f%%)" what e) true (e < 1.)
+  in
+  rel "reference delay" adaptive.Evaluate.reference.Evaluate.delay
+    fixed.Evaluate.reference.Evaluate.delay;
+  rel "reference slew" adaptive.Evaluate.reference.Evaluate.slew
+    fixed.Evaluate.reference.Evaluate.slew
 
 (* --------------------------------------------------------------- sweep *)
 
@@ -519,6 +593,15 @@ let () =
           Alcotest.test_case "rc-tail improves slew" `Slow test_rc_tail_improves_rc_slew;
           Alcotest.test_case "far-end replay" `Slow test_far_end_replay;
           q prop_far_end_tracks_reference_on_screened_cases;
+        ] );
+      ( "reference",
+        [
+          Alcotest.test_case "replay_pwl time axis round-trips" `Quick
+            test_replay_pwl_time_axis;
+          Alcotest.test_case "default_t_stop covers 20 tf on Table 1" `Quick
+            test_default_t_stop_covers_table1;
+          Alcotest.test_case "adaptive matches fixed on Table 1 (<1%)" `Slow
+            test_adaptive_matches_fixed_on_table1;
         ] );
       ( "sweep",
         [ Alcotest.test_case "jobs-parallel sweep deterministic" `Slow test_sweep_jobs_deterministic ] );

@@ -323,6 +323,156 @@ let test_record_nodes () =
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "out-of-range record node must be rejected"
 
+(* ------------------------------------------------------------ adaptive *)
+
+(* Ramp source with declared corner breakpoints into an RC: the adaptive
+   grid must track the fixed-step reference within the LTE budget while
+   taking far fewer steps, and must land exactly on the declared kinks. *)
+let build_ramp_rc () =
+  let t0 = 10e-12 and tr = 50e-12 in
+  let nl = Netlist.create () in
+  let src = Netlist.node nl "src" and out = Netlist.node nl "out" in
+  Netlist.force_voltage nl ~breakpoints:[ t0; t0 +. tr ] src (fun t ->
+      if t <= t0 then 0. else if t >= t0 +. tr then 1. else (t -. t0) /. tr);
+  Netlist.resistor nl src out 1e3;
+  Netlist.capacitor nl out Netlist.ground 1e-12;
+  (nl, out, t0, tr)
+
+let test_adaptive_rc () =
+  let t_stop = 5e-9 in
+  let nl_f, out_f, _, _ = build_ramp_rc () in
+  let fixed = Engine.transient ~dt:0.25e-12 ~t_stop nl_f in
+  let nl_a, out_a, _, _ = build_ramp_rc () in
+  (* ltol pinned to 1 mV: this test scores waveform tracking against the LTE
+     budget (the looser timing-grade default is scored in test_ceff). *)
+  let adaptive = Engine.default_adaptive ~dt_min:0.25e-12 ~ltol:1e-3 () in
+  let ad = Engine.transient ~adaptive ~dt:0.25e-12 ~t_stop nl_a in
+  let wf = Engine.voltage fixed out_f and wa = Engine.voltage ad out_a in
+  List.iter
+    (fun t ->
+      check_float ~eps:2e-3
+        (Printf.sprintf "adaptive rc at %g" t)
+        (Waveform.value_at wf t) (Waveform.value_at wa t))
+    [ 30e-12; 60e-12; 0.2e-9; 0.5e-9; 1e-9; 2e-9; 4e-9 ];
+  Alcotest.(check bool)
+    (Printf.sprintf "3x fewer steps (%d adaptive vs %d fixed)" (Engine.steps ad)
+       (Engine.steps fixed))
+    true
+    (Engine.steps ad * 3 <= Engine.steps fixed);
+  Alcotest.(check bool)
+    (Printf.sprintf "refactors (%d) << steps (%d)" (Engine.refactors ad) (Engine.steps ad))
+    true
+    (Engine.refactors ad * 4 <= Engine.steps ad)
+
+let test_adaptive_breakpoints_exact () =
+  let t_stop = 1e-9 in
+  let nl, _, t0, tr = build_ramp_rc () in
+  let adaptive = Engine.default_adaptive ~dt_min:0.25e-12 () in
+  let r = Engine.transient ~adaptive ~dt:0.25e-12 ~t_stop nl in
+  let ts = Engine.times r in
+  let hit x = Array.exists (fun v -> v = x) ts in
+  Alcotest.(check bool) "ramp start hit exactly" true (hit t0);
+  Alcotest.(check bool) "ramp end hit exactly" true (hit (t0 +. tr));
+  Alcotest.(check bool) "t_stop hit exactly" true (ts.(Array.length ts - 1) = t_stop);
+  (* Times strictly increasing on the adaptive grid. *)
+  let mono = ref true in
+  for i = 1 to Array.length ts - 1 do
+    if ts.(i) <= ts.(i - 1) then mono := false
+  done;
+  Alcotest.(check bool) "strictly increasing grid" true !mono
+
+let test_adaptive_rlc_rings () =
+  (* Underdamped series RLC: the LTE control must shrink steps through the
+     ringing; the analytic solution is the referee. *)
+  let r = 20. and l = 5e-9 and c = 1e-12 and v = 1. in
+  let build () =
+    let nl = Netlist.create () in
+    let src = Netlist.node nl "src" and mid = Netlist.node nl "mid" and out = Netlist.node nl "out" in
+    Netlist.force_voltage nl src (step v);
+    Netlist.resistor nl src mid r;
+    Netlist.inductor nl mid out l;
+    Netlist.capacitor nl out Netlist.ground c;
+    (nl, out)
+  in
+  let nl, out = build () in
+  let adaptive = Engine.default_adaptive ~dt_min:0.2e-12 ~ltol:1e-3 () in
+  let res = Engine.transient ~adaptive ~dt:0.2e-12 ~t_stop:2e-9 nl in
+  let w = Engine.voltage res out in
+  let wn = 1. /. Float.sqrt (l *. c) in
+  let zeta = r /. 2. *. Float.sqrt (c /. l) in
+  let wd = wn *. Float.sqrt (1. -. (zeta *. zeta)) in
+  let expected t =
+    let e = Float.exp (-.zeta *. wn *. t) in
+    v *. (1. -. (e *. (Float.cos (wd *. t) +. (zeta /. Float.sqrt (1. -. (zeta *. zeta)) *. Float.sin (wd *. t)))))
+  in
+  List.iter
+    (fun t ->
+      check_float ~eps:8e-3 (Printf.sprintf "adaptive rlc at %g" t) (expected t)
+        (Waveform.value_at w t))
+    [ 0.1e-9; 0.22e-9; 0.5e-9; 1.0e-9; 1.8e-9 ];
+  Alcotest.(check bool) "overshoots" true (Waveform.v_max w > 1.2)
+
+let test_adaptive_obs_reconcile () =
+  let module Obs = Rlc_obs.Obs in
+  let obs = Obs.create () in
+  let nl, _, _, _ = build_ramp_rc () in
+  let adaptive = Engine.default_adaptive ~dt_min:0.25e-12 () in
+  let r = Engine.transient ~obs ~adaptive ~dt:0.25e-12 ~t_stop:2e-9 nl in
+  let m = Obs.snapshot obs in
+  Alcotest.(check int) "steps counter" (Engine.steps r) (Obs.counter m "engine.steps");
+  Alcotest.(check int) "rejected counter" (Engine.steps_rejected r)
+    (Obs.counter m "engine.steps_rejected");
+  Alcotest.(check int) "refactor counter" (Engine.refactors r) (Obs.counter m "engine.refactors");
+  (* The step-size histogram saw exactly the accepted steps. *)
+  let hist = List.assoc_opt "engine.step_size_ns" m.Obs.m_stats in
+  (match hist with
+  | None -> Alcotest.fail "step-size histogram missing"
+  | Some s -> Alcotest.(check int) "histogram count" (Engine.steps r) s.Obs.count);
+  (* Fixed-step runs keep the adaptive stats at zero. *)
+  let nl2, _, _, _ = build_ramp_rc () in
+  let rf = Engine.transient ~dt:0.5e-12 ~t_stop:0.5e-9 nl2 in
+  Alcotest.(check int) "fixed: no rejections" 0 (Engine.steps_rejected rf);
+  Alcotest.(check int) "fixed: no refactor stat" 0 (Engine.refactors rf)
+
+let test_adaptive_nonlinear () =
+  (* Newton path under adaptive stepping: diode-clamped RC, compared against
+     a fine fixed-step run. *)
+  let t_stop = 0.5e-9 in
+  let nl_f, probes_f = build_nonlinear_clamp () in
+  let fixed = Engine.transient ~dt:0.25e-12 ~t_stop nl_f in
+  let nl_a, probes_a = build_nonlinear_clamp () in
+  let adaptive = Engine.default_adaptive ~dt_min:0.25e-12 ~ltol:1e-3 () in
+  let ad = Engine.transient ~adaptive ~dt:0.25e-12 ~t_stop nl_a in
+  let out_f = List.nth probes_f 1 and out_a = List.nth probes_a 1 in
+  let wf = Engine.voltage fixed out_f and wa = Engine.voltage ad out_a in
+  List.iter
+    (fun t ->
+      check_float ~eps:2e-3
+        (Printf.sprintf "adaptive diode at %g" t)
+        (Waveform.value_at wf t) (Waveform.value_at wa t))
+    [ 0.05e-9; 0.1e-9; 0.2e-9; 0.45e-9 ]
+
+let test_adaptive_rejects_bad_params () =
+  let nl, _, _, _ = build_ramp_rc () in
+  let bad a =
+    match Engine.transient ~adaptive:a ~dt:1e-12 ~t_stop:1e-9 nl with
+    | _ -> false
+    | exception Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "dt_min <= 0" true
+    (bad { Engine.dt_min = 0.; dt_max = 1e-12; ltol = 1e-3 });
+  Alcotest.(check bool) "dt_max < dt_min" true
+    (bad { Engine.dt_min = 1e-12; dt_max = 0.5e-12; ltol = 1e-3 });
+  Alcotest.(check bool) "ltol <= 0" true
+    (bad { Engine.dt_min = 1e-12; dt_max = 4e-12; ltol = 0. });
+  Alcotest.(check bool) "adaptive + reassemble" true
+    (match
+       Engine.transient ~reassemble_per_step:true
+         ~adaptive:(Engine.default_adaptive ()) ~dt:1e-12 ~t_stop:1e-9 nl
+     with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
 (* ----------------------------------------------------------- netlist *)
 
 let test_floating_node_rejected () =
@@ -444,6 +594,15 @@ let () =
           Alcotest.test_case "coupled pair fast = per-step reassembly" `Quick test_equiv_coupled;
           Alcotest.test_case "nonlinear fast = per-step reassembly" `Quick test_equiv_nonlinear;
           Alcotest.test_case "selective node recording" `Quick test_record_nodes;
+        ] );
+      ( "adaptive",
+        [
+          Alcotest.test_case "RC tracks fixed, 3x fewer steps" `Quick test_adaptive_rc;
+          Alcotest.test_case "breakpoints hit exactly" `Quick test_adaptive_breakpoints_exact;
+          Alcotest.test_case "underdamped RLC tracked" `Quick test_adaptive_rlc_rings;
+          Alcotest.test_case "obs counters reconcile" `Quick test_adaptive_obs_reconcile;
+          Alcotest.test_case "nonlinear Newton path" `Quick test_adaptive_nonlinear;
+          Alcotest.test_case "parameter validation" `Quick test_adaptive_rejects_bad_params;
         ] );
       ( "netlist",
         [

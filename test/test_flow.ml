@@ -86,8 +86,12 @@ load o0 o0_rcv 5
 load o1 o1_rcv 5
 |}
 
-let spef = lazy (Result.get_ok (Rlc_spef.Spef.parse spef_src))
-let spec = lazy (Result.get_ok (Spec.parse spec_src))
+(* Typed-error parses, flattened to strings so [check_error] can treat
+   parse and ingest failures uniformly. *)
+let spef_parse src = Result.map_error Rlc_errors.Error.message (Rlc_spef.Spef.parse_res src)
+let spec_parse src = Result.map_error Rlc_errors.Error.message (Spec.parse_res src)
+let spef = lazy (Result.get_ok (spef_parse spef_src))
+let spec = lazy (Result.get_ok (spec_parse spec_src))
 
 let design =
   lazy
@@ -96,7 +100,7 @@ let design =
     | Error e -> failwith e)
 
 let ingest_with ~spec_src =
-  match Spec.parse spec_src with
+  match spec_parse spec_src with
   | Error e -> Error e
   | Ok spec -> Design.ingest ~spef:(Lazy.force spef) ~spec ()
 
@@ -118,25 +122,26 @@ let test_spec_parse () =
 
 let test_spec_roundtrip () =
   let s = Lazy.force spec in
-  let s' = Result.get_ok (Spec.parse (Spec.to_string s)) in
+  let s' = Result.get_ok (spec_parse (Spec.to_string s)) in
   Alcotest.(check bool) "roundtrip" true (s = s')
 
 let test_spec_errors () =
-  check_error "duplicate driver" (Spec.parse "driver a 75\ndriver a 50\n");
-  check_error "duplicate input" (Spec.parse "input a 100\ninput a 50\n");
-  check_error "negative size" (Spec.parse "driver a -3\n");
-  check_error "zero slew" (Spec.parse "input a 0\n");
-  check_error "self edge" (Spec.parse "edge a p a\n");
-  check_error "negative load" (Spec.parse "load a p -1\n");
-  check_error "unknown keyword" (Spec.parse "wire a b\n");
-  check_error "bad number" (Spec.parse "driver a huge\n");
-  (* Error messages carry the line number. *)
-  match Spec.parse "driver a 75\ndriver a 50\n" with
-  | Error e -> Alcotest.(check bool) "line number" true (String.length e >= 11 && String.sub e 0 11 = "spec line 2")
+  check_error "duplicate driver" (spec_parse "driver a 75\ndriver a 50\n");
+  check_error "duplicate input" (spec_parse "input a 100\ninput a 50\n");
+  check_error "negative size" (spec_parse "driver a -3\n");
+  check_error "zero slew" (spec_parse "input a 0\n");
+  check_error "self edge" (spec_parse "edge a p a\n");
+  check_error "negative load" (spec_parse "load a p -1\n");
+  check_error "unknown keyword" (spec_parse "wire a b\n");
+  check_error "bad number" (spec_parse "driver a huge\n");
+  (* Typed errors carry the 1-based line number. *)
+  match Spec.parse_res "driver a 75\ndriver a 50\n" with
+  | Error (Rlc_errors.Error.Parse { line = Some 2; _ }) -> ()
+  | Error e -> Alcotest.fail ("wrong error: " ^ Rlc_errors.Error.to_string e)
   | Ok _ -> Alcotest.fail "duplicate accepted"
 
 let test_spec_comments () =
-  let s = Result.get_ok (Spec.parse "# comment\n  // also comment\ndriver a 75 # trailing\n") in
+  let s = Result.get_ok (spec_parse "# comment\n  // also comment\ndriver a 75 # trailing\n") in
   Alcotest.(check int) "one driver" 1 (List.length s.Spec.drivers)
 
 let test_spec_default () =
@@ -198,8 +203,8 @@ let test_ingest_no_driver_conn () =
   let src =
     "*D_NET n 1.0\n*CONN\n*P rcv I\n*CAP\n1 a 1.0\n2 rcv 1.0\n*RES\n1 a rcv 10\n*END\n"
   in
-  let spef = Result.get_ok (Rlc_spef.Spef.parse src) in
-  let spec = Result.get_ok (Spec.parse "driver n 75\ninput n 100\n") in
+  let spef = Result.get_ok (spef_parse src) in
+  let spec = Result.get_ok (spec_parse "driver n 75\ninput n 100\n") in
   check_error "no Output conn" (Design.ingest ~spef ~spec ())
 
 (* -------------------------------------------------------------- pool *)

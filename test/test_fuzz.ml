@@ -27,7 +27,7 @@ let prop_liberty_parser_total =
 
 let prop_spef_parser_total =
   QCheck.Test.make ~name:"SPEF parser is total" ~count:500 (QCheck.make mixed_gen)
-    (fun src -> match Rlc_spef.Spef.parse src with Ok _ -> true | Error _ -> true)
+    (fun src -> match Rlc_spef.Spef.parse_res src with Ok _ -> true | Error _ -> true)
 
 let prop_liberty_roundtrip_fuzzed_numbers =
   (* Any finite float must survive print -> parse exactly. *)

@@ -16,7 +16,12 @@ let small_grid =
     caps = Array.map Units.ff [| 50.; 200.; 800. |];
   }
 
-let cell75 = lazy (Characterize.cell ~grid:small_grid tech ~size:75.)
+let cell_exn ?grid tech ~size =
+  match Characterize.cell_res ?grid tech ~size with
+  | Ok c -> c
+  | Error e -> failwith (Rlc_errors.Error.message e)
+
+let cell75 = lazy (cell_exn ~grid:small_grid tech ~size:75.)
 
 (* ----------------------------------------------------------------- lut *)
 
@@ -79,7 +84,7 @@ let test_fitted_rs_regime () =
     (Printf.sprintf "Rs(75X) = %.1f Ohm in driver regime" rs75)
     true
     (rs75 > 15. && rs75 < 120.);
-  let c25 = Characterize.cell ~grid:small_grid tech ~size:25. in
+  let c25 = cell_exn ~grid:small_grid tech ~size:25. in
   let rs25 =
     Table.fitted_rs c25 ~edge:Rlc_waveform.Measure.Rising ~slew:(Units.ps 100.) ~cap:(Units.pf 1.1)
   in
@@ -94,8 +99,8 @@ let test_ramp_time_extrapolation () =
     (Table.ramp_time c ~edge:Rlc_waveform.Measure.Rising ~slew:(Units.ps 100.) ~cap:(Units.ff 200.))
 
 let test_cache_hit () =
-  let a = Characterize.cell ~grid:small_grid tech ~size:75. in
-  let b = Characterize.cell ~grid:small_grid tech ~size:75. in
+  let a = cell_exn ~grid:small_grid tech ~size:75. in
+  let b = cell_exn ~grid:small_grid tech ~size:75. in
   Alcotest.(check bool) "same physical table" true (a == b)
 
 let test_fall_arc_differs () =

@@ -511,8 +511,8 @@ load o1 o1_rcv 5
 
 let design =
   lazy
-    (let spef = Result.get_ok (Rlc_spef.Spef.parse spef_src) in
-     let spec = Result.get_ok (Rlc_flow.Spec.parse spec_src) in
+    (let spef = Result.get_ok (Rlc_spef.Spef.parse_res spef_src) in
+     let spec = Result.get_ok (Rlc_flow.Spec.parse_res spec_src) in
      match Rlc_flow.Design.ingest ~spef ~spec () with
      | Ok d -> d
      | Error e -> failwith e)

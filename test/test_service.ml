@@ -198,11 +198,12 @@ let test_parse_res_positions () =
   | Error (Error.Parse { file = Some "x.spec"; line = Some 2; _ }) -> ()
   | Error e -> Alcotest.fail ("wrong error: " ^ Error.to_string e)
   | Ok _ -> Alcotest.fail "accepted duplicate driver");
-  (* The legacy string shims keep their historical formats. *)
-  (match Rlc_spef.Spef.parse "*D_NET n\n" with
+  (* The legacy string shims keep their historical formats (they are
+     deprecated, so the references below opt out of the alert). *)
+  (match (Rlc_spef.Spef.parse [@alert "-deprecated"]) "*D_NET n\n" with
   | Error e -> Alcotest.(check bool) "legacy spef format" true (String.sub e 0 5 = "line ")
   | Ok _ -> Alcotest.fail "accepted");
-  match Rlc_flow.Spec.parse "driver a 75\ndriver a 50\n" with
+  match (Rlc_flow.Spec.parse [@alert "-deprecated"]) "driver a 75\ndriver a 50\n" with
   | Error e ->
       Alcotest.(check bool) "legacy spec format" true (String.sub e 0 11 = "spec line 2")
   | Ok _ -> Alcotest.fail "accepted"

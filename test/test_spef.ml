@@ -28,7 +28,10 @@ let sample =
 *END
 |}
 
-let parsed = lazy (match Rlc_spef.Spef.parse sample with Ok t -> t | Error e -> failwith e)
+(* Typed-error parse, flattened to the message string the assertions below
+   inspect. *)
+let parse_str src = Result.map_error Rlc_errors.Error.message (Rlc_spef.Spef.parse_res src)
+let parsed = lazy (match parse_str sample with Ok t -> t | Error e -> failwith e)
 
 let check_float ?(eps = 1e-9) msg expected actual =
   Alcotest.(check (float eps)) msg expected actual
@@ -57,7 +60,7 @@ let test_net_contents () =
 
 let test_roundtrip () =
   let t = Lazy.force parsed in
-  match Rlc_spef.Spef.parse (Rlc_spef.Spef.to_string t) with
+  match parse_str (Rlc_spef.Spef.to_string t) with
   | Error e -> Alcotest.fail e
   | Ok t' ->
       Alcotest.(check string) "design" t.Rlc_spef.Spef.design t'.Rlc_spef.Spef.design;
@@ -88,19 +91,19 @@ let test_to_tree_from_receiver () =
 
 let test_error_coupling_cap () =
   let src = "*D_NET n 1.0\n*CAP\n1 a b 3.0\n*END\n" in
-  match Rlc_spef.Spef.parse src with
+  match parse_str src with
   | Ok _ -> Alcotest.fail "coupling cap accepted"
   | Error e ->
       Alcotest.(check bool) "mentions coupling" true
         (String.length e > 0 && Option.is_some (String.index_opt e 'c'))
 
 let test_error_mutual () =
-  match Rlc_spef.Spef.parse "*D_NET n 1.0\n*K 1 a b c 0.5\n*END\n" with
+  match parse_str "*D_NET n 1.0\n*K 1 a b c 0.5\n*END\n" with
   | Ok _ -> Alcotest.fail "mutual accepted"
   | Error _ -> ()
 
 let test_error_unterminated () =
-  match Rlc_spef.Spef.parse "*D_NET n 1.0\n*CAP\n1 a 3.0\n" with
+  match parse_str "*D_NET n 1.0\n*CAP\n1 a 3.0\n" with
   | Ok _ -> Alcotest.fail "unterminated net accepted"
   | Error _ -> ()
 
@@ -108,7 +111,7 @@ let test_error_loop () =
   let src =
     "*D_NET n 1.0\n*CAP\n1 a 1.0\n2 b 1.0\n3 c 1.0\n*RES\n1 a b 1.0\n2 b c 1.0\n3 c a 1.0\n*END\n"
   in
-  let t = match Rlc_spef.Spef.parse src with Ok t -> t | Error e -> failwith e in
+  let t = match parse_str src with Ok t -> t | Error e -> failwith e in
   match Rlc_spef.Spef.to_tree (List.hd t.Rlc_spef.Spef.nets) ~root:"a" with
   | Ok _ -> Alcotest.fail "loop accepted"
   | Error e -> Alcotest.(check bool) "mentions loop" true (String.length e > 0)
@@ -122,7 +125,7 @@ let test_error_bad_root () =
 
 let test_l_only_branch_rejected () =
   let src = "*D_NET n 1.0\n*CAP\n1 a 1.0\n2 b 1.0\n*INDUC\n1 a b 100\n*END\n" in
-  let t = match Rlc_spef.Spef.parse src with Ok t -> t | Error e -> failwith e in
+  let t = match parse_str src with Ok t -> t | Error e -> failwith e in
   match Rlc_spef.Spef.to_tree (List.hd t.Rlc_spef.Spef.nets) ~root:"a" with
   | Ok _ -> Alcotest.fail "L-only branch accepted"
   | Error _ -> ()
@@ -130,7 +133,7 @@ let test_l_only_branch_rejected () =
 let test_parallel_merge () =
   (* Two parallel 50-Ohm resistors between the same nodes merge to 25. *)
   let src = "*D_NET n 1.0\n*CAP\n1 a 1.0\n2 b 1.0\n*RES\n1 a b 50\n2 a b 50\n*END\n" in
-  let t = match Rlc_spef.Spef.parse src with Ok t -> t | Error e -> failwith e in
+  let t = match parse_str src with Ok t -> t | Error e -> failwith e in
   match Rlc_spef.Spef.to_tree (List.hd t.Rlc_spef.Spef.nets) ~root:"a" with
   | Error e -> Alcotest.fail e
   | Ok tree -> (
@@ -148,7 +151,7 @@ let test_multi_net_out_of_order () =
       name name name name name name name name
   in
   let src = "*SPEF \"x\"\n" ^ block "sink2" ^ block "root0" ^ block "mid1" in
-  let t = match Rlc_spef.Spef.parse src with Ok t -> t | Error e -> failwith e in
+  let t = match parse_str src with Ok t -> t | Error e -> failwith e in
   Alcotest.(check int) "three nets" 3 (List.length t.Rlc_spef.Spef.nets);
   List.iter
     (fun name ->
@@ -161,7 +164,7 @@ let test_multi_net_out_of_order () =
 
 let test_duplicate_net_rejected () =
   let block = "*D_NET dup 1.0\n*CAP\n1 a 1.0\n*END\n" in
-  match Rlc_spef.Spef.parse (block ^ block) with
+  match parse_str (block ^ block) with
   | Ok _ -> Alcotest.fail "duplicate *D_NET accepted"
   | Error e ->
       Alcotest.(check bool) "names the net" true
@@ -181,13 +184,13 @@ let test_driver_conn () =
   Alcotest.(check int) "one load conn" 1 (List.length (Rlc_spef.Spef.load_conns net));
   (* No Output conn at all. *)
   let src = "*D_NET n 1.0\n*CONN\n*P rcv I\n*CAP\n1 a 1.0\n*END\n" in
-  let t = match Rlc_spef.Spef.parse src with Ok t -> t | Error e -> failwith e in
+  let t = match parse_str src with Ok t -> t | Error e -> failwith e in
   (match Rlc_spef.Spef.driver_conn (List.hd t.Rlc_spef.Spef.nets) with
   | Ok _ -> Alcotest.fail "accepted net with no Output conn"
   | Error _ -> ());
   (* Two Output conns is ambiguous. *)
   let src = "*D_NET n 1.0\n*CONN\n*P d1 O\n*P d2 O\n*CAP\n1 a 1.0\n*END\n" in
-  let t = match Rlc_spef.Spef.parse src with Ok t -> t | Error e -> failwith e in
+  let t = match parse_str src with Ok t -> t | Error e -> failwith e in
   match Rlc_spef.Spef.driver_conn (List.hd t.Rlc_spef.Spef.nets) with
   | Ok _ -> Alcotest.fail "accepted net with two Output conns"
   | Error _ -> ()
@@ -233,7 +236,7 @@ let test_uniform_line_spef_matches_analytic () =
       (Printf.sprintf "%d n%d n%d %.8g\n" i (i - 1) i (l_tot /. float_of_int n /. 1e-12))
   done;
   Buffer.add_string buf "*END\n";
-  let t = match Rlc_spef.Spef.parse (Buffer.contents buf) with Ok t -> t | Error e -> failwith e in
+  let t = match parse_str (Buffer.contents buf) with Ok t -> t | Error e -> failwith e in
   let tree = Result.get_ok (Rlc_spef.Spef.to_tree (List.hd t.Rlc_spef.Spef.nets) ~root:"n0") in
   let m_tree = Rlc_moments.Moments.driving_point ~order:3 tree in
   let line = Rlc_tline.Line.of_totals ~r:r_tot ~l:l_tot ~c:c_tot ~length:5e-3 in
