@@ -1136,20 +1136,164 @@ let service_bench ?(smoke = false) ?json () =
       close_out oc;
       Format.printf "wrote %s@." path
 
+(* ---------------------------------------------------------------- xtalk *)
+
+(* The crosstalk analysis is screen-then-simulate; the bench prices both
+   halves.  A coupled bus like examples/bus8_coupled.spef (adjacent bits
+   strongly coupled, next-nearest and the o* locals weakly) is generated at
+   the requested width, then:
+
+   - the screen alone (threshold 1.0 dismisses everything) prices the
+     closed form per pair;
+   - the full analysis prices the coupled-cluster transients the survivors
+     pay for, per simulation and end to end at jobs 1 vs --jobs N.
+
+   `--json` writes the numbers as BENCH_xtalk.json. *)
+
+let xtalk_sources ~bits =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    "*SPEF \"IEEE 1481-1998\"\n*DESIGN \"bench_bus_coupled\"\n*T_UNIT 1 PS\n*C_UNIT 1 \
+     FF\n*R_UNIT 1 OHM\n*L_UNIT 1 PH\n";
+  let spec = Buffer.create 1024 in
+  for i = 0 to bits - 1 do
+    let bit = Printf.sprintf "b%d" i and out = Printf.sprintf "o%d" i in
+    let couplings = Buffer.create 128 in
+    (* Strong coupling to the right-hand neighbour, a weak tail to the bit
+       after it: the weak pairs are what the screen dismisses. *)
+    if i < bits - 1 then
+      Buffer.add_string couplings
+        (Printf.sprintf "4 %s_1 b%d_1 30\n5 %s_2 b%d_2 30\n6 %s_rcv b%d_rcv 30\n" bit (i + 1)
+           bit (i + 1) bit (i + 1));
+    if i < bits - 2 then
+      Buffer.add_string couplings (Printf.sprintf "7 %s_2 b%d_2 3\n" bit (i + 2));
+    Buffer.add_string buf
+      (Printf.sprintf
+         "*D_NET %s 600\n*CONN\n*P %s_drv O\n*P %s_rcv I\n*CAP\n1 %s_1 200\n2 %s_2 200\n3 \
+          %s_rcv 200\n%s*RES\n1 %s_drv %s_1 24\n2 %s_1 %s_2 24\n3 %s_2 %s_rcv 24\n*INDUC\n1 \
+          %s_drv %s_1 1500\n2 %s_1 %s_2 1500\n3 %s_2 %s_rcv 1500\n*END\n"
+         bit bit bit bit bit bit (Buffer.contents couplings) bit bit bit bit bit bit bit bit
+         bit bit bit bit);
+    let out_coupling =
+      if i < bits - 1 then Printf.sprintf "3 %s_1 o%d_1 3\n" out (i + 1) else ""
+    in
+    Buffer.add_string buf
+      (Printf.sprintf
+         "*D_NET %s 90\n*CONN\n*P %s_drv O\n*P %s_rcv I\n*CAP\n1 %s_1 45\n2 %s_rcv \
+          45\n%s*RES\n1 %s_drv %s_1 60\n2 %s_1 %s_rcv 60\n*END\n"
+         out out out out out out_coupling out out out out);
+    Buffer.add_string spec
+      (Printf.sprintf
+         "driver %s 75\ninput %s 100\ndriver %s 50\nedge %s %s_rcv %s\nload %s %s_rcv 5\n" bit
+         bit out bit bit out out out)
+  done;
+  (Buffer.contents buf, Buffer.contents spec)
+
+let xtalk_bench ?(smoke = false) ~jobs ?json () =
+  header "Xtalk: closed-form screen vs coupled-cluster simulation";
+  let bits = if smoke then 4 else 8 in
+  let alignments = if smoke then 3 else 9 in
+  let spef_src, spec_src = xtalk_sources ~bits in
+  let spef =
+    match Rlc_spef.Spef.parse_res spef_src with
+    | Ok s -> s
+    | Error e -> failwith (Rlc_errors.Error.message e)
+  in
+  let spec =
+    match Rlc_flow.Spec.parse_res spec_src with
+    | Ok s -> s
+    | Error e -> failwith (Rlc_errors.Error.message e)
+  in
+  let design =
+    match Rlc_flow.Design.ingest ~spef ~spec () with Ok d -> d | Error e -> failwith e
+  in
+  let flow = Rlc_flow.Flow.run_cfg Rlc_flow.Flow.Config.default design in
+  let module X = Rlc_xtalk.Xtalk in
+  let analyze ?(threshold = X.Config.default.X.Config.threshold) ~jobs () =
+    X.analyze
+      ~config:{ X.Config.default with X.Config.threshold; alignments; jobs = Some jobs }
+      flow
+  in
+  (* Screen only: threshold 1.0 dismisses every pair, so the wall clock is
+     the closed form plus bookkeeping. *)
+  let target = if smoke then 0.05 else 0.3 in
+  let screen_s = time_per_run ~target (fun () -> ignore (analyze ~threshold:1.0 ~jobs:1 ())) in
+  let screened_all = analyze ~threshold:1.0 ~jobs:1 () in
+  let n_pairs = screened_all.X.stats.X.n_pairs in
+  (* Full analysis, serial then parallel. *)
+  let t0 = Unix.gettimeofday () in
+  let r1 = analyze ~jobs:1 () in
+  let w1 = Unix.gettimeofday () -. t0 in
+  let t0 = Unix.gettimeofday () in
+  let rn = analyze ~jobs () in
+  let wn = Unix.gettimeofday () -. t0 in
+  let identical = X.json_fragment design r1 = X.json_fragment design rn in
+  let stats = r1.X.stats in
+  (* Transients run: one noise cluster per simulated victim + the sweep. *)
+  let n_victim_sims =
+    Array.fold_left (fun acc (v : X.victim_result) -> if v.X.simulated then acc + 1 else acc) 0 r1.X.victims
+  in
+  let n_transients = n_victim_sims + stats.X.n_alignment_sims in
+  let per_sim_ms = if n_transients = 0 then 0. else 1e3 *. w1 /. float_of_int n_transients in
+  let screen_rate = float_of_int stats.X.n_screened /. float_of_int (max 1 n_pairs) in
+  let rec_domains = Rlc_parallel.Pool.default_jobs () in
+  Format.printf "@.%d-bit coupled bus, %d ordered pairs, %d alignments:@." bits n_pairs
+    alignments;
+  Format.printf "  screen only  : %8.2f ms  (%5.1f us/pair)@." (1e3 *. screen_s)
+    (1e6 *. screen_s /. float_of_int (max 1 n_pairs));
+  Format.printf "  full analysis: %8.1f ms  (%d screened = %.0f%%, %d coupled transients, \
+                 %.1f ms each)@."
+    (1e3 *. w1) stats.X.n_screened (100. *. screen_rate) n_transients per_sim_ms;
+  Format.printf "  jobs %-2d      : %8.1f ms  (%.2fx, identical: %b)@." jobs (1e3 *. wn)
+    (w1 /. wn) identical;
+  match json with
+  | None -> ()
+  | Some path ->
+      let fl v =
+        if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+        else Printf.sprintf "%.6g" v
+      in
+      let buf = Buffer.create 512 in
+      Printf.bprintf buf "{\n  \"schema\": \"rlc-bench-xtalk/1\",\n";
+      Printf.bprintf buf "  \"smoke\": %b,\n  \"bits\": %d,\n  \"alignments\": %d,\n" smoke
+        bits alignments;
+      Printf.bprintf buf
+        "  \"screen\": {\"pairs\": %d, \"screened\": %d, \"rate\": %s, \"ms_total\": %s, \
+         \"us_per_pair\": %s},\n"
+        n_pairs stats.X.n_screened (fl screen_rate)
+        (fl (1e3 *. screen_s))
+        (fl (1e6 *. screen_s /. float_of_int (max 1 n_pairs)));
+      Printf.bprintf buf
+        "  \"simulate\": {\"victims\": %d, \"alignment_sims\": %d, \"transients\": %d, \
+         \"ms_per_transient\": %s},\n"
+        n_victim_sims stats.X.n_alignment_sims n_transients (fl per_sim_ms);
+      Printf.bprintf buf
+        "  \"scaling\": {\"jobs\": %d, \"recommended_domains\": %d, \"wall_s_jobs1\": %s, \
+         \"wall_s_jobsN\": %s, \"speedup\": %s, \"fragments_identical\": %b}\n"
+        jobs rec_domains (fl w1) (fl wn)
+        (fl (w1 /. wn))
+        identical;
+      Printf.bprintf buf "}\n";
+      let oc = open_out path in
+      output_string oc (Buffer.contents buf);
+      close_out oc;
+      Format.printf "wrote %s@." path
+
 (* ---------------------------------------------------------------- main *)
 
 let () =
   let all =
     [
       "table1"; "fig1"; "fig3"; "fig4"; "fig5"; "fig6"; "fig7"; "ablation"; "flow"; "engine";
-      "service"; "perf";
+      "service"; "xtalk"; "perf";
     ]
   in
   (* Flags: --jobs N (table1/fig7/engine fan out over a domain pool),
      --json PATH (engine group writes BENCH_engine.json there; implies the
-     engine group unless engine or service was requested explicitly; when
-     both groups run, service falls back to BENCH_service.json so neither
-     clobbers the other), --smoke (short timings for CI). *)
+     engine group unless engine, service or xtalk was requested explicitly;
+     when several groups run, service and xtalk fall back to
+     BENCH_service.json / BENCH_xtalk.json so nothing clobbers anything),
+     --smoke (short timings for CI). *)
   let json_out = ref None and jobs_arg = ref 1 and smoke = ref false in
   let rec parse acc = function
     | [] -> List.rev acc
@@ -1177,7 +1321,8 @@ let () =
     if
       !json_out <> None
       && (not (List.mem "engine" requested))
-      && not (List.mem "service" requested)
+      && (not (List.mem "service" requested))
+      && not (List.mem "xtalk" requested)
     then requested @ [ "engine" ]
     else requested
   in
@@ -1203,6 +1348,12 @@ let () =
             | None -> None
           in
           service_bench ~smoke:!smoke ?json ()
+      | "xtalk" ->
+          (* Like service: never clobber the engine group's --json path. *)
+          let json =
+            match !json_out with Some _ -> Some "BENCH_xtalk.json" | None -> None
+          in
+          xtalk_bench ~smoke:!smoke ~jobs:!jobs_arg ?json ()
       | "perf" -> perf ()
       | other ->
           Format.eprintf

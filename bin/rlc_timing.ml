@@ -301,7 +301,7 @@ let sweep_cmd =
 
 let flow_cmd =
   let run spef_file spec_file jobs json csv size slew no_cache dt adaptive dt_min dt_max ltol
-      required verbose trace metrics_json =
+      required verbose trace metrics_json xtalk xtalk_threshold xtalk_budget xtalk_alignments =
     if verbose then begin
       Logs.set_reporter (Logs.format_reporter ());
       Logs.set_level (Some Logs.Info)
@@ -347,22 +347,40 @@ let flow_cmd =
               else None
             in
             let required = Option.map Rlc_num.Units.ps required in
-            match Rlc_service.Session.flow session ?required ?adaptive ?progress design with
+            let xtalk_req =
+              if not xtalk then None
+              else
+                Some
+                  {
+                    Rlc_service.Session.threshold = xtalk_threshold;
+                    budget = xtalk_budget;
+                    alignments = xtalk_alignments;
+                  }
+            in
+            match
+              Rlc_service.Session.flow session ?required ?adaptive ?progress ?xtalk:xtalk_req
+                design
+            with
             | Error e ->
                 Option.iter Rlc_obs.Progress.finish progress;
                 Format.eprintf "%s@." (Rlc_service.Error.message e);
                 2
-            | Ok { Rlc_service.Session.result; report } ->
+            | Ok { Rlc_service.Session.result; xtalk = xtalk_result; report } ->
                 Option.iter Rlc_obs.Progress.finish progress;
                 export_obs obs ~trace ~metrics_json;
                 Format.printf "%a" (fun fmt -> Rlc_flow.Report.summary ?required fmt) result;
+                Option.iter
+                  (fun x -> Format.printf "%a" (Rlc_xtalk.Xtalk.summary design) x)
+                  xtalk_result;
                 Option.iter (fun path -> write_file path report) json;
                 Option.iter
                   (fun path -> write_file path (Rlc_flow.Report.csv_string result))
                   csv;
-                (* Gate CI on timing: nonzero exit when the worst arrival
-                   violates the required time. *)
-                let violated =
+                (* Gate CI on signoff: nonzero exit when the worst arrival
+                   violates the required time, or when a simulated victim's
+                   noise peak breaks the budget — a noise violation is a
+                   failure exactly like negative slack. *)
+                let timing_violated =
                   match required with
                   | None -> false
                   | Some req -> (
@@ -370,11 +388,16 @@ let flow_cmd =
                       | last :: _ -> req -. last.Rlc_flow.Flow.arrival < 0.
                       | [] -> false)
                 in
-                if violated then begin
+                let noise_violated =
+                  match xtalk_result with
+                  | Some x -> x.Rlc_xtalk.Xtalk.stats.Rlc_xtalk.Xtalk.n_violations > 0
+                  | None -> false
+                in
+                if timing_violated then
                   Format.eprintf "timing violated: worst slack is negative@.";
-                  1
-                end
-                else 0))
+                if noise_violated then
+                  Format.eprintf "noise violated: a victim peak breaks the budget@.";
+                if timing_violated || noise_violated then 1 else 0))
   in
   let spef_arg =
     Arg.(
@@ -413,15 +436,54 @@ let flow_cmd =
       & opt float 75.
       & info [ "size" ] ~docv:"X" ~doc:"Default driver size when no spec is given.")
   in
+  let xtalk_flag =
+    Arg.(
+      value & flag
+      & info [ "xtalk" ]
+          ~doc:
+            "After the isolated flow, run the coupled-net crosstalk analysis: screen every \
+             victim/aggressor pair with the closed-form noise estimate, simulate the survivors \
+             as coupled clusters, and report per-victim noise peaks and delay push-out.  A \
+             victim whose simulated peak breaks the budget fails the run like negative slack.")
+  in
+  let xtalk_threshold_arg =
+    Arg.(
+      value
+      & opt float Rlc_service.Session.default_xtalk.Rlc_service.Session.threshold
+      & info [ "xtalk-threshold" ] ~docv:"FRAC"
+          ~doc:
+            "Screen level as a fraction of VDD: pairs whose closed-form estimate stays below \
+             it are dismissed without simulation.")
+  in
+  let xtalk_budget_arg =
+    Arg.(
+      value
+      & opt float Rlc_service.Session.default_xtalk.Rlc_service.Session.budget
+      & info [ "xtalk-budget" ] ~docv:"FRAC"
+          ~doc:
+            "Noise budget as a fraction of VDD: a simulated victim peak at or above it is a \
+             violation (nonzero exit).")
+  in
+  let xtalk_alignments_arg =
+    Arg.(
+      value
+      & opt int Rlc_service.Session.default_xtalk.Rlc_service.Session.alignments
+      & info [ "xtalk-alignments" ] ~docv:"N"
+          ~doc:
+            "Aggressor-alignment grid points swept for the worst delay push-out (1 = aligned \
+             starts only; grids nest, so the worst case is monotone in N).")
+  in
   Cmd.v
     (Cmd.info "flow"
        ~doc:
          "Time a full multi-net design from SPEF: levelized net graph, parallel per-net Ceff \
-          solves over a domain pool, slew propagation between levels, JSON/CSV reports.")
+          solves over a domain pool, slew propagation between levels, JSON/CSV reports.  With \
+          $(b,--xtalk), also screen and simulate coupled-net crosstalk.")
     Term.(
       const run $ spef_arg $ spec_arg $ jobs_arg $ json_arg $ csv_arg $ default_size_arg
       $ slew_arg $ no_cache_arg $ dt_arg $ adaptive_flag $ dt_min_arg $ dt_max_arg $ ltol_arg
-      $ required_arg $ verbose_arg $ trace_arg $ metrics_json_arg)
+      $ required_arg $ verbose_arg $ trace_arg $ metrics_json_arg $ xtalk_flag
+      $ xtalk_threshold_arg $ xtalk_budget_arg $ xtalk_alignments_arg)
 
 (* -------------------------------------------------------------- serve *)
 

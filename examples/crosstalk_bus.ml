@@ -1,59 +1,102 @@
-(* Inductive vs capacitive crosstalk on a coupled global bus.
+(* Coupled-net crosstalk on the 8-net bus, end to end.
 
-   The paper's introduction motivates inductance as a signal-integrity
-   concern; this example quantifies it.  Two neighbouring 5 mm bus bits are
-   driven by real inverters: the aggressor switches, the victim's driver
-   holds it quiet.  We sweep the coupling mix and report the victim's far-end
-   noise — positive when the capacitive term (Cc/C) dominates and negative
-   (with the classic forward-crosstalk dip) when the mutual-inductance term
-   (M/L) does.
+   Reads the coupled bus design (examples/bus8_coupled.spef — bus8 plus
+   cross-net *CAP entries — and examples/bus8.spec), runs the isolated
+   flow, then the Rlc_xtalk analysis on top of it:
 
-   Run with:  dune exec examples/crosstalk_bus.exe *)
-open Rlc_circuit
-open Rlc_tline
-open Rlc_devices
-open Rlc_waveform
+   - the closed-form screen prices every victim/aggressor pair in
+     microseconds and dismisses the weakly coupled majority;
+   - only the survivors pay for coupled-cluster transients: a noise peak
+     with every aggressor switching together, and a delay push-out swept
+     over aggressor alignments;
+   - like the isolated flow, the result is byte-identical across worker
+     counts.
 
-let tech = Tech.c018
-let line = Line.of_totals ~r:72.44 ~l:5.14e-9 ~c:1.10e-12 ~length:5e-3
+   Run with:  dune exec examples/crosstalk_bus.exe  (from the project root) *)
 
-let run ~k ~cc_total ~size =
-  let nl = Netlist.create () in
-  let vdd_node = Netlist.node nl "vdd" in
-  Netlist.force_voltage nl vdd_node (fun _ -> tech.Tech.vdd);
-  (* Aggressor input falls (output rises); victim input held at VDD so its
-     NMOS actively holds the victim line low. *)
-  let in_a = Netlist.node nl "in_a" and in_v = Netlist.node nl "in_v" in
-  Netlist.force_voltage nl in_a (Testbench.falling_input tech ~t0:20e-12 ~slew:100e-12);
-  Netlist.force_voltage nl in_v (fun _ -> tech.Tech.vdd);
-  let out_a = Netlist.node nl "out_a" and out_v = Netlist.node nl "out_v" in
-  let inv = Inverter.make tech ~size in
-  Inverter.add nl inv ~vdd_node ~input:in_a ~output:out_a;
-  Inverter.add nl inv ~vdd_node ~input:in_v ~output:out_v;
-  let built =
-    Coupled_ladder.build ~n_segments:100 nl line ~k ~cc_total ~near_a:out_a ~near_b:out_v
-  in
-  Netlist.capacitor nl built.Coupled_ladder.far_a Netlist.ground 20e-15;
-  Netlist.capacitor nl built.Coupled_ladder.far_b Netlist.ground 20e-15;
-  let r = Engine.transient ~dt:0.5e-12 ~t_stop:1.5e-9 nl in
-  let victim = Engine.voltage r built.Coupled_ladder.far_b in
-  (Waveform.v_max victim, Waveform.v_min victim)
+module Design = Rlc_flow.Design
+module Xtalk = Rlc_xtalk.Xtalk
+
+let mv v = v /. 1e-3
+let ps s = s /. 1e-12
+let ff f = f /. 1e-15
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let find name =
+  (* Works both from the project root and from examples/. *)
+  if Sys.file_exists (Filename.concat "examples" name) then Filename.concat "examples" name
+  else name
 
 let () =
-  Format.printf "coupled 5 mm bus bits, 75X drivers, victim held low@.@.";
-  Format.printf "%28s %14s %14s@." "coupling mix" "peak (mV)" "dip (mV)";
-  List.iter
-    (fun (label, k, cc) ->
-      let peak, dip = run ~k ~cc_total:cc ~size:75. in
-      Format.printf "%28s %14.0f %14.0f@." label (peak /. 1e-3) (dip /. 1e-3))
-    [
-      ("capacitive only (Cc=300fF)", 0.0, 0.3e-12);
-      ("inductive only (k=0.5)", 0.5, 0.);
-      ("mixed (k=0.5, Cc=300fF)", 0.5, 0.3e-12);
-      ("light (k=0.2, Cc=100fF)", 0.2, 0.1e-12);
-    ];
-  Format.printf
-    "@.Inductive coupling flips the victim's far-end noise negative (forward@\n\
-     crosstalk ~ Cc/C - M/L); RC-only noise analysis would miss both the@\n\
-     polarity and part of the magnitude - the same physics that breaks@\n\
-     single-ramp driver models on these wires.@."
+  let spef =
+    match
+      Rlc_spef.Spef.parse_res ~file:"bus8_coupled.spef" (read_file (find "bus8_coupled.spef"))
+    with
+    | Ok s -> s
+    | Error e -> failwith (Rlc_errors.Error.message e)
+  in
+  let spec =
+    match Rlc_flow.Spec.parse_res ~file:"bus8.spec" (read_file (find "bus8.spec")) with
+    | Ok s -> s
+    | Error e -> failwith (Rlc_errors.Error.message e)
+  in
+  let design = match Design.ingest ~spef ~spec () with Ok d -> d | Error e -> failwith e in
+  Format.printf "%a@.@." Design.pp design;
+
+  (* Isolated timing first: crosstalk analysis is a pure function of the
+     flow result, so the Ceff solves are shared, not repeated. *)
+  let flow = Rlc_flow.Flow.run_cfg Rlc_flow.Flow.Config.default design in
+  let name id = design.Design.nets.(id).Design.name in
+
+  let r = Xtalk.analyze flow in
+
+  (* The screen: every ordered pair gets a closed-form number; only pairs
+     above threshold * VDD go on to a coupled simulation. *)
+  Format.printf "screen (threshold %.0f mV of VDD %.1f V):@." (mv (r.Xtalk.threshold *. r.Xtalk.vdd))
+    r.Xtalk.vdd;
+  Format.printf "  %-14s %10s %12s   %s@." "victim <- aggr" "Cc (fF)" "est (mV)" "verdict";
+  Array.iter
+    (fun (v : Xtalk.victim_result) ->
+      List.iter
+        (fun (p : Xtalk.pair) ->
+          Format.printf "  %-14s %10.0f %12.1f   %s@."
+            (Printf.sprintf "%s <- %s" (name p.Xtalk.victim) (name p.Xtalk.aggressor))
+            (ff p.Xtalk.cc)
+            (mv p.Xtalk.est.Rlc_xtalk.Noise.v_peak)
+            (if p.Xtalk.screened then "screened" else "simulate"))
+        v.Xtalk.pairs)
+    r.Xtalk.victims;
+  Format.printf "  -> %d of %d pairs dismissed without a transient@.@."
+    r.Xtalk.stats.Xtalk.n_screened r.Xtalk.stats.Xtalk.n_pairs;
+
+  (* The survivors: coupled-cluster noise and aggressor-aligned delay. *)
+  Format.printf "simulated victims (budget %.0f mV, %d alignments):@."
+    (mv (r.Xtalk.budget *. r.Xtalk.vdd))
+    r.Xtalk.alignments;
+  Array.iter
+    (fun (v : Xtalk.victim_result) ->
+      if v.Xtalk.simulated then
+        Format.printf
+          "  %-4s noise %6.1f mV (closed form said %6.1f mV)  delay %6.2f -> %6.2f ps  \
+           push-out %+.2f ps%s@."
+          (name v.Xtalk.victim)
+          (mv (Option.get v.Xtalk.noise_sim))
+          (mv v.Xtalk.noise_est) (ps v.Xtalk.isolated_delay)
+          (ps (Option.get v.Xtalk.coupled_delay))
+          (ps (Option.get v.Xtalk.pushout))
+          (if v.Xtalk.violation then "  VIOLATION" else ""))
+    r.Xtalk.victims;
+
+  (* Determinism: like the flow itself, the analysis is byte-identical
+     across worker counts — the pool only changes wall-clock time. *)
+  let with_jobs jobs =
+    Xtalk.analyze ~config:{ Xtalk.Config.default with Xtalk.Config.jobs = Some jobs } flow
+  in
+  let f1 = Xtalk.json_fragment design (with_jobs 1) in
+  let f4 = Xtalk.json_fragment design (with_jobs 4) in
+  Format.printf "@.deterministic across jobs: %b@." (f1 = f4)

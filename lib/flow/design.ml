@@ -22,12 +22,15 @@ type net = {
   prim_slew : float option;
 }
 
+type coupling = { net_a : int; net_b : int; cc : float }
+
 type t = {
   design_name : string;
   tech : Rlc_devices.Tech.t;
   nets : net array;
   levels : int array array;
   sizes : float list;
+  couplings : coupling array;
 }
 
 (* Total series R and L of a net, with parallel branches between the same
@@ -185,12 +188,64 @@ let ingest ?(tech = Rlc_devices.Tech.c018) ~spef ~spec () =
     let sizes =
       List.sort_uniq compare (Array.to_list (Array.map (fun net -> net.size) nets))
     in
-    Ok { design_name = spef.Spef.design; tech; nets; levels; sizes }
+    (* Coupling graph: resolve each cross-net cap's endpoints to the design
+       nets owning those nodes.  Ownership comes from the grounded parasitics
+       (conn pins, grounded-cap nodes, branch endpoints); a node claimed by
+       two different nets is a modeling error.  Couplings touching a net the
+       design does not time (driverless SPEF nets) are logged and skipped,
+       matching how such nets are ignored above. *)
+    let owner = Hashtbl.create 64 in
+    let claim i node =
+      match Hashtbl.find_opt owner node with
+      | Some j when j <> i ->
+          raise
+            (Bad
+               (Printf.sprintf "node %s appears in both net %s and net %s" node
+                  (List.nth names j) (List.nth names i)))
+      | _ -> Hashtbl.replace owner node i
+    in
+    Array.iteri
+      (fun i (d : Spef.dnet) ->
+        List.iter (fun (c : Spef.conn) -> claim i c.Spef.pin) d.Spef.conns;
+        List.iter (fun (c : Spef.ground_cap) -> claim i c.Spef.node) d.Spef.caps;
+        List.iter
+          (fun (b : Spef.branch) ->
+            claim i b.Spef.n1;
+            claim i b.Spef.n2)
+          d.Spef.branches)
+      dnets;
+    let pair_cc = Hashtbl.create 16 in
+    List.iter
+      (fun (d : Spef.dnet) ->
+        List.iter
+          (fun (x : Spef.coupling_cap) ->
+            match (Hashtbl.find_opt owner x.Spef.x_node1, Hashtbl.find_opt owner x.Spef.x_node2) with
+            | Some a, Some b when a = b ->
+                raise
+                  (Bad
+                     (Printf.sprintf "coupling cap %s-%s joins net %s to itself" x.Spef.x_node1
+                        x.Spef.x_node2 (List.nth names a)))
+            | Some a, Some b ->
+                let k = (Int.min a b, Int.max a b) in
+                Hashtbl.replace pair_cc k
+                  (Option.value (Hashtbl.find_opt pair_cc k) ~default:0. +. x.Spef.x_farads)
+            | _ ->
+                Log.info (fun m ->
+                    m "coupling cap %s-%s touches a net outside the design; ignored"
+                      x.Spef.x_node1 x.Spef.x_node2))
+          d.Spef.x_caps)
+      spef.Spef.nets;
+    let couplings =
+      Hashtbl.fold (fun (a, b) cc acc -> { net_a = a; net_b = b; cc } :: acc) pair_cc []
+      |> List.sort (fun x y -> compare (x.net_a, x.net_b) (y.net_a, y.net_b))
+      |> Array.of_list
+    in
+    Ok { design_name = spef.Spef.design; tech; nets; levels; sizes; couplings }
   with Bad msg -> Error msg
 
 let n_nets t = Array.length t.nets
 
 let pp fmt t =
-  Format.fprintf fmt "design<%s: %d nets, %d levels, sizes %s>" t.design_name
-    (Array.length t.nets) (Array.length t.levels)
+  Format.fprintf fmt "design<%s: %d nets, %d levels, %d couplings, sizes %s>" t.design_name
+    (Array.length t.nets) (Array.length t.levels) (Array.length t.couplings)
     (String.concat "," (List.map (Printf.sprintf "%gX") t.sizes))

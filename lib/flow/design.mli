@@ -28,12 +28,20 @@ type net = {
   prim_slew : float option;  (** input slew when this is a primary input *)
 }
 
+type coupling = { net_a : int; net_b : int; cc : float }
+(** An undirected coupling edge between two design nets ([net_a < net_b]):
+    the sum of all SPEF cross-net caps whose endpoints resolve to those two
+    nets, in farads. *)
+
 type t = {
   design_name : string;
   tech : Rlc_devices.Tech.t;
   nets : net array;  (** indexed by [id] *)
   levels : int array array;  (** [levels.(l)] = ids at level [l], ascending *)
   sizes : float list;  (** distinct driver sizes, ascending (for pre-characterization) *)
+  couplings : coupling array;
+      (** coupling graph, sorted by [(net_a, net_b)]; empty when the SPEF
+          declares no cross-net caps, leaving the isolated flow untouched *)
 }
 
 val ingest :
@@ -42,7 +50,11 @@ val ingest :
     covered by a [driver] line are ignored with a log message, they are not
     errors); a net without a unique [Output] conn; a net that is neither a
     primary input nor the target of exactly one [edge]; combinational
-    cycles; unknown pins; nets whose R/L graph is not a tree. *)
+    cycles; unknown pins; nets whose R/L graph is not a tree.  Cross-net
+    coupling caps resolve each endpoint to the design net owning that node
+    (a node owned by two nets, or a coupling joining a net to itself, is an
+    error); couplings touching nets the design does not time are logged and
+    skipped. *)
 
 val n_nets : t -> int
 val pp : Format.formatter -> t -> unit

@@ -84,7 +84,7 @@ let net_json (r : Flow.net_result) =
     (num_ps r.Flow.solve.Flow.far_slew)
     (num_ps r.Flow.arrival)
 
-let json_string ?required (result : Flow.result) =
+let json_string ?required ?xtalk (result : Flow.result) =
   let buf = Buffer.create 4096 in
   let p fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   let stats = result.Flow.stats in
@@ -103,6 +103,10 @@ let json_string ?required (result : Flow.result) =
       Buffer.add_string buf "\n")
     result.Flow.results;
   p "  ],\n";
+  (* Pre-rendered crosstalk fragment (Rlc_xtalk lives above this library, so
+     the composition is by string injection); absent, the payload is
+     byte-identical to an isolated-flow report. *)
+  (match xtalk with Some x -> p "  \"xtalk\": %s,\n" x | None -> ());
   let path = Flow.critical_path result in
   let worst_arrival =
     match List.rev path with last :: _ -> last.Flow.arrival | [] -> 0.

@@ -7,12 +7,22 @@
     human {!summary} and the logs only.  Floats are printed with [%.6g] —
     one fixed, locale-independent format everywhere. *)
 
-val json_string : ?required:float -> Flow.result -> string
+val json_string : ?required:float -> ?xtalk:string -> Flow.result -> string
 (** Full report: design header, one object per net (timing, shape, screen
     verdict, Ceff values, iteration count), and a summary block with the
     worst-arrival (critical) path, optional slack against a [required]
     arrival time (seconds), and fixed-bin stage-delay / far-slew
-    histograms. *)
+    histograms.
+
+    [xtalk] is a pre-rendered JSON object (produced by
+    [Rlc_xtalk.Xtalk.json_fragment], which depends on this library)
+    injected under an ["xtalk"] key between the net results and the
+    summary; omitted, the payload is byte-identical to a pre-crosstalk
+    report. *)
+
+val json_escape : string -> string
+(** Escape a string for embedding in a JSON payload (used by the crosstalk
+    fragment renderer to match this module's conventions). *)
 
 val csv_string : Flow.result -> string
 (** One row per net, same per-net fields as the JSON. *)

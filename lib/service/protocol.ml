@@ -26,8 +26,15 @@ type case_req = {
   c_dt_ps : float option;
 }
 
+type xtalk_req = {
+  x_threshold : float option;  (* screen level, fraction of VDD *)
+  x_budget : float option;  (* violation level, fraction of VDD *)
+  x_alignments : int option;  (* aggressor-alignment grid points *)
+}
+
 type kind =
   | Flow of flow_req
+  | Xtalk of flow_req * xtalk_req
   | Sweep_case of case_req
   | Screen of case_req
   | Ping
@@ -96,6 +103,24 @@ let parse_flow fields =
   let* f_dt_ps = Result.bind (num_opt "dt_ps" fields) (positive "dt_ps") in
   Ok (Flow { f_spef; f_spec; f_size; f_slew_ps; f_required_ps; f_use_cache; f_dt_ps })
 
+let parse_flow_req fields =
+  match parse_flow fields with
+  | Ok (Flow f) -> Ok f
+  | Ok _ -> assert false
+  | Error e -> Error e
+
+let parse_xtalk fields =
+  let* f = parse_flow_req fields in
+  let* x_threshold = Result.bind (num_opt "threshold" fields) (positive "threshold") in
+  let* x_budget = Result.bind (num_opt "budget" fields) (positive "budget") in
+  let* x_alignments =
+    match List.assoc_opt "alignments" fields with
+    | None -> Ok None
+    | Some (Json.Int n) when n >= 1 -> Ok (Some n)
+    | Some _ -> bad "field %S must be a positive integer" "alignments"
+  in
+  Ok (Xtalk (f, { x_threshold; x_budget; x_alignments }))
+
 let parse_case fields =
   let* c_length_mm = num_req_pos "length_mm" fields in
   let* c_width_um = num_req_pos "width_um" fields in
@@ -137,6 +162,7 @@ let parse_request ?(max_bytes = default_max_bytes) line =
     let* kind =
       match kind_name with
       | "flow" -> parse_flow fields
+      | "xtalk" -> parse_xtalk fields
       | "sweep_case" -> Result.map (fun c -> Sweep_case c) (parse_case fields)
       | "screen" -> Result.map (fun c -> Screen c) (parse_case fields)
       | "ping" -> Ok Ping

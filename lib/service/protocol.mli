@@ -15,6 +15,10 @@
       or ["spef_file"] (path the {e server} reads); at most one of ["spec"]
       / ["spec_file"]; optional ["size"], ["slew_ps"] (spec defaults),
       ["required_ps"], ["use_cache"], ["dt_ps"].
+    - ["xtalk"]: a ["flow"] request that also runs the coupled-net
+      crosstalk analysis; same fields plus optional ["threshold"] and
+      ["budget"] (fractions of VDD) and ["alignments"] (positive integer
+      grid size).
     - ["sweep_case"] / ["screen"]: one geometric case; required
       ["length_mm"], ["width_um"], ["size"]; optional ["slew_ps"],
       ["cl_ff"], ["dt_ps"] (sweep only).
@@ -50,8 +54,15 @@ type case_req = {
   c_dt_ps : float option;
 }
 
+type xtalk_req = {
+  x_threshold : float option;  (** screen level, fraction of VDD *)
+  x_budget : float option;  (** violation level, fraction of VDD *)
+  x_alignments : int option;  (** aggressor-alignment grid points *)
+}
+
 type kind =
   | Flow of flow_req
+  | Xtalk of flow_req * xtalk_req
   | Sweep_case of case_req
   | Screen of case_req
   | Ping

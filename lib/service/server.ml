@@ -127,10 +127,53 @@ let flow_fields (o : Session.flow_outcome) =
     ("iterations_total", Json.Int s.Flow.iterations_total);
     ("iterations_spent", Json.Int s.Flow.iterations_spent);
   ]
+  @
+  match o.Session.xtalk with
+  | None -> []
+  | Some x ->
+      let st = x.Rlc_xtalk.Xtalk.stats in
+      [
+        ( "xtalk",
+          Json.Obj
+            [
+              ("pairs", Json.Int st.Rlc_xtalk.Xtalk.n_pairs);
+              ("screened", Json.Int st.Rlc_xtalk.Xtalk.n_screened);
+              ("simulated", Json.Int st.Rlc_xtalk.Xtalk.n_simulated);
+              ("alignment_sims", Json.Int st.Rlc_xtalk.Xtalk.n_alignment_sims);
+              ("violations", Json.Int st.Rlc_xtalk.Xtalk.n_violations);
+            ] );
+      ]
 
 let case_of t (c : Protocol.case_req) =
   Session.case t.session ?slew_ps:c.Protocol.c_slew_ps ?cl_ff:c.Protocol.c_cl_ff
     ~length_mm:c.Protocol.c_length_mm ~width_um:c.Protocol.c_width_um ~size:c.Protocol.c_size ()
+
+(* Shared by the "flow" and "xtalk" kinds — one code path, so an xtalk
+   request's report embeds the fragment and everything else stays
+   byte-identical to a plain flow. *)
+let run_flow t ?xtalk (f : Protocol.flow_req) =
+  let ( let* ) = Result.bind in
+  let* spef, spef_name = resolve "spef_file" f.Protocol.f_spef in
+  let* spec, spec_name =
+    match f.Protocol.f_spec with
+    | None -> Ok (None, None)
+    | Some src ->
+        let* content, name = resolve "spec_file" src in
+        Ok (Some content, name)
+  in
+  let* design =
+    Session.ingest t.session ?spef_name ?spec ?spec_name ?size:f.Protocol.f_size
+      ?slew:(Option.map Units.ps f.Protocol.f_slew_ps)
+      ~spef ()
+  in
+  let* outcome =
+    Session.flow t.session
+      ?required:(Option.map Units.ps f.Protocol.f_required_ps)
+      ?use_cache:f.Protocol.f_use_cache
+      ?dt:(Option.map Units.ps f.Protocol.f_dt_ps)
+      ?xtalk design
+  in
+  Ok (flow_fields outcome)
 
 let dispatch t (kind : Protocol.kind) :
     ((string * Json.t) list, Error.t) result * [ `Continue | `Stop ] =
@@ -154,29 +197,19 @@ let dispatch t (kind : Protocol.kind) :
           ],
         `Continue )
   | Protocol.Shutdown -> (Ok [ ("stopping", Json.Bool true) ], `Stop)
-  | Protocol.Flow f ->
-      ( (let* spef, spef_name = resolve "spef_file" f.Protocol.f_spef in
-         let* spec, spec_name =
-           match f.Protocol.f_spec with
-           | None -> Ok (None, None)
-           | Some src ->
-               let* content, name = resolve "spec_file" src in
-               Ok (Some content, name)
-         in
-         let* design =
-           Session.ingest t.session ?spef_name ?spec ?spec_name ?size:f.Protocol.f_size
-             ?slew:(Option.map Units.ps f.Protocol.f_slew_ps)
-             ~spef ()
-         in
-         let* outcome =
-           Session.flow t.session
-             ?required:(Option.map Units.ps f.Protocol.f_required_ps)
-             ?use_cache:f.Protocol.f_use_cache
-             ?dt:(Option.map Units.ps f.Protocol.f_dt_ps)
-             design
-         in
-         Ok (flow_fields outcome)),
-        `Continue )
+  | Protocol.Flow f -> (run_flow t f, `Continue)
+  | Protocol.Xtalk (f, x) ->
+      let xtalk =
+        {
+          Session.threshold =
+            Option.value x.Protocol.x_threshold ~default:Session.default_xtalk.Session.threshold;
+          budget = Option.value x.Protocol.x_budget ~default:Session.default_xtalk.Session.budget;
+          alignments =
+            Option.value x.Protocol.x_alignments
+              ~default:Session.default_xtalk.Session.alignments;
+        }
+      in
+      (run_flow t ~xtalk f, `Continue)
   | Protocol.Sweep_case c ->
       ( (let* case = case_of t c in
          let* cmp = Session.sweep_case t.session ?dt:(Option.map Units.ps c.Protocol.c_dt_ps) case in

@@ -115,9 +115,22 @@ let ingest t ?spef_name ?spec ?spec_name ?size ?slew ~spef () =
   | Ok d -> Ok d
   | Error msg -> Error (Error.Bad_request msg)
 
-type flow_outcome = { result : Flow.result; report : string }
+type xtalk_request = { threshold : float; budget : float; alignments : int }
 
-let flow t ?required ?use_cache ?dt ?adaptive ?progress design =
+let default_xtalk =
+  {
+    threshold = Rlc_xtalk.Xtalk.Config.default.Rlc_xtalk.Xtalk.Config.threshold;
+    budget = Rlc_xtalk.Xtalk.Config.default.Rlc_xtalk.Xtalk.Config.budget;
+    alignments = Rlc_xtalk.Xtalk.Config.default.Rlc_xtalk.Xtalk.Config.alignments;
+  }
+
+type flow_outcome = {
+  result : Flow.result;
+  xtalk : Rlc_xtalk.Xtalk.result option;
+  report : string;
+}
+
+let flow t ?required ?use_cache ?dt ?adaptive ?progress ?xtalk design =
   let cfg =
     {
       Flow.Config.dt = Option.value dt ~default:t.config.Config.dt;
@@ -134,7 +147,25 @@ let flow t ?required ?use_cache ?dt ?adaptive ?progress design =
   in
   guard (fun () ->
       let result = Flow.run_cfg cfg design in
-      { result; report = Report.json_string ?required result })
+      let xtalk =
+        Option.map
+          (fun x ->
+            Rlc_xtalk.Xtalk.analyze
+              ~config:
+                {
+                  Rlc_xtalk.Xtalk.Config.default with
+                  Rlc_xtalk.Xtalk.Config.threshold = x.threshold;
+                  budget = x.budget;
+                  alignments = x.alignments;
+                  dt = Option.value dt ~default:t.config.Config.dt;
+                  pool = Some t.pool;
+                  obs = t.config.Config.obs;
+                }
+              result)
+          xtalk
+      in
+      let fragment = Option.map (Rlc_xtalk.Xtalk.json_fragment design) xtalk in
+      { result; xtalk; report = Report.json_string ?required ?xtalk:fragment result })
 
 (* --------------------------------------------------------------- case *)
 

@@ -63,11 +63,23 @@ val ingest :
     spec, every net becomes a primary input driven at [size] (default
     [Config.default_size]) and [slew] (default [Config.default_slew]). *)
 
+type xtalk_request = { threshold : float; budget : float; alignments : int }
+(** Crosstalk knobs as fractions of VDD plus the alignment-grid size —
+    the subset of {!Rlc_xtalk.Xtalk.Config.t} a client may set; the pool,
+    obs sink, and timestep always come from the session. *)
+
+val default_xtalk : xtalk_request
+(** {!Rlc_xtalk.Xtalk.Config.default}'s threshold (0.05), budget (0.25) and
+    alignments (9). *)
+
 type flow_outcome = {
   result : Rlc_flow.Flow.result;
+  xtalk : Rlc_xtalk.Xtalk.result option;
+      (** present when the request asked for crosstalk analysis *)
   report : string;
       (** {!Rlc_flow.Report.json_string} of [result] — the exact payload
-          the CLI writes with [--json] *)
+          the CLI writes with [--json]; includes the [xtalk] fragment when
+          the analysis ran *)
 }
 
 val flow :
@@ -77,6 +89,7 @@ val flow :
   ?dt:float ->
   ?adaptive:Rlc_circuit.Engine.adaptive ->
   ?progress:Rlc_obs.Progress.t ->
+  ?xtalk:xtalk_request ->
   Rlc_flow.Design.t ->
   (flow_outcome, Error.t) result
 (** Run the full-design flow on the session's pool against the session's
@@ -84,7 +97,9 @@ val flow :
     hit/miss deltas are in [result.stats]).  [required] (seconds) adds the
     slack block to the report.  [adaptive] switches the far-end replays to
     LTE-controlled stepping; its parameters are part of the cache key, so
-    fixed-step and adaptive requests never share entries. *)
+    fixed-step and adaptive requests never share entries.  [xtalk] runs
+    {!Rlc_xtalk.Xtalk.analyze} over the flow result on the same pool (the
+    Ceff cache is not involved) and embeds the fragment in [report]. *)
 
 val case :
   t ->

@@ -10,11 +10,14 @@ type branch = { b_id : int; kind : branch_kind; n1 : string; n2 : string; value 
 
 type ground_cap = { c_id : int; node : string; farads : float }
 
+type coupling_cap = { x_id : int; x_node1 : string; x_node2 : string; x_farads : float }
+
 type dnet = {
   net_name : string;
   total_cap : float;
   conns : conn list;
   caps : ground_cap list;
+  x_caps : coupling_cap list;
   branches : branch list;
 }
 
@@ -70,6 +73,10 @@ let parse_res ?file src =
   (* current net under construction *)
   let cur = ref None in
   let section = ref S_none in
+  (* Coupling caps are keyed by their unordered node pair, globally: the same
+     physical capacitor listed twice (in one section or under both nets it
+     couples) is a modeling error, not a doubling. *)
+  let x_seen = Hashtbl.create 16 in
   let finish_net lineno =
     match !cur with
     | None -> raise (Err (lineno, "*END outside a *D_NET"))
@@ -78,7 +85,7 @@ let parse_res ?file src =
           raise (Err (lineno, "duplicate *D_NET " ^ net.net_name));
         nets :=
           { net with conns = List.rev net.conns; caps = List.rev net.caps;
-            branches = List.rev net.branches }
+            x_caps = List.rev net.x_caps; branches = List.rev net.branches }
           :: !nets;
         cur := None;
         section := S_none
@@ -119,6 +126,7 @@ let parse_res ?file src =
                   total_cap = float_of lineno tc *. !units.c_scale;
                   conns = [];
                   caps = [];
+                  x_caps = [];
                   branches = [];
                 };
             section := S_none
@@ -148,8 +156,33 @@ let parse_res ?file src =
                     { c_id = int_of lineno id; node; farads = float_of lineno value *. !units.c_scale }
                     :: net.caps;
                 }
-        | [ _; _; _; _ ], Some _ when !section = S_cap ->
-            raise (Err (lineno, "coupling capacitances are not supported"))
+        | [ id; n1; n2; value ], Some net when !section = S_cap ->
+            (* Four-token *CAP entry: a coupling capacitor between two nodes
+               (SPEF's cross-net "*C" construct in this subset). *)
+            if n1 = n2 then
+              raise (Err (lineno, "coupling capacitance with identical nodes " ^ n1));
+            let pair = if n1 <= n2 then (n1, n2) else (n2, n1) in
+            (match Hashtbl.find_opt x_seen pair with
+            | Some first ->
+                raise
+                  (Err
+                     ( lineno,
+                       Printf.sprintf "duplicate coupling capacitance %s-%s (first at line %d)"
+                         n1 n2 first ))
+            | None -> Hashtbl.add x_seen pair lineno);
+            cur :=
+              Some
+                {
+                  net with
+                  x_caps =
+                    {
+                      x_id = int_of lineno id;
+                      x_node1 = n1;
+                      x_node2 = n2;
+                      x_farads = float_of lineno value *. !units.c_scale;
+                    }
+                    :: net.x_caps;
+                }
         | [ id; n1; n2; value ], Some net when !section = S_res || !section = S_induc ->
             let kind, scale = if !section = S_res then (Res, !units.r_scale) else (Induc, !units.l_scale) in
             cur :=
@@ -197,9 +230,13 @@ let to_string t =
               (match c.dir with Input -> "I" | Output -> "O" | Bidir -> "B"))
           net.conns
       end;
-      if net.caps <> [] then begin
+      if net.caps <> [] || net.x_caps <> [] then begin
         p "*CAP\n";
-        List.iter (fun c -> p "%d %s %.6g\n" c.c_id c.node (c.farads /. t.units.c_scale)) net.caps
+        List.iter (fun c -> p "%d %s %.6g\n" c.c_id c.node (c.farads /. t.units.c_scale)) net.caps;
+        List.iter
+          (fun x ->
+            p "%d %s %s %.6g\n" x.x_id x.x_node1 x.x_node2 (x.x_farads /. t.units.c_scale))
+          net.x_caps
       end;
       let res = List.filter (fun b -> b.kind = Res) net.branches in
       let ind = List.filter (fun b -> b.kind = Induc) net.branches in

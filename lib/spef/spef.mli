@@ -5,8 +5,10 @@
     RLC timing — header units, [*D_NET] blocks with [*CONN], [*CAP]
     (grounded), [*RES] and the IEEE-1481 [*INDUC] (self-inductance) section —
     and converts a net into an {!Rlc_moments.Tree.t} rooted at its driver
-    port.  Coupling capacitances and mutual inductances are out of scope and
-    reported as errors rather than silently dropped. *)
+    port.  Four-token [*CAP] entries — coupling capacitances between two
+    nodes — are parsed into typed {!coupling_cap} records feeding the
+    crosstalk analysis; mutual inductances ([*K]) remain out of scope and
+    are reported as errors rather than silently dropped. *)
 
 type units = {
   t_scale : float;  (** seconds per time unit *)
@@ -26,11 +28,18 @@ type branch = { b_id : int; kind : branch_kind; n1 : string; n2 : string; value 
 
 type ground_cap = { c_id : int; node : string; farads : float }
 
+type coupling_cap = { x_id : int; x_node1 : string; x_node2 : string; x_farads : float }
+(** A cross-net coupling capacitor (farads after scaling) between two named
+    nodes, typically belonging to different nets.  Listed under the [*CAP]
+    section of whichever net declares it; each unordered node pair may appear
+    at most once in a file. *)
+
 type dnet = {
   net_name : string;
   total_cap : float;  (** farads; as declared on the D_NET line *)
   conns : conn list;
   caps : ground_cap list;
+  x_caps : coupling_cap list;
   branches : branch list;
 }
 
@@ -38,8 +47,10 @@ type t = { design : string; units : units; nets : dnet list }
 
 val parse_res : ?file:string -> string -> (t, Rlc_errors.Error.t) result
 (** Errors are {!Rlc_errors.Error.Parse} carrying the 1-based input line and
-    the source [file] name when given.  Unsupported constructs (coupling
-    caps with two internal nodes, [*K] mutual sections) produce errors. *)
+    the source [file] name when given.  Coupling capacitances (four-token
+    [*CAP] entries) parse into {!coupling_cap}; a duplicate unordered node
+    pair anywhere in the file, or a coupling cap with identical nodes, is an
+    error.  Unsupported constructs ([*K] mutual sections) produce errors. *)
 
 val parse : string -> (t, string) result
 [@@deprecated "use parse_res (typed errors with file/line context)"]
@@ -67,7 +78,10 @@ val to_tree : ?extra_caps:(string * float) list -> dnet -> root:string -> (Rlc_m
     pieces, or L-only branches are errors.  [extra_caps] adds lumped
     grounded capacitance (farads) at named nodes — how a design flow folds
     receiver gate loads into the net before computing moments; naming a node
-    absent from the net is an error. *)
+    absent from the net is an error.  Coupling caps are not folded into the
+    tree — isolated-net timing stays byte-identical whether or not the file
+    declares couplings; {!Rlc_xtalk} consumes them separately. *)
 
 val net_total_cap : dnet -> float
-(** Sum of the grounded caps (farads); tests compare it with [total_cap]. *)
+(** Sum of the grounded caps (farads), excluding coupling caps; tests
+    compare it with [total_cap]. *)

@@ -1,0 +1,35 @@
+type estimate = {
+  v_peak : float;
+  rc_peak : float;
+  amplification : float;
+  rv : float;
+  cv : float;
+  cc : float;
+  tr : float;
+}
+
+let pi = 4. *. Float.atan 1.
+
+let estimate ~vdd ~tr ~rv ~cv ~cc ~damping =
+  if vdd <= 0. then invalid_arg "Rlc_xtalk.Noise.estimate: vdd must be positive";
+  if tr <= 0. then invalid_arg "Rlc_xtalk.Noise.estimate: tr must be positive";
+  if rv <= 0. then invalid_arg "Rlc_xtalk.Noise.estimate: rv must be positive";
+  if cv < 0. || cc < 0. then invalid_arg "Rlc_xtalk.Noise.estimate: negative capacitance";
+  let tau = rv *. (cv +. cc) in
+  let rc_peak =
+    if cc = 0. then 0.
+    else vdd *. (rv *. cc /. tr) *. (1. -. Float.exp (-.tr /. tau))
+  in
+  let amplification =
+    if damping >= 1. then 1.
+    else
+      Float.min 2.
+        (1. +. Float.exp (-.pi *. damping /. Float.sqrt (1. -. (damping *. damping))))
+  in
+  let v_peak = Float.min vdd (rc_peak *. amplification) in
+  { v_peak; rc_peak; amplification; rv; cv; cc; tr }
+
+let pp fmt e =
+  Format.fprintf fmt "noise<%.1f mV (rc %.1f mV x %.2f), rv %.1f cv %.1f fF cc %.1f fF tr %.1f ps>"
+    (1e3 *. e.v_peak) (1e3 *. e.rc_peak) e.amplification e.rv
+    (Rlc_num.Units.in_ff e.cv) (Rlc_num.Units.in_ff e.cc) (Rlc_num.Units.in_ps e.tr)

@@ -1,0 +1,42 @@
+(** Closed-form crosstalk noise-peak estimate — the screening test of the
+    coupled-net analysis, playing the role Eq. 9 plays for inductance.
+
+    The victim is reduced to a one-pole hold: its driver holds the quiet net
+    through [rv] (the fitted on-resistance plus half the wire resistance)
+    against the grounded capacitance [cv], while the aggressor's output ramp
+    of full-swing time [tr] injects charge through the lumped coupling cap
+    [cc].  The resulting peak is
+
+    {v v_rc = vdd * (rv * cc / tr) * (1 - exp (-tr / (rv * (cv + cc)))) v}
+
+    whose limits are the two classical bounds: a fast aggressor
+    ([tr -> 0]) recovers charge sharing [vdd * cc / (cv + cc)], a slow one
+    the Devgan-style bound [vdd * rv * cc / tr].  When the victim line is
+    underdamped (damping ratio [zeta < 1], the RLC regime this repo
+    models), ringing can nearly double the capacitively coupled peak; the
+    estimate multiplies by the first-overshoot factor
+    [1 + exp (-pi zeta / sqrt (1 - zeta^2))], clamped to 2.
+
+    Calibration (see [test/test_xtalk.ml]): on victim/aggressor pairs built
+    from this repo's driver models and equivalent lines, the estimate stays
+    within a factor of 3 of the transient peak of the coupled-ladder
+    simulation and errs on the conservative side for RC-like victims — good
+    enough to dismiss weakly coupled pairs, not a sign-off number. *)
+
+type estimate = {
+  v_peak : float;  (** screened peak, volts: [min vdd (rc_peak * amplification)] *)
+  rc_peak : float;  (** the RC closed form before RLC amplification, volts *)
+  amplification : float;  (** underdamped first-overshoot factor in [1, 2] *)
+  rv : float;  (** victim holding resistance used, Ohm *)
+  cv : float;  (** victim grounded capacitance used (wire + load), F *)
+  cc : float;  (** coupling capacitance, F *)
+  tr : float;  (** aggressor output full-swing ramp time, s *)
+}
+
+val estimate :
+  vdd:float -> tr:float -> rv:float -> cv:float -> cc:float -> damping:float -> estimate
+(** [damping] is the victim line's {!Rlc_tline.Line.damping_ratio}.  Raises
+    [Invalid_argument] on non-positive [vdd], [tr] or [rv], or negative
+    [cv]/[cc]. *)
+
+val pp : Format.formatter -> estimate -> unit

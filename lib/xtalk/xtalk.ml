@@ -1,0 +1,378 @@
+module Design = Rlc_flow.Design
+module Flow = Rlc_flow.Flow
+module Pool = Rlc_parallel.Pool
+module Obs = Rlc_obs.Obs
+module Line = Rlc_tline.Line
+module Pwl = Rlc_waveform.Pwl
+module Waveform = Rlc_waveform.Waveform
+module Measure = Rlc_waveform.Measure
+module Driver_model = Rlc_ceff.Driver_model
+
+let src = Logs.Src.create "rlc.xtalk" ~doc:"coupled-net crosstalk analysis"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+module Config = struct
+  type t = {
+    threshold : float;
+    budget : float;
+    alignments : int;
+    n_segments : int;
+    dt : float;
+    jobs : int option;
+    pool : Pool.t option;
+    obs : Obs.t;
+  }
+
+  let default =
+    {
+      threshold = 0.05;
+      budget = 0.25;
+      alignments = 9;
+      n_segments = Cluster.default_segments;
+      dt = 0.5e-12;
+      jobs = None;
+      pool = None;
+      obs = Obs.null;
+    }
+end
+
+type pair = {
+  victim : int;
+  aggressor : int;
+  cc : float;
+  est : Noise.estimate;
+  screened : bool;
+}
+
+type victim_result = {
+  victim : int;
+  pairs : pair list;
+  noise_est : float;
+  simulated : bool;
+  noise_sim : float option;
+  isolated_delay : float;
+  coupled_delay : float option;
+  pushout : float option;
+  violation : bool;
+}
+
+type stats = {
+  n_pairs : int;
+  n_screened : int;
+  n_simulated : int;
+  n_alignment_sims : int;
+  n_violations : int;
+}
+
+type result = {
+  vdd : float;
+  threshold : float;
+  budget : float;
+  alignments : int;
+  victims : victim_result array;
+  stats : stats;
+}
+
+(* The aggressor's output edge rate as a full-swing ramp time, extrapolated
+   from the model waveform's 10-90 slew. *)
+let full_swing_tr model = Driver_model.model_slew_10_90 model /. 0.8
+
+(* Symmetric alignment grid: [n] points over [-span, span].  Grids nest —
+   linspace with [2n-1] points contains every point of the [n]-point grid —
+   which is what makes the worst case monotone in [n]. *)
+let offsets ~span n =
+  if n <= 1 then [| 0. |]
+  else Array.init n (fun k -> -.span +. (2. *. span *. float_of_int k /. float_of_int (n - 1)))
+
+let analyze ?(config = Config.default) (flow : Flow.result) =
+  if config.Config.alignments < 1 then invalid_arg "Rlc_xtalk.analyze: alignments must be >= 1";
+  if config.Config.threshold < 0. || config.Config.budget < 0. then
+    invalid_arg "Rlc_xtalk.analyze: negative threshold or budget";
+  let design = flow.Flow.design in
+  let obs = config.Config.obs in
+  let vdd = design.Design.tech.Rlc_devices.Tech.vdd in
+  let threshold_v = config.Config.threshold *. vdd in
+  let budget_v = config.Config.budget *. vdd in
+  (* Ordered pairs grouped by victim: every coupling edge is examined twice,
+     once per direction. *)
+  let agg_of = Hashtbl.create 16 in
+  Array.iter
+    (fun (c : Design.coupling) ->
+      let add v a =
+        Hashtbl.replace agg_of v
+          ((a, c.Design.cc) :: Option.value (Hashtbl.find_opt agg_of v) ~default:[])
+      in
+      add c.Design.net_a c.Design.net_b;
+      add c.Design.net_b c.Design.net_a)
+    design.Design.couplings;
+  let victims = List.sort compare (Hashtbl.fold (fun v _ acc -> v :: acc) agg_of []) in
+  let solve_of id = (flow.Flow.results.(id)).Flow.solve in
+  let model_of id = (solve_of id).Flow.model in
+  (* ------------------------------------------------------------ screen *)
+  let screened_victims =
+    Obs.time obs "xtalk.screen" (fun () ->
+        List.map
+          (fun v ->
+            let net = design.Design.nets.(v) in
+            let line = net.Design.eq_line in
+            let m = model_of v in
+            let rv = m.Driver_model.rs +. (0.5 *. Line.total_r line) in
+            let cv = Line.total_c line +. net.Design.cl in
+            let damping = Line.damping_ratio line in
+            let pairs =
+              List.sort (fun (a, _) (b, _) -> compare a b)
+                (Option.value (Hashtbl.find_opt agg_of v) ~default:[])
+              |> List.map (fun (a, cc) ->
+                     let est =
+                       Noise.estimate ~vdd ~tr:(full_swing_tr (model_of a)) ~rv ~cv ~cc ~damping
+                     in
+                     let screened = est.Noise.v_peak < threshold_v in
+                     Obs.incr obs
+                       (if screened then "xtalk.pairs_screened" else "xtalk.pairs_simulated");
+                     { victim = v; aggressor = a; cc; est; screened })
+            in
+            (v, pairs))
+          victims)
+  in
+  (* ---------------------------------------------------------- simulate *)
+  let jobs_used =
+    match config.Config.pool with
+    | Some pool -> Pool.jobs pool
+    | None -> (
+        match config.Config.jobs with
+        | Some j -> Int.max 1 (Int.min j (Pool.default_jobs ()))
+        | None -> Pool.default_jobs ())
+  in
+  let with_run_pool f =
+    match config.Config.pool with
+    | Some pool -> f pool
+    | None -> Pool.with_pool ~obs ~jobs:jobs_used f
+  in
+  let member_of ?drive id =
+    let net = design.Design.nets.(id) in
+    {
+      Cluster.line = net.Design.eq_line;
+      drive;
+      rs = (model_of id).Driver_model.rs;
+      cl = net.Design.cl;
+    }
+  in
+  let jobs = Array.of_list screened_victims in
+  let sim_results =
+    with_run_pool (fun pool ->
+        Pool.map pool (Array.length jobs) (fun k ->
+            let v, pairs = jobs.(k) in
+            let survivors = List.filter (fun p -> not p.screened) pairs in
+            if survivors = [] then None
+            else begin
+              let t0 = Obs.start obs in
+              let vm = model_of v in
+              let isolated = (solve_of v).Flow.stage_delay in
+              (* Noise: quiet victim, every surviving aggressor rising on
+                 its own model waveform, simultaneous starts (worst for a
+                 same-polarity capacitive sum). *)
+              let rising =
+                List.map
+                  (fun p ->
+                    ( member_of ~drive:(model_of p.aggressor).Driver_model.pwl p.aggressor,
+                      p.cc ))
+                  survivors
+              in
+              let far =
+                Cluster.simulate ~obs ~n_segments:config.Config.n_segments
+                  ~dt:config.Config.dt ~victim:(member_of v) ~aggressors:rising ()
+              in
+              let noise = Waveform.v_max far in
+              (* Delay: victim switches on its own model waveform, the
+                 aggressors oppose it (Miller worst case); sweep their
+                 common start over the alignment grid and keep the worst
+                 far-end 50 % crossing. *)
+              let span =
+                List.fold_left
+                  (fun acc p ->
+                    Float.max acc (Driver_model.transition_end (model_of p.aggressor)))
+                  ((solve_of v).Flow.stage_delay +. (solve_of v).Flow.far_slew)
+                  survivors
+              in
+              let worst =
+                Array.fold_left
+                  (fun acc off ->
+                    let falling =
+                      List.map
+                        (fun p ->
+                          let m = model_of p.aggressor in
+                          ( member_of
+                              ~drive:
+                                (Pwl.shift_time off
+                                   (Pwl.falling ~vdd:m.Driver_model.vdd m.Driver_model.pwl))
+                              p.aggressor,
+                            p.cc ))
+                        survivors
+                    in
+                    let far =
+                      Cluster.simulate ~obs ~n_segments:config.Config.n_segments
+                        ~dt:config.Config.dt
+                        ~victim:(member_of ~drive:vm.Driver_model.pwl v)
+                        ~aggressors:falling ()
+                    in
+                    Obs.incr obs "xtalk.alignment_sweeps";
+                    let d = Measure.t_frac_exn far ~vdd ~edge:Measure.Rising ~frac:0.5 in
+                    Float.max acc d)
+                  Float.neg_infinity
+                  (offsets ~span config.Config.alignments)
+              in
+              Obs.finish obs
+                ~args:
+                  [
+                    ("victim", design.Design.nets.(v).Design.name);
+                    ("aggressors", string_of_int (List.length survivors));
+                  ]
+                "xtalk.victim" t0;
+              Log.debug (fun m ->
+                  m "victim %s: noise %.1f mV, delay %.1f -> %.1f ps"
+                    design.Design.nets.(v).Design.name (1e3 *. noise)
+                    (Rlc_num.Units.in_ps isolated) (Rlc_num.Units.in_ps worst));
+              Some (noise, worst)
+            end))
+  in
+  (* ------------------------------------------------------------ report *)
+  let victims_arr =
+    Array.mapi
+      (fun k (v, pairs) ->
+        let noise_est = List.fold_left (fun acc p -> Float.max acc p.est.Noise.v_peak) 0. pairs in
+        let isolated_delay = (solve_of v).Flow.stage_delay in
+        match sim_results.(k) with
+        | None ->
+            Obs.observe obs "xtalk.noise_mv" (1e3 *. noise_est);
+            {
+              victim = v;
+              pairs;
+              noise_est;
+              simulated = false;
+              noise_sim = None;
+              isolated_delay;
+              coupled_delay = None;
+              pushout = None;
+              violation = false;
+            }
+        | Some (noise, coupled) ->
+            Obs.observe obs "xtalk.noise_mv" (1e3 *. noise);
+            {
+              victim = v;
+              pairs;
+              noise_est;
+              simulated = true;
+              noise_sim = Some noise;
+              isolated_delay;
+              coupled_delay = Some coupled;
+              pushout = Some (coupled -. isolated_delay);
+              violation = noise >= budget_v;
+            })
+      jobs
+  in
+  let count f = Array.fold_left (fun acc v -> acc + f v) 0 victims_arr in
+  let pair_count f =
+    count (fun v -> List.length (List.filter f v.pairs))
+  in
+  let n_simulated_pairs = pair_count (fun p -> not p.screened) in
+  let stats =
+    {
+      n_pairs = pair_count (fun _ -> true);
+      n_screened = pair_count (fun p -> p.screened);
+      n_simulated = n_simulated_pairs;
+      n_alignment_sims =
+        config.Config.alignments * count (fun v -> if v.simulated then 1 else 0);
+      n_violations = count (fun v -> if v.violation then 1 else 0);
+    }
+  in
+  Log.info (fun m ->
+      m "xtalk: %d pairs, %d screened, %d simulated, %d violations" stats.n_pairs
+        stats.n_screened stats.n_simulated stats.n_violations);
+  {
+    vdd;
+    threshold = config.Config.threshold;
+    budget = config.Config.budget;
+    alignments = config.Config.alignments;
+    victims = victims_arr;
+    stats;
+  }
+
+(* ---------------------------------------------------------------- JSON *)
+
+let num = Printf.sprintf "%.6g"
+let num_ps x = num (Rlc_num.Units.in_ps x)
+let num_mv x = num (1e3 *. x)
+let num_ff x = num (Rlc_num.Units.in_ff x)
+
+let json_fragment (design : Design.t) (r : result) =
+  let buf = Buffer.create 2048 in
+  let p fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let name id = Rlc_flow.Report.json_escape design.Design.nets.(id).Design.name in
+  p "{\n";
+  p "    \"threshold_mv\": %s,\n" (num_mv (r.threshold *. r.vdd));
+  p "    \"budget_mv\": %s,\n" (num_mv (r.budget *. r.vdd));
+  p "    \"alignments\": %d,\n" r.alignments;
+  p "    \"pairs\": %d,\n" r.stats.n_pairs;
+  p "    \"pairs_screened\": %d,\n" r.stats.n_screened;
+  p "    \"pairs_simulated\": %d,\n" r.stats.n_simulated;
+  p "    \"alignment_sims\": %d,\n" r.stats.n_alignment_sims;
+  p "    \"violations\": %d,\n" r.stats.n_violations;
+  p "    \"victims\": [\n";
+  Array.iteri
+    (fun i v ->
+      p "      {\"net\":\"%s\",\"aggressors\":[" (name v.victim);
+      List.iteri
+        (fun j pr ->
+          if j > 0 then p ",";
+          p "{\"net\":\"%s\",\"cc_ff\":%s,\"est_mv\":%s,\"screened\":%b}" (name pr.aggressor)
+            (num_ff pr.cc) (num_mv pr.est.Noise.v_peak) pr.screened)
+        v.pairs;
+      p "],";
+      p "\"noise_est_mv\":%s," (num_mv v.noise_est);
+      p "\"simulated\":%b," v.simulated;
+      p "\"noise_mv\":%s,"
+        (match v.noise_sim with Some n -> num_mv n | None -> "null");
+      p "\"isolated_delay_ps\":%s," (num_ps v.isolated_delay);
+      p "\"coupled_delay_ps\":%s,"
+        (match v.coupled_delay with Some d -> num_ps d | None -> "null");
+      p "\"pushout_ps\":%s," (match v.pushout with Some d -> num_ps d | None -> "null");
+      p "\"violation\":%b}" v.violation;
+      if i < Array.length r.victims - 1 then p ",";
+      p "\n")
+    r.victims;
+  p "    ]\n";
+  p "  }";
+  Buffer.contents buf
+
+(* -------------------------------------------------------------- summary *)
+
+let summary (design : Design.t) fmt (r : result) =
+  let pct a b = if b = 0 then 0. else 100. *. float_of_int a /. float_of_int b in
+  Format.fprintf fmt
+    "crosstalk: %d pairs, %d screened (%.0f%%), %d simulated, %d violation%s@."
+    r.stats.n_pairs r.stats.n_screened
+    (pct r.stats.n_screened r.stats.n_pairs)
+    r.stats.n_simulated r.stats.n_violations
+    (if r.stats.n_violations = 1 then "" else "s");
+  Format.fprintf fmt "  threshold %.0f mV, budget %.0f mV, %d alignment%s@."
+    (1e3 *. r.threshold *. r.vdd) (1e3 *. r.budget *. r.vdd) r.alignments
+    (if r.alignments = 1 then "" else "s");
+  Array.iter
+    (fun v ->
+      if v.simulated then
+        Format.fprintf fmt "  %s <- %s: noise %.1f mV (est %.1f mV)%s, delay %.1f -> %.1f ps (push-out %+.1f ps)@."
+          design.Design.nets.(v.victim).Design.name
+          (String.concat ","
+             (List.filter_map
+                (fun p ->
+                  if p.screened then None
+                  else Some design.Design.nets.(p.aggressor).Design.name)
+                v.pairs))
+          (1e3 *. Option.get v.noise_sim)
+          (1e3 *. v.noise_est)
+          (if v.violation then " VIOLATION" else "")
+          (Rlc_num.Units.in_ps v.isolated_delay)
+          (Rlc_num.Units.in_ps (Option.get v.coupled_delay))
+          (Rlc_num.Units.in_ps (Option.get v.pushout)))
+    r.victims

@@ -1,0 +1,110 @@
+(** Coupled-net crosstalk analysis over a completed flow run: screen every
+    victim/aggressor pair with the {!Noise} closed form, simulate only the
+    survivors as coupled {!Cluster}s, and report per-victim noise peaks and
+    delay push-out versus the isolated timing.
+
+    This is the paper's screen-then-simulate architecture applied to
+    coupling instead of inductance: the cheap closed-form test dismisses
+    most pairs with a number, and the expensive coupled transient runs only
+    where that number says it matters.
+
+    Determinism: the analysis is a pure function of the flow result (itself
+    jobs-independent), the design's coupling graph, and the configuration.
+    Screened-vs-simulated classification, every reported number, and the
+    JSON fragment are byte-identical across worker counts; the pool only
+    changes wall-clock time. *)
+
+module Config : sig
+  type t = {
+    threshold : float;
+        (** screen level as a fraction of VDD: a pair whose closed-form
+            estimate stays below [threshold * vdd] is dismissed *)
+    budget : float;
+        (** noise budget as a fraction of VDD: a simulated victim peak at or
+            above [budget * vdd] is a violation (reported like negative
+            slack by the CLI) *)
+    alignments : int;
+        (** points of the symmetric aggressor-alignment grid swept for the
+            worst delay push-out; 1 means aligned starts only.  Grids nest:
+            the [2n-1]-point grid contains every point of the [n]-point
+            grid, so the worst case is monotone in the grid size. *)
+    n_segments : int;  (** ladder segments per cluster member *)
+    dt : float;  (** fixed step of the cluster transients, s *)
+    jobs : int option;  (** worker domains when no [pool] is borrowed *)
+    pool : Rlc_parallel.Pool.t option;  (** borrowed resident pool, used as-is *)
+    obs : Rlc_obs.Obs.t;
+  }
+
+  val default : t
+  (** threshold 0.05, budget 0.25, 9 alignments, 40 segments, dt 0.5 ps,
+      no pool, observability off. *)
+end
+
+type pair = {
+  victim : int;  (** net id of the quiet side of this ordered pair *)
+  aggressor : int;  (** net id of the switching side *)
+  cc : float;  (** lumped coupling capacitance, F *)
+  est : Noise.estimate;  (** the closed-form screen number *)
+  screened : bool;  (** dismissed without simulation *)
+}
+
+type victim_result = {
+  victim : int;
+  pairs : pair list;  (** this victim's ordered pairs, aggressor id ascending *)
+  noise_est : float;  (** worst closed-form estimate over the pairs, V *)
+  simulated : bool;  (** at least one pair survived the screen *)
+  noise_sim : float option;
+      (** simulated victim far-end noise peak with every surviving
+          aggressor switching together, V *)
+  isolated_delay : float;  (** the flow's isolated stage delay, s *)
+  coupled_delay : float option;
+      (** worst far-end 50 % delay over the alignment sweep, with surviving
+          aggressors switching opposite to the victim, s *)
+  pushout : float option;  (** [coupled_delay - isolated_delay], s *)
+  violation : bool;  (** [noise_sim >= budget * vdd] *)
+}
+
+type stats = {
+  n_pairs : int;  (** ordered victim/aggressor pairs examined *)
+  n_screened : int;  (** pairs dismissed by the closed form *)
+  n_simulated : int;  (** pairs that reached a coupled simulation *)
+  n_alignment_sims : int;  (** coupled transients run for the delay sweep *)
+  n_violations : int;  (** victims whose simulated peak broke the budget *)
+}
+
+type result = {
+  vdd : float;
+  threshold : float;  (** fraction of VDD, as configured *)
+  budget : float;
+  alignments : int;
+  victims : victim_result array;  (** nets with couplings, victim id ascending *)
+  stats : stats;
+}
+
+val analyze : ?config:Config.t -> Rlc_flow.Flow.result -> result
+(** Screen every ordered pair of the design's coupling graph, then simulate
+    each victim that kept at least one aggressor: one cluster transient with
+    the victim quiet for the noise peak, plus [alignments] transients with
+    the victim switching and the aggressors opposing for the worst delay.
+    Clusters are scheduled on the level-parallel domain pool ({!Config.t}
+    [pool]/[jobs]); the flow's Ceff cache is not consulted or touched.
+
+    Worst-casing conventions: aggressor drives are the isolated driver-model
+    PWLs regardless of the logical edge the flow assigned (noise assumes all
+    aggressors rise together against a low victim; delay assumes they all
+    fall against the rising victim — standard sign-off pessimism).
+
+    [obs] records ["xtalk.screen"] / ["xtalk.victim"] spans, counters
+    ["xtalk.pairs_screened"], ["xtalk.pairs_simulated"],
+    ["xtalk.alignment_sweeps"], and the per-victim governing noise (mV) as
+    the ["xtalk.noise_mv"] histogram. *)
+
+val json_fragment : Rlc_flow.Design.t -> result -> string
+(** Render the result as a JSON object (net names resolved through the
+    design), formatted to sit under the ["xtalk"] key of
+    {!Rlc_flow.Report.json_string} at its indentation.  Deterministic and
+    byte-identical across worker counts. *)
+
+val summary : Rlc_flow.Design.t -> Format.formatter -> result -> unit
+(** Human summary mirroring {!Rlc_flow.Report.summary}: screen rate, then
+    one line per simulated victim with noise and push-out. *)

@@ -89,13 +89,61 @@ let test_to_tree_from_receiver () =
   | Error e -> Alcotest.fail e
   | Ok tree -> check_float ~eps:1e-20 "same caps" 1.3e-12 (Rlc_moments.Tree.total_cap tree)
 
-let test_error_coupling_cap () =
-  let src = "*D_NET n 1.0\n*CAP\n1 a b 3.0\n*END\n" in
+let test_coupling_cap () =
+  (* 4-token *CAP entries are typed cross-net couplings, scaled like
+     grounded caps and kept out of net_total_cap / to_tree. *)
+  let src =
+    "*C_UNIT 1 FF\n*D_NET n 2.0\n*CAP\n1 a 1.0\n2 b 1.0\n3 a x 3.0\n*RES\n1 a b 1.0\n*END\n"
+  in
+  let t = match parse_str src with Ok t -> t | Error e -> failwith e in
+  let net = List.hd t.Rlc_spef.Spef.nets in
+  Alcotest.(check int) "grounded caps" 2 (List.length net.Rlc_spef.Spef.caps);
+  (match net.Rlc_spef.Spef.x_caps with
+  | [ x ] ->
+      Alcotest.(check string) "node1" "a" x.Rlc_spef.Spef.x_node1;
+      Alcotest.(check string) "node2" "x" x.Rlc_spef.Spef.x_node2;
+      check_float ~eps:1e-22 "scaled to SI" 3e-15 x.Rlc_spef.Spef.x_farads
+  | l -> Alcotest.failf "expected 1 coupling, got %d" (List.length l));
+  (* Couplings are not grounded cap: totals unchanged, tree unchanged. *)
+  check_float ~eps:1e-22 "net_total_cap ignores couplings" 2e-15
+    (Rlc_spef.Spef.net_total_cap net);
+  match Rlc_spef.Spef.to_tree net ~root:"a" with
+  | Error e -> Alcotest.fail e
+  | Ok tree ->
+      Alcotest.(check int) "tree nodes" 2 (Rlc_moments.Tree.node_count tree);
+      check_float ~eps:1e-22 "tree cap" 2e-15 (Rlc_moments.Tree.total_cap tree)
+
+let test_coupling_roundtrip () =
+  let src =
+    "*C_UNIT 1 FF\n*D_NET n 2.0\n*CAP\n1 a 1.0\n2 b 1.0\n3 a x 3.0\n*RES\n1 a b 1.0\n*END\n"
+  in
+  let t = match parse_str src with Ok t -> t | Error e -> failwith e in
+  let t' =
+    match parse_str (Rlc_spef.Spef.to_string t) with Ok t -> t | Error e -> failwith e
+  in
+  let x = List.hd (List.hd t'.Rlc_spef.Spef.nets).Rlc_spef.Spef.x_caps in
+  Alcotest.(check string) "node2 survives round-trip" "x" x.Rlc_spef.Spef.x_node2;
+  check_float ~eps:1e-22 "value survives round-trip" 3e-15 x.Rlc_spef.Spef.x_farads
+
+let test_error_duplicate_coupling () =
+  (* The same unordered node pair twice — even split across the two nets'
+     sections — is a modeling error, reported with both lines. *)
+  let src =
+    "*D_NET n 1.0\n*CAP\n1 a 1.0\n2 a x 3.0\n*END\n*D_NET m 1.0\n*CAP\n1 x 1.0\n2 x a 4.0\n*END\n"
+  in
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
   match parse_str src with
-  | Ok _ -> Alcotest.fail "coupling cap accepted"
-  | Error e ->
-      Alcotest.(check bool) "mentions coupling" true
-        (String.length e > 0 && Option.is_some (String.index_opt e 'c'))
+  | Ok _ -> Alcotest.fail "duplicate coupling accepted"
+  | Error e -> Alcotest.(check bool) "mentions duplicate" true (contains e "duplicate")
+
+let test_error_coupling_same_node () =
+  match parse_str "*D_NET n 1.0\n*CAP\n1 a a 3.0\n*END\n" with
+  | Ok _ -> Alcotest.fail "self-coupling accepted"
+  | Error _ -> ()
 
 let test_error_mutual () =
   match parse_str "*D_NET n 1.0\n*K 1 a b c 0.5\n*END\n" with
@@ -254,6 +302,8 @@ let () =
           Alcotest.test_case "header" `Quick test_header;
           Alcotest.test_case "net contents" `Quick test_net_contents;
           Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+          Alcotest.test_case "coupling cap" `Quick test_coupling_cap;
+          Alcotest.test_case "coupling roundtrip" `Quick test_coupling_roundtrip;
           Alcotest.test_case "multi-net out of order" `Quick test_multi_net_out_of_order;
           Alcotest.test_case "duplicate net rejected" `Quick test_duplicate_net_rejected;
           Alcotest.test_case "driver conn" `Quick test_driver_conn;
@@ -268,7 +318,8 @@ let () =
         ] );
       ( "errors",
         [
-          Alcotest.test_case "coupling cap" `Quick test_error_coupling_cap;
+          Alcotest.test_case "duplicate coupling" `Quick test_error_duplicate_coupling;
+          Alcotest.test_case "self coupling" `Quick test_error_coupling_same_node;
           Alcotest.test_case "mutual inductance" `Quick test_error_mutual;
           Alcotest.test_case "unterminated" `Quick test_error_unterminated;
           Alcotest.test_case "resistive loop" `Quick test_error_loop;

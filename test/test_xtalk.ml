@@ -1,0 +1,312 @@
+(* Rlc_xtalk tests: the closed-form screen's limits and calibration, the
+   alignment sweep's monotonicity, violation gating, and the determinism
+   guarantees (byte-identical classification and reports across jobs; the
+   isolated report untouched when the analysis is off). *)
+
+module Design = Rlc_flow.Design
+module Flow = Rlc_flow.Flow
+module Report = Rlc_flow.Report
+module Noise = Rlc_xtalk.Noise
+module Xtalk = Rlc_xtalk.Xtalk
+module Session = Rlc_service.Session
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* dune runtest runs from _build/default/test/ (examples one up, staged by
+   the (deps ...) in test/dune); dune exec from the project root. *)
+let fixture name =
+  if Sys.file_exists (Filename.concat "examples" name) then Filename.concat "examples" name
+  else Filename.concat "../examples" name
+
+let coupled_spef = fixture "bus8_coupled.spef"
+let bus8_spec = fixture "bus8.spec"
+
+let design =
+  lazy
+    (let spef =
+       match Rlc_spef.Spef.parse_res (read_file coupled_spef) with
+       | Ok s -> s
+       | Error e -> failwith (Rlc_errors.Error.message e)
+     in
+     let spec =
+       match Rlc_flow.Spec.parse_res (read_file bus8_spec) with
+       | Ok s -> s
+       | Error e -> failwith (Rlc_errors.Error.message e)
+     in
+     match Design.ingest ~spef ~spec () with Ok d -> d | Error e -> failwith e)
+
+let flow = lazy (Flow.run_cfg Flow.Config.default (Lazy.force design))
+
+(* One shared full-grid analysis; cheap variants re-analyze with their own
+   knobs. *)
+let analyzed = lazy (Xtalk.analyze (Lazy.force flow))
+
+let analyze_with ?(alignments = 1) ?(threshold = Xtalk.Config.default.Xtalk.Config.threshold)
+    ?(budget = Xtalk.Config.default.Xtalk.Config.budget) ?jobs () =
+  Xtalk.analyze
+    ~config:
+      { Xtalk.Config.default with Xtalk.Config.threshold; budget; alignments; jobs }
+    (Lazy.force flow)
+
+(* ------------------------------------------------------- closed form *)
+
+let test_noise_limits () =
+  let vdd = 1.8 and rv = 100. and cv = 400e-15 and cc = 100e-15 in
+  (* Fast aggressor: charge sharing cc / (cv + cc). *)
+  let fast = Noise.estimate ~vdd ~tr:1e-18 ~rv ~cv ~cc ~damping:2. in
+  Alcotest.(check (float 1e-3))
+    "tr -> 0 recovers charge sharing"
+    (vdd *. cc /. (cv +. cc))
+    fast.Noise.rc_peak;
+  (* Slow aggressor: the Devgan-style bound rv * cc / tr. *)
+  let tr = 10e-9 in
+  let slow = Noise.estimate ~vdd ~tr ~rv ~cv ~cc ~damping:2. in
+  Alcotest.(check (float 1e-4))
+    "slow ramp recovers the Devgan bound"
+    (vdd *. rv *. cc /. tr)
+    slow.Noise.rc_peak;
+  (* Overdamped victims get no amplification; underdamped at most 2x. *)
+  Alcotest.(check (float 0.)) "overdamped amplification" 1. slow.Noise.amplification;
+  let ringing = Noise.estimate ~vdd ~tr:50e-12 ~rv ~cv ~cc ~damping:0.05 in
+  Alcotest.(check bool) "underdamped amplifies" true (ringing.Noise.amplification > 1.);
+  Alcotest.(check bool) "amplification clamped" true (ringing.Noise.amplification <= 2.);
+  (* The peak never exceeds the rail. *)
+  let huge = Noise.estimate ~vdd ~tr:1e-15 ~rv:1e5 ~cv:1e-18 ~cc:1e-12 ~damping:0.01 in
+  Alcotest.(check bool) "clamped to vdd" true (huge.Noise.v_peak <= vdd)
+
+let test_noise_monotone_in_cc () =
+  let est cc = (Noise.estimate ~vdd:1.8 ~tr:80e-12 ~rv:150. ~cv:500e-15 ~cc ~damping:1.5).Noise.v_peak in
+  let prev = ref 0. in
+  List.iter
+    (fun cc ->
+      let v = est cc in
+      Alcotest.(check bool) "more coupling, more noise" true (v >= !prev);
+      prev := v)
+    [ 1e-15; 10e-15; 50e-15; 100e-15; 300e-15 ]
+
+let test_noise_bad_args () =
+  let raises f = try ignore (f ()); false with Invalid_argument _ -> true in
+  Alcotest.(check bool) "tr must be positive" true
+    (raises (fun () -> Noise.estimate ~vdd:1.8 ~tr:0. ~rv:100. ~cv:1e-15 ~cc:1e-15 ~damping:1.));
+  Alcotest.(check bool) "cv must be non-negative" true
+    (raises (fun () ->
+         Noise.estimate ~vdd:1.8 ~tr:1e-12 ~rv:100. ~cv:(-1e-15) ~cc:1e-15 ~damping:1.))
+
+(* ------------------------------------------------- screen vs transient *)
+
+(* The calibration claim of Noise's doc: per simulated victim, the summed
+   closed-form estimates of its surviving pairs land within a factor of 3
+   of the coupled-cluster transient peak. *)
+let test_screen_vs_simulation () =
+  let r = Lazy.force analyzed in
+  let checked = ref 0 in
+  Array.iter
+    (fun (v : Xtalk.victim_result) ->
+      match v.Xtalk.noise_sim with
+      | None -> ()
+      | Some sim ->
+          incr checked;
+          let est_sum =
+            List.fold_left
+              (fun acc (p : Xtalk.pair) ->
+                if p.Xtalk.screened then acc else acc +. p.Xtalk.est.Noise.v_peak)
+              0. v.Xtalk.pairs
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "victim %d: sim %.1f mV within 3x of est %.1f mV" v.Xtalk.victim
+               (sim /. 1e-3) (est_sum /. 1e-3))
+            true
+            (sim <= 3. *. est_sum && sim >= est_sum /. 3.))
+    r.Xtalk.victims;
+  Alcotest.(check bool) "at least one victim simulated" true (!checked > 0)
+
+let test_bus_screens_majority () =
+  (* The coupled bus fixture is built so the weak pairs dominate: the
+     screen must dismiss most of them without a transient. *)
+  let r = Lazy.force analyzed in
+  Alcotest.(check int) "pairs" 18 r.Xtalk.stats.Xtalk.n_pairs;
+  Alcotest.(check bool) "majority screened" true
+    (2 * r.Xtalk.stats.Xtalk.n_screened > r.Xtalk.stats.Xtalk.n_pairs);
+  Alcotest.(check int) "screened + simulated = pairs" r.Xtalk.stats.Xtalk.n_pairs
+    (r.Xtalk.stats.Xtalk.n_screened + r.Xtalk.stats.Xtalk.n_simulated)
+
+(* --------------------------------------------------- alignment sweep *)
+
+let test_alignment_monotone () =
+  (* Grids nest (the 2n-1 grid contains every point of the n grid), so the
+     worst coupled delay can only grow with the grid size. *)
+  let worst r =
+    Array.fold_left
+      (fun acc (v : Xtalk.victim_result) ->
+        match v.Xtalk.coupled_delay with Some d -> Float.max acc d | None -> acc)
+      0. r.Xtalk.victims
+  in
+  let d1 = worst (analyze_with ~alignments:1 ()) in
+  let d5 = worst (analyze_with ~alignments:5 ()) in
+  let d9 = worst (Lazy.force analyzed) in
+  Alcotest.(check bool) "5-point grid >= aligned starts" true (d5 >= d1);
+  Alcotest.(check bool) "9-point grid >= 5-point grid" true (d9 >= d5);
+  (* And the push-out is real on this fixture: coupling slows the bus. *)
+  Alcotest.(check bool) "positive push-out" true (d9 > 0.)
+
+let test_pushout_sign () =
+  let r = Lazy.force analyzed in
+  Array.iter
+    (fun (v : Xtalk.victim_result) ->
+      match (v.Xtalk.pushout, v.Xtalk.coupled_delay) with
+      | Some push, Some coupled ->
+          Alcotest.(check (float 1e-15))
+            "pushout = coupled - isolated" (coupled -. v.Xtalk.isolated_delay) push
+      | None, None -> Alcotest.(check bool) "unsimulated victims carry no delay" false v.Xtalk.simulated
+      | _ -> Alcotest.fail "coupled_delay and pushout must be present together")
+    r.Xtalk.victims
+
+(* ------------------------------------------------------------ gating *)
+
+let test_violation_budget () =
+  (* A generous budget passes; a tiny one flags every simulated victim. *)
+  let ok = analyze_with ~budget:1.0 () in
+  Alcotest.(check int) "generous budget: no violations" 0 ok.Xtalk.stats.Xtalk.n_violations;
+  let strict = analyze_with ~budget:0.01 () in
+  Alcotest.(check int) "tiny budget: every simulated victim violates"
+    (Array.to_list strict.Xtalk.victims
+    |> List.filter (fun (v : Xtalk.victim_result) -> v.Xtalk.simulated)
+    |> List.length)
+    strict.Xtalk.stats.Xtalk.n_violations;
+  Array.iter
+    (fun (v : Xtalk.victim_result) ->
+      Alcotest.(check bool) "violation iff simulated under the tiny budget" v.Xtalk.simulated
+        v.Xtalk.violation)
+    strict.Xtalk.victims
+
+let test_threshold_extremes () =
+  (* Threshold above every estimate: nothing simulated, nothing violated. *)
+  let all_screened = analyze_with ~threshold:1.0 () in
+  Alcotest.(check int) "everything screened" all_screened.Xtalk.stats.Xtalk.n_pairs
+    all_screened.Xtalk.stats.Xtalk.n_screened;
+  Alcotest.(check int) "no sims" 0 all_screened.Xtalk.stats.Xtalk.n_simulated;
+  Alcotest.(check int) "no violations" 0 all_screened.Xtalk.stats.Xtalk.n_violations
+
+(* ------------------------------------------------------- determinism *)
+
+let test_deterministic_across_jobs () =
+  let d = Lazy.force design in
+  let f1 = Xtalk.json_fragment d (analyze_with ~alignments:3 ~jobs:1 ()) in
+  let f4 = Xtalk.json_fragment d (analyze_with ~alignments:3 ~jobs:4 ()) in
+  Alcotest.(check string) "fragment byte-identical across jobs" f1 f4
+
+let test_screen_classification_deterministic () =
+  let screened r =
+    Array.to_list r.Xtalk.victims
+    |> List.concat_map (fun (v : Xtalk.victim_result) ->
+           List.map (fun (p : Xtalk.pair) -> (p.Xtalk.victim, p.Xtalk.aggressor, p.Xtalk.screened)) v.Xtalk.pairs)
+  in
+  let a = screened (analyze_with ~jobs:1 ()) in
+  let b = screened (analyze_with ~jobs:4 ()) in
+  Alcotest.(check bool) "classification identical across jobs" true (a = b)
+
+let test_full_report_identical_across_jobs () =
+  (* The whole CLI/daemon payload — flow report plus embedded fragment —
+     through the same Session path the binaries use. *)
+  let report jobs =
+    let config = { Session.Config.default with Session.Config.jobs } in
+    Session.with_session ~config (fun session ->
+        let design =
+          match
+            Session.ingest session ~spef:(read_file coupled_spef) ~spec:(read_file bus8_spec) ()
+          with
+          | Ok d -> d
+          | Error e -> failwith (Rlc_errors.Error.message e)
+        in
+        match
+          Session.flow session
+            ~xtalk:{ Session.default_xtalk with Session.alignments = 3 }
+            design
+        with
+        | Ok o -> o.Session.report
+        | Error e -> failwith (Rlc_errors.Error.message e))
+  in
+  let r1 = report 1 and r4 = report 4 in
+  Alcotest.(check string) "report byte-identical across jobs" r1 r4;
+  Alcotest.(check bool) "fragment embedded" true
+    (let contains hay needle =
+       let nh = String.length hay and nn = String.length needle in
+       let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+       go 0
+     in
+     contains r1 "\"xtalk\"")
+
+let test_off_mode_report_untouched () =
+  (* Without ?xtalk the Session report is exactly the isolated flow's
+     report: ingesting coupling caps must not perturb it. *)
+  Session.with_session (fun session ->
+      let design =
+        match
+          Session.ingest session ~spef:(read_file coupled_spef) ~spec:(read_file bus8_spec) ()
+        with
+        | Ok d -> d
+        | Error e -> failwith (Rlc_errors.Error.message e)
+      in
+      match Session.flow session design with
+      | Error e -> failwith (Rlc_errors.Error.message e)
+      | Ok o ->
+          Alcotest.(check string) "no-xtalk report = plain flow report"
+            (Report.json_string o.Session.result)
+            o.Session.report;
+          Alcotest.(check bool) "no xtalk result attached" true (o.Session.xtalk = None))
+
+(* -------------------------------------------------------------- misc *)
+
+let test_protocol_xtalk_request () =
+  let parse line = Rlc_service.Protocol.parse_request line in
+  (match
+     parse
+       {|{"schema":"rlc-service/1","kind":"xtalk","spef":"x","threshold":0.1,"alignments":5}|}
+   with
+  | Ok { Rlc_service.Protocol.kind = Rlc_service.Protocol.Xtalk (_, x); _ } ->
+      Alcotest.(check (option (float 0.))) "threshold" (Some 0.1) x.Rlc_service.Protocol.x_threshold;
+      Alcotest.(check (option int)) "alignments" (Some 5) x.Rlc_service.Protocol.x_alignments;
+      Alcotest.(check (option (float 0.))) "budget defaults open" None x.Rlc_service.Protocol.x_budget
+  | Ok _ -> Alcotest.fail "parsed to the wrong kind"
+  | Error e -> Alcotest.fail (Rlc_errors.Error.message e));
+  match
+    parse {|{"schema":"rlc-service/1","kind":"xtalk","spef":"x","alignments":0}|}
+  with
+  | Ok _ -> Alcotest.fail "alignments 0 accepted"
+  | Error _ -> ()
+
+let () =
+  Alcotest.run "xtalk"
+    [
+      ( "noise",
+        [
+          Alcotest.test_case "limits" `Quick test_noise_limits;
+          Alcotest.test_case "monotone in cc" `Quick test_noise_monotone_in_cc;
+          Alcotest.test_case "bad arguments" `Quick test_noise_bad_args;
+        ] );
+      ( "screen",
+        [
+          Alcotest.test_case "calibrated vs transient" `Slow test_screen_vs_simulation;
+          Alcotest.test_case "majority screened" `Slow test_bus_screens_majority;
+          Alcotest.test_case "threshold extremes" `Quick test_threshold_extremes;
+        ] );
+      ( "timing",
+        [
+          Alcotest.test_case "alignment monotone" `Slow test_alignment_monotone;
+          Alcotest.test_case "push-out sign" `Slow test_pushout_sign;
+        ] );
+      ( "gating", [ Alcotest.test_case "budget" `Slow test_violation_budget ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "fragment across jobs" `Slow test_deterministic_across_jobs;
+          Alcotest.test_case "classification across jobs" `Slow
+            test_screen_classification_deterministic;
+          Alcotest.test_case "full report across jobs" `Slow test_full_report_identical_across_jobs;
+          Alcotest.test_case "off mode untouched" `Slow test_off_mode_report_untouched;
+        ] );
+      ( "protocol", [ Alcotest.test_case "xtalk request" `Quick test_protocol_xtalk_request ] );
+    ]
