@@ -1070,6 +1070,132 @@ module Sjson = Rlc_service.Json
 let service_request fields =
   Sjson.to_string (Sjson.Obj (("schema", Sjson.Str Rlc_service.Protocol.schema) :: fields))
 
+(* Concurrent serving: the real serve_unix transport under N simultaneous
+   clients.  The listener and the worker domains run for real; clients keep
+   one request in flight each, so sustained req/s and the pooled latency
+   percentiles measure admission + dispatch + solve under contention.  On
+   the benched 1-core box recommended_domain_count is 1, workers stays 1,
+   and the numbers degrade gracefully to a serialization measurement —
+   byte-identity of every served report is asserted either way. *)
+
+type service_conc = {
+  sc_clients : int;
+  sc_requests_per_client : int;
+  sc_workers : int;
+  sc_recommended : int;
+  sc_baseline_rps : float;
+  sc_rps : float;
+  sc_p50_ms : float;
+  sc_p95_ms : float;
+  sc_p99_ms : float;
+  sc_identical : bool;
+}
+
+let service_concurrent_measure ?(smoke = false) ~flow_req session =
+  let recommended = Domain.recommended_domain_count () in
+  let workers = Int.max 1 (Int.min 4 recommended) in
+  let server =
+    Rlc_service.Server.create ~timeout_s:0. ~workers ~queue_capacity:64 session
+  in
+  (* Warm through the transport-free path so every measured request is all
+     cache hits, and remember the report every client must reproduce. *)
+  let warm_resp = fst (Rlc_service.Server.handle_line server flow_req) in
+  let expected =
+    match Sjson.parse warm_resp with
+    | Ok j -> (
+        match Sjson.member "report" j with
+        | Some (Sjson.Str s) -> s
+        | _ -> failwith ("warm flow request failed: " ^ warm_resp))
+    | Error _ -> failwith "warm flow response unparseable"
+  in
+  let path = Filename.temp_file "rlc_bench_service" ".sock" in
+  let listener = Domain.spawn (fun () -> Rlc_service.Server.serve_unix server ~path) in
+  let connect () =
+    (* The serve loop binds after the domain spawns; retry until it has. *)
+    let rec go tries =
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      try
+        Unix.connect fd (Unix.ADDR_UNIX path);
+        fd
+      with Unix.Unix_error ((Unix.ENOENT | Unix.ECONNREFUSED), _, _) when tries > 0 ->
+        Unix.close fd;
+        Unix.sleepf 0.02;
+        go (tries - 1)
+    in
+    go 250
+  in
+  let run_client n =
+    let fd = connect () in
+    let ic = Unix.in_channel_of_descr fd and oc = Unix.out_channel_of_descr fd in
+    let lat = Array.make n 0. in
+    let ok = ref true in
+    for i = 0 to n - 1 do
+      let t0 = Unix.gettimeofday () in
+      output_string oc flow_req;
+      output_char oc '\n';
+      flush oc;
+      let resp = input_line ic in
+      lat.(i) <- Unix.gettimeofday () -. t0;
+      match Sjson.parse resp with
+      | Ok j -> (
+          match Sjson.member "report" j with
+          | Some (Sjson.Str s) -> if not (String.equal s expected) then ok := false
+          | _ -> ok := false)
+      | Error _ -> ok := false
+    done;
+    close_out_noerr oc;
+    close_in_noerr ic;
+    (lat, !ok)
+  in
+  let requests = if smoke then 4 else 16 in
+  let clients = if smoke then 2 else 4 in
+  let t0 = Unix.gettimeofday () in
+  let _, base_ok = run_client requests in
+  let baseline_rps = float_of_int requests /. (Unix.gettimeofday () -. t0) in
+  let t0 = Unix.gettimeofday () in
+  let results =
+    List.map Domain.join
+      (List.init clients (fun _ -> Domain.spawn (fun () -> run_client requests)))
+  in
+  let total_s = Unix.gettimeofday () -. t0 in
+  Rlc_service.Server.stop server;
+  Domain.join listener;
+  let identical = base_ok && List.for_all snd results in
+  if not identical then failwith "concurrent serving: reports diverged from the warm report";
+  let lats = Array.concat (List.map fst results) in
+  Array.sort Float.compare lats;
+  let pct p =
+    let n = Array.length lats in
+    lats.(Int.min (n - 1) (int_of_float (float_of_int n *. p /. 100.)))
+  in
+  {
+    sc_clients = clients;
+    sc_requests_per_client = requests;
+    sc_workers = workers;
+    sc_recommended = recommended;
+    sc_baseline_rps = baseline_rps;
+    sc_rps = float_of_int (clients * requests) /. total_s;
+    sc_p50_ms = 1e3 *. pct 50.;
+    sc_p95_ms = 1e3 *. pct 95.;
+    sc_p99_ms = 1e3 *. pct 99.;
+    sc_identical = identical;
+  }
+
+let print_service_concurrent sc =
+  Format.printf
+    "@.concurrent socket serving (%d clients x %d requests, %d worker%s, %d recommended \
+     domain%s):@."
+    sc.sc_clients sc.sc_requests_per_client sc.sc_workers
+    (if sc.sc_workers = 1 then "" else "s")
+    sc.sc_recommended
+    (if sc.sc_recommended = 1 then "" else "s");
+  Format.printf "  sustained : %8.0f requests/s  (1 client: %.0f/s, %.2fx)@." sc.sc_rps
+    sc.sc_baseline_rps
+    (sc.sc_rps /. Float.max 1e-9 sc.sc_baseline_rps);
+  Format.printf "  latency   : p50 %.2f ms   p95 %.2f ms   p99 %.2f ms@." sc.sc_p50_ms
+    sc.sc_p95_ms sc.sc_p99_ms;
+  Format.printf "  reports   : byte-identical across all clients@."
+
 let service_bench ?(smoke = false) ?json () =
   header "Service: resident daemon, cold vs warm flow requests";
   let bits = if smoke then 4 else 16 in
@@ -1109,6 +1235,8 @@ let service_bench ?(smoke = false) ?json () =
   Format.printf "  warm : %8.2f ms/request  (%d misses, %.0f requests/s, %.1fx vs cold)@."
     (1e3 *. warm_s) warm_misses (1. /. warm_s) (cold_s /. warm_s);
   Format.printf "  ping : %8.1f us/request  (%.0f requests/s)@." (1e6 *. ping_s) (1. /. ping_s);
+  let conc = service_concurrent_measure ~smoke ~flow_req session in
+  print_service_concurrent conc;
   match json with
   | None -> ()
   | Some path ->
@@ -1127,9 +1255,18 @@ let service_bench ?(smoke = false) ?json () =
         (fl (cold_s /. warm_s))
         (fl (1. /. warm_s))
         cold_misses warm_misses;
-      Printf.bprintf buf "  \"ping\": {\"us_per_request\": %s, \"requests_per_sec\": %s}\n"
+      Printf.bprintf buf "  \"ping\": {\"us_per_request\": %s, \"requests_per_sec\": %s},\n"
         (fl (1e6 *. ping_s))
         (fl (1. /. ping_s));
+      Printf.bprintf buf
+        "  \"concurrent\": {\"clients\": %d, \"requests_per_client\": %d, \"workers\": %d, \
+         \"recommended_domains\": %d, \"baseline_rps\": %s, \"rps\": %s, \
+         \"speedup_vs_1_client\": %s, \"p50_ms\": %s, \"p95_ms\": %s, \"p99_ms\": %s, \
+         \"reports_identical\": %b}\n"
+        conc.sc_clients conc.sc_requests_per_client conc.sc_workers conc.sc_recommended
+        (fl conc.sc_baseline_rps) (fl conc.sc_rps)
+        (fl (conc.sc_rps /. Float.max 1e-9 conc.sc_baseline_rps))
+        (fl conc.sc_p50_ms) (fl conc.sc_p95_ms) (fl conc.sc_p99_ms) conc.sc_identical;
       Printf.bprintf buf "}\n";
       let oc = open_out path in
       output_string oc (Buffer.contents buf);
@@ -1285,7 +1422,7 @@ let () =
   let all =
     [
       "table1"; "fig1"; "fig3"; "fig4"; "fig5"; "fig6"; "fig7"; "ablation"; "flow"; "engine";
-      "service"; "xtalk"; "perf";
+      "service"; "service_concurrent"; "xtalk"; "perf";
     ]
   in
   (* Flags: --jobs N (table1/fig7/engine fan out over a domain pool),
@@ -1348,6 +1485,23 @@ let () =
             | None -> None
           in
           service_bench ~smoke:!smoke ?json ()
+      | "service_concurrent" ->
+          (* Just the concurrent serving measurement, no JSON artifact —
+             the `service` group embeds the same numbers in its file. *)
+          header "Service: concurrent socket serving";
+          let bits = if !smoke then 4 else 16 in
+          let spef_src, spec_src = flow_sources ~bits in
+          let flow_req =
+            service_request
+              [
+                ("kind", Sjson.Str "flow");
+                ("spef", Sjson.Str spef_src);
+                ("spec", Sjson.Str spec_src);
+              ]
+          in
+          Rlc_service.Session.with_session (fun session ->
+              print_service_concurrent
+                (service_concurrent_measure ~smoke:!smoke ~flow_req session))
       | "xtalk" ->
           (* Like service: never clobber the engine group's --json path. *)
           let json =

@@ -488,7 +488,7 @@ let flow_cmd =
 (* -------------------------------------------------------------- serve *)
 
 let serve_cmd =
-  let run socket jobs timeout_ms max_bytes warm verbose trace metrics_json =
+  let run socket jobs workers queue backlog timeout_ms max_bytes warm verbose trace metrics_json =
     if verbose then begin
       Logs.set_reporter (Logs.format_reporter ());
       Logs.set_level (Some Logs.Info)
@@ -506,7 +506,7 @@ let serve_cmd =
             let server =
               Rlc_service.Server.create
                 ~timeout_s:(float_of_int timeout_ms /. 1000.)
-                ~max_request_bytes:max_bytes session
+                ~max_request_bytes:max_bytes ~workers ~queue_capacity:queue ?backlog session
             in
             (match socket with
             | None -> Rlc_service.Server.serve_channels server stdin stdout
@@ -528,8 +528,33 @@ let serve_cmd =
       value & opt int 1
       & info [ "jobs" ] ~docv:"N"
           ~doc:
-            "Worker domains of the resident pool.  The default 1 keeps solves in the serving \
-             domain so the per-request timeout can interrupt them.")
+            "Worker domains of the resident solve pool shared by all requests (per-net \
+             fan-out inside one flow).  Deadline-based request budgets work at any value.")
+  in
+  let workers_arg =
+    Arg.(
+      value
+      & opt int Rlc_service.Server.default_workers
+      & info [ "workers" ] ~docv:"N"
+          ~doc:
+            "Executor domains draining the admission queue in socket mode — the number of \
+             requests served concurrently.  Pipe mode is always serial.")
+  in
+  let queue_arg =
+    Arg.(
+      value
+      & opt int Rlc_service.Server.default_queue_capacity
+      & info [ "queue" ] ~docv:"N"
+          ~doc:
+            "Admission-queue capacity in socket mode.  When the queue is full, new requests \
+             are rejected immediately with the typed timeout error instead of waiting.")
+  in
+  let backlog_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "backlog" ] ~docv:"N"
+          ~doc:"Kernel listen backlog in socket mode; defaults to the admission-queue capacity.")
   in
   let timeout_arg =
     Arg.(
@@ -563,8 +588,8 @@ let serve_cmd =
           result cache, a resident domain pool.  Kinds: flow, sweep_case, screen, ping, \
           stats, shutdown.")
     Term.(
-      const run $ socket_arg $ jobs_arg $ timeout_arg $ max_bytes_arg $ warm_arg $ verbose_arg
-      $ trace_arg $ metrics_json_arg)
+      const run $ socket_arg $ jobs_arg $ workers_arg $ queue_arg $ backlog_arg $ timeout_arg
+      $ max_bytes_arg $ warm_arg $ verbose_arg $ trace_arg $ metrics_json_arg)
 
 (* --------------------------------------------------------------- spef *)
 

@@ -1,8 +1,16 @@
 open Rlc_num
 module Waveform = Rlc_waveform.Waveform
 module Obs = Rlc_obs.Obs
+module Deadline = Rlc_errors.Deadline
 
 type integration = Trapezoidal | Backward_euler
+
+(* Per-request deadline observation points: every step loop polls the
+   ambient deadline once per [deadline_stride] steps.  With no deadline
+   installed a poll is one domain-local read and a float compare, so the
+   stride keeps the cost unmeasurable while still interrupting a runaway
+   transient within a few hundred steps of its budget expiring. *)
+let deadline_stride = 256
 
 type options = {
   dt : float;
@@ -960,7 +968,10 @@ let transient_adaptive ~obs ~opts ~record_nodes (a : adaptive) netlist =
   let slack = 0.5 *. a.dt_min in
   let n_bps = Array.length bps in
   let step_t0 = Obs.start obs in
+  let dl_tick = ref 0 in
   while !bpi < n_bps do
+    incr dl_tick;
+    if !dl_tick land (deadline_stride - 1) = 0 then Deadline.check_ambient ();
     let bp = bps.(!bpi) in
     let rung_h = ldexp a.dt_min !k in
     let clamped = !t +. rung_h >= bp -. slack in
@@ -1089,6 +1100,7 @@ let transient ?(obs = Obs.null) ?options ?record_nodes ?(reassemble_per_step = f
       let n_coupled = Array.length c.coupled in
       let has_isources = Array.length c.isources > 0 in
       for step = 1 to n_steps do
+        if step land (deadline_stride - 1) = 0 then Deadline.check_ambient ();
         let t = times_.(step) in
         for i = 0 to n_forced - 1 do
           let n, fsrc = c.forced.(i) in
@@ -1109,6 +1121,7 @@ let transient ?(obs = Obs.null) ?options ?record_nodes ?(reassemble_per_step = f
   | _ ->
       let step_fn = if reassemble_per_step then rebuild_step else fast_step in
       for step = 1 to n_steps do
+        if step land (deadline_stride - 1) = 0 then Deadline.check_ambient ();
         let t = times_.(step) in
         update_forced c vnode t;
         (* Coupled-group history sources for this step (pre-step state),

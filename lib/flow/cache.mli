@@ -11,11 +11,23 @@
 
     On a concurrent miss both domains compute (the solve runs outside the
     lock); the first insert wins and the duplicate result — equal by
-    construction — is dropped. *)
+    construction — is dropped.
+
+    The cache is {e sharded}: keys hash-partition across [shards]
+    independent tables, each behind its own mutex, so concurrent service
+    requests sharing one session cache contend only on same-shard keys
+    instead of one global lock.  Hit/miss/length queries aggregate over
+    shards; {!shard_stats} exposes the per-shard breakdown (the sums
+    always reconcile with {!hits}/{!misses}/{!length}). *)
 
 type 'a t
 
-val create : unit -> 'a t
+val default_shards : int
+(** 16 — comfortably more shards than plausible worker domains. *)
+
+val create : ?shards:int -> unit -> 'a t
+(** [shards] (default {!default_shards}) is clamped to at least 1 and
+    rounded up to a power of two. *)
 
 val find_or_add : 'a t -> string -> (unit -> 'a) -> 'a * bool
 (** [find_or_add t key compute] returns [(value, hit)].  [compute] runs
@@ -24,6 +36,16 @@ val find_or_add : 'a t -> string -> (unit -> 'a) -> 'a * bool
 val hits : 'a t -> int
 val misses : 'a t -> int
 val length : 'a t -> int
+
+val shards : 'a t -> int
+(** The shard count actually in use (power of two). *)
+
+type shard_stat = { s_length : int; s_hits : int; s_misses : int }
+
+val shard_stats : 'a t -> shard_stat array
+(** Per-shard (length, hits, misses), index-aligned with the partition;
+    each field sums to the corresponding aggregate query. *)
+
 val clear : 'a t -> unit
 
 (** {2 Canonicalization helpers} *)

@@ -7,6 +7,7 @@ module Pade = Rlc_moments.Pade
 module Sta = Rlc_sta.Sta
 module Obs = Rlc_obs.Obs
 module Progress = Rlc_obs.Progress
+module Deadline = Rlc_errors.Deadline
 
 let src = Logs.Src.create "rlc.flow" ~doc:"parallel full-design timing flow"
 
@@ -44,7 +45,7 @@ type stats = {
 
 type result = { design : Design.t; results : net_result array; stats : stats }
 
-let create_cache : unit -> solve Cache.t = Cache.create
+let create_cache () : solve Cache.t = Cache.create ()
 
 (* The whole knob surface of a flow run as one value, so embedders (CLI,
    bench, the service daemon's [Session]) pass configuration around and
@@ -61,6 +62,7 @@ module Config = struct
     obs : Obs.t;
     progress : Progress.t option;
     pool : Pool.t option;
+    deadline : Deadline.t option;
   }
 
   type t = flow_config
@@ -77,6 +79,7 @@ module Config = struct
       obs = Obs.null;
       progress = None;
       pool = None;
+      deadline = None;
     }
 
   let with_jobs jobs t = { t with jobs = Some jobs }
@@ -157,7 +160,7 @@ let solve_net ?obs ?adaptive ~tech ~dt ~edge ~size c =
   in
   { model; stage_delay; far_slew; iterations = Driver_model.total_iterations model }
 
-let run_cfg (cfg : Config.t) (design : Design.t) =
+let run_cfg_inner (cfg : Config.t) (design : Design.t) =
   let obs = cfg.Config.obs
   and progress = cfg.Config.progress
   and dt = cfg.Config.dt
@@ -207,6 +210,7 @@ let run_cfg (cfg : Config.t) (design : Design.t) =
       with_run_pool (fun pool ->
           Array.iteri
             (fun lvl ids ->
+              Deadline.check_ambient ();
               let level_t0 = Obs.start obs in
               (* Input slew and edge for this level are fixed by the
                  previous level (or the spec), so prepare them serially. *)
@@ -227,6 +231,10 @@ let run_cfg (cfg : Config.t) (design : Design.t) =
               in
               let solved =
                 Pool.map pool (Array.length ids) (fun k ->
+                    (* Observation point: a flow whose budget expired stops
+                       before the next solve, even when every remaining net
+                       would be a cheap cache hit. *)
+                    Deadline.check_ambient ();
                     let net, edge, input_slew = jobs_for_level.(k) in
                     let net_t0 = Obs.start obs in
                     let c =
@@ -331,6 +339,15 @@ let run_cfg (cfg : Config.t) (design : Design.t) =
         stats.iterations_spent stats.iterations_total);
   { design; results; stats }
 
+(* The request deadline (when any) is installed ambiently for the whole
+   run: the serial phases check it at level boundaries, worker domains
+   inherit it through the pool's batch snapshot, and the replay engine
+   polls it inside its step loops. *)
+let run_cfg (cfg : Config.t) (design : Design.t) =
+  match cfg.Config.deadline with
+  | None -> run_cfg_inner cfg design
+  | Some d -> Deadline.with_ambient d (fun () -> run_cfg_inner cfg design)
+
 let run ?(obs = Obs.null) ?progress ?(dt = 0.5e-12) ?jobs ?(use_cache = true) ?cache
     ?(quantize_digits = 9) ?(slew_grid = 0.1e-12) design =
   run_cfg
@@ -345,6 +362,7 @@ let run ?(obs = Obs.null) ?progress ?(dt = 0.5e-12) ?jobs ?(use_cache = true) ?c
       quantize_digits;
       slew_grid;
       pool = None;
+      deadline = None;
     }
     design
 

@@ -52,8 +52,9 @@ type result = { design : Design.t; results : net_result array; stats : stats }
 
 val create_cache : unit -> solve Cache.t
 (** A cache that can be shared across {!run_cfg} invocations (warm
-    re-timing), including across requests of a resident
-    [Rlc_service.Session]. *)
+    re-timing), including across {e concurrent} requests of a resident
+    [Rlc_service.Session] — it is sharded ({!Cache.create}) so parallel
+    requests contend per shard, not on one global lock. *)
 
 (** The whole knob surface of a flow run as one record, replacing the old
     eight-optional-argument {!run} convention.  Build configurations with
@@ -82,6 +83,15 @@ module Config : sig
         (** borrow a resident pool: the run uses it as-is and leaves it
             running (the service daemon's warm pool).  [None] (default)
             creates and shuts down a per-run pool of [jobs] domains. *)
+    deadline : Rlc_errors.Deadline.t option;
+        (** per-request wall-clock budget; when set, the run installs it
+            as the ambient deadline for its whole extent — serial phases
+            check it at level boundaries, pooled jobs inherit it across
+            domains (the pool snapshots the publisher's ambient deadline
+            per batch), and the replay engine polls it inside its step
+            loops.  Expiry raises {!Rlc_errors.Deadline.Expired}; the
+            service maps that onto the wire-stable [Timeout] error.
+            [None] (default) disables all checks. *)
   }
 
   type t = flow_config

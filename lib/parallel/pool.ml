@@ -4,6 +4,9 @@ type batch = {
   next : int Atomic.t;
   remaining : int Atomic.t;
   published : float;  (** [Obs.now] at publication, for queue-wait stats *)
+  deadline : Rlc_errors.Deadline.t;
+      (** the publisher's ambient deadline, installed around each worker's
+          drain so fan-out inherits the request budget across domains *)
 }
 
 type t = {
@@ -11,8 +14,9 @@ type t = {
   obs : Rlc_obs.Obs.t;
   mutex : Mutex.t;
   cond : Condition.t;
-  mutable batch : (int * batch) option;  (** (sequence number, batch) *)
-  mutable seq : int;
+  mutable active : batch list;
+      (** batches that may still have unclaimed jobs, oldest first; masters
+          append on publish, workers and masters prune exhausted entries *)
   mutable stop : bool;
   mutable domains : unit Domain.t list;
 }
@@ -38,29 +42,36 @@ let drain t b =
   in
   go ()
 
+(* Workers serve whichever active batch still has unclaimed jobs (oldest
+   first, so concurrent masters are served fairly rather than
+   last-publisher-wins).  The single-batch-slot design this replaces
+   could not host two concurrent [map] calls: the second publication
+   overwrote the first and workers only compared sequence numbers. *)
 let worker t () =
-  let rec loop last_seq =
+  let rec loop () =
     Mutex.lock t.mutex;
     let rec wait () =
       if t.stop then None
-      else
-        match t.batch with
-        | Some (seq, b) when seq <> last_seq -> Some (seq, b)
-        | _ ->
+      else begin
+        t.active <- List.filter (fun b -> Atomic.get b.next < b.n) t.active;
+        match t.active with
+        | b :: _ -> Some b
+        | [] ->
             Condition.wait t.cond t.mutex;
             wait ()
+      end
     in
     match wait () with
     | None -> Mutex.unlock t.mutex
-    | Some (seq, b) ->
+    | Some b ->
         Mutex.unlock t.mutex;
         if Rlc_obs.Obs.enabled t.obs then
           Rlc_obs.Obs.observe t.obs "pool.queue_wait_s"
             (Float.max 0. (Rlc_obs.Obs.now () -. b.published));
-        drain t b;
-        loop seq
+        Rlc_errors.Deadline.with_ambient b.deadline (fun () -> drain t b);
+        loop ()
   in
-  loop 0
+  loop ()
 
 let create ?(obs = Rlc_obs.Obs.null) ~jobs () =
   let n_jobs = Int.max 1 jobs in
@@ -70,8 +81,7 @@ let create ?(obs = Rlc_obs.Obs.null) ~jobs () =
       obs;
       mutex = Mutex.create ();
       cond = Condition.create ();
-      batch = None;
-      seq = 0;
+      active = [];
       stop = false;
       domains = [];
     }
@@ -102,19 +112,22 @@ let map t n f =
           next = Atomic.make 0;
           remaining = Atomic.make n;
           published = (if Rlc_obs.Obs.enabled t.obs then Rlc_obs.Obs.now () else 0.);
+          deadline = Rlc_errors.Deadline.ambient ();
         }
       in
       Mutex.lock t.mutex;
-      t.seq <- t.seq + 1;
-      t.batch <- Some (t.seq, b);
+      t.active <- t.active @ [ b ];
       Condition.broadcast t.cond;
       Mutex.unlock t.mutex;
+      (* The master drains its own batch only: helping another master's
+         batch here would block this map on foreign work and leak that
+         request's ambient deadline into this one. *)
       drain t b;
       Mutex.lock t.mutex;
       while Atomic.get b.remaining > 0 do
         Condition.wait t.cond t.mutex
       done;
-      t.batch <- None;
+      t.active <- List.filter (fun b' -> b' != b) t.active;
       Mutex.unlock t.mutex
     end;
     Rlc_obs.Obs.finish t.obs

@@ -7,7 +7,16 @@
     regardless of completion order (determinism of the flow reports does not
     depend on the pool).  The calling domain participates in every batch, so
     [create ~jobs:n] spawns [n - 1] domains and [jobs = 1] spawns none and
-    runs batches inline. *)
+    runs batches inline.
+
+    {b Concurrent masters.}  A shared pool (the service daemon's resident
+    pool) may receive [map] calls from several domains at once: each call
+    publishes its own batch onto an active list, workers serve the oldest
+    batch that still has unclaimed jobs, and every master drains and waits
+    on its own batch only.  Each batch also snapshots the publishing
+    domain's ambient {!Rlc_errors.Deadline}, which workers install around
+    their drain — a per-request budget therefore follows the request's
+    jobs across domains without any signature change. *)
 
 type t
 

@@ -1,16 +1,31 @@
 (* The accept/dispatch loop around a Session.
 
-   One request line in, one response line out, in order.  Requests are
-   isolated: any failure — malformed JSON, a bad design, an exception out
-   of the numeric layers, a blown time budget — produces a typed error
-   response and the daemon keeps serving.  The wall-clock budget uses
-   ITIMER_REAL + SIGALRM raising a private exception, armed only for the
-   duration of the dispatch; with the session's default [jobs = 1] the
-   whole solve runs in this domain, where the signal can interrupt it. *)
+   One request line in, one response line out, in order per connection.
+   Requests are isolated: any failure — malformed JSON, a bad design, an
+   exception out of the numeric layers, a blown time budget — produces a
+   typed error response and the daemon keeps serving.
 
-module Flow = Rlc_flow.Flow
+   The Unix-socket transport is concurrent: the listener multiplexes all
+   connections through one [select] loop, decodes request lines, and
+   admits them into a bounded queue; worker domains drain the queue, run
+   the session work, and write each response back on its originating
+   connection.  A connection has at most one request in flight at a time
+   (its reads are paused until the response is written), which preserves
+   the per-connection request/response ordering the protocol promises.
+   When the queue is full, admission fails fast with the wire-stable
+   [Timeout] error instead of queueing unbounded latency.
+
+   Request budgets are per-request [Rlc_errors.Deadline] values — checked
+   on queue exit (entries that expired while waiting are answered without
+   burning a worker), installed ambiently around dispatch, threaded into
+   [Flow.Config.deadline], and polled by the engine's step loops.  The
+   old ITIMER_REAL+SIGALRM mechanism was process-global (one timer, one
+   signal) and could not have coexisted with concurrent requests. *)
+
 module Evaluate = Rlc_ceff.Evaluate
 module Units = Rlc_num.Units
+module Deadline = Rlc_errors.Deadline
+module Obs = Rlc_obs.Obs
 
 let src = Logs.Src.create "rlc.service" ~doc:"timing daemon"
 
@@ -20,59 +35,57 @@ type t = {
   session : Session.t;
   timeout_s : float;
   max_request_bytes : int;
+  workers : int;
+  queue_capacity : int;
+  backlog : int;
   stop : bool Atomic.t;
+  wake : Unix.file_descr option Atomic.t;
+      (** write end of the listener's self-pipe while [serve_unix] runs;
+          [stop] and the worker domains poke it to interrupt [select] *)
+  queue_depth : int Atomic.t;  (** admission-queue population, for stats *)
 }
 
 let default_timeout_s = 60.
-
-(* ------------------------------------------------------------ timeout *)
-
-exception Timed_out
-
-(* The handler fires only while [armed]: a stray alarm delivered after the
-   guarded region (the timer is cleared, but a signal can already be
-   pending) must not kill an innocent bystander. *)
-let armed = Atomic.make false
-
-let install_sigalrm () =
-  try
-    Sys.set_signal Sys.sigalrm
-      (Sys.Signal_handle (fun _ -> if Atomic.get armed then raise Timed_out))
-  with Invalid_argument _ -> ()
+let default_workers = 1
+let default_queue_capacity = 64
 
 let create ?(timeout_s = default_timeout_s) ?(max_request_bytes = Protocol.default_max_bytes)
-    session =
-  (* Installed here so that driving {!handle_line} directly (tests, the
-     bench) is safe: an armed alarm must never hit the default action. *)
-  install_sigalrm ();
-  { session; timeout_s; max_request_bytes; stop = Atomic.make false }
+    ?(workers = default_workers) ?(queue_capacity = default_queue_capacity) ?backlog session =
+  let queue_capacity = Int.max 1 queue_capacity in
+  {
+    session;
+    timeout_s;
+    max_request_bytes;
+    workers = Int.max 1 workers;
+    queue_capacity;
+    backlog = Int.max 1 (Option.value backlog ~default:queue_capacity);
+    stop = Atomic.make false;
+    wake = Atomic.make None;
+    queue_depth = Atomic.make 0;
+  }
 
-let stop t = Atomic.set t.stop true
+let obs t = (Session.config t.session).Session.Config.obs
+let wake_byte = Bytes.make 1 '!'
+
+let wake_listener t =
+  match Atomic.get t.wake with
+  | None -> ()
+  | Some fd -> ( try ignore (Unix.write fd wake_byte 0 1) with Unix.Unix_error _ -> ())
+
+let stop t =
+  Atomic.set t.stop true;
+  wake_listener t
+
 let stopped t = Atomic.get t.stop
 
 let install_signals t =
-  install_sigalrm ();
-  (* Graceful drain: finish the in-flight request, then exit the loop. *)
-  (try Sys.set_signal Sys.sigterm (Sys.Signal_handle (fun _ -> Atomic.set t.stop true))
+  (* Graceful drain: finish in-flight requests, then exit the loop; the
+     wake byte kicks the listener out of its select. *)
+  (try Sys.set_signal Sys.sigterm (Sys.Signal_handle (fun _ -> stop t))
    with Invalid_argument _ -> ());
   (* A client vanishing mid-response must be an EPIPE we can catch, not a
      process kill. *)
   try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ()
-
-let set_timer seconds =
-  ignore (Unix.setitimer Unix.ITIMER_REAL { Unix.it_value = seconds; it_interval = 0. })
-
-let with_timeout budget f =
-  if budget <= 0. || budget = Float.infinity then f ()
-  else begin
-    Atomic.set armed true;
-    set_timer budget;
-    Fun.protect
-      ~finally:(fun () ->
-        Atomic.set armed false;
-        set_timer 0.)
-      f
-  end
 
 (* ----------------------------------------------------------- dispatch *)
 
@@ -115,17 +128,17 @@ let shape_name (m : Rlc_ceff.Driver_model.t) =
   | Rlc_ceff.Driver_model.Two_ramp _ -> "two_ramp"
 
 let flow_fields (o : Session.flow_outcome) =
-  let s = o.Session.result.Flow.stats in
+  let s = o.Session.result.Rlc_flow.Flow.stats in
   [
     ("report", Json.Str o.Session.report);
-    ("nets", Json.Int s.Flow.n_nets);
-    ("levels", Json.Int s.Flow.n_levels);
-    ("inductive", Json.Int s.Flow.n_inductive);
-    ("two_ramp", Json.Int s.Flow.n_two_ramp);
-    ("cache_hits", Json.Int s.Flow.cache_hits);
-    ("cache_misses", Json.Int s.Flow.cache_misses);
-    ("iterations_total", Json.Int s.Flow.iterations_total);
-    ("iterations_spent", Json.Int s.Flow.iterations_spent);
+    ("nets", Json.Int s.Rlc_flow.Flow.n_nets);
+    ("levels", Json.Int s.Rlc_flow.Flow.n_levels);
+    ("inductive", Json.Int s.Rlc_flow.Flow.n_inductive);
+    ("two_ramp", Json.Int s.Rlc_flow.Flow.n_two_ramp);
+    ("cache_hits", Json.Int s.Rlc_flow.Flow.cache_hits);
+    ("cache_misses", Json.Int s.Rlc_flow.Flow.cache_misses);
+    ("iterations_total", Json.Int s.Rlc_flow.Flow.iterations_total);
+    ("iterations_spent", Json.Int s.Rlc_flow.Flow.iterations_spent);
   ]
   @
   match o.Session.xtalk with
@@ -151,7 +164,7 @@ let case_of t (c : Protocol.case_req) =
 (* Shared by the "flow" and "xtalk" kinds — one code path, so an xtalk
    request's report embeds the fragment and everything else stays
    byte-identical to a plain flow. *)
-let run_flow t ?xtalk (f : Protocol.flow_req) =
+let run_flow t ~deadline ?xtalk (f : Protocol.flow_req) =
   let ( let* ) = Result.bind in
   let* spef, spef_name = resolve "spef_file" f.Protocol.f_spef in
   let* spec, spec_name =
@@ -171,11 +184,11 @@ let run_flow t ?xtalk (f : Protocol.flow_req) =
       ?required:(Option.map Units.ps f.Protocol.f_required_ps)
       ?use_cache:f.Protocol.f_use_cache
       ?dt:(Option.map Units.ps f.Protocol.f_dt_ps)
-      ?xtalk design
+      ?xtalk ~deadline design
   in
   Ok (flow_fields outcome)
 
-let dispatch t (kind : Protocol.kind) :
+let dispatch t ~deadline (kind : Protocol.kind) :
     ((string * Json.t) list, Error.t) result * [ `Continue | `Stop ] =
   let ( let* ) = Result.bind in
   match kind with
@@ -194,10 +207,17 @@ let dispatch t (kind : Protocol.kind) :
                   ("hits", Json.Int s.Session.cache_hits);
                   ("misses", Json.Int s.Session.cache_misses);
                 ] );
+            ( "server",
+              Json.Obj
+                [
+                  ("workers", Json.Int t.workers);
+                  ("queue_capacity", Json.Int t.queue_capacity);
+                  ("queue_depth", Json.Int (Atomic.get t.queue_depth));
+                ] );
           ],
         `Continue )
   | Protocol.Shutdown -> (Ok [ ("stopping", Json.Bool true) ], `Stop)
-  | Protocol.Flow f -> (run_flow t f, `Continue)
+  | Protocol.Flow f -> (run_flow t ~deadline f, `Continue)
   | Protocol.Xtalk (f, x) ->
       let xtalk =
         {
@@ -209,7 +229,7 @@ let dispatch t (kind : Protocol.kind) :
               ~default:Session.default_xtalk.Session.alignments;
         }
       in
-      (run_flow t ~xtalk f, `Continue)
+      (run_flow t ~deadline ~xtalk f, `Continue)
   | Protocol.Sweep_case c ->
       ( (let* case = case_of t c in
          let* cmp = Session.sweep_case t.session ?dt:(Option.map Units.ps c.Protocol.c_dt_ps) case in
@@ -232,26 +252,24 @@ let dispatch t (kind : Protocol.kind) :
            @ [ ("shape", Json.Str (shape_name model)) ])),
         `Continue )
 
-let handle_line t line =
-  let parsed = Protocol.parse_request ~max_bytes:t.max_request_bytes line in
-  let id = match parsed with Ok req -> req.Protocol.id | Error _ -> None in
+let budget_of t (req : Protocol.request) =
+  match req.Protocol.timeout_ms with
+  | Some ms -> float_of_int ms /. 1000.
+  | None -> t.timeout_s
+
+(* Serve one decoded request under its deadline.  Per-request isolation:
+   whatever escapes — an expired deadline from any depth of the stack, an
+   unexpected exception — becomes a typed error response and the caller
+   keeps serving.  Never raises. *)
+let respond t ~deadline (req : Protocol.request) =
+  let id = req.Protocol.id in
   let outcome, control =
-    match parsed with
-    | Error e -> (Error e, `Continue)
-    | Ok req ->
-        let budget =
-          match req.Protocol.timeout_ms with
-          | Some ms -> float_of_int ms /. 1000.
-          | None -> t.timeout_s
-        in
-        (* Per-request isolation: whatever escapes — the private timeout,
-           an unexpected exception — becomes a typed error response and the
-           loop continues. *)
-        (match with_timeout budget (fun () -> dispatch t req.Protocol.kind) with
-        | outcome, control -> (outcome, control)
-        | exception Timed_out -> (Error (Error.Timeout budget), `Continue)
-        | exception Fun.Finally_raised Timed_out -> (Error (Error.Timeout budget), `Continue)
-        | exception e -> (Error (Error.of_exn e), `Continue))
+    match Deadline.with_ambient deadline (fun () -> dispatch t ~deadline req.Protocol.kind) with
+    | v -> v
+    | exception Deadline.Expired budget -> (Error (Error.Timeout budget), `Continue)
+    | exception Fun.Finally_raised (Deadline.Expired budget) ->
+        (Error (Error.Timeout budget), `Continue)
+    | exception e -> (Error (Error.of_exn e), `Continue)
   in
   match outcome with
   | Ok fields ->
@@ -259,10 +277,19 @@ let handle_line t line =
       (Protocol.ok_response ?id fields, control)
   | Error e ->
       Session.note t.session ~ok:false;
+      (match e with Error.Timeout _ -> Obs.incr (obs t) "service.timeouts" | _ -> ());
       Log.info (fun m -> m "request failed: %s" (Error.to_string e));
       (Protocol.error_response ?id e, `Continue)
 
-(* -------------------------------------------------------------- loops *)
+let handle_line t line =
+  match Protocol.parse_request ~max_bytes:t.max_request_bytes line with
+  | Error e ->
+      Session.note t.session ~ok:false;
+      Log.info (fun m -> m "request failed: %s" (Error.to_string e));
+      (Protocol.error_response e, `Continue)
+  | Ok req -> respond t ~deadline:(Deadline.start (budget_of t req)) req
+
+(* ---------------------------------------------------------- pipe mode *)
 
 let serve_channels t ic oc =
   install_signals t;
@@ -283,29 +310,329 @@ let serve_channels t ic oc =
   in
   loop ()
 
+(* ------------------------------------------- bounded admission queue *)
+
+module Bqueue = struct
+  type 'a t = {
+    items : 'a Queue.t;
+    capacity : int;
+    mutex : Mutex.t;
+    nonempty : Condition.t;
+    mutable closed : bool;
+  }
+
+  let create capacity =
+    {
+      items = Queue.create ();
+      capacity;
+      mutex = Mutex.create ();
+      nonempty = Condition.create ();
+      closed = false;
+    }
+
+  let locked q f =
+    Mutex.lock q.mutex;
+    Fun.protect ~finally:(fun () -> Mutex.unlock q.mutex) f
+
+  let try_push q x =
+    locked q (fun () ->
+        if q.closed then `Closed
+        else if Queue.length q.items >= q.capacity then `Full
+        else begin
+          Queue.push x q.items;
+          Condition.signal q.nonempty;
+          `Ok
+        end)
+
+  (* Blocks until an item is available; after [close], drains whatever is
+     still queued and then returns [None] forever. *)
+  let pop q =
+    locked q (fun () ->
+        let rec go () =
+          if not (Queue.is_empty q.items) then Some (Queue.pop q.items)
+          else if q.closed then None
+          else begin
+            Condition.wait q.nonempty q.mutex;
+            go ()
+          end
+        in
+        go ())
+
+  let close q =
+    locked q (fun () ->
+        q.closed <- true;
+        Condition.broadcast q.nonempty)
+end
+
+(* --------------------------------------------- concurrent unix mode *)
+
+type conn = {
+  fd : Unix.file_descr;
+  buf : Buffer.t;  (* received bytes not yet consumed as lines *)
+  mutable in_flight : bool;  (* one outstanding request per connection *)
+  mutable alive : bool;
+  mutable discarding : bool;  (* skipping an oversized unterminated line *)
+}
+
+type job = {
+  j_conn : conn;
+  j_req : Protocol.request;
+  j_deadline : Deadline.t;
+  j_budget : float;
+  j_enqueued : float;
+}
+
+type runtime = {
+  queue : job Bqueue.t;
+  wake_r : Unix.file_descr;
+  wake_w : Unix.file_descr;
+  done_mutex : Mutex.t;
+  mutable done_conns : conn list;
+      (* responded by a worker; the listener re-arms their reads *)
+}
+
+(* Blocking write of one response line, restarted on EINTR; a vanished
+   client (EPIPE with SIGPIPE ignored) just marks the connection dead. *)
+let write_response conn s =
+  if conn.alive then begin
+    let b = Bytes.of_string (s ^ "\n") in
+    let n = Bytes.length b in
+    let rec go off =
+      if off < n then
+        match Unix.write conn.fd b off (n - off) with
+        | w -> go (off + w)
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+        | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET | Unix.EBADF), _, _) ->
+            conn.alive <- false
+    in
+    go 0
+  end
+
+let take_line conn =
+  let s = Buffer.contents conn.buf in
+  match String.index_opt s '\n' with
+  | None -> None
+  | Some i ->
+      Buffer.clear conn.buf;
+      Buffer.add_substring conn.buf s (i + 1) (String.length s - i - 1);
+      Some (String.sub s 0 i)
+
+let kind_name = function
+  | Protocol.Flow _ -> "flow"
+  | Protocol.Xtalk _ -> "xtalk"
+  | Protocol.Sweep_case _ -> "sweep_case"
+  | Protocol.Screen _ -> "screen"
+  | Protocol.Ping -> "ping"
+  | Protocol.Stats -> "stats"
+  | Protocol.Shutdown -> "shutdown"
+
+(* Listener-side line pump for one connection.  Runs only while the
+   connection has no request in flight, so worker writes never interleave
+   with the inline replies issued here (parse errors and queue-full
+   rejections are answered by the listener without a queue slot). *)
+let rec advance t rt conn =
+  if conn.alive && not conn.in_flight then
+    if conn.discarding then begin
+      let s = Buffer.contents conn.buf in
+      match String.index_opt s '\n' with
+      | None -> Buffer.clear conn.buf
+      | Some i ->
+          conn.discarding <- false;
+          Buffer.clear conn.buf;
+          Buffer.add_substring conn.buf s (i + 1) (String.length s - i - 1);
+          advance t rt conn
+    end
+    else if
+      Buffer.length conn.buf > t.max_request_bytes
+      && not (String.contains (Buffer.contents conn.buf) '\n')
+    then begin
+      (* An unterminated line already over the limit: reject it now, then
+         skip the rest of it as it streams in — the connection stays
+         usable and the server never buffers an unbounded line. *)
+      Session.note t.session ~ok:false;
+      write_response conn
+        (Protocol.error_response
+           (Error.Bad_request
+              (Printf.sprintf "request is over %d bytes; the limit is %d" (Buffer.length conn.buf)
+                 t.max_request_bytes)));
+      conn.discarding <- true;
+      Buffer.clear conn.buf
+    end
+    else
+      match take_line conn with
+      | None -> ()
+      | Some line when String.trim line = "" -> advance t rt conn
+      | Some line -> (
+          match Protocol.parse_request ~max_bytes:t.max_request_bytes line with
+          | Error e ->
+              Session.note t.session ~ok:false;
+              Log.info (fun m -> m "request failed: %s" (Error.to_string e));
+              write_response conn (Protocol.error_response e);
+              advance t rt conn
+          | Ok req -> (
+              let budget = budget_of t req in
+              let job =
+                {
+                  j_conn = conn;
+                  j_req = req;
+                  j_deadline = Deadline.start budget;
+                  j_budget = budget;
+                  j_enqueued = Unix.gettimeofday ();
+                }
+              in
+              match Bqueue.try_push rt.queue job with
+              | `Ok ->
+                  Atomic.incr t.queue_depth;
+                  conn.in_flight <- true;
+                  let o = obs t in
+                  if Obs.enabled o then begin
+                    Obs.incr o "service.admitted";
+                    Obs.observe o "service.queue_depth" (float_of_int (Atomic.get t.queue_depth))
+                  end
+              | `Full | `Closed ->
+                  (* Admission control: overload is a fast, typed rejection
+                     on the existing wire code, not unbounded latency. *)
+                  Session.note t.session ~ok:false;
+                  Obs.incr (obs t) "service.rejected_queue_full";
+                  write_response conn
+                    (Protocol.error_response ?id:req.Protocol.id (Error.Timeout budget));
+                  advance t rt conn))
+
+let worker_loop t rt wid =
+  let o = obs t in
+  let rec loop () =
+    match Bqueue.pop rt.queue with
+    | None -> ()
+    | Some job ->
+        Atomic.decr t.queue_depth;
+        if Obs.enabled o then
+          Obs.observe o "service.queue_wait_s"
+            (Float.max 0. (Unix.gettimeofday () -. job.j_enqueued));
+        let response, control =
+          if Deadline.expired job.j_deadline then begin
+            (* Expired while queued: answer without burning a worker. *)
+            Session.note t.session ~ok:false;
+            Obs.incr o "service.rejected_expired";
+            ( Protocol.error_response ?id:job.j_req.Protocol.id (Error.Timeout job.j_budget),
+              `Continue )
+          end
+          else if stopped t then begin
+            (* Shutdown drain: queued-but-unstarted requests get a typed
+               timeout instead of a silently closed connection. *)
+            Session.note t.session ~ok:false;
+            ( Protocol.error_response ?id:job.j_req.Protocol.id (Error.Timeout job.j_budget),
+              `Continue )
+          end
+          else begin
+            let t0 = Obs.start o in
+            let r = respond t ~deadline:job.j_deadline job.j_req in
+            if Obs.enabled o then
+              Obs.finish o
+                ~args:
+                  [ ("worker", string_of_int wid); ("kind", kind_name job.j_req.Protocol.kind) ]
+                "service.request" t0;
+            r
+          end
+        in
+        write_response job.j_conn response;
+        (match control with `Stop -> stop t | `Continue -> ());
+        Mutex.lock rt.done_mutex;
+        rt.done_conns <- job.j_conn :: rt.done_conns;
+        Mutex.unlock rt.done_mutex;
+        wake_listener t;
+        loop ()
+  in
+  loop ()
+
 let serve_unix t ~path =
   install_signals t;
   (try Unix.unlink path with Unix.Unix_error _ -> ());
   let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let wake_r, wake_w = Unix.pipe () in
+  (* The SIGTERM handler writes the wake byte; it must never block. *)
+  Unix.set_nonblock wake_w;
+  Atomic.set t.wake (Some wake_w);
+  let rt =
+    {
+      queue = Bqueue.create t.queue_capacity;
+      wake_r;
+      wake_w;
+      done_mutex = Mutex.create ();
+      done_conns = [];
+    }
+  in
+  let conns : conn list ref = ref [] in
+  let workers = List.init t.workers (fun wid -> Domain.spawn (fun () -> worker_loop t rt wid)) in
+  let chunk = Bytes.create 65536 in
+  let close_quiet fd = try Unix.close fd with Unix.Unix_error _ -> () in
   Fun.protect
     ~finally:(fun () ->
-      (try Unix.close sock with Unix.Unix_error _ -> ());
+      Atomic.set t.stop true;
+      (* Workers drain the queue (typed-timeout replies for anything still
+         waiting) and exit; only then are the descriptors torn down, so
+         every admitted request gets its response written first. *)
+      Bqueue.close rt.queue;
+      List.iter Domain.join workers;
+      Atomic.set t.wake None;
+      List.iter (fun c -> close_quiet c.fd) !conns;
+      close_quiet wake_r;
+      close_quiet wake_w;
+      close_quiet sock;
       try Unix.unlink path with Unix.Unix_error _ -> ())
     (fun () ->
       Unix.bind sock (Unix.ADDR_UNIX path);
-      Unix.listen sock 8;
-      Log.info (fun m -> m "listening on %s" path);
+      Unix.listen sock t.backlog;
+      Log.info (fun m ->
+          m "listening on %s (workers %d, queue %d, backlog %d)" path t.workers t.queue_capacity
+            t.backlog);
       while not (stopped t) do
-        match Unix.accept sock with
+        (* Connections whose response was just written resume reading; any
+           buffered next request is admitted right away. *)
+        Mutex.lock rt.done_mutex;
+        let finished = rt.done_conns in
+        rt.done_conns <- [];
+        Mutex.unlock rt.done_mutex;
+        List.iter
+          (fun c ->
+            c.in_flight <- false;
+            advance t rt c)
+          finished;
+        (* A connection that died while in flight is still owned by its
+           worker; it is swept here on the turn after its done handoff. *)
+        let dead, live = List.partition (fun c -> (not c.alive) && not c.in_flight) !conns in
+        List.iter (fun c -> close_quiet c.fd) dead;
+        conns := live;
+        let readable = List.filter (fun c -> c.alive && not c.in_flight) live in
+        let fds = sock :: rt.wake_r :: List.map (fun c -> c.fd) readable in
+        match Unix.select fds [] [] (-1.) with
         | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
-        | fd, _ ->
-            let ic = Unix.in_channel_of_descr fd in
-            let oc = Unix.out_channel_of_descr fd in
-            (* One client at a time, in arrival order: requests of a
-               connection are served to completion before the next accept;
-               close_out closes the shared descriptor. *)
-            (try serve_channels t ic oc
-             with Sys_error msg -> Log.info (fun m -> m "client dropped: %s" msg));
-            (try flush oc with Sys_error _ -> ());
-            try close_out oc with Sys_error _ -> ()
+        | ready, _, _ ->
+            if List.memq rt.wake_r ready then begin
+              try ignore (Unix.read rt.wake_r chunk 0 (Bytes.length chunk))
+              with Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+            end;
+            if List.memq sock ready then begin
+              match Unix.accept sock with
+              | exception
+                  Unix.Unix_error
+                    ((Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.ECONNABORTED), _, _) ->
+                  ()
+              | fd, _ ->
+                  Obs.incr (obs t) "service.connections";
+                  conns :=
+                    { fd; buf = Buffer.create 1024; in_flight = false; alive = true; discarding = false }
+                    :: !conns
+            end;
+            List.iter
+              (fun c ->
+                if List.memq c.fd ready then
+                  match Unix.read c.fd chunk 0 (Bytes.length chunk) with
+                  | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+                  | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+                      c.alive <- false
+                  | 0 -> c.alive <- false
+                  | n ->
+                      Buffer.add_subbytes c.buf chunk 0 n;
+                      advance t rt c)
+              readable
       done)

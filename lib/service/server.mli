@@ -1,31 +1,64 @@
 (** The daemon's request loop: {!Protocol} lines in, {!Protocol} lines
     out, one {!Session} underneath.
 
-    Requests are served strictly in order and in isolation — a request that
-    fails in {e any} way (malformed JSON, oversized line, bad design, an
-    exception from the numeric layers, an exceeded time budget) produces a
-    typed error response and the daemon keeps serving the next line.
+    Requests are served in order {e per connection} and in isolation — a
+    request that fails in {e any} way (malformed JSON, oversized line, bad
+    design, an exception from the numeric layers, an exceeded time budget)
+    produces a typed error response and the daemon keeps serving.
 
-    The per-request wall-clock budget (default {!default_timeout_s},
-    overridable per request with ["timeout_ms"]) is enforced with
-    [ITIMER_REAL]/[SIGALRM]; the signal can only interrupt work running in
-    the serving domain, which is why {!Session.Config.default} keeps
-    [jobs = 1] for daemon use. *)
+    {b Concurrency.}  The Unix-socket transport multiplexes every client
+    through one listener: decoded requests enter a bounded admission
+    queue and [workers] domains drain it, writing each response back on
+    its originating connection.  A connection has at most one request in
+    flight at a time, so responses arrive in request order per client
+    while different clients' requests run concurrently.  When the queue
+    is full, admission fails immediately with the wire-stable [timeout]
+    error code — overload is a fast typed rejection, not unbounded
+    latency.  Pipe mode ({!serve_channels}) stays strictly serial.
+
+    {b Budgets.}  The per-request wall-clock budget (default
+    {!default_timeout_s}, overridable per request with ["timeout_ms"]) is
+    a per-request {!Rlc_errors.Deadline}: checked when a queued request
+    reaches a worker (entries that expired while waiting are answered
+    without running), installed ambiently around dispatch, threaded into
+    [Flow.Config.deadline], propagated across pool domains, and polled by
+    the engine's step loops.  Expiry surfaces as the same [timeout] error
+    the old ITIMER_REAL/SIGALRM mechanism produced, but works with any
+    [jobs] count and any number of concurrent requests. *)
 
 type t
 
 val default_timeout_s : float
 (** 60 seconds. *)
 
-val create : ?timeout_s:float -> ?max_request_bytes:int -> Session.t -> t
+val default_workers : int
+(** 1 — serial service, the right default for the benched 1-core box. *)
+
+val default_queue_capacity : int
+(** 64 queued requests. *)
+
+val create :
+  ?timeout_s:float ->
+  ?max_request_bytes:int ->
+  ?workers:int ->
+  ?queue_capacity:int ->
+  ?backlog:int ->
+  Session.t ->
+  t
 (** Wrap a session.  [timeout_s <= 0] or [infinity] disables the request
     timeout; [max_request_bytes] defaults to
-    {!Protocol.default_max_bytes}.  The session is borrowed: closing it
-    after the serve loop returns is the caller's job. *)
+    {!Protocol.default_max_bytes}.  [workers] (default
+    {!default_workers}) is the number of executor domains spawned by
+    {!serve_unix}; [queue_capacity] (default {!default_queue_capacity})
+    bounds the admission queue; [backlog] is the kernel listen queue and
+    defaults to [queue_capacity].  All three are clamped to at least 1.
+    The session is borrowed: closing it after the serve loop returns is
+    the caller's job. *)
 
 val stop : t -> unit
-(** Ask the serve loop to exit after the in-flight request (what the
-    [SIGTERM] handler calls). *)
+(** Ask the serve loop to exit after in-flight requests (what the
+    [SIGTERM] handler calls).  Safe from any domain: wakes the listener's
+    select via its self-pipe. *)
 
 val stopped : t -> bool
 
@@ -38,10 +71,23 @@ val handle_line : t -> string -> string * [ `Continue | `Stop ]
 val serve_channels : t -> in_channel -> out_channel -> unit
 (** Pipe mode: read request lines until EOF, a [shutdown] request, or
     {!stop}; write one flushed response line each.  Blank lines are
-    skipped.  Installs the [SIGALRM]/[SIGTERM]/[SIGPIPE] handlers. *)
+    skipped.  Strictly serial.  Installs the [SIGTERM]/[SIGPIPE]
+    handlers. *)
 
 val serve_unix : t -> path:string -> unit
 (** Unix-domain-socket mode: bind [path] (an existing socket file is
-    replaced), accept one client at a time, and run the pipe-mode loop on
-    each connection until it disconnects.  A [shutdown] request stops the
-    accept loop; the socket file is unlinked on the way out. *)
+    replaced), listen with the configured [backlog], and serve many
+    clients concurrently — listener select loop, bounded admission queue,
+    [workers] executor domains (see the module doc).  [EINTR] from
+    [accept]/[select]/[read]/[write] is retried or drained cleanly, so a
+    SIGTERM-time signal cannot escape as [Unix_error].  A [shutdown]
+    request (or {!stop}, or SIGTERM) stops admission, drains in-flight
+    work, answers anything still queued with a typed [timeout], joins the
+    workers, and unlinks the socket file on the way out.
+
+    With [obs] enabled on the session, serving records
+    ["service.connections"], ["service.admitted"],
+    ["service.rejected_queue_full"], ["service.rejected_expired"] and
+    ["service.timeouts"] counters, ["service.queue_depth"] /
+    ["service.queue_wait_s"] histograms, and a ["service.request"] span
+    per executed request (args: worker id, request kind). *)

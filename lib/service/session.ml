@@ -40,8 +40,9 @@ type t = {
   pool : Rlc_flow.Pool.t;
   cache : Flow.solve Rlc_flow.Cache.t;
   started_at : float;
-  mutable served : int;
-  mutable failed : int;
+  (* counted from concurrent server worker domains *)
+  served : int Atomic.t;
+  failed : int Atomic.t;
   mutable closed : bool;
 }
 
@@ -60,8 +61,8 @@ let create ?(config = Config.default) () =
     pool = Rlc_flow.Pool.create ~obs:config.Config.obs ~jobs:(Int.max 1 config.Config.jobs) ();
     cache = Flow.create_cache ();
     started_at = Unix.gettimeofday ();
-    served = 0;
-    failed = 0;
+    served = Atomic.make 0;
+    failed = Atomic.make 0;
     closed = false;
   }
 
@@ -77,21 +78,22 @@ let with_session ?config f =
   let t = create ?config () in
   Fun.protect ~finally:(fun () -> close t) (fun () -> f t)
 
-let note t ~ok = if ok then t.served <- t.served + 1 else t.failed <- t.failed + 1
+let note t ~ok = Atomic.incr (if ok then t.served else t.failed)
 
 let stats t =
   {
     uptime_s = Unix.gettimeofday () -. t.started_at;
-    requests_served = t.served;
-    requests_failed = t.failed;
+    requests_served = Atomic.get t.served;
+    requests_failed = Atomic.get t.failed;
     cache_entries = Rlc_flow.Cache.length t.cache;
     cache_hits = Rlc_flow.Cache.hits t.cache;
     cache_misses = Rlc_flow.Cache.misses t.cache;
   }
 
 (* Map the two raising conventions of the numeric layers to typed errors.
-   Deliberately NOT a catch-all: unknown exceptions (including the server's
-   private timeout) must keep propagating to the caller's own handler. *)
+   Deliberately NOT a catch-all: unknown exceptions (including
+   [Rlc_errors.Deadline.Expired]) must keep propagating to the caller's
+   own handler. *)
 let guard f =
   match f () with
   | v -> Ok v
@@ -130,7 +132,7 @@ type flow_outcome = {
   report : string;
 }
 
-let flow t ?required ?use_cache ?dt ?adaptive ?progress ?xtalk design =
+let flow t ?required ?use_cache ?dt ?adaptive ?progress ?xtalk ?deadline design =
   let cfg =
     {
       Flow.Config.dt = Option.value dt ~default:t.config.Config.dt;
@@ -143,6 +145,7 @@ let flow t ?required ?use_cache ?dt ?adaptive ?progress ?xtalk design =
       obs = t.config.Config.obs;
       progress;
       pool = Some t.pool;
+      deadline;
     }
   in
   guard (fun () ->

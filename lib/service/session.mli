@@ -16,9 +16,10 @@ module Config : sig
   type t = {
     tech : Rlc_devices.Tech.t;  (** default {!Rlc_devices.Tech.c018} *)
     jobs : int;
-        (** worker domains of the resident pool; default 1 (everything in
-            the calling domain — required for the server's signal-based
-            request timeout to interrupt a solve) *)
+        (** worker domains of the resident pool; default 1 (the benched
+            1-core container).  Request budgets are deadline-based
+            ({!Rlc_errors.Deadline}) and work at any [jobs] count — the
+            pool propagates the ambient deadline into its batches. *)
     dt : float;  (** default replay timestep, 0.5 ps *)
     use_cache : bool;  (** default true *)
     quantize_digits : int;  (** cache-key significant digits, default 9 *)
@@ -90,6 +91,7 @@ val flow :
   ?adaptive:Rlc_circuit.Engine.adaptive ->
   ?progress:Rlc_obs.Progress.t ->
   ?xtalk:xtalk_request ->
+  ?deadline:Rlc_errors.Deadline.t ->
   Rlc_flow.Design.t ->
   (flow_outcome, Error.t) result
 (** Run the full-design flow on the session's pool against the session's
@@ -99,7 +101,13 @@ val flow :
     LTE-controlled stepping; its parameters are part of the cache key, so
     fixed-step and adaptive requests never share entries.  [xtalk] runs
     {!Rlc_xtalk.Xtalk.analyze} over the flow result on the same pool (the
-    Ceff cache is not involved) and embeds the fragment in [report]. *)
+    Ceff cache is not involved) and embeds the fragment in [report].
+    [deadline] threads the per-request budget into [Flow.Config.deadline];
+    expiry escapes as {!Rlc_errors.Deadline.Expired} (deliberately not
+    mapped here — the server owns the wire [Timeout] conversion).  The
+    session is safe to drive from several server worker domains at once:
+    the cache is sharded, the pool accepts concurrent batches, and request
+    accounting is atomic. *)
 
 val case :
   t ->

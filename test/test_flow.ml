@@ -270,6 +270,43 @@ let test_cache_basics () =
   Cache.clear c;
   Alcotest.(check int) "cleared" 0 (Cache.length c)
 
+let test_cache_sharded_concurrent () =
+  let c : int Cache.t = Cache.create ~shards:4 () in
+  Alcotest.(check int) "power-of-two count kept" 4 (Cache.shards c);
+  Alcotest.(check int) "odd count rounds up" 8 (Cache.shards (Cache.create ~shards:5 () : int Cache.t));
+  Alcotest.(check int) "zero clamps to one shard" 1 (Cache.shards (Cache.create ~shards:0 () : int Cache.t));
+  (* Hammer one cache from several domains.  Every find_or_add counts
+     exactly one hit or one miss, values are first-insert-wins, and the
+     per-shard stats must reconcile with the aggregate view. *)
+  let keys = Array.init 64 (fun i -> Printf.sprintf "net-%d-slew" i) in
+  let rounds = 10 and writers = 4 in
+  let worker () =
+    for _ = 1 to rounds do
+      Array.iter
+        (fun k ->
+          let v, _hit = Cache.find_or_add c k (fun () -> String.length k) in
+          assert (v = String.length k))
+        keys
+    done
+  in
+  let domains = List.init writers (fun _ -> Domain.spawn worker) in
+  List.iter Domain.join domains;
+  Alcotest.(check int) "one entry per distinct key" (Array.length keys) (Cache.length c);
+  Alcotest.(check int) "hits + misses = lookups" (writers * rounds * Array.length keys)
+    (Cache.hits c + Cache.misses c);
+  Alcotest.(check bool) "each key missed at least once" true
+    (Cache.misses c >= Array.length keys);
+  let stats = Cache.shard_stats c in
+  Alcotest.(check int) "one stat per shard" (Cache.shards c) (Array.length stats);
+  let sum f = Array.fold_left (fun acc s -> acc + f s) 0 stats in
+  Alcotest.(check int) "shard lengths sum to length" (Cache.length c)
+    (sum (fun s -> s.Cache.s_length));
+  Alcotest.(check int) "shard hits sum to hits" (Cache.hits c) (sum (fun s -> s.Cache.s_hits));
+  Alcotest.(check int) "shard misses sum to misses" (Cache.misses c)
+    (sum (fun s -> s.Cache.s_misses));
+  Cache.clear c;
+  Alcotest.(check int) "clear empties every shard" 0 (Cache.length c)
+
 let test_cache_quantize () =
   let q = Cache.quantize ~digits:9 in
   Alcotest.(check bool) "collapses tiny diffs" true (q 1.0000000001 = q 1.0000000002);
@@ -432,6 +469,7 @@ let () =
       ( "cache",
         [
           Alcotest.test_case "basics" `Quick test_cache_basics;
+          Alcotest.test_case "sharded concurrent" `Quick test_cache_sharded_concurrent;
           Alcotest.test_case "quantize" `Quick test_cache_quantize;
         ] );
       ( "flow",

@@ -208,6 +208,30 @@ let test_parse_res_positions () =
       Alcotest.(check bool) "legacy spec format" true (String.sub e 0 11 = "spec line 2")
   | Ok _ -> Alcotest.fail "accepted"
 
+let test_deadline () =
+  let module D = Rlc_errors.Deadline in
+  (* Non-positive and infinite budgets disable the deadline. *)
+  Alcotest.(check bool) "zero budget never expires" true (D.is_never (D.start 0.));
+  Alcotest.(check bool) "negative budget never expires" true (D.is_never (D.start (-1.)));
+  Alcotest.(check bool) "infinite budget never expires" true (D.is_never (D.start Float.infinity));
+  Alcotest.(check bool) "never is not expired" false (D.expired D.never);
+  D.check D.never;
+  let d = D.start 0.001 in
+  Alcotest.(check bool) "remaining bounded by budget" true (D.remaining_s d <= 0.001);
+  Unix.sleepf 0.005;
+  Alcotest.(check bool) "expired after its budget" true (D.expired d);
+  Alcotest.(check (float 0.)) "nothing remaining" 0. (D.remaining_s d);
+  (match D.check d with
+  | () -> Alcotest.fail "check on an expired deadline did not raise"
+  | exception D.Expired b -> Alcotest.(check (float 0.)) "Expired carries the budget" 0.001 b);
+  (* Ambient installation is scoped: inside [with_ambient] the expired
+     deadline trips the check, and the previous ambient comes back after. *)
+  (match D.with_ambient d D.check_ambient with
+  | () -> Alcotest.fail "ambient check did not raise"
+  | exception D.Expired _ -> ());
+  D.check_ambient ();
+  Alcotest.(check bool) "ambient restored to never" true (D.is_never (D.ambient ()))
+
 (* ------------------------------------------------------------- session *)
 
 let with_default_session f = Session.with_session f
@@ -414,6 +438,191 @@ let test_server_pipe_mode () =
         (Json.get_bool (member "stopping" r4));
       Alcotest.(check bool) "loop stopped" true (Server.stopped server))
 
+(* ------------------------------------------- unix socket transport *)
+
+(* The socket tests drive [serve_unix] end to end: the listener runs in
+   its own domain, worker domains execute requests, and the clients here
+   speak the wire protocol over real AF_UNIX connections. *)
+
+let temp_socket_path () = Filename.temp_file "rlc_service_test" ".sock"
+
+(* The serve loop binds after the listener domain spawns; retry until it
+   is there (ENOENT before the unlink+bind, ECONNREFUSED in between). *)
+let connect_client path =
+  let rec go tries =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    try
+      Unix.connect fd (Unix.ADDR_UNIX path);
+      fd
+    with Unix.Unix_error ((Unix.ENOENT | Unix.ECONNREFUSED), _, _) when tries > 0 ->
+      Unix.close fd;
+      Unix.sleepf 0.02;
+      go (tries - 1)
+  in
+  go 250
+
+let client_channels path =
+  let fd = connect_client path in
+  (Unix.in_channel_of_descr fd, Unix.out_channel_of_descr fd)
+
+let close_client (ic, oc) =
+  (* Both channels share the fd; the second close is a harmless EBADF. *)
+  close_out_noerr oc;
+  close_in_noerr ic
+
+let send_line oc line =
+  output_string oc line;
+  output_char oc '\n';
+  flush oc
+
+let roundtrip ic oc line =
+  send_line oc line;
+  input_line ic
+
+let test_server_unix_concurrent () =
+  (* jobs = 2 makes every served flow publish a batch to a shared pool
+     that other requests are publishing to at the same time: concurrent
+     masters, concurrent cache access, and per-connection ordering all in
+     one test.  The reports must still be byte-identical to the one-shot
+     session path. *)
+  let config = { Session.Config.default with Session.Config.jobs = 2 } in
+  Session.with_session ~config (fun session ->
+      let expected =
+        let design =
+          ok_or_fail
+            (Session.ingest session ~spef:(read_file bus8_spef) ~spec:(read_file bus8_spec) ())
+        in
+        (ok_or_fail (Session.flow session design)).Session.report
+      in
+      let server = Server.create ~workers:2 ~queue_capacity:16 session in
+      let path = temp_socket_path () in
+      let serving = Domain.spawn (fun () -> Server.serve_unix server ~path) in
+      let clients = 3 and per_client = 3 in
+      let run_client cid =
+        let ic, oc = client_channels path in
+        let reports =
+          List.init per_client (fun i ->
+              let id = (cid * 100) + i in
+              let resp = json_of (roundtrip ic oc (bus8_flow_request ~id ())) in
+              Alcotest.(check (option bool))
+                (Printf.sprintf "client %d request %d ok" cid i)
+                (Some true)
+                (Json.get_bool (member "ok" resp));
+              (* One request in flight per connection: replies come back
+                 in request order, so the echoed id must match. *)
+              Alcotest.(check (option int)) "id echoed in order" (Some id)
+                (Json.get_int (member "id" resp));
+              Option.get (Json.get_string (member "report" resp)))
+        in
+        close_client (ic, oc);
+        reports
+      in
+      let domains = List.init clients (fun cid -> Domain.spawn (fun () -> run_client cid)) in
+      let all = List.concat_map Domain.join domains in
+      Alcotest.(check int) "all requests answered" (clients * per_client) (List.length all);
+      List.iteri
+        (fun i r ->
+          Alcotest.(check string) (Printf.sprintf "report %d byte-identical" i) expected r)
+        all;
+      (* A shutdown request over the socket stops the whole loop. *)
+      let ic, oc = client_channels path in
+      let resp = json_of (roundtrip ic oc {|{"schema":"rlc-service/1","kind":"shutdown","id":99}|}) in
+      Alcotest.(check (option bool)) "shutdown acked" (Some true)
+        (Json.get_bool (member "stopping" resp));
+      close_client (ic, oc);
+      Domain.join serving;
+      Alcotest.(check bool) "loop stopped" true (Server.stopped server);
+      Alcotest.(check bool) "socket unlinked" false (Sys.file_exists path))
+
+let test_server_unix_overload () =
+  (* workers = 1, queue of 1: with one slow request executing and one
+     queued, the third admission attempt must be rejected immediately
+     with the wire-stable timeout code — and the daemon must survive all
+     of it. *)
+  with_default_session (fun session ->
+      let server = Server.create ~workers:1 ~queue_capacity:1 session in
+      let path = temp_socket_path () in
+      let serving = Domain.spawn (fun () -> Server.serve_unix server ~path) in
+      let slow_req id =
+        Json.to_string
+          (Json.Obj
+             [
+               ("schema", Json.Str Protocol.schema);
+               ("kind", Json.Str "sweep_case");
+               ("id", Json.Int id);
+               ("timeout_ms", Json.Int 400);
+               ("length_mm", Json.Float 7.);
+               ("width_um", Json.Float 0.8);
+               ("size", Json.Float 75.);
+               ("dt_ps", Json.Float 0.05);
+             ])
+      in
+      let a = client_channels path and b = client_channels path and c = client_channels path in
+      send_line (snd a) (slow_req 1);
+      Unix.sleepf 0.15 (* the worker picks request 1 up *);
+      send_line (snd b) (slow_req 2) (* sits in the admission queue *);
+      Unix.sleepf 0.05;
+      let t0 = Unix.gettimeofday () in
+      let resp_c = json_of (roundtrip (fst c) (snd c) (slow_req 3)) in
+      let dt_c = Unix.gettimeofday () -. t0 in
+      Alcotest.(check (option string)) "queue-full rejection is a typed timeout" (Some "timeout")
+        (Json.get_string (member "code" (member "error" resp_c)));
+      Alcotest.(check (option int)) "rejection echoes the id" (Some 3)
+        (Json.get_int (member "id" resp_c));
+      Alcotest.(check bool) "rejection is immediate, not queued" true (dt_c < 0.3);
+      (* The in-flight and queued requests run out of budget (in the
+         engine or while waiting) and come back as typed timeouts too. *)
+      let resp_a = json_of (input_line (fst a)) in
+      Alcotest.(check (option string)) "in-flight request times out" (Some "timeout")
+        (Json.get_string (member "code" (member "error" resp_a)));
+      let resp_b = json_of (input_line (fst b)) in
+      Alcotest.(check (option string)) "queued request times out" (Some "timeout")
+        (Json.get_string (member "code" (member "error" resp_b)));
+      (* The daemon is still alive and its stats expose the server shape. *)
+      let resp = json_of (roundtrip (fst c) (snd c) {|{"schema":"rlc-service/1","kind":"ping","id":4}|}) in
+      Alcotest.(check (option bool)) "alive after overload" (Some true)
+        (Json.get_bool (member "ok" resp));
+      let stats = json_of (roundtrip (fst c) (snd c) {|{"schema":"rlc-service/1","kind":"stats","id":5}|}) in
+      let srv = member "server" stats in
+      Alcotest.(check (option int)) "stats: workers" (Some 1) (Json.get_int (member "workers" srv));
+      Alcotest.(check (option int)) "stats: queue capacity" (Some 1)
+        (Json.get_int (member "queue_capacity" srv));
+      List.iter close_client [ a; b; c ];
+      Server.stop server;
+      Domain.join serving)
+
+let test_server_unix_isolation () =
+  (* Failures on one connection never leak into another: a client feeding
+     garbage and bad requests interleaved with a healthy client. *)
+  with_default_session (fun session ->
+      let server = Server.create ~workers:2 ~queue_capacity:8 session in
+      let path = temp_socket_path () in
+      let serving = Domain.spawn (fun () -> Server.serve_unix server ~path) in
+      let bad = client_channels path and good = client_channels path in
+      let expect_code code line =
+        let resp = json_of (roundtrip (fst bad) (snd bad) line) in
+        Alcotest.(check (option string)) (code ^ " on bad connection") (Some code)
+          (Json.get_string (member "code" (member "error" resp)))
+      in
+      expect_code "parse_error" "}{ garbage";
+      let resp = json_of (roundtrip (fst good) (snd good) (bus8_flow_request ~id:1 ())) in
+      Alcotest.(check (option bool)) "good client unaffected" (Some true)
+        (Json.get_bool (member "ok" resp));
+      expect_code "bad_request" {|{"schema":"rlc-service/1","kind":"frobnicate"}|};
+      expect_code "bad_request"
+        {|{"schema":"rlc-service/1","kind":"flow","spef_file":"../examples/no_such.spef"}|};
+      let resp = json_of (roundtrip (fst good) (snd good) (bus8_flow_request ~id:2 ())) in
+      Alcotest.(check (option bool)) "good client still served" (Some true)
+        (Json.get_bool (member "ok" resp));
+      (* An abruptly dropped connection is cleaned up without killing the loop. *)
+      close_client bad;
+      let resp = json_of (roundtrip (fst good) (snd good) {|{"schema":"rlc-service/1","kind":"ping","id":3}|}) in
+      Alcotest.(check (option bool)) "survives dropped peer" (Some true)
+        (Json.get_bool (member "ok" resp));
+      close_client good;
+      Server.stop server;
+      Domain.join serving)
+
 let () =
   Alcotest.run "rlc_service"
     [
@@ -431,7 +640,10 @@ let () =
           Alcotest.test_case "responses" `Quick test_protocol_responses;
         ] );
       ( "errors",
-        [ Alcotest.test_case "parse_res positions" `Quick test_parse_res_positions ] );
+        [
+          Alcotest.test_case "parse_res positions" `Quick test_parse_res_positions;
+          Alcotest.test_case "deadline" `Quick test_deadline;
+        ] );
       ( "session",
         [
           Alcotest.test_case "flow and cache" `Quick test_session_flow_and_cache;
@@ -447,5 +659,11 @@ let () =
           Alcotest.test_case "timeout" `Quick test_server_timeout;
           Alcotest.test_case "shutdown control" `Quick test_server_shutdown_control;
           Alcotest.test_case "pipe mode" `Quick test_server_pipe_mode;
+        ] );
+      ( "server unix",
+        [
+          Alcotest.test_case "concurrent clients" `Quick test_server_unix_concurrent;
+          Alcotest.test_case "overload rejection" `Quick test_server_unix_overload;
+          Alcotest.test_case "cross-connection isolation" `Quick test_server_unix_isolation;
         ] );
     ]
