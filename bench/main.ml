@@ -1078,24 +1078,89 @@ let service_request fields =
    and the numbers degrade gracefully to a serialization measurement —
    byte-identity of every served report is asserted either way. *)
 
+type service_telemetry = {
+  st_span_s : float;
+  st_samples : int;
+  st_rps : float;
+  st_p50_ms : float;
+  st_p95_ms : float;
+  st_p99_ms : float;
+  st_hit_ratio : float;
+  st_prom_valid : bool;
+}
+
 type service_conc = {
   sc_clients : int;
   sc_requests_per_client : int;
   sc_workers : int;
   sc_recommended : int;
+  sc_oversubscribed : bool;
   sc_baseline_rps : float;
   sc_rps : float;
   sc_p50_ms : float;
   sc_p95_ms : float;
   sc_p99_ms : float;
   sc_identical : bool;
+  sc_telemetry : service_telemetry option;
 }
 
-let service_concurrent_measure ?(smoke = false) ~flow_req session =
+let string_contains hay needle =
+  let hl = String.length hay and nl = String.length needle in
+  let rec go i = i + nl <= hl && (String.equal (String.sub hay i nl) needle || go (i + 1)) in
+  nl = 0 || go 0
+
+(* Digest of the daemon's own [metrics] response: the rolling-window rates
+   and quantiles the server computed about the run we just drove, plus a
+   sanity bit on the Prometheus exposition. *)
+let telemetry_of_response resp =
+  match Sjson.parse resp with
+  | Error _ -> None
+  | Ok j -> (
+      let num obj name =
+        match Sjson.member name obj with
+        | Some (Sjson.Float f) -> f
+        | Some (Sjson.Int n) -> float_of_int n
+        | _ -> Float.nan
+      in
+      match Sjson.member "window" j with
+      | Some w ->
+          let prom_valid =
+            match Sjson.member "prometheus" j with
+            | Some (Sjson.Str s) ->
+                String.length s >= 6
+                && String.equal (String.sub s 0 6) "# HELP"
+                && string_contains s "service_requests_total"
+            | _ -> false
+          in
+          Some
+            {
+              st_span_s = num w "span_s";
+              st_samples =
+                (match Sjson.member "samples" w with Some (Sjson.Int n) -> n | _ -> 0);
+              st_rps = num w "requests_per_s";
+              st_p50_ms = num w "p50_ms";
+              st_p95_ms = num w "p95_ms";
+              st_p99_ms = num w "p99_ms";
+              st_hit_ratio = num w "cache_hit_ratio";
+              st_prom_valid = prom_valid;
+            }
+      | None -> None)
+
+let service_concurrent_measure ?(smoke = false) ~flow_req () =
   let recommended = Domain.recommended_domain_count () in
   let workers = Int.max 1 (Int.min 4 recommended) in
+  (* The concurrent measure owns its session — obs-enabled, so the serve
+     loop's ticker feeds the telemetry window — which also keeps the serial
+     cold/warm/ping numbers above on an obs-off session. *)
+  let session =
+    Rlc_service.Session.create
+      ~config:{ Rlc_service.Session.Config.default with obs = Rlc_obs.Obs.create () }
+      ()
+  in
+  Fun.protect ~finally:(fun () -> Rlc_service.Session.close session) @@ fun () ->
   let server =
-    Rlc_service.Server.create ~timeout_s:0. ~workers ~queue_capacity:64 session
+    Rlc_service.Server.create ~timeout_s:0. ~workers ~queue_capacity:64
+      ~tick_period_s:0.05 session
   in
   (* Warm through the transport-free path so every measured request is all
      cache hits, and remember the report every client must reproduce. *)
@@ -1158,27 +1223,51 @@ let service_concurrent_measure ?(smoke = false) ~flow_req session =
       (List.init clients (fun _ -> Domain.spawn (fun () -> run_client requests)))
   in
   let total_s = Unix.gettimeofday () -. t0 in
+  (* Let at least two more ticks land so the window cleanly spans the run,
+     then scrape the daemon's own metrics over the socket it just served. *)
+  Unix.sleepf 0.12;
+  let telemetry =
+    let fd = connect () in
+    let ic = Unix.in_channel_of_descr fd and oc = Unix.out_channel_of_descr fd in
+    output_string oc (service_request [ ("kind", Sjson.Str "metrics") ]);
+    output_char oc '\n';
+    flush oc;
+    let resp = input_line ic in
+    close_out_noerr oc;
+    close_in_noerr ic;
+    telemetry_of_response resp
+  in
   Rlc_service.Server.stop server;
   Domain.join listener;
   let identical = base_ok && List.for_all snd results in
   if not identical then failwith "concurrent serving: reports diverged from the warm report";
-  let lats = Array.concat (List.map fst results) in
-  Array.sort Float.compare lats;
-  let pct p =
-    let n = Array.length lats in
-    lats.(Int.min (n - 1) (int_of_float (float_of_int n *. p /. 100.)))
+  (* Client-side latency percentiles through the same log2 histogram +
+     quantile machinery the daemon's telemetry uses. *)
+  let sink = Rlc_obs.Obs.create () in
+  List.iter
+    (fun (lat, _) -> Array.iter (Rlc_obs.Obs.observe sink "bench.latency_s") lat)
+    results;
+  let summary =
+    match
+      List.assoc_opt "bench.latency_s" (Rlc_obs.Obs.snapshot sink).Rlc_obs.Obs.m_stats
+    with
+    | Some s -> s
+    | None -> failwith "concurrent serving: latency histogram missing"
   in
+  let pct p = Rlc_obs.Obs.Histogram.quantile summary p in
   {
     sc_clients = clients;
     sc_requests_per_client = requests;
     sc_workers = workers;
     sc_recommended = recommended;
+    sc_oversubscribed = workers > recommended || clients > recommended;
     sc_baseline_rps = baseline_rps;
     sc_rps = float_of_int (clients * requests) /. total_s;
-    sc_p50_ms = 1e3 *. pct 50.;
-    sc_p95_ms = 1e3 *. pct 95.;
-    sc_p99_ms = 1e3 *. pct 99.;
+    sc_p50_ms = 1e3 *. pct 0.5;
+    sc_p95_ms = 1e3 *. pct 0.95;
+    sc_p99_ms = 1e3 *. pct 0.99;
     sc_identical = identical;
+    sc_telemetry = telemetry;
   }
 
 let print_service_concurrent sc =
@@ -1194,6 +1283,18 @@ let print_service_concurrent sc =
     (sc.sc_rps /. Float.max 1e-9 sc.sc_baseline_rps);
   Format.printf "  latency   : p50 %.2f ms   p95 %.2f ms   p99 %.2f ms@." sc.sc_p50_ms
     sc.sc_p95_ms sc.sc_p99_ms;
+  (if sc.sc_oversubscribed then
+     Format.printf
+       "  note      : oversubscribed (more workers or clients than cores) — \
+        throughput numbers measure scheduling, not parallelism@.");
+  (match sc.sc_telemetry with
+  | Some t ->
+      Format.printf
+        "  telemetry : daemon window %.2fs/%d samples, %.0f req/s, server-side p50 %.2f \
+         ms, hit ratio %.2f, prometheus %s@."
+        t.st_span_s t.st_samples t.st_rps t.st_p50_ms t.st_hit_ratio
+        (if t.st_prom_valid then "ok" else "INVALID")
+  | None -> Format.printf "  telemetry : metrics scrape failed@.");
   Format.printf "  reports   : byte-identical across all clients@."
 
 let service_bench ?(smoke = false) ?json () =
@@ -1235,7 +1336,7 @@ let service_bench ?(smoke = false) ?json () =
   Format.printf "  warm : %8.2f ms/request  (%d misses, %.0f requests/s, %.1fx vs cold)@."
     (1e3 *. warm_s) warm_misses (1. /. warm_s) (cold_s /. warm_s);
   Format.printf "  ping : %8.1f us/request  (%.0f requests/s)@." (1e6 *. ping_s) (1. /. ping_s);
-  let conc = service_concurrent_measure ~smoke ~flow_req session in
+  let conc = service_concurrent_measure ~smoke ~flow_req () in
   print_service_concurrent conc;
   match json with
   | None -> ()
@@ -1260,13 +1361,23 @@ let service_bench ?(smoke = false) ?json () =
         (fl (1. /. ping_s));
       Printf.bprintf buf
         "  \"concurrent\": {\"clients\": %d, \"requests_per_client\": %d, \"workers\": %d, \
-         \"recommended_domains\": %d, \"baseline_rps\": %s, \"rps\": %s, \
-         \"speedup_vs_1_client\": %s, \"p50_ms\": %s, \"p95_ms\": %s, \"p99_ms\": %s, \
-         \"reports_identical\": %b}\n"
+         \"recommended_domains\": %d, \"oversubscribed\": %b, \"baseline_rps\": %s, \
+         \"rps\": %s, \"speedup_vs_1_client\": %s, \"p50_ms\": %s, \"p95_ms\": %s, \
+         \"p99_ms\": %s, \"reports_identical\": %b},\n"
         conc.sc_clients conc.sc_requests_per_client conc.sc_workers conc.sc_recommended
-        (fl conc.sc_baseline_rps) (fl conc.sc_rps)
+        conc.sc_oversubscribed (fl conc.sc_baseline_rps) (fl conc.sc_rps)
         (fl (conc.sc_rps /. Float.max 1e-9 conc.sc_baseline_rps))
         (fl conc.sc_p50_ms) (fl conc.sc_p95_ms) (fl conc.sc_p99_ms) conc.sc_identical;
+      (let flj v = if Float.is_nan v then "null" else fl v in
+       match conc.sc_telemetry with
+       | None -> Printf.bprintf buf "  \"telemetry\": null\n"
+       | Some t ->
+           Printf.bprintf buf
+             "  \"telemetry\": {\"window_span_s\": %s, \"samples\": %d, \
+              \"requests_per_s\": %s, \"p50_ms\": %s, \"p95_ms\": %s, \"p99_ms\": %s, \
+              \"cache_hit_ratio\": %s, \"prometheus_valid\": %b}\n"
+             (flj t.st_span_s) t.st_samples (flj t.st_rps) (flj t.st_p50_ms)
+             (flj t.st_p95_ms) (flj t.st_p99_ms) (flj t.st_hit_ratio) t.st_prom_valid);
       Printf.bprintf buf "}\n";
       let oc = open_out path in
       output_string oc (Buffer.contents buf);
@@ -1499,9 +1610,7 @@ let () =
                 ("spec", Sjson.Str spec_src);
               ]
           in
-          Rlc_service.Session.with_session (fun session ->
-              print_service_concurrent
-                (service_concurrent_measure ~smoke:!smoke ~flow_req session))
+          print_service_concurrent (service_concurrent_measure ~smoke:!smoke ~flow_req ())
       | "xtalk" ->
           (* Like service: never clobber the engine group's --json path. *)
           let json =

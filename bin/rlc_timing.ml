@@ -488,12 +488,17 @@ let flow_cmd =
 (* -------------------------------------------------------------- serve *)
 
 let serve_cmd =
-  let run socket jobs workers queue backlog timeout_ms max_bytes warm verbose trace metrics_json =
+  let run socket jobs workers queue backlog timeout_ms max_bytes warm verbose trace metrics_json
+      slow_ms tick_ms =
     if verbose then begin
       Logs.set_reporter (Logs.format_reporter ());
       Logs.set_level (Some Logs.Info)
     end;
-    let obs = obs_of ~trace ~metrics_json in
+    (* The daemon always runs with an enabled sink: the rolling window
+       behind [metrics]/[health]/[top] needs one, and report payloads are
+       byte-identical either way (CI asserts it).  The exporter flags stay
+       optional sidecar dumps at exit. *)
+    let obs = Rlc_obs.Obs.create () in
     let config =
       { Rlc_service.Session.Config.default with Rlc_service.Session.Config.jobs; obs }
     in
@@ -506,7 +511,9 @@ let serve_cmd =
             let server =
               Rlc_service.Server.create
                 ~timeout_s:(float_of_int timeout_ms /. 1000.)
-                ~max_request_bytes:max_bytes ~workers ~queue_capacity:queue ?backlog session
+                ~max_request_bytes:max_bytes ~workers ~queue_capacity:queue ?backlog ?slow_ms
+                ~tick_period_s:(float_of_int tick_ms /. 1000.)
+                session
             in
             (match socket with
             | None -> Rlc_service.Server.serve_channels server stdin stdout
@@ -580,16 +587,175 @@ let serve_cmd =
   let verbose_arg =
     Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Log served requests and failures.")
   in
+  let slow_ms_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "slow-ms" ] ~docv:"MS"
+          ~doc:
+            "Log every request whose execution wall time reaches $(docv) milliseconds as one \
+             JSON line on stderr (trace id, kind, queue wait, wall, cache hits, worker).  0 \
+             logs every request.")
+  in
+  let tick_ms_arg =
+    Arg.(
+      value & opt int 1000
+      & info [ "tick-ms" ] ~docv:"MS"
+          ~doc:
+            "Telemetry ticker period: how often the serve loop samples counters into the \
+             rolling window behind the metrics/health kinds and the top dashboard.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
          "Run the persistent timing daemon: newline-delimited JSON requests (schema \
           rlc-service/1) answered from warm state — characterized cells, the shared Ceff \
-          result cache, a resident domain pool.  Kinds: flow, sweep_case, screen, ping, \
-          stats, shutdown.")
+          result cache, a resident domain pool.  Kinds: flow, xtalk, sweep_case, screen, \
+          ping, stats, metrics, health, shutdown.")
     Term.(
       const run $ socket_arg $ jobs_arg $ workers_arg $ queue_arg $ backlog_arg $ timeout_arg
-      $ max_bytes_arg $ warm_arg $ verbose_arg $ trace_arg $ metrics_json_arg)
+      $ max_bytes_arg $ warm_arg $ verbose_arg $ trace_arg $ metrics_json_arg $ slow_ms_arg
+      $ tick_ms_arg)
+
+(* ---------------------------------------------------------------- top *)
+
+(* A live dashboard over the daemon's [metrics] kind: poll the socket,
+   render the rolling-window digest.  Interactive terminals get an
+   in-place redraw (same TTY probe as Progress); pipes get one compact
+   line per poll so `top --count 1 | tee` works in scripts. *)
+let top_cmd =
+  let module Json = Rlc_service.Json in
+  let num path j =
+    (* Walk "a.b" then accept Int/Float; nan-valued fields arrive as null. *)
+    let rec go parts j =
+      match parts with
+      | [] -> Json.get_float j
+      | p :: rest -> Option.bind (Json.member p j) (go rest)
+    in
+    go (String.split_on_char '.' path) j
+  in
+  let fmt_opt fmt = function None -> "-" | Some v -> Printf.sprintf fmt v in
+  let fmt_pct = function
+    | None -> "-"
+    | Some v -> Printf.sprintf "%.1f%%" (100. *. v)
+  in
+  let render ~tty ~socket n response =
+    let g path = num path response in
+    let kinds =
+      match Option.bind (Json.member "kinds" response) Json.get_obj with
+      | None -> ""
+      | Some fields ->
+          String.concat "  "
+            (List.filter_map
+               (fun (k, v) ->
+                 Option.map (fun n -> Printf.sprintf "%s %d" k n) (Json.get_int v))
+               fields)
+    in
+    if tty then begin
+      print_string "\027[H\027[2J";
+      Printf.printf "rlc_timing top — %s   poll %d   uptime %s   served %s (%s failed)\n"
+        socket n
+        (fmt_opt "%.1fs" (g "uptime_s"))
+        (fmt_opt "%.0f" (g "totals.served"))
+        (fmt_opt "%.0f" (g "totals.failed"));
+      Printf.printf "window %s (%s samples): %s req/s   timeouts/s %s   rejects/s %s\n"
+        (fmt_opt "%.1fs" (g "window.span_s"))
+        (fmt_opt "%.0f" (g "window.samples"))
+        (fmt_opt "%.2f" (g "window.requests_per_s"))
+        (fmt_opt "%.2f" (g "window.timeouts_per_s"))
+        (fmt_opt "%.2f" (g "window.rejections_per_s"));
+      Printf.printf "latency p50 %s  p95 %s  p99 %s   worker utilization %s\n"
+        (fmt_opt "%.3fms" (g "window.p50_ms"))
+        (fmt_opt "%.3fms" (g "window.p95_ms"))
+        (fmt_opt "%.3fms" (g "window.p99_ms"))
+        (fmt_pct (g "window.utilization"));
+      Printf.printf "queue %s/%s   workers %s   cache %s entries, window hit ratio %s\n"
+        (fmt_opt "%.0f" (g "server.queue_depth"))
+        (fmt_opt "%.0f" (g "server.queue_capacity"))
+        (fmt_opt "%.0f" (g "server.workers"))
+        (fmt_opt "%.0f" (g "cache.entries"))
+        (fmt_pct (g "window.cache_hit_ratio"));
+      if kinds <> "" then Printf.printf "kinds: %s\n" kinds;
+      flush stdout
+    end
+    else begin
+      Printf.printf
+        "req/s %s  p50 %s p95 %s p99 %s  queue %s/%s  util %s  hit %s  served %s\n"
+        (fmt_opt "%.2f" (g "window.requests_per_s"))
+        (fmt_opt "%.3fms" (g "window.p50_ms"))
+        (fmt_opt "%.3fms" (g "window.p95_ms"))
+        (fmt_opt "%.3fms" (g "window.p99_ms"))
+        (fmt_opt "%.0f" (g "server.queue_depth"))
+        (fmt_opt "%.0f" (g "server.queue_capacity"))
+        (fmt_pct (g "window.utilization"))
+        (fmt_pct (g "window.cache_hit_ratio"))
+        (fmt_opt "%.0f" (g "totals.served"));
+      flush stdout
+    end
+  in
+  let run socket interval_ms count =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match Unix.connect fd (Unix.ADDR_UNIX socket) with
+    | exception Unix.Unix_error (e, _, _) ->
+        Format.eprintf "top: cannot connect to %s: %s@." socket (Unix.error_message e);
+        1
+    | () ->
+        let ic = Unix.in_channel_of_descr fd in
+        let oc = Unix.out_channel_of_descr fd in
+        let tty = Rlc_obs.Progress.channel_is_tty stdout in
+        let rec loop n =
+          if count > 0 && n > count then 0
+          else begin
+            output_string oc
+              (Printf.sprintf "{\"schema\":\"rlc-service/1\",\"kind\":\"metrics\",\"id\":%d}\n" n);
+            flush oc;
+            match input_line ic with
+            | exception End_of_file ->
+                Format.eprintf "top: server closed the connection@.";
+                1
+            | line -> (
+                match Json.parse line with
+                | Error (pos, msg) ->
+                    Format.eprintf "top: bad response at byte %d: %s@." pos msg;
+                    1
+                | Ok response ->
+                    render ~tty ~socket n response;
+                    if count > 0 && n = count then 0
+                    else begin
+                      Unix.sleepf (float_of_int interval_ms /. 1000.);
+                      loop (n + 1)
+                    end)
+          end
+        in
+        Fun.protect
+          ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+          (fun () -> loop 1)
+  in
+  let socket_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket of a running daemon.")
+  in
+  let interval_arg =
+    Arg.(
+      value & opt int 1000
+      & info [ "interval-ms" ] ~docv:"MS" ~doc:"Delay between polls of the metrics kind.")
+  in
+  let count_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "count" ] ~docv:"N"
+          ~doc:"Stop after $(docv) polls (0 = run until interrupted).")
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Live dashboard for a serving daemon: polls the metrics request kind and renders \
+          req/s, latency quantiles, queue depth, worker utilization, cache hit ratio and \
+          per-kind counters.  On a terminal the display redraws in place; piped output is \
+          one line per poll.")
+    Term.(const run $ socket_arg $ interval_arg $ count_arg)
 
 (* --------------------------------------------------------------- spef *)
 
@@ -676,4 +842,13 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ analyze_cmd; screen_cmd; characterize_cmd; sweep_cmd; spef_cmd; flow_cmd; serve_cmd ]))
+          [
+            analyze_cmd;
+            screen_cmd;
+            characterize_cmd;
+            sweep_cmd;
+            spef_cmd;
+            flow_cmd;
+            serve_cmd;
+            top_cmd;
+          ]))

@@ -63,6 +63,9 @@ module Config = struct
     progress : Progress.t option;
     pool : Pool.t option;
     deadline : Deadline.t option;
+    trace : string option;
+        (** request trace id, installed as the ambient {!Obs.with_trace}
+            for the whole run so every span it records tags to it *)
   }
 
   type t = flow_config
@@ -80,6 +83,7 @@ module Config = struct
       progress = None;
       pool = None;
       deadline = None;
+      trace = None;
     }
 
   let with_jobs jobs t = { t with jobs = Some jobs }
@@ -342,11 +346,18 @@ let run_cfg_inner (cfg : Config.t) (design : Design.t) =
 (* The request deadline (when any) is installed ambiently for the whole
    run: the serial phases check it at level boundaries, worker domains
    inherit it through the pool's batch snapshot, and the replay engine
-   polls it inside its step loops. *)
+   polls it inside its step loops.  The trace id rides the same mechanism:
+   installed here for the master domain, snapshotted into pool batches for
+   the workers, stamped onto every span by [Obs.record_span]. *)
 let run_cfg (cfg : Config.t) (design : Design.t) =
-  match cfg.Config.deadline with
-  | None -> run_cfg_inner cfg design
-  | Some d -> Deadline.with_ambient d (fun () -> run_cfg_inner cfg design)
+  let body () =
+    match cfg.Config.deadline with
+    | None -> run_cfg_inner cfg design
+    | Some d -> Deadline.with_ambient d (fun () -> run_cfg_inner cfg design)
+  in
+  match cfg.Config.trace with
+  | None -> body ()
+  | Some _ as trace -> Obs.with_trace trace body
 
 let run ?(obs = Obs.null) ?progress ?(dt = 0.5e-12) ?jobs ?(use_cache = true) ?cache
     ?(quantize_digits = 9) ?(slew_grid = 0.1e-12) design =
@@ -363,6 +374,7 @@ let run ?(obs = Obs.null) ?progress ?(dt = 0.5e-12) ?jobs ?(use_cache = true) ?c
       slew_grid;
       pool = None;
       deadline = None;
+      trace = None;
     }
     design
 

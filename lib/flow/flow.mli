@@ -92,6 +92,13 @@ module Config : sig
             loops.  Expiry raises {!Rlc_errors.Deadline.Expired}; the
             service maps that onto the wire-stable [Timeout] error.
             [None] (default) disables all checks. *)
+    trace : string option;
+        (** request trace id; when set, the run installs it as the ambient
+            {!Rlc_obs.Obs.with_trace} for its whole extent, so every span
+            recorded during the run — including those from pool worker
+            domains, which inherit it through the batch snapshot — carries
+            a [("trace", id)] arg.  Purely observational: never appears in
+            reports.  [None] (default) leaves spans untagged. *)
   }
 
   type t = flow_config

@@ -133,10 +133,34 @@ let observe t name v =
     s.s_buckets.(bk) <- s.s_buckets.(bk) + 1
   end
 
+(* --------------------------------------------------------- trace ambient *)
+
+(* The current request's trace id, ambient per domain (one process-wide DLS
+   slot, not per sink).  [record_span] stamps it onto every span recorded
+   while it is installed, so one served request's spans — flow, pool,
+   engine, xtalk, wherever they were recorded — can be filtered out of a
+   Chrome trace of the whole concurrent server by a single arg.  The pool
+   snapshots the publisher's ambient per batch and re-installs it around
+   each worker's drain, exactly like the ambient deadline. *)
+
+let trace_key : string option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+
+let current_trace () = Domain.DLS.get trace_key
+
+let with_trace trace f =
+  let prev = Domain.DLS.get trace_key in
+  Domain.DLS.set trace_key trace;
+  Fun.protect ~finally:(fun () -> Domain.DLS.set trace_key prev) f
+
 (* ---------------------------------------------------------------- spans *)
 
 let record_span t name t0 dur args =
   let b = buf_of t in
+  let args =
+    match Domain.DLS.get trace_key with
+    | Some id -> ("trace", id) :: args
+    | None -> args
+  in
   b.b_spans <-
     {
       sp_name = name;
@@ -247,6 +271,64 @@ let snapshot t =
     in
     { m_counters = merge_counters bufs; m_stats = merge_stats bufs; m_spans = spans }
   end
+
+(* Counters and histograms only, spans skipped.  A periodic telemetry
+   ticker calls this once a second for the life of the daemon; merging the
+   (ever-growing) span lists on every tick would make the tick cost O(total
+   spans served), so the light snapshot stays O(distinct metric names). *)
+let snapshot_light t =
+  if not t.enabled then { m_counters = []; m_stats = []; m_spans = [] }
+  else begin
+    Mutex.lock t.mutex;
+    let bufs = t.bufs in
+    Mutex.unlock t.mutex;
+    { m_counters = merge_counters bufs; m_stats = merge_stats bufs; m_spans = [] }
+  end
+
+(* ------------------------------------------------- histogram estimation *)
+
+module Histogram = struct
+  (* Bucket i of [stat_summary.buckets] covers [2^i ns, 2^(i+1) ns); bucket
+     0 additionally absorbs everything <= 1 ns and the last bucket absorbs
+     everything past the top, mirroring [bucket_of]. *)
+
+  let bucket_lo i = if i <= 0 then 0. else Float.ldexp 1e-9 i
+
+  let bucket_hi i = Float.ldexp 1e-9 (i + 1)
+
+  (* Quantile estimate from the log2 buckets: walk the cumulative counts to
+     the rank [q * count], interpolate linearly inside the landing bucket,
+     and clamp to the exact observed [min, max].  Resolution is bounded by
+     the bucket width (a factor of 2), which is plenty for dashboard
+     p50/p95/p99 and costs nothing extra to record. *)
+  let quantile (s : stat_summary) q =
+    if s.count <= 0 then Float.nan
+    else begin
+      let q = Float.max 0. (Float.min 1. q) in
+      let target = q *. float_of_int s.count in
+      if target <= 0. then s.min
+      else begin
+        let result = ref s.max in
+        let cum = ref 0. in
+        (try
+           Array.iteri
+             (fun i n ->
+               if n > 0 then begin
+                 let next = !cum +. float_of_int n in
+                 if target <= next then begin
+                   let frac = (target -. !cum) /. float_of_int n in
+                   let lo = bucket_lo i and hi = bucket_hi i in
+                   result := lo +. (frac *. (hi -. lo));
+                   raise Exit
+                 end;
+                 cum := next
+               end)
+             s.buckets
+         with Exit -> ());
+        Float.max s.min (Float.min s.max !result)
+      end
+    end
+end
 
 (* ------------------------------------------------- snapshot convenience *)
 

@@ -39,6 +39,24 @@ val incr : t -> string -> unit
 
 val observe : t -> string -> float -> unit
 
+(** {1 Ambient trace id}
+
+    A per-domain trace id (one process-wide slot, independent of any sink).
+    While installed, every span recorded by {!finish}/{!time} — in any
+    library layer — carries a [("trace", id)] arg, so all spans belonging
+    to one served request can be filtered out of a merged Chrome trace.
+    [Rlc_parallel.Pool] snapshots the publisher's ambient trace per batch
+    and re-installs it around each worker's drain, exactly like the
+    ambient deadline. *)
+
+val with_trace : string option -> (unit -> 'a) -> 'a
+(** [with_trace (Some id) f] runs [f] with [id] as the calling domain's
+    ambient trace id, restoring the previous value afterwards (also on
+    exceptions).  [with_trace None f] clears it for the extent of [f]. *)
+
+val current_trace : unit -> string option
+(** The calling domain's ambient trace id, if any. *)
+
 (** {1 Spans} *)
 
 val start : t -> float
@@ -82,6 +100,31 @@ val snapshot : t -> metrics
 (** Merge all per-domain buffers.  Call after instrumented work has
     quiesced; concurrent recording during a snapshot is not torn (each
     buffer is read whole) but may be partially missed. *)
+
+val snapshot_light : t -> metrics
+(** Like {!snapshot} but skips the span merge ([m_spans] is [[]]).  Cost is
+    O(distinct metric names), independent of how many spans have been
+    recorded — suitable for a periodic telemetry ticker that runs for the
+    life of a daemon. *)
+
+(** {1 Histogram estimation} *)
+
+module Histogram : sig
+  val bucket_lo : int -> float
+  (** Lower bound of log2 bucket [i] in seconds ([0.] for bucket 0, which
+      also absorbs sub-nanosecond values). *)
+
+  val bucket_hi : int -> float
+  (** Exclusive upper bound of log2 bucket [i] in seconds ([2^(i+1)] ns). *)
+
+  val quantile : stat_summary -> float -> float
+  (** [quantile s q] estimates the [q]-quantile ([0. <= q <= 1.], clamped)
+      of the observed distribution from its log2 buckets: walk the
+      cumulative counts to rank [q * count], interpolate linearly inside
+      the landing bucket, clamp to the exact [[s.min, s.max]].  Worst-case
+      relative error is bounded by the factor-2 bucket width.  Returns
+      [nan] when [s.count = 0]. *)
+end
 
 val counter : metrics -> string -> int
 (** Merged value of a counter, [0] if never incremented. *)

@@ -19,11 +19,12 @@ type t = {
 
 let default_every ~tty ~total = if tty then 1 else max 1 (total / 20)
 
+let channel_is_tty channel =
+  try Unix.isatty (Unix.descr_of_out_channel channel)
+  with Unix.Unix_error _ | Sys_error _ -> false
+
 let create ?(channel = stderr) ?every ~label ~total () =
-  let tty =
-    try Unix.isatty (Unix.descr_of_out_channel channel)
-    with Unix.Unix_error _ | Sys_error _ -> false
-  in
+  let tty = channel_is_tty channel in
   let every =
     match every with Some e -> max 1 e | None -> default_every ~tty ~total
   in

@@ -7,6 +7,11 @@
 
 type t
 
+val channel_is_tty : out_channel -> bool
+(** Whether the channel is attached to a terminal ([false] on any error).
+    The same probe {!create} uses; exposed so other renderers (e.g. the
+    [top] dashboard) share one notion of "interactive". *)
+
 val create :
   ?channel:out_channel -> ?every:int -> label:string -> total:int -> unit -> t
 (** [channel] defaults to [stderr].  [every] (non-TTY line interval)

@@ -1,0 +1,117 @@
+(* Rolling-window telemetry over cumulative [Obs] snapshots.
+
+   The server's ticker records a light snapshot (counters + histograms,
+   spans dropped) every tick; the window keeps the most recent [capacity]
+   of them and answers "what happened over the last ~capacity ticks" by
+   subtracting the oldest retained sample from the newest.  Storing
+   cumulative samples rather than per-tick deltas makes the arithmetic
+   independent of the ticker period: any two tickers that bracket the same
+   interval report the same window delta.
+
+   The mutex makes recording (listener domain) and reading (whichever
+   domain serves a [metrics]/[health] request) safe against each other;
+   samples themselves are immutable once stored. *)
+
+type sample = {
+  at : float;
+  counters : (string * int) list;
+  stats : (string * Obs.stat_summary) list;
+}
+
+type t = {
+  capacity : int;
+  mutex : Mutex.t;
+  mutable items : sample list;  (* newest first, length <= capacity *)
+}
+
+let create ?(capacity = 60) () =
+  { capacity = Int.max 2 capacity; mutex = Mutex.create (); items = [] }
+
+let truncate n l =
+  let rec go n = function
+    | [] -> []
+    | _ when n <= 0 -> []
+    | x :: tl -> x :: go (n - 1) tl
+  in
+  go n l
+
+let record t ?at (m : Obs.metrics) =
+  let at = match at with Some a -> a | None -> Obs.now () in
+  let s = { at; counters = m.Obs.m_counters; stats = m.Obs.m_stats } in
+  Mutex.lock t.mutex;
+  t.items <- s :: truncate (t.capacity - 1) t.items;
+  Mutex.unlock t.mutex
+
+let clear t =
+  Mutex.lock t.mutex;
+  t.items <- [];
+  Mutex.unlock t.mutex
+
+let items t =
+  Mutex.lock t.mutex;
+  let l = t.items in
+  Mutex.unlock t.mutex;
+  l
+
+let samples t = List.length (items t)
+
+let latest t = match items t with [] -> None | s :: _ -> Some s
+
+(* Newest and oldest retained samples, when the window holds at least two. *)
+let ends t =
+  match items t with
+  | [] | [ _ ] -> None
+  | newest :: rest -> Some (newest, List.nth rest (List.length rest - 1))
+
+let span_s t =
+  match ends t with
+  | None -> 0.
+  | Some (newest, oldest) -> Float.max 0. (newest.at -. oldest.at)
+
+let counter_at s name =
+  match List.assoc_opt name s.counters with Some n -> n | None -> 0
+
+let counter_delta t name =
+  match ends t with
+  | None -> 0
+  | Some (newest, oldest) ->
+      Int.max 0 (counter_at newest name - counter_at oldest name)
+
+let rate t name =
+  let span = span_s t in
+  if span <= 0. then 0. else float_of_int (counter_delta t name) /. span
+
+let zero_stat =
+  {
+    Obs.count = 0;
+    sum = 0.;
+    min = Float.infinity;
+    max = Float.neg_infinity;
+    buckets = Array.make Obs.n_buckets 0;
+  }
+
+let stat_delta t name =
+  match ends t with
+  | None -> None
+  | Some (newest, oldest) -> (
+      match List.assoc_opt name newest.stats with
+      | None -> None
+      | Some (n : Obs.stat_summary) ->
+          let o =
+            match List.assoc_opt name oldest.stats with
+            | Some o -> o
+            | None -> zero_stat
+          in
+          (* Counts and sums subtract; min/max are lifetime extrema (the
+             cumulative samples can't recover per-window extrema), which
+             only widens the clamp range of quantile estimates. *)
+          Some
+            {
+              Obs.count = Int.max 0 (n.Obs.count - o.Obs.count);
+              sum = Float.max 0. (n.Obs.sum -. o.Obs.sum);
+              min = n.Obs.min;
+              max = n.Obs.max;
+              buckets =
+                Array.init Obs.n_buckets (fun i ->
+                    Int.max 0 (n.Obs.buckets.(i) - o.Obs.buckets.(i)));
+            })

@@ -1,0 +1,52 @@
+(** Rolling-window aggregation over cumulative {!Obs} snapshots.
+
+    A server ticker calls {!record} with {!Obs.snapshot_light} results
+    every tick; the window retains the newest [capacity] samples and
+    derives per-window deltas, rates, and histogram slices by subtracting
+    the oldest retained sample from the newest.  Because the samples are
+    cumulative, the window delta over a given interval is independent of
+    the ticker period used to cover it.
+
+    Thread-safe: one domain may {!record} while others read. *)
+
+type sample = {
+  at : float;  (** wall-clock seconds when the sample was taken *)
+  counters : (string * int) list;  (** cumulative, name-sorted *)
+  stats : (string * Obs.stat_summary) list;  (** cumulative, name-sorted *)
+}
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** A window retaining the newest [capacity] samples (default 60; at a 1 s
+    tick that is a one-minute window).  Clamped to [>= 2] — a single
+    sample has no delta. *)
+
+val record : t -> ?at:float -> Obs.metrics -> unit
+(** Append a cumulative sample (spans are dropped), evicting the oldest
+    when full.  [at] defaults to {!Obs.now}[ ()]. *)
+
+val clear : t -> unit
+
+val samples : t -> int
+(** Number of retained samples. *)
+
+val latest : t -> sample option
+(** The newest sample — the freshest cumulative counter/histogram view. *)
+
+val span_s : t -> float
+(** Seconds between the oldest and newest retained samples; [0.] with
+    fewer than two samples. *)
+
+val counter_delta : t -> string -> int
+(** Increase of a counter across the window ([0] with fewer than two
+    samples; clamped [>= 0]). *)
+
+val rate : t -> string -> float
+(** [counter_delta / span_s], or [0.] when the span is empty. *)
+
+val stat_delta : t -> string -> Obs.stat_summary option
+(** Histogram of values observed within the window: counts, sums and
+    buckets subtract; [min]/[max] are lifetime extrema (per-window extrema
+    are not recoverable from cumulative samples).  [None] if the stat has
+    never been observed or the window holds fewer than two samples. *)

@@ -7,6 +7,9 @@ type batch = {
   deadline : Rlc_errors.Deadline.t;
       (** the publisher's ambient deadline, installed around each worker's
           drain so fan-out inherits the request budget across domains *)
+  trace : string option;
+      (** the publisher's ambient trace id, installed the same way so spans
+          recorded inside worker domains tag to the originating request *)
 }
 
 type t = {
@@ -68,7 +71,8 @@ let worker t () =
         if Rlc_obs.Obs.enabled t.obs then
           Rlc_obs.Obs.observe t.obs "pool.queue_wait_s"
             (Float.max 0. (Rlc_obs.Obs.now () -. b.published));
-        Rlc_errors.Deadline.with_ambient b.deadline (fun () -> drain t b);
+        Rlc_errors.Deadline.with_ambient b.deadline (fun () ->
+            Rlc_obs.Obs.with_trace b.trace (fun () -> drain t b));
         loop ()
   in
   loop ()
@@ -113,6 +117,7 @@ let map t n f =
           remaining = Atomic.make n;
           published = (if Rlc_obs.Obs.enabled t.obs then Rlc_obs.Obs.now () else 0.);
           deadline = Rlc_errors.Deadline.ambient ();
+          trace = Rlc_obs.Obs.current_trace ();
         }
       in
       Mutex.lock t.mutex;

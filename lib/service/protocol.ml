@@ -39,6 +39,8 @@ type kind =
   | Screen of case_req
   | Ping
   | Stats
+  | Metrics
+  | Health
   | Shutdown
 
 type request = { id : Json.t option; timeout_ms : int option; kind : kind }
@@ -167,6 +169,8 @@ let parse_request ?(max_bytes = default_max_bytes) line =
       | "screen" -> Result.map (fun c -> Screen c) (parse_case fields)
       | "ping" -> Ok Ping
       | "stats" -> Ok Stats
+      | "metrics" -> Ok Metrics
+      | "health" -> Ok Health
       | "shutdown" -> Ok Shutdown
       | other -> bad "unknown request kind %S" other
     in

@@ -67,6 +67,17 @@ type kind =
   | Screen of case_req
   | Ping
   | Stats
+  | Metrics
+      (** live telemetry: rolling-window rates and latency quantiles, cache
+          shard breakdown, plus a Prometheus text exposition of the same
+          numbers under a ["prometheus"] string field.  The server answers
+          this inline from the listener — it never queues, so scrapes keep
+          working while the admission queue is saturated. *)
+  | Health
+      (** liveness + readiness: [alive] is always [true] (the daemon
+          answered); [ready] requires the pool up, the queue below its
+          high-water mark, and no deadline storm in the current window.
+          Served inline like [Metrics]. *)
   | Shutdown
 
 type request = {

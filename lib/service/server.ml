@@ -38,19 +38,34 @@ type t = {
   workers : int;
   queue_capacity : int;
   backlog : int;
+  slow_ms : float option;
+      (** requests whose execution wall time reaches this threshold are
+          logged as single-line JSON on [slow_channel] *)
+  slow_channel : out_channel;
+  tick_period_s : float;
   stop : bool Atomic.t;
   wake : Unix.file_descr option Atomic.t;
       (** write end of the listener's self-pipe while [serve_unix] runs;
           [stop] and the worker domains poke it to interrupt [select] *)
   queue_depth : int Atomic.t;  (** admission-queue population, for stats *)
+  window : Rlc_obs.Window.t;
+      (** rolling telemetry window, fed by the serve loop's ticker *)
+  trace_seq : int Atomic.t;
+  trace_base : string;  (** per-process prefix of minted trace ids *)
+  log_mutex : Mutex.t;  (** serializes slow-log lines across domains *)
+  mutable next_tick : float;
+      (* earliest wall time for the next window sample; only the serving
+         loop (listener or pipe pump) advances it *)
 }
 
 let default_timeout_s = 60.
 let default_workers = 1
 let default_queue_capacity = 64
+let default_tick_period_s = 1.
 
 let create ?(timeout_s = default_timeout_s) ?(max_request_bytes = Protocol.default_max_bytes)
-    ?(workers = default_workers) ?(queue_capacity = default_queue_capacity) ?backlog session =
+    ?(workers = default_workers) ?(queue_capacity = default_queue_capacity) ?backlog ?slow_ms
+    ?(slow_channel = stderr) ?(tick_period_s = default_tick_period_s) ?window_capacity session =
   let queue_capacity = Int.max 1 queue_capacity in
   {
     session;
@@ -59,12 +74,43 @@ let create ?(timeout_s = default_timeout_s) ?(max_request_bytes = Protocol.defau
     workers = Int.max 1 workers;
     queue_capacity;
     backlog = Int.max 1 (Option.value backlog ~default:queue_capacity);
+    slow_ms;
+    slow_channel;
+    tick_period_s = Float.max 0. tick_period_s;
     stop = Atomic.make false;
     wake = Atomic.make None;
     queue_depth = Atomic.make 0;
+    window = Rlc_obs.Window.create ?capacity:window_capacity ();
+    trace_seq = Atomic.make 0;
+    (* Distinct per daemon start so traces from two runs never collide in a
+       merged log; uniqueness within a run comes from the atomic counter. *)
+    trace_base =
+      Printf.sprintf "%04x"
+        (Hashtbl.hash (Unix.getpid (), Unix.gettimeofday ()) land 0xffff);
+    log_mutex = Mutex.create ();
+    next_tick = 0.;
   }
 
 let obs t = (Session.config t.session).Session.Config.obs
+
+let window t = t.window
+
+let mint_trace t =
+  Printf.sprintf "%s-%06d" t.trace_base (Atomic.fetch_and_add t.trace_seq 1)
+
+(* Record a cumulative window sample if the tick period has elapsed.  Only
+   the serving loop calls this (listener in unix mode, the line pump in
+   pipe mode), so [next_tick] needs no lock; the window itself is
+   mutex-guarded against concurrent readers. *)
+let tick t =
+  let o = obs t in
+  if Obs.enabled o then begin
+    let now = Unix.gettimeofday () in
+    if now >= t.next_tick then begin
+      Rlc_obs.Window.record t.window ~at:now (Obs.snapshot_light o);
+      t.next_tick <- now +. t.tick_period_s
+    end
+  end
 let wake_byte = Bytes.make 1 '!'
 
 let wake_listener t =
@@ -164,7 +210,7 @@ let case_of t (c : Protocol.case_req) =
 (* Shared by the "flow" and "xtalk" kinds — one code path, so an xtalk
    request's report embeds the fragment and everything else stays
    byte-identical to a plain flow. *)
-let run_flow t ~deadline ?xtalk (f : Protocol.flow_req) =
+let run_flow t ~deadline ~trace ?xtalk (f : Protocol.flow_req) =
   let ( let* ) = Result.bind in
   let* spef, spef_name = resolve "spef_file" f.Protocol.f_spef in
   let* spec, spec_name =
@@ -184,11 +230,18 @@ let run_flow t ~deadline ?xtalk (f : Protocol.flow_req) =
       ?required:(Option.map Units.ps f.Protocol.f_required_ps)
       ?use_cache:f.Protocol.f_use_cache
       ?dt:(Option.map Units.ps f.Protocol.f_dt_ps)
-      ?xtalk ~deadline design
+      ?xtalk ~deadline ?trace design
   in
   Ok (flow_fields outcome)
 
-let dispatch t ~deadline (kind : Protocol.kind) :
+let server_info t =
+  {
+    Telemetry.workers = t.workers;
+    queue_capacity = t.queue_capacity;
+    queue_depth = Atomic.get t.queue_depth;
+  }
+
+let dispatch t ~deadline ~trace (kind : Protocol.kind) :
     ((string * Json.t) list, Error.t) result * [ `Continue | `Stop ] =
   let ( let* ) = Result.bind in
   match kind with
@@ -206,6 +259,7 @@ let dispatch t ~deadline (kind : Protocol.kind) :
                   ("entries", Json.Int s.Session.cache_entries);
                   ("hits", Json.Int s.Session.cache_hits);
                   ("misses", Json.Int s.Session.cache_misses);
+                  ("shards", Telemetry.shards_json (Session.shard_stats t.session));
                 ] );
             ( "server",
               Json.Obj
@@ -216,8 +270,18 @@ let dispatch t ~deadline (kind : Protocol.kind) :
                 ] );
           ],
         `Continue )
+  | Protocol.Metrics ->
+      ( Ok
+          (Telemetry.metrics_fields ~session:t.session ~server:(server_info t)
+             ~window:t.window ()),
+        `Continue )
+  | Protocol.Health ->
+      ( Ok
+          (Telemetry.health_fields ~session:t.session ~server:(server_info t)
+             ~window:t.window ()),
+        `Continue )
   | Protocol.Shutdown -> (Ok [ ("stopping", Json.Bool true) ], `Stop)
-  | Protocol.Flow f -> (run_flow t ~deadline f, `Continue)
+  | Protocol.Flow f -> (run_flow t ~deadline ~trace f, `Continue)
   | Protocol.Xtalk (f, x) ->
       let xtalk =
         {
@@ -229,7 +293,7 @@ let dispatch t ~deadline (kind : Protocol.kind) :
               ~default:Session.default_xtalk.Session.alignments;
         }
       in
-      (run_flow t ~deadline ~xtalk f, `Continue)
+      (run_flow t ~deadline ~trace ~xtalk f, `Continue)
   | Protocol.Sweep_case c ->
       ( (let* case = case_of t c in
          let* cmp = Session.sweep_case t.session ?dt:(Option.map Units.ps c.Protocol.c_dt_ps) case in
@@ -257,14 +321,30 @@ let budget_of t (req : Protocol.request) =
   | Some ms -> float_of_int ms /. 1000.
   | None -> t.timeout_s
 
-(* Serve one decoded request under its deadline.  Per-request isolation:
-   whatever escapes — an expired deadline from any depth of the stack, an
-   unexpected exception — becomes a typed error response and the caller
-   keeps serving.  Never raises. *)
-let respond t ~deadline (req : Protocol.request) =
+let kind_name = function
+  | Protocol.Flow _ -> "flow"
+  | Protocol.Xtalk _ -> "xtalk"
+  | Protocol.Sweep_case _ -> "sweep_case"
+  | Protocol.Screen _ -> "screen"
+  | Protocol.Ping -> "ping"
+  | Protocol.Stats -> "stats"
+  | Protocol.Metrics -> "metrics"
+  | Protocol.Health -> "health"
+  | Protocol.Shutdown -> "shutdown"
+
+(* Serve one decoded request under its deadline, with the minted trace id
+   installed ambiently so every span recorded below carries it.
+   Per-request isolation: whatever escapes — an expired deadline from any
+   depth of the stack, an unexpected exception — becomes a typed error
+   response and the caller keeps serving.  Never raises. *)
+let respond t ~deadline ~trace (req : Protocol.request) =
   let id = req.Protocol.id in
   let outcome, control =
-    match Deadline.with_ambient deadline (fun () -> dispatch t ~deadline req.Protocol.kind) with
+    match
+      Obs.with_trace (Some trace) (fun () ->
+          Deadline.with_ambient deadline (fun () ->
+              dispatch t ~deadline ~trace:(Some trace) req.Protocol.kind))
+    with
     | v -> v
     | exception Deadline.Expired budget -> (Error (Error.Timeout budget), `Continue)
     | exception Fun.Finally_raised (Deadline.Expired budget) ->
@@ -274,20 +354,82 @@ let respond t ~deadline (req : Protocol.request) =
   match outcome with
   | Ok fields ->
       Session.note t.session ~ok:true;
-      (Protocol.ok_response ?id fields, control)
+      (Protocol.ok_response ?id fields, control, Ok fields)
   | Error e ->
       Session.note t.session ~ok:false;
       (match e with Error.Timeout _ -> Obs.incr (obs t) "service.timeouts" | _ -> ());
       Log.info (fun m -> m "request failed: %s" (Error.to_string e));
-      (Protocol.error_response ?id e, `Continue)
+      (Protocol.error_response ?id e, `Continue, Error e)
+
+let slow_log t ~trace ~kind ~queue_wait_s ~wall_s ~worker outcome =
+  match t.slow_ms with
+  | Some threshold when wall_s *. 1e3 >= threshold ->
+      let ok, cache_hits =
+        match outcome with
+        | Error _ -> (false, None)
+        | Ok fields -> (
+            ( true,
+              match List.assoc_opt "cache_hits" fields with
+              | Some (Json.Int n) -> Some n
+              | _ -> None ))
+      in
+      let line =
+        Json.to_string
+          (Json.Obj
+             ([
+                ("slow_request", Json.Bool true);
+                ("trace", Json.Str trace);
+                ("kind", Json.Str kind);
+                ("queue_wait_ms", Json.Float (queue_wait_s *. 1e3));
+                ("wall_ms", Json.Float (wall_s *. 1e3));
+                ("ok", Json.Bool ok);
+                ("worker", Json.Int worker);
+              ]
+             @
+             match cache_hits with
+             | Some n -> [ ("cache_hits", Json.Int n) ]
+             | None -> []))
+      in
+      Mutex.lock t.log_mutex;
+      output_string t.slow_channel line;
+      output_char t.slow_channel '\n';
+      flush t.slow_channel;
+      Mutex.unlock t.log_mutex
+  | _ -> ()
+
+(* Full per-request bookkeeping around [respond]: wall-time measurement,
+   the request counters and latency histogram the telemetry window is
+   built from, the ["service.request"] span, and the slow-request log.
+   [worker] is the executor domain index, or [-1] for requests served on
+   the serving loop itself (pipe mode and inline [metrics]/[health]). *)
+let serve_request t ~deadline ~trace ~queue_wait_s ~worker (req : Protocol.request) =
+  let o = obs t in
+  let kind = kind_name req.Protocol.kind in
+  let t0 = Unix.gettimeofday () in
+  let response, control, outcome = respond t ~deadline ~trace req in
+  let wall_s = Unix.gettimeofday () -. t0 in
+  if Obs.enabled o then begin
+    Obs.incr o "service.requests";
+    Obs.incr o ("service.requests." ^ kind);
+    Obs.observe o "service.request_s" wall_s;
+    Obs.finish o
+      ~args:[ ("worker", string_of_int worker); ("kind", kind); ("trace", trace) ]
+      "service.request" t0
+  end;
+  slow_log t ~trace ~kind ~queue_wait_s ~wall_s ~worker outcome;
+  (response, control)
 
 let handle_line t line =
+  tick t;
   match Protocol.parse_request ~max_bytes:t.max_request_bytes line with
   | Error e ->
       Session.note t.session ~ok:false;
       Log.info (fun m -> m "request failed: %s" (Error.to_string e));
       (Protocol.error_response e, `Continue)
-  | Ok req -> respond t ~deadline:(Deadline.start (budget_of t req)) req
+  | Ok req ->
+      serve_request t
+        ~deadline:(Deadline.start (budget_of t req))
+        ~trace:(mint_trace t) ~queue_wait_s:0. ~worker:(-1) req
 
 (* ---------------------------------------------------------- pipe mode *)
 
@@ -380,6 +522,7 @@ type job = {
   j_deadline : Deadline.t;
   j_budget : float;
   j_enqueued : float;
+  j_trace : string;  (* minted at admission, before any queueing *)
 }
 
 type runtime = {
@@ -416,15 +559,6 @@ let take_line conn =
       Buffer.clear conn.buf;
       Buffer.add_substring conn.buf s (i + 1) (String.length s - i - 1);
       Some (String.sub s 0 i)
-
-let kind_name = function
-  | Protocol.Flow _ -> "flow"
-  | Protocol.Xtalk _ -> "xtalk"
-  | Protocol.Sweep_case _ -> "sweep_case"
-  | Protocol.Screen _ -> "screen"
-  | Protocol.Ping -> "ping"
-  | Protocol.Stats -> "stats"
-  | Protocol.Shutdown -> "shutdown"
 
 (* Listener-side line pump for one connection.  Runs only while the
    connection has no request in flight, so worker writes never interleave
@@ -469,6 +603,19 @@ let rec advance t rt conn =
               Log.info (fun m -> m "request failed: %s" (Error.to_string e));
               write_response conn (Protocol.error_response e);
               advance t rt conn
+          | Ok ({ Protocol.kind = Protocol.Metrics | Protocol.Health; _ } as req) ->
+              (* Telemetry must answer even when the admission queue is
+                 saturated: the listener serves these two kinds inline —
+                 they read atomics and the window, never the engine — so a
+                 scraper or load balancer keeps getting answers exactly
+                 when the queue-full signal matters most. *)
+              tick t;
+              let response, _ =
+                serve_request t ~deadline:Deadline.never ~trace:(mint_trace t)
+                  ~queue_wait_s:0. ~worker:(-1) req
+              in
+              write_response conn response;
+              advance t rt conn
           | Ok req -> (
               let budget = budget_of t req in
               let job =
@@ -478,6 +625,7 @@ let rec advance t rt conn =
                   j_deadline = Deadline.start budget;
                   j_budget = budget;
                   j_enqueued = Unix.gettimeofday ();
+                  j_trace = mint_trace t;
                 }
               in
               match Bqueue.try_push rt.queue job with
@@ -505,9 +653,8 @@ let worker_loop t rt wid =
     | None -> ()
     | Some job ->
         Atomic.decr t.queue_depth;
-        if Obs.enabled o then
-          Obs.observe o "service.queue_wait_s"
-            (Float.max 0. (Unix.gettimeofday () -. job.j_enqueued));
+        let queue_wait_s = Float.max 0. (Unix.gettimeofday () -. job.j_enqueued) in
+        if Obs.enabled o then Obs.observe o "service.queue_wait_s" queue_wait_s;
         let response, control =
           if Deadline.expired job.j_deadline then begin
             (* Expired while queued: answer without burning a worker. *)
@@ -523,16 +670,9 @@ let worker_loop t rt wid =
             ( Protocol.error_response ?id:job.j_req.Protocol.id (Error.Timeout job.j_budget),
               `Continue )
           end
-          else begin
-            let t0 = Obs.start o in
-            let r = respond t ~deadline:job.j_deadline job.j_req in
-            if Obs.enabled o then
-              Obs.finish o
-                ~args:
-                  [ ("worker", string_of_int wid); ("kind", kind_name job.j_req.Protocol.kind) ]
-                "service.request" t0;
-            r
-          end
+          else
+            serve_request t ~deadline:job.j_deadline ~trace:job.j_trace ~queue_wait_s
+              ~worker:wid job.j_req
         in
         write_response job.j_conn response;
         (match control with `Stop -> stop t | `Continue -> ());
@@ -585,7 +725,11 @@ let serve_unix t ~path =
       Log.info (fun m ->
           m "listening on %s (workers %d, queue %d, backlog %d)" path t.workers t.queue_capacity
             t.backlog);
+      (* Baseline window sample at serve start, so the first real tick
+         already yields a delta. *)
+      tick t;
       while not (stopped t) do
+        tick t;
         (* Connections whose response was just written resume reading; any
            buffered next request is admitted right away. *)
         Mutex.lock rt.done_mutex;
@@ -604,7 +748,14 @@ let serve_unix t ~path =
         conns := live;
         let readable = List.filter (fun c -> c.alive && not c.in_flight) live in
         let fds = sock :: rt.wake_r :: List.map (fun c -> c.fd) readable in
-        match Unix.select fds [] [] (-1.) with
+        (* With telemetry on, wake for the next window sample even when no
+           traffic arrives; an idle daemon still advances its window. *)
+        let timeout =
+          if Obs.enabled (obs t) then
+            Float.max 0.01 (t.next_tick -. Unix.gettimeofday ())
+          else -1.
+        in
+        match Unix.select fds [] [] timeout with
         | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
         | ready, _, _ ->
             if List.memq rt.wake_r ready then begin

@@ -37,12 +37,19 @@ val default_workers : int
 val default_queue_capacity : int
 (** 64 queued requests. *)
 
+val default_tick_period_s : float
+(** 1 second between telemetry window samples. *)
+
 val create :
   ?timeout_s:float ->
   ?max_request_bytes:int ->
   ?workers:int ->
   ?queue_capacity:int ->
   ?backlog:int ->
+  ?slow_ms:float ->
+  ?slow_channel:out_channel ->
+  ?tick_period_s:float ->
+  ?window_capacity:int ->
   Session.t ->
   t
 (** Wrap a session.  [timeout_s <= 0] or [infinity] disables the request
@@ -52,8 +59,24 @@ val create :
     {!serve_unix}; [queue_capacity] (default {!default_queue_capacity})
     bounds the admission queue; [backlog] is the kernel listen queue and
     defaults to [queue_capacity].  All three are clamped to at least 1.
-    The session is borrowed: closing it after the serve loop returns is
-    the caller's job. *)
+
+    [slow_ms] turns on the slow-request log: any request whose execution
+    wall time reaches the threshold (so [~slow_ms:0.] logs every request)
+    emits one JSON line on [slow_channel] (default [stderr]) with fields
+    [slow_request], [trace], [kind], [queue_wait_ms], [wall_ms], [ok],
+    [worker] (executor domain index, [-1] for requests served on the
+    serving loop itself), and [cache_hits] when the response carries it.
+
+    [tick_period_s] (default {!default_tick_period_s}) is the telemetry
+    ticker period and [window_capacity] (default 60 samples) the rolling
+    window length; both only matter when the session's obs sink is
+    enabled.  The session is borrowed: closing it after the serve loop
+    returns is the caller's job. *)
+
+val window : t -> Rlc_obs.Window.t
+(** The rolling telemetry window the serve loop's ticker feeds — what the
+    [metrics]/[health] kinds read; exposed for embedders (e.g. the bench)
+    that want the same digest without a socket round-trip. *)
 
 val stop : t -> unit
 (** Ask the serve loop to exit after in-flight requests (what the
@@ -87,7 +110,16 @@ val serve_unix : t -> path:string -> unit
 
     With [obs] enabled on the session, serving records
     ["service.connections"], ["service.admitted"],
-    ["service.rejected_queue_full"], ["service.rejected_expired"] and
-    ["service.timeouts"] counters, ["service.queue_depth"] /
-    ["service.queue_wait_s"] histograms, and a ["service.request"] span
-    per executed request (args: worker id, request kind). *)
+    ["service.rejected_queue_full"], ["service.rejected_expired"],
+    ["service.timeouts"], ["service.requests"] and per-kind
+    ["service.requests.<kind>"] counters, ["service.queue_depth"] /
+    ["service.queue_wait_s"] / ["service.request_s"] histograms, and a
+    ["service.request"] span per executed request (args: worker id,
+    request kind, trace id).  A trace id is minted per request at
+    admission and installed ambiently for its whole execution, so every
+    span the request records — down through flow, pool batches, and the
+    engine — carries a [("trace", id)] arg.  The listener also samples
+    the obs counters into the rolling telemetry {!window} every
+    [tick_period_s]; the [metrics] and [health] kinds are answered inline
+    by the listener (never queued), so they keep responding while the
+    admission queue is saturated. *)

@@ -80,6 +80,10 @@ let with_session ?config f =
 
 let note t ~ok = Atomic.incr (if ok then t.served else t.failed)
 
+let is_closed t = t.closed
+
+let shard_stats t = Rlc_flow.Cache.shard_stats t.cache
+
 let stats t =
   {
     uptime_s = Unix.gettimeofday () -. t.started_at;
@@ -132,7 +136,7 @@ type flow_outcome = {
   report : string;
 }
 
-let flow t ?required ?use_cache ?dt ?adaptive ?progress ?xtalk ?deadline design =
+let flow t ?required ?use_cache ?dt ?adaptive ?progress ?xtalk ?deadline ?trace design =
   let cfg =
     {
       Flow.Config.dt = Option.value dt ~default:t.config.Config.dt;
@@ -146,6 +150,7 @@ let flow t ?required ?use_cache ?dt ?adaptive ?progress ?xtalk ?deadline design 
       progress;
       pool = Some t.pool;
       deadline;
+      trace;
     }
   in
   guard (fun () ->

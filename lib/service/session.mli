@@ -43,6 +43,10 @@ val config : t -> Config.t
 val close : t -> unit
 (** Shut the pool down.  Idempotent; the session must not be used after. *)
 
+val is_closed : t -> bool
+(** Whether {!close} has run — i.e. the pool is no longer up.  The server's
+    [health] readiness check reads this. *)
+
 val with_session : ?config:Config.t -> (t -> 'a) -> 'a
 (** [create], run, [close] (also on exceptions). *)
 
@@ -92,6 +96,7 @@ val flow :
   ?progress:Rlc_obs.Progress.t ->
   ?xtalk:xtalk_request ->
   ?deadline:Rlc_errors.Deadline.t ->
+  ?trace:string ->
   Rlc_flow.Design.t ->
   (flow_outcome, Error.t) result
 (** Run the full-design flow on the session's pool against the session's
@@ -104,7 +109,9 @@ val flow :
     Ceff cache is not involved) and embeds the fragment in [report].
     [deadline] threads the per-request budget into [Flow.Config.deadline];
     expiry escapes as {!Rlc_errors.Deadline.Expired} (deliberately not
-    mapped here — the server owns the wire [Timeout] conversion).  The
+    mapped here — the server owns the wire [Timeout] conversion).  [trace]
+    threads the request's trace id into [Flow.Config.trace] so every span
+    the run records carries it (reports are unaffected).  The
     session is safe to drive from several server worker domains at once:
     the cache is sharded, the pool accepts concurrent batches, and request
     accounting is atomic. *)
@@ -147,3 +154,8 @@ val note : t -> ok:bool -> unit
 (** Count one finished request (the server calls this once per line). *)
 
 val stats : t -> stats
+
+val shard_stats : t -> Rlc_flow.Cache.shard_stat array
+(** Per-shard population and hit/miss counters of the session's Ceff
+    cache, index-ordered — the telemetry layer surfaces these in the
+    [stats] and [metrics] responses. *)

@@ -1,0 +1,55 @@
+(** Live serving telemetry: bodies of the [metrics] and [health] responses.
+
+    Assembled purely from the session's atomic accounting, the server's
+    queue gauges, and the rolling {!Rlc_obs.Window} fed by the listener's
+    ticker — never from the span buffers, so building a response is cheap
+    and safe to do inline on the listener even under overload.  Counters
+    sourced from the window are at most one tick stale;
+    [service_requests_total] in the Prometheus text comes from the session
+    atomics and is exact. *)
+
+type server_info = { workers : int; queue_capacity : int; queue_depth : int }
+
+val high_water : int -> int
+(** Readiness threshold for the admission queue: [ceil(0.8 * capacity)],
+    at least 1.  [health] reports not-ready once the depth reaches it. *)
+
+val shards_json : Rlc_flow.Cache.shard_stat array -> Json.t
+(** Per-shard cache stats as a JSON list of [{entries, hits, misses}] —
+    shared by the [stats] and [metrics] responses. *)
+
+val metrics_fields :
+  session:Session.t ->
+  server:server_info ->
+  window:Rlc_obs.Window.t ->
+  unit ->
+  (string * Json.t) list
+(** The [metrics] response body: [uptime_s], exact [totals], per-kind
+    counters, a [window] block (req/s, timeout/rejection rates, cache hit
+    ratio, p50/p95/p99 ms via {!Rlc_obs.Obs.Histogram.quantile}, worker
+    utilization), [server] gauges, [cache] aggregate + per-shard stats,
+    and the full Prometheus text exposition under ["prometheus"].
+    Window-derived floats are [nan] (rendered as JSON [null]) when the
+    window lacks data — fewer than two samples, or no traffic. *)
+
+val health_fields :
+  session:Session.t ->
+  server:server_info ->
+  window:Rlc_obs.Window.t ->
+  unit ->
+  (string * Json.t) list
+(** The [health] response body: [alive] (always [true]), [ready], and the
+    individual [checks] — pool up ({!Session.is_closed} false), queue
+    depth below {!high_water}, and no deadline storm (more than half the
+    window's requests expiring) in the current window. *)
+
+val prometheus :
+  stats:Session.stats ->
+  shards:Rlc_flow.Cache.shard_stat array ->
+  server:server_info ->
+  window:Rlc_obs.Window.t ->
+  unit ->
+  string
+(** The Prometheus text exposition alone ([# HELP]/[# TYPE] metadata,
+    counters, gauges, and log2-bucketed histograms with cumulative [le]
+    buckets, [_sum], [_count] and [+Inf]). *)

@@ -7,6 +7,7 @@
    the deterministic stats. *)
 
 module Obs = Rlc_obs.Obs
+module Window = Rlc_obs.Window
 module Export = Rlc_obs.Export
 module Progress = Rlc_obs.Progress
 module Rootfind = Rlc_num.Rootfind
@@ -228,6 +229,154 @@ let test_cross_domain_merge () =
     List.sort_uniq compare (List.map (fun sp -> sp.Obs.sp_tid) m.Obs.m_spans)
   in
   Alcotest.(check int) "three distinct recording domains" 3 (List.length tids)
+
+(* ----------------------------------------------------------- quantile *)
+
+let stat_of values =
+  let t = Obs.create () in
+  List.iter (Obs.observe t "q") values;
+  List.assoc "q" (Obs.snapshot t).Obs.m_stats
+
+let test_quantile () =
+  (* Uniform 1..1000 ns: log2 buckets bound any quantile estimate within a
+     factor of 2 of the exact percentile, and estimates are monotone. *)
+  let s = stat_of (List.init 1000 (fun i -> float_of_int (i + 1) *. 1e-9)) in
+  Alcotest.(check (float 1e-15)) "q0 is min" 1e-9 (Obs.Histogram.quantile s 0.);
+  Alcotest.(check (float 1e-15)) "q1 is max" 1e-6 (Obs.Histogram.quantile s 1.);
+  List.iter
+    (fun q ->
+      let exact = q *. 1e-6 in
+      let est = Obs.Histogram.quantile s q in
+      Alcotest.(check bool)
+        (Printf.sprintf "q%.2f within 2x of exact" q)
+        true
+        (est >= exact /. 2. && est <= exact *. 2.))
+    [ 0.25; 0.5; 0.75; 0.95; 0.99 ];
+  let prev = ref neg_infinity in
+  List.iter
+    (fun q ->
+      let est = Obs.Histogram.quantile s q in
+      Alcotest.(check bool) "monotone in q" true (est >= !prev);
+      prev := est)
+    [ 0.; 0.1; 0.25; 0.5; 0.75; 0.9; 0.95; 0.99; 1. ];
+  (* Everything in one bucket: any quantile stays inside that bucket. *)
+  let s1 = stat_of [ 3e-9; 3e-9; 3e-9; 3e-9; 3e-9 ] in
+  List.iter
+    (fun q ->
+      let est = Obs.Histogram.quantile s1 q in
+      Alcotest.(check bool) "single bucket bounds" true (est >= 2e-9 && est <= 4e-9))
+    [ 0.1; 0.5; 0.9 ];
+  (* Empty summary: nan, not a crash. *)
+  let empty =
+    {
+      Obs.count = 0;
+      sum = 0.;
+      min = Float.infinity;
+      max = Float.neg_infinity;
+      buckets = Array.make Obs.n_buckets 0;
+    }
+  in
+  Alcotest.(check bool) "empty is nan" true (Float.is_nan (Obs.Histogram.quantile empty 0.5))
+
+(* ------------------------------------------------------------- window *)
+
+let test_window_delta () =
+  let t = Obs.create () in
+  let w = Window.create () in
+  Obs.incr t "c";
+  Obs.incr t "c";
+  Obs.incr t "c";
+  Obs.observe t "v" 1e-9;
+  Obs.observe t "v" 3e-9;
+  Window.record w ~at:10.0 (Obs.snapshot_light t);
+  Obs.incr t "c";
+  Obs.incr t "c";
+  Obs.observe t "v" 10e-9;
+  Window.record w ~at:12.5 (Obs.snapshot_light t);
+  Alcotest.(check int) "samples" 2 (Window.samples w);
+  Alcotest.(check (float 1e-9)) "span" 2.5 (Window.span_s w);
+  Alcotest.(check int) "counter delta" 2 (Window.counter_delta w "c");
+  Alcotest.(check (float 1e-9)) "rate" 0.8 (Window.rate w "c");
+  Alcotest.(check int) "missing counter delta" 0 (Window.counter_delta w "nope");
+  (match Window.stat_delta w "v" with
+  | Some s ->
+      Alcotest.(check int) "stat delta count" 1 s.Obs.count;
+      Alcotest.(check (float 1e-24)) "stat delta sum" 10e-9 s.Obs.sum;
+      Alcotest.(check int) "stat delta buckets sum" 1 (Array.fold_left ( + ) 0 s.Obs.buckets)
+  | None -> Alcotest.fail "stat delta missing");
+  Alcotest.(check bool) "missing stat delta" true (Window.stat_delta w "nope" = None);
+  (match Window.latest w with
+  | Some s ->
+      Alcotest.(check (float 0.)) "latest is newest" 12.5 s.Window.at;
+      Alcotest.(check int) "latest is cumulative" 5 (List.assoc "c" s.Window.counters)
+  | None -> Alcotest.fail "no latest sample")
+
+let test_window_capacity () =
+  let t = Obs.create () in
+  let w = Window.create ~capacity:3 () in
+  for i = 1 to 5 do
+    Obs.incr t "c";
+    Window.record w ~at:(float_of_int i) (Obs.snapshot_light t)
+  done;
+  Alcotest.(check int) "evicted to capacity" 3 (Window.samples w);
+  (* Retained samples are t=3,4,5 with cumulative c=3,4,5. *)
+  Alcotest.(check (float 1e-9)) "span covers retained" 2. (Window.span_s w);
+  Alcotest.(check int) "delta over retained" 2 (Window.counter_delta w "c");
+  Window.clear w;
+  Alcotest.(check int) "cleared" 0 (Window.samples w);
+  Alcotest.(check int) "no delta after clear" 0 (Window.counter_delta w "c")
+
+let test_window_tick_independence () =
+  (* The same instrumented run sampled every tick vs only at the endpoints
+     yields the same window delta — cumulative samples make the digest
+     ticker-period independent. *)
+  let t = Obs.create () in
+  let fine = Window.create () and coarse = Window.create () in
+  let sample at =
+    let m = Obs.snapshot_light t in
+    Window.record fine ~at m;
+    m
+  in
+  let first = sample 0. in
+  Window.record coarse ~at:0. first;
+  for i = 1 to 9 do
+    Obs.incr t "c";
+    Obs.observe t "v" (float_of_int i *. 1e-9);
+    let m = sample (float_of_int i) in
+    if i = 9 then Window.record coarse ~at:9. m
+  done;
+  Alcotest.(check int) "fine samples" 10 (Window.samples fine);
+  Alcotest.(check int) "coarse samples" 2 (Window.samples coarse);
+  Alcotest.(check (float 1e-9)) "same span" (Window.span_s fine) (Window.span_s coarse);
+  Alcotest.(check int) "same counter delta" (Window.counter_delta fine "c")
+    (Window.counter_delta coarse "c");
+  match (Window.stat_delta fine "v", Window.stat_delta coarse "v") with
+  | Some f, Some c ->
+      Alcotest.(check int) "same stat count" f.Obs.count c.Obs.count;
+      Alcotest.(check (float 1e-24)) "same stat sum" f.Obs.sum c.Obs.sum;
+      Alcotest.(check bool) "same buckets" true (f.Obs.buckets = c.Obs.buckets)
+  | _ -> Alcotest.fail "stat delta missing"
+
+(* ------------------------------------------------------- ambient trace *)
+
+let test_ambient_trace () =
+  let t = Obs.create () in
+  Alcotest.(check bool) "no ambient trace outside" true (Obs.current_trace () = None);
+  Obs.with_trace (Some "req-1") (fun () ->
+      Alcotest.(check bool) "installed" true (Obs.current_trace () = Some "req-1");
+      Obs.time t "outer" (fun () ->
+          Obs.with_trace (Some "req-2") (fun () -> Obs.time t "inner" (fun () -> ())));
+      Alcotest.(check bool) "nested restore" true (Obs.current_trace () = Some "req-1"));
+  Alcotest.(check bool) "restored to none" true (Obs.current_trace () = None);
+  Obs.time t "plain" (fun () -> ());
+  let m = Obs.snapshot t in
+  let span n = List.find (fun sp -> sp.Obs.sp_name = n) m.Obs.m_spans in
+  Alcotest.(check (option string)) "outer tagged" (Some "req-1")
+    (List.assoc_opt "trace" (span "outer").Obs.sp_args);
+  Alcotest.(check (option string)) "inner tagged with nested id" (Some "req-2")
+    (List.assoc_opt "trace" (span "inner").Obs.sp_args);
+  Alcotest.(check (option string)) "untagged outside" None
+    (List.assoc_opt "trace" (span "plain").Obs.sp_args)
 
 (* ---------------------------------------------------------- exporters *)
 
@@ -592,6 +741,14 @@ let () =
           Alcotest.test_case "spans" `Quick test_spans;
           Alcotest.test_case "disabled no-op" `Quick test_disabled_noop;
           Alcotest.test_case "cross-domain merge" `Quick test_cross_domain_merge;
+          Alcotest.test_case "ambient trace" `Quick test_ambient_trace;
+        ] );
+      ( "telemetry",
+        [
+          Alcotest.test_case "quantile" `Quick test_quantile;
+          Alcotest.test_case "window delta" `Quick test_window_delta;
+          Alcotest.test_case "window capacity" `Quick test_window_capacity;
+          Alcotest.test_case "window tick independence" `Quick test_window_tick_independence;
         ] );
       ( "export",
         [

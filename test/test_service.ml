@@ -623,6 +623,274 @@ let test_server_unix_isolation () =
       Server.stop server;
       Domain.join serving)
 
+(* --------------------------------------------------------- telemetry *)
+
+(* Hand-rolled check of the Prometheus text exposition: every line is
+   either # HELP / # TYPE metadata with a known type, or a
+   [name{labels} value] sample with a parseable value.  Returns the
+   samples in document order, keyed by name-with-labels. *)
+let validate_prometheus text =
+  let samples = ref [] in
+  List.iter
+    (fun line ->
+      if String.equal line "" then ()
+      else if line.[0] = '#' then (
+        match String.split_on_char ' ' line with
+        | "#" :: kw :: name :: rest when kw = "HELP" || kw = "TYPE" ->
+            Alcotest.(check bool) ("metadata payload: " ^ line) true (rest <> []);
+            if String.equal kw "TYPE" then
+              Alcotest.(check bool)
+                ("known type for " ^ name)
+                true
+                (match rest with
+                | [ t ] -> List.mem t [ "counter"; "gauge"; "histogram" ]
+                | _ -> false)
+        | _ -> Alcotest.fail ("bad metadata line: " ^ line))
+      else
+        match String.index_opt line ' ' with
+        | None -> Alcotest.fail ("bad sample line: " ^ line)
+        | Some i -> (
+            let name = String.sub line 0 i in
+            let value = String.sub line (i + 1) (String.length line - i - 1) in
+            match float_of_string_opt value with
+            | Some v -> samples := (name, v) :: !samples
+            | None -> Alcotest.fail ("unparseable sample value: " ^ line)))
+    (String.split_on_char '\n' text);
+  List.rev !samples
+
+let prom_sample samples name =
+  match List.assoc_opt name samples with
+  | Some v -> v
+  | None -> Alcotest.fail ("missing prometheus sample " ^ name)
+
+let test_server_metrics_prometheus () =
+  (* Transport-free: tick_period_s = 0 records a window sample at the top
+     of every handle_line, so the metrics/health bodies are exercised
+     without a socket or a ticker race. *)
+  let obs = Rlc_obs.Obs.create () in
+  let config = { Session.Config.default with Session.Config.obs } in
+  Session.with_session ~config (fun session ->
+      let server = Server.create ~timeout_s:0. ~tick_period_s:0. session in
+      let handle line = fst (Server.handle_line server line) in
+      let ok what resp =
+        let j = json_of resp in
+        Alcotest.(check (option bool)) (what ^ " ok") (Some true)
+          (Json.get_bool (member "ok" j));
+        j
+      in
+      ignore (ok "ping" (handle {|{"schema":"rlc-service/1","kind":"ping","id":1}|}));
+      ignore (ok "flow" (handle (bus8_flow_request ~id:2 ())));
+      ignore (ok "flow" (handle (bus8_flow_request ~id:3 ())));
+      let stats = ok "stats" (handle {|{"schema":"rlc-service/1","kind":"stats","id":4}|}) in
+      (* Per-shard cache stats must reconcile with the aggregate. *)
+      let cache = member "cache" stats in
+      let shards =
+        match member "shards" cache with
+        | Json.List l -> l
+        | _ -> Alcotest.fail "cache.shards is not a list"
+      in
+      Alcotest.(check bool) "shards present" true (shards <> []);
+      let shard_sum f =
+        List.fold_left (fun acc s -> acc + Option.get (Json.get_int (member f s))) 0 shards
+      in
+      List.iter
+        (fun f ->
+          Alcotest.(check (option int))
+            ("shard " ^ f ^ " reconcile")
+            (Some (shard_sum f))
+            (Json.get_int (member f cache)))
+        [ "entries"; "hits"; "misses" ];
+      (* Metrics: exact totals from the session atomics (the 4 requests
+         above; the metrics request itself is not yet finished), per-kind
+         counters from the freshest window sample. *)
+      let m = ok "metrics" (handle {|{"schema":"rlc-service/1","kind":"metrics","id":5}|}) in
+      let totals = member "totals" m in
+      Alcotest.(check (option int)) "served reconciles" (Some 4)
+        (Json.get_int (member "served" totals));
+      Alcotest.(check (option int)) "none failed" (Some 0)
+        (Json.get_int (member "failed" totals));
+      let kinds = member "kinds" m in
+      Alcotest.(check (option int)) "flow kind total" (Some 2)
+        (Json.get_int (member "flow" kinds));
+      Alcotest.(check (option int)) "ping kind total" (Some 1)
+        (Json.get_int (member "ping" kinds));
+      Alcotest.(check bool) "window block present" true
+        (Json.member "window" m <> None);
+      (* The Prometheus exposition parses line by line and reconciles. *)
+      let text = Option.get (Json.get_string (member "prometheus" m)) in
+      let samples = validate_prometheus text in
+      Alcotest.(check (float 0.)) "prom ok requests" 4.
+        (prom_sample samples {|service_requests_total{outcome="ok"}|});
+      Alcotest.(check (float 0.)) "prom error requests" 0.
+        (prom_sample samples {|service_requests_total{outcome="error"}|});
+      Alcotest.(check (float 0.)) "prom up" 1. (prom_sample samples "service_up");
+      Alcotest.(check (float 0.)) "prom kind flow" 2.
+        (prom_sample samples {|service_requests_kind_total{kind="flow"}|});
+      (* Histogram buckets are cumulative and capped by +Inf == _count. *)
+      let buckets =
+        List.filter
+          (fun (n, _) ->
+            String.length n >= 31
+            && String.equal (String.sub n 0 31) "service_request_seconds_bucket{")
+          samples
+      in
+      Alcotest.(check bool) "request histogram emitted" true (buckets <> []);
+      let prev = ref 0. in
+      List.iter
+        (fun (n, v) ->
+          Alcotest.(check bool) ("cumulative: " ^ n) true (v >= !prev);
+          prev := v)
+        buckets;
+      Alcotest.(check (float 0.)) "+Inf equals _count"
+        (prom_sample samples "service_request_seconds_count")
+        (prom_sample samples {|service_request_seconds_bucket{le="+Inf"}|});
+      (* Health on an idle, open daemon: alive and ready. *)
+      let h = ok "health" (handle {|{"schema":"rlc-service/1","kind":"health","id":6}|}) in
+      Alcotest.(check (option bool)) "alive" (Some true) (Json.get_bool (member "alive" h));
+      Alcotest.(check (option bool)) "ready" (Some true) (Json.get_bool (member "ready" h)))
+
+let test_server_unix_telemetry () =
+  (* The full transport with tracing on: jobs = 2 so flow spans are
+     recorded on pool worker domains (the trace id must cross domains via
+     the batch), slow_ms = 0 so every request writes a slow-log line. *)
+  let obs = Rlc_obs.Obs.create () in
+  let config = { Session.Config.default with Session.Config.jobs = 2; obs } in
+  let slow_path = Filename.temp_file "rlc_service_slow" ".ndjson" in
+  let slow_oc = open_out slow_path in
+  Session.with_session ~config (fun session ->
+      let server =
+        Server.create ~workers:2 ~queue_capacity:16 ~slow_ms:0. ~slow_channel:slow_oc
+          ~tick_period_s:0.01 session
+      in
+      let path = temp_socket_path () in
+      let serving = Domain.spawn (fun () -> Server.serve_unix server ~path) in
+      let run_client cid =
+        let ((ic, oc) as cl) = client_channels path in
+        for i = 0 to 1 do
+          let resp = json_of (roundtrip ic oc (bus8_flow_request ~id:((cid * 10) + i) ())) in
+          Alcotest.(check (option bool))
+            (Printf.sprintf "client %d flow %d ok" cid i)
+            (Some true)
+            (Json.get_bool (member "ok" resp))
+        done;
+        close_client cl
+      in
+      let domains = List.init 2 (fun cid -> Domain.spawn (fun () -> run_client cid)) in
+      List.iter Domain.join domains;
+      let ((ic, oc) as cl) = client_channels path in
+      let h = json_of (roundtrip ic oc {|{"schema":"rlc-service/1","kind":"health","id":50}|}) in
+      Alcotest.(check (option bool)) "healthy after traffic" (Some true)
+        (Json.get_bool (member "ready" h));
+      let m = json_of (roundtrip ic oc {|{"schema":"rlc-service/1","kind":"metrics","id":51}|}) in
+      (* 4 flows + the health request have finished; exact reconciliation. *)
+      Alcotest.(check (option int)) "served over socket reconciles" (Some 5)
+        (Json.get_int (member "served" (member "totals" m)));
+      Alcotest.(check (option int)) "no failures" (Some 0)
+        (Json.get_int (member "failed" (member "totals" m)));
+      close_client cl;
+      Server.stop server;
+      Domain.join serving);
+  close_out_noerr slow_oc;
+  (* Every request logged one single-line JSON record with the trace id. *)
+  let slow_lines =
+    let ic = open_in slow_path in
+    let rec go acc =
+      match input_line ic with line -> go (line :: acc) | exception End_of_file -> acc
+    in
+    let lines = List.rev (go []) in
+    close_in ic;
+    lines
+  in
+  Sys.remove slow_path;
+  Alcotest.(check bool) "slow log covers all requests" true (List.length slow_lines >= 6);
+  let slow_traces =
+    List.map
+      (fun line ->
+        let j = json_of line in
+        Alcotest.(check (option bool)) "slow_request marker" (Some true)
+          (Json.get_bool (member "slow_request" j));
+        List.iter
+          (fun f -> Alcotest.(check bool) ("slow field " ^ f) true (Json.member f j <> None))
+          [ "trace"; "kind"; "queue_wait_ms"; "wall_ms"; "ok"; "worker" ];
+        Option.get (Json.get_string (member "trace" j)))
+      slow_lines
+  in
+  Alcotest.(check int) "slow-log trace ids distinct"
+    (List.length slow_traces)
+    (List.length (List.sort_uniq compare slow_traces));
+  (* Span-level tracing: one distinct trace per executed request, and the
+     flow.net spans recorded on pool worker domains carry the trace of the
+     request that spawned them. *)
+  let spans = (Rlc_obs.Obs.snapshot obs).Rlc_obs.Obs.m_spans in
+  let traces_of name =
+    List.filter_map
+      (fun sp ->
+        if String.equal sp.Rlc_obs.Obs.sp_name name then
+          List.assoc_opt "trace" sp.Rlc_obs.Obs.sp_args
+        else None)
+      spans
+  in
+  let request_traces = traces_of "service.request" in
+  Alcotest.(check bool) "request spans recorded" true (List.length request_traces >= 6);
+  Alcotest.(check int) "request traces distinct"
+    (List.length request_traces)
+    (List.length (List.sort_uniq compare request_traces));
+  let net_traces = List.sort_uniq compare (traces_of "flow.net") in
+  Alcotest.(check int) "one trace per flow request" 4 (List.length net_traces);
+  List.iter
+    (fun tr ->
+      Alcotest.(check bool) ("flow trace is a request trace: " ^ tr) true
+        (List.mem tr request_traces))
+    net_traces
+
+let test_server_unix_health_saturation () =
+  (* Readiness must flip under queue saturation while metrics stays
+     responsive (both are answered inline by the listener, never queued).
+     Obs stays disabled: the queue-depth gauge drives the check. *)
+  with_default_session (fun session ->
+      let server = Server.create ~workers:1 ~queue_capacity:1 session in
+      let path = temp_socket_path () in
+      let serving = Domain.spawn (fun () -> Server.serve_unix server ~path) in
+      let slow_req id =
+        Json.to_string
+          (Json.Obj
+             [
+               ("schema", Json.Str Protocol.schema);
+               ("kind", Json.Str "sweep_case");
+               ("id", Json.Int id);
+               ("timeout_ms", Json.Int 400);
+               ("length_mm", Json.Float 7.);
+               ("width_um", Json.Float 0.8);
+               ("size", Json.Float 75.);
+               ("dt_ps", Json.Float 0.05);
+             ])
+      in
+      let a = client_channels path and b = client_channels path and c = client_channels path in
+      send_line (snd a) (slow_req 1);
+      Unix.sleepf 0.15 (* the worker picks request 1 up *);
+      send_line (snd b) (slow_req 2) (* fills the queue: depth = high water = 1 *);
+      Unix.sleepf 0.05;
+      let h = json_of (roundtrip (fst c) (snd c) {|{"schema":"rlc-service/1","kind":"health","id":3}|}) in
+      Alcotest.(check (option bool)) "alive while saturated" (Some true)
+        (Json.get_bool (member "alive" h));
+      Alcotest.(check (option bool)) "not ready while saturated" (Some false)
+        (Json.get_bool (member "ready" h));
+      Alcotest.(check (option bool)) "queue check failed" (Some false)
+        (Json.get_bool (member "queue_ok" (member "checks" h)));
+      (* Metrics is served inline too — the saturated queue can't block it. *)
+      let m = json_of (roundtrip (fst c) (snd c) {|{"schema":"rlc-service/1","kind":"metrics","id":4}|}) in
+      Alcotest.(check (option int)) "metrics sees the queued request" (Some 1)
+        (Json.get_int (member "queue_depth" (member "server" m)));
+      (* Both slow requests exhaust their budgets; readiness recovers. *)
+      ignore (input_line (fst a));
+      ignore (input_line (fst b));
+      let h2 = json_of (roundtrip (fst c) (snd c) {|{"schema":"rlc-service/1","kind":"health","id":5}|}) in
+      Alcotest.(check (option bool)) "ready after drain" (Some true)
+        (Json.get_bool (member "ready" h2));
+      List.iter close_client [ a; b; c ];
+      Server.stop server;
+      Domain.join serving)
+
 let () =
   Alcotest.run "rlc_service"
     [
@@ -665,5 +933,11 @@ let () =
           Alcotest.test_case "concurrent clients" `Quick test_server_unix_concurrent;
           Alcotest.test_case "overload rejection" `Quick test_server_unix_overload;
           Alcotest.test_case "cross-connection isolation" `Quick test_server_unix_isolation;
+        ] );
+      ( "telemetry",
+        [
+          Alcotest.test_case "metrics and prometheus" `Quick test_server_metrics_prometheus;
+          Alcotest.test_case "tracing and slow log" `Quick test_server_unix_telemetry;
+          Alcotest.test_case "health under saturation" `Quick test_server_unix_health_saturation;
         ] );
     ]
