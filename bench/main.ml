@@ -1151,10 +1151,13 @@ let service_concurrent_measure ?(smoke = false) ~flow_req () =
   let workers = Int.max 1 (Int.min 4 recommended) in
   (* The concurrent measure owns its session — obs-enabled, so the serve
      loop's ticker feeds the telemetry window — which also keeps the serial
-     cold/warm/ping numbers above on an obs-off session. *)
+     cold/warm/ping numbers above on an obs-off session.  Spans stay off,
+     like a daemon run without --trace: the window only needs counters and
+     histograms, and span buffers would grow with the request count. *)
   let session =
     Rlc_service.Session.create
-      ~config:{ Rlc_service.Session.Config.default with obs = Rlc_obs.Obs.create () }
+      ~config:
+        { Rlc_service.Session.Config.default with obs = Rlc_obs.Obs.create ~spans:false () }
       ()
   in
   Fun.protect ~finally:(fun () -> Rlc_service.Session.close session) @@ fun () ->

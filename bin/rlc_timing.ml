@@ -495,10 +495,13 @@ let serve_cmd =
       Logs.set_level (Some Logs.Info)
     end;
     (* The daemon always runs with an enabled sink: the rolling window
-       behind [metrics]/[health]/[top] needs one, and report payloads are
-       byte-identical either way (CI asserts it).  The exporter flags stay
-       optional sidecar dumps at exit. *)
-    let obs = Rlc_obs.Obs.create () in
+       behind [metrics]/[health]/[top] needs the counters and histograms,
+       and report payloads are byte-identical either way (CI asserts it).
+       Spans, however, accumulate until snapshot — memory proportional to
+       requests served — so they are recorded only when a sidecar
+       (--trace/--metrics-json, dumped at exit) will consume them; a plain
+       daemon's footprint stays constant for its whole lifetime. *)
+    let obs = Rlc_obs.Obs.create ~spans:(trace <> None || metrics_json <> None) () in
     let config =
       { Rlc_service.Session.Config.default with Rlc_service.Session.Config.jobs; obs }
     in

@@ -39,15 +39,22 @@ type buf = {
 
 type t = {
   enabled : bool;
+  spans : bool;
+      (* span recording is a separate capability: counters and histograms
+         are bounded (one slot per distinct name) so a daemon can keep them
+         on forever, but every recorded span is retained until [snapshot] —
+         memory grows with total spans, so long-running processes only turn
+         them on when a trace/metrics sidecar will actually consume them *)
   epoch : float;
   mutex : Mutex.t;  (* guards [bufs] *)
   mutable bufs : buf list;
   key : buf option Domain.DLS.key;
 }
 
-let create () =
+let create ?(spans = true) () =
   {
     enabled = true;
+    spans;
     epoch = now ();
     mutex = Mutex.create ();
     bufs = [];
@@ -57,6 +64,7 @@ let create () =
 let null =
   {
     enabled = false;
+    spans = false;
     epoch = 0.;
     mutex = Mutex.create ();
     bufs = [];
@@ -64,6 +72,8 @@ let null =
   }
 
 let enabled t = t.enabled
+
+let spans_enabled t = t.enabled && t.spans
 
 (* The calling domain's buffer, registering it on first use.  Registration
    takes the sink mutex once per (domain, sink) pair; every later call is a
@@ -171,13 +181,13 @@ let record_span t name t0 dur args =
     }
     :: b.b_spans
 
-let start t = if t.enabled then now () else 0.
+let start t = if t.enabled && t.spans then now () else 0.
 
 let finish t ?(args = []) name t0 =
-  if t.enabled then record_span t name t0 (now () -. t0) args
+  if t.enabled && t.spans then record_span t name t0 (now () -. t0) args
 
 let time t ?(args = []) name f =
-  if not t.enabled then f ()
+  if not (t.enabled && t.spans) then f ()
   else begin
     let t0 = now () in
     match f () with

@@ -13,14 +13,26 @@
 type t
 (** An instrumentation sink. *)
 
-val create : unit -> t
+val create : ?spans:bool -> unit -> t
 (** A fresh enabled sink.  Its epoch is the creation time; span start
-    timestamps are relative to it. *)
+    timestamps are relative to it.
+
+    [~spans:false] keeps counters and histograms live but makes every span
+    operation ({!start}/{!finish}/{!time}) a no-op.  Counters and
+    histograms occupy one slot per distinct name regardless of traffic,
+    but spans are retained until {!snapshot} — memory proportional to the
+    number recorded — so a long-running daemon that only feeds a telemetry
+    window should record spans only when a trace sidecar will consume
+    them.  Default [true]. *)
 
 val null : t
 (** The shared disabled sink: every operation is a no-op. *)
 
 val enabled : t -> bool
+
+val spans_enabled : t -> bool
+(** Whether this sink records spans: enabled and created with
+    [~spans:true].  [false] for {!null}. *)
 
 val now : unit -> float
 (** Wall-clock seconds ([Unix.gettimeofday]).  The repo has no monotonic

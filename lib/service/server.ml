@@ -82,11 +82,13 @@ let create ?(timeout_s = default_timeout_s) ?(max_request_bytes = Protocol.defau
     queue_depth = Atomic.make 0;
     window = Rlc_obs.Window.create ?capacity:window_capacity ();
     trace_seq = Atomic.make 0;
-    (* Distinct per daemon start so traces from two runs never collide in a
-       merged log; uniqueness within a run comes from the atomic counter. *)
+    (* Best-effort distinctness across daemon runs: the pid verbatim plus
+       30 bits of a start-time hash, so merged logs from different runs
+       collide only when both match.  Uniqueness within a run is exact,
+       from the atomic counter. *)
     trace_base =
-      Printf.sprintf "%04x"
-        (Hashtbl.hash (Unix.getpid (), Unix.gettimeofday ()) land 0xffff);
+      (let pid = Unix.getpid () in
+       Printf.sprintf "%x-%08x" pid (Hashtbl.hash (pid, Unix.gettimeofday ())));
     log_mutex = Mutex.create ();
     next_tick = 0.;
   }
@@ -409,9 +411,17 @@ let serve_request t ~deadline ~trace ~queue_wait_s ~worker (req : Protocol.reque
   let response, control, outcome = respond t ~deadline ~trace req in
   let wall_s = Unix.gettimeofday () -. t0 in
   if Obs.enabled o then begin
-    Obs.incr o "service.requests";
+    (* Telemetry scrapes stay out of the window's rate counter and latency
+       histogram: with a 1 Hz scraper and sparse real traffic, the ~µs
+       metrics/health replies would otherwise dominate req/s and p50/p95.
+       They still count in the per-kind counters and in the exact session
+       totals ([Session.note] in [respond]) that CI reconciles. *)
+    (match req.Protocol.kind with
+    | Protocol.Metrics | Protocol.Health -> ()
+    | _ ->
+        Obs.incr o "service.requests";
+        Obs.observe o "service.request_s" wall_s);
     Obs.incr o ("service.requests." ^ kind);
-    Obs.observe o "service.request_s" wall_s;
     Obs.finish o
       ~args:[ ("worker", string_of_int worker); ("kind", kind); ("trace", trace) ]
       "service.request" t0

@@ -115,7 +115,11 @@ val serve_unix : t -> path:string -> unit
     ["service.requests.<kind>"] counters, ["service.queue_depth"] /
     ["service.queue_wait_s"] / ["service.request_s"] histograms, and a
     ["service.request"] span per executed request (args: worker id,
-    request kind, trace id).  A trace id is minted per request at
+    request kind, trace id).  Inline [metrics]/[health] scrapes are
+    excluded from ["service.requests"] and ["service.request_s"] — the
+    window's req/s and latency quantiles measure real work, not scraper
+    overhead — but still appear in their per-kind counters and in the
+    exact session totals.  A trace id is minted per request at
     admission and installed ambiently for its whole execution, so every
     span the request records — down through flow, pool batches, and the
     engine — carries a [("trace", id)] arg.  The listener also samples

@@ -227,7 +227,7 @@ let prometheus ~(stats : Session.stats) ~shards ~server ~window () =
 
 (* ------------------------------------------------------------ responses *)
 
-let s_of_ms v = v *. 1e3
+let ms_of_s v = v *. 1e3
 
 let metrics_fields ~session ~server ~window () =
   let stats = Session.stats session in
@@ -259,9 +259,9 @@ let metrics_fields ~session ~server ~window () =
           ("timeouts_per_s", Json.Float wv.timeouts_per_s);
           ("rejections_per_s", Json.Float wv.rejections_per_s);
           ("cache_hit_ratio", Json.Float wv.cache_hit_ratio);
-          ("p50_ms", Json.Float (s_of_ms wv.p50_s));
-          ("p95_ms", Json.Float (s_of_ms wv.p95_s));
-          ("p99_ms", Json.Float (s_of_ms wv.p99_s));
+          ("p50_ms", Json.Float (ms_of_s wv.p50_s));
+          ("p95_ms", Json.Float (ms_of_s wv.p95_s));
+          ("p99_ms", Json.Float (ms_of_s wv.p99_s));
           ("utilization", Json.Float wv.utilization);
         ] );
     ( "server",

@@ -30,7 +30,11 @@ val metrics_fields :
     utilization), [server] gauges, [cache] aggregate + per-shard stats,
     and the full Prometheus text exposition under ["prometheus"].
     Window-derived floats are [nan] (rendered as JSON [null]) when the
-    window lacks data — fewer than two samples, or no traffic. *)
+    window lacks data — fewer than two samples, or no traffic.  The
+    window's req/s and latency quantiles exclude [metrics]/[health]
+    scrapes (the server never feeds them into ["service.requests"] or
+    ["service.request_s"]), so a frequent scraper cannot dominate them;
+    scrapes still show in the per-kind counters and exact totals. *)
 
 val health_fields :
   session:Session.t ->

@@ -207,6 +207,25 @@ let test_disabled_noop () =
   Alcotest.(check int) "no stats" 0 (List.length m.Obs.m_stats);
   Alcotest.(check int) "no spans" 0 (List.length m.Obs.m_spans)
 
+let test_spans_optout () =
+  (* ~spans:false: counters and histograms stay live (what a daemon's
+     telemetry window needs) while span recording is a no-op, so the
+     per-domain span lists never grow over the sink's lifetime. *)
+  let t = Obs.create ~spans:false () in
+  Alcotest.(check bool) "sink enabled" true (Obs.enabled t);
+  Alcotest.(check bool) "spans off" false (Obs.spans_enabled t);
+  Alcotest.(check bool) "default sink records spans" true
+    (Obs.spans_enabled (Obs.create ()));
+  Obs.incr t "c";
+  Obs.observe t "v" 2e-9;
+  Alcotest.(check (float 0.)) "start is 0 with spans off" 0. (Obs.start t);
+  Obs.finish t "s" 0.;
+  Alcotest.(check int) "time still runs f" 7 (Obs.time t "s" (fun () -> 7));
+  let m = Obs.snapshot t in
+  Alcotest.(check int) "counter recorded" 1 (Obs.counter m "c");
+  Alcotest.(check int) "stat recorded" 1 (List.assoc "v" m.Obs.m_stats).Obs.count;
+  Alcotest.(check int) "no spans retained" 0 (List.length m.Obs.m_spans)
+
 let test_cross_domain_merge () =
   let t = Obs.create () in
   let work () =
@@ -740,6 +759,7 @@ let () =
           Alcotest.test_case "stats" `Quick test_stats;
           Alcotest.test_case "spans" `Quick test_spans;
           Alcotest.test_case "disabled no-op" `Quick test_disabled_noop;
+          Alcotest.test_case "spans opt-out" `Quick test_spans_optout;
           Alcotest.test_case "cross-domain merge" `Quick test_cross_domain_merge;
           Alcotest.test_case "ambient trace" `Quick test_ambient_trace;
         ] );

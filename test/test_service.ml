@@ -747,7 +747,22 @@ let test_server_metrics_prometheus () =
       (* Health on an idle, open daemon: alive and ready. *)
       let h = ok "health" (handle {|{"schema":"rlc-service/1","kind":"health","id":6}|}) in
       Alcotest.(check (option bool)) "alive" (Some true) (Json.get_bool (member "alive" h));
-      Alcotest.(check (option bool)) "ready" (Some true) (Json.get_bool (member "ready" h)))
+      Alcotest.(check (option bool)) "ready" (Some true) (Json.get_bool (member "ready" h));
+      (* Telemetry scrapes stay out of the window's latency histogram: the
+         sample behind this second metrics request covers requests 1-6, but
+         the metrics (5) and health (6) scrapes must not have fed
+         service.request_s — only ping, the two flows, and stats. They do
+         count in the per-kind counters and the exact session totals. *)
+      let m2 = ok "metrics" (handle {|{"schema":"rlc-service/1","kind":"metrics","id":7}|}) in
+      let samples2 =
+        validate_prometheus (Option.get (Json.get_string (member "prometheus" m2)))
+      in
+      Alcotest.(check (float 0.)) "scrapes excluded from latency histogram" 4.
+        (prom_sample samples2 "service_request_seconds_count");
+      Alcotest.(check (float 0.)) "scrapes still in per-kind counters" 1.
+        (prom_sample samples2 {|service_requests_kind_total{kind="metrics"}|});
+      Alcotest.(check (option int)) "scrapes still in exact totals" (Some 6)
+        (Json.get_int (member "served" (member "totals" m2))))
 
 let test_server_unix_telemetry () =
   (* The full transport with tracing on: jobs = 2 so flow spans are
