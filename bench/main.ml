@@ -526,10 +526,22 @@ let perf () =
 
 (* ---------------------------------------------------------------- flow *)
 
+(* One global bus-bit parasitic block, [cap] femtofarads per node — also
+   the replacement-block generator for the ECO delta measurements. *)
+let bus_bit_block ~bit ~cap =
+  Printf.sprintf
+    "*D_NET %s %d\n*CONN\n*P %s_drv O\n*P %s_rcv I\n*CAP\n1 %s_1 %d\n2 %s_2 %d\n3 %s_rcv \
+     %d\n*RES\n1 %s_drv %s_1 24\n2 %s_1 %s_2 24\n3 %s_2 %s_rcv 24\n*INDUC\n1 %s_drv %s_1 \
+     1500\n2 %s_1 %s_2 1500\n3 %s_2 %s_rcv 1500\n*END\n"
+    bit (3 * cap) bit bit bit cap bit cap bit cap bit bit bit bit bit bit bit bit bit bit bit
+    bit
+
 (* Synthetic W-bit bus: W identical inductive global bits, each feeding an
    identical local net — the repeated-bus-bit shape the flow's result cache
-   is built for. *)
-let flow_sources ~bits =
+   is built for.  [cap_of] perturbs the per-bit node capacitance (default
+   uniform 200 fF); the ECO bench uses it to make every net's cache key
+   distinct, so a cold load prices one real solve per net. *)
+let flow_sources ?(cap_of = fun _ -> 200) ~bits () =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf
     "*SPEF \"IEEE 1481-1998\"\n*DESIGN \"bench_bus\"\n*T_UNIT 1 PS\n*C_UNIT 1 FF\n*R_UNIT 1 \
@@ -537,12 +549,7 @@ let flow_sources ~bits =
   let spec = Buffer.create 1024 in
   for i = 0 to bits - 1 do
     let bit = Printf.sprintf "b%d" i and out = Printf.sprintf "o%d" i in
-    Buffer.add_string buf
-      (Printf.sprintf
-         "*D_NET %s 600\n*CONN\n*P %s_drv O\n*P %s_rcv I\n*CAP\n1 %s_1 200\n2 %s_2 200\n3 \
-          %s_rcv 200\n*RES\n1 %s_drv %s_1 24\n2 %s_1 %s_2 24\n3 %s_2 %s_rcv 24\n*INDUC\n1 \
-          %s_drv %s_1 1500\n2 %s_1 %s_2 1500\n3 %s_2 %s_rcv 1500\n*END\n"
-         bit bit bit bit bit bit bit bit bit bit bit bit bit bit bit bit bit bit);
+    Buffer.add_string buf (bus_bit_block ~bit ~cap:(cap_of i));
     Buffer.add_string buf
       (Printf.sprintf
          "*D_NET %s 90\n*CONN\n*P %s_drv O\n*P %s_rcv I\n*CAP\n1 %s_1 45\n2 %s_rcv \
@@ -556,13 +563,12 @@ let flow_sources ~bits =
   (Buffer.contents buf, Buffer.contents spec)
 
 let flow_design ~bits =
-  let spef_src, spec_src = flow_sources ~bits in
+  let spef_src, spec_src = flow_sources ~bits () in
   let spef = Result.get_ok (Rlc_spef.Spef.parse_res spef_src) in
   let spec = Result.get_ok (Rlc_flow.Spec.parse_res spec_src) in
   match Rlc_flow.Design.ingest ~spef ~spec () with Ok d -> d | Error e -> failwith e
 
-(* All bench flow runs go through the Config record (Flow.run is a
-   deprecated shim). *)
+(* All bench flow runs go through the Config record. *)
 let flow_run ?(jobs = 1) ?(use_cache = true) ?cache design =
   let cfg =
     { Rlc_flow.Flow.Config.default with Rlc_flow.Flow.Config.jobs = Some jobs; use_cache; cache }
@@ -603,7 +609,7 @@ let flow_bench () =
     (float_of_int (iters no_cache) /. float_of_int (Int.max 1 (iters cold)))
     (iters no_cache) (iters cold) (total cold);
 
-  let rec_jobs = Rlc_flow.Pool.default_jobs () in
+  let rec_jobs = Rlc_parallel.Pool.default_jobs () in
   Format.printf "@.# domain scaling (cold, no cache, wall time; %d core%s recommended)@."
     rec_jobs
     (if rec_jobs = 1 then " — expect oversubscription to hurt, not help" else "s");
@@ -616,9 +622,9 @@ let flow_bench () =
     (List.sort_uniq compare [ 1; 2; rec_jobs ]);
 
   let r1 = flow_run design in
-  let rn = flow_run ~jobs:(Rlc_flow.Pool.default_jobs ()) design in
+  let rn = flow_run ~jobs:(Rlc_parallel.Pool.default_jobs ()) design in
   Format.printf "@.# determinism: JSON report byte-identical jobs 1 vs %d: %b@."
-    (Rlc_flow.Pool.default_jobs ())
+    (Rlc_parallel.Pool.default_jobs ())
     (Rlc_flow.Report.json_string r1 = Rlc_flow.Report.json_string rn)
 
 (* -------------------------------------------------------------- engine *)
@@ -1070,6 +1076,9 @@ module Sjson = Rlc_service.Json
 let service_request fields =
   Sjson.to_string (Sjson.Obj (("schema", Sjson.Str Rlc_service.Protocol.schema) :: fields))
 
+let service_request_v2 fields =
+  Sjson.to_string (Sjson.Obj (("schema", Sjson.Str Rlc_service.Protocol.schema_v2) :: fields))
+
 (* Concurrent serving: the real serve_unix transport under N simultaneous
    clients.  The listener and the worker domains run for real; clients keep
    one request in flight each, so sustained req/s and the pooled latency
@@ -1300,10 +1309,160 @@ let print_service_concurrent sc =
   | None -> Format.printf "  telemetry : metrics scrape failed@.");
   Format.printf "  reports   : byte-identical across all clients@."
 
+(* Incremental (ECO) serving: design_load once, then 1-net flow_delta
+   requests against the resident handle (rlc-service/2).  The bus is
+   generated with per-bit capacitances so every net's cache key is
+   distinct — a cold load prices one real Ceff solve per net, and a 1-net
+   delta prices exactly the dirty cone (the edited bit plus its fan-out
+   local net).  Each delta bumps b0 to a fresh capacitance, so every
+   measured delta re-solves its cone for real instead of hitting the
+   session cache.  Byte-identity is asserted two ways: the v2 design_load
+   report against a v1 flow of the same sources, and the final delta
+   report against a v1 flow of the cumulatively edited sources. *)
+
+type service_eco = {
+  se_bits : int;
+  se_nets : int;
+  se_load_ms : float;  (* cold design_load wall, fresh session *)
+  se_delta_ms : float;  (* mean 1-net flow_delta wall *)
+  se_speedup : float;  (* load_ms / delta_ms *)
+  se_deltas : int;
+  se_retimed : int;  (* per delta *)
+  se_reused : int;
+  se_rps : float;  (* sustained flow_delta requests/s *)
+  se_p50_ms : float;
+  se_p95_ms : float;
+  se_identical : bool;
+}
+
+let service_eco_measure ?(smoke = false) () =
+  let bits = 16 in
+  let cap_of i = 200 + i in
+  let spef_src, spec_src = flow_sources ~cap_of ~bits () in
+  let session = Rlc_service.Session.create () in
+  Fun.protect ~finally:(fun () -> Rlc_service.Session.close session) @@ fun () ->
+  let server = Rlc_service.Server.create ~timeout_s:0. session in
+  let handle_line req = fst (Rlc_service.Server.handle_line server req) in
+  let str_field resp name =
+    match Sjson.parse resp with
+    | Ok j -> ( match Sjson.member name j with Some (Sjson.Str s) -> Some s | _ -> None)
+    | Error _ -> None
+  in
+  let int_field resp name =
+    match Sjson.parse resp with
+    | Ok j -> ( match Sjson.member name j with Some (Sjson.Int n) -> n | _ -> -1)
+    | Error _ -> -1
+  in
+  let flow_report ~cap0 =
+    let spef_src, spec_src =
+      flow_sources ~cap_of:(fun i -> if i = 0 then cap0 else cap_of i) ~bits ()
+    in
+    let resp =
+      handle_line
+        (service_request
+           [
+             ("kind", Sjson.Str "flow");
+             ("spef", Sjson.Str spef_src);
+             ("spec", Sjson.Str spec_src);
+           ])
+    in
+    match str_field resp "report" with
+    | Some r -> r
+    | None -> failwith ("eco: one-shot flow failed: " ^ resp)
+  in
+  let t0 = Unix.gettimeofday () in
+  let load_resp =
+    handle_line
+      (service_request_v2
+         [
+           ("kind", Sjson.Str "design_load");
+           ("spef", Sjson.Str spef_src);
+           ("spec", Sjson.Str spec_src);
+         ])
+  in
+  let load_s = Unix.gettimeofday () -. t0 in
+  let handle =
+    match str_field load_resp "handle" with
+    | Some h -> h
+    | None -> failwith ("eco: design_load failed: " ^ load_resp)
+  in
+  let deltas = if smoke then 2 else 6 in
+  let sink = Rlc_obs.Obs.create () in
+  let retimed = ref 0 and reused = ref 0 and total_s = ref 0. in
+  let last_cap = ref (cap_of 0) in
+  let last_report = ref "" in
+  for k = 1 to deltas do
+    let cap = 500 + (10 * k) in
+    last_cap := cap;
+    let req =
+      service_request_v2
+        [
+          ("kind", Sjson.Str "flow_delta");
+          ("handle", Sjson.Str handle);
+          ("nets", Sjson.Obj [ ("b0", Sjson.Str (bus_bit_block ~bit:"b0" ~cap)) ]);
+        ]
+    in
+    let t0 = Unix.gettimeofday () in
+    let resp = handle_line req in
+    let dt = Unix.gettimeofday () -. t0 in
+    total_s := !total_s +. dt;
+    Rlc_obs.Obs.observe sink "bench.delta_s" dt;
+    (match str_field resp "report" with
+    | Some r -> last_report := r
+    | None -> failwith ("eco: flow_delta failed: " ^ resp));
+    retimed := int_field resp "retimed_nets";
+    reused := int_field resp "reused_nets"
+  done;
+  (* Byte-identity, both schema generations against the one-shot v1 flow:
+     the cold-load report against the pristine sources, the last delta's
+     report against the cumulatively edited sources. *)
+  let identical =
+    (match str_field load_resp "report" with
+    | Some r -> String.equal r (flow_report ~cap0:(cap_of 0))
+    | None -> false)
+    && String.equal !last_report (flow_report ~cap0:!last_cap)
+  in
+  if not identical then failwith "eco: delta reports diverged from cold one-shot flows";
+  let summary =
+    match
+      List.assoc_opt "bench.delta_s" (Rlc_obs.Obs.snapshot sink).Rlc_obs.Obs.m_stats
+    with
+    | Some s -> s
+    | None -> failwith "eco: delta latency histogram missing"
+  in
+  let pct p = Rlc_obs.Obs.Histogram.quantile summary p in
+  let delta_s = !total_s /. float_of_int deltas in
+  {
+    se_bits = bits;
+    se_nets = 2 * bits;
+    se_load_ms = 1e3 *. load_s;
+    se_delta_ms = 1e3 *. delta_s;
+    se_speedup = load_s /. Float.max 1e-9 delta_s;
+    se_deltas = deltas;
+    se_retimed = !retimed;
+    se_reused = !reused;
+    se_rps = float_of_int deltas /. Float.max 1e-9 !total_s;
+    se_p50_ms = 1e3 *. pct 0.5;
+    se_p95_ms = 1e3 *. pct 0.95;
+    se_identical = identical;
+  }
+
+let print_service_eco se =
+  Format.printf "@.incremental (ECO) serving, rlc-service/2 (%d nets, distinct keys):@."
+    se.se_nets;
+  Format.printf "  design_load : %8.1f ms  (cold, fresh session)@." se.se_load_ms;
+  Format.printf
+    "  flow_delta  : %8.1f ms/request  (1-net edit: %d retimed, %d reused; %.1fx vs cold \
+     load)@."
+    se.se_delta_ms se.se_retimed se.se_reused se.se_speedup;
+  Format.printf "  sustained   : %8.1f deltas/s   p50 %.2f ms   p95 %.2f ms@." se.se_rps
+    se.se_p50_ms se.se_p95_ms;
+  Format.printf "  reports     : byte-identical to cold one-shot flows of the edited design@."
+
 let service_bench ?(smoke = false) ?json () =
   header "Service: resident daemon, cold vs warm flow requests";
   let bits = if smoke then 4 else 16 in
-  let spef_src, spec_src = flow_sources ~bits in
+  let spef_src, spec_src = flow_sources ~bits () in
   let flow_req =
     service_request
       [ ("kind", Sjson.Str "flow"); ("spef", Sjson.Str spef_src); ("spec", Sjson.Str spec_src) ]
@@ -1341,6 +1500,8 @@ let service_bench ?(smoke = false) ?json () =
   Format.printf "  ping : %8.1f us/request  (%.0f requests/s)@." (1e6 *. ping_s) (1. /. ping_s);
   let conc = service_concurrent_measure ~smoke ~flow_req () in
   print_service_concurrent conc;
+  let eco = service_eco_measure ~smoke () in
+  print_service_eco eco;
   match json with
   | None -> ()
   | Some path ->
@@ -1371,6 +1532,15 @@ let service_bench ?(smoke = false) ?json () =
         conc.sc_oversubscribed (fl conc.sc_baseline_rps) (fl conc.sc_rps)
         (fl (conc.sc_rps /. Float.max 1e-9 conc.sc_baseline_rps))
         (fl conc.sc_p50_ms) (fl conc.sc_p95_ms) (fl conc.sc_p99_ms) conc.sc_identical;
+      Printf.bprintf buf
+        "  \"eco\": {\"bits\": %d, \"nets\": %d, \"load_ms\": %s, \"delta_ms\": %s, \
+         \"speedup_vs_cold_load\": %s, \"deltas\": %d, \"retimed_nets\": %d, \
+         \"reused_nets\": %d, \"retimed_ratio\": %s, \"delta_requests_per_sec\": %s, \
+         \"p50_ms\": %s, \"p95_ms\": %s, \"reports_identical\": %b},\n"
+        eco.se_bits eco.se_nets (fl eco.se_load_ms) (fl eco.se_delta_ms) (fl eco.se_speedup)
+        eco.se_deltas eco.se_retimed eco.se_reused
+        (fl (float_of_int eco.se_retimed /. float_of_int (Int.max 1 (eco.se_retimed + eco.se_reused))))
+        (fl eco.se_rps) (fl eco.se_p50_ms) (fl eco.se_p95_ms) eco.se_identical;
       (let flj v = if Float.is_nan v then "null" else fl v in
        match conc.sc_telemetry with
        | None -> Printf.bprintf buf "  \"telemetry\": null\n"
@@ -1604,7 +1774,7 @@ let () =
              the `service` group embeds the same numbers in its file. *)
           header "Service: concurrent socket serving";
           let bits = if !smoke then 4 else 16 in
-          let spef_src, spec_src = flow_sources ~bits in
+          let spef_src, spec_src = flow_sources ~bits () in
           let flow_req =
             service_request
               [

@@ -252,7 +252,7 @@ let sweep_cmd =
       | Some n -> List.filteri (fun i _ -> i < n) cases
       | None -> cases
     in
-    let requested = match jobs with Some j -> j | None -> Rlc_flow.Pool.default_jobs () in
+    let requested = match jobs with Some j -> j | None -> Rlc_parallel.Pool.default_jobs () in
     let jobs = Experiments.effective_jobs requested in
     let adaptive = adaptive_of ~adaptive ~dt_min ~dt_max ~ltol in
     let obs = obs_of ~trace ~metrics_json in
@@ -317,7 +317,7 @@ let flow_cmd =
         Rlc_service.Session.Config.default with
         Rlc_service.Session.Config.jobs =
           Experiments.effective_jobs
-            (match jobs with Some j -> j | None -> Rlc_flow.Pool.default_jobs ());
+            (match jobs with Some j -> j | None -> Rlc_parallel.Pool.default_jobs ());
         dt = Rlc_num.Units.ps dt;
         use_cache = not no_cache;
         default_size = size;
@@ -357,10 +357,16 @@ let flow_cmd =
                     alignments = xtalk_alignments;
                   }
             in
-            match
-              Rlc_service.Session.flow session ?required ?adaptive ?progress ?xtalk:xtalk_req
-                design
-            with
+            let request =
+              {
+                Rlc_service.Session.Request.default with
+                Rlc_service.Session.Request.required;
+                adaptive;
+                progress;
+                xtalk = xtalk_req;
+              }
+            in
+            match Rlc_service.Session.flow session request design with
             | Error e ->
                 Option.iter Rlc_obs.Progress.finish progress;
                 Format.eprintf "%s@." (Rlc_service.Error.message e);
@@ -488,8 +494,8 @@ let flow_cmd =
 (* -------------------------------------------------------------- serve *)
 
 let serve_cmd =
-  let run socket jobs workers queue backlog timeout_ms max_bytes warm verbose trace metrics_json
-      slow_ms tick_ms =
+  let run socket jobs workers queue backlog timeout_ms max_bytes warm designs verbose trace
+      metrics_json slow_ms tick_ms =
     if verbose then begin
       Logs.set_reporter (Logs.format_reporter ());
       Logs.set_level (Some Logs.Info)
@@ -503,7 +509,12 @@ let serve_cmd =
        daemon's footprint stays constant for its whole lifetime. *)
     let obs = Rlc_obs.Obs.create ~spans:(trace <> None || metrics_json <> None) () in
     let config =
-      { Rlc_service.Session.Config.default with Rlc_service.Session.Config.jobs; obs }
+      {
+        Rlc_service.Session.Config.default with
+        Rlc_service.Session.Config.jobs;
+        design_capacity = designs;
+        obs;
+      }
     in
     Rlc_service.Session.with_session ~config (fun session ->
         match Rlc_service.Session.warm session warm with
@@ -587,6 +598,15 @@ let serve_cmd =
       & info [ "warm" ] ~docv:"X,X,..."
           ~doc:"Pre-characterize these driver sizes before serving the first request.")
   in
+  let designs_arg =
+    Arg.(
+      value
+      & opt int Rlc_service.Session.Config.default.Rlc_service.Session.Config.design_capacity
+      & info [ "designs" ] ~docv:"N"
+          ~doc:
+            "Resident incrementally-timed designs kept by the v2 design store (design_load / \
+             flow_delta); loading beyond $(docv) evicts the least-recently-used handle.")
+  in
   let verbose_arg =
     Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Log served requests and failures.")
   in
@@ -611,14 +631,15 @@ let serve_cmd =
   Cmd.v
     (Cmd.info "serve"
        ~doc:
-         "Run the persistent timing daemon: newline-delimited JSON requests (schema \
-          rlc-service/1) answered from warm state — characterized cells, the shared Ceff \
-          result cache, a resident domain pool.  Kinds: flow, xtalk, sweep_case, screen, \
-          ping, stats, metrics, health, shutdown.")
+         "Run the persistent timing daemon: newline-delimited JSON requests (schemas \
+          rlc-service/1 and rlc-service/2) answered from warm state — characterized cells, \
+          the shared Ceff result cache, a resident domain pool, and (v2) a bounded store of \
+          incrementally timed designs.  Kinds: flow, xtalk, sweep_case, screen, design_load, \
+          flow_delta, design_unload, ping, stats, metrics, health, shutdown.")
     Term.(
       const run $ socket_arg $ jobs_arg $ workers_arg $ queue_arg $ backlog_arg $ timeout_arg
-      $ max_bytes_arg $ warm_arg $ verbose_arg $ trace_arg $ metrics_json_arg $ slow_ms_arg
-      $ tick_ms_arg)
+      $ max_bytes_arg $ warm_arg $ designs_arg $ verbose_arg $ trace_arg $ metrics_json_arg
+      $ slow_ms_arg $ tick_ms_arg)
 
 (* ---------------------------------------------------------------- top *)
 
@@ -678,12 +699,17 @@ let top_cmd =
         (fmt_opt "%.0f" (g "server.workers"))
         (fmt_opt "%.0f" (g "cache.entries"))
         (fmt_pct (g "window.cache_hit_ratio"));
+      Printf.printf "designs %s/%s resident   %s nets held   %s evictions\n"
+        (fmt_opt "%.0f" (g "designs.handles"))
+        (fmt_opt "%.0f" (g "designs.capacity"))
+        (fmt_opt "%.0f" (g "designs.nets"))
+        (fmt_opt "%.0f" (g "designs.evictions"));
       if kinds <> "" then Printf.printf "kinds: %s\n" kinds;
       flush stdout
     end
     else begin
       Printf.printf
-        "req/s %s  p50 %s p95 %s p99 %s  queue %s/%s  util %s  hit %s  served %s\n"
+        "req/s %s  p50 %s p95 %s p99 %s  queue %s/%s  util %s  hit %s  designs %s  served %s\n"
         (fmt_opt "%.2f" (g "window.requests_per_s"))
         (fmt_opt "%.3fms" (g "window.p50_ms"))
         (fmt_opt "%.3fms" (g "window.p95_ms"))
@@ -692,6 +718,7 @@ let top_cmd =
         (fmt_opt "%.0f" (g "server.queue_capacity"))
         (fmt_pct (g "window.utilization"))
         (fmt_pct (g "window.cache_hit_ratio"))
+        (fmt_opt "%.0f" (g "designs.handles"))
         (fmt_opt "%.0f" (g "totals.served"));
       flush stdout
     end

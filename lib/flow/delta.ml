@@ -1,0 +1,130 @@
+(* An ECO delta: edits to an already-loaded design, expressed against the
+   source artifacts (SPEF net blocks, spec driver/input lines) rather than
+   against ingested structures, so the edited design re-ingests exactly as
+   if the user had edited the files and re-run cold — which is what makes
+   the incremental report byte-identity provable instead of incidental. *)
+
+module Spef = Rlc_spef.Spef
+module Error = Rlc_errors.Error
+
+let src = Logs.Src.create "rlc.flow.delta" ~doc:"incremental design deltas"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type t = {
+  nets : (string * string) list;
+  drivers : (string * float) list;
+  slews : (string * float) list;
+}
+
+type applied = { spef : Spef.t; spec : Spec.t; changed : string list }
+
+let empty = { nets = []; drivers = []; slews = [] }
+
+let is_empty t = t.nets = [] && t.drivers = [] && t.slews = []
+
+let size t = List.length t.nets + List.length t.drivers + List.length t.slews
+
+exception Bad of string
+
+let check_distinct what entries =
+  ignore
+    (List.fold_left
+       (fun seen (name, _) ->
+         if List.mem name seen then
+           raise (Bad (Printf.sprintf "delta lists %s %s twice" what name));
+         name :: seen)
+       [] entries)
+
+(* The same unordered coupling node pair declared twice anywhere in the
+   edited file is a modeling error, exactly as [Spef.parse_res] rejects it
+   in a cold parse.  [Design.ingest] would silently sum duplicates, so the
+   cross-block check must be redone here after block replacement. *)
+let check_coupling_pairs (spef : Spef.t) =
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun (net : Spef.dnet) ->
+      List.iter
+        (fun (x : Spef.coupling_cap) ->
+          let pair =
+            if x.Spef.x_node1 <= x.Spef.x_node2 then (x.Spef.x_node1, x.Spef.x_node2)
+            else (x.Spef.x_node2, x.Spef.x_node1)
+          in
+          if Hashtbl.mem seen pair then
+            raise
+              (Bad
+                 (Printf.sprintf "edited design declares coupling capacitance %s-%s twice"
+                    x.Spef.x_node1 x.Spef.x_node2));
+          Hashtbl.add seen pair ())
+        net.Spef.x_caps)
+    spef.Spef.nets
+
+let apply ~spef ~spec t =
+  try
+    check_distinct "net" t.nets;
+    check_distinct "driver" t.drivers;
+    check_distinct "slew" t.slews;
+    (* Replacement *D_NET blocks, re-parsed against the loaded file's units
+       (no header directives allowed) and spliced in place, preserving the
+       original net order. *)
+    let replace_net nets (name, src) =
+      match Spef.parse_dnet_res ~units:spef.Spef.units src with
+      | Error e -> raise (Bad (Error.message e))
+      | Ok dnet ->
+          if dnet.Spef.net_name <> name then
+            raise
+              (Bad
+                 (Printf.sprintf "delta block for net %s defines *D_NET %s" name
+                    dnet.Spef.net_name));
+          if not (List.exists (fun (n : Spef.dnet) -> n.Spef.net_name = name) nets) then
+            raise (Bad (Printf.sprintf "delta edits net %s, which is not in the design" name));
+          List.map (fun (n : Spef.dnet) -> if n.Spef.net_name = name then dnet else n) nets
+    in
+    let nets = List.fold_left replace_net spef.Spef.nets t.nets in
+    let spef = { spef with Spef.nets } in
+    check_coupling_pairs spef;
+    (* Driver-size and primary-input-slew edits touch only the spec; both
+       must name nets the design already times (the net universe — and with
+       it every net id — is frozen at load). *)
+    let drivers =
+      List.fold_left
+        (fun drivers (name, size) ->
+          if not (List.mem_assoc name drivers) then
+            raise (Bad (Printf.sprintf "delta resizes net %s, which has no driver line" name));
+          if size <= 0. then
+            raise (Bad (Printf.sprintf "delta driver size for net %s must be positive" name));
+          List.map (fun (n, s) -> if n = name then (n, size) else (n, s)) drivers)
+        spec.Spec.drivers t.drivers
+    in
+    let inputs =
+      List.fold_left
+        (fun inputs (name, slew) ->
+          if not (List.mem_assoc name inputs) then
+            raise
+              (Bad (Printf.sprintf "delta sets the slew of net %s, which is not a primary input" name));
+          if slew <= 0. then
+            raise (Bad (Printf.sprintf "delta input slew for net %s must be positive" name));
+          List.map (fun (n, s) -> if n = name then (n, slew) else (n, s)) inputs)
+        spec.Spec.inputs t.slews
+    in
+    let spec = { spec with Spec.drivers; Spec.inputs } in
+    (* Directly-changed nets.  A driver resize on X also changes the net
+       driving X: the parent's tree carries X's gate input capacitance at
+       the edge pin, so the parent's parasitics (and its solve) move too. *)
+    let changed =
+      List.map fst t.nets @ List.map fst t.slews
+      @ List.concat_map
+          (fun (name, _) ->
+            name
+            :: List.filter_map
+                 (fun (from_net, _, to_net) -> if to_net = name then Some from_net else None)
+                 spec.Spec.edges)
+          t.drivers
+      |> List.sort_uniq compare
+    in
+    Log.info (fun m ->
+        m "delta: %d net block(s), %d driver(s), %d slew(s) -> %d directly changed net(s)"
+          (List.length t.nets) (List.length t.drivers) (List.length t.slews)
+          (List.length changed));
+    Ok { spef; spec; changed }
+  with Bad msg -> Result.Error (Error.Bad_request msg)

@@ -1,0 +1,50 @@
+(** ECO deltas: source-level edits against a loaded design.
+
+    A delta names the things a user perturbs between timing queries —
+    whole [*D_NET] parasitic blocks (which is also how couplings are added,
+    edited or removed: they live inside net blocks), driver sizes, and
+    primary-input slews.  It deliberately cannot add or remove nets: the
+    net universe, and with it every net id and the levelized graph's shape
+    of stable ids, is frozen when the design is loaded.
+
+    {!apply} produces the {e edited sources} plus the set of directly
+    changed nets.  Re-ingesting those sources yields a design structurally
+    identical to a cold run of the edited files — the foundation of the
+    incremental flow's byte-identical-report guarantee
+    ({!Flow.retime}). *)
+
+type t = {
+  nets : (string * string) list;
+      (** net name -> replacement [*D_NET ... *END] block source, parsed
+          against the loaded file's units ({!Rlc_spef.Spef.parse_dnet_res});
+          the block must define exactly that net *)
+  drivers : (string * float) list;  (** net name -> new driver size (X) *)
+  slews : (string * float) list;
+      (** net name -> new primary-input slew, {e seconds}; only nets that
+          are primary inputs may appear *)
+}
+
+type applied = {
+  spef : Rlc_spef.Spef.t;  (** the edited parasitics *)
+  spec : Spec.t;  (** the edited connectivity spec *)
+  changed : string list;
+      (** directly changed net names, sorted and deduplicated.  A driver
+          resize on net [X] also includes the net whose tree folds in [X]'s
+          gate input capacitance (the [edge] source driving [X]). *)
+}
+
+val empty : t
+
+val is_empty : t -> bool
+
+val size : t -> int
+(** Number of individual edits carried. *)
+
+val apply : spef:Rlc_spef.Spef.t -> spec:Spec.t -> t -> (applied, Rlc_errors.Error.t) result
+(** Validate and apply the delta.  Errors ({!Rlc_errors.Error.Bad_request})
+    include: a net named twice in one edit list; a replacement block that
+    fails to parse, defines a different net, or names a net outside the
+    design; a duplicate coupling node pair anywhere in the edited file
+    (the cold parser's global uniqueness rule, re-checked across blocks);
+    non-positive sizes or slews; resizing a net with no driver line;
+    setting the slew of a non-primary-input net. *)

@@ -5,6 +5,7 @@ module Characterize = Rlc_liberty.Characterize
 module Line = Rlc_tline.Line
 module Pade = Rlc_moments.Pade
 module Sta = Rlc_sta.Sta
+module Pool = Rlc_parallel.Pool
 module Obs = Rlc_obs.Obs
 module Progress = Rlc_obs.Progress
 module Deadline = Rlc_errors.Deadline
@@ -349,34 +350,271 @@ let run_cfg_inner (cfg : Config.t) (design : Design.t) =
    polls it inside its step loops.  The trace id rides the same mechanism:
    installed here for the master domain, snapshotted into pool batches for
    the workers, stamped onto every span by [Obs.record_span]. *)
-let run_cfg (cfg : Config.t) (design : Design.t) =
+let with_run (cfg : Config.t) f =
   let body () =
-    match cfg.Config.deadline with
-    | None -> run_cfg_inner cfg design
-    | Some d -> Deadline.with_ambient d (fun () -> run_cfg_inner cfg design)
+    match cfg.Config.deadline with None -> f () | Some d -> Deadline.with_ambient d f
   in
   match cfg.Config.trace with
   | None -> body ()
   | Some _ as trace -> Obs.with_trace trace body
 
-let run ?(obs = Obs.null) ?progress ?(dt = 0.5e-12) ?jobs ?(use_cache = true) ?cache
-    ?(quantize_digits = 9) ?(slew_grid = 0.1e-12) design =
-  run_cfg
+let run_cfg (cfg : Config.t) (design : Design.t) =
+  with_run cfg (fun () -> run_cfg_inner cfg design)
+
+(* ---------------------------------------------------- incremental (ECO) *)
+
+module Timed = struct
+  type timed = {
+    cfg : Config.t;
+    spef : Rlc_spef.Spef.t;
+    spec : Spec.t;
+    result : result;
+    keys : string array;
+        (* canonical cache key per net id, exactly as each net solved:
+           recomputable because quantization is idempotent and
+           [net_result.input_slew] is stored already quantized *)
+  }
+
+  type t = timed
+
+  let result t = t.result
+  let design t = t.result.design
+end
+
+let keys_of (cfg : Config.t) (res : result) =
+  let tech = res.design.Design.tech in
+  Array.map
+    (fun r ->
+      (canonicalize ~digits:cfg.Config.quantize_digits ~grid:cfg.Config.slew_grid ~tech
+         ~dt:cfg.Config.dt ?adaptive:cfg.Config.adaptive r.net ~edge:r.edge
+         ~input_slew:r.input_slew)
+        .key)
+    res.results
+
+let time ?tech (cfg : Config.t) ~spef ~spec () =
+  match Design.ingest ?tech ~spef ~spec () with
+  | Error msg -> Error (Rlc_errors.Error.Bad_request msg)
+  | Ok design ->
+      let result = run_cfg cfg design in
+      Ok { Timed.cfg; spef; spec; result; keys = keys_of cfg result }
+
+type delta_stats = { retimed : int; reused : int }
+
+(* The incremental solve pass.  Structure mirrors [run_cfg_inner] exactly —
+   same level order, same handoff preparation, same canonicalization, same
+   pooled fan-out — but a net outside the dirty set whose canonical key is
+   unchanged reuses its previous solve without touching the cache.  The
+   reuse is sound by induction over levels: the dirty set is downward-closed
+   over fan-out, so every ancestor of a clean net is clean, its handoff slew
+   and edge are bit-identical to the previous run, and an equal key selects
+   an equal (pure-function-of-the-key) solve.  A clean net whose key
+   nonetheless moved falls back to a full solve — correctness never rests
+   on the dirty-set computation being tight. *)
+let retime_inner (cfg : Config.t) (design : Design.t) ~(old_results : net_result array) ~keys
+    ~dirty =
+  let obs = cfg.Config.obs
+  and dt = cfg.Config.dt
+  and adaptive = cfg.Config.adaptive
+  and use_cache = cfg.Config.use_cache
+  and quantize_digits = cfg.Config.quantize_digits
+  and slew_grid = cfg.Config.slew_grid in
+  let jobs_used =
+    match cfg.Config.pool with
+    | Some pool -> Pool.jobs pool
+    | None -> (
+        match cfg.Config.jobs with
+        | Some j -> Int.max 1 (Int.min j (Pool.default_jobs ()))
+        | None -> Pool.default_jobs ())
+  in
+  let with_run_pool f =
+    match cfg.Config.pool with
+    | Some pool -> f pool
+    | None -> Pool.with_pool ~obs ~jobs:jobs_used f
+  in
+  let cache = match cfg.Config.cache with Some c -> c | None -> create_cache () in
+  let hits0 = Cache.hits cache and misses0 = Cache.misses cache in
+  let tech = design.Design.tech in
+  let n = Array.length design.Design.nets in
+  (* A delta can introduce a driver size the cold run never saw. *)
+  List.iter (fun size -> ignore (cell_exn tech ~size)) design.Design.sizes;
+  let results : net_result option array = Array.make n None in
+  let spent = Atomic.make 0 in
+  let retimed = Atomic.make 0 and reused = Atomic.make 0 in
+  with_run_pool (fun pool ->
+      Array.iter
+        (fun ids ->
+          Deadline.check_ambient ();
+          let jobs_for_level =
+            Array.map
+              (fun id ->
+                let net = design.Design.nets.(id) in
+                let edge, input_slew =
+                  match net.Design.fanin with
+                  | None -> (Measure.Rising, Option.get net.Design.prim_slew)
+                  | Some p ->
+                      let pr = Option.get results.(p) in
+                      (Sta.other_edge pr.edge, Sta.handoff_slew ~far_slew:pr.solve.far_slew)
+                in
+                (net, edge, input_slew))
+              ids
+          in
+          let solved =
+            Pool.map pool (Array.length ids) (fun k ->
+                Deadline.check_ambient ();
+                let net, edge, input_slew = jobs_for_level.(k) in
+                let c =
+                  canonicalize ~digits:quantize_digits ~grid:slew_grid ~tech ~dt ?adaptive net
+                    ~edge ~input_slew
+                in
+                let id = net.Design.id in
+                let reuse =
+                  if dirty.(id) then None
+                  else if String.equal c.key keys.(id) then Some old_results.(id).solve
+                  else None
+                in
+                match reuse with
+                | Some solve ->
+                    Atomic.incr reused;
+                    Obs.incr obs "flow.reused";
+                    { net; edge; input_slew = c.q_slew; solve; arrival = 0. }
+                | None ->
+                    Atomic.incr retimed;
+                    Obs.incr obs "flow.retimed";
+                    let compute () =
+                      let s = solve_net ~obs ?adaptive ~tech ~dt ~edge ~size:net.Design.size c in
+                      Atomic.fetch_and_add spent s.iterations |> ignore;
+                      s
+                    in
+                    let solve, _hit =
+                      if use_cache then Cache.find_or_add cache c.key compute
+                      else (compute (), false)
+                    in
+                    { net; edge; input_slew = c.q_slew; solve; arrival = 0. })
+          in
+          Array.iteri (fun k r -> results.(ids.(k)) <- Some r) solved)
+        design.Design.levels);
+  let results =
+    let out = Array.map Option.get results in
+    Array.iter
+      (fun ids ->
+        Array.iter
+          (fun id ->
+            let r = out.(id) in
+            let base =
+              match r.net.Design.fanin with None -> 0. | Some p -> out.(p).arrival
+            in
+            out.(id) <- { r with arrival = base +. r.solve.stage_delay })
+          ids)
+      design.Design.levels;
+    out
+  in
+  let count f = Array.fold_left (fun acc r -> if f r then acc + 1 else acc) 0 results in
+  let stats =
     {
-      Config.obs;
-      progress;
-      dt;
-      adaptive = None;
-      jobs;
-      use_cache;
-      cache;
-      quantize_digits;
-      slew_grid;
-      pool = None;
-      deadline = None;
-      trace = None;
+      n_nets = n;
+      n_levels = Array.length design.Design.levels;
+      n_inductive =
+        count (fun r -> r.solve.model.Driver_model.screen.Rlc_ceff.Screen.significant);
+      n_two_ramp =
+        count (fun r ->
+            match r.solve.model.Driver_model.shape with
+            | Driver_model.Two_ramp _ -> true
+            | Driver_model.One_ramp _ -> false);
+      iterations_total = Array.fold_left (fun acc r -> acc + r.solve.iterations) 0 results;
+      cache_hits = Cache.hits cache - hits0;
+      cache_misses = Cache.misses cache - misses0;
+      iterations_spent = Atomic.get spent;
+      jobs_used;
+      phases = [];
     }
-    design
+  in
+  ({ design; results; stats }, Atomic.get retimed, Atomic.get reused)
+
+let retime ?deadline ?trace ?(xtalk_victims = false) (t : Timed.t) (delta : Delta.t) =
+  match Delta.apply ~spef:t.Timed.spef ~spec:t.Timed.spec delta with
+  | Error _ as e -> e
+  | Ok { Delta.spef; spec; changed } -> (
+      let old = t.Timed.result in
+      (* Re-ingest the edited sources wholesale: ingest is pure graph and
+         fitting work (no waveform solves), and running it exactly as a
+         cold run would guarantees the structural inputs to every solve are
+         identical to that cold run's. *)
+      match Design.ingest ~tech:old.design.Design.tech ~spef ~spec () with
+      | Error msg -> Error (Rlc_errors.Error.Bad_request msg)
+      | Ok design ->
+          let n = Array.length design.Design.nets in
+          if
+            n <> Array.length old.design.Design.nets
+            || not
+                 (Array.for_all2
+                    (fun (a : Design.net) (b : Design.net) ->
+                      String.equal a.Design.name b.Design.name)
+                    design.Design.nets old.design.Design.nets)
+          then Error (Rlc_errors.Error.Internal "retime: net universe changed under a delta")
+          else begin
+            let direct = Array.make n false in
+            Array.iter
+              (fun (net : Design.net) ->
+                if List.mem net.Design.name changed then direct.(net.Design.id) <- true)
+              design.Design.nets;
+            (* Crosstalk-coupled victims of changed nets (old and new
+               coupling graphs both: an edited block can add or drop a
+               coupling, and the partner is affected either way). *)
+            let partners =
+              if not xtalk_victims then []
+              else
+                List.concat_map
+                  (fun (cs : Design.coupling array) ->
+                    List.filter_map
+                      (fun (c : Design.coupling) ->
+                        if direct.(c.Design.net_a) then Some c.Design.net_b
+                        else if direct.(c.Design.net_b) then Some c.Design.net_a
+                        else None)
+                      (Array.to_list cs))
+                  [ old.design.Design.couplings; design.Design.couplings ]
+            in
+            (* Downward closure over fan-out: the dirty cone. *)
+            let dirty = Array.make n false in
+            let rec mark i =
+              if not dirty.(i) then begin
+                dirty.(i) <- true;
+                List.iter mark design.Design.nets.(i).Design.fanout
+              end
+            in
+            Array.iteri (fun i d -> if d then mark i) direct;
+            List.iter mark partners;
+            let cfg = { t.Timed.cfg with Config.deadline; trace } in
+            let obs = cfg.Config.obs in
+            let result, n_retimed, n_reused =
+              with_run cfg (fun () ->
+                  let t0 = Obs.start obs in
+                  let ((_, n_retimed, n_reused) as v) =
+                    retime_inner cfg design ~old_results:old.results ~keys:t.Timed.keys ~dirty
+                  in
+                  Obs.finish obs
+                    ~args:
+                      [
+                        ("nets", string_of_int n);
+                        ("changed", string_of_int (List.length changed));
+                        ("retimed", string_of_int n_retimed);
+                        ("reused", string_of_int n_reused);
+                      ]
+                    "flow.delta" t0;
+                  v)
+            in
+            Log.info (fun m ->
+                m "delta: %d/%d nets retimed (%d reused) for %d changed"
+                  n_retimed n n_reused (List.length changed));
+            Ok
+              ( {
+                  Timed.cfg = t.Timed.cfg;
+                  spef;
+                  spec;
+                  result;
+                  keys = keys_of t.Timed.cfg result;
+                },
+                { retimed = n_retimed; reused = n_reused } )
+          end)
 
 let critical_path result =
   let worst =

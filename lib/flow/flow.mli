@@ -1,7 +1,7 @@
 (** The parallel full-design timing flow.
 
     Levels run in order; within a level every net is an independent job
-    fanned out over a {!Pool} of OCaml domains.  Each job canonicalizes its
+    fanned out over a {!Rlc_parallel.Pool} of OCaml domains.  Each job canonicalizes its
     inputs ({!Cache.quantize} on the admittance fit and line constants,
     {!Cache.quantize_slew} on the input slew), consults the Ceff result
     cache, and on a miss runs the paper's model
@@ -69,9 +69,9 @@ module Config : sig
             mixes fixed-step and adaptive solves. *)
     jobs : int option;
         (** worker domains when the run creates its own pool; [None] means
-            {!Pool.default_jobs}; requests beyond the core count are
-            clamped (see [stats.jobs_used]).  Ignored when [pool] is
-            given. *)
+            {!Rlc_parallel.Pool.default_jobs}; requests beyond the core
+            count are clamped (see [stats.jobs_used]).  Ignored when
+            [pool] is given. *)
     use_cache : bool;  (** default true *)
     cache : solve Cache.t option;
         (** share a cache across runs; [None] creates a fresh one per run *)
@@ -79,7 +79,7 @@ module Config : sig
     slew_grid : float;  (** cache-key slew grid, seconds; default 0.1 ps *)
     obs : Rlc_obs.Obs.t;  (** default {!Rlc_obs.Obs.null} (disabled) *)
     progress : Rlc_obs.Progress.t option;
-    pool : Pool.t option;
+    pool : Rlc_parallel.Pool.t option;
         (** borrow a resident pool: the run uses it as-is and leaves it
             running (the service daemon's warm pool).  [None] (default)
             creates and shuts down a per-run pool of [jobs] domains. *)
@@ -128,20 +128,71 @@ val run_cfg : Config.t -> Design.t -> result
     [Config.progress] (default none) is reported the cumulative
     finished-net count after each level completes. *)
 
-val run :
-  ?obs:Rlc_obs.Obs.t ->
-  ?progress:Rlc_obs.Progress.t ->
-  ?dt:float ->
-  ?jobs:int ->
-  ?use_cache:bool ->
-  ?cache:solve Cache.t ->
-  ?quantize_digits:int ->
-  ?slew_grid:float ->
-  Design.t ->
-  result
-[@@deprecated "use run_cfg with a Flow.Config.t record"]
-(** Shim over {!run_cfg}: builds a {!Config.t} from the optional arguments
-    (identical defaults) and delegates.  Behavior is unchanged. *)
+(** A stateful timed design: the levelized design, its per-net results
+    (which carry the handoff slews), the canonical cache key each net
+    solved under, and the sources + configuration that produced them —
+    everything {!retime} needs to re-time an edit incrementally. *)
+module Timed : sig
+  type t
+
+  val result : t -> result
+  (** The full flow result; always equal to what a cold {!run_cfg} of the
+      current (post-delta) sources would produce. *)
+
+  val design : t -> Design.t
+end
+
+val time :
+  ?tech:Rlc_devices.Tech.t ->
+  Config.t ->
+  spef:Rlc_spef.Spef.t ->
+  spec:Spec.t ->
+  unit ->
+  (Timed.t, Rlc_errors.Error.t) Stdlib.result
+(** Cold-load a design: {!Design.ingest} the sources, run the full flow
+    under the configuration ({!run_cfg} — which may raise exactly as it
+    does standalone: {!Rlc_errors.Deadline.Expired} on budget expiry,
+    [Invalid_argument]/[Failure] from the engine), and capture the state
+    {!retime} needs.  Ingest failures are {!Rlc_errors.Error.Bad_request}.
+    The configuration (including any [deadline]/[trace]) is stored and
+    reused by every subsequent {!retime} of this handle, except that each
+    retime call supplies its own deadline and trace. *)
+
+type delta_stats = { retimed : int; reused : int }
+(** Per-delta accounting: [retimed] nets were re-solved (dirty cone plus
+    any safety fallbacks), [reused] nets kept their previous solve;
+    [retimed + reused] always equals the design's net count. *)
+
+val retime :
+  ?deadline:Rlc_errors.Deadline.t ->
+  ?trace:string ->
+  ?xtalk_victims:bool ->
+  Timed.t ->
+  Delta.t ->
+  (Timed.t * delta_stats, Rlc_errors.Error.t) Stdlib.result
+(** Apply a {!Delta.t} and re-time incrementally.  The directly changed
+    nets, their downstream fan-out cones through the levelized graph, and
+    (when [xtalk_victims], i.e. the handle runs crosstalk analysis) the
+    coupling partners of changed nets — under both the old and the edited
+    coupling graph — are dirtied and re-solved on the configured pool;
+    every other net reuses its stored solve after verifying its canonical
+    cache key is unchanged (a mismatch falls back to a full solve, so
+    correctness never depends on the dirty set being tight).  Handoff
+    slews at the cone frontier come from the reused results, exactly as a
+    cold run would hand them off.
+
+    The returned {!Timed.t} replaces the old handle; its {!Timed.result}
+    — and hence any {!Report} rendered from it — is byte-identical to a
+    cold run of the edited sources under the same configuration.
+    [deadline]/[trace] scope this call only (installed ambiently, exactly
+    as {!run_cfg} installs its own).
+
+    Obs: one ["flow.delta"] span (args: net/changed/retimed/reused
+    counts) plus ["flow.retimed"] / ["flow.reused"] counters.
+
+    Errors: delta validation failures ({!Delta.apply}) and edited designs
+    that no longer ingest are {!Rlc_errors.Error.Bad_request}; the engine
+    raises as in {!run_cfg}. *)
 
 val critical_path : result -> net_result list
 (** The worst-arrival net and its fan-in chain, source first.  Ties break

@@ -67,13 +67,6 @@ let parse_res ?file src =
       }
   with Err (lineno, msg) -> Error (Rlc_errors.Error.parse ?file ~line:lineno msg)
 
-let parse src =
-  match parse_res src with
-  | Ok t -> Ok t
-  | Error (Rlc_errors.Error.Parse { line = Some l; msg; _ }) ->
-      Error (Printf.sprintf "spec line %d: %s" l msg)
-  | Error e -> Error (Rlc_errors.Error.message e)
-
 let default_of_spef ?(size = 75.) ?(slew = 100e-12) (spef : Rlc_spef.Spef.t) =
   let names = List.map (fun n -> n.Rlc_spef.Spef.net_name) spef.Rlc_spef.Spef.nets in
   {

@@ -35,11 +35,6 @@ val parse_res : ?file:string -> string -> (t, Rlc_errors.Error.t) result
     for the same net, unknown keywords, malformed numbers and non-positive
     sizes or slews are errors. *)
 
-val parse : string -> (t, string) result
-[@@deprecated "use parse_res (typed errors with file/line context)"]
-(** Legacy shim over {!parse_res}: same grammar, errors flattened to
-    ["spec line %d: %s"] strings (no file context). *)
-
 val default_of_spef : ?size:float -> ?slew:float -> Rlc_spef.Spef.t -> t
 (** A flat spec for running a bare SPEF file: every net is a primary input
     with the given driver [size] (default 75X) and input [slew] (default

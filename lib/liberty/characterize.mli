@@ -15,18 +15,12 @@ val default_grid : grid
 (** 7 slews (20–300 ps) x 8 caps (20 fF – 3.2 pF), covering the paper's
     sweep (input slews 50–200 ps, line caps 0.2–1.8 pF). *)
 
-val cell : ?grid:grid -> Rlc_devices.Tech.t -> size:float -> Table.cell
-[@@deprecated "use cell_res (typed errors instead of raising)"]
-(** Characterize both output arcs of an inverter of the given size.
-    Results are cached; repeated calls are free.  Raises [Invalid_argument]
-    on a non-positive size and [Failure] when a grid point's waveform never
-    completes. *)
-
 val cell_res :
   ?grid:grid -> Rlc_devices.Tech.t -> size:float -> (Table.cell, Rlc_errors.Error.t) result
-(** {!cell} with the user-reachable exits converted to typed errors:
-    [Invalid_argument] (bad driver size) becomes
-    {!Rlc_errors.Error.Bad_request}, characterization failures become
+(** Characterize both output arcs of an inverter of the given size.
+    Results are cached; repeated calls are free.  The user-reachable exits
+    are typed: a non-positive size is {!Rlc_errors.Error.Bad_request},
+    a grid point whose waveform never completes is
     {!Rlc_errors.Error.Internal}. *)
 
 val clear_cache : unit -> unit
@@ -36,9 +30,3 @@ val characterize_point_res :
   input_slew:float -> cap:float -> (float * float * float * float, Rlc_errors.Error.t) result
 (** One grid point: [(delay_50, slew_10_90, slew_20_80, tail_50_90)].
     Exposed so tests can compare table lookups against direct simulation. *)
-
-val characterize_point :
-  Rlc_devices.Tech.t -> size:float -> edge:Rlc_devices.Testbench.edge ->
-  input_slew:float -> cap:float -> float * float * float * float
-[@@deprecated "use characterize_point_res (typed errors instead of Failure)"]
-(** Raising shim over {!characterize_point_res}; behavior unchanged. *)

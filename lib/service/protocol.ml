@@ -3,6 +3,7 @@
    unknown fields (forward compatibility within a schema version). *)
 
 let schema = "rlc-service/1"
+let schema_v2 = "rlc-service/2"
 let default_max_bytes = 8 * 1024 * 1024
 
 type source = Inline of string | File of string
@@ -32,18 +33,28 @@ type xtalk_req = {
   x_alignments : int option;  (* aggressor-alignment grid points *)
 }
 
+type delta_req = {
+  d_handle : string;
+  d_nets : (string * string) list;  (* net name -> replacement *D_NET block *)
+  d_drivers : (string * float) list;  (* net name -> new driver size *)
+  d_slews_ps : (string * float) list;  (* net name -> new primary slew, ps *)
+}
+
 type kind =
   | Flow of flow_req
   | Xtalk of flow_req * xtalk_req
   | Sweep_case of case_req
   | Screen of case_req
+  | Design_load of flow_req * xtalk_req option
+  | Flow_delta of delta_req
+  | Design_unload of string
   | Ping
   | Stats
   | Metrics
   | Health
   | Shutdown
 
-type request = { id : Json.t option; timeout_ms : int option; kind : kind }
+type request = { id : Json.t option; timeout_ms : int option; schema : string; kind : kind }
 
 (* -------------------------------------------------------- field access *)
 
@@ -111,8 +122,7 @@ let parse_flow_req fields =
   | Ok _ -> assert false
   | Error e -> Error e
 
-let parse_xtalk fields =
-  let* f = parse_flow_req fields in
+let parse_xtalk_knobs fields =
   let* x_threshold = Result.bind (num_opt "threshold" fields) (positive "threshold") in
   let* x_budget = Result.bind (num_opt "budget" fields) (positive "budget") in
   let* x_alignments =
@@ -121,7 +131,54 @@ let parse_xtalk fields =
     | Some (Json.Int n) when n >= 1 -> Ok (Some n)
     | Some _ -> bad "field %S must be a positive integer" "alignments"
   in
-  Ok (Xtalk (f, { x_threshold; x_budget; x_alignments }))
+  Ok { x_threshold; x_budget; x_alignments }
+
+let parse_xtalk fields =
+  let* f = parse_flow_req fields in
+  let* x = parse_xtalk_knobs fields in
+  Ok (Xtalk (f, x))
+
+let parse_design_load fields =
+  let* f = parse_flow_req fields in
+  let* xtalk_on = bool_opt "xtalk" fields in
+  let* x =
+    match xtalk_on with
+    | Some true -> Result.map Option.some (parse_xtalk_knobs fields)
+    | Some false | None -> Ok None
+  in
+  Ok (Design_load (f, x))
+
+(* An edit map: a JSON object whose members are [net name -> conv-checked
+   value].  Preserves member order (harmless — Delta sorts names anyway). *)
+let edit_map name conv what fields =
+  match List.assoc_opt name fields with
+  | None -> Ok []
+  | Some (Json.Obj members) ->
+      List.fold_left
+        (fun acc (net, v) ->
+          let* acc = acc in
+          match conv v with
+          | Some x -> Ok ((net, x) :: acc)
+          | None -> bad "field %S: entry %S must be %s" name net what)
+        (Ok []) members
+      |> Result.map List.rev
+  | Some _ -> bad "field %S must be an object" name
+
+let get_pos_float v =
+  match Json.get_float v with Some x when x > 0. -> Some x | Some _ | None -> None
+
+let parse_flow_delta fields =
+  let* d_handle = req_field "handle" Json.get_string "a string" fields in
+  let* d_nets = edit_map "nets" Json.get_string "a string (*D_NET block)" fields in
+  let* d_drivers = edit_map "drivers" get_pos_float "a positive number" fields in
+  let* d_slews_ps = edit_map "slews_ps" get_pos_float "a positive number" fields in
+  if d_nets = [] && d_drivers = [] && d_slews_ps = [] then
+    bad "a flow_delta needs at least one edit (%S, %S or %S)" "nets" "drivers" "slews_ps"
+  else Ok (Flow_delta { d_handle; d_nets; d_drivers; d_slews_ps })
+
+let parse_design_unload fields =
+  let* handle = req_field "handle" Json.get_string "a string" fields in
+  Ok (Design_unload handle)
 
 let parse_case fields =
   let* c_length_mm = num_req_pos "length_mm" fields in
@@ -146,9 +203,9 @@ let parse_request ?(max_bytes = default_max_bytes) line =
       | Some fields -> Ok fields
       | None -> bad "a request must be a JSON object"
     in
-    let* () =
+    let* req_schema =
       match List.assoc_opt "schema" fields with
-      | Some (Json.Str v) when v = schema -> Ok ()
+      | Some (Json.Str v) when v = schema || v = schema_v2 -> Ok v
       | Some (Json.Str v) -> Error (Error.Unsupported_version v)
       | Some _ -> bad "field %S must be a string" "schema"
       | None -> Error (Error.Unsupported_version "(missing schema field)")
@@ -167,6 +224,11 @@ let parse_request ?(max_bytes = default_max_bytes) line =
       | "xtalk" -> parse_xtalk fields
       | "sweep_case" -> Result.map (fun c -> Sweep_case c) (parse_case fields)
       | "screen" -> Result.map (fun c -> Screen c) (parse_case fields)
+      | ("design_load" | "flow_delta" | "design_unload") when req_schema <> schema_v2 ->
+          bad "kind %S requires schema %S" kind_name schema_v2
+      | "design_load" -> parse_design_load fields
+      | "flow_delta" -> parse_flow_delta fields
+      | "design_unload" -> parse_design_unload fields
       | "ping" -> Ok Ping
       | "stats" -> Ok Stats
       | "metrics" -> Ok Metrics
@@ -174,21 +236,21 @@ let parse_request ?(max_bytes = default_max_bytes) line =
       | "shutdown" -> Ok Shutdown
       | other -> bad "unknown request kind %S" other
     in
-    Ok { id; timeout_ms; kind }
+    Ok { id; timeout_ms; schema = req_schema; kind }
 
 (* ----------------------------------------------------------- responses *)
 
-let response ?id ~ok fields =
+let response ?(schema = schema) ?id ~ok fields =
   let base =
     ("schema", Json.Str schema)
     :: (match id with Some id -> [ ("id", id) ] | None -> [])
   in
   Json.to_string (Json.Obj (base @ (("ok", Json.Bool ok) :: fields)))
 
-let ok_response ?id fields = response ?id ~ok:true fields
+let ok_response ?schema ?id fields = response ?schema ?id ~ok:true fields
 
-let error_response ?id err =
-  response ?id ~ok:false
+let error_response ?schema ?id err =
+  response ?schema ?id ~ok:false
     [
       ( "error",
         Json.Obj

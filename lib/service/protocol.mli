@@ -1,5 +1,5 @@
-(** The daemon's wire protocol: newline-delimited JSON, schema
-    ["rlc-service/1"].
+(** The daemon's wire protocol: newline-delimited JSON, schemas
+    ["rlc-service/1"] and ["rlc-service/2"].
 
     Every request is one line — a JSON object carrying a ["schema"] tag, a
     ["kind"], an optional ["id"] (echoed verbatim in the response, any JSON
@@ -8,9 +8,27 @@
     [{"schema":...,"id":...,"ok":true,...}] on success and
     [{"schema":...,"id":...,"ok":false,"error":{"code":...,"message":...}}]
     on failure, where [code] is the stable machine identifier from
-    {!Error.code}.
+    {!Error.code}.  Responses carry the schema of the request they answer,
+    so a v1 client never sees ["rlc-service/2"] on the wire.
 
-    Request kinds:
+    v2 is a strict superset of v1: every v1 kind parses identically under
+    either tag, and v1 responses are byte-for-byte what a v1-only server
+    produced.  The three v2-only kinds drive the incremental (ECO) store:
+
+    - ["design_load"]: the ["flow"] fields, plus optional ["xtalk"]
+      (boolean — run crosstalk analysis on this design, with the usual
+      optional ["threshold"] / ["budget"] / ["alignments"] knobs).  Times
+      the design cold, keeps it resident, and answers with a ["handle"]
+      plus the full flow response fields.
+    - ["flow_delta"]: required ["handle"]; edit maps ["nets"] (net name ->
+      replacement [*D_NET ... *END] block text), ["drivers"] (net name ->
+      new driver size) and ["slews_ps"] (primary-input net name -> new
+      slew in ps) — at least one edit across the three.  Re-times
+      incrementally and answers with the flow fields plus ["retimed_nets"]
+      / ["reused_nets"].
+    - ["design_unload"]: required ["handle"]; drops the resident design.
+
+    Request kinds (v1, unchanged):
     - ["flow"]: time a full design.  Exactly one of ["spef"] (inline text)
       or ["spef_file"] (path the {e server} reads); at most one of ["spec"]
       / ["spec_file"]; optional ["size"], ["slew_ps"] (spec defaults),
@@ -22,11 +40,16 @@
     - ["sweep_case"] / ["screen"]: one geometric case; required
       ["length_mm"], ["width_um"], ["size"]; optional ["slew_ps"],
       ["cl_ff"], ["dt_ps"] (sweep only).
-    - ["ping"], ["stats"], ["shutdown"]: no parameters. *)
+    - ["ping"], ["stats"], ["metrics"], ["health"], ["shutdown"]: no
+      parameters. *)
 
 val schema : string
-(** ["rlc-service/1"].  Requests carrying any other value are rejected with
-    an [unsupported_version] error before their parameters are looked at. *)
+(** ["rlc-service/1"]. *)
+
+val schema_v2 : string
+(** ["rlc-service/2"].  Requests carrying a tag that is neither {!schema}
+    nor {!schema_v2} are rejected with an [unsupported_version] error
+    before their parameters are looked at. *)
 
 val default_max_bytes : int
 (** Default request-size limit, 8 MiB. *)
@@ -60,19 +83,34 @@ type xtalk_req = {
   x_alignments : int option;  (** aggressor-alignment grid points *)
 }
 
+type delta_req = {
+  d_handle : string;
+  d_nets : (string * string) list;
+      (** net name -> replacement [*D_NET] block text *)
+  d_drivers : (string * float) list;  (** net name -> new driver size (X) *)
+  d_slews_ps : (string * float) list;
+      (** primary-input net name -> new slew, picoseconds (converted to
+          seconds at the {!Session} boundary) *)
+}
+
 type kind =
   | Flow of flow_req
   | Xtalk of flow_req * xtalk_req
   | Sweep_case of case_req
   | Screen of case_req
+  | Design_load of flow_req * xtalk_req option
+      (** v2 only; [Some knobs] when the request set ["xtalk": true] *)
+  | Flow_delta of delta_req  (** v2 only *)
+  | Design_unload of string  (** v2 only; the handle *)
   | Ping
   | Stats
   | Metrics
       (** live telemetry: rolling-window rates and latency quantiles, cache
-          shard breakdown, plus a Prometheus text exposition of the same
-          numbers under a ["prometheus"] string field.  The server answers
-          this inline from the listener — it never queues, so scrapes keep
-          working while the admission queue is saturated. *)
+          shard breakdown, design-store pressure, plus a Prometheus text
+          exposition of the same numbers under a ["prometheus"] string
+          field.  The server answers this inline from the listener — it
+          never queues, so scrapes keep working while the admission queue
+          is saturated. *)
   | Health
       (** liveness + readiness: [alive] is always [true] (the daemon
           answered); [ready] requires the pool up, the queue below its
@@ -83,6 +121,8 @@ type kind =
 type request = {
   id : Json.t option;  (** echoed verbatim into the response *)
   timeout_ms : int option;
+  schema : string;  (** the accepted tag — {!schema} or {!schema_v2};
+                        responses echo it *)
   kind : kind;
 }
 
@@ -90,13 +130,15 @@ val parse_request : ?max_bytes:int -> string -> (request, Error.t) result
 (** Validate one request line.  Errors, in checking order: over
     [max_bytes] (default {!default_max_bytes}) → [Bad_request]; malformed
     JSON → [Parse] with the byte position; wrong/missing schema →
-    [Unsupported_version]; unknown kind, missing required field, or a
-    type/positivity violation → [Bad_request]. *)
+    [Unsupported_version]; a v2-only kind under the v1 tag, an unknown
+    kind, a missing required field, or a type/positivity violation →
+    [Bad_request]. *)
 
-val ok_response : ?id:Json.t -> (string * Json.t) list -> string
+val ok_response : ?schema:string -> ?id:Json.t -> (string * Json.t) list -> string
 (** Success line (no trailing newline): the standard envelope with the
-    given extra fields appended after ["ok"]. *)
+    given extra fields appended after ["ok"].  [schema] defaults to
+    {!schema} (v1); pass the request's tag to echo it. *)
 
-val error_response : ?id:Json.t -> Error.t -> string
+val error_response : ?schema:string -> ?id:Json.t -> Error.t -> string
 (** Failure line carrying [{"code";"message"}] from {!Error.code} /
     {!Error.message}. *)

@@ -209,10 +209,29 @@ let case_of t (c : Protocol.case_req) =
   Session.case t.session ?slew_ps:c.Protocol.c_slew_ps ?cl_ff:c.Protocol.c_cl_ff
     ~length_mm:c.Protocol.c_length_mm ~width_um:c.Protocol.c_width_um ~size:c.Protocol.c_size ()
 
-(* Shared by the "flow" and "xtalk" kinds — one code path, so an xtalk
-   request's report embeds the fragment and everything else stays
-   byte-identical to a plain flow. *)
-let run_flow t ~deadline ~trace ?xtalk (f : Protocol.flow_req) =
+(* A Session request from the wire fields; [deadline]/[trace] scope this
+   call (design_load strips them before storing the request). *)
+let request_of ~deadline ~trace ?xtalk (f : Protocol.flow_req) =
+  {
+    Session.Request.default with
+    Session.Request.required = Option.map Units.ps f.Protocol.f_required_ps;
+    use_cache = f.Protocol.f_use_cache;
+    dt = Option.map Units.ps f.Protocol.f_dt_ps;
+    xtalk;
+    deadline = Some deadline;
+    trace;
+  }
+
+let xtalk_of (x : Protocol.xtalk_req) =
+  {
+    Session.threshold =
+      Option.value x.Protocol.x_threshold ~default:Session.default_xtalk.Session.threshold;
+    budget = Option.value x.Protocol.x_budget ~default:Session.default_xtalk.Session.budget;
+    alignments =
+      Option.value x.Protocol.x_alignments ~default:Session.default_xtalk.Session.alignments;
+  }
+
+let resolve_sources (f : Protocol.flow_req) =
   let ( let* ) = Result.bind in
   let* spef, spef_name = resolve "spef_file" f.Protocol.f_spef in
   let* spec, spec_name =
@@ -222,19 +241,51 @@ let run_flow t ~deadline ~trace ?xtalk (f : Protocol.flow_req) =
         let* content, name = resolve "spec_file" src in
         Ok (Some content, name)
   in
+  Ok (spef, spef_name, spec, spec_name)
+
+(* Shared by the "flow" and "xtalk" kinds — one code path, so an xtalk
+   request's report embeds the fragment and everything else stays
+   byte-identical to a plain flow. *)
+let run_flow t ~deadline ~trace ?xtalk (f : Protocol.flow_req) =
+  let ( let* ) = Result.bind in
+  let* spef, spef_name, spec, spec_name = resolve_sources f in
   let* design =
     Session.ingest t.session ?spef_name ?spec ?spec_name ?size:f.Protocol.f_size
       ?slew:(Option.map Units.ps f.Protocol.f_slew_ps)
       ~spef ()
   in
-  let* outcome =
-    Session.flow t.session
-      ?required:(Option.map Units.ps f.Protocol.f_required_ps)
-      ?use_cache:f.Protocol.f_use_cache
-      ?dt:(Option.map Units.ps f.Protocol.f_dt_ps)
-      ?xtalk ~deadline ?trace design
-  in
+  let* outcome = Session.flow t.session (request_of ~deadline ~trace ?xtalk f) design in
   Ok (flow_fields outcome)
+
+(* "design_load": same resolution and knobs as "flow", but the timed design
+   stays resident under the returned handle. *)
+let run_design_load t ~deadline ~trace (f : Protocol.flow_req) xtalk =
+  let ( let* ) = Result.bind in
+  let* spef, spef_name, spec, spec_name = resolve_sources f in
+  let req = request_of ~deadline ~trace ?xtalk:(Option.map xtalk_of xtalk) f in
+  let* handle, outcome =
+    Session.design_load t.session ?spef_name ?spec ?spec_name ?size:f.Protocol.f_size
+      ?slew:(Option.map Units.ps f.Protocol.f_slew_ps)
+      ~req ~spef ()
+  in
+  Ok (("handle", Json.Str handle) :: flow_fields outcome)
+
+let run_flow_delta t ~deadline ~trace (d : Protocol.delta_req) =
+  let ( let* ) = Result.bind in
+  let delta =
+    {
+      Rlc_flow.Delta.nets = d.Protocol.d_nets;
+      drivers = d.Protocol.d_drivers;
+      slews = List.map (fun (net, ps) -> (net, Units.ps ps)) d.Protocol.d_slews_ps;
+    }
+  in
+  let* outcome, stats = Session.flow_delta t.session ~deadline ?trace ~handle:d.Protocol.d_handle delta in
+  Ok
+    (flow_fields outcome
+    @ [
+        ("retimed_nets", Json.Int stats.Rlc_flow.Flow.retimed);
+        ("reused_nets", Json.Int stats.Rlc_flow.Flow.reused);
+      ])
 
 let server_info t =
   {
@@ -250,6 +301,7 @@ let dispatch t ~deadline ~trace (kind : Protocol.kind) :
   | Protocol.Ping -> (Ok [ ("pong", Json.Bool true) ], `Continue)
   | Protocol.Stats ->
       let s = Session.stats t.session in
+      let d = Session.design_stats t.session in
       ( Ok
           [
             ("uptime_s", Json.Float s.Session.uptime_s);
@@ -262,6 +314,14 @@ let dispatch t ~deadline ~trace (kind : Protocol.kind) :
                   ("hits", Json.Int s.Session.cache_hits);
                   ("misses", Json.Int s.Session.cache_misses);
                   ("shards", Telemetry.shards_json (Session.shard_stats t.session));
+                ] );
+            ( "designs",
+              Json.Obj
+                [
+                  ("handles", Json.Int d.Session.ds_handles);
+                  ("capacity", Json.Int d.Session.ds_capacity);
+                  ("nets", Json.Int d.Session.ds_nets);
+                  ("evictions", Json.Int d.Session.ds_evictions);
                 ] );
             ( "server",
               Json.Obj
@@ -284,18 +344,13 @@ let dispatch t ~deadline ~trace (kind : Protocol.kind) :
         `Continue )
   | Protocol.Shutdown -> (Ok [ ("stopping", Json.Bool true) ], `Stop)
   | Protocol.Flow f -> (run_flow t ~deadline ~trace f, `Continue)
-  | Protocol.Xtalk (f, x) ->
-      let xtalk =
-        {
-          Session.threshold =
-            Option.value x.Protocol.x_threshold ~default:Session.default_xtalk.Session.threshold;
-          budget = Option.value x.Protocol.x_budget ~default:Session.default_xtalk.Session.budget;
-          alignments =
-            Option.value x.Protocol.x_alignments
-              ~default:Session.default_xtalk.Session.alignments;
-        }
-      in
-      (run_flow t ~deadline ~trace ~xtalk f, `Continue)
+  | Protocol.Xtalk (f, x) -> (run_flow t ~deadline ~trace ~xtalk:(xtalk_of x) f, `Continue)
+  | Protocol.Design_load (f, x) -> (run_design_load t ~deadline ~trace f x, `Continue)
+  | Protocol.Flow_delta d -> (run_flow_delta t ~deadline ~trace d, `Continue)
+  | Protocol.Design_unload handle ->
+      ( (let* () = Session.design_unload t.session handle in
+         Ok [ ("unloaded", Json.Bool true) ]),
+        `Continue )
   | Protocol.Sweep_case c ->
       ( (let* case = case_of t c in
          let* cmp = Session.sweep_case t.session ?dt:(Option.map Units.ps c.Protocol.c_dt_ps) case in
@@ -328,6 +383,9 @@ let kind_name = function
   | Protocol.Xtalk _ -> "xtalk"
   | Protocol.Sweep_case _ -> "sweep_case"
   | Protocol.Screen _ -> "screen"
+  | Protocol.Design_load _ -> "design_load"
+  | Protocol.Flow_delta _ -> "flow_delta"
+  | Protocol.Design_unload _ -> "design_unload"
   | Protocol.Ping -> "ping"
   | Protocol.Stats -> "stats"
   | Protocol.Metrics -> "metrics"
@@ -356,12 +414,12 @@ let respond t ~deadline ~trace (req : Protocol.request) =
   match outcome with
   | Ok fields ->
       Session.note t.session ~ok:true;
-      (Protocol.ok_response ?id fields, control, Ok fields)
+      (Protocol.ok_response ~schema:req.Protocol.schema ?id fields, control, Ok fields)
   | Error e ->
       Session.note t.session ~ok:false;
       (match e with Error.Timeout _ -> Obs.incr (obs t) "service.timeouts" | _ -> ());
       Log.info (fun m -> m "request failed: %s" (Error.to_string e));
-      (Protocol.error_response ?id e, `Continue, Error e)
+      (Protocol.error_response ~schema:req.Protocol.schema ?id e, `Continue, Error e)
 
 let slow_log t ~trace ~kind ~queue_wait_s ~wall_s ~worker outcome =
   match t.slow_ms with
@@ -653,7 +711,8 @@ let rec advance t rt conn =
                   Session.note t.session ~ok:false;
                   Obs.incr (obs t) "service.rejected_queue_full";
                   write_response conn
-                    (Protocol.error_response ?id:req.Protocol.id (Error.Timeout budget));
+                    (Protocol.error_response ~schema:req.Protocol.schema ?id:req.Protocol.id
+                       (Error.Timeout budget));
                   advance t rt conn))
 
 let worker_loop t rt wid =
@@ -670,14 +729,16 @@ let worker_loop t rt wid =
             (* Expired while queued: answer without burning a worker. *)
             Session.note t.session ~ok:false;
             Obs.incr o "service.rejected_expired";
-            ( Protocol.error_response ?id:job.j_req.Protocol.id (Error.Timeout job.j_budget),
+            ( Protocol.error_response ~schema:job.j_req.Protocol.schema ?id:job.j_req.Protocol.id
+                (Error.Timeout job.j_budget),
               `Continue )
           end
           else if stopped t then begin
             (* Shutdown drain: queued-but-unstarted requests get a typed
                timeout instead of a silently closed connection. *)
             Session.note t.session ~ok:false;
-            ( Protocol.error_response ?id:job.j_req.Protocol.id (Error.Timeout job.j_budget),
+            ( Protocol.error_response ~schema:job.j_req.Protocol.schema ?id:job.j_req.Protocol.id
+                (Error.Timeout job.j_budget),
               `Continue )
           end
           else

@@ -26,6 +26,16 @@
     the old ITIMER_REAL/SIGALRM mechanism produced, but works with any
     [jobs] count and any number of concurrent requests. *)
 
+(** {b Incremental designs.}  Under the ["rlc-service/2"] schema the
+    daemon is a long-lived incremental timer: [design_load] times a design
+    cold and keeps it resident in the session's bounded LRU store,
+    [flow_delta] re-times only the edited nets' fan-out cones (answering
+    with the flow fields plus [retimed_nets]/[reused_nets]), and
+    [design_unload] drops the handle.  Deltas to one handle serialize;
+    different handles run concurrently on the worker pool.  v1 request
+    lines are answered byte-for-byte as before — responses echo the
+    request's schema tag. *)
+
 type t
 
 val default_timeout_s : float

@@ -1,12 +1,14 @@
 (* A resident timing session: the warm state (characterization memo tables,
-   the shared Ceff result cache, the domain pool) plus the typed operations
-   the server and the CLI both call.  Keeping one code path here is what
-   makes the daemon's flow reports byte-identical to `rlc_timing flow`. *)
+   the shared Ceff result cache, the domain pool, resident incrementally
+   timed designs) plus the typed operations the server and the CLI both
+   call.  Keeping one code path here is what makes the daemon's flow
+   reports byte-identical to `rlc_timing flow`. *)
 
 module Flow = Rlc_flow.Flow
 module Report = Rlc_flow.Report
 module Evaluate = Rlc_ceff.Evaluate
 module Units = Rlc_num.Units
+module Pool = Rlc_parallel.Pool
 
 module Config = struct
   type t = {
@@ -18,6 +20,7 @@ module Config = struct
     slew_grid : float;
     default_size : float;
     default_slew : float;
+    design_capacity : int;
     obs : Rlc_obs.Obs.t;
   }
 
@@ -31,18 +34,75 @@ module Config = struct
       slew_grid = 0.1e-12;
       default_size = 75.;
       default_slew = 100e-12;
+      design_capacity = 8;
       obs = Rlc_obs.Obs.null;
     }
 end
 
+type xtalk_request = { threshold : float; budget : float; alignments : int }
+
+let default_xtalk =
+  {
+    threshold = Rlc_xtalk.Xtalk.Config.default.Rlc_xtalk.Xtalk.Config.threshold;
+    budget = Rlc_xtalk.Xtalk.Config.default.Rlc_xtalk.Xtalk.Config.budget;
+    alignments = Rlc_xtalk.Xtalk.Config.default.Rlc_xtalk.Xtalk.Config.alignments;
+  }
+
+(* The whole per-request knob surface as one typed value, shared by the
+   CLI one-shot path and both protocol schemas — v1 [flow] and v2
+   [design_load] decode into the same record, so report byte-identity
+   across entry points is structural, not incidental. *)
+module Request = struct
+  type t = {
+    required : float option;
+    use_cache : bool option;
+    dt : float option;
+    adaptive : Rlc_circuit.Engine.adaptive option;
+    progress : Rlc_obs.Progress.t option;
+    xtalk : xtalk_request option;
+    deadline : Rlc_errors.Deadline.t option;
+    trace : string option;
+  }
+
+  let default =
+    {
+      required = None;
+      use_cache = None;
+      dt = None;
+      adaptive = None;
+      progress = None;
+      xtalk = None;
+      deadline = None;
+      trace = None;
+    }
+end
+
+(* A resident incrementally timed design.  [timed] is replaced wholesale on
+   each applied delta under [lock]; [last_used] is a logical-clock stamp
+   driving LRU eviction.  [req] is the load-time request with the
+   per-request fields (deadline, trace, progress) stripped — deltas rebuild
+   those per call. *)
+type design_entry = {
+  handle : string;
+  req : Request.t;
+  mutable timed : Flow.Timed.t;
+  lock : Mutex.t;
+  last_used : int Atomic.t;
+}
+
 type t = {
   config : Config.t;
-  pool : Rlc_flow.Pool.t;
+  pool : Pool.t;
   cache : Flow.solve Rlc_flow.Cache.t;
   started_at : float;
   (* counted from concurrent server worker domains *)
   served : int Atomic.t;
   failed : int Atomic.t;
+  designs : (string, design_entry) Hashtbl.t;
+  designs_lock : Mutex.t;
+  design_seq : int Atomic.t;
+  design_clock : int Atomic.t;
+  design_evictions : int Atomic.t;
   mutable closed : bool;
 }
 
@@ -55,14 +115,26 @@ type stats = {
   cache_misses : int;
 }
 
+type design_store_stats = {
+  ds_handles : int;
+  ds_capacity : int;
+  ds_nets : int;
+  ds_evictions : int;
+}
+
 let create ?(config = Config.default) () =
   {
     config;
-    pool = Rlc_flow.Pool.create ~obs:config.Config.obs ~jobs:(Int.max 1 config.Config.jobs) ();
+    pool = Pool.create ~obs:config.Config.obs ~jobs:(Int.max 1 config.Config.jobs) ();
     cache = Flow.create_cache ();
     started_at = Unix.gettimeofday ();
     served = Atomic.make 0;
     failed = Atomic.make 0;
+    designs = Hashtbl.create 8;
+    designs_lock = Mutex.create ();
+    design_seq = Atomic.make 0;
+    design_clock = Atomic.make 0;
+    design_evictions = Atomic.make 0;
     closed = false;
   }
 
@@ -71,7 +143,7 @@ let config t = t.config
 let close t =
   if not t.closed then begin
     t.closed <- true;
-    Rlc_flow.Pool.shutdown t.pool
+    Pool.shutdown t.pool
   end
 
 let with_session ?config f =
@@ -94,6 +166,10 @@ let stats t =
     cache_misses = Rlc_flow.Cache.misses t.cache;
   }
 
+let with_lock m f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
 (* Map the two raising conventions of the numeric layers to typed errors.
    Deliberately NOT a catch-all: unknown exceptions (including
    [Rlc_errors.Deadline.Expired]) must keep propagating to the caller's
@@ -106,7 +182,7 @@ let guard f =
 
 (* --------------------------------------------------------------- flow *)
 
-let ingest t ?spef_name ?spec ?spec_name ?size ?slew ~spef () =
+let parse_sources t ?spef_name ?spec ?spec_name ?size ?slew ~spef () =
   let ( let* ) = Result.bind in
   let* spef = Rlc_spef.Spef.parse_res ?file:spef_name spef in
   let* spec =
@@ -117,18 +193,14 @@ let ingest t ?spef_name ?spec ?spec_name ?size ?slew ~spef () =
         let slew = Option.value slew ~default:t.config.Config.default_slew in
         guard (fun () -> Rlc_flow.Spec.default_of_spef ~size ~slew spef)
   in
+  Ok (spef, spec)
+
+let ingest t ?spef_name ?spec ?spec_name ?size ?slew ~spef () =
+  let ( let* ) = Result.bind in
+  let* spef, spec = parse_sources t ?spef_name ?spec ?spec_name ?size ?slew ~spef () in
   match Rlc_flow.Design.ingest ~tech:t.config.Config.tech ~spef ~spec () with
   | Ok d -> Ok d
   | Error msg -> Error (Error.Bad_request msg)
-
-type xtalk_request = { threshold : float; budget : float; alignments : int }
-
-let default_xtalk =
-  {
-    threshold = Rlc_xtalk.Xtalk.Config.default.Rlc_xtalk.Xtalk.Config.threshold;
-    budget = Rlc_xtalk.Xtalk.Config.default.Rlc_xtalk.Xtalk.Config.budget;
-    alignments = Rlc_xtalk.Xtalk.Config.default.Rlc_xtalk.Xtalk.Config.alignments;
-  }
 
 type flow_outcome = {
   result : Flow.result;
@@ -136,44 +208,155 @@ type flow_outcome = {
   report : string;
 }
 
-let flow t ?required ?use_cache ?dt ?adaptive ?progress ?xtalk ?deadline ?trace design =
-  let cfg =
+let flow_cfg t (req : Request.t) =
+  {
+    Flow.Config.dt = Option.value req.Request.dt ~default:t.config.Config.dt;
+    adaptive = req.Request.adaptive;
+    jobs = None;
+    use_cache = Option.value req.Request.use_cache ~default:t.config.Config.use_cache;
+    cache = Some t.cache;
+    quantize_digits = t.config.Config.quantize_digits;
+    slew_grid = t.config.Config.slew_grid;
+    obs = t.config.Config.obs;
+    progress = req.Request.progress;
+    pool = Some t.pool;
+    deadline = req.Request.deadline;
+    trace = req.Request.trace;
+  }
+
+(* Crosstalk analysis + report rendering over a finished flow result —
+   identical for a cold [flow], a [design_load], and every [flow_delta]
+   (Xtalk.analyze is a pure function of the result, the coupling graph and
+   the config, so re-running it wholesale preserves byte-identity). *)
+let outcome_of t (req : Request.t) (result : Flow.result) =
+  let xtalk =
+    Option.map
+      (fun x ->
+        Rlc_xtalk.Xtalk.analyze
+          ~config:
+            {
+              Rlc_xtalk.Xtalk.Config.default with
+              Rlc_xtalk.Xtalk.Config.threshold = x.threshold;
+              budget = x.budget;
+              alignments = x.alignments;
+              dt = Option.value req.Request.dt ~default:t.config.Config.dt;
+              pool = Some t.pool;
+              obs = t.config.Config.obs;
+            }
+          result)
+      req.Request.xtalk
+  in
+  let fragment = Option.map (Rlc_xtalk.Xtalk.json_fragment result.Flow.design) xtalk in
+  {
+    result;
+    xtalk;
+    report = Report.json_string ?required:req.Request.required ?xtalk:fragment result;
+  }
+
+let flow t (req : Request.t) design =
+  let cfg = flow_cfg t req in
+  guard (fun () -> outcome_of t req (Flow.run_cfg cfg design))
+
+(* ------------------------------------------------------- design store *)
+
+let touch t entry = Atomic.set entry.last_used (Atomic.fetch_and_add t.design_clock 1)
+
+let find_entry t handle =
+  with_lock t.designs_lock (fun () -> Hashtbl.find_opt t.designs handle)
+
+let unknown_handle handle =
+  Error.Bad_request (Printf.sprintf "unknown design handle %S" handle)
+
+let capacity t = Int.max 1 t.config.Config.design_capacity
+
+let register t ~req timed =
+  let handle = "d" ^ string_of_int (1 + Atomic.fetch_and_add t.design_seq 1) in
+  let entry =
     {
-      Flow.Config.dt = Option.value dt ~default:t.config.Config.dt;
-      adaptive;
-      jobs = None;
-      use_cache = Option.value use_cache ~default:t.config.Config.use_cache;
-      cache = Some t.cache;
-      quantize_digits = t.config.Config.quantize_digits;
-      slew_grid = t.config.Config.slew_grid;
-      obs = t.config.Config.obs;
-      progress;
-      pool = Some t.pool;
-      deadline;
-      trace;
+      handle;
+      req;
+      timed;
+      lock = Mutex.create ();
+      last_used = Atomic.make (Atomic.fetch_and_add t.design_clock 1);
     }
   in
-  guard (fun () ->
-      let result = Flow.run_cfg cfg design in
-      let xtalk =
-        Option.map
-          (fun x ->
-            Rlc_xtalk.Xtalk.analyze
-              ~config:
-                {
-                  Rlc_xtalk.Xtalk.Config.default with
-                  Rlc_xtalk.Xtalk.Config.threshold = x.threshold;
-                  budget = x.budget;
-                  alignments = x.alignments;
-                  dt = Option.value dt ~default:t.config.Config.dt;
-                  pool = Some t.pool;
-                  obs = t.config.Config.obs;
-                }
-              result)
-          xtalk
-      in
-      let fragment = Option.map (Rlc_xtalk.Xtalk.json_fragment design) xtalk in
-      { result; xtalk; report = Report.json_string ?required ?xtalk:fragment result })
+  with_lock t.designs_lock (fun () ->
+      Hashtbl.replace t.designs handle entry;
+      while Hashtbl.length t.designs > capacity t do
+        let victim =
+          Hashtbl.fold
+            (fun _ e acc ->
+              match acc with
+              | None -> Some e
+              | Some b -> if Atomic.get e.last_used < Atomic.get b.last_used then Some e else acc)
+            t.designs None
+        in
+        match victim with
+        | Some e ->
+            (* An in-flight delta on the evicted handle finishes on its own
+               reference; only the table entry goes away. *)
+            Hashtbl.remove t.designs e.handle;
+            Atomic.incr t.design_evictions
+        | None -> ()
+      done);
+  handle
+
+let design_load t ?spef_name ?spec ?spec_name ?size ?slew ~req ~spef () =
+  let ( let* ) = Result.bind in
+  let* spef, spec = parse_sources t ?spef_name ?spec ?spec_name ?size ?slew ~spef () in
+  let cfg = flow_cfg t req in
+  let* timed =
+    Result.join
+      (guard (fun () -> Flow.time ~tech:t.config.Config.tech cfg ~spef ~spec ()))
+  in
+  let* outcome = guard (fun () -> outcome_of t req (Flow.Timed.result timed)) in
+  let stored = { req with Request.deadline = None; trace = None; progress = None } in
+  let handle = register t ~req:stored timed in
+  Ok (handle, outcome)
+
+let flow_delta t ?deadline ?trace ~handle delta =
+  match find_entry t handle with
+  | None -> Error (unknown_handle handle)
+  | Some entry ->
+      touch t entry;
+      (* The entry lock serializes deltas per handle: each one re-times
+         against the state its predecessor left. *)
+      with_lock entry.lock (fun () ->
+          let ( let* ) = Result.bind in
+          let req = entry.req in
+          let* timed, delta_stats =
+            Result.join
+              (guard (fun () ->
+                   Flow.retime ?deadline ?trace
+                     ~xtalk_victims:(req.Request.xtalk <> None)
+                     entry.timed delta))
+          in
+          let* outcome =
+            guard (fun () ->
+                outcome_of t { req with Request.deadline; trace } (Flow.Timed.result timed))
+          in
+          entry.timed <- timed;
+          Ok (outcome, delta_stats))
+
+let design_unload t handle =
+  with_lock t.designs_lock (fun () ->
+      if Hashtbl.mem t.designs handle then begin
+        Hashtbl.remove t.designs handle;
+        Ok ()
+      end
+      else Error (unknown_handle handle))
+
+let design_stats t =
+  with_lock t.designs_lock (fun () ->
+      {
+        ds_handles = Hashtbl.length t.designs;
+        ds_capacity = capacity t;
+        ds_nets =
+          Hashtbl.fold
+            (fun _ e acc -> acc + Rlc_flow.Design.n_nets (Flow.Timed.design e.timed))
+            t.designs 0;
+        ds_evictions = Atomic.get t.design_evictions;
+      })
 
 (* --------------------------------------------------------------- case *)
 

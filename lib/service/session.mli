@@ -3,11 +3,13 @@
     One value of type {!t} owns everything that is worth keeping warm
     between requests: the technology, the characterization memo tables
     (populated on first use, shared process-wide), the cross-request Ceff
-    result {!Rlc_flow.Cache}, and a running {!Rlc_flow.Pool} of worker
-    domains.  The CLI's one-shot [flow] command and the {!Server} both
-    drive this module — the same ingest, the same flow configuration, the
-    same {!Rlc_flow.Report.json_string} — which is what guarantees the
-    daemon's report payloads are byte-identical to the CLI's.
+    result {!Rlc_flow.Cache}, a running {!Rlc_parallel.Pool} of worker
+    domains, and a bounded store of resident incrementally timed designs
+    ({!design_load} / {!flow_delta}).  The CLI's one-shot [flow] command
+    and the {!Server} both drive this module — the same ingest, the same
+    {!Request.t}, the same {!Rlc_flow.Report.json_string} — which is what
+    guarantees the daemon's report payloads are byte-identical to the
+    CLI's.
 
     Every operation returns [(_, Error.t) result]; the raising entry points
     of the lower layers are confined behind it. *)
@@ -26,6 +28,10 @@ module Config : sig
     slew_grid : float;  (** cache-key slew grid, default 0.1 ps *)
     default_size : float;  (** spec-less flow driver size, default 75X *)
     default_slew : float;  (** spec-less primary slew, default 100 ps *)
+    design_capacity : int;
+        (** resident designs kept by the store, default 8 (clamped to at
+            least 1); loading beyond it evicts the least-recently-used
+            handle *)
     obs : Rlc_obs.Obs.t;  (** default disabled *)
   }
 
@@ -77,6 +83,31 @@ val default_xtalk : xtalk_request
 (** {!Rlc_xtalk.Xtalk.Config.default}'s threshold (0.05), budget (0.25) and
     alignments (9). *)
 
+(** The whole per-request knob surface of a flow as one typed record —
+    what used to be eight optional arguments.  The CLI one-shot path, the
+    v1 [flow] kind and the v2 [design_load] kind all decode into this, so
+    byte-identity of their reports is structural.  Build requests with
+    [{ Request.default with required = Some ... }]. *)
+module Request : sig
+  type t = {
+    required : float option;  (** required time (seconds): adds slack *)
+    use_cache : bool option;  (** default [Config.use_cache] *)
+    dt : float option;  (** default [Config.dt] *)
+    adaptive : Rlc_circuit.Engine.adaptive option;
+        (** LTE-controlled stepping; part of the cache key *)
+    progress : Rlc_obs.Progress.t option;
+    xtalk : xtalk_request option;  (** run crosstalk analysis when set *)
+    deadline : Rlc_errors.Deadline.t option;
+        (** per-request budget; expiry escapes as
+            {!Rlc_errors.Deadline.Expired} (the server owns the wire
+            [Timeout] conversion) *)
+    trace : string option;  (** request trace id for obs spans *)
+  }
+
+  val default : t
+  (** Everything [None] — session defaults throughout. *)
+end
+
 type flow_outcome = {
   result : Rlc_flow.Flow.result;
   xtalk : Rlc_xtalk.Xtalk.result option;
@@ -87,34 +118,52 @@ type flow_outcome = {
           the analysis ran *)
 }
 
-val flow :
-  t ->
-  ?required:float ->
-  ?use_cache:bool ->
-  ?dt:float ->
-  ?adaptive:Rlc_circuit.Engine.adaptive ->
-  ?progress:Rlc_obs.Progress.t ->
-  ?xtalk:xtalk_request ->
-  ?deadline:Rlc_errors.Deadline.t ->
-  ?trace:string ->
-  Rlc_flow.Design.t ->
-  (flow_outcome, Error.t) result
+val flow : t -> Request.t -> Rlc_flow.Design.t -> (flow_outcome, Error.t) result
 (** Run the full-design flow on the session's pool against the session's
     shared cache (so a repeated design is all cache hits; the per-run
-    hit/miss deltas are in [result.stats]).  [required] (seconds) adds the
-    slack block to the report.  [adaptive] switches the far-end replays to
-    LTE-controlled stepping; its parameters are part of the cache key, so
-    fixed-step and adaptive requests never share entries.  [xtalk] runs
-    {!Rlc_xtalk.Xtalk.analyze} over the flow result on the same pool (the
-    Ceff cache is not involved) and embeds the fragment in [report].
-    [deadline] threads the per-request budget into [Flow.Config.deadline];
-    expiry escapes as {!Rlc_errors.Deadline.Expired} (deliberately not
-    mapped here — the server owns the wire [Timeout] conversion).  [trace]
-    threads the request's trace id into [Flow.Config.trace] so every span
-    the run records carries it (reports are unaffected).  The
-    session is safe to drive from several server worker domains at once:
-    the cache is sharded, the pool accepts concurrent batches, and request
-    accounting is atomic. *)
+    hit/miss deltas are in [result.stats]).  See {!Request.t} for the
+    knobs.  The session is safe to drive from several server worker
+    domains at once: the cache is sharded, the pool accepts concurrent
+    batches, and request accounting is atomic. *)
+
+(** {2 Incremental designs (ECO)} *)
+
+val design_load :
+  t ->
+  ?spef_name:string ->
+  ?spec:string ->
+  ?spec_name:string ->
+  ?size:float ->
+  ?slew:float ->
+  req:Request.t ->
+  spef:string ->
+  unit ->
+  (string * flow_outcome, Error.t) result
+(** Parse, ingest, and cold-time a design ({!Rlc_flow.Flow.time}), keep it
+    resident, and return its handle (["d1"], ["d2"], ...) plus the full
+    cold outcome.  The request — minus its per-call [deadline], [trace]
+    and [progress] — is stored with the handle and governs every
+    subsequent {!flow_delta}, so a handle's reports always come from one
+    consistent configuration.  Loading beyond [Config.design_capacity]
+    evicts the least-recently-used handle. *)
+
+val flow_delta :
+  t ->
+  ?deadline:Rlc_errors.Deadline.t ->
+  ?trace:string ->
+  handle:string ->
+  Rlc_flow.Delta.t ->
+  (flow_outcome * Rlc_flow.Flow.delta_stats, Error.t) result
+(** Apply an ECO delta to a resident design ({!Rlc_flow.Flow.retime}): only
+    the changed nets, their fan-out cones, and (when the handle was loaded
+    with [xtalk]) coupling partners of changed nets are re-solved; the
+    rest reuse their stored solves.  The returned report is byte-identical
+    to a cold run of the edited design under the handle's configuration.
+    Deltas to one handle are serialized; different handles proceed
+    concurrently.  An unknown handle is {!Error.Bad_request}. *)
+
+val design_unload : t -> string -> (unit, Error.t) result
+(** Drop a resident design.  Unknown handles are {!Error.Bad_request}. *)
 
 val case :
   t ->
@@ -150,10 +199,21 @@ type stats = {
   cache_misses : int;
 }
 
+type design_store_stats = {
+  ds_handles : int;  (** designs currently resident *)
+  ds_capacity : int;
+  ds_nets : int;  (** nets held across all resident designs *)
+  ds_evictions : int;  (** LRU evictions since [create] *)
+}
+
 val note : t -> ok:bool -> unit
 (** Count one finished request (the server calls this once per line). *)
 
 val stats : t -> stats
+
+val design_stats : t -> design_store_stats
+(** Design-store pressure, surfaced by the [stats]/[metrics] responses so
+    [top] can show a v2 daemon's resident-design footprint. *)
 
 val shard_stats : t -> Rlc_flow.Cache.shard_stat array
 (** Per-shard population and hit/miss counters of the session's Ceff

@@ -114,7 +114,8 @@ let prom_float v =
   if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
   else Printf.sprintf "%g" v
 
-let prometheus ~(stats : Session.stats) ~shards ~server ~window () =
+let prometheus ~(stats : Session.stats) ~shards ~(designs : Session.design_store_stats) ~server
+    ~window () =
   let b = Buffer.create 4096 in
   let meta name typ help =
     Printf.bprintf b "# HELP %s %s\n# TYPE %s %s\n" name help name typ
@@ -173,6 +174,14 @@ let prometheus ~(stats : Session.stats) ~shards ~server ~window () =
     stats.Session.cache_hits;
   counter "service_cache_misses_total" "Ceff cache misses since start."
     stats.Session.cache_misses;
+  gauge "service_designs_resident" "Designs resident in the ECO store."
+    (float_of_int designs.Session.ds_handles);
+  gauge "service_designs_capacity" "ECO design store capacity."
+    (float_of_int designs.Session.ds_capacity);
+  gauge "service_designs_nets" "Nets held across resident designs."
+    (float_of_int designs.Session.ds_nets);
+  counter "service_designs_evictions_total" "LRU design evictions since start."
+    designs.Session.ds_evictions;
   if Array.length shards > 0 then begin
     meta "service_cache_shard_entries" "gauge"
       "Ceff cache population, by shard.";
@@ -232,6 +241,7 @@ let ms_of_s v = v *. 1e3
 let metrics_fields ~session ~server ~window () =
   let stats = Session.stats session in
   let shards = Session.shard_stats session in
+  let designs = Session.design_stats session in
   let wv = window_view ~workers:server.workers window in
   [
     ("uptime_s", Json.Float stats.Session.uptime_s);
@@ -280,7 +290,15 @@ let metrics_fields ~session ~server ~window () =
           ("misses", Json.Int stats.Session.cache_misses);
           ("shards", shards_json shards);
         ] );
-    ("prometheus", Json.Str (prometheus ~stats ~shards ~server ~window ()));
+    ( "designs",
+      Json.Obj
+        [
+          ("handles", Json.Int designs.Session.ds_handles);
+          ("capacity", Json.Int designs.Session.ds_capacity);
+          ("nets", Json.Int designs.Session.ds_nets);
+          ("evictions", Json.Int designs.Session.ds_evictions);
+        ] );
+    ("prometheus", Json.Str (prometheus ~stats ~shards ~designs ~server ~window ()));
   ]
 
 let health_fields ~session ~server ~window () =

@@ -27,8 +27,9 @@ val metrics_fields :
 (** The [metrics] response body: [uptime_s], exact [totals], per-kind
     counters, a [window] block (req/s, timeout/rejection rates, cache hit
     ratio, p50/p95/p99 ms via {!Rlc_obs.Obs.Histogram.quantile}, worker
-    utilization), [server] gauges, [cache] aggregate + per-shard stats,
-    and the full Prometheus text exposition under ["prometheus"].
+    utilization), [server] gauges, [cache] aggregate + per-shard stats, a
+    [designs] block ({!Session.design_stats} — ECO store pressure for
+    [top]), and the full Prometheus text exposition under ["prometheus"].
     Window-derived floats are [nan] (rendered as JSON [null]) when the
     window lacks data — fewer than two samples, or no traffic.  The
     window's req/s and latency quantiles exclude [metrics]/[health]
@@ -50,6 +51,7 @@ val health_fields :
 val prometheus :
   stats:Session.stats ->
   shards:Rlc_flow.Cache.shard_stat array ->
+  designs:Session.design_store_stats ->
   server:server_info ->
   window:Rlc_obs.Window.t ->
   unit ->

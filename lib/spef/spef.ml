@@ -65,10 +65,15 @@ let unquote s =
 
 type section = S_none | S_conn | S_cap | S_res | S_induc
 
-let parse_res ?file src =
+(* One parser drives both entry points: [allow_header] distinguishes a
+   full SPEF file (header directives legal, units default) from a bare
+   [*D_NET] fragment re-parsed against the units of an already-loaded
+   file (header directives are "unexpected token" errors there — a delta
+   must not silently re-scale the design). *)
+let run_parser ?file ~allow_header ~units:init_units src =
   let lines = String.split_on_char '\n' src in
   let design = ref "" in
-  let units = ref default_units in
+  let units = ref init_units in
   let nets = ref [] in
   (* current net under construction *)
   let cur = ref None in
@@ -105,18 +110,19 @@ let parse_res ?file src =
         in
         match (toks, !cur) with
         | [], _ -> ()
-        | "*SPEF" :: _, _ | "*VERSION" :: _, _ | "*DATE" :: _, _ | "*VENDOR" :: _, _
-        | "*PROGRAM" :: _, _ | "*DIVIDER" :: _, _ | "*DELIMITER" :: _, _
-        | "*BUS_DELIMITER" :: _, _ ->
+        | ( "*SPEF" :: _, _ | "*VERSION" :: _, _ | "*DATE" :: _, _ | "*VENDOR" :: _, _
+          | "*PROGRAM" :: _, _ | "*DIVIDER" :: _, _ | "*DELIMITER" :: _, _
+          | "*BUS_DELIMITER" :: _, _ )
+          when allow_header ->
             ()
-        | [ "*DESIGN"; name ], _ -> design := unquote name
-        | [ "*T_UNIT"; mult; unit ], _ ->
+        | [ "*DESIGN"; name ], _ when allow_header -> design := unquote name
+        | [ "*T_UNIT"; mult; unit ], _ when allow_header ->
             units := { !units with t_scale = float_of lineno mult *. scale_of_suffix lineno unit }
-        | [ "*C_UNIT"; mult; unit ], _ ->
+        | [ "*C_UNIT"; mult; unit ], _ when allow_header ->
             units := { !units with c_scale = float_of lineno mult *. scale_of_suffix lineno unit }
-        | [ "*R_UNIT"; mult; unit ], _ ->
+        | [ "*R_UNIT"; mult; unit ], _ when allow_header ->
             units := { !units with r_scale = float_of lineno mult *. scale_of_suffix lineno unit }
-        | [ "*L_UNIT"; mult; unit ], _ ->
+        | [ "*L_UNIT"; mult; unit ], _ when allow_header ->
             units := { !units with l_scale = float_of lineno mult *. scale_of_suffix lineno unit }
         | [ "*D_NET"; name; tc ], None ->
             cur :=
@@ -201,12 +207,16 @@ let parse_res ?file src =
     Ok { design = !design; units = !units; nets = List.rev !nets }
   with Err (lineno, msg) -> Error (Rlc_errors.Error.parse ?file ~line:lineno msg)
 
-let parse src =
-  match parse_res src with
-  | Ok t -> Ok t
-  | Error (Rlc_errors.Error.Parse { line = Some l; msg; _ }) ->
-      Error (Printf.sprintf "line %d: %s" l msg)
-  | Error e -> Error (Rlc_errors.Error.message e)
+let parse_res ?file src = run_parser ?file ~allow_header:true ~units:default_units src
+
+let parse_dnet_res ?file ~units src =
+  match run_parser ?file ~allow_header:false ~units src with
+  | Error _ as e -> e
+  | Ok { nets = [ net ]; _ } -> Ok net
+  | Ok { nets; _ } ->
+      Error
+        (Rlc_errors.Error.parse ?file ~line:1
+           (Printf.sprintf "expected exactly one *D_NET block, got %d" (List.length nets)))
 
 (* ------------------------------------------------------------ printing *)
 

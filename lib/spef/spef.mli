@@ -52,10 +52,12 @@ val parse_res : ?file:string -> string -> (t, Rlc_errors.Error.t) result
     pair anywhere in the file, or a coupling cap with identical nodes, is an
     error.  Unsupported constructs ([*K] mutual sections) produce errors. *)
 
-val parse : string -> (t, string) result
-[@@deprecated "use parse_res (typed errors with file/line context)"]
-(** Legacy shim over {!parse_res}: same grammar, errors flattened to
-    ["line %d: %s"] strings (no file context). *)
+val parse_dnet_res : ?file:string -> units:units -> string -> (dnet, Rlc_errors.Error.t) result
+(** Parse a source fragment holding exactly one [*D_NET ... *END] block
+    against the [units] of an already-parsed file — the re-parse behind
+    incremental (ECO) deltas.  Header directives ([*T_UNIT], [*DESIGN],
+    ...) are rejected as unexpected tokens: a delta may not re-scale the
+    design it edits.  Zero or several [*D_NET] blocks are errors. *)
 
 val to_string : t -> string
 (** Canonical printer; [parse (to_string f)] reproduces the structure

@@ -4,7 +4,7 @@
 module Spec = Rlc_flow.Spec
 module Design = Rlc_flow.Design
 module Cache = Rlc_flow.Cache
-module Pool = Rlc_flow.Pool
+module Pool = Rlc_parallel.Pool
 module Flow = Rlc_flow.Flow
 module Report = Rlc_flow.Report
 
@@ -319,8 +319,8 @@ let test_cache_quantize () =
 
 (* -------------------------------------------------------------- flow *)
 
-(* All flow tests drive the Config record directly; one dedicated test
-   below checks the deprecated [Flow.run] shim still agrees with it. *)
+(* All flow tests drive the Config record directly — it is the only entry
+   point since the [Flow.run] shim was removed. *)
 let run ?(jobs = 1) ?(use_cache = true) ?cache d =
   Flow.run_cfg { Flow.Config.default with Flow.Config.jobs = Some jobs; use_cache; cache } d
 
@@ -418,16 +418,6 @@ let test_flow_config_defaults () =
   Alcotest.(check bool) "with_cache" true
     (match c3.Flow.Config.cache with Some c -> c == cache | None -> false)
 
-(* The deprecated shim must behave exactly like the record API. *)
-let test_flow_run_shim_equivalent () =
-  let d = Lazy.force design in
-  let via_cfg = run ~jobs:2 d in
-  let via_shim = (Flow.run [@alert "-deprecated"]) ~jobs:2 d in
-  Alcotest.(check string) "shim json = run_cfg json" (Report.json_string via_cfg)
-    (Report.json_string via_shim);
-  Alcotest.(check string) "shim csv = run_cfg csv" (Report.csv_string via_cfg)
-    (Report.csv_string via_shim)
-
 let test_flow_borrowed_pool () =
   let d = Lazy.force design in
   let baseline = run ~jobs:2 d in
@@ -441,6 +431,118 @@ let test_flow_borrowed_pool () =
         (Report.json_string r1);
       Alcotest.(check string) "pool reusable across runs" (Report.json_string r1)
         (Report.json_string r2))
+
+(* ------------------------------------------------------------- delta *)
+
+module Delta = Rlc_flow.Delta
+
+let time_cfg cfg =
+  match Flow.time cfg ~spef:(Lazy.force spef) ~spec:(Lazy.force spec) () with
+  | Ok t -> t
+  | Error e -> Alcotest.failf "time: %s" (Rlc_errors.Error.message e)
+
+(* b0's parasitic block with every capacitance scaled 150 -> 180 fF. *)
+let b0_heavier =
+  "*D_NET b0 360\n*CONN\n*P b0_drv O\n*P b0_rcv I\n*CAP\n1 b0_1 180\n2 b0_rcv 180\n\
+   *RES\n1 b0_drv b0_1 30\n2 b0_1 b0_rcv 30\n*INDUC\n1 b0_drv b0_1 1500\n2 b0_1 b0_rcv 1500\n*END"
+
+(* The ground truth every retime must match: apply the delta to the
+   sources, ingest from scratch, run the flow cold. *)
+let cold_of delta =
+  match Delta.apply ~spef:(Lazy.force spef) ~spec:(Lazy.force spec) delta with
+  | Error e -> Alcotest.failf "apply: %s" (Rlc_errors.Error.message e)
+  | Ok a -> (
+      match Design.ingest ~spef:a.Delta.spef ~spec:a.Delta.spec () with
+      | Error e -> Alcotest.failf "ingest: %s" e
+      | Ok d -> Flow.run_cfg Flow.Config.default d)
+
+let check_delta name ~retimed delta =
+  let t = time_cfg Flow.Config.default in
+  match Flow.retime t delta with
+  | Error e -> Alcotest.failf "%s: retime: %s" name (Rlc_errors.Error.message e)
+  | Ok (t', stats) ->
+      Alcotest.(check int) (name ^ ": retimed = cone size") retimed stats.Flow.retimed;
+      Alcotest.(check int) (name ^ ": retimed + reused = nets") 4
+        (stats.Flow.retimed + stats.Flow.reused);
+      let cold = cold_of delta in
+      let warm = Flow.Timed.result t' in
+      Alcotest.(check string) (name ^ ": json byte-identical to cold run")
+        (Report.json_string cold) (Report.json_string warm);
+      Alcotest.(check string) (name ^ ": csv byte-identical to cold run")
+        (Report.csv_string cold) (Report.csv_string warm);
+      t'
+
+let test_delta_cap_edit () =
+  (* Heavier b0 dirties b0 and its fanout o0; b1/o1 reuse their solves. *)
+  ignore (check_delta "cap edit" ~retimed:2 { Delta.empty with Delta.nets = [ ("b0", b0_heavier) ] })
+
+let test_delta_driver_resize () =
+  (* Resizing o0's driver also dirties b0 — its tree folds in o0's gate
+     input cap — and through b0's cone that is still just {b0, o0}. *)
+  ignore (check_delta "driver resize" ~retimed:2 { Delta.empty with Delta.drivers = [ ("o0", 60.) ] })
+
+let test_delta_slew_edit () =
+  ignore (check_delta "slew edit" ~retimed:2 { Delta.empty with Delta.slews = [ ("b0", 120e-12) ] })
+
+let test_delta_compose () =
+  (* Two retimes in sequence equal one cold run of both edits. *)
+  let d1 = { Delta.empty with Delta.nets = [ ("b0", b0_heavier) ] } in
+  let d2 = { Delta.empty with Delta.drivers = [ ("b1", 60.) ] } in
+  let t = time_cfg Flow.Config.default in
+  let t1 =
+    match Flow.retime t d1 with
+    | Ok (t1, _) -> t1
+    | Error e -> Alcotest.failf "first retime: %s" (Rlc_errors.Error.message e)
+  in
+  match Flow.retime t1 d2 with
+  | Error e -> Alcotest.failf "second retime: %s" (Rlc_errors.Error.message e)
+  | Ok (t2, stats) ->
+      Alcotest.(check int) "second delta retimes b1's cone" 2 stats.Flow.retimed;
+      let a1 =
+        Result.get_ok (Delta.apply ~spef:(Lazy.force spef) ~spec:(Lazy.force spec) d1)
+      in
+      let a2 = Result.get_ok (Delta.apply ~spef:a1.Delta.spef ~spec:a1.Delta.spec d2) in
+      let cold =
+        match Design.ingest ~spef:a2.Delta.spef ~spec:a2.Delta.spec () with
+        | Ok d -> Flow.run_cfg Flow.Config.default d
+        | Error e -> Alcotest.failf "ingest: %s" e
+      in
+      Alcotest.(check string) "composed retimes = cold run of both edits"
+        (Report.json_string cold)
+        (Report.json_string (Flow.Timed.result t2))
+
+let test_delta_obs_counters () =
+  let sink = Rlc_obs.Obs.create () in
+  let cfg = { Flow.Config.default with Flow.Config.obs = sink } in
+  let t = time_cfg cfg in
+  match Flow.retime t { Delta.empty with Delta.nets = [ ("b0", b0_heavier) ] } with
+  | Error e -> Alcotest.failf "retime: %s" (Rlc_errors.Error.message e)
+  | Ok (_, stats) ->
+      let m = Rlc_obs.Obs.snapshot sink in
+      Alcotest.(check int) "flow.retimed counter" stats.Flow.retimed
+        (Rlc_obs.Obs.counter m "flow.retimed");
+      Alcotest.(check int) "flow.reused counter" stats.Flow.reused
+        (Rlc_obs.Obs.counter m "flow.reused");
+      Alcotest.(check int) "counters sum to net count" 4
+        (Rlc_obs.Obs.counter m "flow.retimed" + Rlc_obs.Obs.counter m "flow.reused")
+
+let test_delta_errors () =
+  let t = time_cfg Flow.Config.default in
+  let check_bad msg delta =
+    match Flow.retime t delta with
+    | Ok _ -> Alcotest.fail (msg ^ ": accepted")
+    | Error (Rlc_errors.Error.Bad_request _) -> ()
+    | Error e -> Alcotest.failf "%s: wrong error: %s" msg (Rlc_errors.Error.to_string e)
+  in
+  check_bad "unknown net" { Delta.empty with Delta.nets = [ ("nope", b0_heavier) ] };
+  check_bad "block defines a different net"
+    { Delta.empty with Delta.nets = [ ("b1", b0_heavier) ] };
+  check_bad "duplicate edit name"
+    { Delta.empty with Delta.drivers = [ ("b0", 60.); ("b0", 70.) ] };
+  check_bad "non-positive size" { Delta.empty with Delta.drivers = [ ("b0", 0.) ] };
+  check_bad "non-positive slew" { Delta.empty with Delta.slews = [ ("b0", -1e-12) ] };
+  check_bad "slew on a non-primary net" { Delta.empty with Delta.slews = [ ("o0", 80e-12) ] };
+  check_bad "unparsable block" { Delta.empty with Delta.nets = [ ("b0", "*D_NET b0 garbage") ] }
 
 let () =
   Alcotest.run "rlc_flow"
@@ -479,7 +581,15 @@ let () =
           Alcotest.test_case "cache effect" `Quick test_flow_cache_effect;
           Alcotest.test_case "stats and report" `Quick test_flow_stats_and_report;
           Alcotest.test_case "config defaults" `Quick test_flow_config_defaults;
-          Alcotest.test_case "run shim equivalent" `Quick test_flow_run_shim_equivalent;
           Alcotest.test_case "borrowed pool" `Quick test_flow_borrowed_pool;
+        ] );
+      ( "delta",
+        [
+          Alcotest.test_case "cap edit retimes the cone" `Quick test_delta_cap_edit;
+          Alcotest.test_case "driver resize dirties the parent" `Quick test_delta_driver_resize;
+          Alcotest.test_case "slew edit" `Quick test_delta_slew_edit;
+          Alcotest.test_case "deltas compose" `Quick test_delta_compose;
+          Alcotest.test_case "obs counters" `Quick test_delta_obs_counters;
+          Alcotest.test_case "validation errors" `Quick test_delta_errors;
         ] );
     ]

@@ -106,11 +106,13 @@ let parse_req line = Protocol.parse_request line
 let test_protocol_kinds () =
   (* Every kind parses; ids and timeouts are carried through. *)
   (match parse_req {|{"schema":"rlc-service/1","kind":"ping","id":7,"timeout_ms":500}|} with
-  | Ok { Protocol.id = Some (Json.Int 7); timeout_ms = Some 500; kind = Protocol.Ping } -> ()
+  | Ok { Protocol.id = Some (Json.Int 7); timeout_ms = Some 500; kind = Protocol.Ping; schema }
+    ->
+      Alcotest.(check string) "schema recorded" Protocol.schema schema
   | Ok _ -> Alcotest.fail "ping fields"
   | Error e -> Alcotest.fail (Error.to_string e));
   (match parse_req {|{"schema":"rlc-service/1","kind":"stats"}|} with
-  | Ok { Protocol.kind = Protocol.Stats; id = None; timeout_ms = None } -> ()
+  | Ok { Protocol.kind = Protocol.Stats; id = None; timeout_ms = None; _ } -> ()
   | _ -> Alcotest.fail "stats");
   (match parse_req {|{"schema":"rlc-service/1","kind":"shutdown"}|} with
   | Ok { Protocol.kind = Protocol.Shutdown; _ } -> ()
@@ -140,6 +142,37 @@ let test_protocol_kinds () =
       Alcotest.(check (option (float 0.))) "slew default" None c.Protocol.c_slew_ps
   | _ -> Alcotest.fail "sweep_case"
 
+let test_protocol_v2_kinds () =
+  (* v1 kinds parse under the v2 tag, and the tag is recorded. *)
+  (match parse_req {|{"schema":"rlc-service/2","kind":"ping"}|} with
+  | Ok { Protocol.kind = Protocol.Ping; schema; _ } ->
+      Alcotest.(check string) "v2 tag recorded" Protocol.schema_v2 schema
+  | _ -> Alcotest.fail "v2 ping");
+  (match
+     parse_req
+       {|{"schema":"rlc-service/2","kind":"design_load","spef":"x","spec_file":"a.spec","required_ps":500}|}
+   with
+  | Ok { Protocol.kind = Protocol.Design_load (f, xtalk); _ } ->
+      Alcotest.(check bool) "inline spef" true (f.Protocol.f_spef = Protocol.Inline "x");
+      Alcotest.(check bool) "spec file" true (f.Protocol.f_spec = Some (Protocol.File "a.spec"));
+      Alcotest.(check (option (float 0.))) "required" (Some 500.) f.Protocol.f_required_ps;
+      Alcotest.(check bool) "no xtalk by default" true (xtalk = None)
+  | _ -> Alcotest.fail "design_load");
+  (match
+     parse_req
+       {|{"schema":"rlc-service/2","kind":"flow_delta","handle":"d1","nets":{"b0":"*D_NET b0 1\n*END"},"drivers":{"o0":60},"slews_ps":{"b0":120}}|}
+   with
+  | Ok { Protocol.kind = Protocol.Flow_delta d; _ } ->
+      Alcotest.(check string) "handle" "d1" d.Protocol.d_handle;
+      Alcotest.(check bool) "net edit" true
+        (d.Protocol.d_nets = [ ("b0", "*D_NET b0 1\n*END") ]);
+      Alcotest.(check bool) "driver edit" true (d.Protocol.d_drivers = [ ("o0", 60.) ]);
+      Alcotest.(check bool) "slew edit in ps" true (d.Protocol.d_slews_ps = [ ("b0", 120.) ])
+  | _ -> Alcotest.fail "flow_delta");
+  match parse_req {|{"schema":"rlc-service/2","kind":"design_unload","handle":"d1"}|} with
+  | Ok { Protocol.kind = Protocol.Design_unload "d1"; _ } -> ()
+  | _ -> Alcotest.fail "design_unload"
+
 let check_code expected = function
   | Ok _ -> Alcotest.fail (expected ^ ": accepted")
   | Error e -> Alcotest.(check string) expected expected (Error.code e)
@@ -161,6 +194,20 @@ let test_protocol_rejections () =
   check_code "bad_request"
     (parse_req {|{"schema":"rlc-service/1","kind":"ping","timeout_ms":-4}|});
   check_code "bad_request" (parse_req "[1,2,3]");
+  (* v2 statefulness: new kinds are gated on the v2 tag, deltas must name
+     a handle and carry at least one edit, and edit values are checked. *)
+  check_code "bad_request" (parse_req {|{"schema":"rlc-service/1","kind":"design_load","spef":"x"}|});
+  check_code "bad_request" (parse_req {|{"schema":"rlc-service/1","kind":"flow_delta","handle":"d0"}|});
+  check_code "bad_request" (parse_req {|{"schema":"rlc-service/1","kind":"design_unload","handle":"d0"}|});
+  check_code "bad_request" (parse_req {|{"schema":"rlc-service/2","kind":"design_load"}|});
+  check_code "bad_request"
+    (parse_req {|{"schema":"rlc-service/2","kind":"flow_delta","nets":{"b0":"x"}}|});
+  check_code "bad_request" (parse_req {|{"schema":"rlc-service/2","kind":"flow_delta","handle":"d0"}|});
+  check_code "bad_request"
+    (parse_req {|{"schema":"rlc-service/2","kind":"flow_delta","handle":"d0","drivers":{"o0":-3}}|});
+  check_code "bad_request"
+    (parse_req {|{"schema":"rlc-service/2","kind":"flow_delta","handle":"d0","nets":["b0"]}|});
+  check_code "bad_request" (parse_req {|{"schema":"rlc-service/2","kind":"design_unload"}|});
   (* Size limit. *)
   check_code "bad_request"
     (Protocol.parse_request ~max_bytes:16 {|{"schema":"rlc-service/1","kind":"ping"}|})
@@ -178,7 +225,11 @@ let test_protocol_responses () =
   let e = member "error" j in
   Alcotest.(check (option string)) "code" (Some "timeout") (Json.get_string (member "code" e));
   Alcotest.(check bool) "message mentions budget" true
-    (Option.get (Json.get_string (member "message" e)) <> "")
+    (Option.get (Json.get_string (member "message" e)) <> "");
+  (* Responses carry whichever schema tag the builder is given. *)
+  let v2 = Protocol.ok_response ~schema:Protocol.schema_v2 [ ("pong", Json.Bool true) ] in
+  Alcotest.(check (option string)) "v2 tag echoed" (Some Protocol.schema_v2)
+    (Json.get_string (member "schema" (json_of v2)))
 
 (* ------------------------------------------------------- typed errors *)
 
@@ -194,19 +245,10 @@ let test_parse_res_positions () =
       Alcotest.(check bool) "file:line prefix" true
         (String.length rendered > 9 && String.sub rendered 0 9 = "bad.spef:")
   | Error e -> Alcotest.fail ("wrong error: " ^ Error.to_string e));
-  (match Rlc_flow.Spec.parse_res ~file:"x.spec" "driver a 75\ndriver a 50\n" with
+  match Rlc_flow.Spec.parse_res ~file:"x.spec" "driver a 75\ndriver a 50\n" with
   | Error (Error.Parse { file = Some "x.spec"; line = Some 2; _ }) -> ()
   | Error e -> Alcotest.fail ("wrong error: " ^ Error.to_string e)
-  | Ok _ -> Alcotest.fail "accepted duplicate driver");
-  (* The legacy string shims keep their historical formats (they are
-     deprecated, so the references below opt out of the alert). *)
-  (match (Rlc_spef.Spef.parse [@alert "-deprecated"]) "*D_NET n\n" with
-  | Error e -> Alcotest.(check bool) "legacy spef format" true (String.sub e 0 5 = "line ")
-  | Ok _ -> Alcotest.fail "accepted");
-  match (Rlc_flow.Spec.parse [@alert "-deprecated"]) "driver a 75\ndriver a 50\n" with
-  | Error e ->
-      Alcotest.(check bool) "legacy spec format" true (String.sub e 0 11 = "spec line 2")
-  | Ok _ -> Alcotest.fail "accepted"
+  | Ok _ -> Alcotest.fail "accepted duplicate driver"
 
 let test_deadline () =
   let module D = Rlc_errors.Deadline in
@@ -243,8 +285,8 @@ let test_session_flow_and_cache () =
           (Session.ingest session ~spef:(read_file bus8_spef) ~spef_name:bus8_spef
              ~spec:(read_file bus8_spec) ~spec_name:bus8_spec ())
       in
-      let first = ok_or_fail (Session.flow session design) in
-      let second = ok_or_fail (Session.flow session design) in
+      let first = ok_or_fail (Session.flow session Session.Request.default design) in
+      let second = ok_or_fail (Session.flow session Session.Request.default design) in
       let stats r = r.Session.result.Rlc_flow.Flow.stats in
       Alcotest.(check bool) "cold run misses" true
         ((stats first).Rlc_flow.Flow.cache_misses > 0);
@@ -282,6 +324,55 @@ let test_session_case_ops () =
       match Session.case session ~length_mm:5. ~width_um:1.0 ~size:(-3.) () with
       | Error _ -> ()
       | Ok _ -> Alcotest.fail "accepted negative size")
+
+let test_session_design_store () =
+  (* The bounded LRU design store: handles live across requests, deltas
+     touch only the edited cone, and loading beyond capacity evicts the
+     least-recently-used handle. *)
+  let config = { Session.Config.default with Session.Config.design_capacity = 2 } in
+  Session.with_session ~config (fun session ->
+      let load () =
+        ok_or_fail
+          (Session.design_load session ~req:Session.Request.default
+             ~spef:(read_file bus8_spef) ~spec:(read_file bus8_spec) ())
+      in
+      let h1, out1 = load () in
+      let oneshot =
+        let design =
+          ok_or_fail
+            (Session.ingest session ~spef:(read_file bus8_spef) ~spec:(read_file bus8_spec) ())
+        in
+        (ok_or_fail (Session.flow session Session.Request.default design)).Session.report
+      in
+      Alcotest.(check string) "cold load report = one-shot report" oneshot out1.Session.report;
+      let delta =
+        { Rlc_flow.Delta.empty with Rlc_flow.Delta.slews = [ ("b0", 120e-12) ] }
+      in
+      let _, st = ok_or_fail (Session.flow_delta session ~handle:h1 delta) in
+      Alcotest.(check int) "only b0's cone retimed" 2 st.Rlc_flow.Flow.retimed;
+      Alcotest.(check int) "retimed + reused = nets" 8
+        (st.Rlc_flow.Flow.retimed + st.Rlc_flow.Flow.reused);
+      let s = Session.design_stats session in
+      Alcotest.(check int) "one handle resident" 1 s.Session.ds_handles;
+      Alcotest.(check int) "capacity surfaced" 2 s.Session.ds_capacity;
+      Alcotest.(check int) "nets held" 8 s.Session.ds_nets;
+      (* Fill the store, then overflow it: h1 is the LRU victim. *)
+      let _h2, _ = load () in
+      let h3, _ = load () in
+      let s = Session.design_stats session in
+      Alcotest.(check int) "capacity bounds residency" 2 s.Session.ds_handles;
+      Alcotest.(check int) "one eviction" 1 s.Session.ds_evictions;
+      (match Session.flow_delta session ~handle:h1 delta with
+      | Error (Error.Bad_request _) -> ()
+      | Error e -> Alcotest.fail ("wrong error: " ^ Error.to_string e)
+      | Ok _ -> Alcotest.fail "evicted handle accepted");
+      ok_or_fail (Session.design_unload session h3);
+      Alcotest.(check int) "unload drops the handle" 1
+        (Session.design_stats session).Session.ds_handles;
+      match Session.design_unload session h3 with
+      | Error (Error.Bad_request _) -> ()
+      | Error e -> Alcotest.fail ("wrong error: " ^ Error.to_string e)
+      | Ok _ -> Alcotest.fail "double unload accepted")
 
 (* -------------------------------------------------------------- server *)
 
@@ -323,7 +414,7 @@ let test_server_report_byte_identical () =
           ok_or_fail
             (Session.ingest session ~spef:(read_file bus8_spef) ~spec:(read_file bus8_spec) ())
         in
-        (ok_or_fail (Session.flow session design)).Session.report)
+        (ok_or_fail (Session.flow session Session.Request.default design)).Session.report)
   in
   with_server (fun server ->
       let resp, _ = send server (bus8_flow_request ()) in
@@ -341,8 +432,11 @@ let test_server_isolation () =
         Alcotest.(check bool) (code ^ ": continues") true (control = `Continue)
       in
       expect_code "parse_error" "}{ garbage";
-      expect_code "unsupported_version" {|{"schema":"rlc-service/2","kind":"ping"}|};
+      expect_code "unsupported_version" {|{"schema":"rlc-service/9","kind":"ping"}|};
       expect_code "bad_request" {|{"schema":"rlc-service/1","kind":"frobnicate"}|};
+      (* Stateful kinds exist only under the v2 schema tag. *)
+      expect_code "bad_request" {|{"schema":"rlc-service/1","kind":"design_load","spef":"x"}|};
+      expect_code "bad_request" {|{"schema":"rlc-service/2","kind":"flow_delta","handle":"d0"}|};
       expect_code "bad_request"
         {|{"schema":"rlc-service/1","kind":"flow","spef_file":"../examples/no_such.spef"}|};
       expect_code "parse_error"
@@ -391,6 +485,122 @@ let test_server_shutdown_control () =
       Alcotest.(check bool) "stop" true (control = `Stop);
       Alcotest.(check (option bool)) "acknowledged" (Some true)
         (Json.get_bool (member "stopping" resp)))
+
+(* ------------------------------------------------- server, v2 kinds *)
+
+let design_load_request ?id ?(extra = []) () =
+  let fields =
+    [ ("schema", Json.Str Protocol.schema_v2); ("kind", Json.Str "design_load") ]
+    @ (match id with Some id -> [ ("id", Json.Int id) ] | None -> [])
+    @ [ ("spef_file", Json.Str bus8_spef); ("spec_file", Json.Str bus8_spec) ]
+    @ extra
+  in
+  Json.to_string (Json.Obj fields)
+
+let test_server_design_lifecycle () =
+  with_server (fun server ->
+      (* Ground truths come from the stateless v1 path on the same server. *)
+      let oneshot, _ = send server (bus8_flow_request ()) in
+      let expected = Option.get (Json.get_string (member "report" oneshot)) in
+      let loaded, _ = send server (design_load_request ~id:1 ()) in
+      Alcotest.(check (option bool)) "load ok" (Some true) (Json.get_bool (member "ok" loaded));
+      Alcotest.(check (option string)) "v2 tag echoed" (Some Protocol.schema_v2)
+        (Json.get_string (member "schema" loaded));
+      let handle = Option.get (Json.get_string (member "handle" loaded)) in
+      Alcotest.(check string) "cold-load report = one-shot flow report" expected
+        (Option.get (Json.get_string (member "report" loaded)));
+      (* A primary-input slew edit dirties b0's cone (b0, o0) only. *)
+      let delta_line =
+        Json.to_string
+          (Json.Obj
+             [
+               ("schema", Json.Str Protocol.schema_v2);
+               ("kind", Json.Str "flow_delta");
+               ("id", Json.Int 2);
+               ("handle", Json.Str handle);
+               ("slews_ps", Json.Obj [ ("b0", Json.Float 120.) ]);
+             ])
+      in
+      let resp, _ = send server delta_line in
+      Alcotest.(check (option bool)) "delta ok" (Some true) (Json.get_bool (member "ok" resp));
+      Alcotest.(check (option int)) "cone retimed" (Some 2)
+        (Json.get_int (member "retimed_nets" resp));
+      Alcotest.(check (option int)) "rest reused" (Some 6)
+        (Json.get_int (member "reused_nets" resp));
+      (* Byte-identity: the delta's report must equal a cold v1 flow of the
+         edited sources, served by the same session. *)
+      let edited_spec =
+        String.concat "\n"
+          (List.map
+             (fun l -> if String.equal l "input b0 100" then "input b0 120" else l)
+             (String.split_on_char '\n' (read_file bus8_spec)))
+      in
+      let cold_line =
+        Json.to_string
+          (Json.Obj
+             [
+               ("schema", Json.Str Protocol.schema);
+               ("kind", Json.Str "flow");
+               ("spef_file", Json.Str bus8_spef);
+               ("spec", Json.Str edited_spec);
+             ])
+      in
+      let cold, _ = send server cold_line in
+      Alcotest.(check (option bool)) "cold edited flow ok" (Some true)
+        (Json.get_bool (member "ok" cold));
+      Alcotest.(check string) "delta report byte-identical to cold run"
+        (Option.get (Json.get_string (member "report" cold)))
+        (Option.get (Json.get_string (member "report" resp)));
+      (* The stats response surfaces the design store for [top]. *)
+      let stats, _ = send server {|{"schema":"rlc-service/2","kind":"stats"}|} in
+      let designs = member "designs" stats in
+      Alcotest.(check (option int)) "one resident design" (Some 1)
+        (Json.get_int (member "handles" designs));
+      Alcotest.(check (option int)) "nets held" (Some 8) (Json.get_int (member "nets" designs));
+      Alcotest.(check (option int)) "no evictions" (Some 0)
+        (Json.get_int (member "evictions" designs));
+      (* Unknown handles are typed rejections; unload frees the handle. *)
+      let bad, _ =
+        send server
+          {|{"schema":"rlc-service/2","kind":"flow_delta","handle":"nope","slews_ps":{"b0":120}}|}
+      in
+      Alcotest.(check (option string)) "unknown handle" (Some "bad_request")
+        (Json.get_string (member "code" (member "error" bad)));
+      let unload_line =
+        Json.to_string
+          (Json.Obj
+             [
+               ("schema", Json.Str Protocol.schema_v2);
+               ("kind", Json.Str "design_unload");
+               ("handle", Json.Str handle);
+             ])
+      in
+      let un, _ = send server unload_line in
+      Alcotest.(check (option bool)) "unloaded" (Some true)
+        (Json.get_bool (member "unloaded" un));
+      let gone, _ = send server delta_line in
+      Alcotest.(check (option string)) "delta after unload rejected" (Some "bad_request")
+        (Json.get_string (member "code" (member "error" gone))))
+
+let test_server_schema_echo () =
+  (* Every response carries its request's schema tag — a v1 client sees
+     exactly the bytes a v1-only daemon produced. *)
+  with_server (fun server ->
+      let v1, _ = send server {|{"schema":"rlc-service/1","kind":"ping","id":1}|} in
+      Alcotest.(check (option string)) "v1 in, v1 out" (Some Protocol.schema)
+        (Json.get_string (member "schema" v1));
+      let v2, _ = send server {|{"schema":"rlc-service/2","kind":"ping","id":2}|} in
+      Alcotest.(check (option string)) "v2 in, v2 out" (Some Protocol.schema_v2)
+        (Json.get_string (member "schema" v2));
+      (* Execution errors echo the tag too. *)
+      let err, _ =
+        send server
+          {|{"schema":"rlc-service/2","kind":"flow_delta","handle":"d0","slews_ps":{"b0":120}}|}
+      in
+      Alcotest.(check (option bool)) "error response" (Some false)
+        (Json.get_bool (member "ok" err));
+      Alcotest.(check (option string)) "v2 tag on the error" (Some Protocol.schema_v2)
+        (Json.get_string (member "schema" err)))
 
 (* Full pipe transport: a second domain runs the serve loop on real file
    descriptors while this one plays client. *)
@@ -492,7 +702,7 @@ let test_server_unix_concurrent () =
           ok_or_fail
             (Session.ingest session ~spef:(read_file bus8_spef) ~spec:(read_file bus8_spec) ())
         in
-        (ok_or_fail (Session.flow session design)).Session.report
+        (ok_or_fail (Session.flow session Session.Request.default design)).Session.report
       in
       let server = Server.create ~workers:2 ~queue_capacity:16 session in
       let path = temp_socket_path () in
@@ -919,6 +1129,7 @@ let () =
       ( "protocol",
         [
           Alcotest.test_case "kinds" `Quick test_protocol_kinds;
+          Alcotest.test_case "v2 kinds" `Quick test_protocol_v2_kinds;
           Alcotest.test_case "rejections" `Quick test_protocol_rejections;
           Alcotest.test_case "responses" `Quick test_protocol_responses;
         ] );
@@ -932,6 +1143,7 @@ let () =
           Alcotest.test_case "flow and cache" `Quick test_session_flow_and_cache;
           Alcotest.test_case "ingest errors" `Quick test_session_ingest_errors;
           Alcotest.test_case "case ops" `Quick test_session_case_ops;
+          Alcotest.test_case "design store" `Quick test_session_design_store;
         ] );
       ( "server",
         [
@@ -941,6 +1153,8 @@ let () =
           Alcotest.test_case "oversized" `Quick test_server_oversized;
           Alcotest.test_case "timeout" `Quick test_server_timeout;
           Alcotest.test_case "shutdown control" `Quick test_server_shutdown_control;
+          Alcotest.test_case "design lifecycle" `Quick test_server_design_lifecycle;
+          Alcotest.test_case "schema echo" `Quick test_server_schema_echo;
           Alcotest.test_case "pipe mode" `Quick test_server_pipe_mode;
         ] );
       ( "server unix",

@@ -222,11 +222,13 @@ let test_full_report_identical_across_jobs () =
           | Ok d -> d
           | Error e -> failwith (Rlc_errors.Error.message e)
         in
-        match
-          Session.flow session
-            ~xtalk:{ Session.default_xtalk with Session.alignments = 3 }
-            design
-        with
+        let request =
+          {
+            Session.Request.default with
+            Session.Request.xtalk = Some { Session.default_xtalk with Session.alignments = 3 };
+          }
+        in
+        match Session.flow session request design with
         | Ok o -> o.Session.report
         | Error e -> failwith (Rlc_errors.Error.message e))
   in
@@ -251,7 +253,7 @@ let test_off_mode_report_untouched () =
         | Ok d -> d
         | Error e -> failwith (Rlc_errors.Error.message e)
       in
-      match Session.flow session design with
+      match Session.flow session Session.Request.default design with
       | Error e -> failwith (Rlc_errors.Error.message e)
       | Ok o ->
           Alcotest.(check string) "no-xtalk report = plain flow report"
