@@ -1700,13 +1700,223 @@ let xtalk_bench ?(smoke = false) ~jobs ?json () =
       close_out oc;
       Format.printf "wrote %s@." path
 
+(* ------------------------------------------------------------- optimize *)
+
+(* Two measurements behind `rlc_timing optimize`:
+
+   1. the compiled-transient candidate kernel: the sweep's unit of work is
+      a small-circuit adaptive replay repeated across candidate values.
+      Engine.Compiled amortizes compile + DC solve + state allocation
+      across runs (the handle cache restamps new values into the shared
+      structure); the bench asserts the reuse is >= 3x AND that every
+      waveform is bit-identical to a fresh Engine.transient run;
+   2. the end-to-end sizing run on a deliberately under-sized bus: search
+      ladder stats (candidates / screened / escalations), characterization
+      and handle-cache hit ratios, jobs scaling with byte-identical
+      reports asserted.
+
+   `--json` writes the numbers as BENCH_optimize.json. *)
+
+let optimize_bench ?(smoke = false) ~jobs ?json () =
+  header "Optimize: compiled-transient reuse and the sizing sweep";
+  let module Engine = Rlc_circuit.Engine in
+  let module Netlist = Rlc_circuit.Netlist in
+  let module Waveform = Rlc_waveform.Waveform in
+  (* -------------------- 1. candidate-evaluation kernel ----------------- *)
+  (* The coupled-cluster replay a candidate sweep repeats: an 8-bit bus,
+     victim quiet, aggressors ramping at a candidate-dependent alignment.
+     Candidates differ only in source timing, so the handle restamps clean
+     — every factored per-rung/per-offcut solver state and the DC point
+     survive across runs.  The recompile baseline rebuilds all of it each
+     run, and at this node count (production [Ladder.default_segments] is
+     40-100 for mm-scale lines) the nodal matrix is past the banded cutoff:
+     each of those rebuilds is a dense O(n^3) factorization, one per rung
+     touched plus one per breakpoint offcut, against O(n^2) per step. *)
+  let kbits = 8 and ksegs = 64 in
+  let tr = 30e-12 in
+  let ramp t0 t = if t <= t0 then 0. else if t >= t0 +. tr then 1. else (t -. t0) /. tr in
+  let build t_off =
+    let nl = Netlist.create () in
+    let nodes = Array.make_matrix kbits ksegs Netlist.ground in
+    for b = 0 to kbits - 1 do
+      let src = Netlist.node nl (Printf.sprintf "s%d" b) in
+      if b = 0 then Netlist.force_voltage nl ~breakpoints:[] src (fun _ -> 0.)
+      else begin
+        (* Per-bit stagger: bus bits switch at distinct times, so each run
+           lands on many source kinks (each an offcut factorization for the
+           recompile baseline). *)
+        let t0b = t_off +. (3e-12 *. float_of_int b) in
+        Netlist.force_voltage nl ~breakpoints:[ t0b; t0b +. tr ] src (ramp t0b)
+      end;
+      let prev = ref src in
+      for s = 0 to ksegs - 1 do
+        let n = Netlist.node nl (Printf.sprintf "n%d_%d" b s) in
+        nodes.(b).(s) <- n;
+        let r = if s = 0 then 100. else 120. /. float_of_int ksegs in
+        Netlist.resistor nl !prev n r;
+        Netlist.inductor nl !prev n (1e-10 /. float_of_int ksegs);
+        Netlist.capacitor nl n Netlist.ground (60e-15 /. float_of_int ksegs);
+        prev := n
+      done
+    done;
+    for b = 0 to kbits - 2 do
+      for s = 0 to ksegs - 1 do
+        Netlist.capacitor nl nodes.(b).(s) nodes.(b + 1).(s) (30e-15 /. float_of_int ksegs)
+      done
+    done;
+    (nl, nodes.(0).(ksegs - 1))
+  in
+  let n_cands = if smoke then 2 else 8 in
+  let offs = Array.init n_cands (fun i -> 10e-12 +. (5e-12 *. float_of_int i)) in
+  let dt = 0.5e-12 and t_stop = 120e-12 in
+  let adaptive = Engine.default_adaptive ~dt_min:dt () in
+  let fresh_eval i =
+    let nl, victim = build offs.(i mod n_cands) in
+    (Engine.transient ~record_nodes:[ victim ] ~adaptive ~dt ~t_stop nl, victim)
+  in
+  let compiled_eval i =
+    let nl, victim = build offs.(i mod n_cands) in
+    ( Engine.Compiled.run ~record_nodes:[ victim ] ~adaptive ~dt ~t_stop
+        (Engine.Compiled.cached nl),
+      victim )
+  in
+  Engine.Compiled.clear_cache ();
+  let identical = ref true in
+  for i = 0 to n_cands - 1 do
+    let rf, vf = fresh_eval i and rc, vc = compiled_eval i in
+    if
+      Engine.times rf <> Engine.times rc
+      || Waveform.values (Engine.voltage rf vf) <> Waveform.values (Engine.voltage rc vc)
+    then identical := false
+  done;
+  (* Runs cost 0.1-0.5 s each, so measure a fixed rep count (caches are
+     already warm from the identity pass) instead of time_per_run's
+     calibrated batching. *)
+  let reps = if smoke then 2 else 6 in
+  let measure eval =
+    ignore (eval 0);
+    let t0 = Unix.gettimeofday () in
+    for i = 0 to reps - 1 do ignore (eval i) done;
+    (Unix.gettimeofday () -. t0) /. float_of_int reps
+  in
+  let fresh_s = measure fresh_eval in
+  let compiled_s = measure compiled_eval in
+  let kernel_speedup = fresh_s /. compiled_s in
+  Format.printf
+    "@.candidate kernel (%d-bit coupled cluster, %d segments/bit, %d alignment candidates):@."
+    kbits ksegs n_cands;
+  Format.printf "  fresh transient : %7.1f ms/run  (compile + DC + dense factor per rung/offcut)@."
+    (1e3 *. fresh_s);
+  Format.printf "  compiled handle : %7.1f ms/run  (restamp: factored states and DC survive)@."
+    (1e3 *. compiled_s);
+  Format.printf "  speedup         : %7.2fx  (waveforms bit-identical: %b)@." kernel_speedup
+    !identical;
+  if not !identical then begin
+    Format.eprintf "FAIL: compiled kernel waveforms differ from fresh transients@.";
+    exit 1
+  end;
+  if kernel_speedup < 3. then begin
+    Format.eprintf "FAIL: compiled-reuse speedup %.2fx < 3x@." kernel_speedup;
+    exit 1
+  end;
+  (* ------------------------ 2. sizing sweep --------------------------- *)
+  let bits = if smoke then 4 else 16 in
+  let spef_src, spec_src = flow_sources ~bits () in
+  let spef = Result.get_ok (Rlc_spef.Spef.parse_res spef_src) in
+  let spec = Result.get_ok (Rlc_flow.Spec.parse_res spec_src) in
+  (* Under-size every driver to 25X so the optimizer has real work. *)
+  let spec =
+    {
+      spec with
+      Rlc_flow.Spec.drivers = List.map (fun (n, _) -> (n, 25.)) spec.Rlc_flow.Spec.drivers;
+    }
+  in
+  let required = Rlc_num.Units.ps 150. in
+  let run_opt ~jobs =
+    let cfg =
+      { Rlc_flow.Flow.Config.default with Rlc_flow.Flow.Config.jobs = Some jobs }
+    in
+    let t0 = Unix.gettimeofday () in
+    match Rlc_flow.Optimize.run ~required cfg ~spef ~spec () with
+    | Ok o -> (o, Unix.gettimeofday () -. t0)
+    | Error e -> failwith (Rlc_errors.Error.message e)
+  in
+  let o1, w1 = run_opt ~jobs:1 in
+  let on_, wn = run_opt ~jobs in
+  let reports_identical =
+    Rlc_flow.Report.optimize_json_string o1 = Rlc_flow.Report.optimize_json_string on_
+  in
+  let s = o1.Rlc_flow.Optimize.stats in
+  let module O = Rlc_flow.Optimize in
+  let ratio a b = if a + b = 0 then 0. else float_of_int a /. float_of_int (a + b) in
+  Format.printf "@.sizing sweep (%d-bit bus, 25X seeds, required %.0f ps):@." bits
+    (1e12 *. required);
+  Format.printf "  violations      : %d -> %d  (%d resized, %d repeater recs, %d unfixable)@."
+    s.O.o_violations_before s.O.o_violations_after s.O.o_resized s.O.o_repeaters
+    s.O.o_unfixable;
+  Format.printf "  search ladder   : %d candidates, %d screened, %d escalations@."
+    s.O.o_candidates s.O.o_screened s.O.o_escalations;
+  Format.printf "  characterization: %.0f%% hit (%d/%d);  handles: %.0f%% hit (%d/%d)@."
+    (100. *. ratio s.O.o_char_hits s.O.o_char_misses)
+    s.O.o_char_hits
+    (s.O.o_char_hits + s.O.o_char_misses)
+    (100. *. ratio s.O.o_handle_hits s.O.o_handle_misses)
+    s.O.o_handle_hits
+    (s.O.o_handle_hits + s.O.o_handle_misses);
+  Format.printf
+    "  jobs 1 -> %-2d    : %6.2f s -> %6.2f s  (%.2fx incl. warm memo caches, reports \
+     identical: %b)@."
+    jobs w1 wn (w1 /. wn) reports_identical;
+  if not reports_identical then begin
+    Format.eprintf "FAIL: optimize reports differ across jobs counts@.";
+    exit 1
+  end;
+  match json with
+  | None -> ()
+  | Some path ->
+      let fl v =
+        if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+        else Printf.sprintf "%.6g" v
+      in
+      let buf = Buffer.create 512 in
+      Printf.bprintf buf "{\n  \"schema\": \"rlc-bench-optimize/1\",\n";
+      Printf.bprintf buf "  \"smoke\": %b,\n" smoke;
+      Printf.bprintf buf
+        "  \"kernel\": {\"bits\": %d, \"segments\": %d, \"candidates\": %d, \
+         \"fresh_ms_per_run\": %s, \"compiled_ms_per_run\": %s, \"speedup\": %s, \
+         \"waveforms_identical\": %b},\n"
+        kbits ksegs n_cands
+        (fl (1e3 *. fresh_s))
+        (fl (1e3 *. compiled_s))
+        (fl kernel_speedup) !identical;
+      Printf.bprintf buf
+        "  \"sizing\": {\"bits\": %d, \"required_ps\": %s, \"violations_before\": %d, \
+         \"violations_after\": %d, \"resized\": %d, \"repeater_recommendations\": %d, \
+         \"unfixable\": %d, \"candidates\": %d, \"screened\": %d, \"escalations\": %d, \
+         \"char_hit_ratio\": %s, \"handle_hit_ratio\": %s, \"wall_s_jobs1\": %s, \
+         \"wall_s_jobsN\": %s, \"jobs\": %d, \"speedup\": %s, \"reports_identical\": %b}\n"
+        bits
+        (fl (1e12 *. required))
+        s.O.o_violations_before s.O.o_violations_after s.O.o_resized s.O.o_repeaters
+        s.O.o_unfixable s.O.o_candidates s.O.o_screened s.O.o_escalations
+        (fl (ratio s.O.o_char_hits s.O.o_char_misses))
+        (fl (ratio s.O.o_handle_hits s.O.o_handle_misses))
+        (fl w1) (fl wn) jobs
+        (fl (w1 /. wn))
+        reports_identical;
+      Printf.bprintf buf "}\n";
+      let oc = open_out path in
+      output_string oc (Buffer.contents buf);
+      close_out oc;
+      Format.printf "wrote %s@." path
+
 (* ---------------------------------------------------------------- main *)
 
 let () =
   let all =
     [
       "table1"; "fig1"; "fig3"; "fig4"; "fig5"; "fig6"; "fig7"; "ablation"; "flow"; "engine";
-      "service"; "service_concurrent"; "xtalk"; "perf";
+      "service"; "service_concurrent"; "xtalk"; "optimize"; "perf";
     ]
   in
   (* Flags: --jobs N (table1/fig7/engine fan out over a domain pool),
@@ -1743,7 +1953,8 @@ let () =
       !json_out <> None
       && (not (List.mem "engine" requested))
       && (not (List.mem "service" requested))
-      && not (List.mem "xtalk" requested)
+      && (not (List.mem "xtalk" requested))
+      && not (List.mem "optimize" requested)
     then requested @ [ "engine" ]
     else requested
   in
@@ -1790,6 +2001,12 @@ let () =
             match !json_out with Some _ -> Some "BENCH_xtalk.json" | None -> None
           in
           xtalk_bench ~smoke:!smoke ~jobs:!jobs_arg ?json ()
+      | "optimize" ->
+          (* Like xtalk: never clobber the engine group's --json path. *)
+          let json =
+            match !json_out with Some _ -> Some "BENCH_optimize.json" | None -> None
+          in
+          optimize_bench ~smoke:!smoke ~jobs:!jobs_arg ?json ()
       | "perf" -> perf ()
       | other ->
           Format.eprintf

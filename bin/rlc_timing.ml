@@ -491,6 +491,159 @@ let flow_cmd =
       $ required_arg $ verbose_arg $ trace_arg $ metrics_json_arg $ xtalk_flag
       $ xtalk_threshold_arg $ xtalk_budget_arg $ xtalk_alignments_arg)
 
+(* ----------------------------------------------------------- optimize *)
+
+let optimize_cmd =
+  let run spef_file spec_file required jobs json csv sizes no_repeaters max_stages no_cache dt
+      adaptive dt_min dt_max ltol timeout_ms verbose trace metrics_json =
+    if verbose then begin
+      Logs.set_reporter (Logs.format_reporter ());
+      Logs.set_level (Some Logs.Info)
+    end;
+    let obs = obs_of ~trace ~metrics_json in
+    let adaptive = adaptive_of ~adaptive ~dt_min ~dt_max ~ltol in
+    let deadline =
+      if timeout_ms <= 0 then None
+      else Some (Rlc_errors.Deadline.start (float_of_int timeout_ms /. 1000.))
+    in
+    let jobs =
+      Experiments.effective_jobs
+        (match jobs with Some j -> j | None -> Rlc_parallel.Pool.default_jobs ())
+    in
+    let cfg =
+      {
+        Rlc_flow.Flow.Config.default with
+        Rlc_flow.Flow.Config.jobs = Some jobs;
+        dt = Rlc_num.Units.ps dt;
+        adaptive;
+        use_cache = not no_cache;
+        obs;
+        deadline;
+      }
+    in
+    (* Exit codes match flow: 2 for errors (including budget expiry), 1 when
+       violations remain after optimization, 0 when the design closes. *)
+    let spec_of spef = function
+      | None -> Ok (Rlc_flow.Spec.default_of_spef spef)
+      | Some f -> Rlc_flow.Spec.parse_res ~file:f (read_file f)
+    in
+    match Rlc_spef.Spef.parse_res ~file:spef_file (read_file spef_file) with
+    | Error e ->
+        Format.eprintf "%s@." (Rlc_service.Error.message e);
+        2
+    | Ok spef -> (
+        match spec_of spef spec_file with
+        | Error e ->
+            Format.eprintf "%s@." (Rlc_service.Error.message e);
+            2
+        | Ok spec -> (
+            let result =
+              try
+                Rlc_flow.Optimize.run ?sizes ~repeaters:(not no_repeaters) ~max_stages
+                  ~required:(Rlc_num.Units.ps required) cfg ~spef ~spec ()
+              with Rlc_errors.Deadline.Expired budget ->
+                Error (Rlc_errors.Error.Timeout budget)
+            in
+            match result with
+            | Error e ->
+                Format.eprintf "%s@." (Rlc_service.Error.message e);
+                2
+            | Ok o ->
+                export_obs obs ~trace ~metrics_json;
+                Format.printf "%a" (fun fmt -> Rlc_flow.Report.optimize_summary fmt) o;
+                Option.iter
+                  (fun path -> write_file path (Rlc_flow.Report.optimize_json_string o))
+                  json;
+                Option.iter
+                  (fun path -> write_file path (Rlc_flow.Report.optimize_csv_string o))
+                  csv;
+                if o.Rlc_flow.Optimize.stats.Rlc_flow.Optimize.o_violations_after > 0 then begin
+                  Format.eprintf "timing violated: %d nets still miss the required time@."
+                    o.Rlc_flow.Optimize.stats.Rlc_flow.Optimize.o_violations_after;
+                  1
+                end
+                else 0))
+  in
+  let spef_arg =
+    Arg.(
+      required & opt (some file) None & info [ "spef" ] ~docv:"SPEF" ~doc:"Design SPEF file.")
+  in
+  let spec_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "spec" ] ~docv:"FILE"
+          ~doc:"Connectivity spec (driver sizes, input slews, net-to-net edges, extra loads).")
+  in
+  let required_arg =
+    Arg.(
+      required
+      & opt (some float) None
+      & info [ "required" ] ~docv:"PS"
+          ~doc:"Required arrival time every net must meet, in ps.")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE" ~doc:"Write the JSON optimization report.")
+  in
+  let csv_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "csv" ] ~docv:"FILE" ~doc:"Write the CSV optimization report.")
+  in
+  let sizes_arg =
+    Arg.(
+      value
+      & opt (some (list float)) None
+      & info [ "sizes" ] ~docv:"X,X,..."
+          ~doc:
+            "Candidate driver sizes for the resize search (default 25–300X ladder); only sizes \
+             above a net's current size are tried.")
+  in
+  let no_repeaters_arg =
+    Arg.(
+      value & flag
+      & info [ "no-repeaters" ]
+          ~doc:
+            "Disable the repeater-insertion fallback; nets a resize cannot fix are reported \
+             unfixable.")
+  in
+  let max_stages_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "max-stages" ] ~docv:"N"
+          ~doc:"Largest repeater chain considered by the insertion fallback.")
+  in
+  let no_cache_arg =
+    Arg.(value & flag & info [ "no-cache" ] ~doc:"Disable the shared Ceff result cache.")
+  in
+  let timeout_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "timeout-ms" ] ~docv:"MS"
+          ~doc:
+            "Wall-clock budget for the whole optimization in milliseconds; the candidate loops \
+             poll it and expiry exits 2 with a timeout error.  0 (default) disables it.")
+  in
+  let verbose_arg =
+    Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Log per-level search progress.")
+  in
+  Cmd.v
+    (Cmd.info "optimize"
+       ~doc:
+         "Close timing on a full design: time it, then search every negative-slack net for a \
+          driver resize (screen, Ceff-model solve, rare transistor-level escalation) with \
+          repeater insertion as the fallback, batched over the domain pool.  The chosen \
+          resizes are applied and verified with an incremental retime; reports are \
+          byte-identical for every $(b,--jobs) count.")
+    Term.(
+      const run $ spef_arg $ spec_arg $ required_arg $ jobs_arg $ json_arg $ csv_arg $ sizes_arg
+      $ no_repeaters_arg $ max_stages_arg $ no_cache_arg $ dt_arg $ adaptive_flag $ dt_min_arg
+      $ dt_max_arg $ ltol_arg $ timeout_arg $ verbose_arg $ trace_arg $ metrics_json_arg)
+
 (* -------------------------------------------------------------- serve *)
 
 let serve_cmd =
@@ -879,6 +1032,7 @@ let () =
             sweep_cmd;
             spef_cmd;
             flow_cmd;
+            optimize_cmd;
             serve_cmd;
             top_cmd;
           ]))

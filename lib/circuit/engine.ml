@@ -82,15 +82,27 @@ let factored_solve f rhs scratch =
    element per step in [commit_step]. *)
 type comp_hist = { mutable v_prev : float; mutable i_prev : float }
 
-(* Compiled two-terminal element with per-step companion state. *)
-type companion = { n1 : int; n2 : int; value : float; hist : comp_hist }
+(* Compiled two-terminal element with per-step companion state.  [value] is
+   mutable so [Compiled.restamp] can write new element values into the
+   existing structure without rebuilding it. *)
+type companion = { n1 : int; n2 : int; mutable value : float; hist : comp_hist }
+
+(* Resistor / forced-source / current-source slots are records with mutable
+   value fields for the same reason: a restamp writes in place. *)
+type resistor = { rn1 : int; rn2 : int; mutable rg : float  (* conductance *) }
+
+type forced_src = { fnode : int; mutable fsrc : float -> float }
+type isource = { sn1 : int; sn2 : int; mutable samps : float -> float }
 
 (* Magnetically coupled group: branch currents depend on all branch
    voltages through G = alpha * L^{-1} (alpha = h/2 for trapezoidal, h for
-   backward Euler), which stays purely nodal. *)
+   backward Euler), which stays purely nodal.  [k_lmat] keeps a copy of the
+   inductance matrix so a restamp can detect a value change cheaply before
+   paying for a re-inversion. *)
 type coupled_state = {
   k_branches : (int * int) array;
-  linv : float array array;  (* L^{-1} *)
+  mutable k_lmat : float array array;
+  mutable linv : float array array;  (* L^{-1} *)
   i_prev_k : float array;
   v_prev_k : float array;
 }
@@ -100,23 +112,40 @@ type compiled = {
   n_nodes : int;
   n_unknown : int;
   unknown_of_node : int array;  (* -1 for ground and forced nodes *)
-  forced : (int * (float -> float)) array;
-  resistors : (int * int * float) array;
+  forced : forced_src array;
+  resistors : resistor array;
   caps : companion array;
   inds : companion array;
   coupled : coupled_state array;
-  isources : (int * int * (float -> float)) array;
-  nonlinears : Netlist.nonlinear array;
+  isources : isource array;
+  nonlinears : Netlist.nonlinear array;  (* slots replaced by restamp *)
   bandwidth : int;
 }
+
+let invert m =
+  let n = Array.length m in
+  let lu = Linalg.lu_factor m in
+  let inv = Array.make_matrix n n 0. in
+  for j = 0 to n - 1 do
+    let e = Array.make n 0. in
+    e.(j) <- 1.;
+    let col = Linalg.lu_solve lu e in
+    for i = 0 to n - 1 do
+      inv.(i).(j) <- col.(i)
+    done
+  done;
+  inv
 
 let compile netlist =
   Netlist.validate netlist;
   let n_nodes = Netlist.node_count netlist in
-  let forced = Array.of_list (Netlist.forced netlist) in
+  let forced =
+    Array.of_list
+      (List.map (fun (n, f) -> { fnode = n; fsrc = f }) (Netlist.forced netlist))
+  in
   let unknown_of_node = Array.make n_nodes (-1) in
   let is_forced = Array.make n_nodes false in
-  Array.iter (fun (n, _) -> is_forced.(n) <- true) forced;
+  Array.iter (fun fs -> is_forced.(fs.fnode) <- true) forced;
   let next = ref 0 in
   for n = 1 to n_nodes - 1 do
     if not is_forced.(n) then begin
@@ -127,34 +156,22 @@ let compile netlist =
   let n_unknown = !next in
   let rs = ref [] and cs = ref [] and ls = ref [] and is_ = ref [] and nls = ref [] in
   let ks = ref [] in
-  let invert m =
-    let n = Array.length m in
-    let lu = Linalg.lu_factor m in
-    let inv = Array.make_matrix n n 0. in
-    for j = 0 to n - 1 do
-      let e = Array.make n 0. in
-      e.(j) <- 1.;
-      let col = Linalg.lu_solve lu e in
-      for i = 0 to n - 1 do
-        inv.(i).(j) <- col.(i)
-      done
-    done;
-    inv
-  in
   List.iter
     (fun (e : Netlist.element) ->
       match e with
-      | Resistor { n1; n2; ohms; _ } -> rs := (n1, n2, 1. /. ohms) :: !rs
+      | Resistor { n1; n2; ohms; _ } -> rs := { rn1 = n1; rn2 = n2; rg = 1. /. ohms } :: !rs
       | Capacitor { n1; n2; farads; _ } ->
           cs := { n1; n2; value = farads; hist = { v_prev = 0.; i_prev = 0. } } :: !cs
       | Inductor { n1; n2; henries; _ } ->
           ls := { n1; n2; value = henries; hist = { v_prev = 0.; i_prev = 0. } } :: !ls
-      | Current_source { n1; n2; amps; _ } -> is_ := (n1, n2, amps) :: !is_
+      | Current_source { n1; n2; amps; _ } ->
+          is_ := { sn1 = n1; sn2 = n2; samps = amps } :: !is_
       | Coupled_inductors { cp_branches; cp_lmat; _ } ->
           let k = Array.length cp_branches in
           ks :=
             {
               k_branches = Array.copy cp_branches;
+              k_lmat = Array.map Array.copy cp_lmat;
               linv = invert cp_lmat;
               i_prev_k = Array.make k 0.;
               v_prev_k = Array.make k 0.;
@@ -167,7 +184,7 @@ let compile netlist =
     if u1 >= 0 && u2 >= 0 then abs (u1 - u2) else 0
   in
   let bw = ref 1 in
-  List.iter (fun (n1, n2, _) -> bw := Int.max !bw (pair_band n1 n2)) !rs;
+  List.iter (fun (r : resistor) -> bw := Int.max !bw (pair_band r.rn1 r.rn2)) !rs;
   List.iter (fun (c : companion) -> bw := Int.max !bw (pair_band c.n1 c.n2)) !cs;
   List.iter (fun (c : companion) -> bw := Int.max !bw (pair_band c.n1 c.n2)) !ls;
   List.iter
@@ -384,8 +401,8 @@ let stamp_nonlinear c sys rhs vnode (dev : Netlist.nonlinear) =
 
 let update_forced c vnode t =
   for i = 0 to Array.length c.forced - 1 do
-    let n, f = c.forced.(i) in
-    vnode.(n) <- f t
+    let fs = c.forced.(i) in
+    vnode.(fs.fnode) <- fs.fsrc t
   done
 
 (* Newton loop on top of a base (linear part) assembly function — the
@@ -445,7 +462,7 @@ let dc_solve ?(t = 0.) c opts =
     let sys = sys_create ~n:c.n_unknown ~bw:c.bandwidth in
     sys_clear sys;
     let rhs = Array.make c.n_unknown 0. in
-    Array.iter (fun (n1, n2, g) -> stamp c sys rhs vnode n1 n2 g 0.) c.resistors;
+    Array.iter (fun (r : resistor) -> stamp c sys rhs vnode r.rn1 r.rn2 r.rg 0.) c.resistors;
     Array.iter (fun (cc : companion) -> stamp c sys rhs vnode cc.n1 cc.n2 g_short 0.) c.inds;
     Array.iter
       (fun (k : coupled_state) ->
@@ -455,7 +472,7 @@ let dc_solve ?(t = 0.) c opts =
        capacitors would make the matrix singular; a tiny leak conductance
        pins such nodes without perturbing the solution elsewhere. *)
     Array.iter (fun (cc : companion) -> stamp c sys rhs vnode cc.n1 cc.n2 1e-12 0.) c.caps;
-    Array.iter (fun (n1, n2, f) -> stamp c sys rhs vnode n1 n2 0. (f t)) c.isources;
+    Array.iter (fun (s : isource) -> stamp c sys rhs vnode s.sn1 s.sn2 0. (s.samps t)) c.isources;
     (sys, rhs)
   in
   let _ = newton ~opts ~c ~assemble_base ~vnode ~t in
@@ -496,7 +513,7 @@ let make_transient_state c opts =
   let base = sys_create ~n:c.n_unknown ~bw:c.bandwidth in
   (* Assembly order mirrors the rebuild path: resistors, caps, inductors,
      coupled groups (current sources carry no conductance). *)
-  Array.iter (fun (n1, n2, g) -> stamp_mat c base n1 n2 g) c.resistors;
+  Array.iter (fun (r : resistor) -> stamp_mat c base r.rn1 r.rn2 r.rg) c.resistors;
   Array.iteri (fun i (cc : companion) -> stamp_mat c base cc.n1 cc.n2 caps_g.(i)) c.caps;
   Array.iteri (fun i (cc : companion) -> stamp_mat c base cc.n1 cc.n2 inds_g.(i)) c.inds;
   Array.iteri (fun i k -> stamp_coupled_mat c base k galpha.(i)) c.coupled;
@@ -529,9 +546,9 @@ let make_transient_state c opts =
 let add_isources_rhs c rhs t =
   let uon = c.unknown_of_node in
   for i = 0 to Array.length c.isources - 1 do
-    let n1, n2, f = c.isources.(i) in
-    let j = f t in
-    let u1 = uon.(n1) and u2 = uon.(n2) in
+    let s = c.isources.(i) in
+    let j = s.samps t in
+    let u1 = uon.(s.sn1) and u2 = uon.(s.sn2) in
     if u1 >= 0 then rhs.(u1) <- rhs.(u1) -. j;
     if u2 >= 0 then rhs.(u2) <- rhs.(u2) +. j
   done
@@ -550,10 +567,11 @@ let assemble_rhs_hist c st opts rhs vnode =
      solve itself.  Contribution order per element — forced-neighbour
      injection, then the -j/+j history pair — matches [stamp] exactly. *)
   for i = 0 to Array.length c.resistors - 1 do
-    let n1, n2, g = c.resistors.(i) in
-    let u1 = uon.(n1) and u2 = uon.(n2) in
-    if u1 >= 0 && g <> 0. && u2 < 0 then rhs.(u1) <- rhs.(u1) +. (g *. vnode.(n2));
-    if u2 >= 0 && g <> 0. && u1 < 0 then rhs.(u2) <- rhs.(u2) +. (g *. vnode.(n1))
+    let r = c.resistors.(i) in
+    let g = r.rg in
+    let u1 = uon.(r.rn1) and u2 = uon.(r.rn2) in
+    if u1 >= 0 && g <> 0. && u2 < 0 then rhs.(u1) <- rhs.(u1) +. (g *. vnode.(r.rn2));
+    if u2 >= 0 && g <> 0. && u1 < 0 then rhs.(u2) <- rhs.(u2) +. (g *. vnode.(r.rn1))
   done;
   (match opts.integration with
   | Trapezoidal ->
@@ -685,7 +703,7 @@ let rebuild_step c st opts vnode t =
     let sys = sys_create ~n:c.n_unknown ~bw:c.bandwidth in
     sys_clear sys;
     let rhs = Array.make c.n_unknown 0. in
-    Array.iter (fun (n1, n2, g) -> stamp c sys rhs vnode n1 n2 g 0.) c.resistors;
+    Array.iter (fun (r : resistor) -> stamp c sys rhs vnode r.rn1 r.rn2 r.rg 0.) c.resistors;
     Array.iter
       (fun (cc : companion) ->
         let g = cap_g opts.integration dt cc in
@@ -700,7 +718,7 @@ let rebuild_step c st opts vnode t =
       (fun i k ->
         stamp_coupled c sys rhs vnode k st.galpha.(i) st.ieq_k.(i))
       c.coupled;
-    Array.iter (fun (n1, n2, f) -> stamp c sys rhs vnode n1 n2 0. (f t)) c.isources;
+    Array.iter (fun (s : isource) -> stamp c sys rhs vnode s.sn1 s.sn2 0. (s.samps t)) c.isources;
     (sys, rhs)
   in
   newton ~opts ~c ~assemble_base ~vnode ~t
@@ -859,14 +877,22 @@ let grow_margin = 0.25
 
    Breakpoints (source kinks declared on the netlist, plus [t_stop]) are
    landed on exactly; landing resets the predictor history and drops back
-   to rung 0, since the waveform is not smooth across a kink. *)
-let transient_adaptive ~obs ~opts ~record_nodes (a : adaptive) netlist =
+   to rung 0, since the waveform is not smooth across a kink.
+
+   The stepper is parameterized over where its per-rung and offcut states
+   come from ([rung_state]/[offcut_state] return the state plus whether it
+   was freshly built, which is what the refactor counter counts) and over
+   the DC solve, so the plain [transient] path and the [Compiled] handle
+   path (which caches states and the DC point across runs) share this loop
+   verbatim — that sharing is what makes their results bit-identical. *)
+let validate_adaptive (a : adaptive) =
   if a.dt_min <= 0. || a.dt_max < a.dt_min || a.ltol <= 0. then
-    invalid_arg "Engine.transient: adaptive wants 0 < dt_min <= dt_max and ltol > 0";
+    invalid_arg "Engine.transient: adaptive wants 0 < dt_min <= dt_max and ltol > 0"
+
+let adaptive_core ~obs ~opts ~record_nodes (a : adaptive) ~c ~dc ~breakpoints ~rung_state
+    ~offcut_state =
   let t_stop = opts.t_stop in
-  if t_stop <= 0. then invalid_arg "Engine.transient: t_stop must be positive";
-  let c = Obs.time obs "engine.compile" (fun () -> compile netlist) in
-  let vnode = Obs.time obs "engine.dc_solve" (fun () -> dc_solve ~t:0. c opts) in
+  let vnode = Obs.time obs "engine.dc_solve" dc in
   init_companions c vnode;
   let n_nodes = c.n_nodes in
   let kmax =
@@ -877,7 +903,7 @@ let transient_adaptive ~obs ~opts ~record_nodes (a : adaptive) netlist =
     !k
   in
   let bps =
-    let l = List.filter (fun b -> b > 0. && b < t_stop) (Netlist.breakpoints netlist) in
+    let l = List.filter (fun b -> b > 0. && b < t_stop) breakpoints in
     Array.of_list (l @ [ t_stop ])
   in
   let col_of_node, rec_nodes = record_plan c record_nodes in
@@ -948,16 +974,11 @@ let transient_adaptive ~obs ~opts ~record_nodes (a : adaptive) netlist =
     done;
     !worst
   in
-  let rungs = Array.make (kmax + 1) None in
   let refactors = ref 0 in
   let state_for k =
-    match rungs.(k) with
-    | Some st -> st
-    | None ->
-        let st = make_transient_state c { opts with dt = ldexp a.dt_min k } in
-        incr refactors;
-        rungs.(k) <- Some st;
-        st
+    let st, fresh = rung_state k in
+    if fresh then incr refactors;
+    st
   in
   let total_newton = ref 0 and worst_newton = ref 0 in
   let rejected = ref 0 in
@@ -979,8 +1000,9 @@ let transient_adaptive ~obs ~opts ~record_nodes (a : adaptive) netlist =
     let t_new = if clamped then bp else !t +. rung_h in
     let st =
       if clamped then begin
-        incr refactors;
-        make_transient_state c { opts with dt = h_eff }
+        let st, fresh = offcut_state h_eff in
+        if fresh then incr refactors;
+        st
       end
       else state_for !k
     in
@@ -1061,22 +1083,32 @@ let transient_adaptive ~obs ~opts ~record_nodes (a : adaptive) netlist =
     refactors_ = !refactors;
   }
 
-let transient ?(obs = Obs.null) ?options ?record_nodes ?(reassemble_per_step = false) ?adaptive
-    ~dt ~t_stop netlist =
-  let opts = match options with Some o -> o | None -> default_options ~dt ~t_stop in
-  match adaptive with
-  | Some a ->
-      if reassemble_per_step then
-        invalid_arg "Engine.transient: adaptive and reassemble_per_step are exclusive";
-      transient_adaptive ~obs ~opts ~record_nodes a netlist
-  | None ->
-  let dt = opts.dt and t_stop = opts.t_stop in
-  if dt <= 0. || t_stop <= 0. then invalid_arg "Engine.transient: dt and t_stop must be positive";
+let transient_adaptive ~obs ~opts ~record_nodes (a : adaptive) netlist =
+  validate_adaptive a;
+  if opts.t_stop <= 0. then invalid_arg "Engine.transient: t_stop must be positive";
   let c = Obs.time obs "engine.compile" (fun () -> compile netlist) in
+  let rungs : (int, transient_state) Hashtbl.t = Hashtbl.create 8 in
+  adaptive_core ~obs ~opts ~record_nodes a ~c
+    ~dc:(fun () -> dc_solve ~t:0. c opts)
+    ~breakpoints:(Netlist.breakpoints netlist)
+    ~rung_state:(fun k ->
+      match Hashtbl.find_opt rungs k with
+      | Some st -> (st, false)
+      | None ->
+          let st = make_transient_state c { opts with dt = ldexp a.dt_min k } in
+          Hashtbl.add rungs k st;
+          (st, true))
+    ~offcut_state:(fun h_eff -> (make_transient_state c { opts with dt = h_eff }, true))
+
+(* Fixed-step stepping shared by [transient] and [Compiled.run]; like
+   [adaptive_core] it is parameterized over the DC solve and the solver
+   state so the compiled-handle path can substitute cached ones. *)
+let fixed_core ~obs ~opts ~record_nodes ~reassemble_per_step ~c ~dc ~state =
+  let dt = opts.dt and t_stop = opts.t_stop in
   (* Tiny epsilon guards float-division noise (1e-9 / 10e-12 is slightly
      above 100) from adding a spurious extra step. *)
   let n_steps = Int.max 1 (int_of_float (Float.ceil ((t_stop /. dt) -. 1e-9))) in
-  let vnode = Obs.time obs "engine.dc_solve" (fun () -> dc_solve ~t:0. c opts) in
+  let vnode = Obs.time obs "engine.dc_solve" dc in
   init_companions c vnode;
   let times_ = Array.init (n_steps + 1) (fun i -> dt *. float_of_int i) in
   let col_of_node, rec_nodes = record_plan c record_nodes in
@@ -1087,7 +1119,7 @@ let transient ?(obs = Obs.null) ?options ?record_nodes ?(reassemble_per_step = f
     done
   in
   record 0;
-  let st = Obs.time obs "engine.factor" (fun () -> make_transient_state c opts) in
+  let st = Obs.time obs "engine.factor" state in
   let total_newton = ref 0 and worst_newton = ref 0 in
   let step_t0 = Obs.start obs in
   (match (st.linear_fact, reassemble_per_step) with
@@ -1103,8 +1135,8 @@ let transient ?(obs = Obs.null) ?options ?record_nodes ?(reassemble_per_step = f
         if step land (deadline_stride - 1) = 0 then Deadline.check_ambient ();
         let t = times_.(step) in
         for i = 0 to n_forced - 1 do
-          let n, fsrc = c.forced.(i) in
-          vnode.(n) <- fsrc t
+          let fs = c.forced.(i) in
+          vnode.(fs.fnode) <- fs.fsrc t
         done;
         for i = 0 to n_coupled - 1 do
           coupled_ieq_into c.coupled.(i) opts.integration st.galpha.(i) st.ieq_k.(i)
@@ -1164,6 +1196,22 @@ let transient ?(obs = Obs.null) ?options ?record_nodes ?(reassemble_per_step = f
     refactors_ = 0;
   }
 
+let transient ?(obs = Obs.null) ?options ?record_nodes ?(reassemble_per_step = false) ?adaptive
+    ~dt ~t_stop netlist =
+  let opts = match options with Some o -> o | None -> default_options ~dt ~t_stop in
+  match adaptive with
+  | Some a ->
+      if reassemble_per_step then
+        invalid_arg "Engine.transient: adaptive and reassemble_per_step are exclusive";
+      transient_adaptive ~obs ~opts ~record_nodes a netlist
+  | None ->
+      if opts.dt <= 0. || opts.t_stop <= 0. then
+        invalid_arg "Engine.transient: dt and t_stop must be positive";
+      let c = Obs.time obs "engine.compile" (fun () -> compile netlist) in
+      fixed_core ~obs ~opts ~record_nodes ~reassemble_per_step ~c
+        ~dc:(fun () -> dc_solve ~t:0. c opts)
+        ~state:(fun () -> make_transient_state c opts)
+
 let times r = Array.copy r.times_
 
 let is_recorded r n = n >= 0 && n < Array.length r.col_of_node && r.col_of_node.(n) >= 0
@@ -1183,3 +1231,271 @@ let newton_worst r = r.worst_newton
 let steps r = Array.length r.times_ - 1
 let steps_rejected r = r.rejected_
 let refactors r = r.refactors_
+
+(* Compile-once transient handles for candidate sweeps.
+
+   A handle owns the topology analysis ([compile]), every solver state built
+   on it (one [transient_state] per (integration, step size) — fixed-step
+   states and adaptive rung/offcut states share the table, since a state
+   depends on nothing else), and the last DC operating point.  [restamp]
+   writes new element values into the existing structure without
+   reallocating; only a matrix-affecting value change (R/C/L/L-matrix)
+   invalidates the cached states and DC point, so a sweep that only swaps
+   the input source pays zero re-factorization.  Results are bit-identical
+   to fresh [transient] calls: the shared step cores consume the same floats
+   computed by the same expressions in the same order. *)
+module Compiled = struct
+  type dc_entry = {
+    dc_f0 : int64 array;  (* forced-source values at t = 0, bit patterns *)
+    dc_i0 : int64 array;  (* current-source values at t = 0, bit patterns *)
+    dc_v : float array;
+  }
+
+  type handle = {
+    h_c : compiled;
+    mutable h_nl : Netlist.t;  (* latest restamp target: breakpoints live here *)
+    h_states : (int * float, transient_state) Hashtbl.t;
+    mutable h_dc : dc_entry option;
+  }
+
+  let int_tag = function Trapezoidal -> 0 | Backward_euler -> 1
+
+  let compile ?(obs = Obs.null) netlist =
+    let c = Obs.time obs "engine.compile" (fun () -> compile netlist) in
+    { h_c = c; h_nl = netlist; h_states = Hashtbl.create 8; h_dc = None }
+
+  let node_count h = h.h_c.n_nodes
+
+  let structure_err () =
+    invalid_arg
+      "Engine.Compiled.restamp: netlist structure does not match the compiled handle"
+
+  (* Write the new netlist's element values into the compiled slots,
+     validating structure (kinds and node pairs in insertion order) as we
+     go.  Value changes that alter the nodal matrix mark the handle dirty;
+     source/nonlinear closures are swapped without invalidating anything
+     (the DC cache re-validates against source values at t = 0 on its
+     own).  On a structure mismatch the handle may be partially restamped;
+     callers either re-restamp with a matching netlist or rebuild. *)
+  let restamp h newnl =
+    let c = h.h_c in
+    if Netlist.node_count newnl <> c.n_nodes then structure_err ();
+    let nf = ref 0 in
+    List.iter
+      (fun (n, f) ->
+        if !nf >= Array.length c.forced then structure_err ();
+        let fs = c.forced.(!nf) in
+        incr nf;
+        if fs.fnode <> n then structure_err ();
+        fs.fsrc <- f)
+      (Netlist.forced newnl);
+    if !nf <> Array.length c.forced then structure_err ();
+    let dirty = ref false in
+    let ri = ref 0 and ci = ref 0 and li = ref 0 and si = ref 0 and ki = ref 0 and ni = ref 0 in
+    List.iter
+      (fun (e : Netlist.element) ->
+        match e with
+        | Resistor { n1; n2; ohms; _ } ->
+            if !ri >= Array.length c.resistors then structure_err ();
+            let r = c.resistors.(!ri) in
+            incr ri;
+            if r.rn1 <> n1 || r.rn2 <> n2 then structure_err ();
+            let g = 1. /. ohms in
+            if r.rg <> g then begin
+              r.rg <- g;
+              dirty := true
+            end
+        | Capacitor { n1; n2; farads; _ } ->
+            if !ci >= Array.length c.caps then structure_err ();
+            let cc = c.caps.(!ci) in
+            incr ci;
+            if cc.n1 <> n1 || cc.n2 <> n2 then structure_err ();
+            if cc.value <> farads then begin
+              cc.value <- farads;
+              dirty := true
+            end
+        | Inductor { n1; n2; henries; _ } ->
+            if !li >= Array.length c.inds then structure_err ();
+            let cc = c.inds.(!li) in
+            incr li;
+            if cc.n1 <> n1 || cc.n2 <> n2 then structure_err ();
+            if cc.value <> henries then begin
+              cc.value <- henries;
+              dirty := true
+            end
+        | Current_source { n1; n2; amps; _ } ->
+            if !si >= Array.length c.isources then structure_err ();
+            let s = c.isources.(!si) in
+            incr si;
+            if s.sn1 <> n1 || s.sn2 <> n2 then structure_err ();
+            s.samps <- amps
+        | Coupled_inductors { cp_branches; cp_lmat; _ } ->
+            if !ki >= Array.length c.coupled then structure_err ();
+            let k = c.coupled.(!ki) in
+            incr ki;
+            if Array.length k.k_branches <> Array.length cp_branches then structure_err ();
+            Array.iteri
+              (fun p (a, b) ->
+                let a', b' = k.k_branches.(p) in
+                if a <> a' || b <> b' then structure_err ())
+              cp_branches;
+            let same = ref true in
+            Array.iteri
+              (fun i row ->
+                Array.iteri (fun j v -> if k.k_lmat.(i).(j) <> v then same := false) row)
+              cp_lmat;
+            if not !same then begin
+              k.k_lmat <- Array.map Array.copy cp_lmat;
+              k.linv <- invert cp_lmat;
+              dirty := true
+            end
+        | Nonlinear nl ->
+            if !ni >= Array.length c.nonlinears then structure_err ();
+            let old = c.nonlinears.(!ni) in
+            if old.nl_nodes <> nl.nl_nodes then structure_err ();
+            c.nonlinears.(!ni) <- nl;
+            incr ni)
+      (Netlist.elements newnl);
+    if
+      !ri <> Array.length c.resistors
+      || !ci <> Array.length c.caps
+      || !li <> Array.length c.inds
+      || !si <> Array.length c.isources
+      || !ki <> Array.length c.coupled
+      || !ni <> Array.length c.nonlinears
+    then structure_err ();
+    h.h_nl <- newnl;
+    if !dirty then begin
+      Hashtbl.reset h.h_states;
+      h.h_dc <- None
+    end
+
+  (* One solver state per (integration, step size), shared between the
+     fixed-step path and the adaptive rung/offcut ladder — this is where
+     a sweep stops paying [make_transient_state] + factorization per run. *)
+  let state_for h opts =
+    let key = (int_tag opts.integration, opts.dt) in
+    match Hashtbl.find_opt h.h_states key with
+    | Some st -> (st, false)
+    | None ->
+        if Hashtbl.length h.h_states >= 128 then Hashtbl.reset h.h_states;
+        let st = make_transient_state h.h_c opts in
+        Hashtbl.add h.h_states key st;
+        (st, true)
+
+  (* The DC operating point depends only on element values and the source
+     values at t = 0; cache it keyed by the latter (bit patterns, so any
+     behavioural difference at 0 forces a fresh solve).  Nonlinear circuits
+     always re-solve — their Newton iteration isn't worth fingerprinting. *)
+  let dc_for h opts () =
+    let c = h.h_c in
+    if Array.length c.nonlinears > 0 then dc_solve ~t:0. c opts
+    else begin
+      let f0 = Array.map (fun fs -> Int64.bits_of_float (fs.fsrc 0.)) c.forced in
+      let i0 = Array.map (fun (s : isource) -> Int64.bits_of_float (s.samps 0.)) c.isources in
+      match h.h_dc with
+      | Some e when e.dc_f0 = f0 && e.dc_i0 = i0 -> Array.copy e.dc_v
+      | _ ->
+          let v = dc_solve ~t:0. c opts in
+          h.h_dc <- Some { dc_f0 = f0; dc_i0 = i0; dc_v = Array.copy v };
+          v
+    end
+
+  let run ?(obs = Obs.null) ?options ?record_nodes ?(reassemble_per_step = false) ?adaptive
+      ~dt ~t_stop h =
+    let opts = match options with Some o -> o | None -> default_options ~dt ~t_stop in
+    match adaptive with
+    | Some a ->
+        if reassemble_per_step then
+          invalid_arg "Engine.transient: adaptive and reassemble_per_step are exclusive";
+        validate_adaptive a;
+        if opts.t_stop <= 0. then invalid_arg "Engine.transient: t_stop must be positive";
+        adaptive_core ~obs ~opts ~record_nodes a ~c:h.h_c ~dc:(dc_for h opts)
+          ~breakpoints:(Netlist.breakpoints h.h_nl)
+          ~rung_state:(fun k -> state_for h { opts with dt = ldexp a.dt_min k })
+          ~offcut_state:(fun h_eff -> state_for h { opts with dt = h_eff })
+    | None ->
+        if opts.dt <= 0. || opts.t_stop <= 0. then
+          invalid_arg "Engine.transient: dt and t_stop must be positive";
+        fixed_core ~obs ~opts ~record_nodes ~reassemble_per_step ~c:h.h_c ~dc:(dc_for h opts)
+          ~state:(fun () -> fst (state_for h opts))
+
+  (* Structure-keyed handle cache, domain-local so handles (whose scratch
+     is freely mutated during a run) are never shared across domains.  The
+     key hashes topology only — node count plus two independent polynomial
+     hashes over (kind, nodes) in insertion order; a collision is caught by
+     [restamp]'s structural validation and falls back to a rebuild. *)
+  let structure_key netlist =
+    let a = ref (Netlist.node_count netlist) and b = ref 17 in
+    let add x =
+      a := (!a * 31) + x;
+      b := (!b * 131) + x
+    in
+    List.iter (fun ((n : int), _) -> add ((3 * n) + 1)) (Netlist.forced netlist);
+    List.iter
+      (fun (e : Netlist.element) ->
+        match e with
+        | Resistor { n1; n2; _ } ->
+            add 11;
+            add n1;
+            add n2
+        | Capacitor { n1; n2; _ } ->
+            add 13;
+            add n1;
+            add n2
+        | Inductor { n1; n2; _ } ->
+            add 19;
+            add n1;
+            add n2
+        | Current_source { n1; n2; _ } ->
+            add 23;
+            add n1;
+            add n2
+        | Coupled_inductors { cp_branches; _ } ->
+            add 29;
+            Array.iter
+              (fun ((x : int), (y : int)) ->
+                add x;
+                add y)
+              cp_branches
+        | Nonlinear nl ->
+            add 37;
+            Array.iter add nl.nl_nodes)
+      (Netlist.elements netlist);
+    (Netlist.node_count netlist, !a, !b)
+
+  let cache_hits = Atomic.make 0
+  let cache_misses = Atomic.make 0
+  let cache_stats () = (Atomic.get cache_hits, Atomic.get cache_misses)
+
+  let cache_key : (int * int * int, handle) Hashtbl.t Domain.DLS.key =
+    Domain.DLS.new_key (fun () -> Hashtbl.create 16)
+
+  let clear_cache () = Hashtbl.reset (Domain.DLS.get cache_key)
+
+  let cached ?(obs = Obs.null) netlist =
+    let tbl = Domain.DLS.get cache_key in
+    let key = structure_key netlist in
+    match Hashtbl.find_opt tbl key with
+    | Some h -> (
+        match restamp h netlist with
+        | () ->
+            Atomic.incr cache_hits;
+            Obs.incr obs "engine.handle.hits";
+            h
+        | exception Invalid_argument _ ->
+            (* Key collision (or a half-restamped handle from a previous
+               collision): rebuild and let the new handle own the slot. *)
+            Atomic.incr cache_misses;
+            Obs.incr obs "engine.handle.misses";
+            let h = compile ~obs netlist in
+            Hashtbl.replace tbl key h;
+            h)
+    | None ->
+        Atomic.incr cache_misses;
+        Obs.incr obs "engine.handle.misses";
+        if Hashtbl.length tbl >= 64 then Hashtbl.reset tbl;
+        let h = compile ~obs netlist in
+        Hashtbl.replace tbl key h;
+        h
+end

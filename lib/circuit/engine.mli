@@ -127,3 +127,70 @@ val dc_operating_point : ?t:float -> Netlist.t -> float array
 (** Newton DC solution (capacitors open, inductors shorted through 1 mOhm)
     with sources evaluated at time [t] (default 0).  Returns the voltage of
     every node, indexed by node id. *)
+
+(** Compile-once transient handles for candidate sweeps.
+
+    Sweep-scale workloads (driver sizing, repeater insertion, Ceff model
+    iteration) run thousands of transients over the {e same} circuit
+    topology with different element values or input sources.  A handle
+    amortizes everything that depends only on topology: compile (node
+    ordering, bandwidth analysis, element slots), per-(integration, step
+    size) solver states with their factorizations, and the DC operating
+    point.  {!run} on a handle is bit-identical to a fresh {!transient}
+    call on the equivalent netlist — same floats through the same step
+    cores in the same order — so callers can adopt it without moving any
+    accuracy goalposts. *)
+module Compiled : sig
+  type handle
+
+  val compile : ?obs:Rlc_obs.Obs.t -> Netlist.t -> handle
+  (** Compile the netlist into a reusable handle (records the usual
+      ["engine.compile"] span).  The handle is not thread-safe: its solver
+      scratch is mutated by every {!run}; keep one per domain (or use
+      {!cached}, which is domain-local). *)
+
+  val restamp : handle -> Netlist.t -> unit
+  (** Write the netlist's element values into the handle's existing
+      structure — no allocation on the value path.  The new netlist must
+      match the compiled topology exactly (same node count, same element
+      kinds/nodes in insertion order, same forced nodes); a mismatch raises
+      [Invalid_argument] and leaves the handle needing a successful restamp
+      (or rebuild) before reuse.  Source and nonlinear closures are always
+      swapped in; a change to a matrix-affecting value (resistance,
+      capacitance, inductance, coupling matrix) drops the cached solver
+      states and DC point, while source-only restamps keep them all. *)
+
+  val run :
+    ?obs:Rlc_obs.Obs.t ->
+    ?options:options ->
+    ?record_nodes:Netlist.node list ->
+    ?reassemble_per_step:bool ->
+    ?adaptive:adaptive ->
+    dt:float ->
+    t_stop:float ->
+    handle ->
+    result
+  (** Exactly {!transient} on the handle's current element values, minus
+      the per-call compile: solver states are cached per
+      [(integration, step size)] (fixed-step states and adaptive
+      rung/offcut states share the cache), and the DC operating point is
+      reused whenever the circuit is linear and every source's value at
+      [t = 0] is bit-identical to the cached solve's. *)
+
+  val node_count : handle -> int
+
+  val cached : ?obs:Rlc_obs.Obs.t -> Netlist.t -> handle
+  (** Domain-local structure-keyed handle cache: returns an existing
+      handle for this topology restamped to the netlist's values, or
+      compiles and caches a new one.  Increments the global {!cache_stats}
+      counters and, with [obs], ["engine.handle.hits"] /
+      ["engine.handle.misses"].  Key collisions are caught by {!restamp}'s
+      structural validation and fall back to a rebuild, so a hit is always
+      structurally sound. *)
+
+  val cache_stats : unit -> int * int
+  (** [(hits, misses)] of {!cached} across all domains since start. *)
+
+  val clear_cache : unit -> unit
+  (** Drop this domain's cached handles (counters are left running). *)
+end

@@ -41,7 +41,8 @@ let simulate ?obs ?(dt = 0.25e-12) ?t_stop ?adaptive ?n_segments ~tech ~size ~in
   in
   { input = r.Testbench.input; near = r.Testbench.output; far; vdd; t_in50 }
 
-let replay_pwl ?obs ?(dt = 0.25e-12) ?t_stop ?adaptive ?n_segments ~pwl ~line ~cl () =
+let replay_pwl ?obs ?(dt = 0.25e-12) ?t_stop ?adaptive ?n_segments ?(reuse = true) ~pwl ~line
+    ~cl () =
   (* Shift so the source starts after t = 0 (the engine's DC point must see
      the quiescent low state). *)
   let start = fst (List.hd (Pwl.points pwl)) in
@@ -59,7 +60,16 @@ let replay_pwl ?obs ?(dt = 0.25e-12) ?t_stop ?adaptive ?n_segments ~pwl ~line ~c
   Netlist.force_pwl nl near pwl;
   let far_ref = ref Netlist.ground in
   Ladder.attach_load ?n_segments line ~cl nl near far_ref;
-  let r = Engine.transient ?obs ~record_nodes:[ near; !far_ref ] ?adaptive ~dt ~t_stop nl in
+  (* Ceff-model replays sweep many π/ladder loads of identical shape; the
+     structure-keyed handle cache makes each after the first a restamp
+     (values in, no compile/alloc) with bit-identical results.  [reuse:false]
+     keeps the uncached path available for equivalence tests. *)
+  let r =
+    if reuse then
+      Engine.Compiled.run ?obs ~record_nodes:[ near; !far_ref ] ?adaptive ~dt ~t_stop
+        (Engine.Compiled.cached ?obs nl)
+    else Engine.transient ?obs ~record_nodes:[ near; !far_ref ] ?adaptive ~dt ~t_stop nl
+  in
   (* Undo the shift: return waveforms on the caller's PWL time axis. *)
   ( Waveform.shift_time (-.shift) (Engine.voltage r near),
     Waveform.shift_time (-.shift) (Engine.voltage r !far_ref) )

@@ -49,6 +49,7 @@ val replay_pwl :
   ?t_stop:float ->
   ?adaptive:Rlc_circuit.Engine.adaptive ->
   ?n_segments:int ->
+  ?reuse:bool ->
   pwl:Rlc_waveform.Pwl.t ->
   line:Line.t ->
   cl:float ->
@@ -57,7 +58,13 @@ val replay_pwl :
 (** [(near, far)] for the ideal-source replay, on the {e same time axis as
     the input PWL} (for a {!Driver_model} waveform: t = 0 at the input 50 %
     crossing), so model far-end measurements compare directly against
-    {!far_delay} of a transistor-level run. *)
+    {!far_delay} of a transistor-level run.
+
+    [reuse] (default [true]) routes the replay through the domain-local
+    {!Rlc_circuit.Engine.Compiled.cached} handle cache: same-shape ladder
+    replays after the first restamp values into the compiled structure
+    instead of recompiling.  Results are bit-identical either way; pass
+    [~reuse:false] to force a fresh compile per call. *)
 
 (* Measurements (conventions of DESIGN.md §4, all on the rising edge). *)
 

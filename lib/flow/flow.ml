@@ -39,6 +39,9 @@ type stats = {
   iterations_total : int;
   cache_hits : int;
   cache_misses : int;
+  char_hits : int;
+  char_misses : int;
+  char_stores : int;
   iterations_spent : int;
   jobs_used : int;
   phases : phase list;
@@ -138,13 +141,13 @@ let canonicalize ~digits ~grid ~tech ~dt ?adaptive (net : Design.net) ~edge ~inp
   in
   { q_slew; q_pade; q_line; q_cl; key }
 
-let cell_exn tech ~size =
-  match Characterize.cell_res tech ~size with
+let cell_exn ?obs tech ~size =
+  match Characterize.cell_res ?obs tech ~size with
   | Ok c -> c
   | Error e -> failwith (Rlc_errors.Error.message e)
 
 let solve_net ?obs ?adaptive ~tech ~dt ~edge ~size c =
-  let cell = cell_exn tech ~size in
+  let cell = cell_exn ?obs tech ~size in
   let model =
     Driver_model.model_pade ?obs ~cell ~edge ~input_slew:c.q_slew ~pade:c.q_pade ~line:c.q_line
       ~cl:c.q_cl ()
@@ -164,6 +167,25 @@ let solve_net ?obs ?adaptive ~tech ~dt ~edge ~size c =
     | None -> invalid_arg "Rlc_flow.Flow: far-end replay never completed 10-90"
   in
   { model; stage_delay; far_slew; iterations = Driver_model.total_iterations model }
+
+(* One candidate evaluation for the optimizer: the net's interconnect with a
+   caller-chosen driver size, canonicalized and cached exactly as the flow
+   canonicalizes its own solves — so an optimize sweep and the final
+   verification flow agree on every shared (net, size, slew) key, and the
+   solve stays a pure function of the quantized inputs (jobs-independent). *)
+let solve_sized (cfg : Config.t) ~tech ~(net : Design.net) ~size ~edge ~input_slew =
+  let net = { net with Design.size } in
+  let c =
+    canonicalize ~digits:cfg.Config.quantize_digits ~grid:cfg.Config.slew_grid ~tech
+      ~dt:cfg.Config.dt ?adaptive:cfg.Config.adaptive net ~edge ~input_slew
+  in
+  let obs = cfg.Config.obs in
+  let compute () =
+    solve_net ~obs ?adaptive:cfg.Config.adaptive ~tech ~dt:cfg.Config.dt ~edge ~size c
+  in
+  match cfg.Config.cache with
+  | Some cache when cfg.Config.use_cache -> fst (Cache.find_or_add cache c.key compute)
+  | _ -> compute ()
 
 let run_cfg_inner (cfg : Config.t) (design : Design.t) =
   let obs = cfg.Config.obs
@@ -192,6 +214,7 @@ let run_cfg_inner (cfg : Config.t) (design : Design.t) =
   in
   let cache = match cfg.Config.cache with Some c -> c | None -> create_cache () in
   let hits0 = Cache.hits cache and misses0 = Cache.misses cache in
+  let ch0, cm0, cs0 = Characterize.stats () in
   let tech = design.Design.tech in
   let n = Array.length design.Design.nets in
   let phases = ref [] in
@@ -206,7 +229,7 @@ let run_cfg_inner (cfg : Config.t) (design : Design.t) =
   (* Characterize every driver size once, in the calling domain, so the
      worker domains only ever read the (mutex-guarded) memo table. *)
   timed "characterize" (fun () ->
-      List.iter (fun size -> ignore (cell_exn tech ~size)) design.Design.sizes);
+      List.iter (fun size -> ignore (cell_exn ~obs tech ~size)) design.Design.sizes);
   let results : net_result option array = Array.make n None in
   (* incremented from worker domains *)
   let spent = Atomic.make 0 in
@@ -333,6 +356,9 @@ let run_cfg_inner (cfg : Config.t) (design : Design.t) =
         Array.fold_left (fun acc r -> acc + r.solve.iterations) 0 results;
       cache_hits = Cache.hits cache - hits0;
       cache_misses = Cache.misses cache - misses0;
+      char_hits = (let h, _, _ = Characterize.stats () in h - ch0);
+      char_misses = (let _, m, _ = Characterize.stats () in m - cm0);
+      char_stores = (let _, _, s = Characterize.stats () in s - cs0);
       iterations_spent = Atomic.get spent;
       jobs_used;
       phases = List.rev !phases;
@@ -433,10 +459,11 @@ let retime_inner (cfg : Config.t) (design : Design.t) ~(old_results : net_result
   in
   let cache = match cfg.Config.cache with Some c -> c | None -> create_cache () in
   let hits0 = Cache.hits cache and misses0 = Cache.misses cache in
+  let ch0, cm0, cs0 = Characterize.stats () in
   let tech = design.Design.tech in
   let n = Array.length design.Design.nets in
   (* A delta can introduce a driver size the cold run never saw. *)
-  List.iter (fun size -> ignore (cell_exn tech ~size)) design.Design.sizes;
+  List.iter (fun size -> ignore (cell_exn ~obs tech ~size)) design.Design.sizes;
   let results : net_result option array = Array.make n None in
   let spent = Atomic.make 0 in
   let retimed = Atomic.make 0 and reused = Atomic.make 0 in
@@ -523,6 +550,9 @@ let retime_inner (cfg : Config.t) (design : Design.t) ~(old_results : net_result
       iterations_total = Array.fold_left (fun acc r -> acc + r.solve.iterations) 0 results;
       cache_hits = Cache.hits cache - hits0;
       cache_misses = Cache.misses cache - misses0;
+      char_hits = (let h, _, _ = Characterize.stats () in h - ch0);
+      char_misses = (let _, m, _ = Characterize.stats () in m - cm0);
+      char_stores = (let _, _, s = Characterize.stats () in s - cs0);
       iterations_spent = Atomic.get spent;
       jobs_used;
       phases = [];

@@ -41,6 +41,13 @@ type stats = {
   iterations_total : int;  (** sum of per-net solve iterations (deterministic) *)
   cache_hits : int;  (** scheduling-dependent; never reported in JSON/CSV *)
   cache_misses : int;
+  char_hits : int;
+      (** characterization-memo hits/misses/stores attributable to this run
+          ({!Rlc_liberty.Characterize.stats} deltas); like the Ceff cache
+          counters they are scheduling-dependent and stay out of report
+          payloads *)
+  char_misses : int;
+  char_stores : int;
   iterations_spent : int;  (** iterations actually run = sum over misses *)
   jobs_used : int;
       (** worker domains actually used, after clamping the request to the
@@ -108,6 +115,22 @@ module Config : sig
   val with_cache : solve Cache.t -> t -> t
   val with_adaptive : Rlc_circuit.Engine.adaptive -> t -> t
 end
+
+val solve_sized :
+  Config.t ->
+  tech:Rlc_devices.Tech.t ->
+  net:Design.net ->
+  size:float ->
+  edge:Rlc_waveform.Measure.edge ->
+  input_slew:float ->
+  solve
+(** Evaluate one driver-size candidate on a net's interconnect: the net with
+    its driver resized to [size], canonicalized and solved exactly as the
+    flow solves its own nets (same quantization, same cache keys via
+    [Config.cache] when [use_cache]).  The result is a pure function of the
+    quantized inputs, so sweeps built on it are jobs-independent; a
+    subsequent full flow at the chosen size hits the same cache entries.
+    May raise as {!run_cfg} does (engine failures, deadline expiry). *)
 
 val run_cfg : Config.t -> Design.t -> result
 (** Run the flow under a {!Config.t}.  Cells for every driver size are

@@ -161,6 +161,127 @@ let csv_string (result : Flow.result) =
     result.Flow.results;
   Buffer.contents buf
 
+(* ------------------------------------------------------- optimize report *)
+
+let worst_arrival (result : Flow.result) =
+  match List.rev (Flow.critical_path result) with
+  | last :: _ -> last.Flow.arrival
+  | [] -> 0.
+
+let fix_kind_json (f : Optimize.net_fix) =
+  match f.Optimize.f_fix with
+  | Optimize.Resize { to_size } ->
+      Printf.sprintf {|{"kind":"resize","to_size":%s}|} (num to_size)
+  | Optimize.Repeaters { stages; size; est_delay } ->
+      Printf.sprintf {|{"kind":"repeaters","stages":%d,"size":%s,"est_delay_ps":%s}|} stages
+        (num size) (num_ps est_delay)
+  | Optimize.Unfixable -> {|{"kind":"unfixable"}|}
+
+let fix_json (f : Optimize.net_fix) =
+  Printf.sprintf
+    {|    {"net":"%s","level":%d,"edge":"%s","driver_size":%s,"slack_before_ps":%s,"slack_after_ps":%s,"residual_ps":%s,"stage_before_ps":%s,"stage_after_ps":%s,"candidates":%d,"screened":%d,"escalations":%d,"fix":%s}|}
+    (json_escape f.Optimize.f_net.Design.name)
+    f.Optimize.f_net.Design.level (edge_name f.Optimize.f_edge)
+    (num f.Optimize.f_net.Design.size)
+    (num_ps f.Optimize.f_slack_before)
+    (num_ps f.Optimize.f_slack_after)
+    (num_ps f.Optimize.f_residual)
+    (num_ps f.Optimize.f_stage_before)
+    (num_ps f.Optimize.f_stage_after)
+    f.Optimize.f_candidates f.Optimize.f_screened f.Optimize.f_escalations (fix_kind_json f)
+
+(* Only deterministic quantities enter the payload: fix choices, candidate /
+   screen / escalation counts (pure search), and slacks from the verified
+   flows.  Cache and wall-clock telemetry stays in {!optimize_summary}. *)
+let optimize_json_string (o : Optimize.t) =
+  let buf = Buffer.create 2048 in
+  let p fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let s = o.Optimize.stats in
+  p "{\n";
+  p "  \"design\": \"%s\",\n"
+    (json_escape o.Optimize.before.Flow.design.Design.design_name);
+  p "  \"required_ps\": %s,\n" (num_ps o.Optimize.required);
+  p "  \"nets\": %d,\n" s.Optimize.o_nets;
+  p "  \"violations_before\": %d,\n" s.Optimize.o_violations_before;
+  p "  \"violations_after\": %d,\n" s.Optimize.o_violations_after;
+  p "  \"resized\": %d,\n" s.Optimize.o_resized;
+  p "  \"repeater_recommendations\": %d,\n" s.Optimize.o_repeaters;
+  p "  \"unfixable\": %d,\n" s.Optimize.o_unfixable;
+  p "  \"candidates\": %d,\n" s.Optimize.o_candidates;
+  p "  \"screened\": %d,\n" s.Optimize.o_screened;
+  p "  \"escalations\": %d,\n" s.Optimize.o_escalations;
+  p "  \"fixes\": [\n";
+  Array.iteri
+    (fun i f ->
+      Buffer.add_string buf (fix_json f);
+      if i < Array.length o.Optimize.fixes - 1 then Buffer.add_string buf ",";
+      Buffer.add_string buf "\n")
+    o.Optimize.fixes;
+  p "  ],\n";
+  let wa_before = worst_arrival o.Optimize.before
+  and wa_after = worst_arrival o.Optimize.after in
+  p "  \"summary\": {\n";
+  p "    \"worst_slack_before_ps\": %s,\n" (num_ps (o.Optimize.required -. wa_before));
+  p "    \"worst_slack_after_ps\": %s,\n" (num_ps (o.Optimize.required -. wa_after));
+  p "    \"slack_recovered_ps\": %s\n" (num_ps (wa_before -. wa_after));
+  p "  }\n";
+  p "}\n";
+  Buffer.contents buf
+
+let optimize_csv_string (o : Optimize.t) =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    "net,level,edge,driver_size,slack_before_ps,slack_after_ps,residual_ps,stage_before_ps,stage_after_ps,candidates,screened,escalations,fix,fix_size,fix_stages\n";
+  Array.iter
+    (fun (f : Optimize.net_fix) ->
+      let kind, fsize, fstages =
+        match f.Optimize.f_fix with
+        | Optimize.Resize { to_size } -> ("resize", num to_size, "")
+        | Optimize.Repeaters { stages; size; _ } ->
+            ("repeaters", num size, string_of_int stages)
+        | Optimize.Unfixable -> ("unfixable", "", "")
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "%s,%d,%s,%s,%s,%s,%s,%s,%s,%d,%d,%d,%s,%s,%s\n"
+           f.Optimize.f_net.Design.name f.Optimize.f_net.Design.level
+           (edge_name f.Optimize.f_edge)
+           (num f.Optimize.f_net.Design.size)
+           (num_ps f.Optimize.f_slack_before)
+           (num_ps f.Optimize.f_slack_after)
+           (num_ps f.Optimize.f_residual)
+           (num_ps f.Optimize.f_stage_before)
+           (num_ps f.Optimize.f_stage_after)
+           f.Optimize.f_candidates f.Optimize.f_screened f.Optimize.f_escalations kind fsize
+           fstages))
+    o.Optimize.fixes;
+  Buffer.contents buf
+
+let optimize_summary fmt (o : Optimize.t) =
+  let s = o.Optimize.stats in
+  Format.fprintf fmt "optimize %s: required %.1f ps@."
+    o.Optimize.before.Flow.design.Design.design_name
+    (ps o.Optimize.required);
+  Format.fprintf fmt "  violations: %d before -> %d after (of %d nets)@."
+    s.Optimize.o_violations_before s.Optimize.o_violations_after s.Optimize.o_nets;
+  Format.fprintf fmt "  fixes: %d resized, %d repeater recommendation%s, %d unfixable@."
+    s.Optimize.o_resized s.Optimize.o_repeaters
+    (if s.Optimize.o_repeaters = 1 then "" else "s")
+    s.Optimize.o_unfixable;
+  Format.fprintf fmt "  search: %d candidates evaluated, %d screened out, %d escalations@."
+    s.Optimize.o_candidates s.Optimize.o_screened s.Optimize.o_escalations;
+  Format.fprintf fmt "  characterization: %d hits, %d misses; compiled handles: %d hits, %d misses@."
+    s.Optimize.o_char_hits s.Optimize.o_char_misses s.Optimize.o_handle_hits
+    s.Optimize.o_handle_misses;
+  let wa_before = worst_arrival o.Optimize.before
+  and wa_after = worst_arrival o.Optimize.after in
+  Format.fprintf fmt "  worst slack: %+.1f ps -> %+.1f ps (recovered %.1f ps)@."
+    (ps (o.Optimize.required -. wa_before))
+    (ps (o.Optimize.required -. wa_after))
+    (ps (wa_before -. wa_after));
+  Format.fprintf fmt "  workers: %d domain%s, %.1f s@." s.Optimize.o_jobs_used
+    (if s.Optimize.o_jobs_used = 1 then "" else "s")
+    s.Optimize.o_seconds
+
 (* -------------------------------------------------------------- summary *)
 
 let summary ?required fmt (result : Flow.result) =
@@ -173,6 +294,8 @@ let summary ?required fmt (result : Flow.result) =
   Format.fprintf fmt "  Ceff iterations: %d modeled, %d actually run (cache: %d hits, %d misses)@."
     stats.Flow.iterations_total stats.Flow.iterations_spent stats.Flow.cache_hits
     stats.Flow.cache_misses;
+  Format.fprintf fmt "  characterization: %d hits, %d misses (%d stored)@." stats.Flow.char_hits
+    stats.Flow.char_misses stats.Flow.char_stores;
   Format.fprintf fmt "  workers: %d domain%s@." stats.Flow.jobs_used
     (if stats.Flow.jobs_used = 1 then "" else "s");
   let path = Flow.critical_path result in

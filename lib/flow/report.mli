@@ -30,3 +30,18 @@ val csv_string : Flow.result -> string
 val summary : ?required:float -> Format.formatter -> Flow.result -> unit
 (** Human-readable run summary: net/level counts, verdict mix, critical
     path, cache and per-phase wall-time counters. *)
+
+val optimize_json_string : Optimize.t -> string
+(** Optimization report: design header, violation counts before/after, the
+    deterministic search totals (candidates, screened, escalations), one
+    object per searched net (slacks, residual, stage delays, per-net search
+    counts, and the chosen fix), and a worst-slack summary.  Like
+    {!json_string}, the payload holds only jobs-independent quantities —
+    byte-identical for every [--jobs N]. *)
+
+val optimize_csv_string : Optimize.t -> string
+(** One row per searched net, same fields as the JSON fix objects. *)
+
+val optimize_summary : Format.formatter -> Optimize.t -> unit
+(** Human-readable optimization summary; includes the scheduling-dependent
+    cache counters and wall time that the payloads exclude. *)

@@ -82,26 +82,76 @@ let characterize_arc tech ~size ~edge grid =
     tail_50_90 = lut t59;
   }
 
-(* The memo table is shared by every domain of a parallel flow; guard it so
-   concurrent lookups are safe.  Characterization itself runs outside the
-   lock (it is deterministic, so a rare duplicated run is only wasted work,
-   never a wrong table). *)
-let cache : (string * float * int, Table.cell) Hashtbl.t = Hashtbl.create 16
+(* Per-tech size-indexed store.  One [store] per (technology, grid) holds a
+   size-sorted array of characterized cells, so a sizing sweep over N
+   candidate sizes characterizes each size exactly once across all nets,
+   domains, and repeats — and callers (the optimizer, the dashboard) can ask
+   which sizes are already paid for.  The store is shared by every domain of
+   a parallel flow; guard it so concurrent lookups are safe.
+   Characterization itself runs outside the lock (it is deterministic, so a
+   rare duplicated run is only wasted work, never a wrong table — the first
+   insert wins). *)
+type store = { mutable entries : (float * Table.cell) array  (* sorted by size *) }
+
+let stores : (string * int, store) Hashtbl.t = Hashtbl.create 4
 let cache_mutex = Mutex.create ()
+
+(* Global visibility counters: sweep-scale loops live or die on this memo,
+   so hit/miss/store totals are first-class (surfaced in flow/optimize
+   stats and the daemon's metrics exposition). *)
+let hits = Atomic.make 0
+let misses = Atomic.make 0
+let stored = Atomic.make 0
+
+let stats () = (Atomic.get hits, Atomic.get misses, Atomic.get stored)
 
 let with_cache f =
   Mutex.lock cache_mutex;
   Fun.protect ~finally:(fun () -> Mutex.unlock cache_mutex) f
 
-let clear_cache () = with_cache (fun () -> Hashtbl.reset cache)
+let clear_cache () = with_cache (fun () -> Hashtbl.reset stores)
 
-let cell ?(grid = default_grid) tech ~size =
-  (* The grid participates in the key: characterizing the same cell on a
-     different grid must not return stale tables. *)
-  let key = (tech.Tech.name, size, Hashtbl.hash (grid.slews, grid.caps)) in
-  match with_cache (fun () -> Hashtbl.find_opt cache key) with
-  | Some c -> c
+(* The grid participates in the store key: characterizing the same cell on
+   a different grid must not return stale tables. *)
+let store_for ~grid tech =
+  let key = (tech.Tech.name, Hashtbl.hash (grid.slews, grid.caps)) in
+  match Hashtbl.find_opt stores key with
+  | Some s -> s
   | None ->
+      let s = { entries = [||] } in
+      Hashtbl.add stores key s;
+      s
+
+let find_size entries size =
+  let lo = ref 0 and hi = ref (Array.length entries - 1) and found = ref None in
+  while !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let s, c = entries.(mid) in
+    if s = size then begin
+      found := Some c;
+      lo := !hi + 1
+    end
+    else if s < size then lo := mid + 1
+    else hi := mid - 1
+  done;
+  !found
+
+let sizes ?(grid = default_grid) tech =
+  with_cache (fun () ->
+      let st = store_for ~grid tech in
+      Array.to_list (Array.map fst st.entries))
+
+let cell ?(obs = Rlc_obs.Obs.null) ?(grid = default_grid) tech ~size =
+  let module Obs = Rlc_obs.Obs in
+  let st = with_cache (fun () -> store_for ~grid tech) in
+  match with_cache (fun () -> find_size st.entries size) with
+  | Some c ->
+      Atomic.incr hits;
+      Obs.incr obs "char.hits";
+      c
+  | None ->
+      Atomic.incr misses;
+      Obs.incr obs "char.misses";
       let rise = characterize_arc tech ~size ~edge:Testbench.Rise grid in
       let fall = characterize_arc tech ~size ~edge:Testbench.Fall grid in
       let c =
@@ -114,8 +164,17 @@ let cell ?(grid = default_grid) tech ~size =
           fall;
         }
       in
-      with_cache (fun () -> Hashtbl.replace cache key c);
-      c
+      with_cache (fun () ->
+          (* First insert wins so concurrent domains agree on the table. *)
+          match find_size st.entries size with
+          | Some existing -> existing
+          | None ->
+              let arr = Array.append st.entries [| (size, c) |] in
+              Array.sort (fun (a, _) (b, _) -> Float.compare a b) arr;
+              st.entries <- arr;
+              Atomic.incr stored;
+              Obs.incr obs "char.stores";
+              c)
 
 (* Result-returning variants for embedders (the service daemon, the CLI)
    that must answer with a typed error instead of dying on a bad driver
@@ -127,8 +186,8 @@ let characterize_point_res tech ~size ~edge ~input_slew ~cap =
   | exception Invalid_argument msg -> Error (Rlc_errors.Error.Bad_request msg)
   | exception Failure msg -> Error (Rlc_errors.Error.Internal msg)
 
-let cell_res ?grid tech ~size =
-  match cell ?grid tech ~size with
+let cell_res ?obs ?grid tech ~size =
+  match cell ?obs ?grid tech ~size with
   | c -> Ok c
   | exception Invalid_argument msg -> Error (Rlc_errors.Error.Bad_request msg)
   | exception Failure msg -> Error (Rlc_errors.Error.Internal msg)

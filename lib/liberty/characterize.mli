@@ -16,12 +16,30 @@ val default_grid : grid
     sweep (input slews 50–200 ps, line caps 0.2–1.8 pF). *)
 
 val cell_res :
-  ?grid:grid -> Rlc_devices.Tech.t -> size:float -> (Table.cell, Rlc_errors.Error.t) result
+  ?obs:Rlc_obs.Obs.t ->
+  ?grid:grid ->
+  Rlc_devices.Tech.t ->
+  size:float ->
+  (Table.cell, Rlc_errors.Error.t) result
 (** Characterize both output arcs of an inverter of the given size.
-    Results are cached; repeated calls are free.  The user-reachable exits
+    Results are memoized in a per-(technology, grid) size-indexed store
+    shared across domains; repeated calls are free, and a sizing sweep over
+    N candidate sizes pays for each size exactly once.  [obs] bumps
+    ["char.hits"] / ["char.misses"] / ["char.stores"] counters (the same
+    totals are always available via {!stats}).  The user-reachable exits
     are typed: a non-positive size is {!Rlc_errors.Error.Bad_request},
     a grid point whose waveform never completes is
     {!Rlc_errors.Error.Internal}. *)
+
+val stats : unit -> int * int * int
+(** [(hits, misses, stores)] of the characterization memo since start,
+    summed over every technology, grid, and domain.  [stores <= misses];
+    the gap is concurrent domains racing to characterize the same cell
+    (first insert wins). *)
+
+val sizes : ?grid:grid -> Rlc_devices.Tech.t -> float list
+(** The driver sizes already characterized for this (technology, grid),
+    ascending.  Lets a sweep report its table-reuse footprint. *)
 
 val clear_cache : unit -> unit
 

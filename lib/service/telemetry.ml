@@ -174,6 +174,15 @@ let prometheus ~(stats : Session.stats) ~shards ~(designs : Session.design_store
     stats.Session.cache_hits;
   counter "service_cache_misses_total" "Ceff cache misses since start."
     stats.Session.cache_misses;
+  let ch, cm, cs = Rlc_liberty.Characterize.stats () in
+  counter "service_char_hits_total" "Characterization-memo hits since start." ch;
+  counter "service_char_misses_total" "Characterization-memo misses since start." cm;
+  counter "service_char_stores_total" "Characterized cells stored since start." cs;
+  let hh, hm = Rlc_circuit.Engine.Compiled.cache_stats () in
+  counter "service_handle_hits_total"
+    "Compiled transient-handle cache hits since start." hh;
+  counter "service_handle_misses_total"
+    "Compiled transient-handle cache misses since start." hm;
   gauge "service_designs_resident" "Designs resident in the ECO store."
     (float_of_int designs.Session.ds_handles);
   gauge "service_designs_capacity" "ECO design store capacity."
@@ -290,6 +299,15 @@ let metrics_fields ~session ~server ~window () =
           ("misses", Json.Int stats.Session.cache_misses);
           ("shards", shards_json shards);
         ] );
+    ( "characterization",
+      (* Process-global memo counters (the table is shared by every session
+         and one-shot flow in the process), exact like the cache atomics. *)
+      let ch, cm, cs = Rlc_liberty.Characterize.stats () in
+      Json.Obj
+        [ ("hits", Json.Int ch); ("misses", Json.Int cm); ("stores", Json.Int cs) ] );
+    ( "handles",
+      let hh, hm = Rlc_circuit.Engine.Compiled.cache_stats () in
+      Json.Obj [ ("hits", Json.Int hh); ("misses", Json.Int hm) ] );
     ( "designs",
       Json.Obj
         [

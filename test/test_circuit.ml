@@ -567,6 +567,123 @@ let prop_rc_charge_conservation =
       let res = Engine.transient ~dt:(tau /. 200.) ~t_stop:(8. *. tau) nl in
       Float.abs (Engine.voltage_at res out (7.5 *. tau) -. 1.5) < 5e-3)
 
+(* ------------------------------------------------------------ compiled *)
+
+(* Bit-identity: a compiled handle must consume exactly the floats a fresh
+   Engine.transient consumes — waveforms compare with (<>), never with a
+   tolerance — across circuit kinds, integration methods, and stepping
+   modes.  Each handle runs twice so the second run exercises the cached DC
+   entry and the per-(integration, dt) transient-state reuse. *)
+let check_compiled_identity name build ~dt ~t_stop () =
+  List.iter
+    (fun (tag, integration) ->
+      List.iter
+        (fun (mode, adaptive) ->
+          let nl, probes = build () in
+          let options = { (Engine.default_options ~dt ~t_stop) with Engine.integration } in
+          let fresh = Engine.transient ~options ?adaptive ~dt ~t_stop nl in
+          let h = Engine.Compiled.compile nl in
+          List.iteri
+            (fun k r ->
+              if Engine.times fresh <> Engine.times r then
+                Alcotest.failf "%s/%s/%s run %d: time grids differ" name tag mode k;
+              List.iter
+                (fun node ->
+                  let vf = Waveform.values (Engine.voltage fresh node) in
+                  let vr = Waveform.values (Engine.voltage r node) in
+                  Array.iteri
+                    (fun i v ->
+                      if v <> vr.(i) then
+                        Alcotest.failf
+                          "%s/%s/%s run %d: node %s step %d: fresh %.17g <> compiled %.17g"
+                          name tag mode k (Netlist.node_name nl node) i v vr.(i))
+                    vf)
+                probes)
+            [
+              Engine.Compiled.run ~options ?adaptive ~dt ~t_stop h;
+              Engine.Compiled.run ~options ?adaptive ~dt ~t_stop h;
+            ])
+        [ ("fixed", None); ("adaptive", Some (Engine.default_adaptive ~dt_min:dt ())) ])
+    [ ("trap", Engine.Trapezoidal); ("be", Engine.Backward_euler) ]
+
+let test_compiled_rc () =
+  check_compiled_identity "rc-ladder" build_rc_ladder ~dt:1e-12 ~t_stop:0.5e-9 ()
+
+let test_compiled_rlc () =
+  check_compiled_identity "rlc-ladder" build_rlc_ladder ~dt:0.5e-12 ~t_stop:0.5e-9 ()
+
+let test_compiled_coupled () =
+  check_compiled_identity "coupled-pair" build_coupled_pair ~dt:1e-12 ~t_stop:1e-9 ()
+
+let test_compiled_nonlinear () =
+  check_compiled_identity "nonlinear-clamp" build_nonlinear_clamp ~dt:1e-12 ~t_stop:0.5e-9 ()
+
+let build_rc_pair r c =
+  let nl = Netlist.create () in
+  let src = Netlist.node nl "src" and out = Netlist.node nl "out" in
+  Netlist.force_voltage nl src (step 1.);
+  Netlist.resistor nl src out r;
+  Netlist.capacitor nl out Netlist.ground c;
+  (nl, out)
+
+let assert_same_waveform msg fresh compiled node =
+  let vf = Waveform.values (Engine.voltage fresh node) in
+  let vc = Waveform.values (Engine.voltage compiled node) in
+  Array.iteri
+    (fun i v ->
+      if v <> vc.(i) then
+        Alcotest.failf "%s: step %d: fresh %.17g <> compiled %.17g" msg i v vc.(i))
+    vf
+
+let test_compiled_restamp () =
+  (* New element values into a used handle: results must match a fresh
+     compile of the new netlist exactly (stale companion history, cached DC
+     and cached states must all be invalidated). *)
+  let nl1, _ = build_rc_pair 1e3 1e-12 in
+  let h = Engine.Compiled.compile nl1 in
+  let (_ : Engine.result) = Engine.Compiled.run ~dt:5e-12 ~t_stop:2e-9 h in
+  let nl2, out2 = build_rc_pair 2e3 0.5e-12 in
+  Engine.Compiled.restamp h nl2;
+  let r2 = Engine.Compiled.run ~dt:5e-12 ~t_stop:2e-9 h in
+  let fresh2 = Engine.transient ~dt:5e-12 ~t_stop:2e-9 nl2 in
+  assert_same_waveform "restamped values" fresh2 r2 out2;
+  (* Identical values restamped after a run must also replay cleanly (the
+     handle keeps its cached state on a value-identical restamp). *)
+  Engine.Compiled.restamp h nl2;
+  let r3 = Engine.Compiled.run ~dt:5e-12 ~t_stop:2e-9 h in
+  assert_same_waveform "identical restamp" fresh2 r3 out2;
+  (* A structurally different netlist must be rejected, not absorbed. *)
+  let nl3, out3 = build_rc_pair 1e3 1e-12 in
+  Netlist.capacitor nl3 out3 Netlist.ground 1e-15;
+  match Engine.Compiled.restamp h nl3 with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "restamp with extra element must raise"
+
+let test_compiled_cache_keying () =
+  Engine.Compiled.clear_cache ();
+  let h0, m0 = Engine.Compiled.cache_stats () in
+  let nl1, _ = build_rc_pair 1e3 1e-12 in
+  let ha = Engine.Compiled.cached nl1 in
+  (* Same structure, different values: must hit and restamp, not rebuild. *)
+  let nl2, out2 = build_rc_pair 2e3 2e-12 in
+  let hb = Engine.Compiled.cached nl2 in
+  Alcotest.(check bool) "same-structure netlists share the handle" true (ha == hb);
+  let h1, m1 = Engine.Compiled.cache_stats () in
+  Alcotest.(check int) "first lookup missed" 1 (m1 - m0);
+  Alcotest.(check int) "second lookup hit" 1 (h1 - h0);
+  (* The restamped hit must still be exact. *)
+  let r = Engine.Compiled.run ~dt:5e-12 ~t_stop:2e-9 hb in
+  let fresh = Engine.transient ~dt:5e-12 ~t_stop:2e-9 nl2 in
+  assert_same_waveform "cached handle after restamp" fresh r out2;
+  (* A different topology (one more element) must key to a fresh handle. *)
+  let nl3, out3 = build_rc_pair 1e3 1e-12 in
+  Netlist.capacitor nl3 out3 Netlist.ground 5e-15;
+  let hc = Engine.Compiled.cached nl3 in
+  Alcotest.(check bool) "different structure gets its own handle" true (hc != ha);
+  let _, m2 = Engine.Compiled.cache_stats () in
+  Alcotest.(check int) "topology change missed" 1 (m2 - m1);
+  Engine.Compiled.clear_cache ()
+
 let () =
   let q = QCheck_alcotest.to_alcotest in
   Alcotest.run "rlc_circuit"
@@ -603,6 +720,21 @@ let () =
           Alcotest.test_case "obs counters reconcile" `Quick test_adaptive_obs_reconcile;
           Alcotest.test_case "nonlinear Newton path" `Quick test_adaptive_nonlinear;
           Alcotest.test_case "parameter validation" `Quick test_adaptive_rejects_bad_params;
+        ] );
+      ( "compiled",
+        [
+          Alcotest.test_case "RC bit-identity (trap/BE x fixed/adaptive)" `Quick
+            test_compiled_rc;
+          Alcotest.test_case "RLC bit-identity (trap/BE x fixed/adaptive)" `Quick
+            test_compiled_rlc;
+          Alcotest.test_case "coupled bit-identity (trap/BE x fixed/adaptive)" `Quick
+            test_compiled_coupled;
+          Alcotest.test_case "nonlinear bit-identity (trap/BE x fixed/adaptive)" `Quick
+            test_compiled_nonlinear;
+          Alcotest.test_case "restamp after run reuses the handle" `Quick
+            test_compiled_restamp;
+          Alcotest.test_case "handle cache keys on structure" `Quick
+            test_compiled_cache_keying;
         ] );
       ( "netlist",
         [
